@@ -1,0 +1,114 @@
+"""Ablation: the paper's 2-phase flow control vs the traditional designs.
+
+Section 5 motivates the scheme against two alternatives: stall-buffer
+(skid) pipelines and double-clocked pipelines. This ablation simulates the
+skid design head to head with the IC-NoC pipeline on identical traffic and
+compares the costs: all schemes hit full throughput and lose nothing under
+stalls — the difference is silicon (an extra flit register per stage) or
+clock energy (a 2x clock), which is exactly why the paper's scheme exists.
+"""
+
+from repro.analysis.tables import format_table
+from repro.ext.stall_buffer import build_skid_pipeline, scheme_cost_table
+from repro.noc.flit import Flit, FlitKind
+from repro.noc.pipeline import build_pipeline
+from repro.sim.kernel import SimKernel
+
+STAGES = 6
+FLITS = 60
+
+
+def flits(n):
+    return [Flit(kind=FlitKind.SINGLE, src=0, dest=1, packet_id=i, seq=0,
+                 payload=i) for i in range(n)]
+
+
+def run_scheme(builder):
+    """Returns (streaming rate, post-stall recovery rate, in-order, peak
+    flits buffered per stage) — all measured, flits/cycle."""
+    stall = lambda t: not 60 <= t < 140
+    kernel = SimKernel()
+    src, stages, sink = builder(kernel, stall)
+    src.send(flits(FLITS))
+    kernel.run_ticks(600)
+    payloads = [f.payload for f in sink.flits]
+    arrivals = [t for t, _ in sink.received]
+
+    def rate(window):
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])
+                if window(a) and window(b)]
+        return 2.0 / (sum(gaps) / len(gaps))
+
+    streaming = rate(lambda t: 16 <= t < 58)
+    recovery = rate(lambda t: 140 <= t < 190)
+    if hasattr(stages[0], "peak_occupancy"):
+        peak = max(stage.peak_occupancy for stage in stages)
+    else:
+        peak = 1  # capacity-1 handshake registers
+    return streaming, recovery, payloads == list(range(FLITS)), peak
+
+
+def run_ablation():
+    icnoc = run_scheme(
+        lambda kernel, stall: build_pipeline(kernel, "icnoc", STAGES,
+                                             ready=stall)
+    )
+    skid = run_scheme(
+        lambda kernel, stall: build_skid_pipeline(kernel, "skid", STAGES,
+                                                  ready=stall)
+    )
+    costs = scheme_cost_table(76)  # the demonstrator's stage count
+    return icnoc, skid, costs
+
+
+def test_flow_control_ablation(benchmark, log):
+    icnoc, skid, costs = benchmark.pedantic(run_ablation, rounds=1,
+                                            iterations=1)
+    cost = {row["scheme"]: row for row in costs}
+
+    log.add("EXP-FC-ABL", "IC-NoC streaming rate", 1.0, icnoc[0],
+            "flits/cycle", tolerance=0.02)
+    log.add("EXP-FC-ABL", "IC-NoC recovery rate", 1.0, icnoc[1],
+            "flits/cycle", tolerance=0.02)
+    log.add("EXP-FC-ABL", "skid streaming rate", 1.0, skid[0],
+            "flits/cycle", tolerance=0.02)
+    assert log.all_match
+
+    # Both schemes are functionally correct...
+    assert icnoc[2] and skid[2]
+    # ...but the skid design pays for it: an extra flit of storage per
+    # stage (the "extra stall buffers" the paper eliminates), and with
+    # only the minimum 2-deep buffer its post-congestion recovery runs at
+    # ~2/3 rate — the IC-NoC resumes at full rate with one register.
+    assert skid[3] == 2
+    assert icnoc[3] == 1
+    assert skid[1] < 0.8
+    icnoc_cost = cost["IC-NoC 2-phase (paper)"]
+    skid_cost = cost["stall-buffer (skid)"]
+    double_cost = cost["double-clocked"]
+    assert icnoc_cost["area_mm2"] < skid_cost["area_mm2"]
+    assert icnoc_cost["relative_clock_energy"] < \
+        double_cost["relative_clock_energy"]
+
+    print()
+    print(format_table(
+        ["scheme", "streaming", "post-stall recovery", "regs/stage",
+         "area@76 stages (mm^2)", "rel. clock energy"],
+        [
+            ["IC-NoC 2-phase (paper)", round(icnoc[0], 3),
+             round(icnoc[1], 3),
+             icnoc_cost["registers_per_stage"],
+             round(icnoc_cost["area_mm2"], 4),
+             icnoc_cost["relative_clock_energy"]],
+            ["stall-buffer (2-deep skid)", round(skid[0], 3),
+             round(skid[1], 3),
+             skid_cost["registers_per_stage"],
+             round(skid_cost["area_mm2"], 4),
+             skid_cost["relative_clock_energy"]],
+            ["double-clocked (model)", 1.0, 1.0,
+             double_cost["registers_per_stage"],
+             round(double_cost["area_mm2"], 4),
+             double_cost["relative_clock_energy"]],
+        ],
+        title="Flow-control ablation (Section 5 alternatives)",
+    ))

@@ -1,0 +1,59 @@
+"""EXP-EQ4 / EXP-EQ7 — the link-timing equations of Section 4.
+
+Regenerates eq. (4) (downstream skew window at 1 GHz: -540..380 ps),
+eq. (7) (upstream bound 380 ps), the frequency sweep showing both windows
+widening as the clock slows (graceful degradation), and the 190 ps ->
+1.5-2 mm wire-length mapping.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.tech.flipflop import FF_90NM
+from repro.tech.technology import TECH_90NM
+from repro.timing.link_timing import downstream_window, upstream_window
+from repro.units import half_period_ps
+
+
+def window_sweep(frequencies=None):
+    if frequencies is None:
+        frequencies = np.linspace(0.25, 2.0, 36)
+    rows = []
+    for f in frequencies:
+        half = half_period_ps(float(f))
+        d_low, d_high = downstream_window(FF_90NM, half)
+        u_low, u_high = upstream_window(FF_90NM, half)
+        rows.append((float(f), d_low, d_high, u_high))
+    return rows
+
+
+def test_eq4_eq7_windows(benchmark, log):
+    rows = benchmark(window_sweep)
+
+    d_low, d_high = downstream_window(FF_90NM, 500.0)
+    _, u_high = upstream_window(FF_90NM, 500.0)
+    log.add("EXP-EQ4", "eq.(4) lower bound @1GHz", -540.0, d_low, "ps",
+            tolerance=1e-6)
+    log.add("EXP-EQ4", "eq.(4) upper bound @1GHz", 380.0, d_high, "ps",
+            tolerance=1e-6)
+    log.add("EXP-EQ7", "eq.(7) upstream bound @1GHz", 380.0, u_high, "ps",
+            tolerance=1e-6)
+    length = TECH_90NM.buffered_wire.length_for_delay(190.0)
+    log.add("EXP-EQ7", "190 ps wire budget (paper: 1.5-2 mm)", 1.75,
+            length, "mm", tolerance=0.15)
+    assert log.all_match
+
+    # Shape: all bounds widen monotonically as frequency drops.
+    by_f = sorted(rows)
+    highs = [r[2] for r in by_f]
+    lows = [r[1] for r in by_f]
+    assert highs == sorted(highs, reverse=True)
+    assert lows == sorted(lows)
+
+    print()
+    print(format_table(
+        ["f (GHz)", "eq4 low (ps)", "eq4 high (ps)", "eq7 bound (ps)"],
+        [[f"{r[0]:.2f}", round(r[1], 1), round(r[2], 1), round(r[3], 1)]
+         for r in rows[::7]],
+        title="Skew windows vs clock frequency (Section 4)",
+    ))

@@ -1,0 +1,44 @@
+"""EXP-F7 — Figure 7: clocking frequency vs wire length between stages.
+
+Regenerates the paper's only data figure: achievable clock frequency of a
+handshaked pipeline as a function of the wire length between two stages,
+0 to 3 mm. Anchors: 1.8 GHz head-to-head; 1.4 GHz at 0.6 mm; 1.2 GHz at
+0.9 mm; ~1 GHz at 1.25 mm (the last is a prediction of the calibration,
+not an input to it).
+"""
+
+import numpy as np
+
+from repro.analysis.plots import ascii_plot
+from repro.timing.frequency import pipeline_max_frequency
+
+
+def fig7_series(points: int = 61, max_length_mm: float = 3.0):
+    lengths = np.linspace(0.0, max_length_mm, points)
+    freqs = [pipeline_max_frequency(float(length)) for length in lengths]
+    return list(lengths), freqs
+
+
+def test_fig7_curve(benchmark, log):
+    lengths, freqs = benchmark(fig7_series)
+
+    # Paper-vs-measured at the published anchor points.
+    series = dict(zip([round(x, 4) for x in lengths], freqs))
+    log.add("EXP-F7", "frequency at 0.0 mm", 1.8,
+            pipeline_max_frequency(0.0), "GHz", tolerance=0.01)
+    log.add("EXP-F7", "frequency at 0.6 mm", 1.4,
+            pipeline_max_frequency(0.6), "GHz", tolerance=0.01)
+    log.add("EXP-F7", "frequency at 0.9 mm", 1.2,
+            pipeline_max_frequency(0.9), "GHz", tolerance=0.01)
+    log.add("EXP-F7", "frequency at 1.25 mm (predicted)", 1.0,
+            pipeline_max_frequency(1.25), "GHz", tolerance=0.01)
+    assert log.all_match
+
+    # Shape: monotone decreasing, convex-ish tail below 0.5 GHz at 3 mm.
+    assert freqs == sorted(freqs, reverse=True)
+    assert freqs[-1] < 0.5
+
+    print()
+    print(ascii_plot(lengths, freqs, x_label="wire length (mm)",
+                     y_label="frequency (GHz)",
+                     title="Fig. 7: clocking frequency vs segment length"))

@@ -1,0 +1,82 @@
+"""EXP-LL — latency vs offered load: the supporting network evaluation.
+
+Sweeps offered load on the 64-port binary-tree IC-NoC under uniform and
+locality-weighted traffic, and on the 8x8 mesh baseline for the same
+schedules. The shape to reproduce: flat zero-load latency, a knee, and
+saturation; locality pushes the tree's knee far to the right (the
+application-mapping argument of Section 3).
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.mesh.network import MeshConfig, MeshNetwork
+from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.traffic.base import apply_traffic
+from repro.traffic.patterns import NeighbourTraffic, UniformRandom
+
+
+LOADS = (0.02, 0.08, 0.16, 0.24)
+CYCLES = 250
+
+
+def run_curve(network_factory, generator_factory, seed=13):
+    means = []
+    for load in LOADS:
+        net = network_factory()
+        gen = generator_factory(load)
+        schedule = gen.generate(CYCLES, np.random.default_rng(seed))
+        apply_traffic(net, schedule, run_cycles=CYCLES)
+        delivered = net.stats.packets_delivered
+        assert delivered == net.stats.packets_injected, "network saturated"
+        means.append(net.stats.latency.mean)
+    return means
+
+
+def sweep_all():
+    tree = lambda: ICNoCNetwork(NetworkConfig(leaves=64, arity=2))
+    mesh = lambda: MeshNetwork(MeshConfig(cols=8, rows=8))
+    return {
+        "tree_uniform": run_curve(
+            tree, lambda load: UniformRandom(64, load)),
+        "tree_local": run_curve(
+            tree, lambda load: NeighbourTraffic(64, load, locality=0.8)),
+        "mesh_uniform": run_curve(
+            mesh, lambda load: UniformRandom(64, load)),
+    }
+
+
+def test_latency_vs_load(benchmark, log):
+    curves = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    # Zero-load sanity: tree uniform ~ mean-hops x 1.5 cycles + overhead.
+    log.add("EXP-LL", "tree zero-load latency (uniform)", 14.5,
+            curves["tree_uniform"][0], "cycles", tolerance=0.25)
+    assert log.all_match
+
+    # Shapes: latency rises with load on every curve (small-sample noise
+    # of up to one cycle tolerated point to point; the endpoints must
+    # order strictly).
+    for name, curve in curves.items():
+        for a, b in zip(curve, curve[1:]):
+            assert b >= a - 1.0, f"{name} latency dropped: {curve}"
+        assert curve[-1] > curve[0], f"{name} shows no congestion: {curve}"
+    # Locality beats uniform at every load on the tree.
+    for local, uniform in zip(curves["tree_local"],
+                              curves["tree_uniform"]):
+        assert local < uniform
+    # Congestion grows slower under locality: the gap widens with load.
+    gap_low = curves["tree_uniform"][0] - curves["tree_local"][0]
+    gap_high = curves["tree_uniform"][-1] - curves["tree_local"][-1]
+    assert gap_high >= gap_low
+
+    rows = [[load] + [round(curves[key][i], 1) for key in
+                      ("tree_uniform", "tree_local", "mesh_uniform")]
+            for i, load in enumerate(LOADS)]
+    print()
+    print(format_table(
+        ["load (flits/cy/port)", "tree uniform", "tree local 0.8",
+         "mesh uniform"],
+        rows,
+        title="Mean packet latency (cycles) vs offered load, 64 ports",
+    ))

@@ -1,0 +1,51 @@
+"""EXP-MAP — application mapping (the Section 3 locality argument, as a
+workload).
+
+"With proper application mapping however, cores which communicate a lot
+will be clustered and locality can be exploited to a much larger degree
+than in a mesh." A streaming processing chain (producer -> stages ->
+consumer, DMA-style bursts) mapped onto adjacent tiles vs scattered
+randomly across the chip: the adjacent mapping streams with a fraction of
+the latency.
+"""
+
+from repro.analysis.tables import format_table
+from repro.system.workloads import mapping_comparison
+
+
+def run_comparison():
+    return mapping_comparison(tiles=16, stages=4, burst_flits=8,
+                              bursts=15, seed=7)
+
+
+def test_mapping(benchmark, log):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    adjacent = results["adjacent"]
+    scattered = results["scattered"]
+
+    # Shape: mapping wins, comfortably, and both complete everything.
+    assert adjacent.bursts_completed == scattered.bursts_completed == 15
+    assert adjacent.chain_latency.mean < 0.7 * scattered.chain_latency.mean
+    assert adjacent.per_hop_latency.mean < scattered.per_hop_latency.mean
+
+    log.add("EXP-MAP", "adjacent/scattered latency ratio (<1)", 0.5,
+            adjacent.chain_latency.mean / scattered.chain_latency.mean,
+            "", tolerance=0.6)
+    assert log.all_match
+
+    print()
+    print(format_table(
+        ["mapping", "chain latency (cy)", "p95 (cy)", "per hop (cy)",
+         "gating"],
+        [
+            ["adjacent tiles", round(adjacent.chain_latency.mean, 1),
+             round(adjacent.chain_latency.p95, 1),
+             round(adjacent.per_hop_latency.mean, 1),
+             f"{adjacent.gating_ratio:.1%}"],
+            ["scattered tiles", round(scattered.chain_latency.mean, 1),
+             round(scattered.chain_latency.p95, 1),
+             round(scattered.per_hop_latency.mean, 1),
+             f"{scattered.gating_ratio:.1%}"],
+        ],
+        title="Application mapping: 4-stage chain, 8-flit bursts, 16 tiles",
+    ))

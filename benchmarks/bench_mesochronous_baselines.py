@@ -1,0 +1,74 @@
+"""EXP-MS — the Section 2 comparison: what IC-NoC removes.
+
+Conventional mesochronous crossings either risk metastability (plain
+synchronizers, finite MTBF, added latency) or pay detection hardware and
+an initialization phase (refs [15], [20], [13]). The IC-NoC's crossing is
+deterministic with none of those costs, because the phase relation between
+neighbours is known by construction.
+"""
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.clocking.mesochronous import (
+    ICNoCCrossing,
+    PhaseDetectorScheme,
+    TwoFlopSynchronizer,
+)
+
+
+def build_comparison(clock_ghz=1.0, data_rate_ghz=0.5):
+    two_flop = TwoFlopSynchronizer(stages=2)
+    three_flop = TwoFlopSynchronizer(stages=3)
+    detector = PhaseDetectorScheme()
+    icnoc = ICNoCCrossing()
+    rows = [
+        ("2-flop synchronizer", two_flop.latency_cycles,
+         two_flop.mtbf_seconds(clock_ghz, data_rate_ghz), 0, 0.0),
+        ("3-flop synchronizer", three_flop.latency_cycles,
+         three_flop.mtbf_seconds(clock_ghz, data_rate_ghz), 0, 0.0),
+        ("phase detector [15][20][13]", detector.latency_cycles,
+         math.inf, detector.init_cycles, detector.area_overhead_mm2),
+        ("IC-NoC crossing", icnoc.latency_cycles,
+         icnoc.mtbf_seconds(clock_ghz, data_rate_ghz), icnoc.init_cycles,
+         icnoc.area_overhead_mm2),
+    ]
+    return rows
+
+
+def test_mesochronous_baselines(benchmark, log):
+    rows = benchmark(build_comparison)
+    by_name = {row[0]: row for row in rows}
+
+    log.add("EXP-MS", "2-flop added latency", 2.0,
+            by_name["2-flop synchronizer"][1], "cycles", tolerance=1e-6)
+    log.add("EXP-MS", "IC-NoC added latency", 0.0,
+            by_name["IC-NoC crossing"][1], "cycles", tolerance=1e-6)
+    assert log.all_match
+
+    # Who wins: the IC-NoC dominates on every axis.
+    icnoc = by_name["IC-NoC crossing"]
+    for name, latency, mtbf, init, area in rows:
+        if name == "IC-NoC crossing":
+            continue
+        assert icnoc[1] <= latency
+        assert icnoc[2] >= mtbf or math.isinf(icnoc[2])
+        assert icnoc[3] <= init
+        assert icnoc[4] <= area
+    # The 2-flop MTBF is finite (years, not forever) at these rates.
+    assert not math.isinf(by_name["2-flop synchronizer"][2])
+
+    def fmt_mtbf(seconds):
+        if math.isinf(seconds):
+            return "infinite"
+        years = seconds / (365.25 * 24 * 3600)
+        return f"{years:.1e} years"
+
+    print()
+    print(format_table(
+        ["crossing", "latency (cy)", "MTBF", "init (cy)",
+         "overhead (mm^2)"],
+        [[name, latency, fmt_mtbf(mtbf), init, area]
+         for name, latency, mtbf, init, area in rows],
+        title="Mesochronous crossing schemes @1 GHz (Section 2)",
+    ))

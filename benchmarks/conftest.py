@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one table or figure of the paper, prints a
+paper-vs-measured comparison (run with ``-s`` to see it), asserts the
+qualitative shape, and times the computation via pytest-benchmark.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentLog
+
+
+@pytest.fixture()
+def log():
+    """A fresh paper-vs-measured log; printed at the end of the test."""
+    experiment_log = ExperimentLog()
+    yield experiment_log
+    if experiment_log.comparisons:
+        print()
+        print(experiment_log.render())

@@ -1,0 +1,63 @@
+"""The Fig. 5 demonstrator: 32 processing tiles (processor + local memory
+each) on a 64-port binary-tree IC-NoC, running a closed-loop read-request
+workload with processor-over-network priority at the local memories.
+
+Run:  python examples/multiprocessor_demo.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.system import (
+    DemonstratorConfig,
+    DemonstratorSystem,
+    ProcessorConfig,
+)
+
+
+def main() -> None:
+    config = DemonstratorConfig(
+        tiles=32,
+        processor=ProcessorConfig(locality=0.8, request_rate=0.2,
+                                  max_outstanding=4),
+        memory_service_cycles=4,
+        memory_response_flits=4,
+        seed=2007,
+    )
+    system = DemonstratorSystem(config)
+    net = system.network
+    print(net.describe())
+    print(f"floorplan: {net.floorplan.chip_width_mm:.0f} x "
+          f"{net.floorplan.chip_height_mm:.0f} mm chip, "
+          f"{net.floorplan.total_link_length_mm():.0f} mm of links")
+    print()
+
+    print("running 2000 cycles of closed-loop memory traffic...")
+    results = system.run(cycles=2000)
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["transactions issued", results.requests_issued],
+            ["transactions completed", results.requests_completed],
+            ["local round-trip (mean cy)",
+             round(results.local_latency.mean, 1)],
+            ["local round-trip (p95 cy)",
+             round(results.local_latency.p95, 1)],
+            ["remote round-trip (mean cy)",
+             round(results.remote_latency.mean, 1)],
+            ["remote round-trip (p95 cy)",
+             round(results.remote_latency.p95, 1)],
+            ["network throughput (flits/cy)",
+             round(results.network_throughput_flits_per_cycle, 2)],
+            ["clock edges gated", f"{results.gating_ratio:.1%}"],
+        ],
+        title="Demonstrator run (32 tiles, locality 0.8)",
+    ))
+    print()
+    print("Local accesses cross a single 3x3 router both ways and enjoy")
+    print("fixed priority over network traffic into the memory port;")
+    print("remote accesses climb the tree. The gating ratio is register")
+    print("clock energy saved by the flow control's inherent clock gating.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: build the paper's demonstrator IC-NoC, check its timing,
+send packets, and read the reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ICNoC, ICNoCConfig, Packet
+
+
+def main() -> None:
+    # The defaults are the paper's demonstrator: 64 ports on a binary
+    # tree over a 10 mm x 10 mm chip, links segmented at <= 1.25 mm.
+    noc = ICNoC(ICNoCConfig())
+    print(noc.describe())
+    print()
+
+    # Timing safety (eqs. 1-7 of the paper) at the operating point and at
+    # the paper's quoted 1 GHz.
+    frequency = noc.operating_frequency_ghz()
+    report = noc.validate_timing(frequency=frequency)
+    print(f"timing at {frequency:.3f} GHz: "
+          f"{'PASS' if report.passed else 'FAIL'} "
+          f"(worst slack {report.worst_slack_ps:.0f} ps, "
+          f"{len(report.checks)} checks)")
+
+    # Send a few packets: a sibling pair (one 3x3 router away) and a
+    # worst-case cross-chip pair (11 routers).
+    noc.send(Packet(src=0, dest=1, payload=[0xDEAD, 0xBEEF]))
+    noc.send(Packet(src=0, dest=63, payload=[1, 2, 3, 4]))
+    noc.send(Packet(src=42, dest=17))
+    noc.network.drain(max_ticks=10_000)
+
+    print()
+    for packet in noc.network.delivered:
+        hops = noc.network.topology.hop_count(packet.src, packet.dest)
+        print(f"packet {packet.src:2d} -> {packet.dest:2d}: "
+              f"{packet.flit_count} flits, {hops:2d} routers, "
+              f"{packet.latency_cycles:5.1f} cycles")
+
+    area = noc.area_report()
+    print()
+    print(f"area: {area.describe()}")
+
+
+if __name__ == "__main__":
+    main()

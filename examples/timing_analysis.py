@@ -1,0 +1,70 @@
+"""Timing analysis walk-through: the paper's Section 4 equations and the
+Fig. 7 frequency/wire-length curve, rendered in the terminal.
+
+Run:  python examples/timing_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis.plots import ascii_plot
+from repro.analysis.tables import format_table
+from repro.tech import FF_90NM, TECH_90NM
+from repro.timing import (
+    downstream_window,
+    upstream_window,
+    pipeline_max_frequency,
+    max_segment_length,
+)
+from repro.units import half_period_ps
+
+
+def main() -> None:
+    # --- Equations (3)-(7): skew windows at a few clock rates ----------
+    rows = []
+    for f in (2.0, 1.4, 1.0, 0.5):
+        half = half_period_ps(f)
+        d_low, d_high = downstream_window(FF_90NM, half)
+        _, u_high = upstream_window(FF_90NM, half)
+        rows.append([f, round(d_low, 1), round(d_high, 1), round(u_high, 1)])
+    print(format_table(
+        ["f (GHz)", "delta_diff min", "delta_diff max", "delta_sum max"],
+        rows,
+        title="Skew tolerance windows (ps) — eq. (3) and (5)",
+    ))
+    print("At 1 GHz this is the paper's eq. (4): -540 < diff < 380 ps, and"
+          "\neq. (7): sum < 380 ps. Lower the clock and every window"
+          " widens:\ntiming is 'correct by construction'.")
+    print()
+
+    # --- The 190 ps wire budget of Section 4 ---------------------------
+    length = TECH_90NM.buffered_wire.length_for_delay(190.0)
+    print(f"eq. (7) split equally: 190 ps per wire -> {length:.2f} mm "
+          f"(paper: 'approximately a 1.5-2 mm wire')")
+    print()
+
+    # --- Fig. 7 ---------------------------------------------------------
+    lengths = list(np.linspace(0.0, 3.0, 61))
+    freqs = [pipeline_max_frequency(x) for x in lengths]
+    print(ascii_plot(lengths, freqs, x_label="wire length (mm)",
+                     y_label="f (GHz)",
+                     title="Fig. 7: pipeline frequency vs segment length"))
+    print()
+    anchors = [(0.0, 1.8), (0.6, 1.4), (0.9, 1.2), (1.25, 1.0)]
+    print(format_table(
+        ["length (mm)", "paper (GHz)", "model (GHz)"],
+        [[x, f_paper, round(pipeline_max_frequency(x), 3)]
+         for x, f_paper in anchors],
+        title="Anchor points",
+    ))
+    print()
+
+    # --- Optimal segment lengths (router/pipeline speed matching) ------
+    print("Matching pipeline and router speeds (Section 6):")
+    for ports, f_router in ((3, 1.4), (5, 1.2)):
+        segment = max_segment_length(f_router)
+        print(f"  {ports}x{ports} router at {f_router} GHz -> optimal "
+              f"segment {segment:.2f} mm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The runtime environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which need bdist_wheel) fail. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the classic
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

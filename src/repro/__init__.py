@@ -1,0 +1,47 @@
+"""repro: a reproduction of the IC-NoC (Bjerregaard et al., DATE 2007).
+
+"A Scalable, Timing-Safe, Network-on-Chip Architecture with an Integrated
+Clock Distribution Method" — a tree-topology NoC that distributes the
+clock along its own links, clocks neighbours on alternating edges so both
+setup and hold margins scale with the clock period, and runs a 2-phase
+valid/accept handshake that needs no stall buffers and gates clocks for
+free.
+
+Quick start::
+
+    from repro import ICNoC, ICNoCConfig, Packet
+
+    noc = ICNoC(ICNoCConfig(ports=64))
+    print(noc.describe())
+    report = noc.validate_timing(frequency=1.0)
+    assert report.passed
+
+Sub-packages: ``tech`` (process models), ``timing`` (eqs. 1-7 and
+validators), ``clocking`` (clock trees, variation, mesochronous
+baselines), ``sim`` (half-cycle kernel), ``noc`` (the network itself),
+``mesh`` (the baseline), ``traffic``, ``system`` (the 32-tile
+demonstrator), ``physical`` (area/energy/peak current), ``ext`` (the
+paper's future-work items), ``analysis`` (tables/plots/records).
+"""
+
+from repro.core.config import ICNoCConfig
+from repro.core.icnoc import ICNoC
+from repro.noc.packet import Packet
+from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.tech.technology import Technology, TECH_90NM
+from repro.system.demonstrator import DemonstratorConfig, DemonstratorSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ICNoC",
+    "ICNoCConfig",
+    "Packet",
+    "ICNoCNetwork",
+    "NetworkConfig",
+    "Technology",
+    "TECH_90NM",
+    "DemonstratorConfig",
+    "DemonstratorSystem",
+    "__version__",
+]

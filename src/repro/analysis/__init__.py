@@ -1,0 +1,25 @@
+"""Analysis helpers: tables, plots, records, sweeps, and the scorecard."""
+
+from repro.analysis.tables import format_table
+from repro.analysis.plots import ascii_plot
+from repro.analysis.experiments import PaperComparison, ExperimentLog
+from repro.analysis.sweeps import (
+    SweepResult,
+    sweep,
+    measure_offered_vs_accepted,
+    saturation_throughput,
+)
+from repro.analysis.scorecard import build_scorecard, render_scorecard
+
+__all__ = [
+    "format_table",
+    "ascii_plot",
+    "PaperComparison",
+    "ExperimentLog",
+    "SweepResult",
+    "sweep",
+    "measure_offered_vs_accepted",
+    "saturation_throughput",
+    "build_scorecard",
+    "render_scorecard",
+]

@@ -1,0 +1,79 @@
+"""Paper-vs-measured bookkeeping used by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One reproduced quantity.
+
+    Attributes:
+        experiment: experiment id from DESIGN.md (e.g. "EXP-F7").
+        quantity: human-readable description.
+        paper_value: the number the paper reports.
+        measured_value: what this reproduction computes.
+        unit: unit string for display.
+        tolerance: acceptable relative deviation for :attr:`matches`
+            (interpret qualitative claims with a generous tolerance).
+    """
+
+    experiment: str
+    quantity: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+    tolerance: float = 0.10
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_value == 0.0:
+            return abs(self.measured_value)
+        return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def matches(self) -> bool:
+        return self.relative_error <= self.tolerance
+
+    def row(self) -> list:
+        return [
+            self.experiment, self.quantity,
+            self.paper_value, self.measured_value, self.unit,
+            f"{self.relative_error:.1%}",
+            "OK" if self.matches else "DEVIATES",
+        ]
+
+
+@dataclass
+class ExperimentLog:
+    """Collects comparisons across one experiment run."""
+
+    comparisons: list[PaperComparison] = field(default_factory=list)
+
+    def add(self, experiment: str, quantity: str, paper_value: float,
+            measured_value: float, unit: str = "",
+            tolerance: float = 0.10) -> PaperComparison:
+        comparison = PaperComparison(
+            experiment=experiment, quantity=quantity,
+            paper_value=paper_value, measured_value=measured_value,
+            unit=unit, tolerance=tolerance,
+        )
+        self.comparisons.append(comparison)
+        return comparison
+
+    @property
+    def all_match(self) -> bool:
+        if not self.comparisons:
+            raise ConfigurationError("no comparisons recorded")
+        return all(c.matches for c in self.comparisons)
+
+    def render(self, title: str | None = None) -> str:
+        return format_table(
+            ["exp", "quantity", "paper", "measured", "unit", "err", "status"],
+            [c.row() for c in self.comparisons],
+            title=title,
+        )

@@ -1,0 +1,44 @@
+"""ASCII line plots, for reproducing figures in a terminal."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def ascii_plot(xs: Sequence[float], ys: Sequence[float],
+               width: int = 64, height: int = 16,
+               x_label: str = "x", y_label: str = "y",
+               title: str | None = None) -> str:
+    """Scatter/line plot of one series using character cells.
+
+    Used by the examples to render Fig. 7-style curves without any
+    plotting dependency.
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must have equal length")
+    if not xs:
+        raise ConfigurationError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ConfigurationError("plot too small")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_min:<10.3g}{x_label:^{max(0, width - 20)}}"
+                 f"{x_max:>10.3g}")
+    lines.append(" " * 12 + f"({y_label} vs {x_label})")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Parameter sweeps and saturation analysis.
+
+Generic helpers used by the ablation benches and examples: sweep a factory
+over one parameter, collect per-point records, and locate a network's
+saturation throughput (the standard NoC metric: the offered load beyond
+which accepted throughput stops tracking offered load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.base import TrafficGenerator, apply_traffic
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated parameter value."""
+
+    parameter: Any
+    metrics: dict[str, float]
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep, in evaluation order."""
+
+    name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def series(self, metric: str) -> tuple[list[Any], list[float]]:
+        """(parameter values, metric values) suitable for plotting."""
+        xs = [p.parameter for p in self.points]
+        ys = []
+        for point in self.points:
+            if metric not in point.metrics:
+                raise ConfigurationError(
+                    f"metric {metric!r} missing at {point.parameter!r}"
+                )
+            ys.append(point.metrics[metric])
+        return xs, ys
+
+
+def sweep(name: str, values: list[Any],
+          evaluate: Callable[[Any], dict[str, float]]) -> SweepResult:
+    """Evaluate ``evaluate(value)`` for every value, collecting metrics."""
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    result = SweepResult(name=name)
+    for value in values:
+        result.points.append(SweepPoint(parameter=value,
+                                        metrics=evaluate(value)))
+    return result
+
+
+def measure_offered_vs_accepted(network_factory: Callable[[], Any],
+                                generator_factory: Callable[[float], TrafficGenerator],
+                                load: float, cycles: int = 300,
+                                seed: int = 0) -> dict[str, float]:
+    """Run one load point; report offered/accepted throughput and latency.
+
+    Accepted throughput is measured over the injection window only (not
+    the drain), which is what saturates; delivery of the backlog is still
+    verified via the drain.
+    """
+    if not 0.0 < load <= 1.0:
+        raise ConfigurationError("load must be in (0, 1]")
+    net = network_factory()
+    gen = generator_factory(load)
+    schedule = gen.generate(cycles, np.random.default_rng(seed))
+    ports = gen.ports
+    # Inject just-in-time, sampling delivered flits at the window end.
+    by_cycle: dict[int, list] = {}
+    for injection in schedule:
+        by_cycle.setdefault(injection.cycle, []).append(injection)
+    for cycle in range(cycles):
+        for injection in by_cycle.get(cycle, []):
+            net.send(injection.to_packet())
+        net.run_ticks(2)
+    accepted = net.stats.flits_delivered / cycles / ports
+    offered = sum(i.size_flits for i in schedule) / cycles / ports
+    drained = net.drain(max_ticks=500_000)
+    latency = net.stats.latency.mean if net.stats.latencies_cycles else 0.0
+    return {
+        "offered": offered,
+        "accepted_in_window": accepted,
+        "mean_latency_cycles": latency,
+        "drained": float(drained),
+    }
+
+
+def saturation_throughput(network_factory: Callable[[], Any],
+                          generator_factory: Callable[[float], TrafficGenerator],
+                          loads: list[float] | None = None,
+                          cycles: int = 300,
+                          efficiency_floor: float = 0.9) -> float:
+    """Highest offered load still delivered at >= ``efficiency_floor``.
+
+    Sweeps the offered load upward; saturation is declared at the first
+    point whose in-window accepted throughput falls below the floor times
+    the offered load, and the previous load is returned.
+    """
+    if loads is None:
+        loads = [0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.55, 0.70, 0.85]
+    last_good = 0.0
+    for load in loads:
+        metrics = measure_offered_vs_accepted(
+            network_factory, generator_factory, load, cycles
+        )
+        if metrics["accepted_in_window"] < efficiency_floor * metrics["offered"]:
+            return last_good
+        last_good = load
+    return last_good

@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``info``      — describe an IC-NoC instance (structure, f_max, area);
+* ``validate``  — run the eq. (1)-(7) timing checks at a frequency;
+* ``fig7``      — print the Fig. 7 frequency/wire-length curve;
+* ``traffic``   — run a synthetic workload and print the statistics;
+* ``demo``      — run the 32-tile demonstrator system;
+* ``corners``   — operating frequency per process corner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.plots import ascii_plot
+from repro.analysis.tables import format_table
+from repro.core.config import ICNoCConfig
+from repro.core.icnoc import ICNoC
+from repro.system.demonstrator import DemonstratorConfig, DemonstratorSystem
+from repro.tech.corners import corner_frequency_table
+from repro.timing.frequency import pipeline_max_frequency
+from repro.traffic.patterns import NeighbourTraffic, UniformRandom
+
+
+def _add_network_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ports", type=int, default=64,
+                        help="network ports (power of the arity)")
+    parser.add_argument("--topology", choices=("binary", "quad"),
+                        default="binary")
+    parser.add_argument("--chip-mm", type=float, default=10.0,
+                        help="square chip edge length in mm")
+    parser.add_argument("--segment-mm", type=float, default=1.25,
+                        help="maximum pipeline segment length")
+
+
+def _config_from(args: argparse.Namespace) -> ICNoCConfig:
+    return ICNoCConfig(
+        ports=args.ports, topology=args.topology,
+        chip_width_mm=args.chip_mm, chip_height_mm=args.chip_mm,
+        max_segment_mm=args.segment_mm,
+    )
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    noc = ICNoC(_config_from(args))
+    print(noc.describe())
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    noc = ICNoC(_config_from(args))
+    frequency = args.frequency or noc.operating_frequency_ghz()
+    report = noc.validate_timing(frequency=frequency)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    lengths = list(np.linspace(0.0, args.max_length, args.points))
+    freqs = [pipeline_max_frequency(x) for x in lengths]
+    print(ascii_plot(lengths, freqs, x_label="wire length (mm)",
+                     y_label="f (GHz)",
+                     title="Fig. 7: frequency vs segment length"))
+    return 0
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    noc = ICNoC(_config_from(args))
+    if args.pattern == "uniform":
+        generator = UniformRandom(args.ports, args.load,
+                                  size_flits=args.flits)
+    else:
+        generator = NeighbourTraffic(args.ports, args.load,
+                                     size_flits=args.flits,
+                                     locality=args.locality)
+    stats = noc.run_traffic(generator, cycles=args.cycles, seed=args.seed)
+    print(stats.describe())
+    return 0 if stats.packets_delivered == stats.packets_injected else 1
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    system = DemonstratorSystem(DemonstratorConfig(tiles=args.tiles,
+                                                   seed=args.seed))
+    results = system.run(cycles=args.cycles)
+    print(results.describe())
+    return 0 if results.requests_completed == results.requests_issued else 1
+
+
+def cmd_corners(args: argparse.Namespace) -> int:
+    rows = corner_frequency_table()
+    print(format_table(
+        ["corner", "delay factor", "pipeline@1.25mm (GHz)", "3x3 (GHz)"],
+        [[r["corner"], r["delay_factor"],
+          round(r["pipeline_1_25mm_ghz"], 3),
+          round(r["router_3x3_ghz"], 3)] for r in rows],
+        title="Operating frequency per process corner",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IC-NoC reproduction (Bjerregaard et al., DATE 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a network instance")
+    _add_network_options(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_val = sub.add_parser("validate", help="run the timing checks")
+    _add_network_options(p_val)
+    p_val.add_argument("--frequency", type=float, default=None,
+                       help="GHz (default: the operating point)")
+    p_val.set_defaults(func=cmd_validate)
+
+    p_fig = sub.add_parser("fig7", help="print the Fig. 7 curve")
+    p_fig.add_argument("--max-length", type=float, default=3.0)
+    p_fig.add_argument("--points", type=int, default=61)
+    p_fig.set_defaults(func=cmd_fig7)
+
+    p_tr = sub.add_parser("traffic", help="run a synthetic workload")
+    _add_network_options(p_tr)
+    p_tr.add_argument("--pattern", choices=("uniform", "neighbour"),
+                      default="uniform")
+    p_tr.add_argument("--load", type=float, default=0.1)
+    p_tr.add_argument("--locality", type=float, default=0.8)
+    p_tr.add_argument("--flits", type=int, default=1)
+    p_tr.add_argument("--cycles", type=int, default=300)
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.set_defaults(func=cmd_traffic)
+
+    p_demo = sub.add_parser("demo", help="run the 32-tile demonstrator")
+    p_demo.add_argument("--tiles", type=int, default=32)
+    p_demo.add_argument("--cycles", type=int, default=1000)
+    p_demo.add_argument("--seed", type=int, default=2007)
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_cor = sub.add_parser("corners", help="frequency per process corner")
+    p_cor.set_defaults(func=cmd_corners)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""The forwarded clock tree: insertion delays, polarities and skew.
+
+In the IC-NoC the clock is not balanced; it simply rides along the NoC
+links, being reconditioned (and inverted — Fig. 6 of the paper) at every
+pipeline stage and router stage. Two consequences modelled here:
+
+* each clocked element has a **polarity** (which edge of the root clock it
+  effectively triggers on), alternating hop by hop;
+* the **skew** between two elements equals the difference of their clock
+  insertion delays — fully determined by local segment delays, which is why
+  timing can be validated link-by-link (the scalability argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, TopologyError
+
+
+@dataclass
+class ClockTreeNode:
+    """One clocked element in the distribution tree.
+
+    Attributes:
+        name: unique identifier.
+        parent: parent node name, or None for the root.
+        segment_delay_ps: clock flight time from the parent to this node.
+        inverts: whether this hop inverts the clock (True for every pipeline
+            hop in the IC-NoC; False for same-phase fanout stubs).
+    """
+
+    name: str
+    parent: str | None = None
+    segment_delay_ps: float = 0.0
+    inverts: bool = True
+    children: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.segment_delay_ps < 0.0:
+            raise ConfigurationError("segment delay must be >= 0")
+
+
+class ClockTree:
+    """A rooted tree of :class:`ClockTreeNode` with delay/polarity queries."""
+
+    def __init__(self, root_name: str = "root"):
+        root = ClockTreeNode(name=root_name, parent=None,
+                             segment_delay_ps=0.0, inverts=False)
+        self._nodes: dict[str, ClockTreeNode] = {root_name: root}
+        self._root_name = root_name
+
+    @property
+    def root(self) -> ClockTreeNode:
+        return self._nodes[self._root_name]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> ClockTreeNode:
+        if name not in self._nodes:
+            raise TopologyError(f"unknown clock node {name!r}")
+        return self._nodes[name]
+
+    def add(self, name: str, parent: str, segment_delay_ps: float,
+            inverts: bool = True) -> ClockTreeNode:
+        """Attach a new node under ``parent``."""
+        if name in self._nodes:
+            raise TopologyError(f"duplicate clock node {name!r}")
+        parent_node = self.node(parent)
+        node = ClockTreeNode(name=name, parent=parent,
+                             segment_delay_ps=segment_delay_ps,
+                             inverts=inverts)
+        self._nodes[name] = node
+        parent_node.children.append(name)
+        return node
+
+    def insertion_delay(self, name: str) -> float:
+        """Total clock flight time from the root to ``name`` (ps)."""
+        delay = 0.0
+        node = self.node(name)
+        while node.parent is not None:
+            delay += node.segment_delay_ps
+            node = self.node(node.parent)
+        return delay
+
+    def polarity(self, name: str) -> int:
+        """Effective clock polarity: 0 = root phase, 1 = inverted.
+
+        Counts the inverting hops from the root. Adjacent elements along an
+        IC-NoC path always differ by one inversion, hence alternate edges.
+        """
+        inversions = 0
+        node = self.node(name)
+        while node.parent is not None:
+            if node.inverts:
+                inversions += 1
+            node = self.node(node.parent)
+        return inversions % 2
+
+    def skew(self, a: str, b: str) -> float:
+        """Clock arrival difference ``t(a) - t(b)`` in ps."""
+        return self.insertion_delay(a) - self.insertion_delay(b)
+
+    def depth(self, name: str) -> int:
+        """Number of hops from the root."""
+        hops = 0
+        node = self.node(name)
+        while node.parent is not None:
+            hops += 1
+            node = self.node(node.parent)
+        return hops
+
+    def names(self) -> list[str]:
+        return list(self._nodes)
+
+    def leaves(self) -> list[str]:
+        return [name for name, node in self._nodes.items() if not node.children]
+
+    def arrival_times(self) -> dict[str, float]:
+        """Insertion delay of every node — used by the peak-current model."""
+        return {name: self.insertion_delay(name) for name in self._nodes}
+
+    def max_skew(self) -> float:
+        """Largest pairwise skew across the whole tree.
+
+        Note this *global* number is irrelevant for IC-NoC correctness (only
+        per-hop skew matters); it is reported to contrast with balanced-tree
+        design where it is the quantity that must be minimised.
+        """
+        arrivals = list(self.arrival_times().values())
+        return max(arrivals) - min(arrivals)
+
+    def validate_alternation(self) -> None:
+        """Check every parent-child pair differs in polarity when inverting.
+
+        Raises :class:`TopologyError` on an inconsistent tree (e.g. a
+        non-inverting hop followed by elements that assume alternation).
+        """
+        for name, node in self._nodes.items():
+            if node.parent is None:
+                continue
+            parent_pol = self.polarity(node.parent)
+            expected = parent_pol ^ (1 if node.inverts else 0)
+            if self.polarity(name) != expected:
+                raise TopologyError(f"polarity inconsistency at {name!r}")

@@ -1,0 +1,131 @@
+"""Conventional mesochronous crossing schemes — the Section 2 baselines.
+
+In the general mesochronous case nothing is known about the phase between
+two domains, so crossings either risk metastability or pay for avoiding it:
+
+* :class:`TwoFlopSynchronizer` — the brute-force double flip-flop. Adds a
+  fixed latency and still has a finite mean time between failures (MTBF),
+  modelled with the standard exponential resolution formula.
+* :class:`PhaseDetectorScheme` — the delay-adjusting schemes of the paper's
+  refs [15] (data-path delay), [20] (clock delay) and [13] (edge
+  selection). Deterministic after an initialization phase, but pay circuit
+  overhead for phase detection.
+* :class:`ICNoCCrossing` — the paper's contribution: because the phase
+  relation between adjacent nodes is *known by construction* (the clock is
+  forwarded along the data path), transfers are plain alternating-edge
+  register-to-register moves: zero added latency, no metastability, no
+  initialization, negligible overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TwoFlopSynchronizer:
+    """Double-flop synchronizer model.
+
+    Attributes:
+        stages: number of synchronizing flip-flops (>= 1).
+        tau_ps: metastability resolution time constant of the flop.
+        t_window_ps: metastability capture window (T0 in the MTBF formula).
+    """
+
+    stages: int = 2
+    tau_ps: float = 20.0
+    t_window_ps: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ConfigurationError("synchronizer needs >= 1 stage")
+        if self.tau_ps <= 0.0 or self.t_window_ps <= 0.0:
+            raise ConfigurationError("tau and window must be positive")
+
+    @property
+    def latency_cycles(self) -> float:
+        """Added forward latency in clock cycles (one per extra flop)."""
+        return float(self.stages)
+
+    def mtbf_seconds(self, clock_ghz: float, data_rate_ghz: float,
+                     resolution_time_ps: float | None = None) -> float:
+        """Mean time between synchronization failures, in seconds.
+
+        ``MTBF = exp(t_res / tau) / (T0 * f_clk * f_data)`` with the
+        resolution time defaulting to the slack available: (stages - 1)
+        clock periods.
+        """
+        if clock_ghz <= 0.0 or data_rate_ghz <= 0.0:
+            raise ConfigurationError("rates must be positive")
+        if resolution_time_ps is None:
+            resolution_time_ps = (self.stages - 1) * 1000.0 / clock_ghz
+        exponent = resolution_time_ps / self.tau_ps
+        # Rates in GHz = 1e9/s; window in ps = 1e-12 s.
+        event_rate_per_s = (self.t_window_ps * 1e-12) * \
+            (clock_ghz * 1e9) * (data_rate_ghz * 1e9)
+        if event_rate_per_s == 0.0:
+            return math.inf
+        try:
+            return math.exp(exponent) / event_rate_per_s
+        except OverflowError:
+            return math.inf
+
+    def failure_probability_per_transfer(self, clock_ghz: float) -> float:
+        """Probability one transfer resolves metastably past its slack."""
+        resolution_time_ps = (self.stages - 1) * 1000.0 / clock_ghz
+        p_enter = self.t_window_ps * clock_ghz / 1000.0  # window / period
+        return min(1.0, p_enter * math.exp(-resolution_time_ps / self.tau_ps))
+
+
+@dataclass(frozen=True)
+class PhaseDetectorScheme:
+    """Delay-adjusting mesochronous schemes (paper refs [15], [20], [13]).
+
+    Attributes:
+        init_cycles: length of the initialization/training phase.
+        area_overhead_mm2: phase-detection circuitry per crossing.
+        latency_cycles: steady-state added latency.
+        reinit_on_drift: whether voltage/temperature drift forces re-training.
+    """
+
+    init_cycles: int = 64
+    area_overhead_mm2: float = 0.002
+    latency_cycles: float = 0.5
+    reinit_on_drift: bool = True
+
+    def __post_init__(self) -> None:
+        if self.init_cycles < 0:
+            raise ConfigurationError("init_cycles must be >= 0")
+        if self.area_overhead_mm2 < 0.0:
+            raise ConfigurationError("area overhead must be >= 0")
+
+    def total_latency_cycles(self, transfers: int) -> float:
+        """Amortised latency including the training phase."""
+        if transfers <= 0:
+            raise ConfigurationError("transfers must be positive")
+        return self.latency_cycles + self.init_cycles / transfers
+
+
+@dataclass(frozen=True)
+class ICNoCCrossing:
+    """The paper's integrated-clocking crossing.
+
+    Phase relations are known by construction, so the crossing is an
+    ordinary alternating-edge transfer: deterministic, zero extra latency
+    beyond the pipeline stage itself, no initialization, and the only
+    overhead is the (already counted) pipeline-stage control.
+    """
+
+    latency_cycles: float = 0.0
+    init_cycles: int = 0
+    area_overhead_mm2: float = 0.0
+
+    def mtbf_seconds(self, clock_ghz: float, data_rate_ghz: float) -> float:
+        """Infinite: transfers never sample inside a switching window as long
+        as the link-level timing constraints (eqs. 1-7) hold."""
+        if clock_ghz <= 0.0 or data_rate_ghz <= 0.0:
+            raise ConfigurationError("rates must be positive")
+        return math.inf

@@ -1,0 +1,99 @@
+"""Process-variation Monte Carlo for the graceful-degradation experiments.
+
+The paper's claim: *"its timing can be made robust under any amount of
+performance variability, by lowering the clock frequency"*. To exercise it
+we perturb every channel delay with a systematic (die-level) component and a
+random (within-die) component, then ask the timing solver for the maximum
+safe frequency of the perturbed instance.
+
+Delays are multiplied by log-normal factors so they remain positive for any
+sigma — matching how delay variability is usually reported (a fractional
+sigma of the nominal delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.timing.validator import ChannelSpec
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Die-level + within-die multiplicative delay variation.
+
+    Attributes:
+        systematic_sigma: fractional sigma of the shared die-level factor
+            (affects all delays of one sample equally).
+        random_sigma: fractional sigma of the per-delay independent factor.
+    """
+
+    systematic_sigma: float = 0.0
+    random_sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.systematic_sigma < 0.0 or self.random_sigma < 0.0:
+            raise ConfigurationError("variation sigmas must be >= 0")
+
+    def _lognormal(self, rng: np.random.Generator, sigma: float,
+                   size: int | None = None):
+        if sigma == 0.0:
+            return 1.0 if size is None else np.ones(size)
+        # Parametrise so the *mean* of the factor is 1.0.
+        mu = -0.5 * np.log1p(sigma * sigma)
+        s = np.sqrt(np.log1p(sigma * sigma))
+        return rng.lognormal(mean=mu, sigma=s, size=size)
+
+    def sample_factors(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` multiplicative delay factors for one die sample."""
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        die = float(self._lognormal(rng, self.systematic_sigma))
+        local = self._lognormal(rng, self.random_sigma, size=count)
+        return die * np.asarray(local)
+
+
+def perturb_channels(specs: list[ChannelSpec], model: VariationModel,
+                     rng: np.random.Generator) -> list[ChannelSpec]:
+    """One Monte Carlo sample: every delay scaled by an independent factor.
+
+    Clock, data and accept delays of a channel vary independently — the
+    pessimistic assumption, since correlated variation cancels out of
+    ``delta_diff`` (the paper's point that the clock "is correlated with the
+    delay of the data" is what makes real instances *easier* than this).
+    """
+    factors = model.sample_factors(3 * len(specs), rng)
+    perturbed = []
+    for i, spec in enumerate(specs):
+        f_clk, f_data, f_acc = factors[3 * i: 3 * i + 3]
+        perturbed.append(ChannelSpec(
+            name=spec.name,
+            clock_delay_ps=spec.clock_delay_ps * f_clk,
+            data_delay_ps=spec.data_delay_ps * f_data,
+            accept_delay_ps=spec.accept_delay_ps * f_acc,
+        ))
+    return perturbed
+
+
+def perturb_channels_correlated(specs: list[ChannelSpec],
+                                model: VariationModel,
+                                rng: np.random.Generator) -> list[ChannelSpec]:
+    """Variant where clock and data of one channel share their factor.
+
+    Models the IC-NoC layout practice of routing the clock alongside the
+    data wires, which correlates their variation and tightens delta_diff.
+    """
+    factors = model.sample_factors(2 * len(specs), rng)
+    perturbed = []
+    for i, spec in enumerate(specs):
+        f_shared, f_acc = factors[2 * i: 2 * i + 2]
+        perturbed.append(ChannelSpec(
+            name=spec.name,
+            clock_delay_ps=spec.clock_delay_ps * f_shared,
+            data_delay_ps=spec.data_delay_ps * f_shared,
+            accept_delay_ps=spec.accept_delay_ps * f_acc,
+        ))
+    return perturbed

@@ -1,0 +1,19 @@
+"""Top-level facade: build, validate and operate an IC-NoC in one place."""
+
+from repro.core.config import ICNoCConfig
+from repro.core.icnoc import ICNoC
+from repro.core.degradation import (
+    DegradationPoint,
+    graceful_degradation_curve,
+    timing_yield,
+    synchronous_yield,
+)
+
+__all__ = [
+    "ICNoCConfig",
+    "ICNoC",
+    "DegradationPoint",
+    "graceful_degradation_curve",
+    "timing_yield",
+    "synchronous_yield",
+]

@@ -1,0 +1,18 @@
+"""Extensions: the paper's Section 7 future-work items, modelled.
+
+* latch-based pipeline stages (area/power reduction),
+* non-tree topologies: ring shortcut links bridged with conventional
+  mesochronous synchronizers,
+* weighted skew for temporal spreading of the supply current surge
+  (the model itself lives in :mod:`repro.physical.peak_current`).
+"""
+
+from repro.ext.latch_stage import LatchStageModel, latch_savings_table
+from repro.ext.ring_links import RingAugmentedTree, ShortcutLink
+
+__all__ = [
+    "LatchStageModel",
+    "latch_savings_table",
+    "RingAugmentedTree",
+    "ShortcutLink",
+]

@@ -1,0 +1,104 @@
+"""Latch-based pipeline stages (future work item 1).
+
+"The 2-phase flow control scheme can be modified to allow the use of
+latches instead of edge triggered registers. This will reduce the area as
+well as the power consumption" (Section 7).
+
+A master-slave flip-flop is two latches back to back; a transparent-latch
+pipeline needs only one latch per stage, so the register bank roughly
+halves. Control logic stays, so the full stage shrinks less than 2x. The
+clock pin count halves as well. Timing: a latch's D-to-Q transparency
+replaces the tclk->Q + tsetup sequencing overhead with its own d_to_q
+delay, and level sensitivity allows slack passing (time borrowing) between
+adjacent half-period stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import Technology, TECH_90NM
+from repro.units import frequency_from_half_period
+
+
+@dataclass(frozen=True)
+class LatchStageModel:
+    """Latch-based variant of the pipeline stage.
+
+    Attributes:
+        register_area_fraction: share of the FF stage area that is the
+            register bank (the rest is flow-control logic and buffers).
+        latch_vs_ff_area: area of a latch bank relative to a FF bank (0.5
+            for the two-latches-per-FF argument).
+        latch_d_to_q_ps: latch transparency delay, replacing the FF's
+            clk->Q + setup overhead on the critical path.
+        clock_cap_fraction: latch clock-pin capacitance relative to a FF's.
+    """
+
+    register_area_fraction: float = 0.60
+    latch_vs_ff_area: float = 0.5
+    latch_d_to_q_ps: float = 45.0
+    clock_cap_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("register_area_fraction", "latch_vs_ff_area",
+                     "clock_cap_fraction"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1]")
+        if self.latch_d_to_q_ps < 0.0:
+            raise ConfigurationError("latch_d_to_q_ps must be >= 0")
+
+    def stage_area_mm2(self, tech: Technology = TECH_90NM) -> float:
+        """Area of a latch-based stage (32-bit)."""
+        ff_area = tech.stage_area_mm2()
+        register = ff_area * self.register_area_fraction
+        control = ff_area - register
+        return control + register * self.latch_vs_ff_area
+
+    def area_saving_fraction(self, tech: Technology = TECH_90NM) -> float:
+        return 1.0 - self.stage_area_mm2(tech) / tech.stage_area_mm2()
+
+    def clock_power_saving_fraction(self) -> float:
+        """Register clock-pin power saved per stage."""
+        return 1.0 - self.clock_cap_fraction
+
+    def pipeline_half_period_ps(self, length_mm: float,
+                                tech: Technology = TECH_90NM) -> float:
+        """Critical half-period of a latch-based pipeline segment.
+
+        The FF sequencing overhead (clk->Q + setup) is replaced by the
+        latch transparency delay; logic and wire terms are unchanged.
+        """
+        ff_overhead = tech.register.sequencing_overhead
+        ff_half = (tech.pipeline_base_half_period_ps
+                   + 2.0 * tech.buffered_wire.delay(length_mm))
+        return ff_half - ff_overhead + self.latch_d_to_q_ps
+
+    def pipeline_max_frequency(self, length_mm: float,
+                               tech: Technology = TECH_90NM) -> float:
+        return frequency_from_half_period(
+            self.pipeline_half_period_ps(length_mm, tech)
+        )
+
+
+def latch_savings_table(stage_count: int, tech: Technology = TECH_90NM,
+                        model: LatchStageModel | None = None
+                        ) -> dict[str, float]:
+    """Network-level savings of switching all stages to latches."""
+    if stage_count < 0:
+        raise ConfigurationError("stage_count must be >= 0")
+    if model is None:
+        model = LatchStageModel()
+    ff_area = stage_count * tech.stage_area_mm2()
+    latch_area = stage_count * model.stage_area_mm2(tech)
+    return {
+        "stages": float(stage_count),
+        "ff_area_mm2": ff_area,
+        "latch_area_mm2": latch_area,
+        "area_saving_mm2": ff_area - latch_area,
+        "area_saving_fraction": model.area_saving_fraction(tech),
+        "clock_power_saving_fraction": model.clock_power_saving_fraction(),
+        "f_max_head_to_head_ghz": model.pipeline_max_frequency(0.0, tech),
+    }

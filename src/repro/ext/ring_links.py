@@ -1,0 +1,126 @@
+"""Ring shortcut links across the tree (future work item 2).
+
+"We plan to introduce non-tree topologies by breaking rings using
+traditional mesochronous communication methods. This allows for much more
+flexibility while still leveraging the advantages of the presented
+architecture along the underlying tree" (Section 7).
+
+A shortcut connects two leaves in *different* subtrees. Because the
+integrated clock only guarantees phase relations along tree branches, a
+shortcut crossing is a general mesochronous crossing and needs a
+conventional synchronizer (:class:`~repro.clocking.mesochronous
+.TwoFlopSynchronizer`), paying its latency. Routing picks, per
+source/destination pair, the cheaper of the pure tree path and the best
+path through one shortcut. The model is analytical (latency algebra over
+the calibrated router/link delays), matching how the paper discusses the
+extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocking.mesochronous import TwoFlopSynchronizer
+from repro.errors import TopologyError
+from repro.noc.topology import TreeTopology
+
+
+@dataclass(frozen=True)
+class ShortcutLink:
+    """A bidirectional leaf-to-leaf shortcut with synchronized crossing."""
+
+    leaf_a: int
+    leaf_b: int
+    synchronizer: TwoFlopSynchronizer = TwoFlopSynchronizer()
+
+    @property
+    def crossing_latency_cycles(self) -> float:
+        return self.synchronizer.latency_cycles
+
+
+class RingAugmentedTree:
+    """A tree topology plus mesochronous shortcut links.
+
+    Latency model: every router traversal costs ``router_cycles`` (1.5 for
+    3x3), every shortcut costs its synchronizer latency plus one cycle of
+    wire. Hop-count-level, like the paper's own Section 3 arithmetic.
+    """
+
+    def __init__(self, topology: TreeTopology,
+                 shortcuts: list[ShortcutLink],
+                 router_cycles: float = 1.5,
+                 shortcut_wire_cycles: float = 1.0):
+        for link in shortcuts:
+            for leaf in (link.leaf_a, link.leaf_b):
+                if not 0 <= leaf < topology.leaves:
+                    raise TopologyError(f"shortcut uses unknown leaf {leaf}")
+            if link.leaf_a == link.leaf_b:
+                raise TopologyError("shortcut must join two distinct leaves")
+        self.topology = topology
+        self.shortcuts = shortcuts
+        self.router_cycles = router_cycles
+        self.shortcut_wire_cycles = shortcut_wire_cycles
+        self.shortcut_uses = 0
+        self.tree_uses = 0
+
+    @staticmethod
+    def neighbour_ring(topology: TreeTopology,
+                       synchronizer: TwoFlopSynchronizer | None = None
+                       ) -> "RingAugmentedTree":
+        """Shortcuts between consecutive leaves in different subtrees.
+
+        Adds a link (2k+1, 2k+2) wherever those leaves are geometric
+        neighbours but tree-distant — the worst case the paper's Section 3
+        concedes ("data needs to be routed to the very root of the tree, in
+        order to get to a destination quite close geographically").
+        """
+        if synchronizer is None:
+            synchronizer = TwoFlopSynchronizer()
+        shortcuts = []
+        for leaf in range(1, topology.leaves - 1, 2):
+            if topology.hop_count(leaf, leaf + 1) > 1:
+                shortcuts.append(ShortcutLink(leaf, leaf + 1, synchronizer))
+        return RingAugmentedTree(topology, shortcuts)
+
+    def tree_latency_cycles(self, src: int, dest: int) -> float:
+        """Pure tree-path latency."""
+        return self.topology.hop_count(src, dest) * self.router_cycles
+
+    def latency_cycles(self, src: int, dest: int) -> float:
+        """Best latency using at most one shortcut; records which won."""
+        best = self.tree_latency_cycles(src, dest)
+        used_shortcut = False
+        for link in self.shortcuts:
+            for a, b in ((link.leaf_a, link.leaf_b),
+                         (link.leaf_b, link.leaf_a)):
+                cost = link.crossing_latency_cycles + self.shortcut_wire_cycles
+                if src != a:
+                    cost += self.tree_latency_cycles(src, a)
+                if b != dest:
+                    cost += self.tree_latency_cycles(b, dest)
+                if cost < best:
+                    best = cost
+                    used_shortcut = True
+        if used_shortcut:
+            self.shortcut_uses += 1
+        else:
+            self.tree_uses += 1
+        return best
+
+    def average_latency_cycles(self, pairs: list[tuple[int, int]]) -> float:
+        if not pairs:
+            raise TopologyError("need at least one pair")
+        return sum(self.latency_cycles(s, d) for s, d in pairs) / len(pairs)
+
+    def adjacent_pair_improvement(self) -> dict[str, float]:
+        """Latency with/without shortcuts for consecutive-leaf pairs."""
+        pairs = [(leaf, leaf + 1) for leaf in range(self.topology.leaves - 1)]
+        tree_only = sum(self.tree_latency_cycles(s, d)
+                        for s, d in pairs) / len(pairs)
+        augmented = self.average_latency_cycles(pairs)
+        return {
+            "pairs": float(len(pairs)),
+            "tree_only_cycles": tree_only,
+            "augmented_cycles": augmented,
+            "speedup": tree_only / augmented,
+        }

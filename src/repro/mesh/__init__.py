@@ -1,0 +1,24 @@
+"""Baseline mesh NoC: the architecture the paper's tree is compared against.
+
+A conventional globally synchronous 2-D mesh with XY (dimension-order)
+wormhole routing, input FIFOs and credit-based flow control — the stall
+buffers and single-edge clocking the IC-NoC gets rid of. Used by the
+tree-vs-mesh experiments (hops, area, energy, latency-vs-load).
+"""
+
+from repro.mesh.topology import MeshTopology
+from repro.mesh.network import MeshNetwork, MeshConfig
+from repro.mesh.comparison import (
+    tree_mesh_hop_table,
+    tree_mesh_area_table,
+    tree_mesh_energy_table,
+)
+
+__all__ = [
+    "MeshTopology",
+    "MeshNetwork",
+    "MeshConfig",
+    "tree_mesh_hop_table",
+    "tree_mesh_area_table",
+    "tree_mesh_energy_table",
+]

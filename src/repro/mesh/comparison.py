@@ -1,0 +1,164 @@
+"""Tree-vs-mesh structural comparison tables (paper Section 3 claims).
+
+Claims reproduced here:
+
+* worst-case hops: tree ``2*log2(N) - 1`` vs mesh ``~2*sqrt(N)``;
+* the tree has fewer routers ((N-1) shared vs N dedicated), hence lower
+  area and leakage;
+* neighbouring cores in a binary tree communicate through a single 3x3
+  router;
+* per-flit energy favours the tree (after Lee [12]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mesh.topology import MeshTopology
+from repro.noc.floorplan import floorplan_for
+from repro.noc.topology import TreeTopology
+from repro.physical.area import mesh_noc_area, tree_noc_area
+from repro.physical.power import (
+    average_flit_energy_mesh_local_pj,
+    average_flit_energy_mesh_pj,
+    average_flit_energy_tree_local_pj,
+    average_flit_energy_tree_pj,
+    energy_crossover_locality,
+)
+from repro.tech.technology import Technology, TECH_90NM
+
+#: Locality used for the clustered-traffic energy comparison (the paper's
+#: application-mapping assumption).
+DEFAULT_LOCALITY = 0.8
+
+
+@dataclass(frozen=True)
+class TopologyComparison:
+    """One N in the tree-vs-mesh sweep."""
+
+    ports: int
+    tree_worst_hops: int
+    tree_paper_formula: int      # 2*log2(N) - 1
+    mesh_worst_hops: int
+    mesh_paper_formula: float    # 2*sqrt(N)
+    tree_avg_hops: float
+    mesh_avg_hops: float
+    tree_routers: int
+    mesh_routers: int
+    tree_area_mm2: float
+    mesh_area_mm2: float
+    tree_energy_pj: float
+    mesh_energy_pj: float
+    tree_energy_local_pj: float
+    mesh_energy_local_pj: float
+
+    @property
+    def tree_wins_hops(self) -> bool:
+        return self.tree_worst_hops < self.mesh_worst_hops
+
+    @property
+    def tree_wins_area(self) -> bool:
+        return self.tree_area_mm2 < self.mesh_area_mm2
+
+    @property
+    def tree_wins_energy_local(self) -> bool:
+        """Energy under clustered traffic — the paper's mapping regime."""
+        return self.tree_energy_local_pj < self.mesh_energy_local_pj
+
+
+def _tree_pipeline_stage_estimate(topology: TreeTopology,
+                                  chip_mm: float,
+                                  max_segment_mm: float = 1.25) -> int:
+    """Stage count without building the simulator: NI stages + repeaters."""
+    plan = floorplan_for(topology, chip_mm, chip_mm)
+    stages = topology.leaves
+    for (___, _port), length in plan.link_lengths.items():
+        segments = max(1, math.ceil(length / max_segment_mm - 1e-9))
+        stages += 2 * (segments - 1)  # both directions
+    return stages
+
+
+def compare_topologies(ports: int, chip_mm: float = 10.0,
+                       buffer_depth: int = 4,
+                       tech: Technology = TECH_90NM,
+                       include_energy: bool = True) -> TopologyComparison:
+    """Build the full comparison row for one port count."""
+    tree = TreeTopology(ports, arity=2)
+    mesh = MeshTopology.square_for(ports)
+    tree_plan = floorplan_for(tree, chip_mm, chip_mm)
+    tree_stages = _tree_pipeline_stage_estimate(tree, chip_mm)
+    tree_area = tree_noc_area(tree, tree_stages, chip_mm * chip_mm, tech)
+    mesh_area = mesh_noc_area(mesh, buffer_depth, chip_mm * chip_mm, tech)
+    if include_energy:
+        tree_energy = average_flit_energy_tree_pj(tree, tree_plan, tech)
+        mesh_energy = average_flit_energy_mesh_pj(mesh, chip_mm, chip_mm,
+                                                  tech)
+        tree_local = average_flit_energy_tree_local_pj(
+            tree, tree_plan, DEFAULT_LOCALITY, tech
+        )
+        mesh_local = average_flit_energy_mesh_local_pj(
+            mesh, DEFAULT_LOCALITY, chip_mm, chip_mm, tech
+        )
+    else:
+        tree_energy = float("nan")
+        mesh_energy = float("nan")
+        tree_local = float("nan")
+        mesh_local = float("nan")
+    return TopologyComparison(
+        ports=ports,
+        tree_worst_hops=tree.worst_case_hops(),
+        tree_paper_formula=2 * int(math.log2(ports)) - 1,
+        mesh_worst_hops=mesh.worst_case_hops(),
+        mesh_paper_formula=2.0 * math.sqrt(ports),
+        tree_avg_hops=tree.average_hops_uniform(),
+        mesh_avg_hops=mesh.average_hops_uniform(),
+        tree_routers=tree.router_count,
+        mesh_routers=mesh.router_count,
+        tree_area_mm2=tree_area.total_mm2,
+        mesh_area_mm2=mesh_area.total_mm2,
+        tree_energy_pj=tree_energy,
+        mesh_energy_pj=mesh_energy,
+        tree_energy_local_pj=tree_local,
+        mesh_energy_local_pj=mesh_local,
+    )
+
+
+def tree_mesh_hop_table(port_counts: list[int] | None = None
+                        ) -> list[TopologyComparison]:
+    """Hop/router comparison across network sizes (no energy: fast)."""
+    if port_counts is None:
+        port_counts = [16, 64, 256, 1024]
+    return [compare_topologies(n, include_energy=(n <= 256))
+            for n in port_counts]
+
+
+def tree_mesh_area_table(ports: int = 64,
+                         chip_mm: float = 10.0) -> dict[str, float]:
+    """Area split for the paper's demonstrator size."""
+    row = compare_topologies(ports, chip_mm)
+    return {
+        "tree_mm2": row.tree_area_mm2,
+        "mesh_mm2": row.mesh_area_mm2,
+        "tree_routers": row.tree_routers,
+        "mesh_routers": row.mesh_routers,
+        "ratio": row.mesh_area_mm2 / row.tree_area_mm2,
+    }
+
+
+def tree_mesh_energy_table(ports: int = 64,
+                           chip_mm: float = 10.0) -> dict[str, float]:
+    """Per-flit energy under uniform and clustered traffic + crossover."""
+    row = compare_topologies(ports, chip_mm)
+    tree = TreeTopology(ports, arity=2)
+    plan = floorplan_for(tree, chip_mm, chip_mm)
+    mesh = MeshTopology.square_for(ports)
+    crossover = energy_crossover_locality(tree, plan, mesh, chip_mm, chip_mm)
+    return {
+        "tree_uniform_pj": row.tree_energy_pj,
+        "mesh_uniform_pj": row.mesh_energy_pj,
+        "tree_local_pj": row.tree_energy_local_pj,
+        "mesh_local_pj": row.mesh_energy_local_pj,
+        "local_ratio": row.mesh_energy_local_pj / row.tree_energy_local_pj,
+        "crossover_locality": -1.0 if crossover is None else crossover,
+    }

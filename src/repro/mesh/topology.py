@@ -1,0 +1,108 @@
+"""2-D mesh structure and XY routing analysis."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TopologyError
+
+
+class MeshTopology:
+    """A cols x rows mesh of routers, one network port per router.
+
+    Nodes are numbered row-major: node = y * cols + x.
+    """
+
+    def __init__(self, cols: int, rows: int | None = None):
+        if rows is None:
+            rows = cols
+        if cols < 2 or rows < 2:
+            raise TopologyError("mesh needs at least 2x2 routers")
+        self.cols = cols
+        self.rows = rows
+
+    @staticmethod
+    def square_for(ports: int) -> "MeshTopology":
+        """The square mesh serving ``ports`` nodes (ports must be square)."""
+        side = math.isqrt(ports)
+        if side * side != ports:
+            raise TopologyError(f"{ports} ports is not a square number")
+        return MeshTopology(side, side)
+
+    @property
+    def nodes(self) -> int:
+        return self.cols * self.rows
+
+    @property
+    def router_count(self) -> int:
+        """One router per node — N routers vs the tree's N-1 shared ones."""
+        return self.nodes
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        if not 0 <= node < self.nodes:
+            raise TopologyError(f"unknown node {node}")
+        return (node % self.cols, node // self.cols)
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise TopologyError(f"({x}, {y}) outside mesh")
+        return y * self.cols + x
+
+    def router_ports(self, node: int) -> int:
+        """Physical ports incl. local: 5 in the middle, less at edges."""
+        x, y = self.coordinates(node)
+        ports = 1  # local
+        ports += x > 0
+        ports += x < self.cols - 1
+        ports += y > 0
+        ports += y < self.rows - 1
+        return ports
+
+    def xy_path(self, src: int, dest: int) -> list[int]:
+        """Routers visited under XY routing (including both endpoints)."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dest)
+        path = [self.node_at(sx, sy)]
+        x, y = sx, sy
+        while x != dx:
+            x += 1 if dx > x else -1
+            path.append(self.node_at(x, y))
+        while y != dy:
+            y += 1 if dy > y else -1
+            path.append(self.node_at(x, y))
+        return path
+
+    def hop_count(self, src: int, dest: int) -> int:
+        """Routers traversed = Manhattan distance + 1 (both endpoints)."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dest)
+        return abs(dx - sx) + abs(dy - sy) + 1
+
+    def worst_case_hops(self) -> int:
+        """Corner to corner: cols + rows - 1 (~ the paper's 2*sqrt(N))."""
+        return self.cols + self.rows - 1
+
+    def average_hops_uniform(self) -> float:
+        total = 0
+        for src in range(self.nodes):
+            for dest in range(self.nodes):
+                if src != dest:
+                    total += self.hop_count(src, dest)
+        return total / (self.nodes * (self.nodes - 1))
+
+    def link_count(self) -> int:
+        """Bidirectional router-to-router links."""
+        return (self.cols - 1) * self.rows + (self.rows - 1) * self.cols
+
+    def total_link_length_mm(self, chip_width_mm: float = 10.0,
+                             chip_height_mm: float = 10.0) -> float:
+        """One-way wire length of all links at the natural tile pitch."""
+        pitch_x = chip_width_mm / self.cols
+        pitch_y = chip_height_mm / self.rows
+        horizontal = (self.cols - 1) * self.rows * pitch_x
+        vertical = (self.rows - 1) * self.cols * pitch_y
+        return horizontal + vertical
+
+    def link_pitch_mm(self, chip_width_mm: float = 10.0,
+                      chip_height_mm: float = 10.0) -> float:
+        return max(chip_width_mm / self.cols, chip_height_mm / self.rows)

@@ -1,0 +1,133 @@
+"""Run-time protocol verification: monitors and watchdogs.
+
+These components observe a simulation without influencing it:
+
+* :class:`ProtocolMonitor` checks the 2-phase handshake invariants on one
+  channel every tick — data stability until accept, no accept without
+  valid, no payload changes mid-transfer. A violation raises
+  :class:`~repro.errors.ProtocolError` at the offending tick, which makes
+  protocol bugs fail loudly in tests instead of corrupting statistics.
+* :class:`DeadlockWatchdog` fires if a network stops making progress while
+  packets are still outstanding (wormhole deadlock, lost accept, ...).
+
+``attach_monitors`` instruments every channel of a built network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ProtocolError, SimulationError
+from repro.noc.handshake import HandshakeChannel
+from repro.sim.kernel import SimKernel
+
+
+class ProtocolMonitor:
+    """Invariant checker for one handshake channel.
+
+    Checks, per committed tick:
+
+    1. ``accept`` is only asserted while ``valid`` is (or was, at the
+       consumer's sampling edge) asserted;
+    2. while ``valid`` is high and no accept has arrived, the data must
+       stay identical (the producer must hold until acknowledged);
+    3. ``valid`` never carries ``None`` data.
+    """
+
+    def __init__(self, kernel: SimKernel, channel: HandshakeChannel):
+        self.channel = channel
+        self.violations: list[str] = []
+        self._prev_valid = False
+        self._prev_data = None
+        self._prev_accept = False
+        self.accept_bursts = 0  # rising edges of accept (>= 1 per transfer
+        # burst; back-to-back streaming holds accept high, so this counts
+        # bursts, not individual flits — stages count flits exactly)
+        kernel.on_tick(self._check)
+
+    def _fail(self, tick: int, message: str) -> None:
+        detail = f"[tick {tick}] {self.channel.name}: {message}"
+        self.violations.append(detail)
+        raise ProtocolError(detail)
+
+    def _check(self, tick: int) -> None:
+        valid = self.channel.valid
+        data = self.channel.data
+        accept = self.channel.accepted
+        if valid and data is None:
+            self._fail(tick, "valid asserted with no data")
+        if accept and not (valid or self._prev_valid):
+            self._fail(tick, "accept asserted without valid")
+        if accept and not self._prev_accept:
+            self.accept_bursts += 1
+        held = (self._prev_valid and valid
+                and not accept and not self._prev_accept)
+        if held and data != self._prev_data:
+            self._fail(tick, f"data changed before accept: "
+                             f"{self._prev_data} -> {data}")
+        self._prev_valid = valid
+        self._prev_data = data
+        self._prev_accept = accept
+
+
+class DeadlockWatchdog:
+    """Detects stalled networks.
+
+    Progress is defined by a caller-supplied counter (delivered flits by
+    default); if it fails to advance for ``patience_ticks`` while the
+    ``pending`` predicate is true, :class:`SimulationError` is raised.
+    """
+
+    def __init__(self, kernel: SimKernel,
+                 progress: Callable[[], int],
+                 pending: Callable[[], bool],
+                 patience_ticks: int = 10_000):
+        if patience_ticks < 1:
+            raise SimulationError("patience must be >= 1 tick")
+        self._progress = progress
+        self._pending = pending
+        self.patience_ticks = patience_ticks
+        self._last_value = progress()
+        self._last_change_tick = 0
+        self.fired = False
+        kernel.on_tick(self._check)
+
+    def _check(self, tick: int) -> None:
+        value = self._progress()
+        if value != self._last_value:
+            self._last_value = value
+            self._last_change_tick = tick
+            return
+        if not self._pending():
+            self._last_change_tick = tick
+            return
+        if tick - self._last_change_tick >= self.patience_ticks:
+            self.fired = True
+            raise SimulationError(
+                f"no progress for {self.patience_ticks} ticks with "
+                f"traffic pending (tick {tick})"
+            )
+
+
+def attach_monitors(network) -> list[ProtocolMonitor]:
+    """Instrument every router port channel of an ICNoCNetwork.
+
+    Returns the monitors; any protocol violation during a subsequent run
+    raises immediately.
+    """
+    monitors = []
+    for router in network.routers:
+        for channel in router.in_channels + router.out_channels:
+            monitors.append(ProtocolMonitor(network.kernel, channel))
+    return monitors
+
+
+def attach_watchdog(network, patience_ticks: int = 10_000) -> DeadlockWatchdog:
+    """Add a deadlock watchdog keyed on delivered-vs-injected packets."""
+    return DeadlockWatchdog(
+        network.kernel,
+        progress=lambda: network.stats.packets_delivered,
+        pending=lambda: (network.stats.packets_delivered
+                         < network.stats.packets_injected),
+        patience_ticks=patience_ticks,
+    )

@@ -1,0 +1,65 @@
+"""Flits: the unit of link-level transfer.
+
+The demonstrator network has a 32-bit data path; a packet is serialised into
+head/body/tail flits. The head flit carries the routing information (the
+destination leaf address), as wormhole routing requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class FlitKind(enum.Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    SINGLE = "single"  # single-flit packet: head and tail at once
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One 32-bit word on the network.
+
+    Attributes:
+        kind: position within the packet.
+        src: source leaf address.
+        dest: destination leaf address (routing field, head flits).
+        packet_id: unique id of the packet this flit belongs to.
+        seq: position of this flit within its packet (0 = head).
+        payload: the 32-bit data word.
+    """
+
+    kind: FlitKind
+    src: int
+    dest: int
+    packet_id: int
+    seq: int
+    payload: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dest < 0:
+            raise ConfigurationError("flit addresses must be >= 0")
+        if self.seq < 0:
+            raise ConfigurationError("flit seq must be >= 0")
+        if not 0 <= self.payload < 2 ** 32:
+            raise ConfigurationError("payload must fit in 32 bits")
+        if self.kind in (FlitKind.HEAD, FlitKind.SINGLE) and self.seq != 0:
+            raise ConfigurationError("head flit must have seq 0")
+
+    @property
+    def is_head(self) -> bool:
+        """True for flits that open a packet (carry routing info)."""
+        return self.kind in (FlitKind.HEAD, FlitKind.SINGLE)
+
+    @property
+    def is_tail(self) -> bool:
+        """True for flits that close a packet (release wormhole locks)."""
+        return self.kind in (FlitKind.TAIL, FlitKind.SINGLE)
+
+    def __str__(self) -> str:
+        return (f"{self.kind.value}[pkt{self.packet_id} "
+                f"{self.src}->{self.dest} #{self.seq}]")

@@ -1,0 +1,143 @@
+"""Floorplans: embedding the tree on the chip to get physical link lengths.
+
+The paper's demonstrator is a 10 mm x 10 mm chip with 64 ports. Binary
+trees are embedded as a classic H-tree (split direction alternates level by
+level, so segment lengths halve every two levels: 2.5, 2.5, 1.25, 1.25,
+0.625, 0.625 mm for 64 leaves on a 10 mm die — the root links being the
+2.5 mm ones the paper targets with 1.25 mm pipeline segments). Quad trees
+use the recursive quadrant embedding. All lengths are Manhattan (wires are
+routed rectilinearly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.noc.topology import TreeTopology
+
+
+@dataclass
+class Floorplan:
+    """Geometric embedding of a tree topology.
+
+    Attributes:
+        chip_width_mm / chip_height_mm: die dimensions.
+        router_positions: router index -> (x, y) in mm.
+        leaf_positions: leaf address -> (x, y) in mm.
+        link_lengths: (router, port) -> Manhattan wire length in mm, for
+            every *downward* link (to a child router or a leaf).
+    """
+
+    chip_width_mm: float
+    chip_height_mm: float
+    router_positions: dict[int, tuple[float, float]] = field(default_factory=dict)
+    leaf_positions: dict[int, tuple[float, float]] = field(default_factory=dict)
+    link_lengths: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def chip_area_mm2(self) -> float:
+        return self.chip_width_mm * self.chip_height_mm
+
+    def total_link_length_mm(self) -> float:
+        """Sum of all (one-way) link lengths — the clock trunk length."""
+        return sum(self.link_lengths.values())
+
+    def longest_link_mm(self) -> float:
+        return max(self.link_lengths.values())
+
+    def link_length(self, router: int, port: int) -> float:
+        key = (router, port)
+        if key not in self.link_lengths:
+            raise TopologyError(f"no link at router {router} port {port}")
+        return self.link_lengths[key]
+
+
+def _manhattan(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def h_tree_floorplan(topology: TreeTopology, chip_width_mm: float = 10.0,
+                     chip_height_mm: float = 10.0) -> Floorplan:
+    """H-tree embedding of a *binary* tree.
+
+    Each router sits at the centre of its region; its two children get the
+    two halves, split alternately along x and y. Root links on a 10 mm
+    square 64-leaf tree come out at 2.5 mm, halving every two levels.
+    """
+    if topology.arity != 2:
+        raise TopologyError("h_tree_floorplan requires a binary tree")
+    plan = Floorplan(chip_width_mm=chip_width_mm, chip_height_mm=chip_height_mm)
+
+    def place(router_index: int, cx: float, cy: float, w: float, h: float,
+              level: int) -> None:
+        plan.router_positions[router_index] = (cx, cy)
+        node = topology.router(router_index)
+        horizontal = level % 2 == 0  # split along x first, as in Fig. 1
+        if horizontal:
+            offsets = ((-w / 4.0, 0.0), (w / 4.0, 0.0))
+            child_size = (w / 2.0, h)
+        else:
+            offsets = ((0.0, -h / 4.0), (0.0, h / 4.0))
+            child_size = (w, h / 2.0)
+        for port_minus_1, child in enumerate(node.children):
+            dx, dy = offsets[port_minus_1]
+            child_pos = (cx + dx, cy + dy)
+            port = port_minus_1 + 1
+            plan.link_lengths[(router_index, port)] = _manhattan(
+                (cx, cy), child_pos
+            )
+            if node.children_are_leaves:
+                plan.leaf_positions[child] = child_pos
+            else:
+                place(child, child_pos[0], child_pos[1],
+                      child_size[0], child_size[1], level + 1)
+
+    place(0, chip_width_mm / 2.0, chip_height_mm / 2.0,
+          chip_width_mm, chip_height_mm, 0)
+    return plan
+
+
+def quad_tree_floorplan(topology: TreeTopology, chip_width_mm: float = 10.0,
+                        chip_height_mm: float = 10.0) -> Floorplan:
+    """Recursive quadrant embedding of a *quad* tree.
+
+    Children sit at the centres of the four quadrants; Manhattan link
+    length is w/4 + h/4 per level, halving each level.
+    """
+    if topology.arity != 4:
+        raise TopologyError("quad_tree_floorplan requires a quad tree")
+    plan = Floorplan(chip_width_mm=chip_width_mm, chip_height_mm=chip_height_mm)
+
+    def place(router_index: int, cx: float, cy: float, w: float, h: float) -> None:
+        plan.router_positions[router_index] = (cx, cy)
+        node = topology.router(router_index)
+        offsets = (
+            (-w / 4.0, -h / 4.0), (w / 4.0, -h / 4.0),
+            (-w / 4.0, h / 4.0), (w / 4.0, h / 4.0),
+        )
+        for port_minus_1, child in enumerate(node.children):
+            dx, dy = offsets[port_minus_1]
+            child_pos = (cx + dx, cy + dy)
+            port = port_minus_1 + 1
+            plan.link_lengths[(router_index, port)] = _manhattan(
+                (cx, cy), child_pos
+            )
+            if node.children_are_leaves:
+                plan.leaf_positions[child] = child_pos
+            else:
+                place(child, child_pos[0], child_pos[1], w / 2.0, h / 2.0)
+
+    place(0, chip_width_mm / 2.0, chip_height_mm / 2.0,
+          chip_width_mm, chip_height_mm)
+    return plan
+
+
+def floorplan_for(topology: TreeTopology, chip_width_mm: float = 10.0,
+                  chip_height_mm: float = 10.0) -> Floorplan:
+    """Dispatch on arity (binary -> H-tree, quad -> quadrants)."""
+    if topology.arity == 2:
+        return h_tree_floorplan(topology, chip_width_mm, chip_height_mm)
+    if topology.arity == 4:
+        return quad_tree_floorplan(topology, chip_width_mm, chip_height_mm)
+    raise TopologyError(f"no floorplan rule for arity {topology.arity}")

@@ -1,0 +1,61 @@
+"""The 2-phase valid/accept handshake channel (paper Section 5).
+
+A channel bundles three wires between a producer and a consumer clocked at
+opposite edges:
+
+* ``data`` + ``valid`` travel downstream (producer -> consumer),
+* ``accept`` travels upstream (consumer -> producer).
+
+Level-sensitive semantics, with the clock edge as trigger event: the
+producer holds ``data``/``valid`` stable until it observes ``accept``; the
+consumer asserts ``accept`` for exactly the half-period following an edge at
+which it latched the data. Because the two ends use alternating edges, the
+producer can "send the data, and receive acknowledgment from the next
+stage, within the same clock cycle" — full-speed streaming without stall
+buffers or double-rate clocks.
+"""
+
+from __future__ import annotations
+
+from repro.noc.flit import Flit
+from repro.sim.kernel import SimKernel
+
+
+class HandshakeChannel:
+    """One unidirectional flit channel with valid/accept flow control."""
+
+    def __init__(self, kernel: SimKernel, name: str):
+        self.name = name
+        self._valid = kernel.signal(f"{name}.valid", initial=False)
+        self._data = kernel.signal(f"{name}.data", initial=None)
+        self._accept = kernel.signal(f"{name}.accept", initial=False)
+
+    # -- producer side --------------------------------------------------
+
+    def drive(self, flit: Flit | None, tick: int | None = None) -> None:
+        """Present a flit (or nothing) for the consumer's next edge."""
+        self._valid.set(flit is not None, tick)
+        self._data.set(flit, tick)
+
+    @property
+    def accepted(self) -> bool:
+        """Did the consumer latch our flit at its last edge?"""
+        return bool(self._accept.value)
+
+    # -- consumer side --------------------------------------------------
+
+    @property
+    def valid(self) -> bool:
+        return bool(self._valid.value)
+
+    @property
+    def data(self) -> Flit | None:
+        return self._data.value
+
+    def respond(self, accept: bool, tick: int | None = None) -> None:
+        """Assert/deassert accept for the producer's next edge."""
+        self._accept.set(accept, tick)
+
+    def __repr__(self) -> str:
+        return (f"HandshakeChannel({self.name!r}, valid={self.valid}, "
+                f"accept={self.accepted})")

@@ -1,0 +1,323 @@
+"""Network assembly: topology + floorplan + routers + links + NIs + clock.
+
+:class:`ICNoCNetwork` builds a complete simulatable IC-NoC from a
+:class:`NetworkConfig`:
+
+* routers at the tree nodes, clocked at alternating edges level by level;
+* links segmented so no pipeline segment exceeds ``max_segment_mm`` (the
+  demonstrator targets 1.25 mm near the root, paper Section 6), with one
+  pipeline stage per extra segment per direction;
+* a forwarded clock tree whose node polarities match the simulation
+  parities by construction;
+* per-segment :class:`~repro.timing.validator.ChannelSpec` records for the
+  timing validator;
+* NIs at the leaves with packet statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.clocking.clock_tree import ClockTree
+from repro.clocking.gating import GatingStats
+from repro.errors import ConfigurationError, TopologyError
+from repro.noc.arbiter import FixedPriorityArbiter, RoundRobinArbiter
+from repro.noc.floorplan import Floorplan, floorplan_for
+from repro.noc.handshake import HandshakeChannel
+from repro.noc.ni import NetworkInterface
+from repro.noc.packet import Packet
+from repro.noc.pipeline import PipelineStage
+from repro.noc.router import ArbiterFactory, TreeRouter, round_robin_factory
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import TreeTopology, PARENT_PORT
+from repro.sim.kernel import SimKernel
+from repro.tech.technology import Technology, TECH_90NM
+from repro.timing.frequency import (
+    pipeline_max_frequency,
+    router_max_frequency,
+)
+from repro.timing.validator import ChannelSpec
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of an IC-NoC instance.
+
+    Attributes:
+        leaves: number of network ports (a power of ``arity``).
+        arity: 2 for binary trees (3x3 routers), 4 for quad (5x5 routers).
+        chip_width_mm / chip_height_mm: die size for the floorplan.
+        max_segment_mm: longest allowed pipeline segment; links longer than
+            this get intermediate pipeline stages.
+        tech: technology models.
+        arbiter_policy: "round_robin", or "local_priority" for the
+            demonstrator's processor-over-network priority at leaf routers
+            (binary trees with proc/mem sibling pairs only).
+    """
+
+    leaves: int = 64
+    arity: int = 2
+    chip_width_mm: float = 10.0
+    chip_height_mm: float = 10.0
+    max_segment_mm: float = 1.25
+    tech: Technology = TECH_90NM
+    arbiter_policy: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.max_segment_mm <= 0.0:
+            raise ConfigurationError("max_segment_mm must be positive")
+        if self.arbiter_policy not in ("round_robin", "local_priority"):
+            raise ConfigurationError(
+                f"unknown arbiter policy {self.arbiter_policy!r}"
+            )
+        if self.arbiter_policy == "local_priority" and self.arity != 2:
+            raise ConfigurationError(
+                "local_priority assumes proc/mem sibling pairs (arity 2)"
+            )
+
+
+def _local_priority_policy(node, output_port: int, n_inputs: int):
+    """Demonstrator arbitration: the processor input (port 1) always beats
+    the network (parent, port 0) for access to the local memory (port 2)."""
+    if node.children_are_leaves and output_port == 2:
+        return FixedPriorityArbiter(n_inputs, order=[1, 0, 2])
+    return RoundRobinArbiter(n_inputs)
+
+
+class ICNoCNetwork:
+    """A built, runnable IC-NoC."""
+
+    def __init__(self, config: NetworkConfig):
+        self.config = config
+        self.topology = TreeTopology(config.leaves, config.arity)
+        self.floorplan: Floorplan = floorplan_for(
+            self.topology, config.chip_width_mm, config.chip_height_mm
+        )
+        self.kernel = SimKernel()
+        self.clock_tree = ClockTree(root_name="clkgen")
+        self.routers: list[TreeRouter] = []
+        self.link_stages: list[PipelineStage] = []
+        self.nis: list[NetworkInterface] = []
+        self.channel_specs: list[ChannelSpec] = []
+        self.stats = NetworkStats()
+        self._handlers: dict[int, Callable[[Packet, int], None]] = {}
+        self._inflight: dict[int, Packet] = {}
+        self._build()
+
+    # -- construction ---------------------------------------------------
+
+    def _arbiter_factory_for(self, node) -> ArbiterFactory:
+        if self.config.arbiter_policy == "local_priority":
+            return lambda output_port, n_inputs: _local_priority_policy(
+                node, output_port, n_inputs
+            )
+        return round_robin_factory
+
+    def _segments(self, length_mm: float) -> int:
+        return max(1, math.ceil(length_mm / self.config.max_segment_mm - 1e-9))
+
+    def _build(self) -> None:
+        topo = self.topology
+        self.routers = [None] * topo.router_count  # type: ignore[list-item]
+        self.nis = [None] * topo.leaves  # type: ignore[list-item]
+        root_node = topo.router(0)
+        root = TreeRouter(
+            self.kernel, "r0", root_node, topo, input_parity=0,
+            arbiter_factory=self._arbiter_factory_for(root_node),
+        )
+        self.routers[0] = root
+        self.clock_tree.add("r0", parent="clkgen", segment_delay_ps=0.0,
+                            inverts=False)
+        self._wire_children(root)
+
+    def _wire_children(self, router: TreeRouter) -> None:
+        node = router.node
+        for child_slot, child in enumerate(node.children):
+            port = child_slot + 1
+            length = self.floorplan.link_length(node.index, port)
+            n_seg = self._segments(length)
+            seg_len = length / n_seg
+            seg_delay = self.config.tech.buffered_wire.delay(seg_len)
+            link_name = f"l{node.index}.{port}"
+
+            # Downward chain: router output -> stages -> endpoint input.
+            down_chs = [router.out_channels[port]]
+            parity = router.input_parity ^ 1
+            clock_parent = router.name
+            for j in range(n_seg - 1):
+                ch = HandshakeChannel(self.kernel, f"{link_name}.d{j}")
+                stage = PipelineStage(
+                    self.kernel, f"{link_name}.dst{j}", parity,
+                    upstream=down_chs[-1], downstream=ch,
+                )
+                self.link_stages.append(stage)
+                down_chs.append(ch)
+                stage_clock = f"{link_name}.st{j}"
+                self.clock_tree.add(stage_clock, parent=clock_parent,
+                                    segment_delay_ps=seg_delay)
+                clock_parent = stage_clock
+                parity ^= 1
+            endpoint_parity = parity
+
+            # Upward chain runs through stages at the same positions.
+            # Build from the endpoint back toward the router.
+            up_endpoint_drives = HandshakeChannel(
+                self.kernel, f"{link_name}.u{n_seg - 1}"
+            ) if n_seg > 1 else router.in_channels[port]
+            up_chs = [up_endpoint_drives]
+            up_parity = endpoint_parity ^ 1
+            for j in range(n_seg - 2, -1, -1):
+                target = (router.in_channels[port] if j == 0 else
+                          HandshakeChannel(self.kernel, f"{link_name}.u{j}"))
+                stage = PipelineStage(
+                    self.kernel, f"{link_name}.ust{j}", up_parity,
+                    upstream=up_chs[-1], downstream=target,
+                )
+                self.link_stages.append(stage)
+                up_chs.append(target)
+                up_parity ^= 1
+
+            # Per-segment timing specs (both directions share the wires).
+            for j in range(n_seg):
+                base = f"{link_name}.seg{j}"
+                self.channel_specs.append(ChannelSpec(
+                    name=f"{base}.down", clock_delay_ps=seg_delay,
+                    data_delay_ps=seg_delay, accept_delay_ps=seg_delay,
+                    downstream=True,
+                ))
+                self.channel_specs.append(ChannelSpec(
+                    name=f"{base}.up", clock_delay_ps=seg_delay,
+                    data_delay_ps=seg_delay, accept_delay_ps=seg_delay,
+                    downstream=False,
+                ))
+
+            if node.children_are_leaves:
+                ni = NetworkInterface(
+                    self.kernel, leaf=child,
+                    to_network=up_chs[0],
+                    from_network=down_chs[-1],
+                    source_parity=endpoint_parity,
+                    sink_parity=endpoint_parity,
+                    on_packet=self._make_delivery_hook(child),
+                )
+                self.nis[child] = ni
+                self.clock_tree.add(f"ni{child}", parent=clock_parent,
+                                    segment_delay_ps=seg_delay)
+            else:
+                child_node = self.topology.router(child)
+                child_router = TreeRouter(
+                    self.kernel, f"r{child}", child_node, self.topology,
+                    input_parity=endpoint_parity,
+                    arbiter_factory=self._arbiter_factory_for(child_node),
+                    in_channel_overrides={PARENT_PORT: down_chs[-1]},
+                    out_channel_overrides={PARENT_PORT: up_chs[0]},
+                )
+                self.routers[child] = child_router
+                self.clock_tree.add(f"r{child}", parent=clock_parent,
+                                    segment_delay_ps=seg_delay)
+                self._wire_children(child_router)
+
+    def _make_delivery_hook(self, leaf: int) -> Callable[[Packet, int], None]:
+        def hook(packet: Packet, tick: int) -> None:
+            # Reassembly built a fresh Packet; recover the injection time
+            # recorded on the submitted original.
+            original = self._inflight.pop(packet.packet_id, None)
+            if original is not None:
+                packet.inject_tick = original.inject_tick
+            hops = self.topology.hop_count(packet.src, packet.dest)
+            self.stats.record_delivery(packet, hops)
+            handler = self._handlers.get(leaf)
+            if handler is not None:
+                handler(packet, tick)
+        return hook
+
+    # -- run-time API -----------------------------------------------------
+
+    def set_handler(self, leaf: int,
+                    handler: Callable[[Packet, int], None]) -> None:
+        """Install a delivery callback at a leaf (used by system models)."""
+        if not 0 <= leaf < self.config.leaves:
+            raise TopologyError(f"unknown leaf {leaf}")
+        self._handlers[leaf] = handler
+
+    def send(self, packet: Packet) -> None:
+        if not 0 <= packet.dest < self.config.leaves:
+            raise TopologyError(f"unknown destination {packet.dest}")
+        if packet.src == packet.dest:
+            raise TopologyError("src == dest: packets never enter the NoC")
+        self._inflight[packet.packet_id] = packet
+        self.nis[packet.src].submit(packet)
+        self.stats.packets_injected += 1
+
+    def run_ticks(self, ticks: int) -> None:
+        self.kernel.run_ticks(ticks)
+        self.stats.elapsed_ticks = self.kernel.tick
+
+    def run_cycles(self, cycles: float) -> None:
+        self.kernel.run_cycles(cycles)
+        self.stats.elapsed_ticks = self.kernel.tick
+
+    def drain(self, max_ticks: int = 1_000_000) -> bool:
+        """Run until every injected packet is delivered (or give up)."""
+        done = self.kernel.run_until(
+            lambda: self.stats.packets_delivered >= self.stats.packets_injected,
+            max_ticks,
+        )
+        self.stats.elapsed_ticks = self.kernel.tick
+        return done
+
+    @property
+    def delivered(self) -> list[Packet]:
+        out: list[Packet] = []
+        for ni in self.nis:
+            out.extend(ni.delivered)
+        return out
+
+    # -- analysis hooks -----------------------------------------------------
+
+    @property
+    def link_stage_count(self) -> int:
+        """Intermediate pipeline stages on links (both directions)."""
+        return len(self.link_stages)
+
+    @property
+    def pipeline_stage_count(self) -> int:
+        """Stages counted by the area model: link stages + one per port."""
+        return self.link_stage_count + self.config.leaves
+
+    def longest_segment_mm(self) -> float:
+        longest = 0.0
+        for node in self.topology.routers:
+            for child_slot in range(len(node.children)):
+                port = child_slot + 1
+                length = self.floorplan.link_length(node.index, port)
+                longest = max(longest, length / self._segments(length))
+        return longest
+
+    def operating_frequency_ghz(self) -> float:
+        """Max clock rate: min of router critical paths and the Fig. 7
+        pipeline model evaluated at the longest physical segment."""
+        f_router = router_max_frequency(self.topology.router_ports,
+                                        self.config.tech)
+        f_links = pipeline_max_frequency(self.longest_segment_mm(),
+                                         self.config.tech)
+        return min(f_router, f_links)
+
+    def gating_stats(self) -> GatingStats:
+        total = GatingStats()
+        for router in self.routers:
+            total.merge(router.gating_stats())
+        for stage in self.link_stages:
+            total.merge(stage.gating)
+        return total
+
+    def describe(self) -> str:
+        return (
+            f"IC-NoC: {self.config.leaves} ports, arity {self.config.arity}, "
+            f"{self.topology.router_count} routers "
+            f"({self.topology.router_ports}x{self.topology.router_ports}), "
+            f"{self.link_stage_count} link stages, "
+            f"f_max {self.operating_frequency_ghz():.3f} GHz"
+        )

@@ -1,0 +1,248 @@
+"""Wormhole tree routers: the paper's 3x3 and 5x5 designs.
+
+A router is assembled from standard pipeline stages plus one
+:class:`SwitchCore` that does routing, per-output arbitration and the
+crossbar latch:
+
+* 3x3 (binary tree): input stage -> switch -> output stage = 3 half-cycles
+  = the paper's 1.5-cycle forward latency, at up to 1.4 GHz;
+* 5x5 (quad tree): input -> pre -> switch -> post -> output = 5 half-cycles
+  = 2.5 cycles, at up to 1.2 GHz (the extra stages pipeline the wider
+  arbitration/crossbar for speed, as the paper's "routers are pipelined for
+  optimal speed").
+
+Port 0 is the parent link; ports 1..arity are the children, left to right.
+Routing is deterministic up*/down*: if the destination leaf is inside this
+router's range, descend through the matching child, else go to the parent.
+Up*/down* routing in a tree has an acyclic channel-dependency graph, so
+wormhole switching is deadlock-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.clocking.gating import GatingStats
+from repro.errors import ConfigurationError, RoutingError
+from repro.noc.arbiter import Arbiter, RoundRobinArbiter
+from repro.noc.flit import Flit
+from repro.noc.handshake import HandshakeChannel
+from repro.noc.pipeline import PipelineStage
+from repro.noc.topology import RouterNode, TreeTopology, PARENT_PORT
+from repro.sim.component import ClockedComponent
+from repro.sim.kernel import SimKernel
+
+#: Factory signature: (output_port, n_inputs) -> Arbiter.
+ArbiterFactory = Callable[[int, int], Arbiter]
+
+
+def round_robin_factory(output_port: int, n_inputs: int) -> Arbiter:
+    return RoundRobinArbiter(n_inputs)
+
+
+class SwitchCore(ClockedComponent):
+    """Routing + arbitration + crossbar latch, one half-cycle.
+
+    Holds one output register ("slot") per output port. At its edge it
+    retires accepted slots, routes the flits waiting on its input channels,
+    arbitrates per free output among the eligible inputs (wormhole locks
+    included) and latches at most one flit per output.
+    """
+
+    def __init__(self, kernel: SimKernel, name: str, parity: int,
+                 inputs: Sequence[HandshakeChannel],
+                 outputs: Sequence[HandshakeChannel],
+                 route: Callable[[Flit], int],
+                 arbiter_factory: ArbiterFactory = round_robin_factory):
+        super().__init__(name, parity)
+        if not inputs or not outputs:
+            raise ConfigurationError("switch needs inputs and outputs")
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.route = route
+        self.slot_flit: list[Flit | None] = [None] * len(self.outputs)
+        self.slot_valid = [False] * len(self.outputs)
+        self.locks: list[int | None] = [None] * len(self.outputs)
+        self.arbiters = [arbiter_factory(o, len(self.inputs))
+                         for o in range(len(self.outputs))]
+        self.gating = GatingStats()
+        self.flits_switched = 0
+        kernel.add_component(self)
+
+    def on_edge(self, tick: int) -> None:
+        enabled = False
+        # 1. Retire slots the downstream stages accepted half a cycle ago.
+        for o, channel in enumerate(self.outputs):
+            if self.slot_valid[o] and channel.accepted:
+                self.slot_valid[o] = False
+                enabled = True
+        # 2. Route waiting input flits.
+        wants: list[int | None] = [None] * len(self.inputs)
+        for i, channel in enumerate(self.inputs):
+            if channel.valid:
+                wants[i] = self._route_checked(i, channel.data)
+        # 3. Per-output arbitration and latch.
+        accepted_inputs = [False] * len(self.inputs)
+        for o in range(len(self.outputs)):
+            if self.slot_valid[o]:
+                continue  # output register still occupied
+            lock = self.locks[o]
+            if lock is not None:
+                requests = [wants[i] == o and i == lock
+                            for i in range(len(self.inputs))]
+            else:
+                requests = [wants[i] == o and self.inputs[i].data.is_head
+                            for i in range(len(self.inputs))]
+            if not any(requests):
+                continue
+            winner = self.arbiters[o].grant(requests)
+            flit = self.inputs[winner].data
+            self.slot_flit[o] = flit
+            self.slot_valid[o] = True
+            accepted_inputs[winner] = True
+            self.flits_switched += 1
+            enabled = True
+            if flit.is_tail:
+                self.locks[o] = None
+            elif flit.is_head:
+                self.locks[o] = winner
+        # 4. Drive channel signals.
+        for i, channel in enumerate(self.inputs):
+            channel.respond(accepted_inputs[i], tick)
+        for o, channel in enumerate(self.outputs):
+            channel.drive(self.slot_flit[o] if self.slot_valid[o] else None,
+                          tick)
+        self.gating.record(enabled)
+
+    def _route_checked(self, input_port: int, flit: Flit) -> int:
+        output = self.route(flit)
+        if not 0 <= output < len(self.outputs):
+            raise RoutingError(f"{self.name}: bad route {output} for {flit}")
+        if output == input_port:
+            raise RoutingError(
+                f"{self.name}: U-turn on port {output} for {flit}"
+            )
+        return output
+
+
+class TreeRouter:
+    """A k-port tree router assembled from stages around a switch core.
+
+    Exposes, per port, the two external channels:
+
+    * ``in_channels[p]`` — driven by the outside (the router consumes);
+    * ``out_channels[p]`` — driven by the router (the outside consumes).
+
+    ``input_parity`` is the clock polarity of the input (and output)
+    register stages; the switch runs on the opposite edge. ``extra_stages``
+    inserts pass-through stages around the switch: 0 gives the 3-half-cycle
+    3x3 router, 1 gives the 5-half-cycle 5x5 router.
+    """
+
+    def __init__(self, kernel: SimKernel, name: str, node: RouterNode,
+                 topology: TreeTopology, input_parity: int,
+                 arbiter_factory: ArbiterFactory = round_robin_factory,
+                 extra_stages: int | None = None,
+                 in_channel_overrides: dict[int, HandshakeChannel] | None = None,
+                 out_channel_overrides: dict[int, HandshakeChannel] | None = None):
+        self.name = name
+        self.node = node
+        self.topology = topology
+        self.input_parity = input_parity
+        ports = node.ports
+        if extra_stages is None:
+            extra_stages = 1 if ports >= 5 else 0
+        self.extra_stages = extra_stages
+        if extra_stages not in (0, 1):
+            raise ConfigurationError("extra_stages must be 0 or 1")
+
+        in_overrides = in_channel_overrides or {}
+        out_overrides = out_channel_overrides or {}
+        self.in_channels = [
+            in_overrides.get(p) or HandshakeChannel(kernel, f"{name}.in{p}")
+            for p in range(ports)
+        ]
+        self.out_channels = [
+            out_overrides.get(p) or HandshakeChannel(kernel, f"{name}.out{p}")
+            for p in range(ports)
+        ]
+
+        parity = input_parity
+        stage_in = self.in_channels
+        self.input_stages: list[PipelineStage] = []
+        self.pre_stages: list[PipelineStage] = []
+        self.post_stages: list[PipelineStage] = []
+        self.output_stages: list[PipelineStage] = []
+
+        mid_in = [HandshakeChannel(kernel, f"{name}.i2s{p}") for p in range(ports)]
+        for p in range(ports):
+            self.input_stages.append(PipelineStage(
+                kernel, f"{name}.instage{p}", parity,
+                upstream=stage_in[p], downstream=mid_in[p],
+            ))
+        switch_in = mid_in
+        switch_parity = parity ^ 1
+        if extra_stages:
+            pre_out = [HandshakeChannel(kernel, f"{name}.p2s{p}")
+                       for p in range(ports)]
+            for p in range(ports):
+                self.pre_stages.append(PipelineStage(
+                    kernel, f"{name}.prestage{p}", parity ^ 1,
+                    upstream=mid_in[p], downstream=pre_out[p],
+                ))
+            switch_in = pre_out
+            switch_parity = parity
+
+        switch_out = [HandshakeChannel(kernel, f"{name}.s2o{p}")
+                      for p in range(ports)]
+        self.switch = SwitchCore(
+            kernel, f"{name}.switch", switch_parity,
+            inputs=switch_in, outputs=switch_out,
+            route=self._route, arbiter_factory=arbiter_factory,
+        )
+
+        out_in = switch_out
+        if extra_stages:
+            post_out = [HandshakeChannel(kernel, f"{name}.s2p{p}")
+                        for p in range(ports)]
+            for p in range(ports):
+                self.post_stages.append(PipelineStage(
+                    kernel, f"{name}.poststage{p}", switch_parity ^ 1,
+                    upstream=switch_out[p], downstream=post_out[p],
+                ))
+            out_in = post_out
+
+        for p in range(ports):
+            self.output_stages.append(PipelineStage(
+                kernel, f"{name}.outstage{p}", input_parity,
+                upstream=out_in[p], downstream=self.out_channels[p],
+            ))
+
+    @property
+    def ports(self) -> int:
+        return self.node.ports
+
+    @property
+    def forward_latency_ticks(self) -> int:
+        """Half-cycles from input channel to output channel: 3 or 5."""
+        return 3 + 2 * self.extra_stages
+
+    def _route(self, flit: Flit) -> int:
+        port = self.topology.child_port_for_leaf(self.node, flit.dest)
+        if port == PARENT_PORT and self.node.parent is None:
+            raise RoutingError(
+                f"{self.name}: destination {flit.dest} not under the root"
+            )
+        return port
+
+    def all_stages(self) -> list[PipelineStage]:
+        return (self.input_stages + self.pre_stages + self.post_stages
+                + self.output_stages)
+
+    def gating_stats(self) -> GatingStats:
+        """Aggregate gating over every register bank in the router."""
+        total = GatingStats()
+        for stage in self.all_stages():
+            total.merge(stage.gating)
+        total.merge(self.switch.gating)
+        return total

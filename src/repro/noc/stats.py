@@ -1,0 +1,88 @@
+"""Network statistics: latency, throughput, gating."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clocking.gating import GatingStats
+from repro.noc.packet import Packet
+
+
+@dataclass
+class LatencySummary:
+    """Latency distribution in clock cycles."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+    minimum: float
+
+    @staticmethod
+    def from_cycles(latencies: list[float]) -> "LatencySummary":
+        if not latencies:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(latencies, dtype=float)
+        return LatencySummary(
+            count=len(latencies),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            maximum=float(arr.max()),
+            minimum=float(arr.min()),
+        )
+
+    def describe(self) -> str:
+        return (f"n={self.count} mean={self.mean:.2f} p50={self.p50:.2f} "
+                f"p95={self.p95:.2f} max={self.maximum:.2f} cycles")
+
+
+@dataclass
+class NetworkStats:
+    """Aggregated results of one simulation run."""
+
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    flits_delivered: int = 0
+    elapsed_ticks: int = 0
+    latencies_cycles: list[float] = field(default_factory=list)
+    hop_counts: list[int] = field(default_factory=list)
+    gating: GatingStats = field(default_factory=GatingStats)
+
+    def record_delivery(self, packet: Packet, hops: int) -> None:
+        self.packets_delivered += 1
+        self.flits_delivered += packet.flit_count
+        self.latencies_cycles.append(packet.latency_cycles)
+        self.hop_counts.append(hops)
+
+    @property
+    def elapsed_cycles(self) -> float:
+        return self.elapsed_ticks / 2.0
+
+    @property
+    def latency(self) -> LatencySummary:
+        return LatencySummary.from_cycles(self.latencies_cycles)
+
+    @property
+    def throughput_flits_per_cycle(self) -> float:
+        """Network-wide accepted throughput."""
+        if self.elapsed_ticks == 0:
+            return 0.0
+        return self.flits_delivered / self.elapsed_cycles
+
+    @property
+    def mean_hops(self) -> float:
+        if not self.hop_counts:
+            return 0.0
+        return sum(self.hop_counts) / len(self.hop_counts)
+
+    def describe(self) -> str:
+        return (
+            f"{self.packets_delivered}/{self.packets_injected} packets, "
+            f"{self.throughput_flits_per_cycle:.3f} flits/cycle, "
+            f"latency {self.latency.describe()}, "
+            f"gating {self.gating.gating_ratio:.1%}"
+        )

@@ -1,0 +1,199 @@
+"""Tree topologies: binary (3x3 routers) and quad (5x5 routers).
+
+The clock distribution requires a tree — "no converging paths are allowed
+in the network" (Section 3). A :class:`TreeTopology` describes the routers,
+the leaves (network ports), and the parent/child relations; routing and
+hop-count analysis live here because both are purely structural.
+
+Addressing: leaves are numbered 0..N-1 left to right; every router covers a
+contiguous leaf range, so the routing decision at a router is "is the
+destination in one of my children's ranges? then down that child, else up".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+
+#: Port index of the parent link on every router (children follow).
+PARENT_PORT = 0
+
+
+@dataclass(frozen=True)
+class RouterNode:
+    """One router of the tree.
+
+    Attributes:
+        index: router id, 0 = root, breadth-first order.
+        level: depth from the root (root = 0).
+        leaf_range: (first, last+1) leaf addresses under this router.
+        parent: router id of the parent, None for the root.
+        children: router ids (internal levels) or leaf addresses (last
+            level), in left-to-right order.
+        children_are_leaves: whether ``children`` holds leaf addresses.
+    """
+
+    index: int
+    level: int
+    leaf_range: tuple[int, int]
+    parent: int | None
+    children: tuple[int, ...]
+    children_are_leaves: bool
+
+    @property
+    def ports(self) -> int:
+        """Physical port count: children plus the parent link (root has
+        no parent, but keeps the port for symmetry with the paper's 3x3 /
+        5x5 naming — it is simply left unconnected)."""
+        return len(self.children) + 1
+
+
+class TreeTopology:
+    """A complete arity^depth tree of routers with N = arity^depth leaves."""
+
+    def __init__(self, leaves: int, arity: int = 2):
+        if arity < 2:
+            raise TopologyError(f"arity must be >= 2, got {arity}")
+        if leaves < arity:
+            raise TopologyError(f"need >= {arity} leaves, got {leaves}")
+        depth = 0
+        count = 1
+        while count < leaves:
+            count *= arity
+            depth += 1
+        if count != leaves:
+            raise TopologyError(
+                f"leaves must be a power of arity: {leaves} != {arity}^k"
+            )
+        self.leaves = leaves
+        self.arity = arity
+        self.depth = depth
+        self.routers: list[RouterNode] = []
+        self._build()
+
+    def _build(self) -> None:
+        # Router levels 0..depth-1; level l has arity^l routers; routers at
+        # level depth-1 connect to leaves.
+        index = 0
+        level_start = {0: 0}
+        for level in range(self.depth):
+            level_start[level + 1] = level_start[level] + self.arity ** level
+        for level in range(self.depth):
+            routers_here = self.arity ** level
+            leaves_per = self.leaves // routers_here
+            for pos in range(routers_here):
+                first_leaf = pos * leaves_per
+                is_last_level = level == self.depth - 1
+                if is_last_level:
+                    children = tuple(first_leaf + i for i in range(self.arity))
+                else:
+                    child_base = level_start[level + 1] + pos * self.arity
+                    children = tuple(child_base + i for i in range(self.arity))
+                parent = None
+                if level > 0:
+                    parent = level_start[level - 1] + pos // self.arity
+                self.routers.append(RouterNode(
+                    index=index, level=level,
+                    leaf_range=(first_leaf, first_leaf + leaves_per),
+                    parent=parent, children=children,
+                    children_are_leaves=is_last_level,
+                ))
+                index += 1
+
+    # -- structure queries ----------------------------------------------
+
+    @property
+    def router_count(self) -> int:
+        """(N-1)/(arity-1) routers for N leaves."""
+        return len(self.routers)
+
+    @property
+    def router_ports(self) -> int:
+        """Port count of every router: 3 for binary, 5 for quad."""
+        return self.arity + 1
+
+    def router(self, index: int) -> RouterNode:
+        if not 0 <= index < len(self.routers):
+            raise TopologyError(f"unknown router {index}")
+        return self.routers[index]
+
+    def leaf_router(self, leaf: int) -> RouterNode:
+        """The last-level router a leaf hangs off."""
+        self._check_leaf(leaf)
+        routers_last = self.arity ** (self.depth - 1)
+        first_last = len(self.routers) - routers_last
+        return self.routers[first_last + leaf // self.arity]
+
+    def _check_leaf(self, leaf: int) -> None:
+        if not 0 <= leaf < self.leaves:
+            raise TopologyError(f"unknown leaf {leaf}")
+
+    def child_port_for_leaf(self, router: RouterNode, leaf: int) -> int:
+        """Which port of ``router`` leads toward ``leaf``.
+
+        Returns PARENT_PORT if the leaf is outside the router's range.
+        """
+        first, end = router.leaf_range
+        if not first <= leaf < end:
+            return PARENT_PORT
+        span = (end - first) // len(router.children)
+        return 1 + (leaf - first) // span
+
+    # -- path/hop analysis ------------------------------------------------
+
+    def route_path(self, src: int, dest: int) -> list[int]:
+        """Router indices a packet visits from leaf src to leaf dest."""
+        self._check_leaf(src)
+        self._check_leaf(dest)
+        if src == dest:
+            return []
+        # Climb from the source leaf router to the common ancestor...
+        up = []
+        node = self.leaf_router(src)
+        while not (node.leaf_range[0] <= dest < node.leaf_range[1]):
+            up.append(node.index)
+            node = self.router(node.parent)
+        # ...then descend to the destination leaf router.
+        down = []
+        while True:
+            down.append(node.index)
+            if node.children_are_leaves:
+                break
+            port = self.child_port_for_leaf(node, dest)
+            node = self.router(node.children[port - 1])
+        return up + down
+
+    def hop_count(self, src: int, dest: int) -> int:
+        """Routers traversed between two leaves."""
+        return len(self.route_path(src, dest))
+
+    def worst_case_hops(self) -> int:
+        """Maximum routers on any leaf-to-leaf path.
+
+        For a binary tree this is ``2*log2(N) - 1`` — the number the paper
+        compares against a mesh's ``2*sqrt(N)``.
+        """
+        return 2 * self.depth - 1
+
+    def average_hops_uniform(self) -> float:
+        """Mean hop count over all ordered pairs of distinct leaves."""
+        total = 0
+        for src in range(self.leaves):
+            for dest in range(self.leaves):
+                if src != dest:
+                    total += self.hop_count(src, dest)
+        return total / (self.leaves * (self.leaves - 1))
+
+    def sibling_pairs(self) -> list[tuple[int, int]]:
+        """Leaf pairs sharing a leaf router (1-router paths)."""
+        pairs = []
+        for router in self.routers:
+            if router.children_are_leaves:
+                kids = router.children
+                pairs.extend(
+                    (kids[i], kids[j])
+                    for i in range(len(kids))
+                    for j in range(i + 1, len(kids))
+                )
+        return pairs

@@ -1,0 +1,45 @@
+"""Physical accounting: area, energy/power, and supply peak current."""
+
+from repro.physical.area import (
+    AreaReport,
+    tree_noc_area,
+    icnoc_area_report,
+    mesh_noc_area,
+    BUFFER_SLOT_AREA_MM2,
+)
+from repro.physical.power import (
+    link_energy_pj_per_flit,
+    router_energy_pj_per_flit,
+    path_energy_pj,
+    average_flit_energy_tree_pj,
+    average_flit_energy_mesh_pj,
+    average_flit_energy_tree_local_pj,
+    average_flit_energy_mesh_local_pj,
+    energy_crossover_locality,
+)
+from repro.physical.peak_current import (
+    current_profile,
+    peak_current,
+    peak_current_ratio,
+    spread_arrivals,
+)
+
+__all__ = [
+    "AreaReport",
+    "tree_noc_area",
+    "icnoc_area_report",
+    "mesh_noc_area",
+    "BUFFER_SLOT_AREA_MM2",
+    "link_energy_pj_per_flit",
+    "router_energy_pj_per_flit",
+    "path_energy_pj",
+    "average_flit_energy_tree_pj",
+    "average_flit_energy_mesh_pj",
+    "average_flit_energy_tree_local_pj",
+    "average_flit_energy_mesh_local_pj",
+    "energy_crossover_locality",
+    "current_profile",
+    "peak_current",
+    "peak_current_ratio",
+    "spread_arrivals",
+]

@@ -1,0 +1,124 @@
+"""Dynamic energy report for a completed simulation run.
+
+Combines the measured traffic (flit-router traversals and flit-millimetres
+from the delivered packets) with the energy models, and the measured
+clock-gating activity with the clock power model, into one breakdown —
+the "what did this run cost" view an SoC power architect asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocking.power import forwarded_clock_power_mw
+from repro.errors import ConfigurationError
+from repro.physical.power import (
+    link_energy_pj_per_flit,
+    router_energy_pj_per_flit,
+)
+
+
+@dataclass(frozen=True)
+class RunEnergyReport:
+    """Energy accounting of one network run.
+
+    All energies in pJ; mean power in mW assumes the configured clock
+    frequency.
+    """
+
+    router_pj: float
+    link_pj: float
+    clock_pj: float
+    elapsed_cycles: float
+    frequency_ghz: float
+    flit_router_traversals: int
+    flit_mm: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.router_pj + self.link_pj + self.clock_pj
+
+    @property
+    def mean_power_mw(self) -> float:
+        if self.elapsed_cycles <= 0.0:
+            return 0.0
+        elapsed_ns = self.elapsed_cycles / self.frequency_ghz
+        return self.total_pj / elapsed_ns / 1000.0 * 1000.0  # pJ/ns == mW
+
+    @property
+    def energy_per_flit_hop_pj(self) -> float:
+        if self.flit_router_traversals == 0:
+            return 0.0
+        return (self.router_pj + self.link_pj) / self.flit_router_traversals
+
+    def describe(self) -> str:
+        return (
+            f"routers {self.router_pj:.0f} pJ + links {self.link_pj:.0f} pJ"
+            f" + clock {self.clock_pj:.0f} pJ = {self.total_pj:.0f} pJ over"
+            f" {self.elapsed_cycles:.0f} cycles"
+            f" ({self.mean_power_mw:.2f} mW mean)"
+        )
+
+
+def _tree_path_length_mm(network, src: int, dest: int) -> float:
+    """Wire millimetres a flit travels between two leaves."""
+    topo = network.topology
+    plan = network.floorplan
+    total = 0.0
+    src_router = topo.leaf_router(src)
+    total += plan.link_length(src_router.index,
+                              topo.child_port_for_leaf(src_router, src))
+    path = topo.route_path(src, dest)
+    for a, b in zip(path, path[1:]):
+        upper, lower = (a, b) if topo.router(b).parent == a else (b, a)
+        node = topo.router(upper)
+        total += plan.link_length(upper, node.children.index(lower) + 1)
+    dest_router = topo.leaf_router(dest)
+    total += plan.link_length(dest_router.index,
+                              topo.child_port_for_leaf(dest_router, dest))
+    return total
+
+
+def run_energy_report(network, frequency_ghz: float | None = None
+                      ) -> RunEnergyReport:
+    """Energy of everything the network delivered so far."""
+    if frequency_ghz is None:
+        frequency_ghz = network.operating_frequency_ghz()
+    if frequency_ghz <= 0.0:
+        raise ConfigurationError("frequency must be positive")
+    tech = network.config.tech
+    ports = network.topology.router_ports
+    per_router = router_energy_pj_per_flit(ports, tech)
+
+    traversals = 0
+    flit_mm = 0.0
+    for packet in network.delivered:
+        hops = network.topology.hop_count(packet.src, packet.dest)
+        traversals += hops * packet.flit_count
+        flit_mm += _tree_path_length_mm(network, packet.src, packet.dest) \
+            * packet.flit_count
+
+    router_pj = traversals * per_router
+    link_pj = flit_mm * link_energy_pj_per_flit(1.0, tech)
+
+    elapsed_cycles = network.stats.elapsed_cycles
+    gating = network.gating_stats()
+    clock = forwarded_clock_power_mw(
+        network.floorplan.total_link_length_mm(),
+        sinks=len(network.clock_tree),
+        frequency=frequency_ghz,
+        sink_activity=gating.activity,
+        tech=tech,
+    )
+    # mW * ns = pJ; elapsed ns = cycles / GHz.
+    clock_pj = clock.total_mw * (elapsed_cycles / frequency_ghz)
+
+    return RunEnergyReport(
+        router_pj=router_pj,
+        link_pj=link_pj,
+        clock_pj=clock_pj,
+        elapsed_cycles=elapsed_cycles,
+        frequency_ghz=frequency_ghz,
+        flit_router_traversals=traversals,
+        flit_mm=flit_mm,
+    )

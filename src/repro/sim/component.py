@@ -1,0 +1,32 @@
+"""Base class for clocked components."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import ConfigurationError
+
+
+class ClockedComponent(abc.ABC):
+    """Anything that fires on one edge of the clock.
+
+    Attributes:
+        name: unique identifier within the kernel.
+        parity: 0 or 1 — which half-cycles this component fires on. In a
+            well-formed IC-NoC, communicating neighbours have opposite
+            parity (alternating clock edges); the kernel does not enforce
+            this, the clock-tree construction does.
+    """
+
+    def __init__(self, name: str, parity: int):
+        if parity not in (0, 1):
+            raise ConfigurationError(f"parity must be 0 or 1, got {parity}")
+        self.name = name
+        self.parity = parity
+
+    @abc.abstractmethod
+    def on_edge(self, tick: int) -> None:
+        """Called by the kernel on every tick with matching parity."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, parity={self.parity})"

@@ -1,0 +1,91 @@
+"""The simulation kernel: tick loop, component scheduling, signal commits."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.sim.component import ClockedComponent
+from repro.sim.signal import Signal
+from repro.units import cycles_to_ticks
+
+
+class SimKernel:
+    """Owns components and signals; advances time in half-cycle ticks.
+
+    Components fire in registration order, but because all signal writes
+    commit only after every component of the tick has fired, results are
+    independent of that order.
+    """
+
+    def __init__(self) -> None:
+        self.tick = 0
+        self._components: list[ClockedComponent] = []
+        self._by_parity: tuple[list[ClockedComponent], list[ClockedComponent]] = ([], [])
+        self._signals: list[Signal] = []
+        self._names: set[str] = set()
+        self._tick_callbacks: list[Callable[[int], None]] = []
+
+    # -- construction -------------------------------------------------
+
+    def add_component(self, component: ClockedComponent) -> ClockedComponent:
+        if component.name in self._names:
+            raise ConfigurationError(f"duplicate component name {component.name!r}")
+        self._names.add(component.name)
+        self._components.append(component)
+        self._by_parity[component.parity].append(component)
+        return component
+
+    def signal(self, name: str, initial: Any = None) -> Signal:
+        sig = Signal(name, initial)
+        self._signals.append(sig)
+        return sig
+
+    def on_tick(self, callback: Callable[[int], None]) -> None:
+        """Register a probe called after every tick commits."""
+        self._tick_callbacks.append(callback)
+
+    @property
+    def components(self) -> list[ClockedComponent]:
+        return list(self._components)
+
+    # -- execution ----------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one half-cycle: fire matching-parity components, commit."""
+        parity = self.tick % 2
+        for component in self._by_parity[parity]:
+            component.on_edge(self.tick)
+        for sig in self._signals:
+            sig.commit()
+        for callback in self._tick_callbacks:
+            callback(self.tick)
+        self.tick += 1
+
+    def run_ticks(self, ticks: int) -> None:
+        if ticks < 0:
+            raise ConfigurationError(f"ticks must be >= 0, got {ticks}")
+        for _ in range(ticks):
+            self.step()
+
+    def run_cycles(self, cycles: float) -> None:
+        """Advance a whole number of half-cycles given in clock cycles."""
+        self.run_ticks(cycles_to_ticks(cycles))
+
+    def run_until(self, predicate: Callable[[], bool], max_ticks: int) -> bool:
+        """Step until ``predicate()`` is true or ``max_ticks`` elapse.
+
+        Returns True if the predicate was satisfied.
+        """
+        if max_ticks < 0:
+            raise ConfigurationError(f"max_ticks must be >= 0, got {max_ticks}")
+        for _ in range(max_ticks):
+            if predicate():
+                return True
+            self.step()
+        return predicate()
+
+    @property
+    def cycles(self) -> float:
+        """Elapsed time in clock cycles."""
+        return self.tick / 2.0

@@ -1,0 +1,58 @@
+"""Probes: record signal histories and rates during simulation."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.kernel import SimKernel
+from repro.sim.signal import Signal
+
+
+class SignalTrace:
+    """Records (tick, value) pairs for a signal whenever it changes."""
+
+    def __init__(self, kernel: SimKernel, signal: Signal):
+        self._signal = signal
+        self.samples: list[tuple[int, Any]] = []
+        self._last: Any = object()  # sentinel so the first sample records
+        kernel.on_tick(self._sample)
+
+    def _sample(self, tick: int) -> None:
+        value = self._signal.value
+        if value != self._last:
+            self.samples.append((tick, value))
+            self._last = value
+
+    def values(self) -> list[Any]:
+        return [value for _, value in self.samples]
+
+
+class ThroughputMeter:
+    """Counts events and reports rates per cycle.
+
+    Components call :meth:`count` when they deliver a unit of work; the
+    meter divides by elapsed cycles. A warm-up window can be excluded.
+    """
+
+    def __init__(self, kernel: SimKernel, warmup_ticks: int = 0):
+        self._kernel = kernel
+        self._warmup_ticks = warmup_ticks
+        self.events = 0
+        self._start_tick: int | None = None
+
+    def count(self, amount: int = 1) -> None:
+        tick = self._kernel.tick
+        if tick < self._warmup_ticks:
+            return
+        if self._start_tick is None:
+            self._start_tick = tick
+        self.events += amount
+
+    @property
+    def rate_per_cycle(self) -> float:
+        if self._start_tick is None or self.events == 0:
+            return 0.0
+        elapsed_ticks = self._kernel.tick - self._start_tick
+        if elapsed_ticks <= 0:
+            return 0.0
+        return self.events / (elapsed_ticks / 2.0)

@@ -1,0 +1,61 @@
+"""Double-buffered signals.
+
+A :class:`Signal` holds the value committed at the end of the previous tick
+(readable via :attr:`value`) and a pending value written during the current
+tick (via :meth:`set`). The kernel commits pending writes after all
+components of the tick have fired, so evaluation order within a tick can
+never matter — the key determinism property of the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class Signal:
+    """One named wire with next-tick write semantics."""
+
+    __slots__ = ("name", "_value", "_next", "_dirty", "_writer_tick")
+
+    def __init__(self, name: str, initial: Any = None):
+        self.name = name
+        self._value = initial
+        self._next = initial
+        self._dirty = False
+        self._writer_tick: int | None = None
+
+    @property
+    def value(self) -> Any:
+        """The value committed at the end of the previous tick."""
+        return self._value
+
+    def set(self, value: Any, tick: int | None = None) -> None:
+        """Schedule ``value`` to become visible next tick.
+
+        Passing the current ``tick`` enables multi-driver detection: two
+        different writes to the same signal in one tick raise
+        :class:`SimulationError`.
+        """
+        if tick is not None and self._writer_tick == tick and self._dirty \
+                and value != self._next:
+            raise SimulationError(
+                f"signal {self.name!r} driven twice in tick {tick} "
+                f"({self._next!r} then {value!r})"
+            )
+        self._next = value
+        self._dirty = True
+        self._writer_tick = tick
+
+    def commit(self) -> bool:
+        """Make the pending write visible. Returns True if anything changed."""
+        if not self._dirty:
+            return False
+        changed = self._next != self._value
+        self._value = self._next
+        self._dirty = False
+        return changed
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, value={self._value!r})"

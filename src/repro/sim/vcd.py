@@ -1,0 +1,101 @@
+"""VCD (Value Change Dump) export of simulation signals.
+
+Writes standard IEEE 1364 VCD so traces of the behavioural simulation can
+be inspected in GTKWave or any other waveform viewer — the debugging
+workflow a hardware audience expects from a NoC simulator. One timescale
+unit is one half clock period (the kernel's tick).
+
+Values are encoded per VCD rules: booleans as scalars, integers as 32-bit
+vectors, ``None``/other objects as ``x``/string markers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Any
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import SimKernel
+from repro.sim.signal import Signal
+
+_ID_ALPHABET = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short printable VCD identifier for the index-th signal."""
+    if index < 0:
+        raise ConfigurationError("index must be >= 0")
+    chars = []
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, len(_ID_ALPHABET))
+        chars.append(_ID_ALPHABET[digit])
+    return "".join(chars)
+
+
+def _encode(value: Any) -> str:
+    """VCD value encoding (without the identifier)."""
+    if value is None:
+        return "x"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return "b" + format(value & 0xFFFFFFFF, "032b") + " "
+    # Arbitrary python objects (e.g. flits): dump as a real-typed marker
+    # of their hash so changes are visible, plus rely on the name.
+    return "b" + format(hash(str(value)) & 0xFFFFFFFF, "032b") + " "
+
+
+class VCDWriter:
+    """Streams signal changes of a kernel to a VCD file.
+
+    >>> kernel = SimKernel()
+    >>> sig = kernel.signal("clk_enable", initial=False)
+    >>> writer = VCDWriter(kernel, "/tmp/trace.vcd", [sig])  # doctest: +SKIP
+    """
+
+    def __init__(self, kernel: SimKernel, path: str | Path,
+                 signals: list[Signal], module: str = "icnoc"):
+        if not signals:
+            raise ConfigurationError("need at least one signal to trace")
+        self._signals = list(signals)
+        self._ids = {sig: _identifier(i) for i, sig in enumerate(signals)}
+        self._last: dict[Signal, Any] = {}
+        self._file: IO[str] = open(path, "w")
+        self._write_header(module)
+        kernel.on_tick(self._sample)
+
+    def _write_header(self, module: str) -> None:
+        out = self._file
+        out.write("$comment repro IC-NoC behavioural trace $end\n")
+        out.write("$timescale 1 ns $end\n")  # 1 tick = 1 display unit
+        out.write(f"$scope module {module} $end\n")
+        for sig in self._signals:
+            name = sig.name.replace(" ", "_")
+            out.write(f"$var wire 32 {self._ids[sig]} {name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+
+    def _sample(self, tick: int) -> None:
+        changes = []
+        for sig in self._signals:
+            value = sig.value
+            if sig in self._last and self._last[sig] == value:
+                continue
+            self._last[sig] = value
+            encoded = _encode(value)
+            if encoded.startswith("b"):
+                changes.append(f"{encoded}{self._ids[sig]}")
+            else:
+                changes.append(f"{encoded}{self._ids[sig]}")
+        if changes:
+            self._file.write(f"#{tick}\n")
+            self._file.write("\n".join(changes) + "\n")
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "VCDWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

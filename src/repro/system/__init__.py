@@ -1,0 +1,41 @@
+"""The demonstrator system of the paper's Section 6 (Fig. 5).
+
+"A homogeneous multiprocessor system ... 32 processing tiles, each with a
+microprocessor and a local memory", connected by a 64-port binary-tree
+IC-NoC on a 10 mm x 10 mm chip. Processors issue read requests to local or
+remote memories; memories reply after a service delay; the leaf routers
+give each processor fixed priority over network traffic when accessing its
+own local memory.
+"""
+
+from repro.system.processor import ProcessorModel, ProcessorConfig
+from repro.system.memory import MemoryModel
+from repro.system.tile import Tile, proc_leaf, mem_leaf, tile_of
+from repro.system.demonstrator import (
+    DemonstratorSystem,
+    DemonstratorConfig,
+    DemonstratorResults,
+)
+from repro.system.workloads import (
+    StreamingConfig,
+    StreamingWorkload,
+    StreamingResults,
+    mapping_comparison,
+)
+
+__all__ = [
+    "ProcessorModel",
+    "ProcessorConfig",
+    "MemoryModel",
+    "Tile",
+    "proc_leaf",
+    "mem_leaf",
+    "tile_of",
+    "DemonstratorSystem",
+    "DemonstratorConfig",
+    "DemonstratorResults",
+    "StreamingConfig",
+    "StreamingWorkload",
+    "StreamingResults",
+    "mapping_comparison",
+]

@@ -1,0 +1,170 @@
+"""The 64-port demonstrator: 32 tiles on a 10 mm x 10 mm chip.
+
+Builds the binary-tree IC-NoC with the paper's parameters (1.25 mm root
+segments, local-priority arbitration), attaches 32 processor/memory pairs
+at sibling leaves, and runs a closed-loop read-request workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.noc.packet import Packet
+from repro.noc.stats import LatencySummary
+from repro.system.memory import MemoryModel
+from repro.system.processor import ProcessorConfig, ProcessorModel
+from repro.system.tile import Tile, mem_leaf, proc_leaf, tile_of
+from repro.tech.technology import Technology, TECH_90NM
+
+
+@dataclass(frozen=True)
+class DemonstratorConfig:
+    """Parameters of the demonstrator run."""
+
+    tiles: int = 32
+    chip_width_mm: float = 10.0
+    chip_height_mm: float = 10.0
+    max_segment_mm: float = 1.25
+    tech: Technology = TECH_90NM
+    processor: ProcessorConfig = ProcessorConfig()
+    memory_service_cycles: int = 4
+    memory_response_flits: int = 4
+    seed: int = 2007
+    arbiter_policy: str = "local_priority"
+
+    def __post_init__(self) -> None:
+        if self.tiles < 2 or self.tiles & (self.tiles - 1):
+            raise ConfigurationError("tiles must be a power of two >= 2")
+
+    @property
+    def leaves(self) -> int:
+        return 2 * self.tiles
+
+
+@dataclass
+class DemonstratorResults:
+    """Outcome of one demonstrator run."""
+
+    cycles_run: float
+    requests_issued: int
+    requests_completed: int
+    local_latency: LatencySummary
+    remote_latency: LatencySummary
+    network_throughput_flits_per_cycle: float
+    gating_ratio: float
+    per_tile_local_mean: list[float] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"{self.requests_completed}/{self.requests_issued} transactions "
+            f"in {self.cycles_run:.0f} cycles; local round-trip "
+            f"{self.local_latency.mean:.1f} cy, remote "
+            f"{self.remote_latency.mean:.1f} cy; network "
+            f"{self.network_throughput_flits_per_cycle:.3f} flits/cy; "
+            f"clock gating {self.gating_ratio:.1%}"
+        )
+
+
+class DemonstratorSystem:
+    """The assembled multiprocessor demonstrator."""
+
+    def __init__(self, config: DemonstratorConfig = DemonstratorConfig()):
+        self.config = config
+        self.network = ICNoCNetwork(NetworkConfig(
+            leaves=config.leaves,
+            arity=2,
+            chip_width_mm=config.chip_width_mm,
+            chip_height_mm=config.chip_height_mm,
+            max_segment_mm=config.max_segment_mm,
+            tech=config.tech,
+            arbiter_policy=config.arbiter_policy,
+        ))
+        self.tiles: list[Tile] = []
+        self._responses_out: list[Packet] = []
+        for t in range(config.tiles):
+            processor = ProcessorModel(
+                tile=t, leaf=proc_leaf(t), tiles=config.tiles,
+                config=config.processor,
+            )
+            memory = MemoryModel(
+                tile=t, leaf=mem_leaf(t),
+                service_cycles=config.memory_service_cycles,
+                response_flits=config.memory_response_flits,
+            )
+            self.tiles.append(Tile(index=t, processor=processor,
+                                   memory=memory))
+            self.network.set_handler(mem_leaf(t), self._memory_handler(memory))
+            self.network.set_handler(proc_leaf(t),
+                                     self._processor_handler(processor))
+
+    def _memory_handler(self, memory: MemoryModel):
+        def handler(packet: Packet, tick: int) -> None:
+            memory.accept(packet, tick)
+        return handler
+
+    def _processor_handler(self, processor: ProcessorModel):
+        def handler(packet: Packet, tick: int) -> None:
+            request_id = packet.payload[0]
+            was_local = tile_of(packet.src) == processor.tile
+            processor.complete(request_id, tick, was_local)
+        return handler
+
+    def run(self, cycles: int = 2000) -> DemonstratorResults:
+        """Drive the closed-loop workload for ``cycles`` cycles + drain."""
+        rng = np.random.default_rng(self.config.seed)
+        network = self.network
+        for _ in range(cycles):
+            tick = network.kernel.tick
+            for tile in self.tiles:
+                request = tile.processor.maybe_issue(tick, rng)
+                if request is not None:
+                    network.send(request)
+                for response in tile.memory.responses_ready(tick):
+                    network.send(response)
+            network.run_ticks(2)
+        # Drain: stop issuing, keep serving memories until quiescent.
+        for _ in range(cycles):
+            tick = network.kernel.tick
+            idle = network.stats.packets_delivered >= network.stats.packets_injected
+            pending = any(tile.memory.pending for tile in self.tiles)
+            if idle and not pending:
+                break
+            for tile in self.tiles:
+                for response in tile.memory.responses_ready(tick):
+                    network.send(response)
+            network.run_ticks(2)
+        return self._results()
+
+    def _results(self) -> DemonstratorResults:
+        local = []
+        remote = []
+        issued = 0
+        completed = 0
+        per_tile_local = []
+        for tile in self.tiles:
+            processor = tile.processor
+            local.extend(processor.local_latencies)
+            remote.extend(processor.remote_latencies)
+            issued += processor.requests_issued
+            completed += processor.completed
+            if processor.local_latencies:
+                per_tile_local.append(
+                    sum(processor.local_latencies)
+                    / len(processor.local_latencies)
+                )
+        return DemonstratorResults(
+            cycles_run=self.network.kernel.cycles,
+            requests_issued=issued,
+            requests_completed=completed,
+            local_latency=LatencySummary.from_cycles(local),
+            remote_latency=LatencySummary.from_cycles(remote),
+            network_throughput_flits_per_cycle=(
+                self.network.stats.throughput_flits_per_cycle
+            ),
+            gating_ratio=self.network.gating_stats().gating_ratio,
+            per_tile_local_mean=per_tile_local,
+        )

@@ -1,0 +1,53 @@
+"""A local memory model: turns request packets into response packets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet
+
+
+@dataclass
+class MemoryModel:
+    """One tile's local memory.
+
+    Requests are served in arrival order after ``service_cycles``; the
+    response is a packet of ``response_flits`` flits back to the requester
+    (a cache-line-like burst). The response carries the *request's* packet
+    id in its first payload word so the processor can match it.
+    """
+
+    tile: int
+    leaf: int
+    service_cycles: int = 4
+    response_flits: int = 4
+    requests_served: int = 0
+    pending: list[tuple[int, Packet]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.service_cycles < 0:
+            raise ConfigurationError("service_cycles must be >= 0")
+        if self.response_flits < 1:
+            raise ConfigurationError("response_flits must be >= 1")
+
+    def accept(self, request: Packet, tick: int) -> None:
+        """Queue an arriving request; ready after the service delay."""
+        ready_tick = tick + 2 * self.service_cycles
+        self.pending.append((ready_tick, request))
+
+    def responses_ready(self, tick: int) -> list[Packet]:
+        """Pop every response whose service delay has elapsed."""
+        ready: list[Packet] = []
+        still_pending = []
+        for ready_tick, request in self.pending:
+            if ready_tick <= tick:
+                payload = [request.packet_id % (2 ** 32)]
+                payload += [0] * (self.response_flits - 1)
+                ready.append(Packet(src=self.leaf, dest=request.src,
+                                    payload=payload))
+                self.requests_served += 1
+            else:
+                still_pending.append((ready_tick, request))
+        self.pending = still_pending
+        return ready

@@ -1,0 +1,91 @@
+"""A closed-loop processor model issuing memory requests.
+
+The processor issues read requests (single-flit) to memories — its own
+local memory with probability ``locality``, otherwise a uniformly random
+remote memory — with a bounded number of outstanding requests, and records
+the round-trip latency of each completed transaction. This is a traffic
+model, not an ISA simulator: the demonstrator evaluates the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Workload knobs of one processor.
+
+    Attributes:
+        locality: probability a request targets the tile's own memory.
+        request_rate: probability of issuing a request each cycle (when
+            below the outstanding limit).
+        max_outstanding: simple MSHR-like limit on requests in flight.
+    """
+
+    locality: float = 0.8
+    request_rate: float = 0.2
+    max_outstanding: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.locality <= 1.0:
+            raise ConfigurationError("locality must be in [0, 1]")
+        if not 0.0 < self.request_rate <= 1.0:
+            raise ConfigurationError("request_rate must be in (0, 1]")
+        if self.max_outstanding < 1:
+            raise ConfigurationError("max_outstanding must be >= 1")
+
+
+@dataclass
+class ProcessorModel:
+    """State of one processor in the demonstrator."""
+
+    tile: int
+    leaf: int
+    tiles: int
+    config: ProcessorConfig
+    outstanding: dict[int, int] = field(default_factory=dict)  # id -> tick
+    local_latencies: list[float] = field(default_factory=list)
+    remote_latencies: list[float] = field(default_factory=list)
+    requests_issued: int = 0
+
+    def maybe_issue(self, tick: int, rng: np.random.Generator) -> Packet | None:
+        """One cycle's decision: returns a request packet or None."""
+        if len(self.outstanding) >= self.config.max_outstanding:
+            return None
+        if rng.random() >= self.config.request_rate:
+            return None
+        if self.tiles > 1 and rng.random() >= self.config.locality:
+            other = int(rng.integers(0, self.tiles - 1))
+            target_tile = other if other < self.tile else other + 1
+        else:
+            target_tile = self.tile
+        dest = 2 * target_tile + 1  # the memory leaf of the target tile
+        packet = Packet(src=self.leaf, dest=dest, payload=[])
+        # Responses echo the request id as a 32-bit payload word, so the
+        # outstanding table is keyed by the truncated id.
+        self.outstanding[packet.packet_id % (2 ** 32)] = tick
+        self.requests_issued += 1
+        return packet
+
+    def complete(self, request_id: int, tick: int, was_local: bool) -> None:
+        """A response arrived for one of our requests."""
+        if request_id not in self.outstanding:
+            raise ConfigurationError(
+                f"response for unknown request {request_id}"
+            )
+        issued = self.outstanding.pop(request_id)
+        latency_cycles = (tick - issued) / 2.0
+        if was_local:
+            self.local_latencies.append(latency_cycles)
+        else:
+            self.remote_latencies.append(latency_cycles)
+
+    @property
+    def completed(self) -> int:
+        return len(self.local_latencies) + len(self.remote_latencies)

@@ -1,0 +1,41 @@
+"""Tile address helpers and the Tile aggregate.
+
+Leaf numbering: tile t owns leaves 2t (processor) and 2t+1 (memory), so a
+tile's processor and memory are siblings under one leaf router — the
+configuration the demonstrator's priority arbitration assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.system.memory import MemoryModel
+from repro.system.processor import ProcessorModel
+
+
+def proc_leaf(tile: int) -> int:
+    """Leaf address of tile ``tile``'s processor."""
+    return 2 * tile
+
+
+def mem_leaf(tile: int) -> int:
+    """Leaf address of tile ``tile``'s local memory."""
+    return 2 * tile + 1
+
+
+def tile_of(leaf: int) -> int:
+    """Tile index owning a leaf."""
+    return leaf // 2
+
+
+def is_memory_leaf(leaf: int) -> bool:
+    return leaf % 2 == 1
+
+
+@dataclass
+class Tile:
+    """One processing tile: a processor and its local memory."""
+
+    index: int
+    processor: ProcessorModel
+    memory: MemoryModel

@@ -1,0 +1,83 @@
+"""Named process corners.
+
+Sign-off style corners built on :meth:`Technology.derated`: delays scale by
+the corner factor (areas and capacitances are first-order unchanged). Used
+by the graceful-degradation experiments to show the same netlist closing
+timing at corner-dependent frequencies — the "lower the clock and ship it"
+workflow the IC-NoC enables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import Technology, TECH_90NM
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One named corner.
+
+    Attributes:
+        name: canonical corner name (e.g. "ss").
+        delay_factor: multiplier on every delay (>1 = slower silicon).
+        description: what the corner represents.
+    """
+
+    name: str
+    delay_factor: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.delay_factor <= 0.0:
+            raise ConfigurationError("delay factor must be positive")
+
+    def apply(self, tech: Technology = TECH_90NM) -> Technology:
+        """The technology derated to this corner."""
+        return tech.derated(self.delay_factor)
+
+
+#: Typical-typical: the paper's nominal numbers ("nominal timing
+#: parameters at 1 V supply").
+CORNER_TT = ProcessCorner("tt", 1.00, "typical process, 1.0 V, 25 C")
+
+#: Fast-fast: strong silicon, cold.
+CORNER_FF = ProcessCorner("ff", 0.85, "fast process, 1.1 V, 0 C")
+
+#: Slow-slow: weak silicon, hot — the shipping sign-off corner.
+CORNER_SS = ProcessCorner("ss", 1.30, "slow process, 0.9 V, 125 C")
+
+#: Severely degraded silicon — far outside normal sign-off; included to
+#: exercise the "any amount of performance variability" claim.
+CORNER_WORST = ProcessCorner("worst", 2.00, "pathological slow corner")
+
+ALL_CORNERS = (CORNER_FF, CORNER_TT, CORNER_SS, CORNER_WORST)
+
+
+def corner_by_name(name: str) -> ProcessCorner:
+    for corner in ALL_CORNERS:
+        if corner.name == name:
+            return corner
+    raise ConfigurationError(
+        f"unknown corner {name!r}; choose from "
+        f"{[c.name for c in ALL_CORNERS]}"
+    )
+
+
+def corner_frequency_table(tech: Technology = TECH_90NM) -> list[dict]:
+    """Operating frequency of the demonstrator pipeline per corner."""
+    from repro.timing.frequency import (
+        pipeline_max_frequency,
+        router_max_frequency,
+    )
+    rows = []
+    for corner in ALL_CORNERS:
+        cornered = corner.apply(tech)
+        rows.append({
+            "corner": corner.name,
+            "delay_factor": corner.delay_factor,
+            "pipeline_1_25mm_ghz": pipeline_max_frequency(1.25, cornered),
+            "router_3x3_ghz": router_max_frequency(3, cornered),
+        })
+    return rows

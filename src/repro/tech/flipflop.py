@@ -1,0 +1,67 @@
+"""Register (flip-flop / latch) timing parameters.
+
+The paper's link-timing analysis (Section 4) uses three numbers for a
+90 nm standard-cell flip-flop: setup time, hold time and clock-to-Q
+propagation delay. Contamination delay is explicitly disregarded there; we
+carry it anyway (default 0) so hold analysis can optionally be made more
+realistic without changing the paper-faithful default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RegisterTiming:
+    """Timing parameters of an edge-triggered register, in picoseconds.
+
+    Attributes:
+        t_setup: data must be stable this long before the capturing edge.
+        t_hold: data must be stable this long after the capturing edge.
+        t_clk_q: clock-to-output propagation delay.
+        t_contamination: earliest output change after the clock edge
+            (0 = the paper's simplification).
+    """
+
+    t_setup: float = 60.0
+    t_hold: float = 20.0
+    t_clk_q: float = 60.0
+    t_contamination: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("t_setup", "t_hold", "t_clk_q", "t_contamination"):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ConfigurationError(f"{name} must be >= 0, got {value}")
+        if self.t_contamination > self.t_clk_q:
+            raise ConfigurationError(
+                "contamination delay cannot exceed clock-to-Q delay"
+            )
+
+    @property
+    def sequencing_overhead(self) -> float:
+        """Minimum half-period consumed by the register itself.
+
+        ``t_clk_q + t_setup`` — the part of each phase that is not available
+        for logic or wire delay.
+        """
+        return self.t_clk_q + self.t_setup
+
+    def scaled(self, factor: float) -> "RegisterTiming":
+        """A copy with every delay scaled (process/voltage derating)."""
+        if factor <= 0.0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return RegisterTiming(
+            t_setup=self.t_setup * factor,
+            t_hold=self.t_hold * factor,
+            t_clk_q=self.t_clk_q * factor,
+            t_contamination=self.t_contamination * factor,
+        )
+
+
+#: The paper's typical values for a 90 nm standard cell flip flop
+#: (Section 4: tsetup = 60 ps, thold = 20 ps, tclk->Q = 60 ps).
+FF_90NM = RegisterTiming(t_setup=60.0, t_hold=20.0, t_clk_q=60.0)

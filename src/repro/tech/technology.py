@@ -1,0 +1,135 @@
+"""The :class:`Technology` bundle: one object holding every process constant.
+
+A :class:`Technology` is threaded through the timing, area and power models
+so that experiments can derate or swap processes in one place (the paper's
+"graceful degradation" sweeps work by scaling these numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.tech import calibration
+from repro.tech.flipflop import RegisterTiming, FF_90NM
+from repro.tech.wire import (
+    BufferedWireModel,
+    WireParameters,
+    BUFFERED_WIRE_90NM,
+    WIRE_90NM,
+)
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process constants for timing, area and power models.
+
+    Attributes:
+        name: human-readable process name.
+        register: flip-flop timing parameters.
+        wire: per-mm electrical wire parameters (for capacitance/power).
+        buffered_wire: calibrated repeated-wire delay model.
+        supply_v: nominal supply voltage.
+        pipeline_logic_ps: flow-control logic + register delay of one
+            pipeline stage ("220 ps" in the paper).
+        pipeline_overhead_ps: additional control-signal buffering so that the
+            zero-length pipeline half-period matches the published 1.8 GHz.
+        router_half_period_base_ps / router_half_period_per_port_ps:
+            k-port router critical half-period = base + per_port * k.
+        pipeline_stage_area_mm2: area of a 32-bit pipeline stage.
+        router_area_per_port_mm2 / router_area_crossbar_mm2:
+            k-port router area = per_port * k + crossbar * k^2.
+        datapath_bits: width the published areas refer to.
+        clock_buffer_cap_pf: input capacitance of a minimum clock buffer
+            (used by the clock power model).
+        gate_cap_pf: representative gate input capacitance (power model).
+    """
+
+    name: str = "90nm-std-cell"
+    register: RegisterTiming = FF_90NM
+    wire: WireParameters = WIRE_90NM
+    buffered_wire: BufferedWireModel = BUFFERED_WIRE_90NM
+    supply_v: float = 1.0
+    pipeline_logic_ps: float = calibration.FLOW_CONTROL_LOGIC_PS
+    pipeline_overhead_ps: float = field(
+        default=calibration.pipeline_base_half_period_ps()
+        - calibration.FLOW_CONTROL_LOGIC_PS
+    )
+    router_half_period_base_ps: float = 267.857143
+    router_half_period_per_port_ps: float = 29.761905
+    pipeline_stage_area_mm2: float = calibration.PIPELINE_STAGE_AREA_MM2
+    router_area_per_port_mm2: float = 1.733333e-3
+    router_area_crossbar_mm2: float = 5.333333e-4
+    datapath_bits: int = 32
+    clock_buffer_cap_pf: float = 0.005
+    gate_cap_pf: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.supply_v <= 0.0:
+            raise ConfigurationError("supply voltage must be positive")
+        if self.datapath_bits <= 0:
+            raise ConfigurationError("datapath width must be positive")
+        if self.pipeline_logic_ps < 0.0 or self.pipeline_overhead_ps < 0.0:
+            raise ConfigurationError("pipeline delays must be >= 0")
+
+    @property
+    def pipeline_base_half_period_ps(self) -> float:
+        """Half-period of a zero-wire-length pipeline stage (277.78 ps)."""
+        return self.pipeline_logic_ps + self.pipeline_overhead_ps
+
+    def router_half_period_ps(self, ports: int) -> float:
+        """Critical half-period of a k-port tree router.
+
+        Calibrated through the paper's (3 ports, 1.4 GHz) and
+        (5 ports, 1.2 GHz).
+        """
+        if ports < 2:
+            raise ConfigurationError(f"router needs >= 2 ports, got {ports}")
+        return (
+            self.router_half_period_base_ps
+            + self.router_half_period_per_port_ps * ports
+        )
+
+    def router_area_mm2(self, ports: int, datapath_bits: int | None = None) -> float:
+        """Area of a k-port router; scales linearly with datapath width."""
+        if ports < 2:
+            raise ConfigurationError(f"router needs >= 2 ports, got {ports}")
+        bits = self.datapath_bits if datapath_bits is None else datapath_bits
+        if bits <= 0:
+            raise ConfigurationError("datapath width must be positive")
+        base = (
+            self.router_area_per_port_mm2 * ports
+            + self.router_area_crossbar_mm2 * ports * ports
+        )
+        return base * bits / self.datapath_bits
+
+    def stage_area_mm2(self, datapath_bits: int | None = None) -> float:
+        """Area of one pipeline stage; scales linearly with datapath width."""
+        bits = self.datapath_bits if datapath_bits is None else datapath_bits
+        if bits <= 0:
+            raise ConfigurationError("datapath width must be positive")
+        return self.pipeline_stage_area_mm2 * bits / self.datapath_bits
+
+    def derated(self, factor: float) -> "Technology":
+        """A copy with all *delays* scaled by ``factor`` (slow corner > 1).
+
+        Areas, voltages and capacitances are left untouched; this is the
+        process-variation knob the graceful-degradation experiments turn.
+        """
+        if factor <= 0.0:
+            raise ConfigurationError(f"derating factor must be positive, got {factor}")
+        return replace(
+            self,
+            register=self.register.scaled(factor),
+            buffered_wire=self.buffered_wire.derated(factor),
+            pipeline_logic_ps=self.pipeline_logic_ps * factor,
+            pipeline_overhead_ps=self.pipeline_overhead_ps * factor,
+            router_half_period_base_ps=self.router_half_period_base_ps * factor,
+            router_half_period_per_port_ps=(
+                self.router_half_period_per_port_ps * factor
+            ),
+        )
+
+
+#: The paper's 90 nm commercial standard-cell technology at 1 V.
+TECH_90NM = Technology()

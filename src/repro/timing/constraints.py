@@ -1,0 +1,90 @@
+"""Timing-check records and reports produced by the validator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Direction(enum.Enum):
+    """Signal direction relative to the forwarded clock."""
+
+    DOWNSTREAM = "downstream"  # with the clock (positive skew)
+    UPSTREAM = "upstream"      # against the clock (negative skew)
+
+
+class CheckKind(enum.Enum):
+    SETUP = "setup"
+    HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class TimingCheck:
+    """One evaluated constraint on one channel.
+
+    Attributes:
+        channel: name of the checked channel (e.g. ``"link[3].down.data"``).
+        direction: whether the signal runs with or against the clock.
+        kind: setup or hold.
+        slack_ps: positive means the constraint is met.
+        skew_ps: the delta_diff / delta_sum value the check evaluated.
+        bound_ps: the window bound the skew was compared against.
+    """
+
+    channel: str
+    direction: Direction
+    kind: CheckKind
+    slack_ps: float
+    skew_ps: float
+    bound_ps: float
+
+    @property
+    def passed(self) -> bool:
+        return self.slack_ps >= 0.0
+
+    def describe(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"{status} {self.channel} {self.direction.value}/{self.kind.value}: "
+            f"skew={self.skew_ps:.1f} ps bound={self.bound_ps:.1f} ps "
+            f"slack={self.slack_ps:.1f} ps"
+        )
+
+
+@dataclass
+class TimingReport:
+    """All checks for a network at one clock frequency."""
+
+    frequency_ghz: float
+    checks: list[TimingCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def violations(self) -> list[TimingCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    @property
+    def worst_slack_ps(self) -> float:
+        if not self.checks:
+            raise ValueError("report contains no checks")
+        return min(check.slack_ps for check in self.checks)
+
+    def worst_check(self) -> TimingCheck:
+        if not self.checks:
+            raise ValueError("report contains no checks")
+        return min(self.checks, key=lambda check: check.slack_ps)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"Timing report @ {self.frequency_ghz:.3f} GHz: "
+            f"{len(self.checks)} checks, "
+            f"{len(self.violations)} violations, "
+            f"worst slack {self.worst_slack_ps:.1f} ps"
+        ]
+        for check in sorted(self.checks, key=lambda c: c.slack_ps)[:10]:
+            lines.append("  " + check.describe())
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Equations (1)-(7) of the paper: alternating-edge link timing.
+
+Terminology (paper Section 4, Figs. 2 and 3). A producing register A and a
+consuming register B sit at opposite ends of a link and are clocked at
+*alternating edges*, so a transfer has half a clock period, ``Thalf``, from
+launch to capture. The clock is physically forwarded along the link with
+delay ``t_clk``.
+
+* **Downstream** transfer: the signal travels in the same direction as the
+  clock, so it experiences *positive* clock skew. With
+  ``delta_diff = t_data - t_clk`` (difference between data and clock path
+  delay), eq. (3) of the paper bounds the tolerable window::
+
+      thold - Thalf - tclkQ  <  delta_diff  <  Thalf - tclkQ - tsetup
+
+* **Upstream** transfer: the signal travels *against* the clock (negative
+  skew). With ``delta_sum = t_signal + t_clk``, eqs. (5)-(6) give::
+
+      thold - Thalf - tclkQ  <  delta_sum  <  Thalf - tclkQ - tsetup
+
+  The lower (hold) bound is negative for any realistic register, so the
+  setup bound (5) is the binding one — the paper's remark after eq. (6).
+
+Both windows *widen without bound as Thalf grows*: this is the paper's core
+timing-safety claim, "the skew tolerance can be made arbitrarily large by
+lowering the clock frequency". By contrast, a conventional same-edge
+synchronous transfer has a hold constraint independent of the period — see
+:func:`synchronous_hold_margin` — which is why a skew-broken globally
+synchronous chip cannot be rescued by slowing the clock, but an IC-NoC can.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.tech.flipflop import RegisterTiming
+
+
+def _check_half_period(half_period: float) -> None:
+    if half_period <= 0.0:
+        raise ConfigurationError(f"half period must be positive, got {half_period}")
+
+
+def downstream_window(register: RegisterTiming,
+                      half_period: float) -> tuple[float, float]:
+    """Tolerable (min, max) of ``delta_diff = t_data - t_clk`` — eq. (3).
+
+    At 1 GHz with the paper's 90 nm flip-flop this returns
+    (-540.0, 380.0) ps, matching eq. (4).
+    """
+    _check_half_period(half_period)
+    low = register.t_hold - half_period - register.t_clk_q
+    high = half_period - register.t_clk_q - register.t_setup
+    return (low, high)
+
+
+def upstream_window(register: RegisterTiming,
+                    half_period: float) -> tuple[float, float]:
+    """Tolerable (min, max) of ``delta_sum = t_signal + t_clk`` — eqs. (5)-(6).
+
+    At 1 GHz with the paper's flip-flop the upper bound is 380 ps (eq. 7)
+    and the lower bound is negative (hence never binding for real wires).
+    """
+    _check_half_period(half_period)
+    low = register.t_hold - half_period - register.t_clk_q
+    high = half_period - register.t_clk_q - register.t_setup
+    return (low, high)
+
+
+def downstream_slack(register: RegisterTiming, half_period: float,
+                     delta_diff: float) -> tuple[float, float]:
+    """(setup_slack, hold_slack) in ps for a downstream transfer.
+
+    Positive slack means the constraint is met.
+    """
+    low, high = downstream_window(register, half_period)
+    return (high - delta_diff, delta_diff - low)
+
+
+def upstream_slack(register: RegisterTiming, half_period: float,
+                   delta_sum: float) -> tuple[float, float]:
+    """(setup_slack, hold_slack) in ps for an upstream transfer."""
+    low, high = upstream_window(register, half_period)
+    return (high - delta_sum, delta_sum - low)
+
+
+def min_half_period_downstream(register: RegisterTiming,
+                               delta_diff: float) -> float:
+    """Smallest half period making a downstream transfer safe.
+
+    Derived by solving both sides of eq. (3) for ``Thalf``:
+    setup requires ``Thalf > tclkQ + tsetup + delta_diff``; hold requires
+    ``Thalf > thold - tclkQ - delta_diff``. A finite answer always exists —
+    the graceful-degradation property.
+    """
+    setup_side = register.t_clk_q + register.t_setup + delta_diff
+    hold_side = register.t_hold - register.t_clk_q - delta_diff
+    return max(setup_side, hold_side, 0.0)
+
+
+def min_half_period_upstream(register: RegisterTiming,
+                             delta_sum: float) -> float:
+    """Smallest half period making an upstream transfer safe (eqs. 5-6)."""
+    setup_side = register.t_clk_q + register.t_setup + delta_sum
+    hold_side = register.t_hold - register.t_clk_q - delta_sum
+    return max(setup_side, hold_side, 0.0)
+
+
+def synchronous_hold_margin(register: RegisterTiming, skew: float,
+                            data_min_delay: float = 0.0) -> float:
+    """Hold margin of a conventional *same-edge* synchronous transfer.
+
+    For launch and capture registers on the same clock edge with the capture
+    clock arriving ``skew`` ps late, the hold condition is::
+
+        t_contamination + data_min_delay  >  thold + skew
+
+    (using contamination delay as the earliest output change; the paper's
+    simplified model would use tclk->Q). The margin returned is
+    ``t_contamination + data_min_delay - thold - skew`` — crucially
+    **independent of the clock period**, so a negative margin cannot be
+    fixed by slowing the clock. This is the failure mode the IC-NoC's
+    alternating-edge discipline eliminates.
+    """
+    if data_min_delay < 0.0:
+        raise ConfigurationError("data_min_delay must be >= 0")
+    earliest_change = register.t_contamination + data_min_delay
+    return earliest_change - register.t_hold - skew
+
+
+def is_hold_fixable_by_frequency(register: RegisterTiming, skew: float,
+                                 data_min_delay: float = 0.0) -> bool:
+    """Whether a same-edge transfer with this skew can ever be made safe.
+
+    Returns True iff the hold margin is already non-negative: frequency
+    scaling cannot help a same-edge hold violation.
+    """
+    return synchronous_hold_margin(register, skew, data_min_delay) >= 0.0

@@ -1,0 +1,138 @@
+"""Network-wide timing validation.
+
+The NoC layer describes each physical pipeline segment as a
+:class:`ChannelSpec` carrying the forwarded-clock flight time plus the
+flight times of the signals crossing that segment. Each signal is checked
+against the window matching its direction *relative to the clock* — the
+handshake always has signals in both directions irrespective of data flow
+(paper Section 5), so every segment yields both a downstream (delta_diff)
+and an upstream (delta_sum) pair of setup/hold checks.
+
+Because every constraint is monotone in the clock period (see
+:mod:`repro.timing.link_timing`), the maximum safe frequency over a set of
+channels has the closed form ``min over checks of f_max(check)``; no search
+is required. This *is* the paper's scalability argument: timing integrity is
+decided channel-by-channel from purely local delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.flipflop import RegisterTiming
+from repro.timing.constraints import CheckKind, Direction, TimingCheck, TimingReport
+from repro.timing.link_timing import (
+    downstream_window,
+    upstream_window,
+    min_half_period_downstream,
+    min_half_period_upstream,
+)
+from repro.units import frequency_from_half_period, half_period_ps
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Measured delays of one unidirectional handshake channel.
+
+    A channel runs either with the forwarded clock (``downstream=True``:
+    data/valid ride with the clock, accept returns against it) or against it
+    (``downstream=False``: data/valid fight the clock, accept rides with
+    it). Links in the IC-NoC always come in such pairs (Fig. 6).
+
+    Attributes:
+        name: identifier used in reports.
+        clock_delay_ps: forwarded-clock flight time across the segment
+            (always measured in the clock's own direction).
+        data_delay_ps: data/valid flight time producer -> consumer.
+        accept_delay_ps: accept flight time consumer -> producer.
+        downstream: True if data flows in the clock's direction.
+    """
+
+    name: str
+    clock_delay_ps: float
+    data_delay_ps: float
+    accept_delay_ps: float
+    downstream: bool = True
+
+    def __post_init__(self) -> None:
+        for field_name in ("clock_delay_ps", "data_delay_ps", "accept_delay_ps"):
+            if getattr(self, field_name) < 0.0:
+                raise ConfigurationError(f"{field_name} must be >= 0")
+
+    @property
+    def with_clock_skew(self) -> float:
+        """delta_diff of eq. (3) for the signal riding with the clock."""
+        signal = self.data_delay_ps if self.downstream else self.accept_delay_ps
+        return signal - self.clock_delay_ps
+
+    @property
+    def against_clock_skew(self) -> float:
+        """delta_sum of eq. (5) for the signal fighting the clock."""
+        signal = self.accept_delay_ps if self.downstream else self.data_delay_ps
+        return signal + self.clock_delay_ps
+
+
+def channel_checks(spec: ChannelSpec, register: RegisterTiming,
+                   half_period: float) -> list[TimingCheck]:
+    """Evaluate the four constraints of one channel at one half period."""
+    down_low, down_high = downstream_window(register, half_period)
+    up_low, up_high = upstream_window(register, half_period)
+    delta_diff = spec.with_clock_skew
+    delta_sum = spec.against_clock_skew
+    return [
+        TimingCheck(
+            channel=spec.name, direction=Direction.DOWNSTREAM,
+            kind=CheckKind.SETUP, slack_ps=down_high - delta_diff,
+            skew_ps=delta_diff, bound_ps=down_high,
+        ),
+        TimingCheck(
+            channel=spec.name, direction=Direction.DOWNSTREAM,
+            kind=CheckKind.HOLD, slack_ps=delta_diff - down_low,
+            skew_ps=delta_diff, bound_ps=down_low,
+        ),
+        TimingCheck(
+            channel=spec.name, direction=Direction.UPSTREAM,
+            kind=CheckKind.SETUP, slack_ps=up_high - delta_sum,
+            skew_ps=delta_sum, bound_ps=up_high,
+        ),
+        TimingCheck(
+            channel=spec.name, direction=Direction.UPSTREAM,
+            kind=CheckKind.HOLD, slack_ps=delta_sum - up_low,
+            skew_ps=delta_sum, bound_ps=up_low,
+        ),
+    ]
+
+
+def validate_channels(specs: list[ChannelSpec], register: RegisterTiming,
+                      frequency: float) -> TimingReport:
+    """Check every channel at ``frequency`` GHz and collect a report."""
+    half_period = half_period_ps(frequency)
+    report = TimingReport(frequency_ghz=frequency)
+    for spec in specs:
+        report.checks.extend(channel_checks(spec, register, half_period))
+    return report
+
+
+def channel_min_half_period(spec: ChannelSpec,
+                            register: RegisterTiming) -> float:
+    """Smallest half period at which all four checks of a channel pass."""
+    return max(
+        min_half_period_downstream(register, spec.with_clock_skew),
+        min_half_period_upstream(register, spec.against_clock_skew),
+    )
+
+
+def channels_max_frequency(specs: list[ChannelSpec],
+                           register: RegisterTiming) -> float:
+    """Highest clock frequency (GHz) at which every channel is timing-safe.
+
+    Closed-form: the binding channel is the one with the largest minimum
+    half period. Raises if ``specs`` is empty.
+    """
+    if not specs:
+        raise ConfigurationError("no channels to analyse")
+    worst = max(channel_min_half_period(spec, register) for spec in specs)
+    if worst <= 0.0:
+        raise ConfigurationError("degenerate channel set: no positive bound")
+    return frequency_from_half_period(worst)

@@ -1,0 +1,38 @@
+"""Traffic generation: synthetic workloads for the evaluation.
+
+Generators produce :class:`Injection` events (cycle, src, dest, size) ahead
+of simulation, from an explicit numpy ``Generator`` so every run is
+reproducible. Patterns cover the paper's motivation: uniform random,
+locality-exploiting neighbour traffic (the application-mapping argument of
+Section 3), hotspots, permutations, and the bursty on-off traffic that
+drives the clock-gating claim of Section 5.
+"""
+
+from repro.traffic.base import Injection, TrafficGenerator, apply_traffic
+from repro.traffic.patterns import (
+    UniformRandom,
+    NeighbourTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    bit_complement,
+    bit_reverse,
+    transpose,
+)
+from repro.traffic.bursty import BurstyTraffic
+from repro.traffic.trace import TraceRecorder, replay_trace
+
+__all__ = [
+    "Injection",
+    "TrafficGenerator",
+    "apply_traffic",
+    "UniformRandom",
+    "NeighbourTraffic",
+    "HotspotTraffic",
+    "PermutationTraffic",
+    "bit_complement",
+    "bit_reverse",
+    "transpose",
+    "BurstyTraffic",
+    "TraceRecorder",
+    "replay_trace",
+]

@@ -1,0 +1,68 @@
+"""Bursty on-off traffic.
+
+"Traffic is expected to be of a bursty nature. This means that the network
+will lay idle for long periods, and power consumption during idleness is of
+a major concern" (paper Section 5) — the workload behind the clock-gating
+claim. Each source is a two-state Markov chain (ON/OFF) with geometric
+dwell times; while ON it injects at ``peak_load``, while OFF it is silent.
+Average load = peak_load * on_fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.base import Injection, TrafficGenerator
+
+
+class BurstyTraffic(TrafficGenerator):
+    """Markov-modulated on-off traffic with uniform-random destinations."""
+
+    def __init__(self, ports: int, peak_load: float, size_flits: int = 1,
+                 mean_burst_cycles: float = 20.0,
+                 mean_idle_cycles: float = 80.0):
+        super().__init__(ports, peak_load, size_flits)
+        if mean_burst_cycles <= 0.0 or mean_idle_cycles <= 0.0:
+            raise ConfigurationError("burst/idle lengths must be positive")
+        self.mean_burst_cycles = mean_burst_cycles
+        self.mean_idle_cycles = mean_idle_cycles
+
+    @property
+    def on_fraction(self) -> float:
+        return self.mean_burst_cycles / (
+            self.mean_burst_cycles + self.mean_idle_cycles
+        )
+
+    @property
+    def average_load(self) -> float:
+        return self.load * self.on_fraction
+
+    def pick_destination(self, src: int, rng: np.random.Generator) -> int:
+        dest = int(rng.integers(0, self.ports - 1))
+        return dest if dest < src else dest + 1
+
+    def generate(self, cycles: int, rng: np.random.Generator) -> list[Injection]:
+        if cycles < 0:
+            raise ConfigurationError("cycles must be >= 0")
+        p_off_to_on = 1.0 / self.mean_idle_cycles
+        p_on_to_off = 1.0 / self.mean_burst_cycles
+        # Start each source in its stationary distribution.
+        state_on = rng.random(self.ports) < self.on_fraction
+        schedule = []
+        for cycle in range(cycles):
+            flips = rng.random(self.ports)
+            for src in range(self.ports):
+                if state_on[src]:
+                    if flips[src] < p_on_to_off:
+                        state_on[src] = False
+                else:
+                    if flips[src] < p_off_to_on:
+                        state_on[src] = True
+                if state_on[src] and rng.random() < self.load / self.size_flits:
+                    schedule.append(Injection(
+                        cycle=cycle, src=src,
+                        dest=self.pick_destination(src, rng),
+                        size_flits=self.size_flits,
+                    ))
+        return schedule

@@ -1,0 +1,58 @@
+"""Traffic traces: record a schedule to a portable form and replay it.
+
+Traces make experiments repeatable across network variants: the same
+injection sequence can be replayed against a binary tree, a quad tree and
+the mesh baseline for a like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.traffic.base import Injection
+
+
+class TraceRecorder:
+    """Accumulates injections and serialises them to JSON lines."""
+
+    def __init__(self) -> None:
+        self.injections: list[Injection] = []
+
+    def record(self, injection: Injection) -> None:
+        self.injections.append(injection)
+
+    def extend(self, injections: list[Injection]) -> None:
+        self.injections.extend(injections)
+
+    def save(self, path: str | Path) -> None:
+        with open(path, "w") as handle:
+            for injection in self.injections:
+                handle.write(json.dumps({
+                    "cycle": injection.cycle,
+                    "src": injection.src,
+                    "dest": injection.dest,
+                    "size_flits": injection.size_flits,
+                }) + "\n")
+
+
+def replay_trace(path: str | Path) -> list[Injection]:
+    """Load a schedule saved by :class:`TraceRecorder`."""
+    injections = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                injections.append(Injection(
+                    cycle=record["cycle"], src=record["src"],
+                    dest=record["dest"], size_flits=record["size_flits"],
+                ))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ConfigurationError(
+                    f"bad trace line {line_number}: {exc}"
+                ) from exc
+    return injections

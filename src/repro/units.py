@@ -1,0 +1,93 @@
+"""Unit conventions and conversion helpers used throughout the library.
+
+The whole library uses one consistent set of units:
+
+* time        -- picoseconds (ps), as ``float``
+* length      -- millimetres (mm), as ``float``
+* frequency   -- gigahertz (GHz), as ``float``
+* capacitance -- picofarads (pF)
+* resistance  -- kiloohms (kOhm)
+* voltage     -- volts (V)
+* energy      -- femtojoules (fJ)
+* power       -- milliwatts (mW)
+* area        -- square millimetres (mm^2)
+
+These combine conveniently: ``kOhm * pF = ns`` (so wire RC products are
+converted with :data:`NS_PER_KOHM_PF`), and ``pF * V^2 = pJ``.
+
+The behavioural simulator does not use physical time at all; it advances in
+integer *ticks* of one half clock period (see :mod:`repro.sim.kernel`).
+Helpers for converting between cycles, half-cycles and physical time given a
+clock frequency live here too.
+"""
+
+from __future__ import annotations
+
+PS_PER_NS = 1000.0
+NS_PER_KOHM_PF = 1.0  # 1 kOhm * 1 pF = 1 ns
+PS_PER_KOHM_PF = 1000.0  # ... = 1000 ps
+
+
+def period_ps(frequency_ghz: float) -> float:
+    """Clock period in ps for a frequency in GHz."""
+    if frequency_ghz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    return 1000.0 / frequency_ghz
+
+
+def half_period_ps(frequency_ghz: float) -> float:
+    """Half clock period (one phase) in ps for a frequency in GHz."""
+    return period_ps(frequency_ghz) / 2.0
+
+
+def frequency_ghz(period: float) -> float:
+    """Frequency in GHz for a period in ps."""
+    if period <= 0.0:
+        raise ValueError(f"period must be positive, got {period}")
+    return 1000.0 / period
+
+
+def frequency_from_half_period(half_period: float) -> float:
+    """Frequency in GHz for a half period in ps."""
+    return frequency_ghz(2.0 * half_period)
+
+
+def cycles_to_ticks(cycles: float) -> int:
+    """Convert clock cycles to simulator half-cycle ticks.
+
+    Fractional half-cycles are rejected: the simulator's resolution is
+    exactly one half period.
+    """
+    ticks = cycles * 2.0
+    rounded = round(ticks)
+    if abs(ticks - rounded) > 1e-9:
+        raise ValueError(f"{cycles} cycles is not a whole number of half-cycles")
+    return int(rounded)
+
+
+def ticks_to_cycles(ticks: int) -> float:
+    """Convert simulator half-cycle ticks to clock cycles."""
+    return ticks / 2.0
+
+
+def ticks_to_ps(ticks: int, frequency: float) -> float:
+    """Physical duration of ``ticks`` half-cycles at ``frequency`` GHz."""
+    return ticks * half_period_ps(frequency)
+
+
+def energy_pj(capacitance_pf: float, voltage_v: float) -> float:
+    """Switching energy C*V^2 in pJ for C in pF and V in volts."""
+    return capacitance_pf * voltage_v * voltage_v
+
+
+def power_mw(capacitance_pf: float, voltage_v: float, frequency: float,
+             activity: float = 1.0) -> float:
+    """Dynamic power ``alpha * C * V^2 * f`` in mW.
+
+    C in pF, f in GHz, ``activity`` is the switching activity factor in
+    [0, 1] (1.0 means the node toggles through a full charge/discharge each
+    cycle, as a clock net does).
+    """
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError(f"activity must be in [0, 1], got {activity}")
+    return activity * capacitance_pf * voltage_v * voltage_v * frequency

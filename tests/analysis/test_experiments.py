@@ -1,0 +1,48 @@
+"""Paper-vs-measured records."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentLog, PaperComparison
+from repro.errors import ConfigurationError
+
+
+class TestPaperComparison:
+    def test_relative_error(self):
+        c = PaperComparison("E", "q", paper_value=1.0, measured_value=1.05)
+        assert c.relative_error == pytest.approx(0.05)
+
+    def test_matches_within_tolerance(self):
+        c = PaperComparison("E", "q", 1.0, 1.05, tolerance=0.10)
+        assert c.matches
+
+    def test_deviation_flagged(self):
+        c = PaperComparison("E", "q", 1.0, 1.5, tolerance=0.10)
+        assert not c.matches
+
+    def test_zero_paper_value(self):
+        c = PaperComparison("E", "q", 0.0, 0.001)
+        assert c.relative_error == pytest.approx(0.001)
+
+    def test_row_contains_status(self):
+        row = PaperComparison("E", "q", 1.0, 1.0).row()
+        assert "OK" in row
+
+
+class TestExperimentLog:
+    def test_add_and_render(self):
+        log = ExperimentLog()
+        log.add("EXP-F7", "frequency at 0 mm", 1.8, 1.8, unit="GHz")
+        log.add("EXP-F7", "frequency at 1.25 mm", 1.0, 0.994, unit="GHz")
+        text = log.render(title="Fig 7")
+        assert "EXP-F7" in text
+        assert "GHz" in text
+        assert log.all_match
+
+    def test_all_match_false_on_deviation(self):
+        log = ExperimentLog()
+        log.add("X", "off by 2x", 1.0, 2.0)
+        assert not log.all_match
+
+    def test_empty_log_raises(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentLog().all_match

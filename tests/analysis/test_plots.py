@@ -1,0 +1,42 @@
+"""ASCII plots."""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot
+from repro.errors import ConfigurationError
+
+
+class TestAsciiPlot:
+    def test_renders_points(self):
+        text = ascii_plot([0, 1, 2], [0, 1, 4], x_label="x", y_label="y")
+        assert "*" in text
+        assert "y vs x" in text
+
+    def test_title(self):
+        text = ascii_plot([0, 1], [1, 0], title="Fig 7")
+        assert text.splitlines()[0] == "Fig 7"
+
+    def test_monotone_curve_shape(self):
+        """A decreasing curve has its stars move downward left to right."""
+        xs = list(range(20))
+        ys = [20 - x for x in xs]
+        text = ascii_plot(xs, ys, width=20, height=10)
+        grid_lines = [line for line in text.splitlines() if "*" in line]
+        first_star_cols = [line.index("*") for line in grid_lines]
+        assert first_star_cols == sorted(first_star_cols)
+
+    def test_constant_series_ok(self):
+        text = ascii_plot([0, 1, 2], [5, 5, 5])
+        assert "*" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([], [])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([0], [0], width=2, height=2)

@@ -1,0 +1,33 @@
+"""The scorecard must hold on every commit — the reproduction contract."""
+
+import pytest
+
+from repro.analysis.scorecard import build_scorecard, render_scorecard
+
+
+@pytest.fixture(scope="module")
+def scorecard():
+    return build_scorecard()
+
+
+class TestScorecard:
+    def test_all_rows_match(self, scorecard):
+        failing = [c for c in scorecard.comparisons if not c.matches]
+        assert not failing, "\n".join(
+            f"{c.experiment} {c.quantity}: paper {c.paper_value} vs "
+            f"measured {c.measured_value} ({c.relative_error:.1%})"
+            for c in failing
+        )
+
+    def test_covers_every_fast_experiment(self, scorecard):
+        experiments = {c.experiment for c in scorecard.comparisons}
+        assert {"EXP-EQ4", "EXP-EQ7", "EXP-F7", "EXP-RT", "EXP-TM",
+                "EXP-DM"} <= experiments
+
+    def test_has_enough_rows(self, scorecard):
+        assert len(scorecard.comparisons) >= 20
+
+    def test_render(self):
+        text = render_scorecard()
+        assert "scorecard" in text
+        assert "OK" in text

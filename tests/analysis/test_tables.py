@@ -1,0 +1,43 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["a", "b"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.5" in lines[2]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long-name-here", 1], ["s", 2]])
+        lines = text.splitlines()
+        assert lines[2].index("|") == lines[3].index("|")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.00001], [12345.6], [1.5]])
+        assert "e-05" in text or "1.000e-05" in text
+        assert "1.5" in text
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_no_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text

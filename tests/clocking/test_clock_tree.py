@@ -1,0 +1,103 @@
+"""Clock tree: insertion delay, polarity alternation, skew."""
+
+import pytest
+
+from repro.clocking.clock_tree import ClockTree
+from repro.errors import ConfigurationError, TopologyError
+
+
+def linear_tree(delays):
+    """root -> n0 -> n1 -> ... with the given segment delays."""
+    tree = ClockTree()
+    parent = "root"
+    for i, delay in enumerate(delays):
+        tree.add(f"n{i}", parent=parent, segment_delay_ps=delay)
+        parent = f"n{i}"
+    return tree
+
+
+class TestStructure:
+    def test_root_exists(self):
+        tree = ClockTree()
+        assert tree.root.name == "root"
+        assert len(tree) == 1
+
+    def test_add_and_lookup(self):
+        tree = ClockTree()
+        tree.add("a", "root", 10.0)
+        assert "a" in tree
+        assert tree.node("a").parent == "root"
+
+    def test_duplicate_rejected(self):
+        tree = ClockTree()
+        tree.add("a", "root", 10.0)
+        with pytest.raises(TopologyError):
+            tree.add("a", "root", 20.0)
+
+    def test_unknown_parent_rejected(self):
+        tree = ClockTree()
+        with pytest.raises(TopologyError):
+            tree.add("a", "ghost", 10.0)
+
+    def test_negative_delay_rejected(self):
+        tree = ClockTree()
+        with pytest.raises(ConfigurationError):
+            tree.add("a", "root", -5.0)
+
+    def test_leaves(self):
+        tree = ClockTree()
+        tree.add("a", "root", 1.0)
+        tree.add("b", "root", 1.0)
+        tree.add("c", "a", 1.0)
+        assert sorted(tree.leaves()) == ["b", "c"]
+
+
+class TestDelays:
+    def test_insertion_delay_accumulates(self):
+        tree = linear_tree([100.0, 50.0, 25.0])
+        assert tree.insertion_delay("n0") == pytest.approx(100.0)
+        assert tree.insertion_delay("n2") == pytest.approx(175.0)
+
+    def test_root_delay_zero(self):
+        assert ClockTree().insertion_delay("root") == 0.0
+
+    def test_skew_is_delay_difference(self):
+        tree = linear_tree([100.0, 50.0])
+        assert tree.skew("n1", "n0") == pytest.approx(50.0)
+        assert tree.skew("n0", "n1") == pytest.approx(-50.0)
+        assert tree.skew("n0", "n0") == 0.0
+
+    def test_max_skew_across_branches(self):
+        tree = ClockTree()
+        tree.add("short", "root", 10.0)
+        tree.add("long", "root", 300.0)
+        assert tree.max_skew() == pytest.approx(300.0)
+
+    def test_arrival_times_complete(self):
+        tree = linear_tree([10.0, 20.0])
+        arrivals = tree.arrival_times()
+        assert set(arrivals) == {"root", "n0", "n1"}
+        assert arrivals["n1"] == pytest.approx(30.0)
+
+
+class TestPolarity:
+    def test_alternates_hop_by_hop(self):
+        tree = linear_tree([1.0] * 5)
+        expected = [1, 0, 1, 0, 1]
+        assert [tree.polarity(f"n{i}") for i in range(5)] == expected
+
+    def test_non_inverting_hop_keeps_polarity(self):
+        tree = ClockTree()
+        tree.add("a", "root", 1.0, inverts=True)
+        tree.add("b", "a", 1.0, inverts=False)
+        assert tree.polarity("a") == 1
+        assert tree.polarity("b") == 1
+
+    def test_depth(self):
+        tree = linear_tree([1.0] * 3)
+        assert tree.depth("root") == 0
+        assert tree.depth("n2") == 3
+
+    def test_validate_alternation_passes(self):
+        tree = linear_tree([1.0] * 4)
+        tree.validate_alternation()  # must not raise

@@ -1,0 +1,46 @@
+"""Gating statistics arithmetic."""
+
+import pytest
+
+from repro.clocking.gating import GatingStats
+
+
+class TestGatingStats:
+    def test_empty_is_neutral(self):
+        stats = GatingStats()
+        assert stats.activity == 0.0
+        assert stats.gating_ratio == 0.0
+
+    def test_record_counts(self):
+        stats = GatingStats()
+        stats.record(True)
+        stats.record(False)
+        stats.record(False)
+        assert stats.edges_total == 3
+        assert stats.edges_enabled == 1
+        assert stats.edges_gated == 2
+
+    def test_activity_and_ratio_complement(self):
+        stats = GatingStats(edges_total=10, edges_enabled=3)
+        assert stats.activity == pytest.approx(0.3)
+        assert stats.gating_ratio == pytest.approx(0.7)
+
+    def test_merge(self):
+        a = GatingStats(edges_total=10, edges_enabled=4)
+        b = GatingStats(edges_total=6, edges_enabled=6)
+        a.merge(b)
+        assert a.edges_total == 16
+        assert a.edges_enabled == 10
+
+    def test_add_operator(self):
+        a = GatingStats(edges_total=4, edges_enabled=2)
+        b = GatingStats(edges_total=8, edges_enabled=1)
+        c = a + b
+        assert c.edges_total == 12
+        assert c.edges_enabled == 3
+        # Operands untouched.
+        assert a.edges_total == 4
+
+    def test_fully_idle_is_fully_gated(self):
+        stats = GatingStats(edges_total=100, edges_enabled=0)
+        assert stats.gating_ratio == 1.0

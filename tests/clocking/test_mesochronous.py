@@ -1,0 +1,84 @@
+"""Mesochronous baselines: synchronizer latency/MTBF vs IC-NoC."""
+
+import math
+
+import pytest
+
+from repro.clocking.mesochronous import (
+    ICNoCCrossing,
+    PhaseDetectorScheme,
+    TwoFlopSynchronizer,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTwoFlop:
+    def test_latency_equals_stages(self):
+        assert TwoFlopSynchronizer(stages=2).latency_cycles == 2.0
+        assert TwoFlopSynchronizer(stages=3).latency_cycles == 3.0
+
+    def test_mtbf_finite(self):
+        sync = TwoFlopSynchronizer()
+        mtbf = sync.mtbf_seconds(clock_ghz=1.0, data_rate_ghz=0.1)
+        assert 0.0 < mtbf < math.inf
+
+    def test_mtbf_improves_exponentially_with_stages(self):
+        two = TwoFlopSynchronizer(stages=2)
+        three = TwoFlopSynchronizer(stages=3)
+        ratio = three.mtbf_seconds(1.0, 0.1) / two.mtbf_seconds(1.0, 0.1)
+        # One extra 1 GHz cycle of resolution at tau = 20 ps.
+        assert ratio == pytest.approx(math.exp(1000.0 / 20.0), rel=1e-6)
+
+    def test_mtbf_worsens_with_clock_rate(self):
+        sync = TwoFlopSynchronizer()
+        assert sync.mtbf_seconds(2.0, 0.1) < sync.mtbf_seconds(1.0, 0.1)
+
+    def test_failure_probability_small_but_positive(self):
+        sync = TwoFlopSynchronizer()
+        p = sync.failure_probability_per_transfer(clock_ghz=1.0)
+        assert 0.0 < p < 1e-6
+
+    def test_zero_stage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoFlopSynchronizer(stages=0)
+
+    def test_bad_rates_rejected(self):
+        sync = TwoFlopSynchronizer()
+        with pytest.raises(ConfigurationError):
+            sync.mtbf_seconds(0.0, 1.0)
+
+
+class TestPhaseDetector:
+    def test_amortised_latency_approaches_steady_state(self):
+        scheme = PhaseDetectorScheme(init_cycles=64, latency_cycles=0.5)
+        assert scheme.total_latency_cycles(1) == pytest.approx(64.5)
+        assert scheme.total_latency_cycles(10_000) == pytest.approx(
+            0.5, abs=0.01
+        )
+
+    def test_has_area_overhead(self):
+        # "complex phase detection is needed, making the circuit overhead
+        # non-negligible" (Section 2).
+        assert PhaseDetectorScheme().area_overhead_mm2 > 0.0
+
+    def test_zero_transfers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseDetectorScheme().total_latency_cycles(0)
+
+
+class TestICNoCCrossing:
+    def test_no_latency_no_init_no_overhead(self):
+        crossing = ICNoCCrossing()
+        assert crossing.latency_cycles == 0.0
+        assert crossing.init_cycles == 0
+        assert crossing.area_overhead_mm2 == 0.0
+
+    def test_infinite_mtbf(self):
+        assert ICNoCCrossing().mtbf_seconds(1.0, 1.0) == math.inf
+
+    def test_dominates_two_flop(self):
+        """The Section 2 comparison in one assertion set."""
+        sync = TwoFlopSynchronizer()
+        crossing = ICNoCCrossing()
+        assert crossing.latency_cycles < sync.latency_cycles
+        assert crossing.mtbf_seconds(1.0, 0.5) > sync.mtbf_seconds(1.0, 0.5)

@@ -1,0 +1,59 @@
+"""Clock power models: balanced tree vs forwarded clock."""
+
+import pytest
+
+from repro.clocking.power import (
+    balanced_tree_clock_power_mw,
+    forwarded_clock_power_mw,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBalancedTree:
+    def test_breakdown_adds_up(self):
+        power = balanced_tree_clock_power_mw(100.0, 64, 1.0)
+        assert power.total_mw == pytest.approx(
+            power.wire_mw + power.buffer_mw + power.sink_mw
+        )
+
+    def test_buffers_dominate_wire(self):
+        # The skew-matching buffer overhead is the point of the comparison.
+        power = balanced_tree_clock_power_mw(100.0, 64, 1.0)
+        assert power.buffer_mw > power.wire_mw
+
+    def test_scales_with_frequency(self):
+        slow = balanced_tree_clock_power_mw(100.0, 64, 0.5)
+        fast = balanced_tree_clock_power_mw(100.0, 64, 1.0)
+        assert fast.total_mw == pytest.approx(2.0 * slow.total_mw)
+
+
+class TestForwardedClock:
+    def test_cheaper_than_balanced_same_wire(self):
+        """Section 2: mesochronous distribution 'significantly reduced'
+        power because the balancing buffers are avoided."""
+        balanced = balanced_tree_clock_power_mw(105.0, 64, 1.0)
+        forwarded = forwarded_clock_power_mw(105.0, 64, 1.0)
+        assert forwarded.total_mw < balanced.total_mw
+
+    def test_gating_reduces_sink_power_only(self):
+        busy = forwarded_clock_power_mw(105.0, 64, 1.0, sink_activity=1.0)
+        idle = forwarded_clock_power_mw(105.0, 64, 1.0, sink_activity=0.1)
+        assert idle.sink_mw == pytest.approx(0.1 * busy.sink_mw)
+        assert idle.wire_mw == busy.wire_mw
+        assert idle.buffer_mw == busy.buffer_mw
+
+    def test_describe_mentions_total(self):
+        power = forwarded_clock_power_mw(10.0, 8, 1.0)
+        assert "mW" in power.describe()
+
+    def test_bad_activity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            forwarded_clock_power_mw(10.0, 8, 1.0, sink_activity=1.5)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            forwarded_clock_power_mw(-1.0, 8, 1.0)
+        with pytest.raises(ConfigurationError):
+            balanced_tree_clock_power_mw(10.0, -1, 1.0)
+        with pytest.raises(ConfigurationError):
+            balanced_tree_clock_power_mw(10.0, 8, 0.0)

@@ -1,0 +1,95 @@
+"""Variation Monte Carlo: determinism, statistics, correlation variants."""
+
+import numpy as np
+import pytest
+
+from repro.clocking.variation import (
+    VariationModel,
+    perturb_channels,
+    perturb_channels_correlated,
+)
+from repro.errors import ConfigurationError
+from repro.timing.validator import ChannelSpec
+
+
+def specs(n=10):
+    return [ChannelSpec(f"s{i}", 100.0, 100.0, 100.0) for i in range(n)]
+
+
+class TestModel:
+    def test_zero_sigma_is_identity(self):
+        model = VariationModel(systematic_sigma=0.0, random_sigma=0.0)
+        rng = np.random.default_rng(0)
+        factors = model.sample_factors(100, rng)
+        assert np.allclose(factors, 1.0)
+
+    def test_factors_positive(self):
+        model = VariationModel(systematic_sigma=0.5, random_sigma=0.5)
+        rng = np.random.default_rng(1)
+        factors = model.sample_factors(10_000, rng)
+        assert (factors > 0.0).all()
+
+    def test_mean_near_one(self):
+        model = VariationModel(random_sigma=0.2)
+        rng = np.random.default_rng(2)
+        factors = model.sample_factors(50_000, rng)
+        assert factors.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_spread_grows_with_sigma(self):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        narrow = VariationModel(random_sigma=0.05).sample_factors(10_000, rng1)
+        wide = VariationModel(random_sigma=0.30).sample_factors(10_000, rng2)
+        assert wide.std() > narrow.std()
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VariationModel(random_sigma=-0.1)
+
+    def test_negative_count_rejected(self):
+        model = VariationModel()
+        with pytest.raises(ConfigurationError):
+            model.sample_factors(-1, np.random.default_rng(0))
+
+
+class TestPerturbation:
+    def test_deterministic_under_seed(self):
+        model = VariationModel(random_sigma=0.1)
+        a = perturb_channels(specs(), model, np.random.default_rng(42))
+        b = perturb_channels(specs(), model, np.random.default_rng(42))
+        assert [s.clock_delay_ps for s in a] == [s.clock_delay_ps for s in b]
+
+    def test_names_preserved(self):
+        model = VariationModel(random_sigma=0.1)
+        out = perturb_channels(specs(), model, np.random.default_rng(0))
+        assert [s.name for s in out] == [s.name for s in specs()]
+
+    def test_delays_stay_positive(self):
+        model = VariationModel(systematic_sigma=0.5, random_sigma=0.5)
+        out = perturb_channels(specs(50), model, np.random.default_rng(7))
+        for spec in out:
+            assert spec.clock_delay_ps > 0.0
+            assert spec.data_delay_ps > 0.0
+            assert spec.accept_delay_ps > 0.0
+
+    def test_independent_variation_changes_delta_diff(self):
+        model = VariationModel(random_sigma=0.2)
+        out = perturb_channels(specs(50), model, np.random.default_rng(5))
+        diffs = [abs(s.with_clock_skew) for s in out]
+        assert max(diffs) > 0.0
+
+    def test_correlated_variation_keeps_delta_diff_zero(self):
+        """Routing clock with data cancels variation out of delta_diff —
+        the paper's correlation argument."""
+        model = VariationModel(random_sigma=0.2)
+        out = perturb_channels_correlated(specs(50), model,
+                                          np.random.default_rng(5))
+        for spec in out:
+            assert spec.with_clock_skew == pytest.approx(0.0, abs=1e-9)
+
+    def test_correlated_still_varies_delta_sum(self):
+        model = VariationModel(random_sigma=0.2)
+        out = perturb_channels_correlated(specs(50), model,
+                                          np.random.default_rng(5))
+        sums = {round(s.against_clock_skew, 6) for s in out}
+        assert len(sums) > 1

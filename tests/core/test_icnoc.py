@@ -1,0 +1,87 @@
+"""The ICNoC facade."""
+
+import pytest
+
+from repro.core.config import ICNoCConfig
+from repro.core.icnoc import ICNoC
+from repro.errors import ConfigurationError, TimingViolationError
+from repro.noc.packet import Packet
+from repro.traffic.patterns import UniformRandom
+
+
+@pytest.fixture(scope="module")
+def noc16():
+    return ICNoC(ICNoCConfig(ports=16))
+
+
+class TestConfig:
+    def test_defaults_match_demonstrator(self):
+        config = ICNoCConfig()
+        assert config.ports == 64
+        assert config.topology == "binary"
+        assert config.arity == 2
+        assert config.max_segment_mm == 1.25
+
+    def test_quad_arity(self):
+        assert ICNoCConfig(topology="quad").arity == 4
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ICNoCConfig(topology="torus")
+
+    def test_network_config_propagation(self):
+        net_config = ICNoCConfig(ports=16, topology="quad").network_config()
+        assert net_config.leaves == 16
+        assert net_config.arity == 4
+
+
+class TestTiming:
+    def test_validate_passes_at_operating_point(self, noc16):
+        report = noc16.validate_timing()
+        assert report.passed
+
+    def test_validate_passes_at_1ghz(self, noc16):
+        assert noc16.validate_timing(frequency=1.0).passed
+
+    def test_validate_fails_well_above_limit(self, noc16):
+        report = noc16.validate_timing(frequency=3.0)
+        assert not report.passed
+
+    def test_strict_mode_raises(self, noc16):
+        with pytest.raises(TimingViolationError) as excinfo:
+            noc16.validate_timing(frequency=3.0, strict=True)
+        assert excinfo.value.violations
+
+    def test_skew_limit_above_operating_point(self, noc16):
+        """The FF-only skew windows leave headroom above the logic-limited
+        operating frequency — consistent with the paper's observation that
+        the 220 ps control logic, not the link timing, sets the speed."""
+        assert noc16.skew_limited_frequency_ghz() > \
+            noc16.operating_frequency_ghz()
+
+
+class TestTraffic:
+    def test_run_traffic_delivers(self):
+        noc = ICNoC(ICNoCConfig(ports=16))
+        stats = noc.run_traffic(UniformRandom(ports=16, load=0.05),
+                                cycles=200, seed=1)
+        assert stats.packets_injected > 0
+        assert stats.packets_delivered == stats.packets_injected
+        assert stats.latency.mean > 0.0
+
+    def test_direct_send(self):
+        noc = ICNoC(ICNoCConfig(ports=16))
+        noc.send(Packet(src=0, dest=9))
+        assert noc.network.drain(10_000)
+
+    def test_describe_renders(self, noc16):
+        text = noc16.describe()
+        assert "IC-NoC" in text
+        assert "area" in text
+
+
+class TestArea:
+    def test_area_report_available(self, noc16):
+        report = noc16.area_report()
+        assert report.total_mm2 > 0.0
+        assert report.chip_fraction < 0.02

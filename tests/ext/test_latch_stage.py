@@ -1,0 +1,64 @@
+"""Latch-based stages (future work): area/power/timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ext.latch_stage import LatchStageModel, latch_savings_table
+from repro.tech.technology import TECH_90NM
+
+
+class TestLatchModel:
+    def test_area_smaller_than_ff_stage(self):
+        """'This will reduce the area as well as the power consumption.'"""
+        model = LatchStageModel()
+        assert model.stage_area_mm2() < TECH_90NM.stage_area_mm2()
+
+    def test_area_saving_fraction_consistent(self):
+        model = LatchStageModel()
+        saving = model.area_saving_fraction()
+        assert saving == pytest.approx(
+            1.0 - model.stage_area_mm2() / TECH_90NM.stage_area_mm2()
+        )
+        # Registers are 60% of the stage and halve: expect ~30%.
+        assert saving == pytest.approx(0.30, abs=0.02)
+
+    def test_clock_power_halves(self):
+        assert LatchStageModel().clock_power_saving_fraction() == \
+            pytest.approx(0.5)
+
+    def test_pipeline_speed_improves(self):
+        """Less sequencing overhead -> faster head-to-head pipeline."""
+        from repro.timing.frequency import pipeline_max_frequency
+        model = LatchStageModel()
+        assert model.pipeline_max_frequency(0.0) > pipeline_max_frequency(0.0)
+
+    def test_wire_term_unchanged(self):
+        model = LatchStageModel()
+        delta_ff = (model.pipeline_half_period_ps(1.0)
+                    - model.pipeline_half_period_ps(0.0))
+        from repro.timing.frequency import pipeline_half_period
+        delta_latch = pipeline_half_period(1.0) - pipeline_half_period(0.0)
+        assert delta_ff == pytest.approx(delta_latch)
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatchStageModel(latch_vs_ff_area=0.0)
+        with pytest.raises(ConfigurationError):
+            LatchStageModel(register_area_fraction=1.5)
+
+
+class TestSavingsTable:
+    def test_table_for_demonstrator_stages(self):
+        table = latch_savings_table(76)
+        assert table["ff_area_mm2"] == pytest.approx(76 * 0.0015)
+        assert table["latch_area_mm2"] < table["ff_area_mm2"]
+        assert table["area_saving_mm2"] > 0.0
+        assert table["f_max_head_to_head_ghz"] > 1.8
+
+    def test_zero_stages(self):
+        table = latch_savings_table(0)
+        assert table["area_saving_mm2"] == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latch_savings_table(-1)

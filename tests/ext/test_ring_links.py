@@ -1,0 +1,82 @@
+"""Ring shortcut links (future work): latency algebra."""
+
+import pytest
+
+from repro.clocking.mesochronous import TwoFlopSynchronizer
+from repro.errors import TopologyError
+from repro.ext.ring_links import RingAugmentedTree, ShortcutLink
+from repro.noc.topology import TreeTopology
+
+
+@pytest.fixture()
+def tree64():
+    return TreeTopology(64, arity=2)
+
+
+class TestShortcutLink:
+    def test_crossing_latency_from_synchronizer(self):
+        link = ShortcutLink(1, 2, TwoFlopSynchronizer(stages=3))
+        assert link.crossing_latency_cycles == 3.0
+
+    def test_self_link_rejected(self, tree64):
+        with pytest.raises(TopologyError):
+            RingAugmentedTree(tree64, [ShortcutLink(5, 5)])
+
+    def test_unknown_leaf_rejected(self, tree64):
+        with pytest.raises(TopologyError):
+            RingAugmentedTree(tree64, [ShortcutLink(0, 99)])
+
+
+class TestNeighbourRing:
+    def test_shortcuts_only_where_tree_is_distant(self, tree64):
+        ring = RingAugmentedTree.neighbour_ring(tree64)
+        for link in ring.shortcuts:
+            assert tree64.hop_count(link.leaf_a, link.leaf_b) > 1
+            assert link.leaf_b == link.leaf_a + 1
+
+    def test_worst_neighbour_pair_improves(self, tree64):
+        """Leaves 31 and 32 are adjacent on the floor but tree-wise
+        maximally distant (through the root: 11 routers, 16.5 cycles);
+        a synchronized shortcut beats that despite its 2-cycle penalty."""
+        ring = RingAugmentedTree.neighbour_ring(tree64)
+        tree_latency = ring.tree_latency_cycles(31, 32)
+        assert tree_latency == pytest.approx(16.5)
+        shortcut_latency = ring.latency_cycles(31, 32)
+        assert shortcut_latency == pytest.approx(3.0)  # 2 sync + 1 wire
+
+    def test_sibling_pairs_keep_tree_path(self, tree64):
+        """Where the tree is already optimal the shortcut cannot help."""
+        ring = RingAugmentedTree.neighbour_ring(tree64)
+        assert ring.latency_cycles(0, 1) == ring.tree_latency_cycles(0, 1)
+
+    def test_adjacent_pair_improvement_summary(self, tree64):
+        ring = RingAugmentedTree.neighbour_ring(tree64)
+        summary = ring.adjacent_pair_improvement()
+        assert summary["speedup"] > 1.5
+        assert summary["augmented_cycles"] < summary["tree_only_cycles"]
+
+    def test_usage_counters(self, tree64):
+        ring = RingAugmentedTree.neighbour_ring(tree64)
+        ring.latency_cycles(31, 32)  # uses a shortcut
+        ring.latency_cycles(0, 1)    # pure tree
+        assert ring.shortcut_uses >= 1
+        assert ring.tree_uses >= 1
+
+    def test_remote_traffic_can_still_use_tree(self, tree64):
+        """Cross-chip random pairs mostly stay on the tree."""
+        ring = RingAugmentedTree.neighbour_ring(tree64)
+        latency = ring.latency_cycles(0, 63)
+        assert latency <= ring.tree_latency_cycles(0, 63)
+
+
+class TestEmptyRing:
+    def test_no_shortcuts_is_pure_tree(self, tree64):
+        ring = RingAugmentedTree(tree64, [])
+        for src, dest in ((0, 1), (0, 63), (20, 40)):
+            assert ring.latency_cycles(src, dest) == \
+                ring.tree_latency_cycles(src, dest)
+
+    def test_average_requires_pairs(self, tree64):
+        ring = RingAugmentedTree(tree64, [])
+        with pytest.raises(TopologyError):
+            ring.average_latency_cycles([])

@@ -1,0 +1,97 @@
+"""Mesh structure and XY routing analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.mesh.topology import MeshTopology
+
+
+class TestStructure:
+    def test_square_for(self):
+        mesh = MeshTopology.square_for(64)
+        assert mesh.cols == 8 and mesh.rows == 8
+
+    def test_square_for_rejects_non_square(self):
+        with pytest.raises(TopologyError):
+            MeshTopology.square_for(48)
+
+    def test_node_count(self):
+        assert MeshTopology(8, 8).nodes == 64
+        assert MeshTopology(4, 2).nodes == 8
+
+    def test_router_per_node(self):
+        """N routers vs the tree's N-1 — 'in a tree there are fewer
+        routers than in a mesh' (Section 3)."""
+        mesh = MeshTopology(8, 8)
+        assert mesh.router_count == 64
+
+    def test_coordinates_roundtrip(self):
+        mesh = MeshTopology(5, 3)
+        for node in range(mesh.nodes):
+            x, y = mesh.coordinates(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_router_ports(self):
+        mesh = MeshTopology(3, 3)
+        assert mesh.router_ports(4) == 5   # centre
+        assert mesh.router_ports(0) == 3   # corner
+        assert mesh.router_ports(1) == 4   # edge
+
+    def test_tiny_rejected(self):
+        with pytest.raises(TopologyError):
+            MeshTopology(1, 5)
+
+
+class TestXYRouting:
+    def test_path_endpoints(self):
+        mesh = MeshTopology(4, 4)
+        path = mesh.xy_path(0, 15)
+        assert path[0] == 0
+        assert path[-1] == 15
+
+    def test_x_before_y(self):
+        mesh = MeshTopology(4, 4)
+        path = mesh.xy_path(0, 15)
+        xs = [mesh.coordinates(n)[0] for n in path]
+        ys = [mesh.coordinates(n)[1] for n in path]
+        # All x movement happens before any y movement.
+        first_y_move = next(i for i, (a, b) in enumerate(zip(ys, ys[1:]))
+                            if a != b)
+        assert xs[first_y_move] == xs[-1]
+
+    def test_hop_count_is_manhattan_plus_one(self):
+        mesh = MeshTopology(8, 8)
+        assert mesh.hop_count(0, 63) == 15
+        assert mesh.hop_count(0, 1) == 2
+        assert mesh.hop_count(9, 9) == 1
+
+    def test_worst_case_hops(self):
+        # cols + rows - 1 ~ 2*sqrt(N): the paper's comparison.
+        assert MeshTopology(8, 8).worst_case_hops() == 15
+
+    def test_average_hops(self):
+        mesh = MeshTopology(4, 4)
+        avg = mesh.average_hops_uniform()
+        assert 1.0 < avg < mesh.worst_case_hops()
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_path_length_matches_hop_count(self, src, dest):
+        mesh = MeshTopology(8, 8)
+        assert len(mesh.xy_path(src, dest)) == mesh.hop_count(src, dest)
+
+
+class TestGeometry:
+    def test_link_count(self):
+        assert MeshTopology(8, 8).link_count() == 112
+        assert MeshTopology(2, 2).link_count() == 4
+
+    def test_total_link_length(self):
+        # 8x8 on 10 mm: pitch 1.25 mm; 112 links.
+        mesh = MeshTopology(8, 8)
+        assert mesh.total_link_length_mm(10.0, 10.0) == pytest.approx(140.0)
+
+    def test_pitch(self):
+        assert MeshTopology(8, 8).link_pitch_mm(10.0, 10.0) == \
+            pytest.approx(1.25)

@@ -1,0 +1,88 @@
+"""Arbiters: fairness and priority."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.noc.arbiter import FixedPriorityArbiter, RoundRobinArbiter
+
+
+class TestRoundRobin:
+    def test_single_requester_granted(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.grant([False, True, False]) == 1
+
+    def test_no_requests_no_grant(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.grant([False, False, False]) is None
+
+    def test_rotates_under_contention(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.grant([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_starts_after_last_grant(self):
+        arb = RoundRobinArbiter(3)
+        arb.grant([False, True, False])
+        # Next full-contention grant starts searching at 2.
+        assert arb.grant([True, True, True]) == 2
+
+    def test_fairness_bound(self):
+        """Under continuous contention every input is served at least once
+        in any window of `inputs` grants."""
+        arb = RoundRobinArbiter(4)
+        grants = [arb.grant([True] * 4) for _ in range(40)]
+        for start in range(len(grants) - 4):
+            window = set(grants[start:start + 4])
+            assert window == {0, 1, 2, 3}
+
+    def test_grant_counts(self):
+        arb = RoundRobinArbiter(2)
+        for _ in range(10):
+            arb.grant([True, True])
+        assert arb.grant_counts == [5, 5]
+        assert arb.grants == 10
+
+    def test_wrong_width_rejected(self):
+        arb = RoundRobinArbiter(3)
+        with pytest.raises(ConfigurationError):
+            arb.grant([True, False])
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=8))
+    def test_grant_is_always_a_requester(self, requests):
+        arb = RoundRobinArbiter(len(requests))
+        choice = arb.grant(requests)
+        if any(requests):
+            assert choice is not None
+            assert requests[choice]
+        else:
+            assert choice is None
+
+
+class TestFixedPriority:
+    def test_default_order_prefers_low_index(self):
+        arb = FixedPriorityArbiter(3)
+        assert arb.grant([True, True, True]) == 0
+
+    def test_custom_order(self):
+        # The demonstrator's memory-port order: processor (1) first.
+        arb = FixedPriorityArbiter(3, order=[1, 0, 2])
+        assert arb.grant([True, True, True]) == 1
+        assert arb.grant([True, False, True]) == 0
+        assert arb.grant([False, False, True]) == 2
+
+    def test_priority_is_persistent(self):
+        """Unlike round-robin, the preferred input always wins."""
+        arb = FixedPriorityArbiter(2, order=[1, 0])
+        grants = [arb.grant([True, True]) for _ in range(10)]
+        assert grants == [1] * 10
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPriorityArbiter(3, order=[0, 1])
+        with pytest.raises(ConfigurationError):
+            FixedPriorityArbiter(3, order=[0, 1, 1])
+
+    def test_zero_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPriorityArbiter(0)

@@ -1,0 +1,52 @@
+"""Flit invariants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.flit import Flit, FlitKind
+
+
+def make(kind=FlitKind.SINGLE, seq=0, payload=0):
+    return Flit(kind=kind, src=0, dest=1, packet_id=5, seq=seq,
+                payload=payload)
+
+
+class TestFlit:
+    def test_single_is_head_and_tail(self):
+        flit = make(FlitKind.SINGLE)
+        assert flit.is_head and flit.is_tail
+
+    def test_head_is_not_tail(self):
+        flit = make(FlitKind.HEAD)
+        assert flit.is_head and not flit.is_tail
+
+    def test_tail_is_not_head(self):
+        flit = make(FlitKind.TAIL, seq=3)
+        assert flit.is_tail and not flit.is_head
+
+    def test_body_is_neither(self):
+        flit = make(FlitKind.BODY, seq=1)
+        assert not flit.is_head and not flit.is_tail
+
+    def test_head_must_have_seq_zero(self):
+        with pytest.raises(ConfigurationError):
+            make(FlitKind.HEAD, seq=1)
+
+    def test_payload_32bit_bounds(self):
+        make(payload=2 ** 32 - 1)  # max ok
+        with pytest.raises(ConfigurationError):
+            make(payload=2 ** 32)
+        with pytest.raises(ConfigurationError):
+            make(payload=-1)
+
+    def test_negative_addresses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flit(kind=FlitKind.SINGLE, src=-1, dest=0, packet_id=0, seq=0)
+
+    def test_str_mentions_route(self):
+        assert "0->1" in str(make())
+
+    def test_frozen(self):
+        flit = make()
+        with pytest.raises(AttributeError):
+            flit.dest = 9

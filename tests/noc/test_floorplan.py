@@ -1,0 +1,115 @@
+"""Floorplans: H-tree geometry matches the paper's demonstrator."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.noc.floorplan import (
+    floorplan_for,
+    h_tree_floorplan,
+    quad_tree_floorplan,
+)
+from repro.noc.topology import TreeTopology
+
+
+class TestHTree:
+    def test_demonstrator_level_lengths(self):
+        """64 leaves on a 10 mm square: segment lengths 2.5, 2.5, 1.25,
+        1.25, 0.625, 0.625 mm down the levels — root links at 2.5 mm are
+        what the paper pipelines at 1.25 mm."""
+        topo = TreeTopology(64, arity=2)
+        plan = h_tree_floorplan(topo, 10.0, 10.0)
+        by_level = {}
+        for (router, port), length in plan.link_lengths.items():
+            level = topo.router(router).level + 1
+            by_level.setdefault(level, set()).add(round(length, 6))
+        assert by_level[1] == {2.5}
+        assert by_level[2] == {2.5}
+        assert by_level[3] == {1.25}
+        assert by_level[4] == {1.25}
+        assert by_level[5] == {0.625}
+        assert by_level[6] == {0.625}
+
+    def test_total_wire_length(self):
+        # 2*2.5 + 4*2.5 + 8*1.25 + 16*1.25 + 32*0.625 + 64*0.625 = 105 mm.
+        topo = TreeTopology(64, arity=2)
+        plan = h_tree_floorplan(topo, 10.0, 10.0)
+        assert plan.total_link_length_mm() == pytest.approx(105.0)
+
+    def test_root_at_center(self):
+        topo = TreeTopology(16, arity=2)
+        plan = h_tree_floorplan(topo, 10.0, 10.0)
+        assert plan.router_positions[0] == (5.0, 5.0)
+
+    def test_all_positions_on_chip(self):
+        topo = TreeTopology(64, arity=2)
+        plan = h_tree_floorplan(topo, 10.0, 10.0)
+        for x, y in list(plan.router_positions.values()) + \
+                list(plan.leaf_positions.values()):
+            assert 0.0 <= x <= 10.0
+            assert 0.0 <= y <= 10.0
+
+    def test_leaf_positions_distinct(self):
+        topo = TreeTopology(64, arity=2)
+        plan = h_tree_floorplan(topo, 10.0, 10.0)
+        positions = set(plan.leaf_positions.values())
+        assert len(positions) == 64
+
+    def test_every_downward_link_present(self):
+        topo = TreeTopology(32, arity=2)
+        plan = h_tree_floorplan(topo, 10.0, 10.0)
+        # 31 routers x 2 children.
+        assert len(plan.link_lengths) == 62
+
+    def test_longest_link(self):
+        topo = TreeTopology(64, arity=2)
+        plan = h_tree_floorplan(topo, 10.0, 10.0)
+        assert plan.longest_link_mm() == pytest.approx(2.5)
+
+    def test_rectangular_chip(self):
+        topo = TreeTopology(16, arity=2)
+        plan = h_tree_floorplan(topo, 20.0, 10.0)
+        assert plan.chip_area_mm2 == pytest.approx(200.0)
+        # First split along x: links of 20/4 = 5 mm.
+        assert plan.link_length(0, 1) == pytest.approx(5.0)
+
+    def test_quad_topology_rejected(self):
+        with pytest.raises(TopologyError):
+            h_tree_floorplan(TreeTopology(16, arity=4))
+
+
+class TestQuadPlan:
+    def test_level_lengths(self):
+        topo = TreeTopology(64, arity=4)
+        plan = quad_tree_floorplan(topo, 10.0, 10.0)
+        by_level = {}
+        for (router, port), length in plan.link_lengths.items():
+            level = topo.router(router).level + 1
+            by_level.setdefault(level, set()).add(round(length, 6))
+        # Manhattan w/4 + h/4 per level, halving.
+        assert by_level[1] == {5.0}
+        assert by_level[2] == {2.5}
+        assert by_level[3] == {1.25}
+
+    def test_binary_topology_rejected(self):
+        with pytest.raises(TopologyError):
+            quad_tree_floorplan(TreeTopology(16, arity=2))
+
+    def test_leaf_positions_distinct(self):
+        topo = TreeTopology(64, arity=4)
+        plan = quad_tree_floorplan(topo, 10.0, 10.0)
+        assert len(set(plan.leaf_positions.values())) == 64
+
+
+class TestDispatch:
+    def test_binary_dispatch(self):
+        plan = floorplan_for(TreeTopology(8, arity=2))
+        assert plan.link_lengths
+
+    def test_quad_dispatch(self):
+        plan = floorplan_for(TreeTopology(16, arity=4))
+        assert plan.link_lengths
+
+    def test_unknown_link_rejected(self):
+        plan = floorplan_for(TreeTopology(8, arity=2))
+        with pytest.raises(TopologyError):
+            plan.link_length(0, 0)  # parent port has no downward link

@@ -1,0 +1,60 @@
+"""HandshakeChannel signal semantics."""
+
+from repro.noc.flit import Flit, FlitKind
+from repro.noc.handshake import HandshakeChannel
+from repro.sim.kernel import SimKernel
+
+
+def flit(payload=0):
+    return Flit(kind=FlitKind.SINGLE, src=0, dest=1, packet_id=0, seq=0,
+                payload=payload)
+
+
+class TestChannel:
+    def test_initially_idle(self):
+        kernel = SimKernel()
+        channel = HandshakeChannel(kernel, "c")
+        assert not channel.valid
+        assert channel.data is None
+        assert not channel.accepted
+
+    def test_drive_visible_next_tick(self):
+        kernel = SimKernel()
+        channel = HandshakeChannel(kernel, "c")
+        channel.drive(flit(7), tick=0)
+        assert not channel.valid  # not yet committed
+        kernel.step()
+        assert channel.valid
+        assert channel.data.payload == 7
+
+    def test_drive_none_deasserts(self):
+        kernel = SimKernel()
+        channel = HandshakeChannel(kernel, "c")
+        channel.drive(flit(), tick=0)
+        kernel.step()
+        channel.drive(None, tick=1)
+        kernel.step()
+        assert not channel.valid
+        assert channel.data is None
+
+    def test_respond_visible_next_tick(self):
+        kernel = SimKernel()
+        channel = HandshakeChannel(kernel, "c")
+        channel.respond(True, tick=0)
+        assert not channel.accepted
+        kernel.step()
+        assert channel.accepted
+
+    def test_values_persist(self):
+        kernel = SimKernel()
+        channel = HandshakeChannel(kernel, "c")
+        channel.drive(flit(3), tick=0)
+        kernel.step()
+        kernel.step()
+        kernel.step()
+        assert channel.valid
+        assert channel.data.payload == 3
+
+    def test_repr_mentions_name(self):
+        kernel = SimKernel()
+        assert "link" in repr(HandshakeChannel(kernel, "link"))

@@ -1,0 +1,107 @@
+"""Packet (de)serialisation and the reassembly protocol checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.noc.flit import FlitKind
+from repro.noc.packet import Packet
+
+
+class TestSerialisation:
+    def test_empty_payload_is_single_flit(self):
+        flits = Packet(src=0, dest=1).to_flits()
+        assert len(flits) == 1
+        assert flits[0].kind is FlitKind.SINGLE
+
+    def test_one_word_is_single_flit(self):
+        flits = Packet(src=0, dest=1, payload=[7]).to_flits()
+        assert len(flits) == 1
+        assert flits[0].payload == 7
+
+    def test_multi_word_structure(self):
+        flits = Packet(src=0, dest=1, payload=[1, 2, 3, 4]).to_flits()
+        assert [f.kind for f in flits] == [
+            FlitKind.HEAD, FlitKind.BODY, FlitKind.BODY, FlitKind.TAIL
+        ]
+        assert [f.seq for f in flits] == [0, 1, 2, 3]
+        assert [f.payload for f in flits] == [1, 2, 3, 4]
+
+    def test_all_flits_carry_route(self):
+        flits = Packet(src=3, dest=9, payload=[0, 0]).to_flits()
+        assert all(f.src == 3 and f.dest == 9 for f in flits)
+
+    def test_flit_count(self):
+        assert Packet(src=0, dest=1).flit_count == 1
+        assert Packet(src=0, dest=1, payload=[1, 2, 3]).flit_count == 3
+
+    def test_unique_ids(self):
+        a, b = Packet(src=0, dest=1), Packet(src=0, dest=1)
+        assert a.packet_id != b.packet_id
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Packet(src=0, dest=1, payload=[2 ** 32])
+
+
+class TestReassembly:
+    def test_roundtrip(self):
+        original = Packet(src=2, dest=5, payload=[10, 20, 30])
+        rebuilt = Packet.from_flits(original.to_flits())
+        assert rebuilt.src == original.src
+        assert rebuilt.dest == original.dest
+        assert rebuilt.payload == original.payload
+        assert rebuilt.packet_id == original.packet_id
+
+    def test_single_flit_roundtrip(self):
+        original = Packet(src=1, dest=2, payload=[99])
+        rebuilt = Packet.from_flits(original.to_flits())
+        assert rebuilt.payload == [99]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            Packet.from_flits([])
+
+    def test_missing_tail_rejected(self):
+        flits = Packet(src=0, dest=1, payload=[1, 2, 3]).to_flits()
+        with pytest.raises(ProtocolError):
+            Packet.from_flits(flits[:-1])
+
+    def test_missing_head_rejected(self):
+        flits = Packet(src=0, dest=1, payload=[1, 2, 3]).to_flits()
+        with pytest.raises(ProtocolError):
+            Packet.from_flits(flits[1:])
+
+    def test_reordered_rejected(self):
+        flits = Packet(src=0, dest=1, payload=[1, 2, 3, 4]).to_flits()
+        swapped = [flits[0], flits[2], flits[1], flits[3]]
+        with pytest.raises(ProtocolError):
+            Packet.from_flits(swapped)
+
+    def test_mixed_packets_rejected(self):
+        a = Packet(src=0, dest=1, payload=[1, 2]).to_flits()
+        b = Packet(src=0, dest=1, payload=[3, 4]).to_flits()
+        with pytest.raises(ProtocolError):
+            Packet.from_flits([a[0], b[1]])
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 32 - 1),
+                    min_size=0, max_size=12))
+    def test_roundtrip_property(self, payload):
+        original = Packet(src=0, dest=1, payload=payload)
+        rebuilt = Packet.from_flits(original.to_flits())
+        expected = payload if payload else [0]
+        assert rebuilt.payload == expected
+
+
+class TestLatency:
+    def test_latency_requires_transit(self):
+        packet = Packet(src=0, dest=1)
+        with pytest.raises(ConfigurationError):
+            packet.latency_ticks
+
+    def test_latency_cycles(self):
+        packet = Packet(src=0, dest=1)
+        packet.inject_tick = 4
+        packet.eject_tick = 13
+        assert packet.latency_ticks == 9
+        assert packet.latency_cycles == 4.5

@@ -1,0 +1,68 @@
+"""Network statistics containers."""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.noc.stats import LatencySummary, NetworkStats
+
+
+def delivered_packet(latency_ticks, flits=1):
+    packet = Packet(src=0, dest=1,
+                    payload=list(range(flits)) if flits > 1 else [])
+    packet.inject_tick = 0
+    packet.eject_tick = latency_ticks
+    return packet
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = LatencySummary.from_cycles([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_single(self):
+        summary = LatencySummary.from_cycles([4.0])
+        assert summary.count == 1
+        assert summary.mean == 4.0
+        assert summary.maximum == 4.0
+        assert summary.minimum == 4.0
+
+    def test_percentiles_ordered(self):
+        summary = LatencySummary.from_cycles([float(i) for i in range(100)])
+        assert summary.minimum <= summary.p50 <= summary.p95 <= summary.maximum
+
+    def test_describe(self):
+        text = LatencySummary.from_cycles([1.0, 2.0]).describe()
+        assert "mean=1.50" in text
+
+
+class TestNetworkStats:
+    def test_record_delivery(self):
+        stats = NetworkStats()
+        stats.record_delivery(delivered_packet(10, flits=3), hops=5)
+        assert stats.packets_delivered == 1
+        assert stats.flits_delivered == 3
+        assert stats.latencies_cycles == [5.0]
+        assert stats.hop_counts == [5]
+
+    def test_throughput(self):
+        stats = NetworkStats()
+        stats.record_delivery(delivered_packet(10, flits=4), hops=1)
+        stats.elapsed_ticks = 20  # 10 cycles
+        assert stats.throughput_flits_per_cycle == pytest.approx(0.4)
+
+    def test_throughput_zero_without_time(self):
+        assert NetworkStats().throughput_flits_per_cycle == 0.0
+
+    def test_mean_hops(self):
+        stats = NetworkStats()
+        stats.record_delivery(delivered_packet(4), hops=1)
+        stats.record_delivery(delivered_packet(4), hops=11)
+        assert stats.mean_hops == 6.0
+
+    def test_describe_mentions_counts(self):
+        stats = NetworkStats()
+        stats.packets_injected = 2
+        stats.record_delivery(delivered_packet(4), hops=1)
+        stats.elapsed_ticks = 10
+        assert "1/2 packets" in stats.describe()

@@ -1,0 +1,160 @@
+"""Tree topology: structure, routing paths, hop analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.noc.topology import PARENT_PORT, TreeTopology
+
+
+class TestStructure:
+    def test_router_count_binary(self):
+        # N-1 routers for N leaves (binary).
+        assert TreeTopology(64, arity=2).router_count == 63
+        assert TreeTopology(8, arity=2).router_count == 7
+
+    def test_router_count_quad(self):
+        # (N-1)/3 routers for a quad tree.
+        assert TreeTopology(64, arity=4).router_count == 21
+        assert TreeTopology(16, arity=4).router_count == 5
+
+    def test_router_ports(self):
+        assert TreeTopology(8, arity=2).router_ports == 3   # 3x3
+        assert TreeTopology(16, arity=4).router_ports == 5  # 5x5
+
+    def test_depth(self):
+        assert TreeTopology(64, arity=2).depth == 6
+        assert TreeTopology(64, arity=4).depth == 3
+
+    def test_non_power_rejected(self):
+        with pytest.raises(TopologyError):
+            TreeTopology(12, arity=2)
+        with pytest.raises(TopologyError):
+            TreeTopology(32, arity=4)
+
+    def test_small_rejected(self):
+        with pytest.raises(TopologyError):
+            TreeTopology(1, arity=2)
+
+    def test_root_covers_everything(self):
+        topo = TreeTopology(16, arity=2)
+        assert topo.router(0).leaf_range == (0, 16)
+        assert topo.router(0).parent is None
+
+    def test_leaf_router_ranges(self):
+        topo = TreeTopology(8, arity=2)
+        router = topo.leaf_router(5)
+        assert router.children_are_leaves
+        assert router.leaf_range == (4, 6)
+        assert 5 in router.children
+
+    def test_parent_child_consistency(self):
+        topo = TreeTopology(32, arity=2)
+        for router in topo.routers:
+            if router.children_are_leaves:
+                continue
+            for child in router.children:
+                assert topo.router(child).parent == router.index
+
+
+class TestRouting:
+    def test_sibling_path_single_router(self):
+        """Section 3: 'communication between two neighboring cores in a
+        binary tree only has to pass a single 3x3 router'."""
+        topo = TreeTopology(64, arity=2)
+        assert topo.hop_count(0, 1) == 1
+        assert topo.hop_count(62, 63) == 1
+
+    def test_cross_tree_passes_root(self):
+        topo = TreeTopology(64, arity=2)
+        path = topo.route_path(0, 63)
+        assert 0 in path  # the root router
+        assert len(path) == topo.worst_case_hops()
+
+    def test_path_is_up_then_down(self):
+        topo = TreeTopology(16, arity=2)
+        path = topo.route_path(2, 13)
+        levels = [topo.router(r).level for r in path]
+        # Levels strictly decrease to the apex then strictly increase.
+        apex = levels.index(min(levels))
+        assert levels[:apex + 1] == sorted(levels[:apex + 1], reverse=True)
+        assert levels[apex:] == sorted(levels[apex:])
+
+    def test_same_leaf_empty_path(self):
+        topo = TreeTopology(8, arity=2)
+        assert topo.route_path(3, 3) == []
+
+    def test_worst_case_formula_binary(self):
+        # 2*log2(N) - 1.
+        for leaves, expected in ((8, 5), (64, 11), (256, 15)):
+            assert TreeTopology(leaves, 2).worst_case_hops() == expected
+
+    def test_worst_case_formula_quad(self):
+        assert TreeTopology(64, 4).worst_case_hops() == 5
+
+    def test_worst_case_is_achieved(self):
+        topo = TreeTopology(32, arity=2)
+        worst = max(topo.hop_count(s, d)
+                    for s in range(32) for d in range(32) if s != d)
+        assert worst == topo.worst_case_hops()
+
+    def test_average_hops_sane(self):
+        topo = TreeTopology(16, arity=2)
+        avg = topo.average_hops_uniform()
+        assert 1.0 < avg < topo.worst_case_hops()
+
+    def test_unknown_leaf_rejected(self):
+        topo = TreeTopology(8, arity=2)
+        with pytest.raises(TopologyError):
+            topo.hop_count(0, 8)
+        with pytest.raises(TopologyError):
+            topo.leaf_router(-1)
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_path_symmetric_in_length(self, src, dest):
+        topo = TreeTopology(64, arity=2)
+        assert topo.hop_count(src, dest) == topo.hop_count(dest, src)
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_path_endpoints_cover_leaves(self, src, dest):
+        topo = TreeTopology(64, arity=2)
+        if src == dest:
+            return
+        path = topo.route_path(src, dest)
+        first, last = topo.router(path[0]), topo.router(path[-1])
+        assert first.leaf_range[0] <= src < first.leaf_range[1]
+        assert last.leaf_range[0] <= dest < last.leaf_range[1]
+        assert last.children_are_leaves
+
+
+class TestChildPorts:
+    def test_parent_port_for_outside_leaf(self):
+        topo = TreeTopology(16, arity=2)
+        router = topo.leaf_router(0)
+        assert topo.child_port_for_leaf(router, 15) == PARENT_PORT
+
+    def test_child_ports_partition_range(self):
+        topo = TreeTopology(16, arity=2)
+        root = topo.router(0)
+        ports = [topo.child_port_for_leaf(root, leaf) for leaf in range(16)]
+        assert ports == [1] * 8 + [2] * 8
+
+    def test_quad_child_ports(self):
+        topo = TreeTopology(16, arity=4)
+        root = topo.router(0)
+        ports = [topo.child_port_for_leaf(root, leaf) for leaf in range(16)]
+        assert ports == [1] * 4 + [2] * 4 + [3] * 4 + [4] * 4
+
+
+class TestSiblings:
+    def test_sibling_pairs_binary(self):
+        topo = TreeTopology(8, arity=2)
+        assert topo.sibling_pairs() == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+    def test_sibling_pairs_quad(self):
+        topo = TreeTopology(16, arity=4)
+        pairs = topo.sibling_pairs()
+        assert len(pairs) == 4 * 6  # C(4,2) per leaf router
+        assert all(topo.hop_count(a, b) == 1 for a, b in pairs)

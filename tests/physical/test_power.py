@@ -1,0 +1,106 @@
+"""Energy models: links, routers, paths, locality crossover."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh.topology import MeshTopology
+from repro.noc.floorplan import floorplan_for
+from repro.noc.topology import TreeTopology
+from repro.physical import power
+
+
+@pytest.fixture(scope="module")
+def tree64():
+    topo = TreeTopology(64, arity=2)
+    return topo, floorplan_for(topo, 10.0, 10.0)
+
+
+class TestLinkEnergy:
+    def test_proportional_to_length(self):
+        assert power.link_energy_pj_per_flit(2.0) == pytest.approx(
+            2.0 * power.link_energy_pj_per_flit(1.0)
+        )
+
+    def test_explicit_value(self):
+        # 0.5 activity * 32 bits * 0.2 pF * 1 V^2 = 3.2 pJ per mm.
+        assert power.link_energy_pj_per_flit(1.0) == pytest.approx(3.2)
+
+    def test_scales_with_width(self):
+        wide = power.link_energy_pj_per_flit(1.0, bits=64)
+        assert wide == pytest.approx(6.4)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            power.link_energy_pj_per_flit(-1.0)
+
+
+class TestRouterEnergy:
+    def test_5x5_costs_more_than_3x3(self):
+        assert power.router_energy_pj_per_flit(5) > \
+            power.router_energy_pj_per_flit(3)
+
+    def test_scale_is_published_ballpark(self):
+        # ~1 pJ per flit for a 32-bit 5-port router at 90 nm.
+        assert 0.5 < power.router_energy_pj_per_flit(5) < 2.0
+
+
+class TestPathEnergy:
+    def test_sums_components(self):
+        total = power.path_energy_pj([3, 3], [1.0, 0.5])
+        expected = (2 * power.router_energy_pj_per_flit(3)
+                    + power.link_energy_pj_per_flit(1.0)
+                    + power.link_energy_pj_per_flit(0.5))
+        assert total == pytest.approx(expected)
+
+    def test_tree_sibling_much_cheaper_than_cross(self, tree64):
+        topo, plan = tree64
+        sibling = power.tree_flit_energy_pj(topo, plan, 0, 1)
+        cross = power.tree_flit_energy_pj(topo, plan, 0, 63)
+        assert cross > 5.0 * sibling
+
+    def test_mesh_buffer_energy_included(self):
+        mesh = MeshTopology(8, 8)
+        e = power.mesh_flit_energy_pj(mesh, 0, 1)
+        switch_only = power.path_energy_pj(
+            [mesh.router_ports(0), mesh.router_ports(1)],
+            [1.25, 0.625, 0.625],
+        )
+        assert e == pytest.approx(
+            switch_only + 2 * power.BUFFER_ENERGY_PJ_PER_FLIT
+        )
+
+
+class TestLocalityCrossover:
+    def test_tree_wins_at_high_locality(self, tree64):
+        topo, plan = tree64
+        mesh = MeshTopology(8, 8)
+        tree_local = power.average_flit_energy_tree_local_pj(topo, plan, 0.9)
+        mesh_local = power.average_flit_energy_mesh_local_pj(mesh, 0.9)
+        assert tree_local < mesh_local
+
+    def test_mesh_wins_at_zero_locality(self, tree64):
+        topo, plan = tree64
+        mesh = MeshTopology(8, 8)
+        tree_uniform = power.average_flit_energy_tree_local_pj(topo, plan, 0.0)
+        mesh_uniform = power.average_flit_energy_mesh_local_pj(mesh, 0.0)
+        assert mesh_uniform < tree_uniform
+
+    def test_crossover_found(self, tree64):
+        topo, plan = tree64
+        mesh = MeshTopology(8, 8)
+        crossover = power.energy_crossover_locality(topo, plan, mesh)
+        assert crossover is not None
+        assert 0.0 < crossover < 1.0
+
+    def test_locality_monotone_for_tree(self, tree64):
+        topo, plan = tree64
+        energies = [
+            power.average_flit_energy_tree_local_pj(topo, plan, loc)
+            for loc in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_bad_locality_rejected(self, tree64):
+        topo, plan = tree64
+        with pytest.raises(ConfigurationError):
+            power.average_flit_energy_tree_local_pj(topo, plan, 1.5)

@@ -1,0 +1,70 @@
+"""Probes: traces and throughput meters."""
+
+import pytest
+
+from repro.sim.component import ClockedComponent
+from repro.sim.kernel import SimKernel
+from repro.sim.probes import SignalTrace, ThroughputMeter
+
+
+class Toggler(ClockedComponent):
+    def __init__(self, kernel, signal):
+        super().__init__("toggler", 0)
+        self.signal = signal
+        kernel.add_component(self)
+
+    def on_edge(self, tick):
+        self.signal.set(tick // 2 % 2, tick)
+
+
+class TestSignalTrace:
+    def test_records_changes_only(self):
+        kernel = SimKernel()
+        sig = kernel.signal("s", initial=0)
+        Toggler(kernel, sig)
+        trace = SignalTrace(kernel, sig)
+        kernel.run_ticks(8)
+        values = trace.values()
+        # 0,1,0,1... transitions only — no repeated samples.
+        for a, b in zip(values, values[1:]):
+            assert a != b
+
+    def test_first_sample_recorded(self):
+        kernel = SimKernel()
+        sig = kernel.signal("s", initial=42)
+        trace = SignalTrace(kernel, sig)
+        kernel.run_ticks(1)
+        assert trace.values()[0] == 42
+
+
+class TestThroughputMeter:
+    def test_rate_counts_per_cycle(self):
+        kernel = SimKernel()
+        meter = ThroughputMeter(kernel)
+
+        class Producer(ClockedComponent):
+            def on_edge(self, tick):
+                meter.count()
+
+        kernel.add_component(Producer("p", 0))
+        kernel.run_ticks(10)
+        # One event per even tick = one per cycle.
+        assert meter.rate_per_cycle == pytest.approx(1.0, rel=0.3)
+
+    def test_warmup_excluded(self):
+        kernel = SimKernel()
+        meter = ThroughputMeter(kernel, warmup_ticks=6)
+
+        class Producer(ClockedComponent):
+            def on_edge(self, tick):
+                meter.count()
+
+        kernel.add_component(Producer("p", 0))
+        kernel.run_ticks(10)
+        assert meter.events == 2  # ticks 6 and 8 only
+
+    def test_empty_meter_rate_zero(self):
+        kernel = SimKernel()
+        meter = ThroughputMeter(kernel)
+        kernel.run_ticks(4)
+        assert meter.rate_per_cycle == 0.0

@@ -1,0 +1,62 @@
+"""Double-buffered signal semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.signal import Signal
+
+
+class TestSignal:
+    def test_initial_value(self):
+        assert Signal("s", initial=7).value == 7
+        assert Signal("s").value is None
+
+    def test_write_invisible_until_commit(self):
+        sig = Signal("s", initial=0)
+        sig.set(5)
+        assert sig.value == 0
+        sig.commit()
+        assert sig.value == 5
+
+    def test_commit_returns_changed(self):
+        sig = Signal("s", initial=1)
+        sig.set(1)
+        assert sig.commit() is False
+        sig.set(2)
+        assert sig.commit() is True
+
+    def test_commit_without_write_is_noop(self):
+        sig = Signal("s", initial=3)
+        assert sig.commit() is False
+        assert sig.value == 3
+
+    def test_value_persists_across_ticks(self):
+        sig = Signal("s", initial=0)
+        sig.set(9)
+        sig.commit()
+        sig.commit()
+        assert sig.value == 9
+
+    def test_double_drive_same_value_allowed(self):
+        sig = Signal("s")
+        sig.set(4, tick=10)
+        sig.set(4, tick=10)
+        sig.commit()
+        assert sig.value == 4
+
+    def test_conflicting_drive_detected(self):
+        sig = Signal("s")
+        sig.set(4, tick=10)
+        with pytest.raises(SimulationError):
+            sig.set(5, tick=10)
+
+    def test_drive_next_tick_after_conflict_window(self):
+        sig = Signal("s")
+        sig.set(4, tick=10)
+        sig.commit()
+        sig.set(5, tick=11)  # different tick: fine
+        sig.commit()
+        assert sig.value == 5
+
+    def test_repr_contains_name(self):
+        assert "clk" in repr(Signal("clk"))

@@ -1,0 +1,95 @@
+"""VCD export: header validity and change-only sampling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.component import ClockedComponent
+from repro.sim.kernel import SimKernel
+from repro.sim.vcd import VCDWriter, _encode, _identifier
+
+
+class Counter(ClockedComponent):
+    def __init__(self, kernel, signal):
+        super().__init__("counter", 0)
+        self.signal = signal
+        kernel.add_component(self)
+
+    def on_edge(self, tick):
+        self.signal.set(tick // 2, tick)
+
+
+class TestIdentifiers:
+    def test_unique_for_many_signals(self):
+        ids = {_identifier(i) for i in range(500)}
+        assert len(ids) == 500
+
+    def test_printable(self):
+        for i in (0, 93, 94, 500):
+            assert all(33 <= ord(c) <= 126 for c in _identifier(i))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _identifier(-1)
+
+
+class TestEncoding:
+    def test_bool(self):
+        assert _encode(True) == "1"
+        assert _encode(False) == "0"
+
+    def test_none_is_x(self):
+        assert _encode(None) == "x"
+
+    def test_int_is_32bit_vector(self):
+        encoded = _encode(5)
+        assert encoded.startswith("b")
+        assert encoded.strip().endswith("101")
+
+
+class TestWriter:
+    def test_header_and_changes(self, tmp_path):
+        kernel = SimKernel()
+        sig = kernel.signal("count", initial=0)
+        Counter(kernel, sig)
+        path = tmp_path / "trace.vcd"
+        with VCDWriter(kernel, path, [sig]) as writer:
+            kernel.run_ticks(8)
+        text = path.read_text()
+        assert "$timescale" in text
+        assert "$var wire 32" in text
+        assert "count" in text
+        assert "$enddefinitions" in text
+        # One #tick marker per change (value changes at odd ticks after
+        # the even-tick writes commit).
+        assert text.count("#") >= 3
+
+    def test_change_only_sampling(self, tmp_path):
+        kernel = SimKernel()
+        sig = kernel.signal("steady", initial=7)
+        path = tmp_path / "steady.vcd"
+        with VCDWriter(kernel, path, [sig]):
+            kernel.run_ticks(20)
+        text = path.read_text()
+        # Initial sample only: value never changes again.
+        body = text.split("$enddefinitions $end")[1]
+        assert body.count("#") == 1
+
+    def test_bool_signal(self, tmp_path):
+        kernel = SimKernel()
+        sig = kernel.signal("flag", initial=False)
+
+        class Toggle(ClockedComponent):
+            def on_edge(self, tick):
+                sig.set(bool((tick // 2) % 2), tick)
+
+        kernel.add_component(Toggle("t", 0))
+        path = tmp_path / "flag.vcd"
+        with VCDWriter(kernel, path, [sig]):
+            kernel.run_ticks(12)
+        body = path.read_text().split("$enddefinitions $end")[1]
+        assert "1" in body and "0" in body
+
+    def test_empty_signal_list_rejected(self, tmp_path):
+        kernel = SimKernel()
+        with pytest.raises(ConfigurationError):
+            VCDWriter(kernel, tmp_path / "x.vcd", [])

@@ -1,0 +1,64 @@
+"""Memory model: service delays and response formation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet
+from repro.system.memory import MemoryModel
+
+
+class TestMemory:
+    def test_response_after_service_delay(self):
+        memory = MemoryModel(tile=0, leaf=1, service_cycles=4)
+        request = Packet(src=2, dest=1)
+        memory.accept(request, tick=10)
+        assert memory.responses_ready(tick=10) == []
+        assert memory.responses_ready(tick=17) == []
+        responses = memory.responses_ready(tick=18)  # 10 + 2*4
+        assert len(responses) == 1
+
+    def test_response_addressing(self):
+        memory = MemoryModel(tile=0, leaf=1, service_cycles=0)
+        request = Packet(src=6, dest=1)
+        memory.accept(request, tick=0)
+        response = memory.responses_ready(0)[0]
+        assert response.src == 1
+        assert response.dest == 6
+
+    def test_response_echoes_request_id(self):
+        memory = MemoryModel(tile=0, leaf=1, service_cycles=0)
+        request = Packet(src=6, dest=1)
+        memory.accept(request, tick=0)
+        response = memory.responses_ready(0)[0]
+        assert response.payload[0] == request.packet_id % (2 ** 32)
+
+    def test_response_burst_size(self):
+        memory = MemoryModel(tile=0, leaf=1, service_cycles=0,
+                             response_flits=4)
+        memory.accept(Packet(src=2, dest=1), tick=0)
+        response = memory.responses_ready(0)[0]
+        assert response.flit_count == 4
+
+    def test_fifo_service_order(self):
+        memory = MemoryModel(tile=0, leaf=1, service_cycles=2)
+        first = Packet(src=2, dest=1)
+        second = Packet(src=4, dest=1)
+        memory.accept(first, tick=0)
+        memory.accept(second, tick=2)
+        ready_at_4 = memory.responses_ready(4)
+        assert [r.dest for r in ready_at_4] == [2]
+        ready_at_6 = memory.responses_ready(6)
+        assert [r.dest for r in ready_at_6] == [4]
+
+    def test_served_counter(self):
+        memory = MemoryModel(tile=0, leaf=1, service_cycles=0)
+        memory.accept(Packet(src=2, dest=1), tick=0)
+        memory.accept(Packet(src=4, dest=1), tick=0)
+        memory.responses_ready(0)
+        assert memory.requests_served == 2
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(tile=0, leaf=1, service_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            MemoryModel(tile=0, leaf=1, response_flits=0)

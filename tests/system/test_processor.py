@@ -1,0 +1,94 @@
+"""Processor model: issue policy and completion bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.processor import ProcessorConfig, ProcessorModel
+
+
+def make_proc(locality=0.8, rate=1.0, outstanding=4, tiles=8, tile=2):
+    return ProcessorModel(
+        tile=tile, leaf=2 * tile, tiles=tiles,
+        config=ProcessorConfig(locality=locality, request_rate=rate,
+                               max_outstanding=outstanding),
+    )
+
+
+class TestIssue:
+    def test_targets_memory_leaves_only(self):
+        proc = make_proc(locality=0.0)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            packet = proc.maybe_issue(0, rng)
+            assert packet is not None
+            assert packet.dest % 2 == 1  # memory leaves are odd
+            proc.outstanding.clear()
+
+    def test_local_requests_target_own_memory(self):
+        proc = make_proc(locality=1.0)
+        rng = np.random.default_rng(1)
+        packet = proc.maybe_issue(0, rng)
+        assert packet.dest == 2 * proc.tile + 1
+
+    def test_remote_requests_avoid_own_memory(self):
+        proc = make_proc(locality=0.0)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            packet = proc.maybe_issue(0, rng)
+            assert packet.dest != 2 * proc.tile + 1
+            proc.outstanding.clear()
+
+    def test_outstanding_limit(self):
+        proc = make_proc(outstanding=2)
+        rng = np.random.default_rng(3)
+        assert proc.maybe_issue(0, rng) is not None
+        assert proc.maybe_issue(0, rng) is not None
+        assert proc.maybe_issue(0, rng) is None
+        assert len(proc.outstanding) == 2
+
+    def test_rate_throttles(self):
+        proc = make_proc(rate=0.1, outstanding=10_000)
+        rng = np.random.default_rng(4)
+        issued = sum(proc.maybe_issue(0, rng) is not None
+                     for _ in range(2000))
+        assert issued == pytest.approx(200, rel=0.3)
+
+
+class TestComplete:
+    def test_roundtrip_latency_recorded(self):
+        proc = make_proc(locality=1.0)
+        rng = np.random.default_rng(5)
+        packet = proc.maybe_issue(10, rng)
+        request_id = packet.packet_id % (2 ** 32)
+        proc.complete(request_id, 30, was_local=True)
+        assert proc.local_latencies == [10.0]
+        assert proc.remote_latencies == []
+        assert proc.completed == 1
+        assert not proc.outstanding
+
+    def test_remote_separated(self):
+        proc = make_proc(locality=0.0)
+        rng = np.random.default_rng(6)
+        packet = proc.maybe_issue(0, rng)
+        proc.complete(packet.packet_id % (2 ** 32), 44, was_local=False)
+        assert proc.remote_latencies == [22.0]
+
+    def test_unknown_response_rejected(self):
+        proc = make_proc()
+        with pytest.raises(ConfigurationError):
+            proc.complete(12345, 10, was_local=True)
+
+
+class TestConfig:
+    def test_bad_locality_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorConfig(locality=-0.1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorConfig(request_rate=0.0)
+
+    def test_bad_outstanding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorConfig(max_outstanding=0)

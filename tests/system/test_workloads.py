@@ -1,0 +1,73 @@
+"""Streaming chain workloads and the mapping comparison."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.workloads import (
+    StreamingConfig,
+    StreamingWorkload,
+    mapping_comparison,
+)
+
+
+class TestConfig:
+    def test_short_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(chain=(0,))
+
+    def test_duplicate_tiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(chain=(0, 1, 1))
+
+    def test_out_of_range_tile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(tiles=4, chain=(0, 5))
+
+    def test_bad_burst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(burst_flits=0)
+
+
+class TestStreaming:
+    @pytest.fixture(scope="class")
+    def run(self):
+        workload = StreamingWorkload(StreamingConfig(
+            tiles=8, chain=(0, 1, 2, 3), burst_flits=4, bursts=10,
+            interval_cycles=8,
+        ))
+        return workload.run()
+
+    def test_all_bursts_complete(self, run):
+        assert run.bursts_completed == 10
+
+    def test_chain_latency_scales_with_stages(self, run):
+        # 3 hops: end-to-end must exceed 3x the smallest hop latency.
+        assert run.chain_latency.mean > 3 * run.per_hop_latency.minimum
+
+    def test_hops_counted(self, run):
+        # 10 bursts x 3 hops of the chain.
+        assert run.per_hop_latency.count == 30
+
+    def test_gating_present(self, run):
+        assert 0.0 < run.gating_ratio < 1.0
+
+    def test_describe(self, run):
+        assert "bursts" in run.describe()
+
+
+class TestMappingComparison:
+    def test_adjacent_beats_scattered(self):
+        """The Section 3 application-mapping claim, as a chain workload:
+        a pipeline placed on adjacent tiles streams with much lower
+        latency than the same pipeline scattered across the chip."""
+        results = mapping_comparison(tiles=16, stages=4, burst_flits=4,
+                                     bursts=10)
+        adjacent = results["adjacent"].chain_latency.mean
+        scattered = results["scattered"].chain_latency.mean
+        assert adjacent < scattered
+        assert results["adjacent"].bursts_completed == 10
+        assert results["scattered"].bursts_completed == 10
+
+    def test_chain_longer_than_machine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mapping_comparison(tiles=2, stages=4)

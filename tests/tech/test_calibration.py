@@ -1,0 +1,96 @@
+"""Calibration fits: exactness at the anchors, agreement of the defaults."""
+
+import pytest
+
+from repro.tech import calibration
+from repro.tech.wire import BUFFERED_WIRE_90NM
+from repro.tech.technology import TECH_90NM
+from repro.units import half_period_ps
+
+
+class TestTwoPointFit:
+    def test_exact_through_points(self):
+        fit = calibration.TwoPointFit.through(1.0, 3.0, 2.0, 10.0)
+        assert fit.evaluate(1.0) == pytest.approx(3.0)
+        assert fit.evaluate(2.0) == pytest.approx(10.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            calibration.TwoPointFit.through(1.0, 3.0, 1.0, 5.0)
+
+
+class TestAffineFit:
+    def test_exact_through_points(self):
+        fit = calibration.AffineFit.through(3.0, 6.0, 5.0, 10.0)
+        assert fit.evaluate(3.0) == pytest.approx(6.0)
+        assert fit.evaluate(5.0) == pytest.approx(10.0)
+        assert fit.c1 == pytest.approx(2.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            calibration.AffineFit.through(2.0, 1.0, 2.0, 9.0)
+
+
+class TestPipelineBase:
+    def test_head_to_head_half_period(self):
+        # 1.8 GHz -> 277.78 ps half period.
+        assert calibration.pipeline_base_half_period_ps() == pytest.approx(
+            277.7778, rel=1e-4
+        )
+
+    def test_logic_plus_overhead_decomposition(self):
+        # 220 ps published logic + implied control buffering.
+        base = calibration.pipeline_base_half_period_ps()
+        overhead = base - calibration.FLOW_CONTROL_LOGIC_PS
+        assert overhead == pytest.approx(57.7778, rel=1e-3)
+        assert overhead > 0.0
+
+
+class TestWireFit:
+    def test_default_model_matches_fit(self):
+        fit = calibration.fit_buffered_wire()
+        assert BUFFERED_WIRE_90NM.linear_ps_per_mm == pytest.approx(
+            fit.c_lin, rel=1e-5
+        )
+        assert BUFFERED_WIRE_90NM.quadratic_ps_per_mm2 == pytest.approx(
+            fit.c_quad, rel=1e-5
+        )
+
+    def test_fit_reproduces_anchor_frequencies(self):
+        fit = calibration.fit_buffered_wire()
+        base = calibration.pipeline_base_half_period_ps()
+        for length, freq in calibration.FIG7_ANCHORS:
+            half = base + 2.0 * fit.evaluate(length)
+            assert half == pytest.approx(half_period_ps(freq), rel=1e-6)
+
+
+class TestRouterFits:
+    def test_half_period_matches_anchors(self):
+        fit = calibration.fit_router_half_period()
+        for ports, freq in calibration.ROUTER_SPEED_ANCHORS:
+            assert fit.evaluate(ports) == pytest.approx(
+                half_period_ps(freq), rel=1e-6
+            )
+
+    def test_technology_constants_match_fit(self):
+        fit = calibration.fit_router_half_period()
+        assert TECH_90NM.router_half_period_base_ps == pytest.approx(
+            fit.c0, rel=1e-5
+        )
+        assert TECH_90NM.router_half_period_per_port_ps == pytest.approx(
+            fit.c1, rel=1e-5
+        )
+
+    def test_area_matches_anchors(self):
+        fit = calibration.fit_router_area()
+        for ports, area in calibration.ROUTER_AREA_ANCHORS:
+            assert fit.evaluate(ports) == pytest.approx(area, rel=1e-6)
+
+    def test_technology_area_constants_match_fit(self):
+        fit = calibration.fit_router_area()
+        assert TECH_90NM.router_area_per_port_mm2 == pytest.approx(
+            fit.c_lin, rel=1e-4
+        )
+        assert TECH_90NM.router_area_crossbar_mm2 == pytest.approx(
+            fit.c_quad, rel=1e-4
+        )

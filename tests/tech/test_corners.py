@@ -1,0 +1,68 @@
+"""Process corners."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.corners import (
+    ALL_CORNERS,
+    CORNER_FF,
+    CORNER_SS,
+    CORNER_TT,
+    CORNER_WORST,
+    ProcessCorner,
+    corner_by_name,
+    corner_frequency_table,
+)
+from repro.tech.technology import TECH_90NM
+
+
+class TestCorners:
+    def test_tt_is_identity(self):
+        tech = CORNER_TT.apply()
+        assert tech.register.t_setup == TECH_90NM.register.t_setup
+        assert tech.buffered_wire.delay(1.0) == \
+            TECH_90NM.buffered_wire.delay(1.0)
+
+    def test_ss_slower_than_tt(self):
+        ss = CORNER_SS.apply()
+        assert ss.router_half_period_ps(3) > TECH_90NM.router_half_period_ps(3)
+
+    def test_ff_faster_than_tt(self):
+        ff = CORNER_FF.apply()
+        assert ff.router_half_period_ps(3) < TECH_90NM.router_half_period_ps(3)
+
+    def test_lookup_by_name(self):
+        assert corner_by_name("ss") is CORNER_SS
+        with pytest.raises(ConfigurationError):
+            corner_by_name("zz")
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessCorner("bad", 0.0, "nope")
+
+    def test_all_corners_ordered_by_speed(self):
+        factors = [c.delay_factor for c in ALL_CORNERS]
+        assert factors == sorted(factors)
+
+
+class TestFrequencyTable:
+    def test_every_corner_has_positive_frequency(self):
+        """Graceful degradation across corners: even the pathological
+        2x-slow corner has a working clock rate."""
+        rows = corner_frequency_table()
+        for row in rows:
+            assert row["pipeline_1_25mm_ghz"] > 0.0
+            assert row["router_3x3_ghz"] > 0.0
+
+    def test_frequency_scales_inversely_with_factor(self):
+        rows = {row["corner"]: row for row in corner_frequency_table()}
+        assert rows["worst"]["router_3x3_ghz"] == pytest.approx(
+            rows["tt"]["router_3x3_ghz"] / 2.0
+        )
+
+    def test_tt_matches_paper(self):
+        rows = {row["corner"]: row for row in corner_frequency_table()}
+        assert rows["tt"]["router_3x3_ghz"] == pytest.approx(1.4, rel=1e-3)
+        assert rows["tt"]["pipeline_1_25mm_ghz"] == pytest.approx(
+            0.994, rel=0.01
+        )

@@ -1,0 +1,67 @@
+"""Register timing parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.flipflop import FF_90NM, RegisterTiming
+
+
+class TestPaperValues:
+    """Section 4: 'Typical values for a 90 nm standard cell flip flop are
+    tsetup = 60 ps, thold = 20 ps, and tclk->Q = 60 ps.'"""
+
+    def test_setup(self):
+        assert FF_90NM.t_setup == 60.0
+
+    def test_hold(self):
+        assert FF_90NM.t_hold == 20.0
+
+    def test_clk_q(self):
+        assert FF_90NM.t_clk_q == 60.0
+
+    def test_contamination_disregarded(self):
+        # "For simplicity, the contamination delay is disregarded."
+        assert FF_90NM.t_contamination == 0.0
+
+    def test_sequencing_overhead(self):
+        assert FF_90NM.sequencing_overhead == pytest.approx(120.0)
+
+
+class TestValidation:
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegisterTiming(t_setup=-1.0)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegisterTiming(t_hold=-0.1)
+
+    def test_contamination_above_clkq_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegisterTiming(t_clk_q=50.0, t_contamination=60.0)
+
+    def test_contamination_equal_clkq_allowed(self):
+        reg = RegisterTiming(t_clk_q=50.0, t_contamination=50.0)
+        assert reg.t_contamination == 50.0
+
+
+class TestScaling:
+    def test_scaled_multiplies_all_delays(self):
+        slow = FF_90NM.scaled(1.5)
+        assert slow.t_setup == pytest.approx(90.0)
+        assert slow.t_hold == pytest.approx(30.0)
+        assert slow.t_clk_q == pytest.approx(90.0)
+
+    def test_scaled_identity(self):
+        same = FF_90NM.scaled(1.0)
+        assert same == FF_90NM
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FF_90NM.scaled(0.0)
+        with pytest.raises(ConfigurationError):
+            FF_90NM.scaled(-2.0)
+
+    def test_original_unchanged(self):
+        FF_90NM.scaled(2.0)
+        assert FF_90NM.t_setup == 60.0

@@ -1,0 +1,102 @@
+"""The Technology bundle: paper constants and derating."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import TECH_90NM, Technology
+from repro.units import frequency_from_half_period
+
+
+class TestPaperAreas:
+    def test_3x3_router_area(self):
+        # Section 6: "the area of a 3x3 router is 0.010 mm^2".
+        assert TECH_90NM.router_area_mm2(3) == pytest.approx(0.010, rel=1e-3)
+
+    def test_5x5_router_area(self):
+        # Section 6: "The area of a 5x5 router is 0.022 mm^2".
+        assert TECH_90NM.router_area_mm2(5) == pytest.approx(0.022, rel=1e-3)
+
+    def test_stage_area(self):
+        # Section 6: "The area of a 32-bit pipeline stage is 0.0015 mm^2".
+        assert TECH_90NM.stage_area_mm2() == pytest.approx(0.0015)
+
+    def test_quad_beats_three_binaries(self):
+        """Section 6: quad 'has lower area, as the area of a 5x5 router is
+        less than that of three 3x3 routers'."""
+        assert TECH_90NM.router_area_mm2(5) < 3 * TECH_90NM.router_area_mm2(3)
+
+    def test_area_scales_with_datapath(self):
+        assert TECH_90NM.router_area_mm2(3, datapath_bits=64) == \
+            pytest.approx(0.020, rel=1e-3)
+        assert TECH_90NM.stage_area_mm2(datapath_bits=16) == \
+            pytest.approx(0.00075)
+
+
+class TestRouterSpeeds:
+    def test_3x3_speed(self):
+        # Section 6: "3x3 routers operate at 1.4 GHz".
+        f = frequency_from_half_period(TECH_90NM.router_half_period_ps(3))
+        assert f == pytest.approx(1.4, rel=1e-4)
+
+    def test_5x5_speed(self):
+        # Section 6: "The 5x5 routers operate at 1.2 GHz".
+        f = frequency_from_half_period(TECH_90NM.router_half_period_ps(5))
+        assert f == pytest.approx(1.2, rel=1e-4)
+
+    def test_more_ports_is_slower(self):
+        assert TECH_90NM.router_half_period_ps(5) > \
+            TECH_90NM.router_half_period_ps(3)
+
+
+class TestPipelineBase:
+    def test_base_half_period_is_1_8ghz(self):
+        f = frequency_from_half_period(TECH_90NM.pipeline_base_half_period_ps)
+        assert f == pytest.approx(1.8, rel=1e-4)
+
+    def test_logic_is_220ps(self):
+        # Section 6: "The flow control logic and registers alone take 220 ps".
+        assert TECH_90NM.pipeline_logic_ps == pytest.approx(220.0)
+
+
+class TestDerating:
+    def test_derated_scales_register(self):
+        slow = TECH_90NM.derated(1.25)
+        assert slow.register.t_setup == pytest.approx(75.0)
+
+    def test_derated_scales_router(self):
+        slow = TECH_90NM.derated(2.0)
+        assert slow.router_half_period_ps(3) == pytest.approx(
+            2.0 * TECH_90NM.router_half_period_ps(3)
+        )
+
+    def test_derated_scales_wire(self):
+        slow = TECH_90NM.derated(1.5)
+        assert slow.buffered_wire.delay(1.0) == pytest.approx(
+            1.5 * TECH_90NM.buffered_wire.delay(1.0)
+        )
+
+    def test_derated_keeps_area(self):
+        slow = TECH_90NM.derated(3.0)
+        assert slow.router_area_mm2(3) == TECH_90NM.router_area_mm2(3)
+
+    def test_derated_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            TECH_90NM.derated(0.0)
+
+
+class TestValidation:
+    def test_rejects_tiny_router(self):
+        with pytest.raises(ConfigurationError):
+            TECH_90NM.router_half_period_ps(1)
+        with pytest.raises(ConfigurationError):
+            TECH_90NM.router_area_mm2(0)
+
+    def test_rejects_bad_voltage(self):
+        with pytest.raises(ConfigurationError):
+            Technology(supply_v=0.0)
+
+    def test_rejects_bad_datapath(self):
+        with pytest.raises(ConfigurationError):
+            Technology(datapath_bits=0)
+        with pytest.raises(ConfigurationError):
+            TECH_90NM.stage_area_mm2(datapath_bits=-8)

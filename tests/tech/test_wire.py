@@ -1,0 +1,133 @@
+"""Wire models: published RC values, Elmore physics, calibrated fit."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tech.wire import (
+    BUFFERED_WIRE_90NM,
+    WIRE_90NM,
+    BufferedWireModel,
+    ElmoreWireModel,
+    WireParameters,
+)
+
+
+class TestWireParameters:
+    def test_paper_values(self):
+        # Section 4: 0.2 pF/mm and 0.4 kOhm/mm.
+        assert WIRE_90NM.capacitance_pf_per_mm == 0.2
+        assert WIRE_90NM.resistance_kohm_per_mm == 0.4
+
+    def test_capacitance_scales_linearly(self):
+        assert WIRE_90NM.capacitance(5.0) == pytest.approx(1.0)
+
+    def test_resistance_scales_linearly(self):
+        assert WIRE_90NM.resistance(2.5) == pytest.approx(1.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WIRE_90NM.capacitance(-1.0)
+
+    def test_nonpositive_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WireParameters(capacitance_pf_per_mm=0.0)
+        with pytest.raises(ConfigurationError):
+            WireParameters(resistance_kohm_per_mm=-0.4)
+
+
+class TestElmoreModel:
+    def test_pure_distributed_line(self):
+        # 0.38 * r * c * L^2 = 0.38 * 0.4 * 0.2 * 1000 ps at 1 mm.
+        model = ElmoreWireModel()
+        assert model.delay(1.0) == pytest.approx(30.4)
+
+    def test_quadratic_in_length(self):
+        model = ElmoreWireModel()
+        assert model.delay(2.0) == pytest.approx(4.0 * model.delay(1.0))
+
+    def test_driver_resistance_adds_linear_term(self):
+        bare = ElmoreWireModel()
+        driven = ElmoreWireModel(driver_resistance_kohm=1.0)
+        extra_1mm = driven.delay(1.0) - bare.delay(1.0)
+        extra_2mm = driven.delay(2.0) - bare.delay(2.0)
+        assert extra_2mm == pytest.approx(2.0 * extra_1mm)
+
+    def test_zero_length_zero_delay(self):
+        assert ElmoreWireModel().delay(0.0) == 0.0
+
+    def test_length_for_delay_inverts(self):
+        model = ElmoreWireModel(driver_resistance_kohm=0.5,
+                                load_capacitance_pf=0.01)
+        for length in (0.3, 1.0, 2.7):
+            assert model.length_for_delay(model.delay(length)) == \
+                pytest.approx(length)
+
+
+class TestBufferedModel:
+    def test_zero_length_zero_delay(self):
+        assert BUFFERED_WIRE_90NM.delay(0.0) == 0.0
+
+    def test_monotone_increasing(self):
+        delays = [BUFFERED_WIRE_90NM.delay(length)
+                  for length in (0.0, 0.5, 1.0, 2.0, 3.0)]
+        assert delays == sorted(delays)
+        assert len(set(delays)) == len(delays)
+
+    def test_superlinear_but_not_quadratic(self):
+        # Repeated wires: delay grows faster than linear, slower than the
+        # unbuffered quadratic.
+        d1 = BUFFERED_WIRE_90NM.delay(1.0)
+        d2 = BUFFERED_WIRE_90NM.delay(2.0)
+        assert d2 > 2.0 * d1
+        assert d2 < 4.0 * d1
+
+    def test_paper_190ps_budget_is_1_5_to_2_mm(self):
+        """Section 4: a 190 ps delay 'corresponds approximately to a
+        1.5-2 mm wire'. The Fig. 7 fit must land in that window."""
+        length = BUFFERED_WIRE_90NM.length_for_delay(190.0)
+        assert 1.5 <= length <= 2.0
+
+    def test_length_for_delay_inverts(self):
+        for length in (0.1, 0.6, 1.25, 2.9):
+            delay = BUFFERED_WIRE_90NM.delay(length)
+            assert BUFFERED_WIRE_90NM.length_for_delay(delay) == \
+                pytest.approx(length)
+
+    def test_derated_scales_delay(self):
+        slow = BUFFERED_WIRE_90NM.derated(1.3)
+        assert slow.delay(1.0) == pytest.approx(
+            1.3 * BUFFERED_WIRE_90NM.delay(1.0)
+        )
+
+    def test_derating_stacks(self):
+        twice = BUFFERED_WIRE_90NM.derated(1.2).derated(1.5)
+        assert twice.derating == pytest.approx(1.8)
+
+    def test_derated_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            BUFFERED_WIRE_90NM.derated(0.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BUFFERED_WIRE_90NM.delay(-0.5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BUFFERED_WIRE_90NM.length_for_delay(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    def test_inverse_roundtrip_property(self, length):
+        delay = BUFFERED_WIRE_90NM.delay(length)
+        assert BUFFERED_WIRE_90NM.length_for_delay(delay) == \
+            pytest.approx(length, abs=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=5.0),
+           st.floats(min_value=0.0, max_value=5.0))
+    def test_monotonicity_property(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert BUFFERED_WIRE_90NM.delay(lo) <= BUFFERED_WIRE_90NM.delay(hi)
+
+    def test_custom_model_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            BufferedWireModel(linear_ps_per_mm=-1.0)

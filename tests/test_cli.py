@@ -1,0 +1,73 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestInfo:
+    def test_prints_description(self, capsys):
+        assert main(["info", "--ports", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "IC-NoC" in out
+        assert "16 ports" in out
+
+    def test_quad_topology(self, capsys):
+        assert main(["info", "--ports", "16", "--topology", "quad"]) == 0
+        assert "5x5" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_passes_at_default_frequency(self, capsys):
+        assert main(["validate", "--ports", "16"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_fails_at_high_frequency(self, capsys):
+        assert main(["validate", "--ports", "16",
+                     "--frequency", "3.0"]) == 1
+        assert "violations" in capsys.readouterr().out
+
+
+class TestFig7:
+    def test_renders_plot(self, capsys):
+        assert main(["fig7", "--points", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "*" in out
+
+
+class TestTraffic:
+    def test_uniform_run(self, capsys):
+        code = main(["traffic", "--ports", "16", "--load", "0.05",
+                     "--cycles", "100"])
+        assert code == 0
+        assert "packets" in capsys.readouterr().out
+
+    def test_neighbour_run(self, capsys):
+        code = main(["traffic", "--ports", "16", "--pattern", "neighbour",
+                     "--load", "0.05", "--cycles", "100"])
+        assert code == 0
+
+
+class TestDemo:
+    def test_small_demo(self, capsys):
+        assert main(["demo", "--tiles", "4", "--cycles", "150"]) == 0
+        assert "transactions" in capsys.readouterr().out
+
+
+class TestCorners:
+    def test_table(self, capsys):
+        assert main(["corners"]) == 0
+        out = capsys.readouterr().out
+        for corner in ("ff", "tt", "ss", "worst"):
+            assert corner in out

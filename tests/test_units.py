@@ -1,0 +1,80 @@
+"""Unit conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestPeriods:
+    def test_period_of_1ghz_is_1000ps(self):
+        assert units.period_ps(1.0) == pytest.approx(1000.0)
+
+    def test_half_period_of_1ghz_is_500ps(self):
+        assert units.half_period_ps(1.0) == pytest.approx(500.0)
+
+    def test_period_frequency_roundtrip(self):
+        for f in (0.1, 0.5, 1.0, 1.8, 3.3):
+            assert units.frequency_ghz(units.period_ps(f)) == pytest.approx(f)
+
+    def test_frequency_from_half_period(self):
+        assert units.frequency_from_half_period(500.0) == pytest.approx(1.0)
+        assert units.frequency_from_half_period(277.778) == pytest.approx(
+            1.8, rel=1e-4
+        )
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            units.period_ps(0.0)
+        with pytest.raises(ValueError):
+            units.period_ps(-1.0)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            units.frequency_ghz(0.0)
+
+
+class TestTicks:
+    def test_whole_cycles(self):
+        assert units.cycles_to_ticks(3) == 6
+        assert units.cycles_to_ticks(1.5) == 3
+
+    def test_fractional_half_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_ticks(0.75)
+
+    def test_ticks_to_cycles(self):
+        assert units.ticks_to_cycles(7) == 3.5
+
+    def test_ticks_to_ps(self):
+        # 4 half-cycles at 1 GHz = 2 ns.
+        assert units.ticks_to_ps(4, 1.0) == pytest.approx(2000.0)
+
+
+class TestEnergyPower:
+    def test_energy_cv2(self):
+        assert units.energy_pj(2.0, 1.0) == pytest.approx(2.0)
+        assert units.energy_pj(1.0, 2.0) == pytest.approx(4.0)
+
+    def test_power_acvf(self):
+        # 1 pF at 1 V and 1 GHz = 1 mW.
+        assert units.power_mw(1.0, 1.0, 1.0) == pytest.approx(1.0)
+
+    def test_power_scales_with_activity(self):
+        full = units.power_mw(1.0, 1.0, 1.0, activity=1.0)
+        half = units.power_mw(1.0, 1.0, 1.0, activity=0.5)
+        assert half == pytest.approx(full / 2.0)
+
+    def test_power_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            units.power_mw(1.0, 1.0, 1.0, activity=1.5)
+
+    def test_kohm_pf_is_ns(self):
+        assert units.PS_PER_KOHM_PF == pytest.approx(
+            1000.0 * units.NS_PER_KOHM_PF
+        )
+
+    def test_ticks_conversion_is_exact_for_halves(self):
+        assert units.cycles_to_ticks(2.5) == 5
+        assert math.isclose(units.ticks_to_cycles(5), 2.5)

@@ -1,0 +1,73 @@
+"""TimingCheck / TimingReport containers."""
+
+import pytest
+
+from repro.timing.constraints import (
+    CheckKind,
+    Direction,
+    TimingCheck,
+    TimingReport,
+)
+
+
+def check(slack, channel="ch", kind=CheckKind.SETUP,
+          direction=Direction.DOWNSTREAM):
+    return TimingCheck(channel=channel, direction=direction, kind=kind,
+                       slack_ps=slack, skew_ps=0.0, bound_ps=slack)
+
+
+class TestTimingCheck:
+    def test_positive_slack_passes(self):
+        assert check(10.0).passed
+
+    def test_zero_slack_passes(self):
+        assert check(0.0).passed
+
+    def test_negative_slack_fails(self):
+        assert not check(-1.0).passed
+
+    def test_describe_fail(self):
+        assert "FAIL" in check(-5.0).describe()
+
+    def test_describe_mentions_channel_and_kind(self):
+        text = check(3.0, channel="root.down",
+                     kind=CheckKind.HOLD).describe()
+        assert "root.down" in text
+        assert "hold" in text
+
+
+class TestTimingReport:
+    def test_passed_requires_all(self):
+        report = TimingReport(frequency_ghz=1.0,
+                              checks=[check(5.0), check(-1.0)])
+        assert not report.passed
+        assert len(report.violations) == 1
+
+    def test_worst_slack(self):
+        report = TimingReport(frequency_ghz=1.0,
+                              checks=[check(5.0), check(2.0), check(9.0)])
+        assert report.worst_slack_ps == 2.0
+        assert report.worst_check().slack_ps == 2.0
+
+    def test_empty_report_passed_but_no_worst(self):
+        report = TimingReport(frequency_ghz=1.0)
+        assert report.passed  # vacuous
+        with pytest.raises(ValueError):
+            report.worst_slack_ps
+        with pytest.raises(ValueError):
+            report.worst_check()
+
+    def test_summary_limits_to_ten_lines(self):
+        report = TimingReport(
+            frequency_ghz=1.0,
+            checks=[check(float(i), channel=f"c{i}") for i in range(50)],
+        )
+        text = report.summary()
+        assert len(text.splitlines()) == 11  # header + 10 worst
+
+    def test_summary_shows_worst_first(self):
+        report = TimingReport(frequency_ghz=1.0,
+                              checks=[check(9.0, channel="ok"),
+                                      check(-3.0, channel="bad")])
+        lines = report.summary().splitlines()
+        assert "bad" in lines[1]

@@ -1,0 +1,170 @@
+"""Equations (1)-(7): windows, slacks, minimum periods, hold fixability."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tech.flipflop import FF_90NM, RegisterTiming
+from repro.timing import link_timing
+from repro.units import half_period_ps
+
+
+class TestEquation4:
+    """At 1 GHz, eq. (4): -540 ps < delta_diff < 380 ps."""
+
+    def test_downstream_window_at_1ghz(self):
+        low, high = link_timing.downstream_window(FF_90NM, 500.0)
+        assert low == pytest.approx(-540.0)
+        assert high == pytest.approx(380.0)
+
+    def test_window_widens_as_frequency_drops(self):
+        low_1g, high_1g = link_timing.downstream_window(FF_90NM, 500.0)
+        low_05g, high_05g = link_timing.downstream_window(FF_90NM, 1000.0)
+        assert low_05g < low_1g
+        assert high_05g > high_1g
+
+    def test_window_symmetric_difference_is_register_overheads(self):
+        # high - low = 2*Thalf - tsetup - thold, independent of tclkQ.
+        for half in (300.0, 500.0, 900.0):
+            low, high = link_timing.downstream_window(FF_90NM, half)
+            assert high - low == pytest.approx(
+                2.0 * half - FF_90NM.t_setup - FF_90NM.t_hold
+            )
+
+
+class TestEquation7:
+    """At 1 GHz, eq. (7): delta_sum < 380 ps."""
+
+    def test_upstream_bound_at_1ghz(self):
+        low, high = link_timing.upstream_window(FF_90NM, 500.0)
+        assert high == pytest.approx(380.0)
+
+    def test_upstream_hold_bound_is_negative(self):
+        """Paper after eq. (6): 'the right hand side of (6) is always
+        negative' for the typical flip-flop — never binding."""
+        for half in (200.0, 500.0, 2000.0):
+            low, _ = link_timing.upstream_window(FF_90NM, half)
+            assert low < 0.0
+
+    def test_up_and_downstream_windows_coincide(self):
+        # Eqs. (3) and (5)-(6) have the same algebraic bounds; only the
+        # skew quantity differs (difference vs sum).
+        for half in (250.0, 500.0):
+            assert link_timing.downstream_window(FF_90NM, half) == \
+                link_timing.upstream_window(FF_90NM, half)
+
+
+class TestSlacks:
+    def test_downstream_slack_zero_at_bounds(self):
+        low, high = link_timing.downstream_window(FF_90NM, 500.0)
+        setup_slack, _ = link_timing.downstream_slack(FF_90NM, 500.0, high)
+        _, hold_slack = link_timing.downstream_slack(FF_90NM, 500.0, low)
+        assert setup_slack == pytest.approx(0.0)
+        assert hold_slack == pytest.approx(0.0)
+
+    def test_slack_positive_inside_window(self):
+        setup_slack, hold_slack = link_timing.downstream_slack(
+            FF_90NM, 500.0, 0.0
+        )
+        assert setup_slack > 0.0
+        assert hold_slack > 0.0
+
+    def test_slack_negative_outside_window(self):
+        setup_slack, _ = link_timing.downstream_slack(FF_90NM, 500.0, 400.0)
+        assert setup_slack < 0.0
+        _, hold_slack = link_timing.downstream_slack(FF_90NM, 500.0, -600.0)
+        assert hold_slack < 0.0
+
+    def test_upstream_slack_at_eq7_example(self):
+        # 380 ps budget split as 190+190 leaves zero setup slack at 1 GHz.
+        setup_slack, hold_slack = link_timing.upstream_slack(
+            FF_90NM, 500.0, 380.0
+        )
+        assert setup_slack == pytest.approx(0.0)
+        assert hold_slack > 0.0
+
+
+class TestMinHalfPeriod:
+    def test_roundtrip_downstream(self):
+        for delta in (-300.0, 0.0, 250.0):
+            half = link_timing.min_half_period_downstream(FF_90NM, delta)
+            low, high = link_timing.downstream_window(FF_90NM, half + 1e-9)
+            assert low < delta < high
+
+    def test_roundtrip_upstream(self):
+        for delta in (0.0, 100.0, 700.0):
+            half = link_timing.min_half_period_upstream(FF_90NM, delta)
+            low, high = link_timing.upstream_window(FF_90NM, half + 1e-9)
+            assert low < delta < high
+
+    def test_finite_for_any_skew(self):
+        """The graceful-degradation property: whatever the skew, a finite
+        half period makes the transfer safe."""
+        for delta in (-5000.0, -100.0, 0.0, 100.0, 5000.0):
+            half = link_timing.min_half_period_downstream(FF_90NM, delta)
+            assert half < float("inf")
+            assert half >= 0.0
+
+    @given(st.floats(min_value=-10000.0, max_value=10000.0))
+    def test_min_half_period_is_tight(self, delta):
+        half = link_timing.min_half_period_downstream(FF_90NM, delta)
+        if half > 0.0:
+            low, high = link_timing.downstream_window(FF_90NM, half + 1e-6)
+            assert low <= delta <= high
+
+    @given(st.floats(min_value=-2000.0, max_value=2000.0),
+           st.floats(min_value=10.0, max_value=5000.0))
+    def test_monotone_safety(self, delta, extra):
+        """Safe at Thalf implies safe at any larger Thalf."""
+        half = link_timing.min_half_period_downstream(FF_90NM, delta)
+        if half <= 0.0:
+            half = 1.0
+        low1, high1 = link_timing.downstream_window(FF_90NM, half + 1e-6)
+        low2, high2 = link_timing.downstream_window(FF_90NM, half + extra)
+        assert low2 <= low1 and high2 >= high1
+
+
+class TestSynchronousHold:
+    """The contrast case: same-edge hold margins don't depend on period."""
+
+    def test_margin_independent_of_period(self):
+        # No period parameter exists — the API encodes the property.
+        margin = link_timing.synchronous_hold_margin(FF_90NM, skew=50.0,
+                                                     data_min_delay=80.0)
+        assert margin == pytest.approx(80.0 - 20.0 - 50.0)
+
+    def test_large_skew_not_fixable(self):
+        assert not link_timing.is_hold_fixable_by_frequency(
+            FF_90NM, skew=100.0, data_min_delay=80.0
+        )
+
+    def test_small_skew_fixable(self):
+        assert link_timing.is_hold_fixable_by_frequency(
+            FF_90NM, skew=30.0, data_min_delay=80.0
+        )
+
+    def test_contamination_helps(self):
+        with_contamination = RegisterTiming(t_contamination=40.0)
+        margin_a = link_timing.synchronous_hold_margin(FF_90NM, 50.0, 80.0)
+        margin_b = link_timing.synchronous_hold_margin(
+            with_contamination, 50.0, 80.0
+        )
+        assert margin_b == pytest.approx(margin_a + 40.0)
+
+    def test_rejects_negative_min_delay(self):
+        with pytest.raises(ConfigurationError):
+            link_timing.synchronous_hold_margin(FF_90NM, 0.0, -1.0)
+
+
+class TestValidation:
+    def test_nonpositive_half_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            link_timing.downstream_window(FF_90NM, 0.0)
+        with pytest.raises(ConfigurationError):
+            link_timing.upstream_window(FF_90NM, -5.0)
+
+    def test_window_matches_half_period_helper(self):
+        low, high = link_timing.downstream_window(
+            FF_90NM, half_period_ps(1.0)
+        )
+        assert (low, high) == (pytest.approx(-540.0), pytest.approx(380.0))

@@ -1,0 +1,171 @@
+"""ChannelSpec checks, reports, and the closed-form f_max solver."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tech.flipflop import FF_90NM
+from repro.timing.constraints import CheckKind, Direction
+from repro.timing.validator import (
+    ChannelSpec,
+    channel_checks,
+    channel_min_half_period,
+    channels_max_frequency,
+    validate_channels,
+)
+
+
+def down_spec(clock=100.0, data=100.0, accept=100.0, name="ch"):
+    return ChannelSpec(name=name, clock_delay_ps=clock, data_delay_ps=data,
+                       accept_delay_ps=accept, downstream=True)
+
+
+def up_spec(clock=100.0, data=100.0, accept=100.0, name="ch"):
+    return ChannelSpec(name=name, clock_delay_ps=clock, data_delay_ps=data,
+                       accept_delay_ps=accept, downstream=False)
+
+
+class TestSkewTerms:
+    def test_downstream_channel_data_rides_with_clock(self):
+        spec = down_spec(clock=120.0, data=150.0, accept=90.0)
+        assert spec.with_clock_skew == pytest.approx(30.0)   # data - clock
+        assert spec.against_clock_skew == pytest.approx(210.0)  # accept + clock
+
+    def test_upstream_channel_data_fights_clock(self):
+        spec = up_spec(clock=120.0, data=150.0, accept=90.0)
+        assert spec.against_clock_skew == pytest.approx(270.0)  # data + clock
+        assert spec.with_clock_skew == pytest.approx(-30.0)     # accept - clock
+
+    def test_matched_link_has_zero_diff(self):
+        spec = down_spec(clock=100.0, data=100.0)
+        assert spec.with_clock_skew == 0.0
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelSpec(name="x", clock_delay_ps=-1.0, data_delay_ps=0.0,
+                        accept_delay_ps=0.0)
+
+
+class TestChecks:
+    def test_four_checks_per_channel(self):
+        checks = channel_checks(down_spec(), FF_90NM, 500.0)
+        assert len(checks) == 4
+        kinds = {(c.direction, c.kind) for c in checks}
+        assert kinds == {
+            (Direction.DOWNSTREAM, CheckKind.SETUP),
+            (Direction.DOWNSTREAM, CheckKind.HOLD),
+            (Direction.UPSTREAM, CheckKind.SETUP),
+            (Direction.UPSTREAM, CheckKind.HOLD),
+        }
+
+    def test_matched_1_25mm_link_passes_at_1ghz(self):
+        # The demonstrator's segment: ~112.5 ps each way.
+        spec = down_spec(clock=112.5, data=112.5, accept=112.5)
+        checks = channel_checks(spec, FF_90NM, 500.0)
+        assert all(c.passed for c in checks)
+
+    def test_upstream_setup_binds_first(self):
+        """Section 4: 'the upstream timing represents the performance
+        limiting factor' — the worst check of a matched link is the
+        against-clock setup check."""
+        spec = down_spec(clock=150.0, data=150.0, accept=150.0)
+        checks = channel_checks(spec, FF_90NM, 500.0)
+        worst = min(checks, key=lambda c: c.slack_ps)
+        assert worst.direction is Direction.UPSTREAM
+        assert worst.kind is CheckKind.SETUP
+
+    def test_eq7_example_fails_just_past_380ps(self):
+        spec = down_spec(clock=200.0, data=200.0, accept=181.0)
+        checks = channel_checks(spec, FF_90NM, 500.0)
+        assert not all(c.passed for c in checks)
+
+    def test_describe_mentions_status(self):
+        checks = channel_checks(down_spec(), FF_90NM, 500.0)
+        assert "PASS" in checks[0].describe()
+
+
+class TestReport:
+    def test_report_passes_on_good_channels(self):
+        specs = [down_spec(name=f"ch{i}") for i in range(5)]
+        report = validate_channels(specs, FF_90NM, 1.0)
+        assert report.passed
+        assert len(report.checks) == 20
+        assert report.violations == []
+
+    def test_report_collects_violations(self):
+        specs = [down_spec(name="good"),
+                 down_spec(clock=400.0, data=400.0, accept=400.0, name="bad")]
+        report = validate_channels(specs, FF_90NM, 1.0)
+        assert not report.passed
+        assert all("bad" == v.channel for v in report.violations)
+
+    def test_worst_slack_and_check_agree(self):
+        specs = [down_spec(name="a"), down_spec(clock=180.0, data=180.0,
+                                                accept=180.0, name="b")]
+        report = validate_channels(specs, FF_90NM, 1.0)
+        assert report.worst_check().slack_ps == report.worst_slack_ps
+
+    def test_empty_report_raises_on_worst(self):
+        report = validate_channels([], FF_90NM, 1.0)
+        with pytest.raises(ValueError):
+            report.worst_slack_ps
+
+    def test_summary_renders(self):
+        report = validate_channels([down_spec()], FF_90NM, 1.0)
+        text = report.summary()
+        assert "4 checks" in text
+        assert "0 violations" in text
+
+
+class TestMaxFrequency:
+    def test_zero_delay_channel_limit(self):
+        # Thalf_min = tclkQ + tsetup = 120 ps -> 4.1667 GHz.
+        f = channels_max_frequency([down_spec(0.0, 0.0, 0.0)], FF_90NM)
+        assert f == pytest.approx(1000.0 / 240.0, rel=1e-6)
+
+    def test_demonstrator_segment_limit(self):
+        # 112.5 ps wires: Thalf_min = 120 + 225 = 345 ps -> 1.449 GHz.
+        f = channels_max_frequency([down_spec(112.5, 112.5, 112.5)], FF_90NM)
+        assert f == pytest.approx(1000.0 / 690.0, rel=1e-6)
+
+    def test_worst_channel_binds(self):
+        fast = down_spec(50.0, 50.0, 50.0, name="fast")
+        slow = down_spec(200.0, 200.0, 200.0, name="slow")
+        f_both = channels_max_frequency([fast, slow], FF_90NM)
+        f_slow = channels_max_frequency([slow], FF_90NM)
+        assert f_both == pytest.approx(f_slow)
+
+    def test_solution_is_exactly_critical(self):
+        """At f_max everything passes; 1% above, something fails."""
+        specs = [down_spec(130.0, 145.0, 120.0),
+                 up_spec(90.0, 80.0, 100.0)]
+        f = channels_max_frequency(specs, FF_90NM)
+        assert validate_channels(specs, FF_90NM, f * 0.999).passed
+        assert not validate_channels(specs, FF_90NM, f * 1.01).passed
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            channels_max_frequency([], FF_90NM)
+
+    @given(st.floats(min_value=0.0, max_value=800.0),
+           st.floats(min_value=0.0, max_value=800.0),
+           st.floats(min_value=0.0, max_value=800.0))
+    def test_fmax_always_positive_and_safe(self, clock, data, accept):
+        """Correct by construction: every channel has a safe frequency."""
+        spec = down_spec(clock, data, accept)
+        f = channels_max_frequency([spec], FF_90NM)
+        assert f > 0.0
+        report = validate_channels([spec], FF_90NM, f * 0.999)
+        assert report.passed
+
+    @given(st.booleans(),
+           st.floats(min_value=0.0, max_value=500.0),
+           st.floats(min_value=0.0, max_value=500.0),
+           st.floats(min_value=0.0, max_value=500.0))
+    def test_min_half_period_tightness(self, downstream, clock, data, accept):
+        spec = ChannelSpec(name="p", clock_delay_ps=clock,
+                           data_delay_ps=data, accept_delay_ps=accept,
+                           downstream=downstream)
+        half = channel_min_half_period(spec, FF_90NM)
+        checks = channel_checks(spec, FF_90NM, half + 1e-6)
+        assert all(c.passed for c in checks)

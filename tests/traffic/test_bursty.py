@@ -1,0 +1,63 @@
+"""Bursty on-off traffic: statistics of the gating workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.bursty import BurstyTraffic
+
+
+class TestBursty:
+    def test_on_fraction(self):
+        gen = BurstyTraffic(ports=8, peak_load=0.5,
+                            mean_burst_cycles=20.0, mean_idle_cycles=80.0)
+        assert gen.on_fraction == pytest.approx(0.2)
+        assert gen.average_load == pytest.approx(0.1)
+
+    def test_average_load_statistics(self):
+        gen = BurstyTraffic(ports=16, peak_load=0.6,
+                            mean_burst_cycles=25.0, mean_idle_cycles=75.0)
+        schedule = gen.generate(4000, np.random.default_rng(0))
+        measured = len(schedule) / (4000 * 16)
+        assert measured == pytest.approx(gen.average_load, rel=0.15)
+
+    def test_burstiness_visible_as_temporal_clumping(self):
+        """On-off traffic clumps in time: given a source injected at cycle
+        t, the chance it injects at t+1 (still inside the burst) far
+        exceeds its unconditional rate. Cross-sectional variance would
+        not show this — independent sources average it out."""
+        bursty = BurstyTraffic(ports=16, peak_load=0.8,
+                               mean_burst_cycles=30.0,
+                               mean_idle_cycles=120.0)
+        schedule = bursty.generate(3000, np.random.default_rng(1))
+        cycles_by_src = {}
+        for injection in schedule:
+            cycles_by_src.setdefault(injection.src, set()).add(injection.cycle)
+        followups = 0
+        opportunities = 0
+        for cycles in cycles_by_src.values():
+            for cycle in cycles:
+                opportunities += 1
+                followups += (cycle + 1) in cycles
+        conditional = followups / opportunities
+        unconditional = bursty.average_load
+        assert conditional > 2.0 * unconditional
+
+    def test_deterministic_under_seed(self):
+        gen = BurstyTraffic(ports=8, peak_load=0.5)
+        a = gen.generate(500, np.random.default_rng(9))
+        b = gen.generate(500, np.random.default_rng(9))
+        assert a == b
+
+    def test_idle_periods_exist(self):
+        gen = BurstyTraffic(ports=4, peak_load=0.9,
+                            mean_burst_cycles=10.0, mean_idle_cycles=90.0)
+        schedule = gen.generate(1000, np.random.default_rng(2))
+        active_cycles = {i.cycle for i in schedule}
+        assert len(active_cycles) < 600  # most cycles silent
+
+    def test_bad_durations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(ports=8, peak_load=0.5, mean_burst_cycles=0.0)
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(ports=8, peak_load=0.5, mean_idle_cycles=-1.0)

@@ -1,0 +1,157 @@
+"""Traffic generators: loads, destinations, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic.base import Injection
+from repro.traffic.patterns import (
+    HotspotTraffic,
+    NeighbourTraffic,
+    PermutationTraffic,
+    UniformRandom,
+    bit_complement,
+    bit_reverse,
+    transpose,
+)
+
+
+class TestInjection:
+    def test_packet_conversion(self):
+        injection = Injection(cycle=3, src=0, dest=5, size_flits=4)
+        packet = injection.to_packet()
+        assert packet.src == 0
+        assert packet.dest == 5
+        assert packet.flit_count == 4
+
+    def test_self_traffic_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Injection(cycle=0, src=2, dest=2)
+
+    def test_zero_flits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Injection(cycle=0, src=0, dest=1, size_flits=0)
+
+
+class TestUniformRandom:
+    def test_never_targets_self(self):
+        gen = UniformRandom(ports=16, load=0.5)
+        rng = np.random.default_rng(0)
+        for src in range(16):
+            for _ in range(50):
+                assert gen.pick_destination(src, rng) != src
+
+    def test_destination_range(self):
+        gen = UniformRandom(ports=8, load=0.5)
+        rng = np.random.default_rng(1)
+        dests = {gen.pick_destination(0, rng) for _ in range(200)}
+        assert dests == set(range(1, 8))
+
+    def test_offered_load_statistics(self):
+        gen = UniformRandom(ports=16, load=0.3)
+        schedule = gen.generate(500, np.random.default_rng(2))
+        offered = len(schedule) / (500 * 16)
+        assert offered == pytest.approx(0.3, rel=0.1)
+
+    def test_multiflit_packets_reduce_packet_rate(self):
+        single = UniformRandom(ports=16, load=0.4, size_flits=1)
+        quad = UniformRandom(ports=16, load=0.4, size_flits=4)
+        rng = np.random.default_rng(3)
+        n_single = len(single.generate(400, rng))
+        rng = np.random.default_rng(3)
+        n_quad = len(quad.generate(400, rng))
+        assert n_quad == pytest.approx(n_single / 4.0, rel=0.15)
+
+    def test_deterministic_under_seed(self):
+        gen = UniformRandom(ports=8, load=0.2)
+        a = gen.generate(100, np.random.default_rng(7))
+        b = gen.generate(100, np.random.default_rng(7))
+        assert a == b
+
+    def test_bad_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformRandom(ports=8, load=0.0)
+        with pytest.raises(ConfigurationError):
+            UniformRandom(ports=8, load=1.5)
+
+
+class TestNeighbour:
+    def test_full_locality_targets_sibling(self):
+        gen = NeighbourTraffic(ports=16, load=0.5, locality=1.0)
+        rng = np.random.default_rng(0)
+        for src in range(16):
+            assert gen.pick_destination(src, rng) == src ^ 1
+
+    def test_locality_fraction(self):
+        gen = NeighbourTraffic(ports=16, load=0.5, locality=0.7)
+        rng = np.random.default_rng(1)
+        hits = sum(gen.pick_destination(4, rng) == 5 for _ in range(2000))
+        assert hits / 2000 == pytest.approx(0.7, abs=0.05)
+
+    def test_bad_locality_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NeighbourTraffic(ports=8, load=0.5, locality=1.5)
+
+
+class TestHotspot:
+    def test_hotspot_receives_more(self):
+        gen = HotspotTraffic(ports=16, load=0.5, hotspots=(0,), fraction=0.5)
+        rng = np.random.default_rng(2)
+        schedule = gen.generate(300, rng)
+        to_hotspot = sum(1 for i in schedule if i.dest == 0)
+        per_other = sum(1 for i in schedule if i.dest == 5)
+        assert to_hotspot > 3 * per_other
+
+    def test_out_of_range_hotspot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(ports=8, load=0.5, hotspots=(9,))
+
+    def test_empty_hotspots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(ports=8, load=0.5, hotspots=())
+
+
+class TestPermutations:
+    def test_bit_complement(self):
+        assert bit_complement(0, 64) == 63
+        assert bit_complement(21, 64) == 42
+
+    def test_bit_reverse(self):
+        assert bit_reverse(1, 8) == 4  # 001 -> 100
+        assert bit_reverse(3, 8) == 6  # 011 -> 110
+
+    def test_transpose(self):
+        # 6 bits: (high, low) swap. 0b000111 -> 0b111000.
+        assert transpose(7, 64) == 56
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_bit_reverse_involution(self, x):
+        assert bit_reverse(bit_reverse(x, 64), 64) == x
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_bit_complement_involution(self, x):
+        assert bit_complement(bit_complement(x, 64), 64) == x
+
+    def test_permutation_traffic_fixed_mapping(self):
+        gen = PermutationTraffic(ports=16, load=0.5,
+                                 permutation="bit_complement")
+        rng = np.random.default_rng(0)
+        for src in range(16):
+            assert gen.pick_destination(src, rng) == 15 - src
+
+    def test_self_mapped_ports_stay_silent(self):
+        # Transpose fixes addresses whose halves are equal.
+        gen = PermutationTraffic(ports=16, load=0.5, permutation="transpose")
+        schedule = gen.generate(200, np.random.default_rng(1))
+        fixed = [s for s in range(16) if transpose(s, 16) == s]
+        assert fixed  # the pattern does have fixed points
+        assert all(i.src not in fixed for i in schedule)
+
+    def test_unknown_permutation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PermutationTraffic(ports=16, load=0.5, permutation="zigzag")
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PermutationTraffic(ports=12, load=0.5)

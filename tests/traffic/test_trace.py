@@ -1,0 +1,58 @@
+"""Trace record/replay round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.base import Injection
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.trace import TraceRecorder, replay_trace
+
+
+class TestTrace:
+    def test_roundtrip(self, tmp_path):
+        recorder = TraceRecorder()
+        schedule = UniformRandom(ports=8, load=0.3).generate(
+            50, np.random.default_rng(0)
+        )
+        recorder.extend(schedule)
+        path = tmp_path / "trace.jsonl"
+        recorder.save(path)
+        replayed = replay_trace(path)
+        assert replayed == schedule
+
+    def test_record_single(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.record(Injection(cycle=1, src=0, dest=3, size_flits=2))
+        path = tmp_path / "one.jsonl"
+        recorder.save(path)
+        assert replay_trace(path) == [
+            Injection(cycle=1, src=0, dest=3, size_flits=2)
+        ]
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        TraceRecorder().save(path)
+        assert replay_trace(path) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            '{"cycle": 0, "src": 1, "dest": 2, "size_flits": 1}\n'
+            '\n'
+            '{"cycle": 1, "src": 2, "dest": 1, "size_flits": 3}\n'
+        )
+        assert len(replay_trace(path)) == 2
+
+    def test_corrupt_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"cycle": 0, "src": 1, "dest": 2, "size_flits": 1}\n'
+                        'not json\n')
+        with pytest.raises(ConfigurationError, match="line 2"):
+            replay_trace(path)
+
+    def test_missing_key_reported(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        path.write_text('{"cycle": 0, "src": 1}\n')
+        with pytest.raises(ConfigurationError):
+            replay_trace(path)
