@@ -1,0 +1,93 @@
+"""BENCH-KERNEL — activity-driven fast path vs the naive tick loop.
+
+The microbench behind the kernel's performance contract: an idle-heavy
+64-leaf network (a short packet burst followed by a long quiet tail — the
+common shape of system workloads, where the NoC idles between bursts) is
+run once on the activity-driven kernel and once on the naive
+fire-everything loop. The fast path must be at least 2x faster while
+producing bit-identical results: same deliveries, same latencies, same
+clock-gating edge counts.
+
+Run as a script to (re)generate the checked-in ``BENCH_kernel.json``
+baseline that future PRs diff against:
+
+    PYTHONPATH=src python benchmarks/bench_kernel_throughput.py
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.noc.packet import Packet
+
+LEAVES = 64
+TICKS = 6_000
+BURST_PACKETS = 8
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def run_workload(activity_driven: bool, ticks: int = TICKS) -> dict:
+    """One idle-heavy run; returns wall time and observable results."""
+    net = ICNoCNetwork(NetworkConfig(leaves=LEAVES, arity=2,
+                                     activity_driven=activity_driven))
+    for dest in range(1, BURST_PACKETS + 1):
+        net.send(Packet(src=0, dest=dest))
+    start = time.perf_counter()
+    net.run_ticks(ticks)
+    elapsed = time.perf_counter() - start
+    gating = net.gating_stats()
+    return {
+        "elapsed_s": elapsed,
+        "ticks_per_s": ticks / elapsed if elapsed > 0 else float("inf"),
+        "delivered": net.stats.packets_delivered,
+        "latencies": list(net.stats.latencies_cycles),
+        "gating_edges_total": gating.edges_total,
+        "gating_edges_enabled": gating.edges_enabled,
+    }
+
+
+def measure() -> dict:
+    fast = run_workload(activity_driven=True)
+    naive = run_workload(activity_driven=False)
+    return {
+        "leaves": LEAVES,
+        "ticks": TICKS,
+        "burst_packets": BURST_PACKETS,
+        "fast_ticks_per_s": round(fast["ticks_per_s"]),
+        "naive_ticks_per_s": round(naive["ticks_per_s"]),
+        "speedup": round(fast["ticks_per_s"] / naive["ticks_per_s"], 1),
+        "_fast": fast,
+        "_naive": naive,
+    }
+
+
+def test_kernel_throughput(benchmark, log):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    fast, naive = results["_fast"], results["_naive"]
+
+    # Equivalence first: the fast path must change nothing observable.
+    assert fast["delivered"] == naive["delivered"] == BURST_PACKETS
+    assert fast["latencies"] == naive["latencies"]
+    assert fast["gating_edges_total"] == naive["gating_edges_total"]
+    assert fast["gating_edges_enabled"] == naive["gating_edges_enabled"]
+
+    # The performance contract: >= 2x on the idle-heavy workload
+    # (measured: orders of magnitude).
+    assert results["speedup"] >= 2.0, results
+
+    print()
+    print(json.dumps({k: v for k, v in results.items()
+                      if not k.startswith("_")}, indent=2))
+
+
+def main() -> None:
+    results = measure()
+    baseline = {k: v for k, v in results.items() if not k.startswith("_")}
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(json.dumps(baseline, indent=2))
+    print(f"baseline written to {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,45 +5,58 @@ locality-weighted traffic, and on the 8x8 mesh baseline for the same
 schedules. The shape to reproduce: flat zero-load latency, a knee, and
 saturation; locality pushes the tree's knee far to the right (the
 application-mapping argument of Section 3).
+
+The twelve (config, load) points are independent simulations described by
+picklable :class:`LoadPoint` specs and fanned out over worker processes
+via :func:`parallel_map`; results are identical to the serial loop.
 """
 
 import numpy as np
 
+from repro.analysis.parallel import LoadPoint, default_workers, parallel_map
 from repro.analysis.tables import format_table
-from repro.mesh.network import MeshConfig, MeshNetwork
-from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.mesh.network import MeshConfig
+from repro.noc.network import NetworkConfig
 from repro.traffic.base import apply_traffic
-from repro.traffic.patterns import NeighbourTraffic, UniformRandom
 
 
 LOADS = (0.02, 0.08, 0.16, 0.24)
 CYCLES = 250
+SEED = 13
+
+CONFIGS = {
+    "tree_uniform": LoadPoint(load=LOADS[0], pattern="uniform",
+                              network=NetworkConfig(leaves=64, arity=2),
+                              cycles=CYCLES, seed=SEED),
+    "tree_local": LoadPoint(load=LOADS[0], pattern="neighbour", locality=0.8,
+                            network=NetworkConfig(leaves=64, arity=2),
+                            cycles=CYCLES, seed=SEED),
+    "mesh_uniform": LoadPoint(load=LOADS[0], pattern="uniform",
+                              network=MeshConfig(cols=8, rows=8),
+                              cycles=CYCLES, seed=SEED),
+}
 
 
-def run_curve(network_factory, generator_factory, seed=13):
-    means = []
-    for load in LOADS:
-        net = network_factory()
-        gen = generator_factory(load)
-        schedule = gen.generate(CYCLES, np.random.default_rng(seed))
-        apply_traffic(net, schedule, run_cycles=CYCLES)
-        delivered = net.stats.packets_delivered
-        assert delivered == net.stats.packets_injected, "network saturated"
-        means.append(net.stats.latency.mean)
-    return means
+def latency_point(spec: LoadPoint) -> float:
+    """Worker entry point: mean packet latency of one (config, load)."""
+    net = spec.build_network()
+    gen = spec.build_generator()
+    schedule = gen.generate(spec.cycles, np.random.default_rng(spec.seed))
+    apply_traffic(net, schedule, run_cycles=spec.cycles)
+    delivered = net.stats.packets_delivered
+    assert delivered == net.stats.packets_injected, "network saturated"
+    return net.stats.latency.mean
 
 
-def sweep_all():
-    tree = lambda: ICNoCNetwork(NetworkConfig(leaves=64, arity=2))
-    mesh = lambda: MeshNetwork(MeshConfig(cols=8, rows=8))
-    return {
-        "tree_uniform": run_curve(
-            tree, lambda load: UniformRandom(64, load)),
-        "tree_local": run_curve(
-            tree, lambda load: NeighbourTraffic(64, load, locality=0.8)),
-        "mesh_uniform": run_curve(
-            mesh, lambda load: UniformRandom(64, load)),
-    }
+def sweep_all(workers: int | None = None):
+    workers = default_workers() if workers is None else workers
+    from dataclasses import replace
+    names = list(CONFIGS)
+    specs = [replace(CONFIGS[name], load=load)
+             for name in names for load in LOADS]
+    means = parallel_map(latency_point, specs, workers)
+    return {name: means[i * len(LOADS):(i + 1) * len(LOADS)]
+            for i, name in enumerate(names)}
 
 
 def test_latency_vs_load(benchmark, log):

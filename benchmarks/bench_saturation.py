@@ -7,32 +7,38 @@ be clustered"), the tree sustains several times more load — sibling pairs
 never leave their leaf router.
 """
 
-from repro.analysis.sweeps import saturation_throughput
+from repro.analysis.parallel import (
+    LoadPoint,
+    default_workers,
+    parallel_saturation_throughput,
+)
 from repro.analysis.tables import format_table
-from repro.mesh.network import MeshConfig, MeshNetwork
-from repro.noc.network import ICNoCNetwork, NetworkConfig
-from repro.traffic.patterns import NeighbourTraffic, UniformRandom
+from repro.mesh.network import MeshConfig
+from repro.noc.network import NetworkConfig
 
 PORTS = 16
 LOADS = [0.05, 0.10, 0.15, 0.20, 0.30, 0.45, 0.60, 0.80]
 
 
-def measure_saturation():
-    tree = lambda: ICNoCNetwork(NetworkConfig(leaves=PORTS, arity=2))
-    mesh = lambda: MeshNetwork(MeshConfig(cols=4, rows=4))
+def measure_saturation(workers: int | None = None):
+    """Three saturation searches over picklable specs, one process pool
+    fan-out per search (identical numbers to the old serial walk)."""
+    workers = default_workers() if workers is None else workers
+    tree = NetworkConfig(leaves=PORTS, arity=2)
+    mesh = MeshConfig(cols=4, rows=4)
+    searches = {
+        "tree_uniform": LoadPoint(load=LOADS[0], network=tree,
+                                  pattern="uniform", cycles=250),
+        "tree_local": LoadPoint(load=LOADS[0], network=tree,
+                                pattern="neighbour", locality=0.9,
+                                cycles=250),
+        "mesh_uniform": LoadPoint(load=LOADS[0], network=mesh,
+                                  pattern="uniform", cycles=250),
+    }
     return {
-        "tree_uniform": saturation_throughput(
-            tree, lambda load: UniformRandom(PORTS, load),
-            loads=LOADS, cycles=250,
-        ),
-        "tree_local": saturation_throughput(
-            tree, lambda load: NeighbourTraffic(PORTS, load, locality=0.9),
-            loads=LOADS, cycles=250,
-        ),
-        "mesh_uniform": saturation_throughput(
-            mesh, lambda load: UniformRandom(PORTS, load),
-            loads=LOADS, cycles=250,
-        ),
+        name: parallel_saturation_throughput(template, loads=LOADS,
+                                             workers=workers)
+        for name, template in searches.items()
     }
 
 

@@ -9,6 +9,16 @@ from repro.analysis.sweeps import (
     measure_offered_vs_accepted,
     saturation_throughput,
 )
+from repro.analysis.parallel import (
+    LoadPoint,
+    default_workers,
+    evaluate_load_point,
+    expand_loads,
+    measure_load_points,
+    parallel_map,
+    parallel_saturation_throughput,
+    point_seed,
+)
 from repro.analysis.scorecard import build_scorecard, render_scorecard
 
 __all__ = [
@@ -20,6 +30,14 @@ __all__ = [
     "sweep",
     "measure_offered_vs_accepted",
     "saturation_throughput",
+    "LoadPoint",
+    "default_workers",
+    "evaluate_load_point",
+    "expand_loads",
+    "measure_load_points",
+    "parallel_map",
+    "parallel_saturation_throughput",
+    "point_seed",
     "build_scorecard",
     "render_scorecard",
 ]

@@ -1,0 +1,196 @@
+"""Process-parallel sweep evaluation.
+
+Design-space sweeps (load curves, saturation searches, ablations) evaluate
+many independent simulation points; this module fans them out over worker
+processes. The building blocks:
+
+* :func:`parallel_map` — ordered map over picklable items with a
+  ``ProcessPoolExecutor``, falling back to the serial loop whenever the
+  work cannot be shipped to workers (closures, broken pools, ``workers``
+  <= 1), so callers never need two code paths;
+* :class:`LoadPoint` — a picklable spec of one offered-load measurement
+  (network config + traffic pattern by name + load/cycles/seed), evaluated
+  by the module-level :func:`evaluate_load_point`;
+* :func:`point_seed` — deterministic per-point seeds, identical no matter
+  how points are distributed over processes.
+
+Parallel and serial runs of the same specs return identical results: every
+point builds its own network and derives its RNG from the spec alone.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.sweeps import (
+    DEFAULT_SATURATION_LOADS,
+    measure_offered_vs_accepted,
+    scan_saturation_curve,
+)
+from repro.errors import ConfigurationError
+from repro.mesh.network import MeshConfig, MeshNetwork
+from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.traffic.base import TrafficGenerator
+from repro.traffic.patterns import (
+    HotspotTraffic,
+    NeighbourTraffic,
+    UniformRandom,
+)
+
+
+def default_workers() -> int:
+    """Worker count for "use the machine": one per CPU."""
+    return os.cpu_count() or 1
+
+
+def point_seed(base_seed: int, index: int) -> int:
+    """A deterministic, well-mixed seed for the index-th sweep point."""
+    if index < 0:
+        raise ConfigurationError("point index must be >= 0")
+    return int(np.random.SeedSequence([base_seed, index]).generate_state(1)[0])
+
+
+def _picklable(*objects: Any) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
+                 workers: int | None = None) -> list[Any]:
+    """``[fn(item) for item in items]``, fanned out over processes.
+
+    Results keep item order. Runs serially when ``workers`` is None or
+    <= 1, when there is at most one item, or when the work cannot be
+    shipped to workers (closures and other unpicklables, broken pools) —
+    parallelism is an optimisation, never a requirement. The upfront
+    probe pickles only ``fn`` and the first item (sweep items are
+    homogeneous specs); a later unpicklable item is caught by the
+    fallback instead.
+    """
+    n_workers = 1 if workers is None else workers
+    if n_workers <= 1 or len(items) <= 1 or not _picklable(fn, items[0]):
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (BrokenProcessPool, OSError, pickle.PicklingError,
+            TypeError, AttributeError):
+        # Pickling failures surface as PicklingError, TypeError, or
+        # AttributeError depending on the object; a genuine TypeError
+        # from fn re-raises identically from the serial retry.
+        return [fn(item) for item in items]
+
+
+# -- load-point specs -----------------------------------------------------
+
+#: Registered traffic patterns, by CLI-friendly name.
+PATTERN_NAMES = ("uniform", "neighbour", "hotspot")
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """Picklable spec of one offered-load measurement.
+
+    Everything needed to rebuild the experiment in a worker process:
+    the network (a tree :class:`NetworkConfig` or a mesh
+    :class:`MeshConfig`), the traffic pattern by registered name, and the
+    run parameters. ``seed`` alone determines the injection schedule, so
+    equal specs give equal results in any process.
+    """
+
+    load: float
+    network: NetworkConfig | MeshConfig = NetworkConfig()
+    pattern: str = "uniform"
+    cycles: int = 300
+    seed: int = 0
+    size_flits: int = 1
+    locality: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERN_NAMES:
+            raise ConfigurationError(
+                f"unknown traffic pattern {self.pattern!r}; "
+                f"known: {', '.join(PATTERN_NAMES)}"
+            )
+
+    @property
+    def ports(self) -> int:
+        if isinstance(self.network, MeshConfig):
+            return self.network.cols * self.network.rows
+        return self.network.leaves
+
+    def build_network(self):
+        if isinstance(self.network, MeshConfig):
+            return MeshNetwork(self.network)
+        return ICNoCNetwork(self.network)
+
+    def build_generator(self, load: float | None = None) -> TrafficGenerator:
+        load = self.load if load is None else load
+        if self.pattern == "neighbour":
+            return NeighbourTraffic(self.ports, load,
+                                    size_flits=self.size_flits,
+                                    locality=self.locality)
+        if self.pattern == "hotspot":
+            return HotspotTraffic(self.ports, load,
+                                  size_flits=self.size_flits)
+        return UniformRandom(self.ports, load, size_flits=self.size_flits)
+
+
+def evaluate_load_point(spec: LoadPoint) -> dict[str, float]:
+    """Worker entry point: one offered/accepted/latency measurement."""
+    return measure_offered_vs_accepted(
+        spec.build_network, spec.build_generator, spec.load,
+        cycles=spec.cycles, seed=spec.seed,
+    )
+
+
+def expand_loads(template: LoadPoint, loads: Sequence[float],
+                 base_seed: int | None = None) -> list[LoadPoint]:
+    """One spec per load. With ``base_seed``, each point gets its own
+    deterministic seed (:func:`point_seed`); otherwise all points share
+    the template's seed (what the serial saturation search does)."""
+    specs = []
+    for index, load in enumerate(loads):
+        seed = (template.seed if base_seed is None
+                else point_seed(base_seed, index))
+        specs.append(replace(template, load=load, seed=seed))
+    return specs
+
+
+def measure_load_points(specs: Sequence[LoadPoint],
+                        workers: int | None = None) -> list[dict[str, float]]:
+    """Evaluate many load points, optionally in parallel, in spec order."""
+    return parallel_map(evaluate_load_point, specs, workers)
+
+
+def parallel_saturation_throughput(template: LoadPoint,
+                                   loads: Sequence[float] | None = None,
+                                   efficiency_floor: float = 0.9,
+                                   workers: int | None = None) -> float:
+    """The saturation search over picklable specs.
+
+    Evaluates every candidate load (concurrently with ``workers`` > 1) and
+    scans the curve exactly like the serial
+    :func:`repro.analysis.sweeps.saturation_throughput`, so both return
+    the same load for the same specs.
+    """
+    if loads is None:
+        loads = list(DEFAULT_SATURATION_LOADS)
+    specs = expand_loads(template, loads)
+    if workers is None or workers <= 1:
+        # Lazy pairs: the serial walk stops measuring at saturation.
+        pairs = ((spec.load, evaluate_load_point(spec)) for spec in specs)
+    else:
+        pairs = zip(loads, measure_load_points(specs, workers))
+    return scan_saturation_curve(pairs, efficiency_floor)

@@ -9,12 +9,18 @@ which accepted throughput stops tracking offered load).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.traffic.base import TrafficGenerator, apply_traffic
+
+
+#: Default load grid of the saturation searches (serial and parallel).
+DEFAULT_SATURATION_LOADS = (0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.55,
+                            0.70, 0.85)
 
 
 @dataclass
@@ -46,14 +52,23 @@ class SweepResult:
 
 
 def sweep(name: str, values: list[Any],
-          evaluate: Callable[[Any], dict[str, float]]) -> SweepResult:
-    """Evaluate ``evaluate(value)`` for every value, collecting metrics."""
+          evaluate: Callable[[Any], dict[str, float]],
+          workers: int | None = None) -> SweepResult:
+    """Evaluate ``evaluate(value)`` for every value, collecting metrics.
+
+    With ``workers`` > 1 the points are evaluated in worker processes when
+    ``evaluate`` and the values are picklable (module-level functions and
+    plain data); otherwise the sweep silently runs serially. Results are
+    identical either way and always in ``values`` order.
+    """
     if not values:
         raise ConfigurationError("sweep needs at least one value")
+    from repro.analysis.parallel import parallel_map
+    metrics = parallel_map(evaluate, values, workers)
     result = SweepResult(name=name)
-    for value in values:
+    for value, point_metrics in zip(values, metrics):
         result.points.append(SweepPoint(parameter=value,
-                                        metrics=evaluate(value)))
+                                        metrics=point_metrics))
     return result
 
 
@@ -93,25 +108,49 @@ def measure_offered_vs_accepted(network_factory: Callable[[], Any],
     }
 
 
+def scan_saturation_curve(pairs: Any, efficiency_floor: float) -> float:
+    """Walk (load, metrics) pairs upward; return the last load whose
+    accepted throughput kept up with ``efficiency_floor`` times the
+    offered load. Accepts a lazy iterable, so serial searches stop
+    measuring at the first saturated point."""
+    last_good = 0.0
+    for load, metrics in pairs:
+        if metrics["accepted_in_window"] < efficiency_floor * metrics["offered"]:
+            return last_good
+        last_good = load
+    return last_good
+
+
 def saturation_throughput(network_factory: Callable[[], Any],
                           generator_factory: Callable[[float], TrafficGenerator],
                           loads: list[float] | None = None,
                           cycles: int = 300,
-                          efficiency_floor: float = 0.9) -> float:
+                          efficiency_floor: float = 0.9,
+                          workers: int | None = None) -> float:
     """Highest offered load still delivered at >= ``efficiency_floor``.
 
     Sweeps the offered load upward; saturation is declared at the first
     point whose in-window accepted throughput falls below the floor times
     the offered load, and the previous load is returned.
+
+    With ``workers`` > 1, all candidate loads are evaluated concurrently
+    (when the factories are picklable) and the same scan runs over the
+    completed curve — the returned load is identical to the serial walk,
+    which merely evaluates fewer points past saturation. For fully
+    picklable specs see
+    :func:`repro.analysis.parallel.parallel_saturation_throughput`.
     """
     if loads is None:
-        loads = [0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.55, 0.70, 0.85]
-    last_good = 0.0
-    for load in loads:
-        metrics = measure_offered_vs_accepted(
-            network_factory, generator_factory, load, cycles
-        )
-        if metrics["accepted_in_window"] < efficiency_floor * metrics["offered"]:
-            return last_good
-        last_good = load
-    return last_good
+        loads = list(DEFAULT_SATURATION_LOADS)
+    if workers is not None and workers > 1:
+        from repro.analysis.parallel import parallel_map
+        evaluate = partial(measure_offered_vs_accepted,
+                           network_factory, generator_factory, cycles=cycles)
+        results = parallel_map(evaluate, loads, workers)
+        return scan_saturation_curve(zip(loads, results), efficiency_floor)
+    lazy_pairs = (
+        (load, measure_offered_vs_accepted(network_factory,
+                                           generator_factory, load, cycles))
+        for load in loads
+    )
+    return scan_saturation_curve(lazy_pairs, efficiency_floor)

@@ -6,6 +6,7 @@ Commands:
 * ``validate``  — run the eq. (1)-(7) timing checks at a frequency;
 * ``fig7``      — print the Fig. 7 frequency/wire-length curve;
 * ``traffic``   — run a synthetic workload and print the statistics;
+* ``sweep``     — offered-load sweep (optionally process-parallel);
 * ``demo``      — run the 32-tile demonstrator system;
 * ``corners``   — operating frequency per process corner.
 """
@@ -18,6 +19,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.parallel import (
+    LoadPoint,
+    PATTERN_NAMES,
+    expand_loads,
+    measure_load_points,
+)
 from repro.analysis.plots import ascii_plot
 from repro.analysis.tables import format_table
 from repro.core.config import ICNoCConfig
@@ -84,6 +91,46 @@ def cmd_traffic(args: argparse.Namespace) -> int:
     return 0 if stats.packets_delivered == stats.packets_injected else 1
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.noc.network import NetworkConfig
+
+    try:
+        loads = [float(x) for x in args.loads.split(",") if x.strip()]
+    except ValueError:
+        print(f"error: --loads expects comma-separated numbers, "
+              f"got {args.loads!r}", file=sys.stderr)
+        return 2
+    if not loads:
+        print("error: --loads needs at least one value", file=sys.stderr)
+        return 2
+    template = LoadPoint(
+        load=loads[0],
+        network=NetworkConfig(
+            leaves=args.ports,
+            arity=4 if args.topology == "quad" else 2,
+            chip_width_mm=args.chip_mm, chip_height_mm=args.chip_mm,
+            max_segment_mm=args.segment_mm,
+        ),
+        pattern=args.pattern, cycles=args.cycles,
+        size_flits=args.flits, locality=args.locality,
+    )
+    specs = expand_loads(template, loads, base_seed=args.seed)
+    results = measure_load_points(specs, workers=args.workers)
+    rows = [[spec.load,
+             round(m["offered"], 4),
+             round(m["accepted_in_window"], 4),
+             round(m["mean_latency_cycles"], 2),
+             "yes" if m["drained"] else "NO"]
+            for spec, m in zip(specs, results)]
+    print(format_table(
+        ["load", "offered", "accepted", "latency (cy)", "drained"],
+        rows,
+        title=(f"Offered-load sweep: {args.ports} ports, "
+               f"{args.pattern}, workers={args.workers}"),
+    ))
+    return 0 if all(m["drained"] for m in results) else 1
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     system = DemonstratorSystem(DemonstratorConfig(tiles=args.tiles,
                                                    seed=args.seed))
@@ -136,6 +183,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--cycles", type=int, default=300)
     p_tr.add_argument("--seed", type=int, default=0)
     p_tr.set_defaults(func=cmd_traffic)
+
+    p_sw = sub.add_parser("sweep", help="offered-load sweep (parallelisable)")
+    _add_network_options(p_sw)
+    p_sw.add_argument("--pattern", choices=PATTERN_NAMES, default="uniform")
+    p_sw.add_argument("--loads", default="0.05,0.10,0.20,0.40",
+                      help="comma-separated offered loads")
+    p_sw.add_argument("--locality", type=float, default=0.8)
+    p_sw.add_argument("--flits", type=int, default=1)
+    p_sw.add_argument("--cycles", type=int, default=300)
+    p_sw.add_argument("--seed", type=int, default=0)
+    p_sw.add_argument("--workers", type=int, default=1,
+                      help="worker processes (1 = serial)")
+    p_sw.set_defaults(func=cmd_sweep)
 
     p_demo = sub.add_parser("demo", help="run the 32-tile demonstrator")
     p_demo.add_argument("--tiles", type=int, default=32)

@@ -48,22 +48,30 @@ class FaultInjector:
         self.activations = 0
         self._original = stage.on_edge
         stage.on_edge = self._faulty_edge  # type: ignore[method-assign]
+        # A faulted stage no longer honours the idle contract: keep it
+        # firing every edge so the fault manifests at from_tick exactly.
+        stage.wake()
 
     def heal(self) -> None:
         """Restore the stage's original behaviour."""
         self.stage.on_edge = self._original  # type: ignore[method-assign]
+        self.stage.wake()
 
     def _faulty_edge(self, tick: int) -> None:
         if tick < self.from_tick:
             self._original(tick)
-            return
-        self.activations += 1
-        if self.kind is FaultKind.STUCK_STALL:
-            self._stuck_stall(tick)
-        elif self.kind is FaultKind.DROP_FLITS:
-            self._drop_flits(tick)
         else:
-            self._corrupt_dest(tick)
+            self.activations += 1
+            if self.kind is FaultKind.STUCK_STALL:
+                self._stuck_stall(tick)
+            elif self.kind is FaultKind.DROP_FLITS:
+                self._drop_flits(tick)
+            else:
+                self._corrupt_dest(tick)
+        # The delegated healthy edge (pre-fault, and inside CORRUPT_DEST)
+        # may have put the stage to sleep; a faulted stage must keep
+        # firing every edge, exactly like the naive loop does.
+        self.stage.wake()
 
     def _stuck_stall(self, tick: int) -> None:
         stage = self.stage
@@ -94,8 +102,8 @@ class FaultInjector:
             stage.reg_flit = replace(stage.reg_flit,
                                      dest=self.corrupt_dest_to)
             # Deliberate override of the value the healthy logic drove
-            # this tick; tick=None bypasses the multi-driver check.
-            stage.downstream.drive(stage.reg_flit, None)
+            # this tick, outside the multi-driver check.
+            stage.downstream.force_drive(stage.reg_flit)
 
 
 def inject_link_fault(network, kind: FaultKind, stage_index: int = 0,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.noc.flit import Flit
 from repro.sim.kernel import SimKernel
+from repro.sim.signal import Signal
 
 
 class HandshakeChannel:
@@ -30,12 +31,30 @@ class HandshakeChannel:
         self._data = kernel.signal(f"{name}.data", initial=None)
         self._accept = kernel.signal(f"{name}.accept", initial=False)
 
+    # -- watchable wires (for the idle-component contract) ---------------
+
+    @property
+    def valid_signal(self) -> Signal:
+        """The valid wire — watch to wake when the producer offers data."""
+        return self._valid
+
+    @property
+    def accept_signal(self) -> Signal:
+        """The accept wire — watch to wake when the consumer acknowledges."""
+        return self._accept
+
     # -- producer side --------------------------------------------------
 
     def drive(self, flit: Flit | None, tick: int | None = None) -> None:
         """Present a flit (or nothing) for the consumer's next edge."""
         self._valid.set(flit is not None, tick)
         self._data.set(flit, tick)
+
+    def force_drive(self, flit: Flit | None) -> None:
+        """Override the pending drive, bypassing multi-driver detection
+        (fault injection only)."""
+        self._valid.force(flit is not None)
+        self._data.force(flit)
 
     @property
     def accepted(self) -> bool:

@@ -55,6 +55,9 @@ class NetworkConfig:
         arbiter_policy: "round_robin", or "local_priority" for the
             demonstrator's processor-over-network priority at leaf routers
             (binary trees with proc/mem sibling pairs only).
+        activity_driven: run the kernel's idle-skipping fast path (the
+            default); False forces the naive fire-everything reference
+            loop, useful for equivalence checks and benchmarking.
     """
 
     leaves: int = 64
@@ -64,6 +67,7 @@ class NetworkConfig:
     max_segment_mm: float = 1.25
     tech: Technology = TECH_90NM
     arbiter_policy: str = "round_robin"
+    activity_driven: bool = True
 
     def __post_init__(self) -> None:
         if self.max_segment_mm <= 0.0:
@@ -95,7 +99,7 @@ class ICNoCNetwork:
         self.floorplan: Floorplan = floorplan_for(
             self.topology, config.chip_width_mm, config.chip_height_mm
         )
-        self.kernel = SimKernel()
+        self.kernel = SimKernel(activity_driven=config.activity_driven)
         self.clock_tree = ClockTree(root_name="clkgen")
         self.routers: list[TreeRouter] = []
         self.link_stages: list[PipelineStage] = []

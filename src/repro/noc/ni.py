@@ -37,6 +37,7 @@ class NISource(ClockedComponent):
     def submit(self, packet: Packet) -> None:
         self._packets.append(packet)
         self.packets_submitted += 1
+        self.wake()
 
     @property
     def idle(self) -> bool:
@@ -59,6 +60,9 @@ class NISource(ClockedComponent):
             if self._flits:
                 self.driving = self._flits.popleft()
         self.downstream.drive(self.driving, tick)
+        if self.driving is None and not self._flits and not self._packets:
+            # Empty egress: nothing happens until the next submit().
+            self.sleep_until()
 
 
 class NISink(ClockedComponent):
@@ -83,6 +87,7 @@ class NISink(ClockedComponent):
     def on_edge(self, tick: int) -> None:
         if not self.upstream.valid:
             self.upstream.respond(False, tick)
+            self.sleep_until(self.upstream.valid_signal)
             return
         flit = self.upstream.data
         self.upstream.respond(True, tick)

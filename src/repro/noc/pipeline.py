@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable
 
-from repro.clocking.gating import GatingStats
+from repro.clocking.gating import GatedComponentMixin, GatingStats
 from repro.errors import ConfigurationError
 from repro.noc.flit import Flit
 from repro.noc.handshake import HandshakeChannel
@@ -31,7 +31,7 @@ from repro.sim.component import ClockedComponent
 from repro.sim.kernel import SimKernel
 
 
-class PipelineStage(ClockedComponent):
+class PipelineStage(GatedComponentMixin, ClockedComponent):
     """One alternating-edge pipeline register with valid/accept control."""
 
     def __init__(self, kernel: SimKernel, name: str, parity: int,
@@ -41,7 +41,7 @@ class PipelineStage(ClockedComponent):
         self.downstream = downstream
         self.reg_flit: Flit | None = None
         self.reg_valid = False
-        self.gating = GatingStats()
+        self._gating = GatingStats()
         self.flits_passed = 0
         kernel.add_component(self)
 
@@ -67,6 +67,11 @@ class PipelineStage(ClockedComponent):
         # 3. Drive downstream.
         self.downstream.drive(self.reg_flit if self.reg_valid else None, tick)
         self.gating.record(enabled)
+        if not enabled:
+            # A disabled edge is a fixed point: with the inputs unchanged,
+            # every following edge repeats it exactly.
+            self.sleep_until(self.upstream.valid_signal,
+                             self.downstream.accept_signal)
 
 
 class SourceStage(ClockedComponent):
@@ -90,6 +95,7 @@ class SourceStage(ClockedComponent):
 
     def send(self, flits: Iterable[Flit]) -> None:
         self.queue.extend(flits)
+        self.wake()
 
     @property
     def idle(self) -> bool:
@@ -107,6 +113,9 @@ class SourceStage(ClockedComponent):
             if self.driving is not None:
                 self.launch_ticks[(self.driving.packet_id, self.driving.seq)] = tick
         self.downstream.drive(self.driving, tick)
+        if self.driving is None and self._puller is None and not self.queue:
+            # Nothing to send and no pull source: wait for send().
+            self.sleep_until()
 
 
 class SinkStage(ClockedComponent):
@@ -137,6 +146,10 @@ class SinkStage(ClockedComponent):
             self.upstream.respond(True, tick)
         else:
             self.upstream.respond(False, tick)
+            if not self.upstream.valid:
+                # The ready schedule only matters while data waits; with
+                # no valid flit the edge is a no-op until valid rises.
+                self.sleep_until(self.upstream.valid_signal)
 
 
 def build_pipeline(kernel: SimKernel, name: str, stages: int,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.clocking.gating import GatingStats
+from repro.clocking.gating import GatedComponentMixin, GatingStats
 from repro.errors import ConfigurationError, RoutingError
 from repro.noc.arbiter import Arbiter, RoundRobinArbiter
 from repro.noc.flit import Flit
@@ -40,7 +40,7 @@ def round_robin_factory(output_port: int, n_inputs: int) -> Arbiter:
     return RoundRobinArbiter(n_inputs)
 
 
-class SwitchCore(ClockedComponent):
+class SwitchCore(GatedComponentMixin, ClockedComponent):
     """Routing + arbitration + crossbar latch, one half-cycle.
 
     Holds one output register ("slot") per output port. At its edge it
@@ -65,8 +65,10 @@ class SwitchCore(ClockedComponent):
         self.locks: list[int | None] = [None] * len(self.outputs)
         self.arbiters = [arbiter_factory(o, len(self.inputs))
                          for o in range(len(self.outputs))]
-        self.gating = GatingStats()
+        self._gating = GatingStats()
         self.flits_switched = 0
+        self._watch = ([ch.valid_signal for ch in self.inputs]
+                       + [ch.accept_signal for ch in self.outputs])
         kernel.add_component(self)
 
     def on_edge(self, tick: int) -> None:
@@ -113,6 +115,11 @@ class SwitchCore(ClockedComponent):
             channel.drive(self.slot_flit[o] if self.slot_valid[o] else None,
                           tick)
         self.gating.record(enabled)
+        if not enabled:
+            # No retire and no latch: every driven value just repeated the
+            # committed one, and nothing can change until an input offers
+            # a flit or a downstream stage acknowledges a slot.
+            self.sleep_until(*self._watch)
 
     def _route_checked(self, input_port: int, flit: Flit) -> int:
         output = self.route(flit)

@@ -3,8 +3,23 @@
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import SimKernel
+    from repro.sim.signal import Signal
+
+
+def latest_parity_tick(tick: int, parity: int) -> int:
+    """The latest tick of ``parity`` strictly before ``tick`` (may be
+    negative) — the baseline both the kernel's component registration and
+    the idle-edge accounting must agree on."""
+    latest = tick - 1
+    if latest % 2 != parity:
+        latest -= 1
+    return latest
 
 
 class ClockedComponent(abc.ABC):
@@ -16,6 +31,16 @@ class ClockedComponent(abc.ABC):
             well-formed IC-NoC, communicating neighbours have opposite
             parity (alternating clock edges); the kernel does not enforce
             this, the clock-tree construction does.
+
+    Idle contract (the activity-driven fast path): a component whose next
+    edge would change nothing — neither its own state nor any signal value
+    it drives — may call :meth:`sleep_until` at the end of :meth:`on_edge`,
+    naming every signal whose change could make its next edge act. The
+    kernel then skips the component until a watched signal changes value at
+    a commit, or :meth:`wake` is called (for out-of-band input such as a
+    packet submitted from the host). Spurious wakes are harmless: the
+    woken edge is a no-op and the component simply re-sleeps. Components
+    that never sleep behave exactly as under the naive kernel.
     """
 
     def __init__(self, name: str, parity: int):
@@ -23,10 +48,53 @@ class ClockedComponent(abc.ABC):
             raise ConfigurationError(f"parity must be 0 or 1, got {parity}")
         self.name = name
         self.parity = parity
+        self._kernel: "SimKernel | None" = None  # set by add_component
+        self._kernel_index = -1
+        self._asleep = False
+        self._queued = False       # currently present in the active list
+        self._accounted_tick = 0   # last parity tick accounted (see below)
 
     @abc.abstractmethod
     def on_edge(self, tick: int) -> None:
         """Called by the kernel on every tick with matching parity."""
+
+    # -- activity-driven scheduling -----------------------------------
+
+    def sleep_until(self, *signals: "Signal") -> None:
+        """Declare this component idle until a signal changes or wake().
+
+        Only valid per the idle contract above; with no signals the
+        component sleeps until an explicit :meth:`wake`.
+        """
+        if self._kernel is not None:
+            self._kernel.sleep(self, signals)
+
+    def wake(self) -> None:
+        """Ensure the component fires on its next matching tick."""
+        if self._kernel is not None:
+            self._kernel.wake(self)
+
+    # -- skipped-edge accounting ---------------------------------------
+    #
+    # While asleep, the component misses clock edges the naive kernel
+    # would have delivered (all of them no-ops). Statistics that count
+    # edges (clock gating) must still see those edges, so the base class
+    # tracks the last parity tick accounted for and backfills the gap —
+    # lazily, on the next fire or on a stats read — via _on_idle_edges.
+
+    def _settle_idle(self) -> None:
+        """Account parity edges elapsed but not fired, as idle edges."""
+        kernel = self._kernel
+        if kernel is None:
+            return
+        latest = latest_parity_tick(kernel.tick, self.parity)
+        pending = (latest - self._accounted_tick) // 2
+        if pending > 0:
+            self._accounted_tick = latest
+            self._on_idle_edges(pending)
+
+    def _on_idle_edges(self, edges: int) -> None:
+        """Hook for subclasses that keep per-edge statistics."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r}, parity={self.parity})"

@@ -1,11 +1,27 @@
-"""The simulation kernel: tick loop, component scheduling, signal commits."""
+"""The simulation kernel: tick loop, component scheduling, signal commits.
+
+Two execution modes share one semantic contract:
+
+* the **naive** mode (``activity_driven=False``) fires every component of
+  the tick's parity and commits every signal, every tick — the reference
+  behaviour;
+* the **activity-driven** mode (the default) commits only signals written
+  this tick (a dirty list) and skips components that declared themselves
+  idle via :meth:`ClockedComponent.sleep_until`, waking them when a
+  watched signal changes or on an explicit wake.
+
+The two modes are bit-identical in every observable (signal values, ticks
+of state changes, statistics including clock-gating edge counts); the
+fast path only avoids work that would provably change nothing.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from bisect import bisect_left
+from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError
-from repro.sim.component import ClockedComponent
+from repro.sim.component import ClockedComponent, latest_parity_tick
 from repro.sim.signal import Signal
 from repro.units import cycles_to_ticks
 
@@ -18,13 +34,22 @@ class SimKernel:
     independent of that order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, activity_driven: bool = True) -> None:
         self.tick = 0
+        self.activity_driven = activity_driven
         self._components: list[ClockedComponent] = []
-        self._by_parity: tuple[list[ClockedComponent], list[ClockedComponent]] = ([], [])
         self._signals: list[Signal] = []
         self._names: set[str] = set()
         self._tick_callbacks: list[Callable[[int], None]] = []
+        # Awake components per parity, sorted by registration index.
+        self._active: tuple[list[ClockedComponent], list[ClockedComponent]] \
+            = ([], [])
+        self._need_compact = [False, False]
+        self._dirty: list[Signal] = []
+        # Iteration state, so a wake() during a step can splice the woken
+        # component into the remainder of the current tick.
+        self._step_parity: int | None = None
+        self._cursor = 0
 
     # -- construction -------------------------------------------------
 
@@ -32,12 +57,21 @@ class SimKernel:
         if component.name in self._names:
             raise ConfigurationError(f"duplicate component name {component.name!r}")
         self._names.add(component.name)
+        component._kernel = self
+        component._kernel_index = len(self._components)
+        # Baseline for idle-edge accounting: the latest parity tick the
+        # component could already have fired on (usually -1 or -2).
+        component._accounted_tick = latest_parity_tick(self.tick,
+                                                       component.parity)
         self._components.append(component)
-        self._by_parity[component.parity].append(component)
+        component._queued = True
+        self._active[component.parity].append(component)
         return component
 
     def signal(self, name: str, initial: Any = None) -> Signal:
         sig = Signal(name, initial)
+        if self.activity_driven:
+            sig._queue = self._dirty
         self._signals.append(sig)
         return sig
 
@@ -49,15 +83,79 @@ class SimKernel:
     def components(self) -> list[ClockedComponent]:
         return list(self._components)
 
+    # -- sleep / wake --------------------------------------------------
+
+    def sleep(self, component: ClockedComponent,
+              signals: Sequence[Signal] = ()) -> None:
+        """Stop firing ``component`` until a watched signal changes value
+        at a commit, or :meth:`wake` is called. No-op in naive mode."""
+        if not self.activity_driven or component._asleep:
+            return
+        component._asleep = True
+        self._need_compact[component.parity] = True
+        for sig in signals:
+            sig.watch(component)
+
+    def wake(self, component: ClockedComponent) -> None:
+        """(Re-)schedule ``component`` from its next matching tick on.
+
+        Waking during the component's parity step fires it this very tick
+        if its registration slot has not been passed yet — exactly when
+        the naive kernel would have fired it.
+        """
+        component._asleep = False
+        if component._queued:
+            return
+        component._queued = True
+        active = self._active[component.parity]
+        index = component._kernel_index
+        pos = bisect_left(active, index,
+                          key=lambda c: c._kernel_index)
+        active.insert(pos, component)
+        # During this parity's step, cursor points at the next unfired
+        # slot. An insertion strictly before it belongs to the already
+        # passed region (the naive loop would have fired the component
+        # earlier this tick, as a no-op while it slept), so only shift the
+        # cursor then; at pos == cursor the component fires this tick.
+        if component.parity == self._step_parity and pos < self._cursor:
+            self._cursor += 1
+
     # -- execution ----------------------------------------------------
 
     def step(self) -> None:
         """Advance one half-cycle: fire matching-parity components, commit."""
         parity = self.tick % 2
-        for component in self._by_parity[parity]:
+        active = self._active[parity]
+        if self._need_compact[parity]:
+            kept = []
+            for component in active:
+                if component._asleep:
+                    component._queued = False
+                else:
+                    kept.append(component)
+            active[:] = kept
+            self._need_compact[parity] = False
+        self._step_parity = parity
+        self._cursor = 0
+        while self._cursor < len(active):
+            component = active[self._cursor]
+            self._cursor += 1
             component.on_edge(self.tick)
-        for sig in self._signals:
-            sig.commit()
+            component._accounted_tick = self.tick
+        self._step_parity = None
+        if self.activity_driven:
+            dirty = self._dirty
+            if dirty:
+                for sig in dirty:
+                    if sig.commit() and sig._watchers:
+                        watchers = list(sig._watchers)
+                        sig._watchers.clear()
+                        for component in watchers:
+                            self.wake(component)
+                dirty.clear()
+        else:
+            for sig in self._signals:
+                sig.commit()
         for callback in self._tick_callbacks:
             callback(self.tick)
         self.tick += 1
@@ -65,8 +163,17 @@ class SimKernel:
     def run_ticks(self, ticks: int) -> None:
         if ticks < 0:
             raise ConfigurationError(f"ticks must be >= 0, got {ticks}")
-        for _ in range(ticks):
+        remaining = ticks
+        while remaining > 0:
+            # Fully quiescent kernel: nothing can fire, write, or observe a
+            # tick — jump straight to the end of the window.
+            if (self.activity_driven and not self._tick_callbacks
+                    and not self._dirty
+                    and not self._active[0] and not self._active[1]):
+                self.tick += remaining
+                return
             self.step()
+            remaining -= 1
 
     def run_cycles(self, cycles: float) -> None:
         """Advance a whole number of half-cycles given in clock cycles."""

@@ -5,19 +5,29 @@ A :class:`Signal` holds the value committed at the end of the previous tick
 tick (via :meth:`set`). The kernel commits pending writes after all
 components of the tick have fired, so evaluation order within a tick can
 never matter — the key determinism property of the kernel.
+
+Signals created through :meth:`repro.sim.kernel.SimKernel.signal` register
+themselves on the kernel's dirty list at their first write of a tick, so
+the commit phase touches only signals actually written (the activity-driven
+fast path). Sleeping components may watch a signal: whenever a commit
+changes its value, the kernel wakes every watcher.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.component import ClockedComponent
 
 
 class Signal:
     """One named wire with next-tick write semantics."""
 
-    __slots__ = ("name", "_value", "_next", "_dirty", "_writer_tick")
+    __slots__ = ("name", "_value", "_next", "_dirty", "_writer_tick",
+                 "_queue", "_watchers")
 
     def __init__(self, name: str, initial: Any = None):
         self.name = name
@@ -25,6 +35,11 @@ class Signal:
         self._next = initial
         self._dirty = False
         self._writer_tick: int | None = None
+        # Dirty list of the owning kernel (None for standalone signals).
+        self._queue: list[Signal] | None = None
+        # Sleeping components to wake when a commit changes the value;
+        # a dict keeps insertion order, so wake order is deterministic.
+        self._watchers: dict["ClockedComponent", None] = {}
 
     @property
     def value(self) -> Any:
@@ -36,17 +51,41 @@ class Signal:
 
         Passing the current ``tick`` enables multi-driver detection: two
         different writes to the same signal in one tick raise
-        :class:`SimulationError`.
+        :class:`SimulationError`. A conflicting write involving an
+        untracked driver (``tick=None``) on either side is rejected too —
+        it is a double drive of the same uncommitted value regardless of
+        which driver identified itself. Only tracked writes from
+        *different* ticks may overwrite an uncommitted value (standalone
+        signals whose owner commits less often than it writes).
         """
-        if tick is not None and self._writer_tick == tick and self._dirty \
-                and value != self._next:
-            raise SimulationError(
-                f"signal {self.name!r} driven twice in tick {tick} "
-                f"({self._next!r} then {value!r})"
-            )
+        if self._dirty and value != self._next:
+            if (tick is None or self._writer_tick is None
+                    or self._writer_tick == tick):
+                conflict = ("untracked" if self._writer_tick is None
+                            else f"tick {self._writer_tick}")
+                raise SimulationError(
+                    f"signal {self.name!r} driven twice before commit "
+                    f"({self._next!r} from {conflict}, then {value!r} from "
+                    f"{'untracked' if tick is None else f'tick {tick}'})"
+                )
+        if not self._dirty and self._queue is not None:
+            self._queue.append(self)
         self._next = value
         self._dirty = True
-        self._writer_tick = tick
+        if tick is not None:
+            self._writer_tick = tick
+
+    def force(self, value: Any) -> None:
+        """Overwrite the pending value, bypassing multi-driver detection.
+
+        For testbenches and fault injection only — a deliberate second
+        driver (e.g. a corrupted register overriding the healthy logic's
+        write). Normal components must use :meth:`set`.
+        """
+        if not self._dirty and self._queue is not None:
+            self._queue.append(self)
+        self._next = value
+        self._dirty = True
 
     def commit(self) -> bool:
         """Make the pending write visible. Returns True if anything changed."""
@@ -55,7 +94,12 @@ class Signal:
         changed = self._next != self._value
         self._value = self._next
         self._dirty = False
+        self._writer_tick = None
         return changed
+
+    def watch(self, component: "ClockedComponent") -> None:
+        """Register a sleeping component to wake on the next value change."""
+        self._watchers[component] = None
 
     def __repr__(self) -> str:
         return f"Signal({self.name!r}, value={self._value!r})"

@@ -1,0 +1,128 @@
+"""The process-parallel sweep engine: determinism, fallback, equality."""
+
+import pytest
+
+from repro.analysis.parallel import (
+    LoadPoint,
+    default_workers,
+    evaluate_load_point,
+    expand_loads,
+    measure_load_points,
+    parallel_map,
+    parallel_saturation_throughput,
+    point_seed,
+)
+from repro.analysis.sweeps import saturation_throughput, sweep
+from repro.errors import ConfigurationError
+from repro.mesh.network import MeshConfig
+from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.traffic.patterns import UniformRandom
+
+
+def square_metrics(value):
+    """Module-level (hence picklable) sweep evaluator."""
+    return {"square": float(value * value)}
+
+
+TREE16 = NetworkConfig(leaves=16, arity=2)
+
+
+class TestPointSeed:
+    def test_deterministic(self):
+        assert point_seed(0, 3) == point_seed(0, 3)
+
+    def test_distinct_per_index_and_base(self):
+        seeds = {point_seed(0, i) for i in range(10)}
+        seeds |= {point_seed(1, i) for i in range(10)}
+        assert len(seeds) == 20
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            point_seed(0, -1)
+
+
+class TestParallelMap:
+    def test_serial_matches_parallel(self):
+        items = list(range(8))
+        assert parallel_map(square_metrics, items, workers=2) == \
+            parallel_map(square_metrics, items, workers=None)
+
+    def test_order_preserved(self):
+        result = parallel_map(square_metrics, [3, 1, 2], workers=2)
+        assert result == [{"square": 9.0}, {"square": 1.0}, {"square": 4.0}]
+
+    def test_unpicklable_falls_back_to_serial(self):
+        captured = []  # closure: unpicklable on purpose
+        fn = lambda v: (captured.append(v), v * 2)[1]  # noqa: E731
+        assert parallel_map(fn, [1, 2, 3], workers=4) == [2, 4, 6]
+        assert captured == [1, 2, 3]  # proves it ran in this process
+
+    def test_empty_items(self):
+        assert parallel_map(square_metrics, [], workers=2) == []
+
+
+class TestSweepWorkers:
+    def test_sweep_results_identical_serial_vs_parallel(self):
+        serial = sweep("squares", [1, 2, 3], square_metrics)
+        parallel = sweep("squares", [1, 2, 3], square_metrics, workers=2)
+        assert [p.metrics for p in parallel.points] == \
+            [p.metrics for p in serial.points]
+        assert parallel.series("square") == serial.series("square")
+
+
+class TestLoadPoints:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadPoint(load=0.1, pattern="teleport")
+
+    def test_ports_from_tree_and_mesh(self):
+        assert LoadPoint(load=0.1, network=TREE16).ports == 16
+        assert LoadPoint(load=0.1,
+                         network=MeshConfig(cols=4, rows=4)).ports == 16
+
+    def test_expand_loads_shares_or_derives_seeds(self):
+        template = LoadPoint(load=0.1, network=TREE16, seed=42)
+        shared = expand_loads(template, [0.1, 0.2])
+        assert [s.seed for s in shared] == [42, 42]
+        derived = expand_loads(template, [0.1, 0.2], base_seed=42)
+        assert derived[0].seed != derived[1].seed
+        assert [s.seed for s in derived] == \
+            [s.seed for s in expand_loads(template, [0.1, 0.2], base_seed=42)]
+
+    def test_serial_equals_parallel_on_fixed_seed(self):
+        """The acceptance criterion: workers>1 returns results identical
+        to the serial path."""
+        template = LoadPoint(load=0.1, network=TREE16, cycles=100, seed=3)
+        specs = expand_loads(template, [0.05, 0.15], base_seed=9)
+        serial = measure_load_points(specs, workers=1)
+        parallel = measure_load_points(specs, workers=2)
+        assert serial == parallel
+
+    def test_evaluate_matches_direct_measurement(self):
+        from repro.analysis.sweeps import measure_offered_vs_accepted
+        spec = LoadPoint(load=0.1, network=TREE16, cycles=100, seed=5)
+        direct = measure_offered_vs_accepted(
+            lambda: ICNoCNetwork(TREE16),
+            lambda load: UniformRandom(16, load),
+            load=0.1, cycles=100, seed=5,
+        )
+        assert evaluate_load_point(spec) == direct
+
+
+class TestParallelSaturation:
+    def test_matches_serial_search(self):
+        loads = [0.05, 0.1, 0.2]
+        serial = saturation_throughput(
+            lambda: ICNoCNetwork(TREE16),
+            lambda load: UniformRandom(16, load),
+            loads=loads, cycles=120,
+        )
+        template = LoadPoint(load=loads[0], network=TREE16, cycles=120)
+        for workers in (1, 2):
+            assert parallel_saturation_throughput(
+                template, loads=loads, workers=workers) == serial
+
+
+class TestDefaultWorkers:
+    def test_at_least_one(self):
+        assert default_workers() >= 1

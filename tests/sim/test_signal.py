@@ -60,3 +60,64 @@ class TestSignal:
 
     def test_repr_contains_name(self):
         assert "clk" in repr(Signal("clk"))
+
+
+class TestMultiDriverTightening:
+    """Regression: an untracked write (tick=None) after a tracked write in
+    the same tick used to reset the writer bookkeeping and bypass the
+    double-drive check entirely."""
+
+    def test_untracked_write_cannot_clobber_tracked_write(self):
+        sig = Signal("s")
+        sig.set(4, tick=10)
+        with pytest.raises(SimulationError):
+            sig.set(5)  # anonymous second driver, same commit window
+
+    def test_untracked_write_does_not_reset_detection(self):
+        """Even if the untracked write repeats the value, a later tracked
+        conflicting write in the same tick must still be caught."""
+        sig = Signal("s")
+        sig.set(4, tick=10)
+        sig.set(4)  # same value: no conflict, must not erase the tracker
+        with pytest.raises(SimulationError):
+            sig.set(5, tick=10)
+
+    def test_tracked_write_cannot_clobber_untracked_write(self):
+        """The symmetric case: a component write conflicting with a
+        pending anonymous (host-side) write must raise too."""
+        sig = Signal("s")
+        sig.set(5)
+        with pytest.raises(SimulationError):
+            sig.set(6, tick=11)
+
+    def test_tracked_overwrite_across_ticks_allowed(self):
+        """Standalone signals may be rewritten by tracked drivers of
+        different ticks without an intervening commit."""
+        sig = Signal("s")
+        sig.set(5, tick=10)
+        sig.set(6, tick=11)
+        sig.commit()
+        assert sig.value == 6
+
+    def test_untracked_same_value_write_allowed(self):
+        sig = Signal("s")
+        sig.set(4, tick=10)
+        sig.set(4)
+        sig.commit()
+        assert sig.value == 4
+
+    def test_commit_closes_the_conflict_window(self):
+        sig = Signal("s")
+        sig.set(4, tick=10)
+        sig.commit()
+        sig.set(5)  # new window: fine
+        sig.commit()
+        assert sig.value == 5
+
+    def test_force_bypasses_detection(self):
+        """Fault injection deliberately overrides the healthy driver."""
+        sig = Signal("s")
+        sig.set(4, tick=10)
+        sig.force(5)
+        sig.commit()
+        assert sig.value == 5

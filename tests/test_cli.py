@@ -59,6 +59,32 @@ class TestTraffic:
         assert code == 0
 
 
+class TestSweep:
+    def test_serial_sweep(self, capsys):
+        code = main(["sweep", "--ports", "16", "--loads", "0.05,0.10",
+                     "--cycles", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Offered-load sweep" in out
+        assert "0.05" in out
+
+    def test_parallel_sweep_matches_serial(self, capsys):
+        args = ["sweep", "--ports", "16", "--loads", "0.05,0.10",
+                "--cycles", "80", "--seed", "3"]
+        assert main(args + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Identical numbers, worker count aside.
+        assert serial_out.replace("workers=1", "") == \
+            parallel_out.replace("workers=2", "")
+
+    def test_neighbour_pattern(self, capsys):
+        code = main(["sweep", "--ports", "16", "--pattern", "neighbour",
+                     "--loads", "0.05", "--cycles", "80"])
+        assert code == 0
+
+
 class TestDemo:
     def test_small_demo(self, capsys):
         assert main(["demo", "--tiles", "4", "--cycles", "150"]) == 0
