@@ -6,8 +6,15 @@ skid design head to head with the IC-NoC pipeline on identical traffic and
 compares the costs: all schemes hit full throughput and lose nothing under
 stalls — the difference is silicon (an extra flit register per stage) or
 clock energy (a 2x clock), which is exactly why the paper's scheme exists.
+
+The two schemes evaluate concurrently over ``repro.analysis.parallel``
+(module-level evaluator + scheme names as picklable specs, like the sweep
+benches); each point is deterministic by construction — the traffic and
+stall schedule carry no randomness — so parallel and serial runs agree
+bit for bit.
 """
 
+from repro.analysis.parallel import default_workers, parallel_map
 from repro.analysis.tables import format_table
 from repro.ext.stall_buffer import build_skid_pipeline, scheme_cost_table
 from repro.noc.flit import Flit, FlitKind
@@ -23,12 +30,25 @@ def flits(n):
                  payload=i) for i in range(n)]
 
 
-def run_scheme(builder):
-    """Returns (streaming rate, post-stall recovery rate, in-order, peak
+def _stall(t):
+    """The shared sink stall schedule: blocked for ticks [60, 140)."""
+    return not 60 <= t < 140
+
+
+def evaluate_scheme(name):
+    """Worker entry point: one scheme's simulation, by registered name.
+
+    Returns (streaming rate, post-stall recovery rate, in-order, peak
     flits buffered per stage) — all measured, flits/cycle."""
-    stall = lambda t: not 60 <= t < 140
     kernel = SimKernel()
-    src, stages, sink = builder(kernel, stall)
+    if name == "icnoc":
+        src, stages, sink = build_pipeline(kernel, "icnoc", STAGES,
+                                           ready=_stall)
+    elif name == "skid":
+        src, stages, sink = build_skid_pipeline(kernel, "skid", STAGES,
+                                                ready=_stall)
+    else:
+        raise ValueError(f"unknown scheme {name!r}")
     src.send(flits(FLITS))
     kernel.run_ticks(600)
     payloads = [f.payload for f in sink.flits]
@@ -49,14 +69,8 @@ def run_scheme(builder):
 
 
 def run_ablation():
-    icnoc = run_scheme(
-        lambda kernel, stall: build_pipeline(kernel, "icnoc", STAGES,
-                                             ready=stall)
-    )
-    skid = run_scheme(
-        lambda kernel, stall: build_skid_pipeline(kernel, "skid", STAGES,
-                                                  ready=stall)
-    )
+    icnoc, skid = parallel_map(evaluate_scheme, ["icnoc", "skid"],
+                               workers=min(2, default_workers()))
     costs = scheme_cost_table(76)  # the demonstrator's stage count
     return icnoc, skid, costs
 

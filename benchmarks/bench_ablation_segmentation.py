@@ -5,8 +5,14 @@ operating speed". This sweep shows the tradeoff that sits behind the
 choice: shorter segments buy frequency but cost pipeline stages (area and
 hop latency); longer segments slow the whole network. The knee around
 1.25 mm on the 10 mm chip is visible in the table.
+
+The segment points fan out over ``repro.analysis.parallel`` (the
+evaluator is module-level and each point is fully determined by its
+segment length — no randomness), so wall-clock is the slowest single
+point instead of the sum.
 """
 
+from repro.analysis.parallel import default_workers, parallel_map
 from repro.analysis.tables import format_table
 from repro.noc.network import ICNoCNetwork, NetworkConfig
 from repro.noc.packet import Packet
@@ -36,7 +42,8 @@ def evaluate_segment(max_segment_mm: float) -> dict:
 
 
 def run_sweep():
-    return [evaluate_segment(seg) for seg in SEGMENTS_MM]
+    return parallel_map(evaluate_segment, SEGMENTS_MM,
+                        workers=min(len(SEGMENTS_MM), default_workers()))
 
 
 def test_segmentation_ablation(benchmark, log):

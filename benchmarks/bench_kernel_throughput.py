@@ -1,36 +1,109 @@
 """BENCH-KERNEL — activity-driven fast path vs the naive tick loop.
 
-The microbench behind the kernel's performance contract: an idle-heavy
-64-leaf network (a short packet burst followed by a long quiet tail — the
-common shape of system workloads, where the NoC idles between bursts) is
-run once on the activity-driven kernel and once on the naive
-fire-everything loop. The fast path must be at least 2x faster while
-producing bit-identical results: same deliveries, same latencies, same
-clock-gating edge counts.
+The microbench behind the kernel's performance contract, in three parts:
 
-Run as a script to (re)generate the checked-in ``BENCH_kernel.json``
-baseline that future PRs diff against:
+* **bare** — an idle-heavy 64-leaf tree (a short packet burst followed by
+  a long quiet tail, the common shape of system workloads) run on the
+  activity-driven kernel and on the naive fire-everything loop;
+* **instrumented** — the same workload with a VCD trace, protocol
+  monitors on every router channel, and a deadlock watchdog attached.
+  Since PR 2 the instrumentation is event-driven (dirty-signal probes +
+  scheduled timeouts), so the fast path survives being observed: the
+  instrumented speedup must also be ≥ 2x, with byte-identical traces;
+* **mesh** — the same burst/tail shape on an 8x8 mesh, exercising the
+  mesh sleep hooks (routers, sources, sinks).
+
+Each variant must be bit-identical between the two modes: same
+deliveries, same latencies, same clock-gating edge counts, same traces.
+
+``BENCH_kernel.json`` is an append-only per-PR history (entries keyed by
+git SHA and date); the test also compares the measured speedups against
+the latest recorded entry with a regression tolerance, so a fast-path
+regression fails even while it still clears the 2x floor. Run as a
+script to append the current measurement:
 
     PYTHONPATH=src python benchmarks/bench_kernel_throughput.py
 """
 
 import json
+import os
+import subprocess
+import tempfile
 import time
 from pathlib import Path
 
+from repro.mesh.network import MeshConfig, MeshNetwork
+from repro.noc.debug import attach_monitors, attach_watchdog
 from repro.noc.network import ICNoCNetwork, NetworkConfig
 from repro.noc.packet import Packet
+from repro.sim.probes import SignalTrace, ThroughputMeter
+from repro.sim.vcd import VCDWriter
 
 LEAVES = 64
 TICKS = 6_000
 BURST_PACKETS = 8
+MESH_TICKS = 6_000
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
+#: The measured speedup may not fall below this fraction of the latest
+#: recorded entry's (ratios are machine-portable where raw ticks/s are
+#: not; the floor stays generous because CI boxes are noisy).
+REGRESSION_FACTOR = 0.3
 
-def run_workload(activity_driven: bool, ticks: int = TICKS) -> dict:
+
+def run_workload(activity_driven: bool, instrumented: bool = False,
+                 ticks: int = TICKS) -> dict:
     """One idle-heavy run; returns wall time and observable results."""
     net = ICNoCNetwork(NetworkConfig(leaves=LEAVES, arity=2,
                                      activity_driven=activity_driven))
+    writer = None
+    trace = None
+    meter = None
+    monitors = ()
+    vcd_path = None
+    if instrumented:
+        monitors = attach_monitors(net)
+        attach_watchdog(net, patience_ticks=2_000)
+        root = net.routers[0]
+        signals = []
+        for channel in root.in_channels + root.out_channels:
+            signals += [channel.valid_signal, channel.data_signal,
+                        channel.accept_signal]
+        fd, name = tempfile.mkstemp(suffix=".vcd")
+        os.close(fd)  # VCDWriter opens the path itself
+        vcd_path = Path(name)
+        writer = VCDWriter(net.kernel, vcd_path, signals)
+        trace = SignalTrace(net.kernel, root.out_channels[1].valid_signal)
+        meter = ThroughputMeter(net.kernel, event="flit")
+    for dest in range(1, BURST_PACKETS + 1):
+        net.send(Packet(src=0, dest=dest))
+    start = time.perf_counter()
+    net.run_ticks(ticks)
+    elapsed = time.perf_counter() - start
+    gating = net.gating_stats()
+    results = {
+        "elapsed_s": elapsed,
+        "ticks_per_s": ticks / elapsed if elapsed > 0 else float("inf"),
+        "delivered": net.stats.packets_delivered,
+        "latencies": list(net.stats.latencies_cycles),
+        "gating_edges_total": gating.edges_total,
+        "gating_edges_enabled": gating.edges_enabled,
+        "steps_executed": net.kernel.steps_executed,
+    }
+    if instrumented:
+        writer.close()
+        results["vcd"] = vcd_path.read_text()
+        vcd_path.unlink()
+        results["trace"] = list(trace.samples)
+        results["accept_bursts"] = [m.accept_bursts for m in monitors]
+        results["flits_metered"] = meter.events
+    return results
+
+
+def run_mesh_workload(activity_driven: bool, ticks: int = MESH_TICKS) -> dict:
+    """The same burst-then-idle shape on an 8x8 mesh."""
+    net = MeshNetwork(MeshConfig(cols=8, rows=8,
+                                 activity_driven=activity_driven))
     for dest in range(1, BURST_PACKETS + 1):
         net.send(Packet(src=0, dest=dest))
     start = time.perf_counter()
@@ -44,12 +117,49 @@ def run_workload(activity_driven: bool, ticks: int = TICKS) -> dict:
         "latencies": list(net.stats.latencies_cycles),
         "gating_edges_total": gating.edges_total,
         "gating_edges_enabled": gating.edges_enabled,
+        "steps_executed": net.kernel.steps_executed,
     }
+
+
+def _git_sha() -> str:
+    """HEAD's short sha, with a ``-dirty`` marker when the measurement
+    does not correspond to that commit's tree (the usual pre-commit
+    per-PR run)."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BASELINE_PATH.parent, capture_output=True, text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=BASELINE_PATH.parent, capture_output=True, text=True,
+            check=True,
+        ).stdout.strip()
+        return f"{sha}-dirty" if status else sha
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_history() -> list[dict]:
+    """The recorded entries, oldest first (legacy single-dict upgraded)."""
+    if not BASELINE_PATH.exists():
+        return []
+    data = json.loads(BASELINE_PATH.read_text())
+    if isinstance(data, dict) and "history" in data:
+        return list(data["history"])
+    if isinstance(data, dict):
+        return [data]  # pre-history baseline: one anonymous entry
+    return list(data)
 
 
 def measure() -> dict:
     fast = run_workload(activity_driven=True)
     naive = run_workload(activity_driven=False)
+    inst_fast = run_workload(activity_driven=True, instrumented=True)
+    inst_naive = run_workload(activity_driven=False, instrumented=True)
+    mesh_fast = run_mesh_workload(activity_driven=True)
+    mesh_naive = run_mesh_workload(activity_driven=False)
     return {
         "leaves": LEAVES,
         "ticks": TICKS,
@@ -57,24 +167,66 @@ def measure() -> dict:
         "fast_ticks_per_s": round(fast["ticks_per_s"]),
         "naive_ticks_per_s": round(naive["ticks_per_s"]),
         "speedup": round(fast["ticks_per_s"] / naive["ticks_per_s"], 1),
+        "instrumented_fast_ticks_per_s": round(inst_fast["ticks_per_s"]),
+        "instrumented_naive_ticks_per_s": round(inst_naive["ticks_per_s"]),
+        "instrumented_speedup": round(
+            inst_fast["ticks_per_s"] / inst_naive["ticks_per_s"], 1),
+        "mesh_fast_ticks_per_s": round(mesh_fast["ticks_per_s"]),
+        "mesh_naive_ticks_per_s": round(mesh_naive["ticks_per_s"]),
+        "mesh_speedup": round(
+            mesh_fast["ticks_per_s"] / mesh_naive["ticks_per_s"], 1),
         "_fast": fast,
         "_naive": naive,
+        "_inst_fast": inst_fast,
+        "_inst_naive": inst_naive,
+        "_mesh_fast": mesh_fast,
+        "_mesh_naive": mesh_naive,
     }
+
+
+EQUIVALENCE_KEYS = ("delivered", "latencies", "gating_edges_total",
+                    "gating_edges_enabled")
 
 
 def test_kernel_throughput(benchmark, log):
     results = benchmark.pedantic(measure, rounds=1, iterations=1)
-    fast, naive = results["_fast"], results["_naive"]
 
-    # Equivalence first: the fast path must change nothing observable.
-    assert fast["delivered"] == naive["delivered"] == BURST_PACKETS
-    assert fast["latencies"] == naive["latencies"]
-    assert fast["gating_edges_total"] == naive["gating_edges_total"]
-    assert fast["gating_edges_enabled"] == naive["gating_edges_enabled"]
+    # Equivalence first: the fast path must change nothing observable —
+    # bare, instrumented (including the traces themselves), and mesh.
+    for fast_key, naive_key in (("_fast", "_naive"),
+                                ("_inst_fast", "_inst_naive"),
+                                ("_mesh_fast", "_mesh_naive")):
+        fast, naive = results[fast_key], results[naive_key]
+        for key in EQUIVALENCE_KEYS:
+            assert fast[key] == naive[key], (fast_key, key)
+        assert fast["delivered"] == BURST_PACKETS
+    inst_fast, inst_naive = results["_inst_fast"], results["_inst_naive"]
+    assert inst_fast["vcd"] == inst_naive["vcd"]
+    assert inst_fast["trace"] == inst_naive["trace"]
+    assert inst_fast["accept_bursts"] == inst_naive["accept_bursts"]
+    assert inst_fast["flits_metered"] == inst_naive["flits_metered"]
+    # Instrumentation itself must not perturb the simulation.
+    for key in EQUIVALENCE_KEYS:
+        assert inst_fast[key] == results["_fast"][key], key
 
-    # The performance contract: >= 2x on the idle-heavy workload
-    # (measured: orders of magnitude).
+    # The performance contract: >= 2x on the idle-heavy workload — even
+    # instrumented, and on the mesh (measured: orders of magnitude).
     assert results["speedup"] >= 2.0, results
+    assert results["instrumented_speedup"] >= 2.0, results
+    assert results["mesh_speedup"] >= 2.0, results
+
+    # Regression gate against the recorded history: stay within tolerance
+    # of the latest entry's speedups (ratios, not raw ticks/s).
+    history = load_history()
+    if history:
+        latest = history[-1]
+        for key in ("speedup", "instrumented_speedup", "mesh_speedup"):
+            baseline = latest.get(key)
+            if baseline:
+                assert results[key] >= REGRESSION_FACTOR * baseline, (
+                    f"{key} regressed: {results[key]} vs recorded "
+                    f"{baseline} (floor {REGRESSION_FACTOR * baseline})"
+                )
 
     print()
     print(json.dumps({k: v for k, v in results.items()
@@ -83,10 +235,15 @@ def test_kernel_throughput(benchmark, log):
 
 def main() -> None:
     results = measure()
-    baseline = {k: v for k, v in results.items() if not k.startswith("_")}
-    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
-    print(json.dumps(baseline, indent=2))
-    print(f"baseline written to {BASELINE_PATH}")
+    entry = {k: v for k, v in results.items() if not k.startswith("_")}
+    entry["sha"] = _git_sha()
+    entry["date"] = time.strftime("%Y-%m-%d")
+    history = load_history()
+    history.append(entry)
+    BASELINE_PATH.write_text(
+        json.dumps({"history": history}, indent=2) + "\n")
+    print(json.dumps(entry, indent=2))
+    print(f"history entry {len(history)} appended to {BASELINE_PATH}")
 
 
 if __name__ == "__main__":

@@ -9,13 +9,17 @@ randomly across the chip: the adjacent mapping streams with a fraction of
 the latency.
 """
 
+from repro.analysis.parallel import default_workers
 from repro.analysis.tables import format_table
 from repro.system.workloads import mapping_comparison
 
 
 def run_comparison():
+    # Both mappings evaluate concurrently (picklable StreamingConfig
+    # specs over repro.analysis.parallel); results match the serial run.
     return mapping_comparison(tiles=16, stages=4, burst_flits=8,
-                              bursts=15, seed=7)
+                              bursts=15, seed=7,
+                              workers=min(2, default_workers()))
 
 
 def test_mapping(benchmark, log):

@@ -9,6 +9,7 @@ neighbours is known by construction.
 
 import math
 
+from repro.analysis.parallel import default_workers, parallel_map
 from repro.analysis.tables import format_table
 from repro.clocking.mesochronous import (
     ICNoCCrossing,
@@ -16,24 +17,46 @@ from repro.clocking.mesochronous import (
     TwoFlopSynchronizer,
 )
 
+#: The crossing schemes compared; `build_comparison` pairs each name
+#: with its clock/data rates into a picklable (name, clock_ghz,
+#: data_rate_ghz) spec fanned out over repro.analysis.parallel like the
+#: sweep benches — each row is a pure function of its spec (no
+#: randomness).
+SCHEME_NAMES = (
+    "2-flop synchronizer",
+    "3-flop synchronizer",
+    "phase detector [15][20][13]",
+    "IC-NoC crossing",
+)
+
+
+def evaluate_crossing(point):
+    """Worker entry point: one crossing scheme's comparison row."""
+    name, clock_ghz, data_rate_ghz = point
+    if name == "2-flop synchronizer":
+        scheme = TwoFlopSynchronizer(stages=2)
+        return (name, scheme.latency_cycles,
+                scheme.mtbf_seconds(clock_ghz, data_rate_ghz), 0, 0.0)
+    if name == "3-flop synchronizer":
+        scheme = TwoFlopSynchronizer(stages=3)
+        return (name, scheme.latency_cycles,
+                scheme.mtbf_seconds(clock_ghz, data_rate_ghz), 0, 0.0)
+    if name == "phase detector [15][20][13]":
+        scheme = PhaseDetectorScheme()
+        return (name, scheme.latency_cycles, math.inf,
+                scheme.init_cycles, scheme.area_overhead_mm2)
+    if name == "IC-NoC crossing":
+        scheme = ICNoCCrossing()
+        return (name, scheme.latency_cycles,
+                scheme.mtbf_seconds(clock_ghz, data_rate_ghz),
+                scheme.init_cycles, scheme.area_overhead_mm2)
+    raise ValueError(f"unknown crossing scheme {name!r}")
+
 
 def build_comparison(clock_ghz=1.0, data_rate_ghz=0.5):
-    two_flop = TwoFlopSynchronizer(stages=2)
-    three_flop = TwoFlopSynchronizer(stages=3)
-    detector = PhaseDetectorScheme()
-    icnoc = ICNoCCrossing()
-    rows = [
-        ("2-flop synchronizer", two_flop.latency_cycles,
-         two_flop.mtbf_seconds(clock_ghz, data_rate_ghz), 0, 0.0),
-        ("3-flop synchronizer", three_flop.latency_cycles,
-         three_flop.mtbf_seconds(clock_ghz, data_rate_ghz), 0, 0.0),
-        ("phase detector [15][20][13]", detector.latency_cycles,
-         math.inf, detector.init_cycles, detector.area_overhead_mm2),
-        ("IC-NoC crossing", icnoc.latency_cycles,
-         icnoc.mtbf_seconds(clock_ghz, data_rate_ghz), icnoc.init_cycles,
-         icnoc.area_overhead_mm2),
-    ]
-    return rows
+    points = [(name, clock_ghz, data_rate_ghz) for name in SCHEME_NAMES]
+    return parallel_map(evaluate_crossing, points,
+                        workers=min(len(points), default_workers()))
 
 
 def test_mesochronous_baselines(benchmark, log):

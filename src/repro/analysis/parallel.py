@@ -12,7 +12,10 @@ processes. The building blocks:
   (network config + traffic pattern by name + load/cycles/seed), evaluated
   by the module-level :func:`evaluate_load_point`;
 * :func:`point_seed` — deterministic per-point seeds, identical no matter
-  how points are distributed over processes.
+  how points are distributed over processes;
+* :func:`bisect_saturation_throughput` — a parallel bisection over the
+  saturation knee: the fixed grid's simulation budget, spent adaptively
+  for a tighter saturation estimate.
 
 Parallel and serial runs of the same specs return identical results: every
 point builds its own network and derives its RNG from the spec alone.
@@ -194,3 +197,108 @@ def parallel_saturation_throughput(template: LoadPoint,
     else:
         pairs = zip(loads, measure_load_points(specs, workers))
     return scan_saturation_curve(pairs, efficiency_floor)
+
+
+# -- bisection saturation search ------------------------------------------
+
+
+@dataclass
+class SaturationSearch:
+    """Outcome of a bisection saturation search.
+
+    Attributes:
+        saturation: highest load measured to keep up with the floor.
+        evaluated: every (load, metrics) measurement, in evaluation order.
+        rounds: bisection rounds run (including the bracket round).
+    """
+
+    saturation: float
+    evaluated: list[tuple[float, dict[str, float]]]
+    rounds: int
+
+    @property
+    def points_used(self) -> int:
+        return len(self.evaluated)
+
+
+def _keeps_up(load: float, metrics: dict[str, float],
+              efficiency_floor: float) -> bool:
+    return metrics["accepted_in_window"] >= efficiency_floor * metrics["offered"]
+
+
+def bisect_saturation_throughput(template: LoadPoint,
+                                 lo: float = DEFAULT_SATURATION_LOADS[0],
+                                 hi: float = DEFAULT_SATURATION_LOADS[-1],
+                                 efficiency_floor: float = 0.9,
+                                 budget: int = len(DEFAULT_SATURATION_LOADS),
+                                 resolution: float = 0.01,
+                                 points_per_round: int = 3,
+                                 workers: int | None = None) -> SaturationSearch:
+    """Parallel bisection over the saturation knee.
+
+    The fixed-grid search (:func:`parallel_saturation_throughput`) spends
+    its whole budget on predetermined loads, so the returned knee is only
+    as tight as the grid spacing. This search spends the *same* simulation
+    budget adaptively: after bracketing with ``lo``/``hi``, each round
+    evaluates ``points_per_round`` evenly spaced interior loads
+    (concurrently, with ``workers`` > 1) and narrows the bracket to the
+    sub-interval containing the knee — shrinking it by a factor of
+    ``points_per_round + 1`` per round instead of the grid's linear walk.
+    Stops when the bracket is narrower than ``resolution`` or the budget
+    is spent; returns the highest measured load that kept up with
+    ``efficiency_floor`` times the offered load.
+
+    Deterministic: the candidate loads depend only on the bracket and
+    ``points_per_round`` (never on ``workers``), and each measurement's
+    seed derives from the template seed and its global evaluation index
+    (:func:`point_seed`) — so serial and parallel searches measure
+    identical curves and return identical knees.
+    """
+    if not 0.0 < lo < hi <= 1.0:
+        raise ConfigurationError("need 0 < lo < hi <= 1")
+    if budget < 2:
+        raise ConfigurationError("bisection needs a budget of >= 2 points")
+    if resolution <= 0.0:
+        raise ConfigurationError("resolution must be positive")
+    if points_per_round < 1:
+        raise ConfigurationError("points_per_round must be >= 1")
+    evaluated: list[tuple[float, dict[str, float]]] = []
+    next_index = 0
+
+    def measure(loads: list[float]) -> list[dict[str, float]]:
+        nonlocal next_index
+        specs = []
+        for offset, load in enumerate(loads):
+            specs.append(replace(template, load=load,
+                                 seed=point_seed(template.seed,
+                                                 next_index + offset)))
+        next_index += len(loads)
+        results = measure_load_points(specs, workers)
+        evaluated.extend(zip(loads, results))
+        return results
+
+    # Round 0: bracket the knee.
+    lo_metrics, hi_metrics = measure([lo, hi])
+    budget -= 2
+    rounds = 1
+    if not _keeps_up(lo, lo_metrics, efficiency_floor):
+        # Saturated below the bracket: same verdict as the grid walk.
+        return SaturationSearch(0.0, evaluated, rounds)
+    if _keeps_up(hi, hi_metrics, efficiency_floor):
+        return SaturationSearch(hi, evaluated, rounds)
+    good, bad = lo, hi
+    while budget > 0 and (bad - good) > resolution:
+        k = min(points_per_round, budget)
+        step = (bad - good) / (k + 1)
+        candidates = [good + step * (i + 1) for i in range(k)]
+        results = measure(candidates)
+        budget -= k
+        rounds += 1
+        for load, metrics in zip(candidates, results):
+            if _keeps_up(load, metrics, efficiency_floor):
+                good = load
+            else:
+                bad = load
+                break
+    return SaturationSearch(good, evaluated, rounds)
+

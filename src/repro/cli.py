@@ -6,7 +6,8 @@ Commands:
 * ``validate``  — run the eq. (1)-(7) timing checks at a frequency;
 * ``fig7``      — print the Fig. 7 frequency/wire-length curve;
 * ``traffic``   — run a synthetic workload and print the statistics;
-* ``sweep``     — offered-load sweep (optionally process-parallel);
+* ``sweep``     — offered-load sweep (optionally process-parallel), as a
+  fixed grid or a parallel bisection of the saturation knee;
 * ``demo``      — run the 32-tile demonstrator system;
 * ``corners``   — operating frequency per process corner.
 """
@@ -22,6 +23,7 @@ import numpy as np
 from repro.analysis.parallel import (
     LoadPoint,
     PATTERN_NAMES,
+    bisect_saturation_throughput,
     expand_loads,
     measure_load_points,
 )
@@ -113,7 +115,34 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ),
         pattern=args.pattern, cycles=args.cycles,
         size_flits=args.flits, locality=args.locality,
+        seed=args.seed,
     )
+    if args.search == "bisect":
+        if len(loads) < 2:
+            print("error: --search bisect needs at least two --loads "
+                  "values (the bracket)", file=sys.stderr)
+            return 2
+        search = bisect_saturation_throughput(
+            template, lo=min(loads), hi=max(loads),
+            budget=max(len(loads), args.budget),
+            workers=args.workers,
+        )
+        rows = [[round(load, 4),
+                 round(m["offered"], 4),
+                 round(m["accepted_in_window"], 4),
+                 round(m["mean_latency_cycles"], 2),
+                 "yes" if m["drained"] else "NO"]
+                for load, m in search.evaluated]
+        print(format_table(
+            ["load", "offered", "accepted", "latency (cy)", "drained"],
+            rows,
+            title=(f"Saturation bisection: {args.ports} ports, "
+                   f"{args.pattern}, workers={args.workers}, "
+                   f"{search.points_used} points / {search.rounds} rounds"),
+        ))
+        print(f"saturation throughput: {search.saturation:.4f} "
+              f"offered load")
+        return 0 if all(m["drained"] for _, m in search.evaluated) else 1
     specs = expand_loads(template, loads, base_seed=args.seed)
     results = measure_load_points(specs, workers=args.workers)
     rows = [[spec.load,
@@ -195,6 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--seed", type=int, default=0)
     p_sw.add_argument("--workers", type=int, default=1,
                       help="worker processes (1 = serial)")
+    p_sw.add_argument("--search", choices=("grid", "bisect"),
+                      default="grid",
+                      help="grid: measure every --loads value; bisect: "
+                           "parallel bisection of the saturation knee "
+                           "between min and max of --loads")
+    p_sw.add_argument("--budget", type=int, default=9,
+                      help="simulation budget for --search bisect")
     p_sw.set_defaults(func=cmd_sweep)
 
     p_demo = sub.add_parser("demo", help="run the 32-tile demonstrator")

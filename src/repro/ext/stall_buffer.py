@@ -64,6 +64,7 @@ class SkidBufferStage(ClockedComponent):
         kernel.add_component(self)
 
     def on_edge(self, tick: int) -> None:
+        active = False
         # 1. Receive whatever is in flight (cannot be refused: that is
         #    what the skid slot is for).
         payload = self.upstream.flit.value
@@ -75,6 +76,7 @@ class SkidBufferStage(ClockedComponent):
                         f"{self.name}: skid overflow — stop arrived too late"
                     )
                 self.buffer.append(flit)
+                active = True
         self.peak_occupancy = max(self.peak_occupancy, len(self.buffer))
         # 2. Forward if downstream did not signal stop (sampled 1 cycle
         #    old). Receiving first models the combinational ready path of
@@ -84,9 +86,18 @@ class SkidBufferStage(ClockedComponent):
             flit = self.buffer.popleft()
             self.downstream.flit.set((flit, tick), tick)
             self.flits_passed += 1
+            active = True
         # 3. Backpressure: stop while anything is held — by the time the
         #    producer sees it, exactly one more flit may arrive (skid).
-        self.upstream.stop.set(len(self.buffer) >= self.CAPACITY - 1, tick)
+        #    Written on change only, so an idle stage drives nothing.
+        stop = len(self.buffer) >= self.CAPACITY - 1
+        if stop != bool(self.upstream.stop.value):
+            self.upstream.stop.set(stop, tick)
+            active = True
+        if not active:
+            # Fixed point: nothing arrived, nothing moved (empty, or
+            # blocked by a stop that only a signal change can lift).
+            self.sleep_until(self.upstream.flit, self.downstream.stop)
 
 
 class SkidSource(ClockedComponent):
@@ -101,10 +112,17 @@ class SkidSource(ClockedComponent):
 
     def send(self, flits: Iterable[Flit]) -> None:
         self.queue.extend(flits)
+        self.wake()
 
     def on_edge(self, tick: int) -> None:
         if self.queue and not self.downstream.stop.value:
             self.downstream.flit.set((self.queue.popleft(), tick), tick)
+        elif self.queue:
+            # Blocked: only a change of the stop wire can unblock us.
+            self.sleep_until(self.downstream.stop)
+        else:
+            # Drained: wait for the next send().
+            self.sleep_until()
 
 
 class SkidSink(ClockedComponent):
@@ -120,6 +138,7 @@ class SkidSink(ClockedComponent):
         kernel.add_component(self)
 
     def on_edge(self, tick: int) -> None:
+        active = False
         payload = self.upstream.flit.value
         if payload is not None:
             flit, sent_tick = payload
@@ -127,9 +146,19 @@ class SkidSink(ClockedComponent):
                 if len(self.buffer) >= 2:
                     raise ConfigurationError(f"{self.name}: sink overflow")
                 self.buffer.append(flit)
+                active = True
         if self.buffer and self._ready(tick):
             self.received.append((tick, self.buffer.popleft()))
-        self.upstream.stop.set(len(self.buffer) >= 1, tick)
+            active = True
+        stop = len(self.buffer) >= 1
+        if stop != bool(self.upstream.stop.value):
+            self.upstream.stop.set(stop, tick)
+            active = True
+        if not active and not self.buffer:
+            # Empty and nothing in flight; the ready schedule is only
+            # consulted while data waits, so the next edge is a no-op
+            # until the flit wire changes.
+            self.sleep_until(self.upstream.flit)
 
     @property
     def flits(self) -> list[Flit]:

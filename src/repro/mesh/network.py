@@ -33,7 +33,13 @@ from repro.tech.technology import Technology, TECH_90NM
 
 @dataclass(frozen=True)
 class MeshConfig:
-    """Parameters of the baseline mesh."""
+    """Parameters of the baseline mesh.
+
+    ``activity_driven`` selects the kernel's idle-skipping fast path (the
+    default); False forces the naive fire-everything reference loop,
+    useful for equivalence checks and benchmarking — mirroring
+    :class:`repro.noc.network.NetworkConfig`.
+    """
 
     cols: int = 8
     rows: int = 8
@@ -41,6 +47,7 @@ class MeshConfig:
     chip_height_mm: float = 10.0
     buffer_depth: int = 4
     tech: Technology = TECH_90NM
+    activity_driven: bool = True
 
     def __post_init__(self) -> None:
         if self.buffer_depth < 2:
@@ -65,6 +72,7 @@ class _MeshSource(ClockedComponent):
 
     def submit(self, packet: Packet) -> None:
         self.packets.append(packet)
+        self.wake()
 
     @property
     def idle(self) -> bool:
@@ -72,10 +80,12 @@ class _MeshSource(ClockedComponent):
 
     def on_edge(self, tick: int) -> None:
         payload = self.link.credit.value
+        active = False
         if payload is not None and payload != 0:
             count, sent_tick = payload
             if sent_tick == tick - 2:
                 self.credits += count
+                active = True
         if not self.flits and self.packets:
             packet = self.packets.popleft()
             packet.inject_tick = tick
@@ -83,6 +93,10 @@ class _MeshSource(ClockedComponent):
         if self.flits and self.credits > 0:
             self.link.flit.set((self.flits.popleft(), tick), tick)
             self.credits -= 1
+        elif not active:
+            # Nothing sendable (empty, or out of credits) and no credit
+            # arrived: wait for a credit return or the next submit().
+            self.sleep_until(self.link.credit)
 
 
 class _MeshSink(ClockedComponent):
@@ -105,6 +119,7 @@ class _MeshSink(ClockedComponent):
             if sent_tick == tick - 2:
                 self.flits_received += 1
                 credit = 1
+                self._kernel.emit("flit", flit)
                 buffer = self._assembly.setdefault(flit.packet_id, [])
                 buffer.append(flit)
                 if flit.is_tail:
@@ -112,7 +127,16 @@ class _MeshSink(ClockedComponent):
                     packet = Packet.from_flits(buffer)
                     packet.eject_tick = tick
                     self.on_packet(packet, tick)
-        self.link.credit.set((credit, tick) if credit else 0, tick)
+                    self._kernel.emit("packet", packet)
+        # Write-on-change credit return (cf. MeshRouter): zero the wire
+        # once after a return, then stop driving it.
+        if credit:
+            self.link.credit.set((credit, tick), tick)
+        elif self.link.credit.value != 0:
+            self.link.credit.set(0, tick)
+        else:
+            # No arrival and no wire to settle: wait for the next flit.
+            self.sleep_until(self.link.flit)
 
 
 class MeshNetwork:
@@ -121,7 +145,7 @@ class MeshNetwork:
     def __init__(self, config: MeshConfig):
         self.config = config
         self.topology = MeshTopology(config.cols, config.rows)
-        self.kernel = SimKernel()
+        self.kernel = SimKernel(activity_driven=config.activity_driven)
         self.stats = NetworkStats()
         self.routers: list[MeshRouter] = []
         self.sources: list[_MeshSource] = []
@@ -189,6 +213,7 @@ class MeshNetwork:
         self._inflight[packet.packet_id] = packet
         self.sources[packet.src].submit(packet)
         self.stats.packets_injected += 1
+        self.kernel.emit("inject", packet)
 
     def run_ticks(self, ticks: int) -> None:
         self.kernel.run_ticks(ticks)

@@ -7,13 +7,21 @@ credit-based: a router may only forward a flit toward a neighbour when it
 holds a credit for that neighbour's input FIFO; the neighbour returns a
 credit when it dequeues. XY wormhole routing with per-output round-robin
 arbitration and locks.
+
+Routers honour the idle-component contract (docs/kernel.md): signals are
+driven write-on-change (a credit wire is zeroed once after a return, then
+left alone), so an edge that receives nothing, forwards nothing, and has
+nothing buffered is a fixed point — the router sleeps watching its input
+flit wires and output credit wires, and mesh-heavy sweeps benefit from
+the kernel's activity-driven fast path. Skipped edges are backfilled into
+the gating statistics via :class:`GatedComponentMixin`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from repro.clocking.gating import GatingStats
+from repro.clocking.gating import GatedComponentMixin, GatingStats
 from repro.errors import ConfigurationError, RoutingError
 from repro.noc.arbiter import RoundRobinArbiter
 from repro.noc.flit import Flit
@@ -34,7 +42,7 @@ class MeshLink:
         self.credit: Signal = kernel.signal(f"{name}.credit", initial=0)
 
 
-class MeshRouter(ClockedComponent):
+class MeshRouter(GatedComponentMixin, ClockedComponent):
     """5-port XY wormhole router (ports absent at mesh edges stay None)."""
 
     def __init__(self, kernel: SimKernel, name: str, x: int, y: int,
@@ -54,8 +62,11 @@ class MeshRouter(ClockedComponent):
         self.credits = [0] * 5  # credits toward each output's consumer
         self.locks: list[int | None] = [None] * 5
         self.arbiters = [RoundRobinArbiter(5) for _ in range(5)]
-        self.gating = GatingStats()
+        self._gating = GatingStats()
         self.flits_forwarded = 0
+        # Signals to watch while asleep: anything arriving (flits in,
+        # credits back) makes the next edge act again.
+        self._watch: list[Signal] = []
         kernel.add_component(self)
 
     def connect(self, port: int, in_link: MeshLink | None,
@@ -64,6 +75,10 @@ class MeshRouter(ClockedComponent):
         self.out_links[port] = out_link
         if out_link is not None:
             self.credits[port] = self.buffer_depth
+        self._watch = [link.flit for link in self.in_links
+                       if link is not None]
+        self._watch += [link.credit for link in self.out_links
+                        if link is not None]
 
     def _route(self, flit: Flit) -> int:
         dx = flit.dest % self.cols
@@ -79,7 +94,8 @@ class MeshRouter(ClockedComponent):
         return LOCAL
 
     def on_edge(self, tick: int) -> None:
-        enabled = False
+        enabled = False   # register-bank activity (gating statistics)
+        active = False    # anything at all happened (sleep decision)
         # 1. Collect credit returns. Link payloads are (value, sent_tick)
         # tuples; anything sent at tick t-2 is consumed exactly once, at
         # this edge — stale signal values are ignored by the tick tag.
@@ -91,6 +107,7 @@ class MeshRouter(ClockedComponent):
                 count, sent_tick = payload
                 if sent_tick == tick - 2:
                     self.credits[port] += count
+                    active = True
         # 2. Forward: per output, arbitrate among input FIFO heads. Runs
         # before arrivals are enqueued, so a flit spends at least one full
         # cycle in the router (head latency 2 cycles/hop incl. the wire).
@@ -142,15 +159,25 @@ class MeshRouter(ClockedComponent):
                                    f"{PORT_NAMES[port]} (credit violation)")
             self.fifos[port].append(flit)
             enabled = True
-        # 4. Return credits upstream for dequeued flits.
+        # 4. Return credits upstream for dequeued flits — write-on-change:
+        # a credit wire carrying a stale (count, tick) payload is zeroed
+        # once, then left alone, so an idle router drives nothing.
         for in_port, link in enumerate(self.in_links):
             if link is None:
                 continue
             if credits_returned[in_port]:
                 link.credit.set((credits_returned[in_port], tick), tick)
-            else:
+                active = True
+            elif link.credit.value != 0:
                 link.credit.set(0, tick)
+                active = True
         self.gating.record(enabled)
+        if not enabled and not active:
+            # Fixed point: nothing arrived, nothing moved, every wire we
+            # drive already holds its committed value. Forwarding (even
+            # with buffered flits) can only resume after a credit return
+            # or a new arrival — both are watched signal changes.
+            self.sleep_until(*self._watch)
 
     @property
     def buffered_flits(self) -> int:

@@ -3,29 +3,47 @@
 These components observe a simulation without influencing it:
 
 * :class:`ProtocolMonitor` checks the 2-phase handshake invariants on one
-  channel every tick — data stability until accept, no accept without
-  valid, no payload changes mid-transfer. A violation raises
+  channel — data stability until accept, no accept without valid, no
+  payload changes mid-transfer. A violation raises
   :class:`~repro.errors.ProtocolError` at the offending tick, which makes
   protocol bugs fail loudly in tests instead of corrupting statistics.
 * :class:`DeadlockWatchdog` fires if a network stops making progress while
   packets are still outstanding (wormhole deadlock, lost accept, ...).
 
-``attach_monitors`` instruments every channel of a built network.
+Both are event-driven (:mod:`repro.sim.observe`), so an instrumented run
+keeps the kernel's activity-driven fast path:
+
+* the monitor is a dirty-signal probe on the channel's three wires. The
+  invariants depend on at most one tick of history, so a check at every
+  change tick plus one *settle* check on the following tick reaches the
+  same verdicts, at the same ticks, as the old every-tick poll — between
+  changes the channel state is a fixed point.
+* the watchdog schedules a timeout via :meth:`SimKernel.call_at` and is
+  *kicked* by progress (delivery events; injections only when they end
+  an idle period) instead of polling a progress counter every tick; the
+  timeout fires at the exact same tick in both kernel modes, even
+  across fast-forwarded windows.
+
+``attach_monitors`` instruments every channel of a built network;
+``attach_watchdog`` wires the watchdog to the network's ``"packet"`` and
+``"inject"`` kernel events.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import ProtocolError, SimulationError
 from repro.noc.handshake import HandshakeChannel
 from repro.sim.kernel import SimKernel
+from repro.sim.observe import Probe
 
 
-class ProtocolMonitor:
+class ProtocolMonitor(Probe):
     """Invariant checker for one handshake channel.
 
-    Checks, per committed tick:
+    Checks, at every tick where a channel wire changed (and once more on
+    the following tick, when the new state has settled):
 
     1. ``accept`` is only asserted while ``valid`` is (or was, at the
        consumer's sampling edge) asserted;
@@ -35,22 +53,41 @@ class ProtocolMonitor:
     """
 
     def __init__(self, kernel: SimKernel, channel: HandshakeChannel):
+        super().__init__(kernel)
         self.channel = channel
         self.violations: list[str] = []
-        self._prev_valid = False
-        self._prev_data = None
-        self._prev_accept = False
+        self._prev_valid = channel.valid
+        self._prev_data = channel.data
+        self._prev_accept = channel.accepted
         self.accept_bursts = 0  # rising edges of accept (>= 1 per transfer
         # burst; back-to-back streaming holds accept high, so this counts
         # bursts, not individual flits — stages count flits exactly)
-        kernel.on_tick(self._check)
+        self._checked_tick = kernel.tick - 1
+        self.observe(channel.valid_signal, channel.data_signal,
+                     channel.accept_signal)
+        # First check at the end of the construction tick, mirroring the
+        # old per-tick poll's first sample (catches bad initial state).
+        kernel.call_at(kernel.tick, self._settle)
 
     def _fail(self, tick: int, message: str) -> None:
         detail = f"[tick {tick}] {self.channel.name}: {message}"
         self.violations.append(detail)
         raise ProtocolError(detail)
 
+    def flush(self, tick: int) -> None:
+        self._check(tick)
+        # The invariants read one tick of history: a state that is legal
+        # together with the pre-change state may be illegal against
+        # itself (e.g. accept still high one tick after valid dropped).
+        # One settled re-check per change reaches the fixed point.
+        self.kernel.call_at(tick + 1, self._settle)
+
+    def _settle(self, tick: int) -> None:
+        if tick > self._checked_tick:
+            self._check(tick)
+
     def _check(self, tick: int) -> None:
+        self._checked_tick = tick
         valid = self.channel.valid
         data = self.channel.data
         accept = self.channel.accepted
@@ -76,6 +113,17 @@ class DeadlockWatchdog:
     Progress is defined by a caller-supplied counter (delivered flits by
     default); if it fails to advance for ``patience_ticks`` while the
     ``pending`` predicate is true, :class:`SimulationError` is raised.
+
+    The watchdog arms one :meth:`SimKernel.call_at` timeout at
+    ``last activity + patience`` instead of polling every tick. Activity
+    is reported via :meth:`kick`; at an expiry the progress counter and
+    the pending predicate are re-checked as a safety net, so un-kicked
+    progress postpones the verdict rather than firing it. An expiry with
+    nothing pending goes *dormant* — no timer survives, so a drained
+    network stays fully quiescent — and the next kick re-arms; callers
+    whose ``pending`` can rise again must therefore kick at that point
+    (``attach_watchdog`` kicks on the injection that ends an idle
+    period, which is the only way its pending predicate rises).
     """
 
     def __init__(self, kernel: SimKernel,
@@ -84,29 +132,55 @@ class DeadlockWatchdog:
                  patience_ticks: int = 10_000):
         if patience_ticks < 1:
             raise SimulationError("patience must be >= 1 tick")
+        self._kernel = kernel
         self._progress = progress
         self._pending = pending
         self.patience_ticks = patience_ticks
         self._last_value = progress()
-        self._last_change_tick = 0
+        self._last_change_tick = kernel.tick
         self.fired = False
-        kernel.on_tick(self._check)
+        self._armed = False
+        self._arm(self._last_change_tick + patience_ticks)
 
-    def _check(self, tick: int) -> None:
+    def _arm(self, deadline: int) -> None:
+        self._armed = True
+        self._kernel.call_at(deadline, self._expire)
+
+    def kick(self, tick: int | None = None) -> None:
+        """Record activity now (or at ``tick``): restarts the patience
+        window. A live expiry re-arms itself to the postponed deadline;
+        a dormant watchdog re-arms here."""
+        self._last_value = self._progress()
+        self._last_change_tick = (self._kernel.tick if tick is None
+                                  else tick)
+        if not self._armed:
+            self._arm(self._last_change_tick + self.patience_ticks)
+
+    def _expire(self, tick: int) -> None:
+        deadline = self._last_change_tick + self.patience_ticks
+        if deadline > tick:
+            self._arm(deadline)  # kicked since armed: not due yet
+            return
         value = self._progress()
         if value != self._last_value:
+            # Progress the caller never kicked for; count it from now.
             self._last_value = value
             self._last_change_tick = tick
+            self._arm(tick + self.patience_ticks)
             return
         if not self._pending():
+            # Nothing outstanding: an idle network is not deadlocked.
+            # Go dormant — no live timer, so the network can fast-forward
+            # freely — until the next kick re-arms (for attach_watchdog,
+            # the injection that ends the idle period).
             self._last_change_tick = tick
+            self._armed = False
             return
-        if tick - self._last_change_tick >= self.patience_ticks:
-            self.fired = True
-            raise SimulationError(
-                f"no progress for {self.patience_ticks} ticks with "
-                f"traffic pending (tick {tick})"
-            )
+        self.fired = True
+        raise SimulationError(
+            f"no progress for {self.patience_ticks} ticks with "
+            f"traffic pending (tick {tick})"
+        )
 
 
 def attach_monitors(network) -> list[ProtocolMonitor]:
@@ -123,11 +197,33 @@ def attach_monitors(network) -> list[ProtocolMonitor]:
 
 
 def attach_watchdog(network, patience_ticks: int = 10_000) -> DeadlockWatchdog:
-    """Add a deadlock watchdog keyed on delivered-vs-injected packets."""
-    return DeadlockWatchdog(
+    """Add a deadlock watchdog keyed on delivered-vs-injected packets.
+
+    Delivery (``"packet"``) events kick the watchdog — deliveries are
+    what "progress" means here, so the timeout counts from the exact
+    delivery ticks the old per-tick poll saw, without waking the kernel
+    every tick. An injection kicks only when it ends an idle period
+    (nothing was outstanding before it): that starts the patience window
+    — and re-arms a dormant watchdog — without letting a steady stream
+    of injections into a deadlocked network postpone the verdict."""
+    watchdog = DeadlockWatchdog(
         network.kernel,
         progress=lambda: network.stats.packets_delivered,
         pending=lambda: (network.stats.packets_delivered
                          < network.stats.packets_injected),
         patience_ticks=patience_ticks,
     )
+
+    def on_packet(tick: int, data: Any) -> None:
+        watchdog.kick(tick)
+
+    def on_inject(tick: int, data: Any) -> None:
+        stats = network.stats
+        # The "inject" event fires after packets_injected was bumped, so
+        # equality-minus-one means the network was idle until this packet.
+        if stats.packets_delivered >= stats.packets_injected - 1:
+            watchdog.kick(tick)
+
+    network.kernel.subscribe("packet", on_packet)
+    network.kernel.subscribe("inject", on_inject)
+    return watchdog

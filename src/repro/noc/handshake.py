@@ -43,6 +43,12 @@ class HandshakeChannel:
         """The accept wire — watch to wake when the consumer acknowledges."""
         return self._accept
 
+    @property
+    def data_signal(self) -> Signal:
+        """The data wires — observe for payload-level probes (monitors,
+        VCD traces); components watch valid/accept instead."""
+        return self._data
+
     # -- producer side --------------------------------------------------
 
     def drive(self, flit: Flit | None, tick: int | None = None) -> None:

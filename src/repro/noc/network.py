@@ -93,13 +93,23 @@ def _local_priority_policy(node, output_port: int, n_inputs: int):
 class ICNoCNetwork:
     """A built, runnable IC-NoC."""
 
-    def __init__(self, config: NetworkConfig):
+    def __init__(self, config: NetworkConfig, kernel: SimKernel | None = None):
         self.config = config
         self.topology = TreeTopology(config.leaves, config.arity)
         self.floorplan: Floorplan = floorplan_for(
             self.topology, config.chip_width_mm, config.chip_height_mm
         )
-        self.kernel = SimKernel(activity_driven=config.activity_driven)
+        # An external kernel lets system models (the demonstrator's tile
+        # drivers) register components *before* the network's, so their
+        # submissions reach the NIs the same tick — it must agree with
+        # the config on the execution mode.
+        if kernel is not None and kernel.activity_driven != config.activity_driven:
+            raise ConfigurationError(
+                "provided kernel's activity_driven flag contradicts the "
+                "network config"
+            )
+        self.kernel = kernel if kernel is not None \
+            else SimKernel(activity_driven=config.activity_driven)
         self.clock_tree = ClockTree(root_name="clkgen")
         self.routers: list[TreeRouter] = []
         self.link_stages: list[PipelineStage] = []
@@ -254,6 +264,7 @@ class ICNoCNetwork:
         self._inflight[packet.packet_id] = packet
         self.nis[packet.src].submit(packet)
         self.stats.packets_injected += 1
+        self.kernel.emit("inject", packet)
 
     def run_ticks(self, ticks: int) -> None:
         self.kernel.run_ticks(ticks)

@@ -92,6 +92,7 @@ class NISink(ClockedComponent):
         flit = self.upstream.data
         self.upstream.respond(True, tick)
         self.flits_received += 1
+        self._kernel.emit("flit", flit)
         buffer = self._assembly.setdefault(flit.packet_id, [])
         buffer.append(flit)
         if flit.is_tail:
@@ -101,6 +102,7 @@ class NISink(ClockedComponent):
             self.delivered.append(packet)
             if self.on_packet is not None:
                 self.on_packet(packet, tick)
+            self._kernel.emit("packet", packet)
 
     @property
     def incomplete(self) -> int:

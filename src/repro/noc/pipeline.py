@@ -143,6 +143,7 @@ class SinkStage(ClockedComponent):
     def on_edge(self, tick: int) -> None:
         if self.upstream.valid and self._ready(tick):
             self.received.append((tick, self.upstream.data))
+            self._kernel.emit("flit", self.upstream.data)
             self.upstream.respond(True, tick)
         else:
             self.upstream.respond(False, tick)

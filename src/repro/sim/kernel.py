@@ -13,17 +13,54 @@ Two execution modes share one semantic contract:
 The two modes are bit-identical in every observable (signal values, ticks
 of state changes, statistics including clock-gating edge counts); the
 fast path only avoids work that would provably change nothing.
+
+Observability hooks (see :mod:`repro.sim.observe`) share the same
+principle — they cost work proportional to activity, never per tick:
+
+* **signal probes** (:meth:`Signal.attach_probe`) fire from the commit
+  phase exactly when a commit changes a value, in both modes;
+* **flush requests** (:meth:`request_flush`) coalesce many probe hits
+  into one end-of-tick call per probe object;
+* **timers** (:meth:`call_at`) fire a callback at the end of an exact
+  future tick; the quiescent fast-forward stops precisely at the next
+  pending deadline, so scheduled events observe the same ticks the naive
+  loop would deliver;
+* **events** (:meth:`subscribe` / :meth:`emit`) broadcast discrete
+  occurrences (flit delivered, packet injected, component wake/sleep) to
+  interested probes.
+
+The legacy :meth:`on_tick` per-tick callback survives as a deprecated
+compatibility shim; it still disables the quiescent fast-forward, which
+is exactly why the hooks above replaced it.
 """
 
 from __future__ import annotations
 
+import warnings
 from bisect import bisect_left
+from heapq import heappop, heappush
 from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim.component import ClockedComponent, latest_parity_tick
 from repro.sim.signal import Signal
 from repro.units import cycles_to_ticks
+
+
+class Timer:
+    """Handle of one scheduled :meth:`SimKernel.call_at` callback."""
+
+    __slots__ = ("tick", "callback", "cancelled", "fired")
+
+    def __init__(self, tick: int, callback: Callable[[int], None]):
+        self.tick = tick
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
 
 
 class SimKernel:
@@ -37,15 +74,26 @@ class SimKernel:
     def __init__(self, activity_driven: bool = True) -> None:
         self.tick = 0
         self.activity_driven = activity_driven
+        #: Ticks actually stepped (excludes fast-forwarded ones) — the
+        #: observable behind the fast-path tests and benchmarks.
+        self.steps_executed = 0
         self._components: list[ClockedComponent] = []
         self._signals: list[Signal] = []
         self._names: set[str] = set()
         self._tick_callbacks: list[Callable[[int], None]] = []
+        self._warned_on_tick = False
         # Awake components per parity, sorted by registration index.
         self._active: tuple[list[ClockedComponent], list[ClockedComponent]] \
             = ([], [])
         self._need_compact = [False, False]
         self._dirty: list[Signal] = []
+        # Probe objects awaiting their coalesced end-of-tick flush.
+        self._flush: list[Any] = []
+        # Scheduled timers: heap of (tick, seq, Timer).
+        self._timers: list[tuple[int, int, Timer]] = []
+        self._timer_seq = 0
+        # Event subscribers by event name.
+        self._event_subs: dict[str, list[Callable[[int, Any], None]]] = {}
         # Iteration state, so a wake() during a step can splice the woken
         # component into the remainder of the current tick.
         self._step_parity: int | None = None
@@ -72,16 +120,84 @@ class SimKernel:
         sig = Signal(name, initial)
         if self.activity_driven:
             sig._queue = self._dirty
+        sig._index = len(self._signals)
         self._signals.append(sig)
         return sig
 
     def on_tick(self, callback: Callable[[int], None]) -> None:
-        """Register a probe called after every tick commits."""
+        """Register a probe called after every tick commits.
+
+        .. deprecated:: PR 2
+            Per-tick callbacks disable the quiescent fast-forward — any
+            instrumented run falls back to naive speed. Subscribe to
+            signals (:meth:`Signal.attach_probe`, the probe classes in
+            :mod:`repro.sim.observe`), schedule :meth:`call_at` timers,
+            or listen to :meth:`subscribe` events instead. The shim keeps
+            working (results are unchanged) but warns once per kernel.
+        """
+        if not self._warned_on_tick:
+            self._warned_on_tick = True
+            warnings.warn(
+                "SimKernel.on_tick is deprecated: per-tick callbacks "
+                "disable the quiescent fast-forward. Use signal probes "
+                "(repro.sim.observe), call_at timers, or events instead.",
+                DeprecationWarning, stacklevel=2,
+            )
         self._tick_callbacks.append(callback)
 
     @property
     def components(self) -> list[ClockedComponent]:
         return list(self._components)
+
+    # -- observability ------------------------------------------------
+
+    def request_flush(self, probe: Any) -> None:
+        """Queue ``probe.flush(tick)`` for the end of this tick's commit.
+
+        A probe is queued at most once per tick no matter how many of its
+        watched signals changed; ``probe`` must expose a ``_flush_pending``
+        attribute (False initially) and a ``flush(tick)`` method. This is
+        the coalescing half of the dirty-signal dispatch: per-signal
+        callbacks record *what* changed, the flush emits it *once*.
+        """
+        if not probe._flush_pending:
+            probe._flush_pending = True
+            self._flush.append(probe)
+
+    def call_at(self, tick: int, callback: Callable[[int], None]) -> Timer:
+        """Schedule ``callback(tick)`` at the end of the given tick.
+
+        The callback runs after that tick's commit (the same observation
+        point the legacy per-tick callbacks used), even across a
+        fast-forwarded quiescent window — the fast path stops exactly at
+        the earliest pending deadline. A deadline at or before the
+        current tick fires at the end of the current tick. Returns a
+        :class:`Timer` handle whose :meth:`Timer.cancel` revokes it.
+        """
+        timer = Timer(tick, callback)
+        self._timer_seq += 1
+        heappush(self._timers, (tick, self._timer_seq, timer))
+        return timer
+
+    def subscribe(self, event: str,
+                  callback: Callable[[int, Any], None]) -> None:
+        """Register ``callback(tick, data)`` for :meth:`emit` broadcasts.
+
+        Well-known events emitted by the stock components: ``"flit"``
+        (a sink consumed one flit), ``"packet"`` (a sink delivered a
+        reassembled packet), ``"inject"`` (a network accepted a packet
+        from the host), ``"wake"`` / ``"sleep"`` (a component changed
+        scheduling state; activity-driven mode only, since the naive loop
+        never sleeps).
+        """
+        self._event_subs.setdefault(event, []).append(callback)
+
+    def emit(self, event: str, data: Any = None) -> None:
+        """Broadcast an event to subscribers (cheap no-op without any)."""
+        subs = self._event_subs.get(event)
+        if subs:
+            for callback in list(subs):
+                callback(self.tick, data)
 
     # -- sleep / wake --------------------------------------------------
 
@@ -95,6 +211,8 @@ class SimKernel:
         self._need_compact[component.parity] = True
         for sig in signals:
             sig.watch(component)
+        if self._event_subs:
+            self.emit("sleep", component)
 
     def wake(self, component: ClockedComponent) -> None:
         """(Re-)schedule ``component`` from its next matching tick on.
@@ -119,11 +237,14 @@ class SimKernel:
         # cursor then; at pos == cursor the component fires this tick.
         if component.parity == self._step_parity and pos < self._cursor:
             self._cursor += 1
+        if self._event_subs:
+            self.emit("wake", component)
 
     # -- execution ----------------------------------------------------
 
     def step(self) -> None:
         """Advance one half-cycle: fire matching-parity components, commit."""
+        self.steps_executed += 1
         parity = self.tick % 2
         active = self._active[parity]
         if self._need_compact[parity]:
@@ -143,11 +264,21 @@ class SimKernel:
             component.on_edge(self.tick)
             component._accounted_tick = self.tick
         self._step_parity = None
+        tick = self.tick
         if self.activity_driven:
             dirty = self._dirty
             if dirty:
                 for sig in dirty:
-                    if sig.commit() and sig._watchers:
+                    probes = sig._probes
+                    if probes is None:
+                        changed = sig.commit()
+                    else:
+                        old = sig._value
+                        changed = sig.commit()
+                        if changed:
+                            for probe in probes:
+                                probe(tick, sig, old, sig._value)
+                    if changed and sig._watchers:
                         watchers = list(sig._watchers)
                         sig._watchers.clear()
                         for component in watchers:
@@ -155,23 +286,60 @@ class SimKernel:
                 dirty.clear()
         else:
             for sig in self._signals:
-                sig.commit()
+                probes = sig._probes
+                if probes is None:
+                    sig.commit()
+                else:
+                    old = sig._value
+                    if sig.commit():
+                        for probe in probes:
+                            probe(tick, sig, old, sig._value)
+        if self._flush:
+            pending = self._flush
+            self._flush = []
+            for probe in pending:
+                probe._flush_pending = False
+                probe.flush(tick)
+        timers = self._timers
+        while timers and timers[0][0] <= tick:
+            _, _, timer = heappop(timers)
+            if not timer.cancelled:
+                timer.fired = True
+                timer.callback(tick)
         for callback in self._tick_callbacks:
-            callback(self.tick)
+            callback(tick)
         self.tick += 1
+
+    def _next_timer_tick(self) -> int | None:
+        """Deadline of the earliest live timer (drops cancelled heads)."""
+        timers = self._timers
+        while timers and timers[0][2].cancelled:
+            heappop(timers)
+        return timers[0][0] if timers else None
 
     def run_ticks(self, ticks: int) -> None:
         if ticks < 0:
             raise ConfigurationError(f"ticks must be >= 0, got {ticks}")
         remaining = ticks
         while remaining > 0:
-            # Fully quiescent kernel: nothing can fire, write, or observe a
-            # tick — jump straight to the end of the window.
+            # Fully quiescent kernel: nothing can fire, write, or observe
+            # a tick — jump to the next scheduled deadline, or straight to
+            # the end of the window.
             if (self.activity_driven and not self._tick_callbacks
                     and not self._dirty
                     and not self._active[0] and not self._active[1]):
-                self.tick += remaining
-                return
+                due = self._next_timer_tick()
+                if due is None:
+                    self.tick += remaining
+                    return
+                gap = due - self.tick
+                if gap > 0:
+                    jump = min(gap, remaining)
+                    self.tick += jump
+                    remaining -= jump
+                    if remaining == 0:
+                        return
+                # A timer is due this very tick: fall through and step it.
             self.step()
             remaining -= 1
 

@@ -1,4 +1,9 @@
-"""Probes: record signal histories and rates during simulation."""
+"""Probes: record signal histories and rates during simulation.
+
+Both probes are event-driven (:mod:`repro.sim.observe`): they subscribe
+to signal changes or delivery events instead of registering per-tick
+callbacks, so instrumented runs keep the kernel's quiescent fast path.
+"""
 
 from __future__ import annotations
 
@@ -9,19 +14,20 @@ from repro.sim.signal import Signal
 
 
 class SignalTrace:
-    """Records (tick, value) pairs for a signal whenever it changes."""
+    """Records (tick, value) pairs for a signal whenever it changes.
+
+    The initial value is recorded at construction time; afterwards a
+    dirty-signal probe appends one sample per committed value change, so
+    consecutive samples always differ and an idle signal costs nothing.
+    """
 
     def __init__(self, kernel: SimKernel, signal: Signal):
         self._signal = signal
-        self.samples: list[tuple[int, Any]] = []
-        self._last: Any = object()  # sentinel so the first sample records
-        kernel.on_tick(self._sample)
+        self.samples: list[tuple[int, Any]] = [(kernel.tick, signal.value)]
+        signal.attach_probe(self._on_change)
 
-    def _sample(self, tick: int) -> None:
-        value = self._signal.value
-        if value != self._last:
-            self.samples.append((tick, value))
-            self._last = value
+    def _on_change(self, tick: int, signal: Signal, old: Any, new: Any) -> None:
+        self.samples.append((tick, new))
 
     def values(self) -> list[Any]:
         return [value for _, value in self.samples]
@@ -32,13 +38,21 @@ class ThroughputMeter:
 
     Components call :meth:`count` when they deliver a unit of work; the
     meter divides by elapsed cycles. A warm-up window can be excluded.
+    Passing ``event`` (e.g. ``"flit"`` or ``"packet"``) subscribes the
+    meter to that kernel event so the stock sinks feed it automatically.
     """
 
-    def __init__(self, kernel: SimKernel, warmup_ticks: int = 0):
+    def __init__(self, kernel: SimKernel, warmup_ticks: int = 0,
+                 event: str | None = None):
         self._kernel = kernel
         self._warmup_ticks = warmup_ticks
         self.events = 0
         self._start_tick: int | None = None
+        if event is not None:
+            kernel.subscribe(event, self._on_event)
+
+    def _on_event(self, tick: int, data: Any) -> None:
+        self.count()
 
     def count(self, amount: int = 1) -> None:
         tick = self._kernel.tick

@@ -11,6 +11,13 @@ themselves on the kernel's dirty list at their first write of a tick, so
 the commit phase touches only signals actually written (the activity-driven
 fast path). Sleeping components may watch a signal: whenever a commit
 changes its value, the kernel wakes every watcher.
+
+Signals are also the anchor of the observability subsystem
+(:mod:`repro.sim.observe`): probes attached via :meth:`Signal.attach_probe`
+are called by the kernel's commit phase exactly when a commit changes the
+value — in both execution modes — so instrumentation costs work only in
+proportion to actual signal activity and never disables the quiescent
+fast-forward.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ class Signal:
     """One named wire with next-tick write semantics."""
 
     __slots__ = ("name", "_value", "_next", "_dirty", "_writer_tick",
-                 "_queue", "_watchers")
+                 "_queue", "_watchers", "_probes", "_index")
 
     def __init__(self, name: str, initial: Any = None):
         self.name = name
@@ -40,6 +47,14 @@ class Signal:
         # Sleeping components to wake when a commit changes the value;
         # a dict keeps insertion order, so wake order is deterministic.
         self._watchers: dict["ClockedComponent", None] = {}
+        # Probe callbacks (tick, signal, old, new), dispatched by the
+        # kernel when a commit changes the value. None until first use so
+        # the uninstrumented hot path pays one falsy check only.
+        self._probes: list[Any] | None = None
+        # Registration index within the owning kernel (-1 standalone) —
+        # the canonical signal order probes sort by, so instrumented
+        # output is identical no matter which mode produced it.
+        self._index = -1
 
     @property
     def value(self) -> Any:
@@ -100,6 +115,26 @@ class Signal:
     def watch(self, component: "ClockedComponent") -> None:
         """Register a sleeping component to wake on the next value change."""
         self._watchers[component] = None
+
+    def attach_probe(self, callback: Any) -> None:
+        """Register ``callback(tick, signal, old, new)`` to run whenever a
+        kernel commit changes this signal's value.
+
+        Probes are the dirty-signal observation primitive: they fire only
+        on actual value changes, never keep components awake, and never
+        disable the quiescent fast-forward. Only signals owned by a kernel
+        (created via :meth:`SimKernel.signal`) are dispatched.
+        """
+        if self._probes is None:
+            self._probes = []
+        self._probes.append(callback)
+
+    def detach_probe(self, callback: Any) -> None:
+        """Remove a previously attached probe callback (no-op if absent)."""
+        if self._probes is not None and callback in self._probes:
+            self._probes.remove(callback)
+            if not self._probes:
+                self._probes = None
 
     def __repr__(self) -> str:
         return f"Signal({self.name!r}, value={self._value!r})"

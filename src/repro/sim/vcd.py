@@ -7,6 +7,16 @@ unit is one half clock period (the kernel's tick).
 
 Values are encoded per VCD rules: booleans as scalars, integers as 32-bit
 vectors, ``None``/other objects as ``x``/string markers.
+
+The writer is a dirty-signal probe (:mod:`repro.sim.observe`): change
+records are emitted straight from the kernel's commit phase, so tracing
+costs work only when traced signals actually change and never disables
+the quiescent fast-forward. Fast-forwarded gaps need no filler records —
+a quiescent window is by definition value-holding, and unknown values
+(``None``) are already encoded as ``x`` — so the timeline simply jumps to
+the next change at its exact tick. Within a ``#tick`` block, changes are
+ordered by the signals' kernel registration index, which makes the output
+byte-identical between the activity-driven and naive kernel modes.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from typing import IO, Any
 
 from repro.errors import ConfigurationError
 from repro.sim.kernel import SimKernel
+from repro.sim.observe import Probe
 from repro.sim.signal import Signal
 
 _ID_ALPHABET = "".join(chr(c) for c in range(33, 127))
@@ -46,8 +57,12 @@ def _encode(value: Any) -> str:
     return "b" + format(hash(str(value)) & 0xFFFFFFFF, "032b") + " "
 
 
-class VCDWriter:
+class VCDWriter(Probe):
     """Streams signal changes of a kernel to a VCD file.
+
+    Only kernel-owned signals (created via :meth:`SimKernel.signal`) are
+    dispatched by the commit phase; the initial values are dumped at the
+    construction tick.
 
     >>> kernel = SimKernel()
     >>> sig = kernel.signal("clk_enable", initial=False)
@@ -58,12 +73,18 @@ class VCDWriter:
                  signals: list[Signal], module: str = "icnoc"):
         if not signals:
             raise ConfigurationError("need at least one signal to trace")
+        super().__init__(kernel)
         self._signals = list(signals)
         self._ids = {sig: _identifier(i) for i, sig in enumerate(signals)}
-        self._last: dict[Signal, Any] = {}
+        self._changes: list[tuple[int, str]] = []
         self._file: IO[str] = open(path, "w")
         self._write_header(module)
-        kernel.on_tick(self._sample)
+        # Initial dump: every traced signal's committed value, now.
+        self._file.write(f"#{kernel.tick}\n")
+        self._file.write("\n".join(
+            f"{_encode(sig.value)}{self._ids[sig]}" for sig in self._signals
+        ) + "\n")
+        self.observe(*self._signals)
 
     def _write_header(self, module: str) -> None:
         out = self._file
@@ -75,23 +96,22 @@ class VCDWriter:
             out.write(f"$var wire 32 {self._ids[sig]} {name} $end\n")
         out.write("$upscope $end\n$enddefinitions $end\n")
 
-    def _sample(self, tick: int) -> None:
-        changes = []
-        for sig in self._signals:
-            value = sig.value
-            if sig in self._last and self._last[sig] == value:
-                continue
-            self._last[sig] = value
-            encoded = _encode(value)
-            if encoded.startswith("b"):
-                changes.append(f"{encoded}{self._ids[sig]}")
-            else:
-                changes.append(f"{encoded}{self._ids[sig]}")
-        if changes:
-            self._file.write(f"#{tick}\n")
-            self._file.write("\n".join(changes) + "\n")
+    def on_change(self, tick: int, signal: Signal, old: Any, new: Any) -> None:
+        self._changes.append((signal._index,
+                              f"{_encode(new)}{self._ids[signal]}"))
+
+    def flush(self, tick: int) -> None:
+        changes = self._changes
+        if self._file.closed:  # closed mid-tick with a flush pending
+            changes.clear()
+            return
+        changes.sort()  # canonical signal order: mode-independent output
+        self._file.write(f"#{tick}\n")
+        self._file.write("\n".join(line for _, line in changes) + "\n")
+        changes.clear()
 
     def close(self) -> None:
+        self.detach()
         self._file.close()
 
     def __enter__(self) -> "VCDWriter":

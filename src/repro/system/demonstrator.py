@@ -3,6 +3,17 @@
 Builds the binary-tree IC-NoC with the paper's parameters (1.25 mm root
 segments, local-priority arbitration), attaches 32 processor/memory pairs
 at sibling leaves, and runs a closed-loop read-request workload.
+
+Each tile is driven by a :class:`TileDriver` clocked component that
+honours the idle-component contract: a tile whose processor is saturated
+(at its outstanding limit, so issuing consumes no randomness) and whose
+memory has nothing in service sleeps until a delivery at one of its
+leaves wakes it. During the drain phase — and in any bursty workload's
+quiet windows — the whole system goes quiescent and the kernel
+fast-forwards, instead of firing 2N component edges per cycle. The
+drivers register *before* the network's components on a shared kernel, so
+their packet submissions reach the NIs within the same tick, exactly like
+the former host-loop driver.
 """
 
 from __future__ import annotations
@@ -15,6 +26,8 @@ from repro.errors import ConfigurationError
 from repro.noc.network import ICNoCNetwork, NetworkConfig
 from repro.noc.packet import Packet
 from repro.noc.stats import LatencySummary
+from repro.sim.component import ClockedComponent
+from repro.sim.kernel import SimKernel
 from repro.system.memory import MemoryModel
 from repro.system.processor import ProcessorConfig, ProcessorModel
 from repro.system.tile import Tile, mem_leaf, proc_leaf, tile_of
@@ -35,6 +48,7 @@ class DemonstratorConfig:
     memory_response_flits: int = 4
     seed: int = 2007
     arbiter_policy: str = "local_priority"
+    activity_driven: bool = True
 
     def __post_init__(self) -> None:
         if self.tiles < 2 or self.tiles & (self.tiles - 1):
@@ -69,22 +83,61 @@ class DemonstratorResults:
         )
 
 
+class TileDriver(ClockedComponent):
+    """Fires one tile's processor and memory once per clock cycle.
+
+    Idle contract: the driver sleeps only when its next edge provably
+    does nothing *and consumes no randomness* — issuing is disabled (or
+    the processor sits at its outstanding limit, where ``maybe_issue``
+    returns early without touching the RNG) and the memory has no request
+    in service. Deliveries at either of the tile's leaves wake it.
+    """
+
+    def __init__(self, kernel: SimKernel, tile: Tile):
+        super().__init__(f"tile{tile.index}.drv", parity=0)
+        self.tile = tile
+        self.network: ICNoCNetwork | None = None  # bound after build
+        self._rng: np.random.Generator | None = None
+        self._issuing = False
+        kernel.add_component(self)
+
+    def start(self, rng: np.random.Generator) -> None:
+        """Open the injection window with a fresh RNG."""
+        self._rng = rng
+        self._issuing = True
+        self.wake()
+
+    def stop_issuing(self) -> None:
+        """Close the injection window (the drain phase)."""
+        self._issuing = False
+
+    def on_edge(self, tick: int) -> None:
+        processor = self.tile.processor
+        memory = self.tile.memory
+        network = self.network
+        if self._issuing:
+            request = processor.maybe_issue(tick, self._rng)
+            if request is not None:
+                network.send(request)
+        if memory.pending:
+            for response in memory.responses_ready(tick):
+                network.send(response)
+        saturated = (len(processor.outstanding)
+                     >= processor.config.max_outstanding)
+        if (not self._issuing or saturated) and not memory.pending:
+            self.sleep_until()  # woken by deliveries at our leaves
+
+
 class DemonstratorSystem:
     """The assembled multiprocessor demonstrator."""
 
     def __init__(self, config: DemonstratorConfig = DemonstratorConfig()):
         self.config = config
-        self.network = ICNoCNetwork(NetworkConfig(
-            leaves=config.leaves,
-            arity=2,
-            chip_width_mm=config.chip_width_mm,
-            chip_height_mm=config.chip_height_mm,
-            max_segment_mm=config.max_segment_mm,
-            tech=config.tech,
-            arbiter_policy=config.arbiter_policy,
-        ))
+        # Shared kernel: tile drivers register first, then the network,
+        # so a driver's send() at tick t is serialised by the NI at t.
+        self.kernel = SimKernel(activity_driven=config.activity_driven)
         self.tiles: list[Tile] = []
-        self._responses_out: list[Packet] = []
+        self.drivers: list[TileDriver] = []
         for t in range(config.tiles):
             processor = ProcessorModel(
                 tile=t, leaf=proc_leaf(t), tiles=config.tiles,
@@ -95,48 +148,64 @@ class DemonstratorSystem:
                 service_cycles=config.memory_service_cycles,
                 response_flits=config.memory_response_flits,
             )
-            self.tiles.append(Tile(index=t, processor=processor,
-                                   memory=memory))
-            self.network.set_handler(mem_leaf(t), self._memory_handler(memory))
-            self.network.set_handler(proc_leaf(t),
-                                     self._processor_handler(processor))
+            tile = Tile(index=t, processor=processor, memory=memory)
+            self.tiles.append(tile)
+            self.drivers.append(TileDriver(self.kernel, tile))
+        self.network = ICNoCNetwork(NetworkConfig(
+            leaves=config.leaves,
+            arity=2,
+            chip_width_mm=config.chip_width_mm,
+            chip_height_mm=config.chip_height_mm,
+            max_segment_mm=config.max_segment_mm,
+            tech=config.tech,
+            arbiter_policy=config.arbiter_policy,
+            activity_driven=config.activity_driven,
+        ), kernel=self.kernel)
+        for tile, driver in zip(self.tiles, self.drivers):
+            driver.network = self.network
+            self.network.set_handler(mem_leaf(tile.index),
+                                     self._memory_handler(tile.memory, driver))
+            self.network.set_handler(proc_leaf(tile.index),
+                                     self._processor_handler(tile.processor,
+                                                             driver))
 
-    def _memory_handler(self, memory: MemoryModel):
+    def _memory_handler(self, memory: MemoryModel, driver: TileDriver):
         def handler(packet: Packet, tick: int) -> None:
             memory.accept(packet, tick)
+            driver.wake()  # serve the request after its service delay
         return handler
 
-    def _processor_handler(self, processor: ProcessorModel):
+    def _processor_handler(self, processor: ProcessorModel,
+                           driver: TileDriver):
         def handler(packet: Packet, tick: int) -> None:
             request_id = packet.payload[0]
             was_local = tile_of(packet.src) == processor.tile
             processor.complete(request_id, tick, was_local)
+            driver.wake()  # headroom below the outstanding limit again
         return handler
+
+    def _drained(self) -> bool:
+        stats = self.network.stats
+        return (stats.packets_delivered >= stats.packets_injected
+                and not any(tile.memory.pending for tile in self.tiles))
 
     def run(self, cycles: int = 2000) -> DemonstratorResults:
         """Drive the closed-loop workload for ``cycles`` cycles + drain."""
         rng = np.random.default_rng(self.config.seed)
-        network = self.network
-        for _ in range(cycles):
-            tick = network.kernel.tick
-            for tile in self.tiles:
-                request = tile.processor.maybe_issue(tick, rng)
-                if request is not None:
-                    network.send(request)
-                for response in tile.memory.responses_ready(tick):
-                    network.send(response)
-            network.run_ticks(2)
+        for driver in self.drivers:
+            driver.start(rng)
+        self.network.run_ticks(2 * cycles)
         # Drain: stop issuing, keep serving memories until quiescent.
-        for _ in range(cycles):
-            tick = network.kernel.tick
-            idle = network.stats.packets_delivered >= network.stats.packets_injected
-            pending = any(tile.memory.pending for tile in self.tiles)
-            if idle and not pending:
-                break
-            for tile in self.tiles:
-                for response in tile.memory.responses_ready(tick):
-                    network.send(response)
-            network.run_ticks(2)
+        # Chunked so a sleeping system fast-forwards between done-checks;
+        # chunk sizes are fixed, so both kernel modes run the same ticks.
+        for driver in self.drivers:
+            driver.stop_issuing()
+        budget = cycles
+        chunk = 8
+        while budget > 0 and not self._drained():
+            step = min(chunk, budget)
+            self.network.run_ticks(2 * step)
+            budget -= step
         return self._results()
 
     def _results(self) -> DemonstratorResults:

@@ -139,26 +139,43 @@ class StreamingWorkload:
         )
 
 
+def evaluate_streaming(config: StreamingConfig) -> StreamingResults:
+    """Worker entry point: build and run one streaming chain.
+
+    The config alone determines the outcome (the chain workload carries
+    no injection randomness), so — like the sweep benches' load points —
+    equal specs give equal results in any process.
+    """
+    return StreamingWorkload(config).run()
+
+
 def mapping_comparison(tiles: int = 16, stages: int = 4,
                        burst_flits: int = 8, bursts: int = 15,
-                       seed: int = 7) -> dict[str, StreamingResults]:
+                       seed: int = 7,
+                       workers: int | None = None
+                       ) -> dict[str, StreamingResults]:
     """The application-mapping experiment: adjacent vs scattered chains.
 
     Returns results for the same chain mapped onto consecutive tiles
     (locality) and onto random far-apart tiles (what bad placement does).
+    The scattered placement derives deterministically from ``seed``; with
+    ``workers`` > 1 the two mappings evaluate concurrently over
+    :func:`repro.analysis.parallel.parallel_map` (the configs are
+    picklable specs), with identical results either way.
     """
     if stages > tiles:
         raise ConfigurationError("chain longer than the machine")
+    from repro.analysis.parallel import parallel_map
     adjacent = tuple(range(stages))
     rng = np.random.default_rng(seed)
     scattered = tuple(
         int(t) for t in rng.choice(tiles, size=stages, replace=False)
     )
-    results = {}
-    for name, chain in (("adjacent", adjacent), ("scattered", scattered)):
-        workload = StreamingWorkload(StreamingConfig(
-            tiles=tiles, chain=chain, burst_flits=burst_flits,
-            bursts=bursts,
-        ))
-        results[name] = workload.run()
-    return results
+    names = ("adjacent", "scattered")
+    configs = [
+        StreamingConfig(tiles=tiles, chain=chain, burst_flits=burst_flits,
+                        bursts=bursts)
+        for chain in (adjacent, scattered)
+    ]
+    results = parallel_map(evaluate_streaming, configs, workers)
+    return dict(zip(names, results))

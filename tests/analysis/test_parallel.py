@@ -123,6 +123,52 @@ class TestParallelSaturation:
                 template, loads=loads, workers=workers) == serial
 
 
+class TestBisectSaturation:
+    def test_worker_count_does_not_change_the_answer(self):
+        from repro.analysis.parallel import bisect_saturation_throughput
+        template = LoadPoint(load=0.05, network=TREE16, cycles=120, seed=3)
+        results = [
+            bisect_saturation_throughput(template, lo=0.05, hi=0.85,
+                                         budget=6, workers=workers)
+            for workers in (1, 2)
+        ]
+        assert results[0].saturation == results[1].saturation
+        assert results[0].evaluated == results[1].evaluated
+
+    def test_knee_at_least_as_tight_as_grid(self):
+        """Same budget, a knee no looser than the grid's (usually
+        strictly tighter: the bracket shrinks geometrically)."""
+        from repro.analysis.parallel import bisect_saturation_throughput
+        loads = [0.05, 0.1, 0.2, 0.4, 0.6, 0.85]
+        template = LoadPoint(load=loads[0], network=TREE16, cycles=120)
+        grid = parallel_saturation_throughput(template, loads=loads)
+        search = bisect_saturation_throughput(
+            template, lo=loads[0], hi=loads[-1], budget=len(loads))
+        assert search.points_used <= len(loads)
+        assert search.saturation >= grid - 1e-9
+
+    def test_saturated_bracket_low_end(self):
+        """If even the lowest load saturates, report 0 like the grid."""
+        from repro.analysis.parallel import bisect_saturation_throughput
+        template = LoadPoint(load=0.05, network=TREE16, cycles=120)
+        search = bisect_saturation_throughput(
+            template, lo=0.6, hi=0.85, budget=4)
+        assert search.saturation == 0.0
+        assert search.points_used == 2  # the bracket round settled it
+
+    def test_bad_parameters_rejected(self):
+        from repro.analysis.parallel import bisect_saturation_throughput
+        template = LoadPoint(load=0.05, network=TREE16, cycles=80)
+        with pytest.raises(ConfigurationError):
+            bisect_saturation_throughput(template, lo=0.5, hi=0.2)
+        with pytest.raises(ConfigurationError):
+            bisect_saturation_throughput(template, budget=1)
+        with pytest.raises(ConfigurationError):
+            bisect_saturation_throughput(template, resolution=0.0)
+        with pytest.raises(ConfigurationError):
+            bisect_saturation_throughput(template, points_per_round=0)
+
+
 class TestDefaultWorkers:
     def test_at_least_one(self):
         assert default_workers() >= 1

@@ -126,3 +126,48 @@ class TestDeadlockWatchdog:
         with pytest.raises(SimulationError):
             DeadlockWatchdog(kernel, progress=lambda: 0,
                              pending=lambda: True, patience_ticks=0)
+
+    def test_sustained_injection_does_not_mask_deadlock(self):
+        """Regression: injections into a stalled network must not keep
+        postponing the verdict — only deliveries are progress."""
+        from repro.noc.faults import FaultKind, inject_link_fault
+
+        net = ICNoCNetwork(NetworkConfig(leaves=64, arity=2))
+        inject_link_fault(net, FaultKind.DROP_FLITS, stage_index=0)
+        watchdog = attach_watchdog(net, patience_ticks=500)
+        with pytest.raises(SimulationError, match="no progress"):
+            for _ in range(40):
+                # src 32 -> dest 31 crosses the dropped link: never
+                # delivered, so every injection finds traffic pending.
+                net.send(Packet(src=32, dest=31))
+                net.run_ticks(200)
+        assert watchdog.fired
+
+    def test_dormant_watchdog_keeps_quiescence(self):
+        """An idle network's watchdog goes dormant after one expiry
+        instead of stepping the kernel every patience window."""
+        net = ICNoCNetwork(NetworkConfig(leaves=8, arity=2))
+        watchdog = attach_watchdog(net, patience_ticks=100)
+        net.send(Packet(src=0, dest=5))
+        assert net.drain(10_000)
+        base = net.kernel.steps_executed
+        net.run_ticks(1_000_000)
+        # A few settling edges after the delivery, one watchdog expiry,
+        # then the remaining ~1M ticks are one fast-forward jump.
+        assert net.kernel.steps_executed <= base + 8
+        assert not watchdog.fired
+
+    def test_rearms_after_dormant_idle_period(self):
+        """The injection ending an idle period re-arms a dormant
+        watchdog, which then still catches a stall."""
+        from repro.noc.faults import FaultKind, inject_link_fault
+
+        net = ICNoCNetwork(NetworkConfig(leaves=64, arity=2))
+        inject_link_fault(net, FaultKind.DROP_FLITS, stage_index=0)
+        watchdog = attach_watchdog(net, patience_ticks=300)
+        net.run_ticks(5_000)  # idle: expire once, go dormant
+        assert not watchdog.fired
+        net.send(Packet(src=32, dest=31))  # doomed; re-arms on inject
+        with pytest.raises(SimulationError, match="no progress"):
+            net.run_ticks(5_000)
+        assert watchdog.fired

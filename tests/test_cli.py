@@ -84,6 +84,30 @@ class TestSweep:
                      "--loads", "0.05", "--cycles", "80"])
         assert code == 0
 
+    def test_bisect_search(self, capsys):
+        code = main(["sweep", "--ports", "16", "--loads", "0.05,0.85",
+                     "--search", "bisect", "--budget", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Saturation bisection" in out
+        assert "saturation throughput:" in out
+
+    def test_bisect_parallel_matches_serial(self, capsys):
+        args = ["sweep", "--ports", "16", "--loads", "0.05,0.85",
+                "--search", "bisect", "--budget", "4", "--seed", "3"]
+        assert main(args + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Candidate loads and per-point seeds are worker-independent, so
+        # every measured row and the knee agree exactly.
+        assert serial_out.replace("workers=1", "") == \
+            parallel_out.replace("workers=2", "")
+
+    def test_bisect_needs_a_bracket(self, capsys):
+        assert main(["sweep", "--ports", "16", "--loads", "0.2",
+                     "--search", "bisect"]) == 2
+
 
 class TestDemo:
     def test_small_demo(self, capsys):
