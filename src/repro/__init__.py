@@ -16,16 +16,27 @@ Quick start::
     report = noc.validate_timing(frequency=1.0)
     assert report.passed
 
+Any registered fabric (tree, concentrated tree, mesh, torus, ring, ...)
+builds through the topology registry::
+
+    from repro import build_fabric
+
+    net = build_fabric("torus", ports=64)
+    net.send(Packet(src=0, dest=42))
+    net.drain()
+
 Sub-packages: ``tech`` (process models), ``timing`` (eqs. 1-7 and
 validators), ``clocking`` (clock trees, variation, mesochronous
-baselines), ``sim`` (half-cycle kernel), ``noc`` (the network itself),
-``mesh`` (the baseline), ``traffic``, ``system`` (the 32-tile
+baselines), ``sim`` (half-cycle kernel), ``fabric`` (the shared router/
+link/endpoint stack and the topology registry), ``noc`` (the tree
+IC-NoC), ``mesh`` (the baseline), ``traffic``, ``system`` (the 32-tile
 demonstrator), ``physical`` (area/energy/peak current), ``ext`` (the
 paper's future-work items), ``analysis`` (tables/plots/records).
 """
 
 from repro.core.config import ICNoCConfig
 from repro.core.icnoc import ICNoC
+from repro.fabric.registry import FabricConfig, build_fabric
 from repro.noc.packet import Packet
 from repro.noc.network import ICNoCNetwork, NetworkConfig
 from repro.tech.technology import Technology, TECH_90NM
@@ -36,6 +47,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ICNoC",
     "ICNoCConfig",
+    "FabricConfig",
+    "build_fabric",
     "Packet",
     "ICNoCNetwork",
     "NetworkConfig",

@@ -38,6 +38,7 @@ from repro.analysis.sweeps import (
     scan_saturation_curve,
 )
 from repro.errors import ConfigurationError
+from repro.fabric.registry import FabricConfig
 from repro.mesh.network import MeshConfig, MeshNetwork
 from repro.noc.network import ICNoCNetwork, NetworkConfig
 from repro.traffic.base import TrafficGenerator
@@ -106,14 +107,16 @@ class LoadPoint:
     """Picklable spec of one offered-load measurement.
 
     Everything needed to rebuild the experiment in a worker process:
-    the network (a tree :class:`NetworkConfig` or a mesh
-    :class:`MeshConfig`), the traffic pattern by registered name, and the
-    run parameters. ``seed`` alone determines the injection schedule, so
-    equal specs give equal results in any process.
+    the network (a tree :class:`NetworkConfig`, a mesh
+    :class:`MeshConfig`, or any registry fabric via
+    :class:`~repro.fabric.registry.FabricConfig`), the traffic pattern by
+    registered name, and the run parameters. ``seed`` alone determines
+    the injection schedule, so equal specs give equal results in any
+    process.
     """
 
     load: float
-    network: NetworkConfig | MeshConfig = NetworkConfig()
+    network: NetworkConfig | MeshConfig | FabricConfig = NetworkConfig()
     pattern: str = "uniform"
     cycles: int = 300
     seed: int = 0
@@ -129,11 +132,15 @@ class LoadPoint:
 
     @property
     def ports(self) -> int:
+        if isinstance(self.network, FabricConfig):
+            return self.network.ports
         if isinstance(self.network, MeshConfig):
             return self.network.cols * self.network.rows
         return self.network.leaves
 
     def build_network(self):
+        if isinstance(self.network, FabricConfig):
+            return self.network.build()
         if isinstance(self.network, MeshConfig):
             return MeshNetwork(self.network)
         return ICNoCNetwork(self.network)
@@ -210,6 +217,10 @@ class SaturationSearch:
         saturation: highest load measured to keep up with the floor.
         evaluated: every (load, metrics) measurement, in evaluation order.
         rounds: bisection rounds run (including the bracket round).
+
+    Every point the bisection measured was fully simulated *and drained*,
+    so the search already paid for a latency curve — the properties below
+    reuse it instead of discarding everything but the knee.
     """
 
     saturation: float
@@ -219,6 +230,29 @@ class SaturationSearch:
     @property
     def points_used(self) -> int:
         return len(self.evaluated)
+
+    @property
+    def curve(self) -> list[tuple[float, dict[str, float]]]:
+        """The measured (load, metrics) points, sorted by load — the
+        offered-load curve the bisection simulated along the way."""
+        return sorted(self.evaluated, key=lambda pair: pair[0])
+
+    @property
+    def saturation_metrics(self) -> dict[str, float] | None:
+        """The full measurement at the saturation load (None when the
+        bracket was already saturated and ``saturation`` is 0.0)."""
+        for load, metrics in self.evaluated:
+            if load == self.saturation:
+                return metrics
+        return None
+
+    @property
+    def latency_at_saturation(self) -> float:
+        """Mean latency (cycles) at the highest load that kept up —
+        recovered from the already-simulated drained curve, at zero extra
+        simulation cost. 0.0 when nothing kept up."""
+        metrics = self.saturation_metrics
+        return metrics["mean_latency_cycles"] if metrics else 0.0
 
 
 def _keeps_up(load: float, metrics: dict[str, float],

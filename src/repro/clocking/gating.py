@@ -12,6 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+# The backfill mixin moved to the kernel's shared component base in PR 3
+# (every fabric's register banks share it); re-exported here so existing
+# ``from repro.clocking.gating import GatedComponentMixin`` keeps working.
+from repro.sim.component import GatedComponentMixin
+
+__all__ = ["GatingStats", "GatedComponentMixin"]
+
 
 @dataclass
 class GatingStats:
@@ -52,26 +59,3 @@ class GatingStats:
             edges_total=self.edges_total + other.edges_total,
             edges_enabled=self.edges_enabled + other.edges_enabled,
         )
-
-
-class GatedComponentMixin:
-    """Gating bookkeeping for clocked components honouring the idle
-    contract (mix in before ``ClockedComponent``).
-
-    Edges skipped while the component sleeps are still clock edges its
-    register bank would have seen gated; the mixin backfills them through
-    the base class's ``_settle_idle``/``_on_idle_edges`` hooks, so
-    fast-path gating statistics equal the naive loop's exactly. The
-    component records live edges via ``self.gating.record(enabled)`` and
-    must initialise ``self._gating = GatingStats()``.
-    """
-
-    _gating: GatingStats
-
-    @property
-    def gating(self) -> GatingStats:
-        self._settle_idle()
-        return self._gating
-
-    def _on_idle_edges(self, edges: int) -> None:
-        self._gating.edges_total += edges

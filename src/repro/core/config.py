@@ -18,7 +18,7 @@ class ICNoCConfig:
     """
 
     ports: int = 64
-    topology: str = "binary"  # "binary" (3x3 routers) or "quad" (5x5)
+    topology: str = "binary"  # "binary"/"tree" (3x3 routers) or "quad" (5x5)
     chip_width_mm: float = 10.0
     chip_height_mm: float = 10.0
     max_segment_mm: float = 1.25
@@ -26,14 +26,15 @@ class ICNoCConfig:
     arbiter_policy: str = "round_robin"
 
     def __post_init__(self) -> None:
-        if self.topology not in ("binary", "quad"):
+        if self.topology not in ("binary", "quad", "tree"):
             raise ConfigurationError(
-                f"topology must be 'binary' or 'quad', got {self.topology!r}"
+                f"topology must be 'binary', 'tree' (its registry alias) "
+                f"or 'quad', got {self.topology!r}"
             )
 
     @property
     def arity(self) -> int:
-        return 2 if self.topology == "binary" else 4
+        return 4 if self.topology == "quad" else 2
 
     def network_config(self) -> NetworkConfig:
         return NetworkConfig(
@@ -44,4 +45,19 @@ class ICNoCConfig:
             max_segment_mm=self.max_segment_mm,
             tech=self.tech,
             arbiter_policy=self.arbiter_policy,
+        )
+
+    def fabric_config(self, activity_driven: bool = True):
+        """The equivalent registry spec (:mod:`repro.fabric.registry`) —
+        the bridge from the tree-specific facade into the sweep engine's
+        any-fabric path. The ICNoC facade keeps its own tree build (the
+        timing/area models are tree-only), but sweep specs derived from
+        an :class:`ICNoCConfig` should go through the registry."""
+        from repro.fabric.registry import FabricConfig
+        return FabricConfig(
+            topology="tree", ports=self.ports, arity=self.arity,
+            chip_width_mm=self.chip_width_mm,
+            chip_height_mm=self.chip_height_mm,
+            max_segment_mm=self.max_segment_mm,
+            activity_driven=activity_driven,
         )

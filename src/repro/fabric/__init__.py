@@ -1,0 +1,93 @@
+"""The shared fabric layer: one stack, many topologies.
+
+The paper's comparison — a tree whose links double as the clock
+distribution network vs meshes needing mesochronous fallbacks — used to
+live in two hand-duplicated component stacks (``repro.noc`` for the tree,
+``repro.mesh`` for the mesh). This package is the common machinery both
+now stand on, and the place new fabrics plug into:
+
+* :mod:`~repro.fabric.link` — the two link flavours (valid/accept
+  handshake; tick-tagged credit wires);
+* :mod:`~repro.fabric.routing` — pluggable per-node routing strategies
+  (tree up*/down*, mesh XY, torus shortest-wrap XY, ring) and the bubble
+  rule that keeps ring-closing fabrics deadlock-free for packets that
+  fit one FIFO (enforced at ``send``);
+* :mod:`~repro.fabric.router` — the N-port credit/wormhole
+  :class:`FabricRouter` with the idle sleep contract, gating backfill,
+  and the ``arbitration_grant``/``credit_exhausted`` kernel events;
+* :mod:`~repro.fabric.endpoint` — the shared source/sink adapters;
+* :mod:`~repro.fabric.topologies` — structure descriptions (torus, ring);
+* :mod:`~repro.fabric.network` — the generic assembly with the
+  ICNoC-compatible run/sweep/stats API;
+* :mod:`~repro.fabric.registry` — where each topology declares its
+  structure, routing, and clock-distribution capability (``integrated``
+  vs ``mesochronous``), checked at build time.
+
+``repro.noc`` and ``repro.mesh`` remain as thin topology-specific layers
+(and stable import paths) over this package.
+"""
+
+from repro.fabric.link import CreditLink, HandshakeChannel
+from repro.fabric.routing import (
+    RingRouting,
+    RoutingStrategy,
+    TorusXYRouting,
+    XYRouting,
+    tree_updown_route,
+)
+from repro.fabric.router import FabricRouter
+from repro.fabric.endpoint import FabricSink, FabricSource
+from repro.fabric.topologies import RingTopology, TorusTopology
+from repro.fabric.network import (
+    CreditFabricNetwork,
+    RingNetwork,
+    TorusNetwork,
+)
+from repro.fabric.registry import (
+    CLOCK_INTEGRATED,
+    CLOCK_MESOCHRONOUS,
+    FabricConfig,
+    TopologyEntry,
+    build_fabric,
+    get_topology,
+    register_topology,
+    topology_names,
+    topology_table,
+)
+
+__all__ = [
+    "CreditLink",
+    "HandshakeChannel",
+    "RoutingStrategy",
+    "XYRouting",
+    "TorusXYRouting",
+    "RingRouting",
+    "tree_updown_route",
+    "FabricRouter",
+    "FabricSource",
+    "FabricSink",
+    "TorusTopology",
+    "RingTopology",
+    "CreditFabricNetwork",
+    "TorusNetwork",
+    "RingNetwork",
+    "CLOCK_INTEGRATED",
+    "CLOCK_MESOCHRONOUS",
+    "FabricConfig",
+    "TopologyEntry",
+    "build_fabric",
+    "get_topology",
+    "register_topology",
+    "topology_names",
+    "topology_table",
+    "ConcentratedTreeNetwork",
+]
+
+
+def __getattr__(name):
+    # Lazy: ctree pulls in the whole tree network stack; importing it
+    # eagerly would cycle when repro.noc itself triggers this package.
+    if name == "ConcentratedTreeNetwork":
+        from repro.fabric.ctree import ConcentratedTreeNetwork
+        return ConcentratedTreeNetwork
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

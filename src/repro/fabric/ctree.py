@@ -1,0 +1,125 @@
+"""The concentrated tree: multiple network endpoints per NI.
+
+A standard concentration step for tree NoCs: ``concentration`` endpoints
+share each leaf port (and its NI), so an N-endpoint system needs only
+``N / concentration`` leaves — fewer routers, shorter trees, at the price
+of multiplexing the shared injection port. Because the link structure is
+still a tree, the fabric remains *integrated-clock legal*: no converging
+paths, the clock rides the data links exactly as in the paper.
+
+Addressing: endpoint ``e`` hangs off leaf ``e // concentration``. The
+routers run the same up*/down* strategy with the endpoint-to-leaf mapping
+plugged in (:func:`repro.fabric.routing.tree_updown_route`'s
+``dest_leaf``); the NIs and the whole tree stack are reused unchanged.
+
+Endpoint pairs sharing a leaf never enter the network — the concentrator
+mux delivers them locally in one clock cycle (a tree router would see the
+packet leave and re-enter the same port, a structural U-turn). Local
+deliveries use an exact-tick kernel timer, so both kernel modes observe
+identical delivery ticks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.fabric.routing import tree_updown_route
+from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.noc.packet import Packet
+from repro.sim.kernel import SimKernel
+
+
+class ConcentratedTreeNetwork(ICNoCNetwork):
+    """A tree IC-NoC whose leaves each serve ``concentration`` endpoints.
+
+    ``config.leaves`` counts the *tree* leaves; the network serves
+    ``config.leaves * concentration`` endpoints through the standard
+    ``send`` / ``drain`` / ``stats`` API (all addresses are endpoint
+    addresses).
+    """
+
+    def __init__(self, config: NetworkConfig, concentration: int = 4,
+                 kernel: SimKernel | None = None):
+        if concentration < 1:
+            raise ConfigurationError("concentration must be >= 1")
+        self.concentration = concentration
+        self._local_delivered: list[Packet] = []
+        super().__init__(config, kernel=kernel)
+
+    # -- addressing -------------------------------------------------------
+
+    @property
+    def endpoints(self) -> int:
+        return self.config.leaves * self.concentration
+
+    def leaf_of(self, endpoint: int) -> int:
+        """The tree leaf an endpoint hangs off."""
+        return endpoint // self.concentration
+
+    # -- construction hooks ----------------------------------------------
+
+    def _route_for(self, node):
+        return tree_updown_route(self.topology, node,
+                                 name=f"r{node.index}",
+                                 dest_leaf=self.leaf_of)
+
+    def _make_delivery_hook(self, leaf: int):
+        def hook(packet: Packet, tick: int) -> None:
+            original = self._inflight.pop(packet.packet_id, None)
+            if original is not None:
+                packet.inject_tick = original.inject_tick
+            hops = self.topology.hop_count(self.leaf_of(packet.src),
+                                           self.leaf_of(packet.dest))
+            self.stats.record_delivery(packet, hops)
+            handler = self._handlers.get(packet.dest)
+            if handler is not None:
+                handler(packet, tick)
+        return hook
+
+    # -- run-time API ------------------------------------------------------
+
+    def set_handler(self, endpoint: int, handler) -> None:
+        if not 0 <= endpoint < self.endpoints:
+            raise TopologyError(f"unknown endpoint {endpoint}")
+        self._handlers[endpoint] = handler
+
+    def send(self, packet: Packet) -> None:
+        if not 0 <= packet.dest < self.endpoints:
+            raise TopologyError(f"unknown destination {packet.dest}")
+        if packet.src == packet.dest:
+            raise TopologyError("src == dest: packets never enter the NoC")
+        self.stats.packets_injected += 1
+        self.kernel.emit("inject", packet)
+        src_leaf = self.leaf_of(packet.src)
+        if src_leaf == self.leaf_of(packet.dest):
+            self._deliver_locally(packet)
+            return
+        self._inflight[packet.packet_id] = packet
+        # Straight to the shared NI's egress half (the NI's own submit
+        # checks the one-leaf-one-address invariant the mux relaxes).
+        self.nis[src_leaf].source.submit(packet)
+
+    def _deliver_locally(self, packet: Packet) -> None:
+        """Concentrator-mux turnaround: one clock cycle, no network."""
+        packet.inject_tick = self.kernel.tick
+
+        def deliver(tick: int, packet: Packet = packet) -> None:
+            packet.eject_tick = tick
+            self.stats.record_delivery(packet, hops=0)
+            self._local_delivered.append(packet)
+            handler = self._handlers.get(packet.dest)
+            if handler is not None:
+                handler(packet, tick)
+            self.kernel.emit("packet", packet)
+
+        self.kernel.call_at(self.kernel.tick + 2, deliver)
+
+    @property
+    def delivered(self) -> list[Packet]:
+        out = list(self._local_delivered)
+        for ni in self.nis:
+            out.extend(ni.delivered)
+        return out
+
+    def describe(self) -> str:
+        return (f"{super().describe()}, concentration {self.concentration} "
+                f"({self.endpoints} endpoints)")

@@ -1,0 +1,96 @@
+"""Shared endpoint adapters for credit-based fabrics.
+
+Every synchronous fabric attaches hosts the same way: a
+:class:`FabricSource` injecting packets (as flits, under credits) into a
+router's local input port, and a :class:`FabricSink` draining the local
+output port, returning credits, and reassembling packets. Both implement
+the idle-component sleep contract once, for every topology in the
+registry — a quiet endpoint is a fixed point the activity-driven kernel
+skips, and the sink emits the standard ``"flit"`` / ``"packet"`` kernel
+events congestion diagnosis subscribes to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.fabric.link import CreditLink
+from repro.noc.flit import Flit
+from repro.noc.packet import Packet
+from repro.sim.component import ClockedComponent
+from repro.sim.kernel import SimKernel
+
+
+class FabricSource(ClockedComponent):
+    """Injects flits into a router's local input port under credits."""
+
+    def __init__(self, kernel: SimKernel, name: str, link: CreditLink,
+                 credits: int):
+        super().__init__(name, parity=0)
+        self.link = link
+        self.credits = credits
+        self.flits: deque[Flit] = deque()
+        self.packets: deque[Packet] = deque()
+        kernel.add_component(self)
+
+    def submit(self, packet: Packet) -> None:
+        self.packets.append(packet)
+        self.wake()
+
+    @property
+    def idle(self) -> bool:
+        return not self.flits and not self.packets
+
+    def on_edge(self, tick: int) -> None:
+        active = False
+        if returned := self.link.take_credits(tick):
+            self.credits += returned
+            active = True
+        if not self.flits and self.packets:
+            packet = self.packets.popleft()
+            packet.inject_tick = tick
+            self.flits.extend(packet.to_flits())
+        if self.flits and self.credits > 0:
+            self.link.send_flit(self.flits.popleft(), tick)
+            self.credits -= 1
+        elif not active:
+            # Nothing sendable (empty, or out of credits) and no credit
+            # arrived: wait for a credit return or the next submit().
+            self.sleep_until(self.link.credit)
+
+
+class FabricSink(ClockedComponent):
+    """Drains a router's local output port, returning credits."""
+
+    def __init__(self, kernel: SimKernel, name: str, link: CreditLink,
+                 on_packet: Callable[[Packet, int], None]):
+        super().__init__(name, parity=0)
+        self.link = link
+        self.on_packet = on_packet
+        self._assembly: dict[int, list[Flit]] = {}
+        self.flits_received = 0
+        kernel.add_component(self)
+
+    def on_edge(self, tick: int) -> None:
+        flit = self.link.take_flit(tick)
+        credit = 0
+        if flit is not None:
+            self.flits_received += 1
+            credit = 1
+            self._kernel.emit("flit", flit)
+            buffer = self._assembly.setdefault(flit.packet_id, [])
+            buffer.append(flit)
+            if flit.is_tail:
+                del self._assembly[flit.packet_id]
+                packet = Packet.from_flits(buffer)
+                packet.eject_tick = tick
+                self.on_packet(packet, tick)
+                self._kernel.emit("packet", packet)
+        # Write-on-change credit return (cf. FabricRouter): zero the wire
+        # once after a return, then stop driving it.
+        if credit:
+            self.link.send_credits(credit, tick)
+        elif not self.link.settle_credit(tick):
+            # No arrival and no wire to settle: wait for the next flit.
+            self.sleep_until(self.link.flit)

@@ -1,0 +1,100 @@
+"""Link primitives shared by every fabric.
+
+The repository models two link-level flow-control flavours, one per clock
+regime of the paper's comparison:
+
+* :class:`~repro.noc.handshake.HandshakeChannel` (re-exported here) — the
+  IC-NoC's 2-phase valid/accept handshake between stages clocked at
+  alternating edges of the *integrated* forwarded clock. No buffers, no
+  credits: the producer holds data until the consumer's accept.
+* :class:`CreditLink` — one directed wire pair between synchronously
+  (mesochronously) clocked routers: a ``flit`` wire carrying tick-tagged
+  payloads downstream and a ``credit`` wire carrying tick-tagged credit
+  returns upstream. Credits guarantee the consumer's input FIFO has
+  space — the stall buffers the IC-NoC architecture avoids.
+
+Tick-tagged payloads make the synchronous links race-free without a
+delta-cycle scheduler: a value ``(x, sent_tick)`` driven at tick *t*
+commits at the end of *t* and is consumed exactly once, at the receiver's
+edge two ticks (one full clock cycle) later. Anything older is a stale
+wire value and is ignored by the tag check.
+
+Both flavours follow the write-on-change discipline of the idle-component
+contract (docs/kernel.md): an idle endpoint drives nothing, so a quiet
+link is a fixed point the activity-driven kernel can sleep through.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.noc.handshake import HandshakeChannel
+from repro.sim.kernel import SimKernel
+from repro.sim.signal import Signal
+
+__all__ = ["CreditLink", "HandshakeChannel", "LINK_LATENCY_TICKS"]
+
+#: Ticks between driving a tick-tagged payload and its consumption at the
+#: far end: one full clock cycle of wire flight per hop.
+LINK_LATENCY_TICKS = 2
+
+
+class CreditLink:
+    """One directed router-to-router (or router-to-NI) connection.
+
+    Two signals: ``flit`` (downstream data) and ``credit`` (upstream
+    returns). The helpers below encode the tick-tag protocol once, so
+    routers, sources, and sinks cannot disagree on it.
+    """
+
+    def __init__(self, kernel: SimKernel, name: str):
+        self.name = name
+        self.flit: Signal = kernel.signal(f"{name}.flit", initial=None)
+        self.credit: Signal = kernel.signal(f"{name}.credit", initial=0)
+
+    # -- producer side ---------------------------------------------------
+
+    def send_flit(self, flit: Any, tick: int) -> None:
+        """Launch a flit; the consumer takes it at ``tick + 2``."""
+        self.flit.set((flit, tick), tick)
+
+    def send_credits(self, count: int, tick: int) -> None:
+        """Return ``count`` credits; the producer collects at ``tick + 2``."""
+        self.credit.set((count, tick), tick)
+
+    # -- consumer side ---------------------------------------------------
+
+    def take_flit(self, tick: int) -> Any | None:
+        """The flit arriving exactly this edge, or None.
+
+        Tick-tagged: a payload launched at ``tick - 2`` is consumed here,
+        once; older wire values are stale and ignored.
+        """
+        payload = self.flit.value
+        if payload is None:
+            return None
+        flit, sent_tick = payload
+        return flit if sent_tick == tick - LINK_LATENCY_TICKS else None
+
+    def take_credits(self, tick: int) -> int:
+        """Credits arriving exactly this edge (0 if none)."""
+        payload = self.credit.value
+        if payload is None or payload == 0:
+            return 0
+        count, sent_tick = payload
+        return count if sent_tick == tick - LINK_LATENCY_TICKS else 0
+
+    def settle_credit(self, tick: int) -> bool:
+        """Zero a stale credit wire (write-on-change); True if it drove.
+
+        A credit wire carrying an already-consumed ``(count, tick)``
+        payload is zeroed once, then left alone, so an idle endpoint
+        drives nothing and the link is a sleepable fixed point.
+        """
+        if self.credit.value != 0:
+            self.credit.set(0, tick)
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"CreditLink({self.name!r})"

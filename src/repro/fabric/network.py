@@ -1,0 +1,232 @@
+"""Generic assembly of credit-based fabrics.
+
+:class:`CreditFabricNetwork` builds a complete runnable network from a
+structure description (:mod:`repro.fabric.topologies`) plus a routing
+strategy (:mod:`repro.fabric.routing`): one :class:`FabricRouter` per
+node, two directed :class:`CreditLink` wires per neighbour pair, and a
+:class:`FabricSource`/:class:`FabricSink` pair on every local port. The
+run-time API (``send`` / ``run_ticks`` / ``run_cycles`` / ``drain`` /
+``stats`` / ``gating_stats``) matches :class:`~repro.noc.network
+.ICNoCNetwork`, so every fabric runs through the same sweep engine,
+saturation searches, and CLI.
+
+Build order is deterministic — routers in node order, links in the
+topology's ``links()`` order, local ports in node order — which fixes the
+kernel's component and signal registration order and therefore makes the
+activity-driven fast path bit-identical to the naive reference loop for
+every fabric assembled here.
+
+The concrete wrap fabrics (:class:`TorusNetwork`, :class:`RingNetwork`)
+are registry entries; :class:`~repro.mesh.network.MeshNetwork` is the
+same machinery under its historical name and module.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.clocking.gating import GatingStats
+from repro.errors import ConfigurationError, TopologyError
+from repro.fabric.endpoint import FabricSink, FabricSource
+from repro.fabric.link import CreditLink
+from repro.fabric.router import FabricRouter
+from repro.fabric.routing import (
+    LOCAL,
+    PORT_NAMES,
+    RING_PORT_NAMES,
+    RingRouting,
+    RoutingStrategy,
+    TorusXYRouting,
+)
+from repro.fabric.topologies import RingTopology, TorusTopology, square_side
+from repro.noc.packet import Packet
+from repro.noc.stats import NetworkStats
+from repro.sim.kernel import SimKernel
+
+if TYPE_CHECKING:
+    from repro.fabric.registry import FabricConfig
+
+
+class CreditFabricNetwork:
+    """A built, runnable credit-based fabric with the shared run-time API.
+
+    ``config`` supplies ``buffer_depth`` and ``activity_driven`` (both
+    :class:`~repro.fabric.registry.FabricConfig` and
+    :class:`~repro.mesh.network.MeshConfig` qualify); ``topology``
+    supplies the structure, ``routing`` the per-node route functions.
+    """
+
+    def __init__(self, config, topology, routing: RoutingStrategy,
+                 kernel: SimKernel | None = None, node_prefix: str = "m",
+                 port_names: tuple[str, ...] | None = None):
+        self.config = config
+        self.topology = topology
+        self.routing = routing
+        if kernel is not None and \
+                kernel.activity_driven != config.activity_driven:
+            raise ConfigurationError(
+                "provided kernel's activity_driven flag contradicts the "
+                "network config"
+            )
+        self.kernel = kernel if kernel is not None \
+            else SimKernel(activity_driven=config.activity_driven)
+        self.stats = NetworkStats()
+        self.routers: list[FabricRouter] = []
+        self.sources: list[FabricSource] = []
+        self.sinks: list[FabricSink] = []
+        self.delivered: list[Packet] = []
+        self._inflight: dict[int, Packet] = {}
+        self._node_prefix = node_prefix
+        self._port_names = port_names
+        self._build()
+
+    # -- construction ---------------------------------------------------
+
+    def _make_router(self, node: int) -> FabricRouter:
+        return FabricRouter(
+            self.kernel, f"{self._node_prefix}{node}",
+            n_ports=self.topology.max_ports,
+            route=self.routing.for_node(node),
+            buffer_depth=self.config.buffer_depth,
+            ring_transit=self.routing,
+            port_names=self._port_names,
+        )
+
+    def _build(self) -> None:
+        prefix = self._node_prefix
+        for node in range(self.topology.nodes):
+            self.routers.append(self._make_router(node))
+        # Router-to-router links (two directed links per neighbour pair).
+        for a, a_port, b, b_port in self.topology.links():
+            self._connect(a, a_port, b, b_port)
+        # Local ports.
+        for node in range(self.topology.nodes):
+            router = self.routers[node]
+            inject = CreditLink(self.kernel, f"{prefix}{node}.inj")
+            eject = CreditLink(self.kernel, f"{prefix}{node}.ej")
+            router.connect(LOCAL, inject, eject)
+            source = FabricSource(self.kernel, f"{prefix}{node}.src", inject,
+                                  credits=self.config.buffer_depth)
+            sink = FabricSink(self.kernel, f"{prefix}{node}.sink", eject,
+                              on_packet=self._make_delivery_hook(node))
+            # The sink grants the router initial credits via connect();
+            # sink-side credits mirror the router's local output credits.
+            self.sources.append(source)
+            self.sinks.append(sink)
+
+    def _connect(self, a: int, a_port: int, b: int, b_port: int) -> None:
+        prefix = self._node_prefix
+        a_to_b = CreditLink(self.kernel, f"{prefix}{a}>{prefix}{b}")
+        b_to_a = CreditLink(self.kernel, f"{prefix}{b}>{prefix}{a}")
+        router_a, router_b = self.routers[a], self.routers[b]
+        router_a.connect(a_port, b_to_a, a_to_b)
+        router_b.connect(b_port, a_to_b, b_to_a)
+
+    def _make_delivery_hook(self, node: int) -> Callable[[Packet, int], None]:
+        def hook(packet: Packet, tick: int) -> None:
+            original = self._inflight.pop(packet.packet_id, None)
+            if original is not None:
+                packet.inject_tick = original.inject_tick
+            self.delivered.append(packet)
+            hops = self.topology.hop_count(packet.src, packet.dest)
+            self.stats.record_delivery(packet, hops)
+        return hook
+
+    # -- shared run-time API ----------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        if not 0 <= packet.dest < self.topology.nodes:
+            raise TopologyError(f"unknown destination {packet.dest}")
+        if packet.src == packet.dest:
+            raise TopologyError("src == dest: packets never enter the fabric")
+        if (self.routing.needs_bubble
+                and packet.flit_count >= self.config.buffer_depth):
+            # The bubble rule's deadlock-freedom argument is virtual
+            # cut-through: a packet must fit one FIFO with a slot to
+            # spare. Reject loudly instead of wedging the ring.
+            raise ConfigurationError(
+                f"{packet.flit_count}-flit packet on a ring-closing "
+                f"fabric needs buffer_depth >= {packet.flit_count + 1} "
+                f"(got {self.config.buffer_depth}); raise buffer_depth "
+                f"or shorten packets"
+            )
+        self._inflight[packet.packet_id] = packet
+        self.sources[packet.src].submit(packet)
+        self.stats.packets_injected += 1
+        self.kernel.emit("inject", packet)
+
+    def run_ticks(self, ticks: int) -> None:
+        self.kernel.run_ticks(ticks)
+        self.stats.elapsed_ticks = self.kernel.tick
+
+    def run_cycles(self, cycles: float) -> None:
+        self.kernel.run_cycles(cycles)
+        self.stats.elapsed_ticks = self.kernel.tick
+
+    def drain(self, max_ticks: int = 1_000_000) -> bool:
+        done = self.kernel.run_until(
+            lambda: self.stats.packets_delivered >= self.stats.packets_injected,
+            max_ticks,
+        )
+        self.stats.elapsed_ticks = self.kernel.tick
+        return done
+
+    def gating_stats(self) -> GatingStats:
+        total = GatingStats()
+        for router in self.routers:
+            total.merge(router.gating)
+        return total
+
+    def total_buffer_flits(self) -> int:
+        """Total FIFO capacity — the stall-buffer cost the IC-NoC avoids."""
+        total = 0
+        for router in self.routers:
+            ports_in_use = sum(
+                1 for link in router.in_links if link is not None
+            )
+            total += ports_in_use * self.config.buffer_depth
+        return total
+
+    def describe(self) -> str:
+        describe = getattr(self.topology, "describe", None)
+        structure = describe() if describe else f"{self.topology.nodes} nodes"
+        return (f"{type(self).__name__}: {structure}, "
+                f"{len(self.routers)} routers, "
+                f"buffer depth {self.config.buffer_depth}")
+
+
+class TorusNetwork(CreditFabricNetwork):
+    """A 2-D torus under shortest-wrap XY routing with the bubble rule."""
+
+    def __init__(self, config: "FabricConfig",
+                 kernel: SimKernel | None = None):
+        cols, rows = _grid_shape(config, "torus")
+        topology = TorusTopology(cols, rows)
+        super().__init__(config, topology, TorusXYRouting(cols, rows),
+                         kernel=kernel, node_prefix="t",
+                         port_names=PORT_NAMES)
+
+
+class RingNetwork(CreditFabricNetwork):
+    """A bidirectional ring under shortest-direction routing."""
+
+    def __init__(self, config: "FabricConfig",
+                 kernel: SimKernel | None = None):
+        topology = RingTopology(config.ports)
+        super().__init__(config, topology, RingRouting(config.ports),
+                         kernel=kernel, node_prefix="g",
+                         port_names=RING_PORT_NAMES)
+
+
+def _grid_shape(config: "FabricConfig", what: str) -> tuple[int, int]:
+    """(cols, rows) of a grid fabric: explicit rows, or a square."""
+    rows = getattr(config, "rows", None)
+    if rows:
+        if config.ports % rows:
+            raise ConfigurationError(
+                f"{what}: ports ({config.ports}) not divisible by rows "
+                f"({rows})"
+            )
+        return config.ports // rows, rows
+    side = square_side(config.ports, what)
+    return side, side

@@ -1,0 +1,322 @@
+"""The topology registry: one place where fabrics declare themselves.
+
+Each registered topology names its structure, routing strategy, and —
+central to the paper — its **clock distribution capability**:
+
+* ``"integrated"`` — the clock rides the data links (paper Section 3).
+  Legal only for fabrics whose link structure is a tree: "no converging
+  paths are allowed in the network". Tree and concentrated tree qualify.
+* ``"mesochronous"`` — conventional distribution with per-hop
+  synchronizers (the PALS/GALS-style fallback meshes need). Any
+  structure qualifies; it is the only option for ring-closing fabrics
+  (mesh, torus, ring).
+
+The capability is *checked at build time*: requesting ``integrated``
+clocking for a converging-path fabric raises
+:class:`~repro.errors.ConfigurationError` — the registry encodes the
+paper's architectural claim as an invariant, not a comment.
+
+Usage::
+
+    from repro.fabric.registry import FabricConfig, build_fabric
+
+    net = build_fabric("torus", ports=64)           # default clocking
+    net = FabricConfig(topology="ctree", ports=64,
+                       concentration=4).build()     # integrated clock
+
+A new fabric is ~30 lines of routing strategy plus a structure
+description and one :func:`register_topology` call — see docs/fabric.md.
+
+Builders import their network modules lazily so the registry can be
+imported from anywhere (CLI, sweep workers, the networks themselves)
+without circular imports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+#: Clock distribution capabilities.
+CLOCK_INTEGRATED = "integrated"
+CLOCK_MESOCHRONOUS = "mesochronous"
+
+
+@dataclass(frozen=True)
+class TopologyEntry:
+    """One registered fabric.
+
+    Attributes:
+        name: registry key (CLI ``--topology`` value).
+        description: one-line summary for tables and docs.
+        clock_distribution: supported schemes, the first is the default.
+            ``integrated`` may appear only when ``tree_legal``.
+        tree_legal: the link structure has no converging paths, so the
+            integrated clock distribution of the paper applies.
+        builder: ``FabricConfig -> network`` (lazy-imports its module).
+        validate: optional extra config check (port-count shape etc.).
+    """
+
+    name: str
+    description: str
+    clock_distribution: tuple[str, ...]
+    tree_legal: bool
+    builder: Callable[["FabricConfig"], Any]
+    validate: Callable[["FabricConfig"], None] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.clock_distribution:
+            raise ConfigurationError(f"{self.name}: no clocking schemes")
+        if CLOCK_INTEGRATED in self.clock_distribution and not self.tree_legal:
+            raise ConfigurationError(
+                f"{self.name}: integrated clocking requires a tree-legal "
+                f"structure (no converging paths)"
+            )
+
+    @property
+    def default_clocking(self) -> str:
+        return self.clock_distribution[0]
+
+
+_REGISTRY: dict[str, TopologyEntry] = {}
+
+
+def register_topology(entry: TopologyEntry) -> TopologyEntry:
+    """Register a fabric (last registration wins, enabling overrides)."""
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def get_topology(name: str) -> TopologyEntry:
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown topology {name!r}; registered: {known}"
+        )
+    return entry
+
+
+def topology_names() -> tuple[str, ...]:
+    """Registered names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def topology_table() -> list[dict[str, str]]:
+    """One row per registered fabric (CLI/docs material)."""
+    return [
+        {
+            "name": entry.name,
+            "clocking": "+".join(entry.clock_distribution),
+            "tree_legal": "yes" if entry.tree_legal else "no",
+            "description": entry.description,
+        }
+        for entry in _REGISTRY.values()
+    ]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Picklable spec of one fabric instance, built via the registry.
+
+    Only ``topology`` and ``ports`` matter for every fabric; the rest are
+    per-family knobs with sensible defaults (tree arity, concentration,
+    grid rows, credit buffer depth, floorplan dimensions).
+
+    ``clocking`` selects the clock distribution scheme; None means the
+    topology's default. The capability check runs in ``__post_init__`` —
+    an illegal pairing (e.g. a torus with the integrated clock) never
+    constructs, which is what the build-time guarantee means.
+    """
+
+    topology: str = "tree"
+    ports: int = 64
+    clocking: str | None = None
+    arity: int = 2              # tree family
+    concentration: int = 4      # ctree
+    rows: int | None = None     # grid fabrics; None = square
+    buffer_depth: int = 4       # credit fabrics
+    chip_width_mm: float = 10.0
+    chip_height_mm: float = 10.0
+    max_segment_mm: float = 1.25
+    activity_driven: bool = True
+
+    def __post_init__(self) -> None:
+        entry = get_topology(self.topology)
+        if self.ports < 2:
+            raise ConfigurationError("a fabric needs at least 2 ports")
+        if self.clocking is not None and \
+                self.clocking not in entry.clock_distribution:
+            raise ConfigurationError(
+                f"topology {self.topology!r} cannot run "
+                f"{self.clocking!r} clock distribution (supported: "
+                f"{', '.join(entry.clock_distribution)})"
+            )
+        if entry.validate is not None:
+            entry.validate(self)
+
+    @property
+    def clock_distribution(self) -> str:
+        """The resolved clocking scheme."""
+        return self.clocking or get_topology(self.topology).default_clocking
+
+    def build(self):
+        """Instantiate the network (any registered fabric, same API)."""
+        return get_topology(self.topology).builder(self)
+
+
+def build_fabric(topology: str, ports: int = 64, **kwargs):
+    """One-call build: ``build_fabric("ring", ports=16)``."""
+    return FabricConfig(topology=topology, ports=ports, **kwargs).build()
+
+
+# -- the stock fabrics ----------------------------------------------------
+
+
+def _validate_tree(config: FabricConfig) -> None:
+    if config.arity < 2:
+        raise ConfigurationError("tree arity must be >= 2")
+    _require_power(config.ports, config.arity, "tree ports")
+
+
+def _validate_ctree(config: FabricConfig) -> None:
+    if config.concentration < 1:
+        raise ConfigurationError("concentration must be >= 1")
+    if config.ports % config.concentration:
+        raise ConfigurationError(
+            f"ctree ports ({config.ports}) must be a multiple of the "
+            f"concentration ({config.concentration})"
+        )
+    leaves = config.ports // config.concentration
+    if leaves < config.arity:
+        raise ConfigurationError(
+            f"ctree needs >= {config.arity} leaves after concentration, "
+            f"got {leaves}"
+        )
+    _require_power(leaves, config.arity, "ctree leaves")
+
+
+def _validate_grid(config: FabricConfig) -> None:
+    rows = config.rows
+    if rows is not None:
+        if rows < 2 or config.ports % rows or config.ports // rows < 2:
+            raise ConfigurationError(
+                f"grid of {config.ports} ports cannot have {rows} rows"
+            )
+    else:
+        side = math.isqrt(config.ports)
+        if side * side != config.ports or side < 2:
+            raise ConfigurationError(
+                f"square grid needs a square port count >= 4, "
+                f"got {config.ports}"
+            )
+
+
+def _require_power(value: int, base: int, what: str) -> None:
+    count = 1
+    while count < value:
+        count *= base
+    if count != value:
+        raise ConfigurationError(
+            f"{what} must be a power of {base}, got {value}"
+        )
+
+
+def _tree_network_config(config: FabricConfig, leaves: int):
+    from repro.noc.network import NetworkConfig
+    return NetworkConfig(
+        leaves=leaves, arity=config.arity,
+        chip_width_mm=config.chip_width_mm,
+        chip_height_mm=config.chip_height_mm,
+        max_segment_mm=config.max_segment_mm,
+        activity_driven=config.activity_driven,
+    )
+
+
+def _build_tree(config: FabricConfig):
+    from repro.noc.network import ICNoCNetwork
+    return ICNoCNetwork(_tree_network_config(config, config.ports))
+
+
+def _build_ctree(config: FabricConfig):
+    from repro.fabric.ctree import ConcentratedTreeNetwork
+    leaves = config.ports // config.concentration
+    return ConcentratedTreeNetwork(_tree_network_config(config, leaves),
+                                   concentration=config.concentration)
+
+
+def _build_mesh(config: FabricConfig):
+    from repro.fabric.network import _grid_shape
+    from repro.mesh.network import MeshConfig, MeshNetwork
+    cols, rows = _grid_shape(config, "mesh")
+    return MeshNetwork(MeshConfig(
+        cols=cols, rows=rows,
+        chip_width_mm=config.chip_width_mm,
+        chip_height_mm=config.chip_height_mm,
+        buffer_depth=config.buffer_depth,
+        activity_driven=config.activity_driven,
+    ))
+
+
+def _build_torus(config: FabricConfig):
+    from repro.fabric.network import TorusNetwork
+    return TorusNetwork(config)
+
+
+def _build_ring(config: FabricConfig):
+    from repro.fabric.network import RingNetwork
+    return RingNetwork(config)
+
+
+register_topology(TopologyEntry(
+    name="tree",
+    description="the paper's IC-NoC: 3x3/5x5 routers, handshake links, "
+                "clock rides the data tree",
+    clock_distribution=(CLOCK_INTEGRATED, CLOCK_MESOCHRONOUS),
+    tree_legal=True,
+    builder=_build_tree,
+    validate=_validate_tree,
+))
+
+register_topology(TopologyEntry(
+    name="ctree",
+    description="concentrated tree: several endpoints share each leaf NI, "
+                "still integrated-clock legal",
+    clock_distribution=(CLOCK_INTEGRATED, CLOCK_MESOCHRONOUS),
+    tree_legal=True,
+    builder=_build_ctree,
+    validate=_validate_ctree,
+))
+
+register_topology(TopologyEntry(
+    name="mesh",
+    description="2-D mesh, XY wormhole routing, credit flow control "
+                "(the paper's comparison baseline)",
+    clock_distribution=(CLOCK_MESOCHRONOUS,),
+    tree_legal=False,
+    builder=_build_mesh,
+    validate=_validate_grid,
+))
+
+register_topology(TopologyEntry(
+    name="torus",
+    description="2-D torus: shortest-wrap XY routing, bubble flow control "
+                "on the rings",
+    clock_distribution=(CLOCK_MESOCHRONOUS,),
+    tree_legal=False,
+    builder=_build_torus,
+    validate=_validate_grid,
+))
+
+register_topology(TopologyEntry(
+    name="ring",
+    description="bidirectional ring of 3-port routers, shortest-direction "
+                "routing, bubble flow control",
+    clock_distribution=(CLOCK_MESOCHRONOUS,),
+    tree_legal=False,
+    builder=_build_ring,
+    validate=None,
+))

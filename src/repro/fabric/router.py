@@ -1,0 +1,246 @@
+"""The shared credit-based fabric router.
+
+One router implementation serves every synchronously clocked fabric (mesh,
+torus, ring, and whatever the registry grows next): an N-port wormhole
+router with input FIFOs, credit-based flow control, per-output round-robin
+arbitration and wormhole locks. What differs between fabrics — where the
+ports lead and which output a flit wants — lives in the
+:mod:`~repro.fabric.routing` strategy supplied at construction, typically
+~30 lines per topology.
+
+Single-edge clocking (all routers share parity 0 in the kernel: one firing
+per clock cycle). Each input port has a FIFO of ``buffer_depth`` flits —
+the stall buffers the IC-NoC architecture avoids. A router may only
+forward a flit toward a neighbour when it holds a credit for that
+neighbour's input FIFO; the neighbour returns a credit when it dequeues.
+
+Routers honour the idle-component contract (docs/kernel.md): signals are
+driven write-on-change (a credit wire is zeroed once after a return, then
+left alone), so an edge that receives nothing, forwards nothing, and has
+nothing buffered is a fixed point — the router sleeps watching its input
+flit wires and output credit wires, and fabric-heavy sweeps benefit from
+the kernel's activity-driven fast path. Skipped edges are backfilled into
+the gating statistics via the shared
+:class:`~repro.sim.component.GatedComponentMixin`.
+
+**Bubble rule.** When the routing strategy flags ``needs_bubble`` (ring-
+closing topologies: torus, ring), a head flit may only *enter* a ring —
+from the local port or by turning out of another dimension — while the
+target FIFO keeps a free slot afterwards (``credits >= 2``); same-ring
+transit is exempt. See :mod:`repro.fabric.routing` for the argument.
+
+**Kernel events.** With any :meth:`~repro.sim.kernel.SimKernel.subscribe`
+listener attached, the router emits two congestion-diagnosis events (cheap
+no-ops otherwise, so the fast path never pays for unobserved visibility):
+
+* ``"arbitration_grant"`` — an output port granted an input; data is a
+  dict with ``router``, ``output``, ``input``, and the ``flit``.
+* ``"credit_exhausted"`` — a flit wants an output whose credits just ran
+  dry. Edge-triggered on *entering* starvation (cleared when credits
+  return), so both kernel modes emit the identical event sequence even
+  though the naive loop re-fires starved routers every cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.clocking.gating import GatingStats
+from repro.errors import ConfigurationError, RoutingError
+from repro.fabric.link import CreditLink
+from repro.fabric.routing import RouteFn, RoutingStrategy
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.flit import Flit
+from repro.sim.component import ClockedComponent, GatedComponentMixin
+from repro.sim.kernel import SimKernel
+from repro.sim.signal import Signal
+
+
+class FabricRouter(GatedComponentMixin, ClockedComponent):
+    """N-port credit/wormhole router with a pluggable routing function."""
+
+    def __init__(self, kernel: SimKernel, name: str, n_ports: int,
+                 route: RouteFn, buffer_depth: int = 4,
+                 ring_transit: RoutingStrategy | None = None,
+                 port_names: Sequence[str] | None = None):
+        super().__init__(name, parity=0)
+        if n_ports < 2:
+            raise ConfigurationError("a router needs at least 2 ports")
+        if buffer_depth < 2:
+            raise ConfigurationError("credit flow control needs depth >= 2")
+        self.n_ports = n_ports
+        self.buffer_depth = buffer_depth
+        self._route_fn = route
+        # Bubble flow control: the strategy deciding which in->out pairs
+        # are same-ring transit; None disables the rule (acyclic fabrics).
+        self._ring_transit = (ring_transit
+                              if ring_transit is not None
+                              and ring_transit.needs_bubble else None)
+        self._port_names = port_names
+        # in_links[p]: flits arriving on port p; out_links[p]: flits leaving.
+        self.in_links: list[CreditLink | None] = [None] * n_ports
+        self.out_links: list[CreditLink | None] = [None] * n_ports
+        self.fifos: list[deque[Flit]] = [deque() for _ in range(n_ports)]
+        self.credits = [0] * n_ports  # credits toward each output's consumer
+        self.locks: list[int | None] = [None] * n_ports
+        self.arbiters = [RoundRobinArbiter(n_ports) for _ in range(n_ports)]
+        self._gating = GatingStats()
+        self.flits_forwarded = 0
+        # Starvation edge-detector per output (credit_exhausted events).
+        self._starved = [False] * n_ports
+        # Signals to watch while asleep: anything arriving (flits in,
+        # credits back) makes the next edge act again.
+        self._watch: list[Signal] = []
+        kernel.add_component(self)
+
+    def port_name(self, port: int) -> str:
+        if self._port_names is not None and port < len(self._port_names):
+            return self._port_names[port]
+        return f"port{port}"
+
+    def connect(self, port: int, in_link: CreditLink | None,
+                out_link: CreditLink | None) -> None:
+        self.in_links[port] = in_link
+        self.out_links[port] = out_link
+        if out_link is not None:
+            self.credits[port] = self.buffer_depth
+        self._watch = [link.flit for link in self.in_links
+                       if link is not None]
+        self._watch += [link.credit for link in self.out_links
+                        if link is not None]
+
+    def _route(self, flit: Flit) -> int:
+        return self._route_fn(flit)
+
+    def _bubble_blocks(self, in_port: int, out_port: int) -> bool:
+        """Would forwarding a head flit in->out violate the bubble rule?"""
+        return (self._ring_transit is not None
+                and not self._ring_transit.ring_transit(in_port, out_port)
+                and self.credits[out_port] < 2)
+
+    def on_edge(self, tick: int) -> None:
+        enabled = False   # register-bank activity (gating statistics)
+        active = False    # anything at all happened (sleep decision)
+        observed = bool(self._kernel._event_subs)
+        # 1. Collect credit returns (tick-tagged: consumed exactly once).
+        for port, link in enumerate(self.out_links):
+            if link is None:
+                continue
+            if returned := link.take_credits(tick):
+                self.credits[port] += returned
+                active = True
+                if self._starved[port]:
+                    # Starvation ends exactly when credits return — clear
+                    # the event latch unconditionally so a later observer
+                    # sees the next starvation episode.
+                    self._starved[port] = False
+        # 2. Forward: per output, arbitrate among input FIFO heads. Runs
+        # before arrivals are enqueued, so a flit spends at least one full
+        # cycle in the router (head latency 2 cycles/hop incl. the wire).
+        credits_returned = [0] * self.n_ports
+        for out_port in range(self.n_ports):
+            out_link = self.out_links[out_port]
+            if out_link is None:
+                continue
+            if self.credits[out_port] <= 0:
+                if observed:
+                    self._note_starvation(out_port, tick)
+                continue
+            lock = self.locks[out_port]
+            requests = []
+            for in_port in range(self.n_ports):
+                fifo = self.fifos[in_port]
+                if not fifo:
+                    requests.append(False)
+                    continue
+                head = fifo[0]
+                if self._route(head) != out_port:
+                    requests.append(False)
+                    continue
+                if lock is not None:
+                    requests.append(in_port == lock)
+                else:
+                    requests.append(head.is_head and not self._bubble_blocks(
+                        in_port, out_port))
+            if not any(requests):
+                continue
+            winner = self.arbiters[out_port].grant(requests)
+            flit = self.fifos[winner].popleft()
+            credits_returned[winner] += 1
+            out_link.send_flit(flit, tick)
+            self.credits[out_port] -= 1
+            self.flits_forwarded += 1
+            enabled = True
+            if observed:
+                self._kernel.emit("arbitration_grant", {
+                    "router": self.name, "output": out_port,
+                    "input": winner, "flit": flit,
+                })
+            if flit.is_tail:
+                self.locks[out_port] = None
+            elif flit.is_head:
+                self.locks[out_port] = winner
+        # 3. Accept arrivals (credit scheme guarantees FIFO space).
+        for port, link in enumerate(self.in_links):
+            if link is None:
+                continue
+            flit = link.take_flit(tick)
+            if flit is None:
+                continue
+            if len(self.fifos[port]) >= self.buffer_depth:
+                raise RoutingError(f"{self.name}: FIFO overflow on "
+                                   f"{self.port_name(port)} "
+                                   f"(credit violation)")
+            self.fifos[port].append(flit)
+            enabled = True
+        # 4. Return credits upstream for dequeued flits — write-on-change:
+        # a stale credit wire is zeroed once, then left alone, so an idle
+        # router drives nothing.
+        for in_port, link in enumerate(self.in_links):
+            if link is None:
+                continue
+            if credits_returned[in_port]:
+                link.send_credits(credits_returned[in_port], tick)
+                active = True
+            elif link.settle_credit(tick):
+                active = True
+        self.gating.record(enabled)
+        if not enabled and not active:
+            # Fixed point: nothing arrived, nothing moved, every wire we
+            # drive already holds its committed value. Forwarding (even
+            # with buffered flits) can only resume after a credit return
+            # or a new arrival — both are watched signal changes.
+            self.sleep_until(*self._watch)
+
+    def _note_starvation(self, out_port: int, tick: int) -> None:
+        """Emit ``credit_exhausted`` on the edge starvation begins.
+
+        The transition (a buffered flit wants the output, no credits) is
+        a function of committed state only, so the event sequence is
+        identical in both kernel modes: the naive loop's re-fired starved
+        edges are suppressed by the ``_starved`` latch, and the fast path
+        is always awake on the entering edge (a flit arrival or the
+        credit-consuming forward immediately precedes it).
+        """
+        if self._starved[out_port]:
+            return
+        lock = self.locks[out_port]
+        for in_port in range(self.n_ports):
+            fifo = self.fifos[in_port]
+            if not fifo:
+                continue
+            head = fifo[0]
+            if self._route(head) != out_port:
+                continue
+            if lock is not None and in_port != lock:
+                continue
+            self._starved[out_port] = True
+            self._kernel.emit("credit_exhausted", {
+                "router": self.name, "output": out_port, "input": in_port,
+            })
+            return
+
+    @property
+    def buffered_flits(self) -> int:
+        return sum(len(fifo) for fifo in self.fifos)

@@ -1,0 +1,187 @@
+"""Pluggable routing strategies for the fabric layer.
+
+A routing strategy turns a topology's structure into per-node routing
+functions: :meth:`RoutingStrategy.for_node` returns the ``flit -> output
+port`` callable a router evaluates at its edge. The strategies here are
+deliberately small — the whole point of the shared fabric layer is that a
+new topology is a ~30-line routing function plus a structure description,
+not a second router implementation:
+
+* :class:`XYRouting` — dimension-order routing on a 2-D mesh (X fully
+  resolved, then Y); acyclic channel dependencies, deadlock-free.
+* :class:`TorusXYRouting` — dimension-order with shortest-direction
+  wraparound. Wrap links close rings, so the strategy flags itself as
+  needing the router's bubble rule (see below).
+* :class:`RingRouting` — shortest direction around a bidirectional ring;
+  also ring-closing, also bubble-ruled.
+* :func:`tree_updown_route` — the paper's deterministic up*/down* tree
+  routing (descend through the child covering the destination leaf, else
+  go to the parent), shared by the 3x3/5x5 tree routers and the
+  concentrated tree's leaf-sharing variant.
+
+**Bubble rule.** Wormhole routing around a closed ring has a cyclic
+channel-dependency graph, so a ring can deadlock when every FIFO on the
+cycle fills. Strategies with ``needs_bubble`` make the
+:class:`~repro.fabric.router.FabricRouter` apply localised bubble flow
+control: a *head* flit may only enter a ring (from the local port or by
+turning out of another dimension) while the target FIFO keeps at least
+one slot free afterwards (``credits >= 2``); flits already travelling
+within the same ring — identified by :meth:`RoutingStrategy.ring_transit`
+— are exempt and keep the ring draining. This guarantees every ring
+always retains a free slot, so some flit can always advance:
+deadlock-free for packets short enough to sit in one FIFO
+(``flits <= buffer_depth - 1``), the virtual cut-through condition bubble
+flow control assumes.
+
+Directions are monotone along a path (the shortest wrap direction cannot
+flip mid-route, ties break toward the positive direction), so no strategy
+ever produces a U-turn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import RoutingError
+from repro.noc.flit import Flit
+from repro.noc.topology import RouterNode, TreeTopology, PARENT_PORT
+
+#: Canonical port indices of the 5-port grid fabrics (mesh, torus).
+LOCAL, NORTH, EAST, SOUTH, WEST = range(5)
+PORT_NAMES = ("local", "north", "east", "south", "west")
+
+#: Port indices of the 3-port ring fabric.
+RING_CW, RING_CCW = 1, 2
+RING_PORT_NAMES = ("local", "cw", "ccw")
+
+#: Signature of a per-node routing function.
+RouteFn = Callable[[Flit], int]
+
+
+class RoutingStrategy:
+    """Base class: structure-aware routing, one route function per node."""
+
+    #: Whether routers must apply the bubble rule on ring entry.
+    needs_bubble = False
+
+    def for_node(self, node: int) -> RouteFn:
+        raise NotImplementedError
+
+    def ring_transit(self, in_port: int, out_port: int) -> bool:
+        """Is ``in_port -> out_port`` a same-ring pass-through (exempt
+        from the bubble rule)? Only consulted when ``needs_bubble``."""
+        return False
+
+
+class XYRouting(RoutingStrategy):
+    """Dimension-order routing on a ``cols x rows`` mesh."""
+
+    def __init__(self, cols: int, rows: int):
+        self.cols = cols
+        self.rows = rows
+
+    def for_node(self, node: int) -> RouteFn:
+        cols = self.cols
+        x, y = node % cols, node // cols
+
+        def route(flit: Flit) -> int:
+            dx = flit.dest % cols
+            dy = flit.dest // cols
+            if dx > x:
+                return EAST
+            if dx < x:
+                return WEST
+            if dy > y:
+                return SOUTH
+            if dy < y:
+                return NORTH
+            return LOCAL
+
+        return route
+
+
+#: Same-ring pass-throughs of the 5-port grid fabrics: a flit keeps its
+#: direction when it leaves through the port opposite its arrival.
+_GRID_TRANSIT = frozenset({
+    (WEST, EAST), (EAST, WEST), (NORTH, SOUTH), (SOUTH, NORTH),
+})
+
+
+class TorusXYRouting(RoutingStrategy):
+    """Dimension-order routing with shortest-direction wraparound."""
+
+    needs_bubble = True
+
+    def __init__(self, cols: int, rows: int):
+        self.cols = cols
+        self.rows = rows
+
+    def for_node(self, node: int) -> RouteFn:
+        cols, rows = self.cols, self.rows
+        x, y = node % cols, node // cols
+
+        def route(flit: Flit) -> int:
+            dx = (flit.dest % cols - x) % cols
+            if dx:
+                return EAST if dx <= cols // 2 else WEST
+            dy = (flit.dest // cols - y) % rows
+            if dy:
+                return SOUTH if dy <= rows // 2 else NORTH
+            return LOCAL
+
+        return route
+
+    def ring_transit(self, in_port: int, out_port: int) -> bool:
+        return (in_port, out_port) in _GRID_TRANSIT
+
+
+class RingRouting(RoutingStrategy):
+    """Shortest direction around a bidirectional ring of ``nodes``."""
+
+    needs_bubble = True
+
+    def __init__(self, nodes: int):
+        self.nodes = nodes
+
+    def for_node(self, node: int) -> RouteFn:
+        nodes = self.nodes
+
+        def route(flit: Flit) -> int:
+            d = (flit.dest - node) % nodes
+            if d == 0:
+                return LOCAL
+            return RING_CW if d <= nodes // 2 else RING_CCW
+
+        return route
+
+    def ring_transit(self, in_port: int, out_port: int) -> bool:
+        # Clockwise traffic arrives on the CCW port and leaves CW;
+        # counter-clockwise the other way around.
+        return ((in_port, out_port) in ((RING_CCW, RING_CW),
+                                        (RING_CW, RING_CCW)))
+
+
+def tree_updown_route(topology: TreeTopology, node: RouterNode,
+                      name: str = "tree",
+                      dest_leaf: Callable[[int], int] | None = None,
+                      ) -> RouteFn:
+    """The paper's deterministic up*/down* routing at one tree router.
+
+    Descend through the child whose leaf range covers the destination,
+    else exit through the parent port. ``dest_leaf`` maps a flit's
+    destination address to a leaf port — identity for the plain tree, the
+    endpoint-to-leaf division for the concentrated tree. Up*/down*
+    routing in a tree has an acyclic channel-dependency graph, so
+    wormhole switching needs no bubble rule.
+    """
+
+    def route(flit: Flit) -> int:
+        dest = flit.dest if dest_leaf is None else dest_leaf(flit.dest)
+        port = topology.child_port_for_leaf(node, dest)
+        if port == PARENT_PORT and node.parent is None:
+            raise RoutingError(
+                f"{name}: destination {flit.dest} not under the root"
+            )
+        return port
+
+    return route

@@ -1,0 +1,148 @@
+"""Structure descriptions of the credit-based fabrics.
+
+A credit-fabric topology is a plain structural object the generic
+:class:`~repro.fabric.network.CreditFabricNetwork` builder consumes:
+
+* ``nodes`` — endpoint count (one local port per node);
+* ``max_ports`` — uniform router port count (local = port 0);
+* ``links()`` — the bidirectional neighbour pairs ``(a, a_port, b,
+  b_port)`` in a deterministic build order (component and signal
+  registration order follows it, which is what makes activity-driven and
+  naive runs bit-identical);
+* ``hop_count`` / ``worst_case_hops`` — the structural analysis the
+  stats and the paper-style comparisons use.
+
+:class:`~repro.mesh.topology.MeshTopology` already satisfies this
+protocol (it grew ``links()``/``max_ports`` in the fabric refactor); this
+module adds the ring-closing fabrics:
+
+* :class:`TorusTopology` — a mesh whose rows and columns wrap around.
+  Halves the worst-case hop count (``~sqrt(N)`` vs the mesh's
+  ``~2*sqrt(N)``) at the price of wrap links and the bubble rule.
+* :class:`RingTopology` — the minimal ring-closing fabric: 3-port
+  routers, worst case ``N/2 + 1`` hops. Structurally the simplest
+  mesochronous baseline, and the stress test for the bubble rule.
+
+All of these have converging paths (two routers joined by more than one
+path), so none can legally carry the paper's *integrated* clock
+distribution — the registry's build-time capability check enforces it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.errors import TopologyError
+from repro.fabric.routing import EAST, NORTH, RING_CCW, RING_CW, SOUTH, WEST
+
+#: One bidirectional neighbour connection: (a, a_port, b, b_port).
+LinkSpec = tuple[int, int, int, int]
+
+
+def square_side(nodes: int, what: str) -> int:
+    """Side length of a square grid fabric (nodes must be square)."""
+    side = math.isqrt(nodes)
+    if side * side != nodes:
+        raise TopologyError(f"{what} needs a square node count, got {nodes}")
+    return side
+
+
+class TorusTopology:
+    """A cols x rows 2-D torus, one network port per router.
+
+    Nodes are numbered row-major like the mesh: node = y * cols + x.
+    """
+
+    max_ports = 5
+
+    def __init__(self, cols: int, rows: int | None = None):
+        if rows is None:
+            rows = cols
+        if cols < 2 or rows < 2:
+            raise TopologyError("torus needs at least 2x2 routers")
+        self.cols = cols
+        self.rows = rows
+
+    @property
+    def nodes(self) -> int:
+        return self.cols * self.rows
+
+    @property
+    def router_count(self) -> int:
+        return self.nodes
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        if not 0 <= node < self.nodes:
+            raise TopologyError(f"unknown node {node}")
+        return (node % self.cols, node // self.cols)
+
+    def node_at(self, x: int, y: int) -> int:
+        return (y % self.rows) * self.cols + (x % self.cols)
+
+    def links(self) -> Iterator[LinkSpec]:
+        """Mesh-interior links first (same order as the mesh), then the
+        row/column wrap links — a fixed, documented build order."""
+        cols, rows = self.cols, self.rows
+        for node in range(self.nodes):
+            x, y = node % cols, node // cols
+            if x < cols - 1:
+                yield (node, EAST, self.node_at(x + 1, y), WEST)
+            if y < rows - 1:
+                yield (node, SOUTH, self.node_at(x, y + 1), NORTH)
+        for y in range(rows):
+            yield (self.node_at(cols - 1, y), EAST, self.node_at(0, y), WEST)
+        for x in range(cols):
+            yield (self.node_at(x, rows - 1), SOUTH, self.node_at(x, 0), NORTH)
+
+    def hop_count(self, src: int, dest: int) -> int:
+        """Routers traversed = wrap Manhattan distance + 1."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dest)
+        ax = abs(dx - sx)
+        ay = abs(dy - sy)
+        return min(ax, self.cols - ax) + min(ay, self.rows - ay) + 1
+
+    def worst_case_hops(self) -> int:
+        return self.cols // 2 + self.rows // 2 + 1
+
+    def link_count(self) -> int:
+        """Bidirectional router-to-router links (wraps included)."""
+        return 2 * self.nodes
+
+    def describe(self) -> str:
+        return f"{self.cols}x{self.rows} torus"
+
+
+class RingTopology:
+    """A bidirectional ring of ``nodes`` 3-port routers."""
+
+    max_ports = 3
+
+    def __init__(self, nodes: int):
+        if nodes < 2:
+            raise TopologyError("ring needs at least 2 routers")
+        self.nodes = nodes
+
+    @property
+    def router_count(self) -> int:
+        return self.nodes
+
+    def links(self) -> Iterator[LinkSpec]:
+        for node in range(self.nodes):
+            yield (node, RING_CW, (node + 1) % self.nodes, RING_CCW)
+
+    def hop_count(self, src: int, dest: int) -> int:
+        if not (0 <= src < self.nodes and 0 <= dest < self.nodes):
+            raise TopologyError(f"unknown nodes {src}->{dest}")
+        d = abs(dest - src)
+        return min(d, self.nodes - d) + 1
+
+    def worst_case_hops(self) -> int:
+        return self.nodes // 2 + 1
+
+    def link_count(self) -> int:
+        return self.nodes
+
+    def describe(self) -> str:
+        return f"{self.nodes}-node ring"

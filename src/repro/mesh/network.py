@@ -1,34 +1,32 @@
-"""Mesh network assembly with the same run-time API as the IC-NoC.
+"""Mesh network assembly — a thin layer over the shared fabric.
 
 The mesh is globally synchronous: every router fires once per clock cycle
-(kernel parity 0). Sources and sinks at the local ports use the same
-credit scheme as the routers.
+(kernel parity 0). The assembly, the endpoint adapters, and the whole
+run-time API live in :class:`repro.fabric.network.CreditFabricNetwork`;
+this module contributes the mesh's structure/routing pairing and keeps
+the historical names (``MeshNetwork``, ``MeshConfig``, ``_MeshSource``,
+``_MeshSink``) importable. Behaviour, component names, and registration
+order are unchanged, so results are bit-identical to the pre-fabric
+implementation.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Callable
 
-from repro.clocking.gating import GatingStats
-from repro.errors import ConfigurationError, TopologyError
-from repro.mesh.router import (
-    MeshLink,
-    MeshRouter,
-    LOCAL,
-    NORTH,
-    EAST,
-    SOUTH,
-    WEST,
-)
+from repro.errors import ConfigurationError
+from repro.fabric.endpoint import FabricSink, FabricSource
+from repro.fabric.network import CreditFabricNetwork
+from repro.fabric.router import FabricRouter
+from repro.fabric.routing import PORT_NAMES
+from repro.mesh.router import MeshRouter
 from repro.mesh.topology import MeshTopology
-from repro.noc.flit import Flit
-from repro.noc.packet import Packet
-from repro.noc.stats import NetworkStats
-from repro.sim.component import ClockedComponent
 from repro.sim.kernel import SimKernel
 from repro.tech.technology import Technology, TECH_90NM
+
+#: Deprecated aliases (PR 3): the endpoint adapters are fabric-generic.
+_MeshSource = FabricSource
+_MeshSink = FabricSink
 
 
 @dataclass(frozen=True)
@@ -58,192 +56,20 @@ class MeshConfig:
         return self.cols * self.rows
 
 
-class _MeshSource(ClockedComponent):
-    """Injects flits into a router's local input port under credits."""
-
-    def __init__(self, kernel: SimKernel, name: str, link: MeshLink,
-                 credits: int):
-        super().__init__(name, parity=0)
-        self.link = link
-        self.credits = credits
-        self.flits: deque[Flit] = deque()
-        self.packets: deque[Packet] = deque()
-        kernel.add_component(self)
-
-    def submit(self, packet: Packet) -> None:
-        self.packets.append(packet)
-        self.wake()
-
-    @property
-    def idle(self) -> bool:
-        return not self.flits and not self.packets
-
-    def on_edge(self, tick: int) -> None:
-        payload = self.link.credit.value
-        active = False
-        if payload is not None and payload != 0:
-            count, sent_tick = payload
-            if sent_tick == tick - 2:
-                self.credits += count
-                active = True
-        if not self.flits and self.packets:
-            packet = self.packets.popleft()
-            packet.inject_tick = tick
-            self.flits.extend(packet.to_flits())
-        if self.flits and self.credits > 0:
-            self.link.flit.set((self.flits.popleft(), tick), tick)
-            self.credits -= 1
-        elif not active:
-            # Nothing sendable (empty, or out of credits) and no credit
-            # arrived: wait for a credit return or the next submit().
-            self.sleep_until(self.link.credit)
-
-
-class _MeshSink(ClockedComponent):
-    """Drains a router's local output port, returning credits."""
-
-    def __init__(self, kernel: SimKernel, name: str, link: MeshLink,
-                 on_packet: Callable[[Packet, int], None]):
-        super().__init__(name, parity=0)
-        self.link = link
-        self.on_packet = on_packet
-        self._assembly: dict[int, list[Flit]] = {}
-        self.flits_received = 0
-        kernel.add_component(self)
-
-    def on_edge(self, tick: int) -> None:
-        payload = self.link.flit.value
-        credit = 0
-        if payload is not None:
-            flit, sent_tick = payload
-            if sent_tick == tick - 2:
-                self.flits_received += 1
-                credit = 1
-                self._kernel.emit("flit", flit)
-                buffer = self._assembly.setdefault(flit.packet_id, [])
-                buffer.append(flit)
-                if flit.is_tail:
-                    del self._assembly[flit.packet_id]
-                    packet = Packet.from_flits(buffer)
-                    packet.eject_tick = tick
-                    self.on_packet(packet, tick)
-                    self._kernel.emit("packet", packet)
-        # Write-on-change credit return (cf. MeshRouter): zero the wire
-        # once after a return, then stop driving it.
-        if credit:
-            self.link.credit.set((credit, tick), tick)
-        elif self.link.credit.value != 0:
-            self.link.credit.set(0, tick)
-        else:
-            # No arrival and no wire to settle: wait for the next flit.
-            self.sleep_until(self.link.flit)
-
-
-class MeshNetwork:
+class MeshNetwork(CreditFabricNetwork):
     """A built, runnable mesh with ICNoCNetwork-compatible API."""
 
-    def __init__(self, config: MeshConfig):
-        self.config = config
-        self.topology = MeshTopology(config.cols, config.rows)
-        self.kernel = SimKernel(activity_driven=config.activity_driven)
-        self.stats = NetworkStats()
-        self.routers: list[MeshRouter] = []
-        self.sources: list[_MeshSource] = []
-        self.sinks: list[_MeshSink] = []
-        self.delivered: list[Packet] = []
-        self._inflight: dict[int, Packet] = {}
-        self._build()
+    def __init__(self, config: MeshConfig, kernel: SimKernel | None = None):
+        from repro.fabric.routing import XYRouting
+        super().__init__(config, MeshTopology(config.cols, config.rows),
+                         XYRouting(config.cols, config.rows), kernel=kernel,
+                         node_prefix="m", port_names=PORT_NAMES)
 
-    def _build(self) -> None:
-        cols, rows = self.config.cols, self.config.rows
-        for node in range(self.topology.nodes):
-            x, y = self.topology.coordinates(node)
-            self.routers.append(MeshRouter(
-                self.kernel, f"m{node}", x, y, cols, rows,
-                buffer_depth=self.config.buffer_depth,
-            ))
-        # Router-to-router links (two directed links per mesh edge).
-        for node in range(self.topology.nodes):
-            x, y = self.topology.coordinates(node)
-            if x < cols - 1:
-                east = self.topology.node_at(x + 1, y)
-                self._connect(node, EAST, east, WEST)
-            if y < rows - 1:
-                south = self.topology.node_at(x, y + 1)
-                self._connect(node, SOUTH, south, NORTH)
-        # Local ports.
-        for node in range(self.topology.nodes):
-            router = self.routers[node]
-            inject = MeshLink(self.kernel, f"m{node}.inj")
-            eject = MeshLink(self.kernel, f"m{node}.ej")
-            router.connect(LOCAL, inject, eject)
-            source = _MeshSource(self.kernel, f"m{node}.src", inject,
-                                 credits=self.config.buffer_depth)
-            sink = _MeshSink(self.kernel, f"m{node}.sink", eject,
-                             on_packet=self._make_delivery_hook(node))
-            # The sink grants the router initial credits via connect();
-            # sink-side credits mirror the router's local output credits.
-            self.sources.append(source)
-            self.sinks.append(sink)
-
-    def _connect(self, a: int, a_port: int, b: int, b_port: int) -> None:
-        a_to_b = MeshLink(self.kernel, f"m{a}>m{b}")
-        b_to_a = MeshLink(self.kernel, f"m{b}>m{a}")
-        router_a, router_b = self.routers[a], self.routers[b]
-        router_a.connect(a_port, b_to_a, a_to_b)
-        router_b.connect(b_port, a_to_b, b_to_a)
-
-    def _make_delivery_hook(self, node: int):
-        def hook(packet: Packet, tick: int) -> None:
-            original = self._inflight.pop(packet.packet_id, None)
-            if original is not None:
-                packet.inject_tick = original.inject_tick
-            self.delivered.append(packet)
-            hops = self.topology.hop_count(packet.src, packet.dest)
-            self.stats.record_delivery(packet, hops)
-        return hook
-
-    # -- ICNoCNetwork-compatible API --------------------------------------
-
-    def send(self, packet: Packet) -> None:
-        if not 0 <= packet.dest < self.topology.nodes:
-            raise TopologyError(f"unknown destination {packet.dest}")
-        if packet.src == packet.dest:
-            raise TopologyError("src == dest: packets never enter the mesh")
-        self._inflight[packet.packet_id] = packet
-        self.sources[packet.src].submit(packet)
-        self.stats.packets_injected += 1
-        self.kernel.emit("inject", packet)
-
-    def run_ticks(self, ticks: int) -> None:
-        self.kernel.run_ticks(ticks)
-        self.stats.elapsed_ticks = self.kernel.tick
-
-    def run_cycles(self, cycles: float) -> None:
-        self.kernel.run_cycles(cycles)
-        self.stats.elapsed_ticks = self.kernel.tick
-
-    def drain(self, max_ticks: int = 1_000_000) -> bool:
-        done = self.kernel.run_until(
-            lambda: self.stats.packets_delivered >= self.stats.packets_injected,
-            max_ticks,
+    def _make_router(self, node: int) -> FabricRouter:
+        x, y = self.topology.coordinates(node)
+        return MeshRouter(
+            self.kernel, f"m{node}", x, y,
+            self.config.cols, self.config.rows,
+            buffer_depth=self.config.buffer_depth,
+            route=self.routing.for_node(node),
         )
-        self.stats.elapsed_ticks = self.kernel.tick
-        return done
-
-    def gating_stats(self) -> GatingStats:
-        total = GatingStats()
-        for router in self.routers:
-            total.merge(router.gating)
-        return total
-
-    def total_buffer_flits(self) -> int:
-        """Total FIFO capacity — the stall-buffer cost the IC-NoC avoids."""
-        total = 0
-        for node in range(self.topology.nodes):
-            router = self.routers[node]
-            ports_in_use = sum(
-                1 for link in router.in_links if link is not None
-            )
-            total += ports_in_use * self.config.buffer_depth
-        return total

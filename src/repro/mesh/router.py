@@ -1,184 +1,57 @@
-"""A globally synchronous mesh router with input FIFOs and credits.
+"""The mesh's 5-port XY router — a thin layer over the shared fabric.
 
-Single-edge clocking (all routers share parity 0 in the kernel: one firing
-per clock cycle). Each input port has a FIFO of ``buffer_depth`` flits —
-the stall buffers the IC-NoC architecture avoids. Flow control is
-credit-based: a router may only forward a flit toward a neighbour when it
-holds a credit for that neighbour's input FIFO; the neighbour returns a
-credit when it dequeues. XY wormhole routing with per-output round-robin
-arbitration and locks.
+Historically this module carried its own router implementation; since the
+``repro.fabric`` refactor the credit/wormhole machinery (input FIFOs,
+credits, per-output round-robin arbitration, wormhole locks, the idle
+sleep contract, gating backfill, and the ``arbitration_grant`` /
+``credit_exhausted`` kernel events) lives once in
+:class:`repro.fabric.router.FabricRouter`; the mesh contributes only its
+XY dimension-order routing strategy and its port naming. Behaviour is
+unchanged — same cycle-level semantics, same statistics, same names.
 
-Routers honour the idle-component contract (docs/kernel.md): signals are
-driven write-on-change (a credit wire is zeroed once after a return, then
-left alone), so an edge that receives nothing, forwards nothing, and has
-nothing buffered is a fixed point — the router sleeps watching its input
-flit wires and output credit wires, and mesh-heavy sweeps benefit from
-the kernel's activity-driven fast path. Skipped edges are backfilled into
-the gating statistics via :class:`GatedComponentMixin`.
+``MeshLink`` is the historical name of the generic
+:class:`repro.fabric.link.CreditLink`; both resolve to the same class.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
-from repro.clocking.gating import GatedComponentMixin, GatingStats
-from repro.errors import ConfigurationError, RoutingError
-from repro.noc.arbiter import RoundRobinArbiter
-from repro.noc.flit import Flit
-from repro.sim.component import ClockedComponent
+from repro.fabric.link import CreditLink
+from repro.fabric.router import FabricRouter
+from repro.fabric.routing import (
+    LOCAL,
+    NORTH,
+    EAST,
+    SOUTH,
+    WEST,
+    PORT_NAMES,
+    XYRouting,
+)
 from repro.sim.kernel import SimKernel
-from repro.sim.signal import Signal
 
-#: Port indices.
-LOCAL, NORTH, EAST, SOUTH, WEST = range(5)
-PORT_NAMES = ("local", "north", "east", "south", "west")
+__all__ = ["MeshLink", "MeshRouter", "LOCAL", "NORTH", "EAST", "SOUTH",
+           "WEST", "PORT_NAMES"]
 
-
-class MeshLink:
-    """One directed router-to-router (or router-to-NI) connection."""
-
-    def __init__(self, kernel: SimKernel, name: str):
-        self.flit: Signal = kernel.signal(f"{name}.flit", initial=None)
-        self.credit: Signal = kernel.signal(f"{name}.credit", initial=0)
+#: Deprecated alias (PR 3): one directed router-to-router connection.
+MeshLink = CreditLink
 
 
-class MeshRouter(GatedComponentMixin, ClockedComponent):
-    """5-port XY wormhole router (ports absent at mesh edges stay None)."""
+class MeshRouter(FabricRouter):
+    """5-port XY wormhole router (ports absent at mesh edges stay None).
+
+    ``route`` lets an assembling network reuse its single
+    :class:`~repro.fabric.routing.XYRouting` instance; standalone
+    construction (tests, experiments) derives the route here.
+    """
 
     def __init__(self, kernel: SimKernel, name: str, x: int, y: int,
-                 cols: int, rows: int, buffer_depth: int = 4):
-        super().__init__(name, parity=0)
-        if buffer_depth < 2:
-            raise ConfigurationError("credit flow control needs depth >= 2")
+                 cols: int, rows: int, buffer_depth: int = 4,
+                 route=None):
         self.x = x
         self.y = y
         self.cols = cols
         self.rows = rows
-        self.buffer_depth = buffer_depth
-        # in_links[p]: flits arriving on port p; out_links[p]: flits leaving.
-        self.in_links: list[MeshLink | None] = [None] * 5
-        self.out_links: list[MeshLink | None] = [None] * 5
-        self.fifos: list[deque[Flit]] = [deque() for _ in range(5)]
-        self.credits = [0] * 5  # credits toward each output's consumer
-        self.locks: list[int | None] = [None] * 5
-        self.arbiters = [RoundRobinArbiter(5) for _ in range(5)]
-        self._gating = GatingStats()
-        self.flits_forwarded = 0
-        # Signals to watch while asleep: anything arriving (flits in,
-        # credits back) makes the next edge act again.
-        self._watch: list[Signal] = []
-        kernel.add_component(self)
-
-    def connect(self, port: int, in_link: MeshLink | None,
-                out_link: MeshLink | None) -> None:
-        self.in_links[port] = in_link
-        self.out_links[port] = out_link
-        if out_link is not None:
-            self.credits[port] = self.buffer_depth
-        self._watch = [link.flit for link in self.in_links
-                       if link is not None]
-        self._watch += [link.credit for link in self.out_links
-                        if link is not None]
-
-    def _route(self, flit: Flit) -> int:
-        dx = flit.dest % self.cols
-        dy = flit.dest // self.cols
-        if dx > self.x:
-            return EAST
-        if dx < self.x:
-            return WEST
-        if dy > self.y:
-            return SOUTH
-        if dy < self.y:
-            return NORTH
-        return LOCAL
-
-    def on_edge(self, tick: int) -> None:
-        enabled = False   # register-bank activity (gating statistics)
-        active = False    # anything at all happened (sleep decision)
-        # 1. Collect credit returns. Link payloads are (value, sent_tick)
-        # tuples; anything sent at tick t-2 is consumed exactly once, at
-        # this edge — stale signal values are ignored by the tick tag.
-        for port, link in enumerate(self.out_links):
-            if link is None:
-                continue
-            payload = link.credit.value
-            if payload is not None and payload != 0:
-                count, sent_tick = payload
-                if sent_tick == tick - 2:
-                    self.credits[port] += count
-                    active = True
-        # 2. Forward: per output, arbitrate among input FIFO heads. Runs
-        # before arrivals are enqueued, so a flit spends at least one full
-        # cycle in the router (head latency 2 cycles/hop incl. the wire).
-        credits_returned = [0] * 5
-        for out_port in range(5):
-            out_link = self.out_links[out_port]
-            if out_link is None or self.credits[out_port] <= 0:
-                continue
-            lock = self.locks[out_port]
-            requests = []
-            for in_port in range(5):
-                fifo = self.fifos[in_port]
-                if not fifo:
-                    requests.append(False)
-                    continue
-                head = fifo[0]
-                if self._route(head) != out_port:
-                    requests.append(False)
-                    continue
-                if lock is not None:
-                    requests.append(in_port == lock)
-                else:
-                    requests.append(head.is_head)
-            if not any(requests):
-                continue
-            winner = self.arbiters[out_port].grant(requests)
-            flit = self.fifos[winner].popleft()
-            credits_returned[winner] += 1
-            out_link.flit.set((flit, tick), tick)
-            self.credits[out_port] -= 1
-            self.flits_forwarded += 1
-            enabled = True
-            if flit.is_tail:
-                self.locks[out_port] = None
-            elif flit.is_head:
-                self.locks[out_port] = winner
-        # 3. Accept arrivals (credit scheme guarantees FIFO space).
-        for port, link in enumerate(self.in_links):
-            if link is None:
-                continue
-            payload = link.flit.value
-            if payload is None:
-                continue
-            flit, sent_tick = payload
-            if sent_tick != tick - 2:
-                continue  # already consumed on a previous edge
-            if len(self.fifos[port]) >= self.buffer_depth:
-                raise RoutingError(f"{self.name}: FIFO overflow on "
-                                   f"{PORT_NAMES[port]} (credit violation)")
-            self.fifos[port].append(flit)
-            enabled = True
-        # 4. Return credits upstream for dequeued flits — write-on-change:
-        # a credit wire carrying a stale (count, tick) payload is zeroed
-        # once, then left alone, so an idle router drives nothing.
-        for in_port, link in enumerate(self.in_links):
-            if link is None:
-                continue
-            if credits_returned[in_port]:
-                link.credit.set((credits_returned[in_port], tick), tick)
-                active = True
-            elif link.credit.value != 0:
-                link.credit.set(0, tick)
-                active = True
-        self.gating.record(enabled)
-        if not enabled and not active:
-            # Fixed point: nothing arrived, nothing moved, every wire we
-            # drive already holds its committed value. Forwarding (even
-            # with buffered flits) can only resume after a credit return
-            # or a new arrival — both are watched signal changes.
-            self.sleep_until(*self._watch)
-
-    @property
-    def buffered_flits(self) -> int:
-        return sum(len(fifo) for fifo in self.fifos)
+        if route is None:
+            route = XYRouting(cols, rows).for_node(y * cols + x)
+        super().__init__(kernel, name, n_ports=5, route=route,
+                         buffer_depth=buffer_depth,
+                         port_names=PORT_NAMES)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from typing import Iterator
 
 from repro.errors import TopologyError
 
@@ -11,7 +12,15 @@ class MeshTopology:
     """A cols x rows mesh of routers, one network port per router.
 
     Nodes are numbered row-major: node = y * cols + x.
+
+    Satisfies the credit-fabric topology protocol
+    (:mod:`repro.fabric.topologies`): ``max_ports`` routers with
+    ``links()`` enumerating the neighbour pairs in build order.
     """
+
+    #: Uniform router port count (local + 4 directions; edge routers
+    #: simply leave the missing directions unconnected).
+    max_ports = 5
 
     def __init__(self, cols: int, rows: int | None = None):
         if rows is None:
@@ -57,6 +66,18 @@ class MeshTopology:
         ports += y > 0
         ports += y < self.rows - 1
         return ports
+
+    def links(self) -> Iterator[tuple[int, int, int, int]]:
+        """Bidirectional neighbour pairs ``(a, a_port, b, b_port)``, in
+        the fixed per-node east-then-south build order the network
+        assembler has always used."""
+        from repro.fabric.routing import EAST, NORTH, SOUTH, WEST
+        for node in range(self.nodes):
+            x, y = node % self.cols, node // self.cols
+            if x < self.cols - 1:
+                yield (node, EAST, self.node_at(x + 1, y), WEST)
+            if y < self.rows - 1:
+                yield (node, SOUTH, self.node_at(x, y + 1), NORTH)
 
     def xy_path(self, src: int, dest: int) -> list[int]:
         """Routers visited under XY routing (including both endpoints)."""

@@ -132,6 +132,12 @@ class ICNoCNetwork:
     def _segments(self, length_mm: float) -> int:
         return max(1, math.ceil(length_mm / self.config.max_segment_mm - 1e-9))
 
+    def _route_for(self, node):
+        """Routing-function hook for subclasses (None = the default
+        up*/down* strategy). The concentrated tree overrides this to map
+        endpoint addresses onto shared leaves."""
+        return None
+
     def _build(self) -> None:
         topo = self.topology
         self.routers = [None] * topo.router_count  # type: ignore[list-item]
@@ -140,6 +146,7 @@ class ICNoCNetwork:
         root = TreeRouter(
             self.kernel, "r0", root_node, topo, input_parity=0,
             arbiter_factory=self._arbiter_factory_for(root_node),
+            route=self._route_for(root_node),
         )
         self.routers[0] = root
         self.clock_tree.add("r0", parent="clkgen", segment_delay_ps=0.0,
@@ -227,6 +234,7 @@ class ICNoCNetwork:
                     arbiter_factory=self._arbiter_factory_for(child_node),
                     in_channel_overrides={PARENT_PORT: down_chs[-1]},
                     out_channel_overrides={PARENT_PORT: up_chs[0]},
+                    route=self._route_for(child_node),
                 )
                 self.routers[child] = child_router
                 self.clock_tree.add(f"r{child}", parent=clock_parent,

@@ -24,11 +24,12 @@ from typing import Callable, Sequence
 
 from repro.clocking.gating import GatedComponentMixin, GatingStats
 from repro.errors import ConfigurationError, RoutingError
+from repro.fabric.routing import tree_updown_route
 from repro.noc.arbiter import Arbiter, RoundRobinArbiter
 from repro.noc.flit import Flit
 from repro.noc.handshake import HandshakeChannel
 from repro.noc.pipeline import PipelineStage
-from repro.noc.topology import RouterNode, TreeTopology, PARENT_PORT
+from repro.noc.topology import RouterNode, TreeTopology
 from repro.sim.component import ClockedComponent
 from repro.sim.kernel import SimKernel
 
@@ -104,6 +105,13 @@ class SwitchCore(GatedComponentMixin, ClockedComponent):
             accepted_inputs[winner] = True
             self.flits_switched += 1
             enabled = True
+            if self._kernel._event_subs:
+                # Same congestion-diagnosis event the credit fabrics'
+                # FabricRouter emits (cheap no-op unobserved).
+                self._kernel.emit("arbitration_grant", {
+                    "router": self.name, "output": o,
+                    "input": winner, "flit": flit,
+                })
             if flit.is_tail:
                 self.locks[o] = None
             elif flit.is_head:
@@ -151,11 +159,17 @@ class TreeRouter:
                  arbiter_factory: ArbiterFactory = round_robin_factory,
                  extra_stages: int | None = None,
                  in_channel_overrides: dict[int, HandshakeChannel] | None = None,
-                 out_channel_overrides: dict[int, HandshakeChannel] | None = None):
+                 out_channel_overrides: dict[int, HandshakeChannel] | None = None,
+                 route: Callable[[Flit], int] | None = None):
         self.name = name
         self.node = node
         self.topology = topology
         self.input_parity = input_parity
+        # Routing is a pluggable strategy (repro.fabric.routing); the
+        # default is the paper's up*/down* walk of this router's node.
+        self._route_fn = route if route is not None else tree_updown_route(
+            topology, node, name=name,
+        )
         ports = node.ports
         if extra_stages is None:
             extra_stages = 1 if ports >= 5 else 0
@@ -235,12 +249,7 @@ class TreeRouter:
         return 3 + 2 * self.extra_stages
 
     def _route(self, flit: Flit) -> int:
-        port = self.topology.child_port_for_leaf(self.node, flit.dest)
-        if port == PARENT_PORT and self.node.parent is None:
-            raise RoutingError(
-                f"{self.name}: destination {flit.dest} not under the root"
-            )
-        return port
+        return self._route_fn(flit)
 
     def all_stages(self) -> list[PipelineStage]:
         return (self.input_stages + self.pre_stages + self.post_stages

@@ -98,3 +98,30 @@ class ClockedComponent(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r}, parity={self.parity})"
+
+
+class GatedComponentMixin:
+    """Gating bookkeeping for clocked components honouring the idle
+    contract (mix in before :class:`ClockedComponent`).
+
+    Edges skipped while the component sleeps are still clock edges its
+    register bank would have seen gated; the mixin backfills them through
+    the base class's :meth:`ClockedComponent._settle_idle` /
+    :meth:`ClockedComponent._on_idle_edges` hooks, so fast-path gating
+    statistics equal the naive loop's exactly. The component records live
+    edges via ``self.gating.record(enabled)`` and must initialise
+    ``self._gating = GatingStats()`` (see
+    :class:`repro.clocking.gating.GatingStats`).
+
+    Lives next to :class:`ClockedComponent` because the backfill is part
+    of the kernel's idle-edge accounting contract, not of any one fabric;
+    every register bank in every fabric shares this implementation.
+    """
+
+    @property
+    def gating(self):
+        self._settle_idle()
+        return self._gating
+
+    def _on_idle_edges(self, edges: int) -> None:
+        self._gating.edges_total += edges

@@ -17,10 +17,25 @@ a quiescent window is by definition value-holding, and unknown values
 the next change at its exact tick. Within a ``#tick`` block, changes are
 ordered by the signals' kernel registration index, which makes the output
 byte-identical between the activity-driven and naive kernel modes.
+
+Long traced runs need not hold an ever-growing file open:
+
+* ``rotate_ticks=N`` rotates the output by tick window — each window is a
+  complete standalone VCD file (header + a full value snapshot at the
+  window's first change tick), so any window opens in a viewer on its
+  own and earlier windows can be compressed or shipped off while the run
+  continues;
+* ``compress=True`` writes gzip-compressed ``.vcd.gz`` files directly.
+
+Rotation points derive from committed change ticks only, so windowed and
+compressed traces remain byte-identical between the two kernel modes
+(gzip output included: fixed mtime, no filename in the header).
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 from pathlib import Path
 from typing import IO, Any
 
@@ -64,37 +79,87 @@ class VCDWriter(Probe):
     dispatched by the commit phase; the initial values are dumped at the
     construction tick.
 
+    With ``rotate_ticks`` the trace is split into standalone windows:
+    ``trace.vcd``, ``trace.w1.vcd``, ``trace.w2.vcd``, ... — see
+    :attr:`paths` for everything written. ``compress=True`` appends
+    ``.gz`` and writes through :mod:`gzip`.
+
     >>> kernel = SimKernel()
     >>> sig = kernel.signal("clk_enable", initial=False)
     >>> writer = VCDWriter(kernel, "/tmp/trace.vcd", [sig])  # doctest: +SKIP
     """
 
     def __init__(self, kernel: SimKernel, path: str | Path,
-                 signals: list[Signal], module: str = "icnoc"):
+                 signals: list[Signal], module: str = "icnoc",
+                 rotate_ticks: int | None = None, compress: bool = False):
         if not signals:
             raise ConfigurationError("need at least one signal to trace")
+        if rotate_ticks is not None and rotate_ticks <= 0:
+            raise ConfigurationError("rotate_ticks must be positive")
         super().__init__(kernel)
         self._signals = list(signals)
         self._ids = {sig: _identifier(i) for i, sig in enumerate(signals)}
         self._changes: list[tuple[int, str]] = []
-        self._file: IO[str] = open(path, "w")
-        self._write_header(module)
-        # Initial dump: every traced signal's committed value, now.
-        self._file.write(f"#{kernel.tick}\n")
-        self._file.write("\n".join(
-            f"{_encode(sig.value)}{self._ids[sig]}" for sig in self._signals
-        ) + "\n")
+        self._module = module
+        self._base_path = Path(path)
+        self._compress = compress
+        self._rotate_ticks = rotate_ticks
+        #: Every window file written so far, in order.
+        self.paths: list[Path] = []
+        self._window = 0
+        # Window boundaries count from the construction tick.
+        self._window_end = (kernel.tick + rotate_ticks
+                            if rotate_ticks is not None else None)
+        self._file: IO[str] = self._open(self._path_for(0))
+        self._write_header()
+        self._snapshot(kernel.tick)
         self.observe(*self._signals)
 
-    def _write_header(self, module: str) -> None:
+    # -- file management -------------------------------------------------
+
+    def _path_for(self, window: int) -> Path:
+        base = self._base_path
+        if window:
+            base = base.with_name(f"{base.stem}.w{window}{base.suffix}")
+        if self._compress and base.suffix != ".gz":
+            base = base.with_name(base.name + ".gz")
+        return base
+
+    def _open(self, path: Path) -> IO[str]:
+        self.paths.append(path)
+        if self._compress:
+            return _gzip_text(path)
+        return open(path, "w")
+
+    def _write_header(self) -> None:
         out = self._file
         out.write("$comment repro IC-NoC behavioural trace $end\n")
         out.write("$timescale 1 ns $end\n")  # 1 tick = 1 display unit
-        out.write(f"$scope module {module} $end\n")
+        out.write(f"$scope module {self._module} $end\n")
         for sig in self._signals:
             name = sig.name.replace(" ", "_")
             out.write(f"$var wire 32 {self._ids[sig]} {name} $end\n")
         out.write("$upscope $end\n$enddefinitions $end\n")
+
+    def _snapshot(self, tick: int) -> None:
+        """Dump every traced signal's committed value at ``tick`` — the
+        standalone opening block of each window file."""
+        self._file.write(f"#{tick}\n")
+        self._file.write("\n".join(
+            f"{_encode(sig.value)}{self._ids[sig]}" for sig in self._signals
+        ) + "\n")
+
+    def _rotate(self, tick: int) -> None:
+        self._file.close()
+        self._window += 1
+        self._file = self._open(self._path_for(self._window))
+        self._write_header()
+        self._snapshot(tick)
+        # Advance past every boundary the quiescent gap skipped.
+        while self._window_end <= tick:
+            self._window_end += self._rotate_ticks
+
+    # -- probe hooks ------------------------------------------------------
 
     def on_change(self, tick: int, signal: Signal, old: Any, new: Any) -> None:
         self._changes.append((signal._index,
@@ -103,6 +168,12 @@ class VCDWriter(Probe):
     def flush(self, tick: int) -> None:
         changes = self._changes
         if self._file.closed:  # closed mid-tick with a flush pending
+            changes.clear()
+            return
+        if self._window_end is not None and tick >= self._window_end:
+            # New window: the snapshot at this tick subsumes the changes
+            # (they are committed, so the snapshot already shows them).
+            self._rotate(tick)
             changes.clear()
             return
         changes.sort()  # canonical signal order: mode-independent output
@@ -119,3 +190,28 @@ class VCDWriter(Probe):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class _ClosingTextIO(io.TextIOWrapper):
+    """TextIOWrapper that also closes the bottom raw file on close()
+    (GzipFile leaves a caller-supplied fileobj open)."""
+
+    def __init__(self, buffer: IO[bytes], raw: IO[bytes], **kwargs):
+        super().__init__(buffer, **kwargs)
+        self._raw = raw
+
+    def close(self) -> None:
+        super().close()
+        if not self._raw.closed:
+            self._raw.close()
+
+
+def _gzip_text(path: Path) -> IO[str]:
+    """A text-mode gzip stream with reproducible bytes: mtime pinned and
+    no FNAME header field (opening via fileobj omits the filename), so
+    identical traces compress to identical files regardless of name."""
+    raw = open(path, "wb")
+    # filename="" keeps FNAME out of the header (GzipFile would
+    # otherwise lift it from raw.name).
+    compressed = gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0)
+    return _ClosingTextIO(compressed, raw, encoding="ascii", newline="")

@@ -7,10 +7,20 @@ the chain mapped onto *adjacent* tiles, traffic is sibling/local — the
 mapping regime the paper's Section 3 assumes — and the experiment
 quantifies what mapping is worth by comparing against a scattered
 placement of the same chain.
+
+:class:`BurstySystem` models the other canonical system shape: tiles
+alternating long *compute phases* (no traffic at all) with short *DMA
+storms* (every tile bursts writes to a partner's memory at once). Each
+tile is a :class:`DmaStormDriver` clocked component honouring the idle
+contract — during a compute phase the entire system is quiescent and the
+activity-driven kernel fast-forwards straight to the next storm via an
+exact-tick timer. This is the demonstrator-style stress case of the fast
+path, wired into ``bench_kernel_throughput`` as its fourth scenario.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,7 +28,9 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.noc.network import ICNoCNetwork, NetworkConfig
 from repro.noc.packet import Packet
-from repro.noc.stats import LatencySummary
+from repro.noc.stats import LatencySummary, NetworkStats
+from repro.sim.component import ClockedComponent
+from repro.sim.kernel import SimKernel
 from repro.system.tile import mem_leaf, proc_leaf
 
 
@@ -147,6 +159,166 @@ def evaluate_streaming(config: StreamingConfig) -> StreamingResults:
     equal specs give equal results in any process.
     """
     return StreamingWorkload(config).run()
+
+
+# -- bursty compute-phase / DMA-storm workload ----------------------------
+
+
+@dataclass(frozen=True)
+class BurstyConfig:
+    """A phased workload: compute silence punctuated by DMA storms.
+
+    Attributes:
+        tiles: tile count (2*tiles leaves, processor/memory pairs).
+        storms: number of storm windows.
+        storm_cycles: length of each storm window in cycles.
+        compute_cycles: quiet compute phase between storms.
+        packets_per_storm: DMA packets each tile issues per storm.
+        burst_flits: flits per DMA packet.
+        seed: derives storm schedules and partner choices (all randomness
+            is consumed at build time, so both kernel modes replay the
+            identical schedule).
+    """
+
+    tiles: int = 16
+    storms: int = 3
+    storm_cycles: int = 8
+    compute_cycles: int = 400
+    packets_per_storm: int = 2
+    burst_flits: int = 4
+    seed: int = 11
+    activity_driven: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tiles < 2 or self.tiles & (self.tiles - 1):
+            raise ConfigurationError("tiles must be a power of two >= 2")
+        if min(self.storms, self.storm_cycles, self.packets_per_storm,
+               self.burst_flits) < 1:
+            raise ConfigurationError("storm parameters must be positive")
+        if self.compute_cycles < 1:
+            raise ConfigurationError("compute_cycles must be >= 1")
+
+    @property
+    def leaves(self) -> int:
+        return 2 * self.tiles
+
+    @property
+    def phase_cycles(self) -> int:
+        return self.storm_cycles + self.compute_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        """The issue horizon: every storm plus its compute phase."""
+        return self.storms * self.phase_cycles
+
+
+class DmaStormDriver(ClockedComponent):
+    """Replays one tile's precomputed DMA schedule.
+
+    Idle contract: after sending everything due this edge, the driver
+    arms an exact-tick timer for the next due packet and sleeps — so a
+    compute phase costs zero fired edges and the whole-system quiet
+    window fast-forwards. All randomness was consumed when the schedule
+    was built; the replay is deterministic in both kernel modes.
+    """
+
+    def __init__(self, kernel: SimKernel, tile: int,
+                 schedule: list[tuple[int, int, list[int]]]):
+        super().__init__(f"tile{tile}.dma", parity=0)
+        self.tile = tile
+        #: (due_tick, dest_leaf, payload) in due order.
+        self._schedule = deque(schedule)
+        self.network: ICNoCNetwork | None = None  # bound after build
+        self.packets_sent = 0
+        kernel.add_component(self)
+
+    def on_edge(self, tick: int) -> None:
+        schedule = self._schedule
+        while schedule and schedule[0][0] <= tick:
+            _, dest, payload = schedule.popleft()
+            self.network.send(Packet(src=proc_leaf(self.tile), dest=dest,
+                                     payload=list(payload)))
+            self.packets_sent += 1
+        if schedule:
+            # Wake exactly one tick before the next due edge (timers fire
+            # at end-of-tick, so the wake lands on the due edge itself).
+            due = schedule[0][0]
+            self._kernel.call_at(due - 1, lambda _t: self.wake())
+        self.sleep_until()
+
+
+class BurstySystem:
+    """Tiles alternating compute phases with synchronized DMA storms."""
+
+    def __init__(self, config: BurstyConfig = BurstyConfig()):
+        self.config = config
+        # Drivers register before the network on the shared kernel, so
+        # their sends reach the NIs the same tick (cf. DemonstratorSystem).
+        self.kernel = SimKernel(activity_driven=config.activity_driven)
+        rng = np.random.default_rng(config.seed)
+        self.drivers: list[DmaStormDriver] = []
+        for tile in range(config.tiles):
+            self.drivers.append(DmaStormDriver(
+                self.kernel, tile, self._schedule_for(tile, rng)))
+        self.network = ICNoCNetwork(NetworkConfig(
+            leaves=config.leaves, arity=2,
+            activity_driven=config.activity_driven,
+        ), kernel=self.kernel)
+        for driver in self.drivers:
+            driver.network = self.network
+        #: Whether the last run() delivered everything within its drain
+        #: budget — False means the returned stats are truncated.
+        self.drained = True
+
+    def _schedule_for(self, tile: int,
+                      rng: np.random.Generator
+                      ) -> list[tuple[int, int, list[int]]]:
+        """One tile's DMA storm schedule (randomness consumed here)."""
+        config = self.config
+        entries: list[tuple[int, int, list[int]]] = []
+        for storm in range(config.storms):
+            start = storm * config.phase_cycles
+            for _ in range(config.packets_per_storm):
+                cycle = start + int(rng.integers(0, config.storm_cycles))
+                partner = int(rng.integers(0, config.tiles - 1))
+                if partner >= tile:
+                    partner += 1  # DMA targets a *remote* tile's memory
+                payload = [storm] + [0] * (config.burst_flits - 1)
+                entries.append((2 * cycle, mem_leaf(partner), payload))
+        entries.sort(key=lambda e: e[0])
+        return entries
+
+    def run(self, drain_ticks: int = 200_000) -> NetworkStats:
+        """Replay every storm, then drain the tail.
+
+        Sets :attr:`drained`; stats from an undrained run are truncated
+        and should not be treated as a valid measurement.
+        """
+        self.network.run_ticks(2 * self.config.total_cycles)
+        self.drained = self.network.drain(max_ticks=drain_ticks)
+        return self.network.stats
+
+    @property
+    def packets_scheduled(self) -> int:
+        return (self.config.tiles * self.config.storms
+                * self.config.packets_per_storm)
+
+
+def evaluate_bursty(config: BurstyConfig) -> NetworkStats:
+    """Worker entry point: build and replay one bursty system.
+
+    Raises :class:`~repro.errors.SimulationError` if the drain budget
+    ran out — a truncated replay is not a measurement.
+    """
+    from repro.errors import SimulationError
+    system = BurstySystem(config)
+    stats = system.run()
+    if not system.drained:
+        raise SimulationError(
+            f"bursty replay failed to drain: {stats.packets_delivered} of "
+            f"{system.packets_scheduled} packets delivered"
+        )
+    return stats
 
 
 def mapping_comparison(tiles: int = 16, stages: int = 4,

@@ -172,3 +172,73 @@ class TestBisectSaturation:
 class TestDefaultWorkers:
     def test_at_least_one(self):
         assert default_workers() >= 1
+
+
+class TestFabricLoadPoints:
+    """Any registered fabric runs through the sweep engine via
+    FabricConfig specs."""
+
+    def test_ports_from_fabric_config(self):
+        from repro.fabric.registry import FabricConfig
+        spec = LoadPoint(load=0.1,
+                         network=FabricConfig(topology="ring", ports=8))
+        assert spec.ports == 8
+        assert type(spec.build_network()).__name__ == "RingNetwork"
+
+    def test_serial_equals_parallel_for_fabric_spec(self):
+        from repro.fabric.registry import FabricConfig
+        template = LoadPoint(
+            load=0.05, cycles=40,
+            network=FabricConfig(topology="torus", ports=9))
+        specs = expand_loads(template, [0.05, 0.15], base_seed=4)
+        serial = measure_load_points(specs, workers=1)
+        parallel = measure_load_points(specs, workers=2)
+        assert serial == parallel
+
+    def test_ctree_spec_builds_and_measures(self):
+        from repro.fabric.registry import FabricConfig
+        spec = LoadPoint(
+            load=0.1, cycles=40,
+            network=FabricConfig(topology="ctree", ports=8,
+                                 concentration=2))
+        metrics = evaluate_load_point(spec)
+        assert metrics["drained"] == 1.0
+
+
+class TestBisectionReuse:
+    """The drained curve the bisection already simulated is reused for
+    latency-at-saturation instead of being discarded."""
+
+    @pytest.fixture(scope="class")
+    def search(self):
+        from repro.analysis.parallel import bisect_saturation_throughput
+        template = LoadPoint(load=0.05, network=TREE16, cycles=200)
+        return bisect_saturation_throughput(
+            template, lo=0.05, hi=0.85, budget=6)
+
+    def test_latency_recovered_from_measured_curve(self, search):
+        assert search.saturation > 0.0
+        metrics = search.saturation_metrics
+        assert metrics is not None
+        assert search.latency_at_saturation == \
+            metrics["mean_latency_cycles"]
+        assert search.latency_at_saturation > 0.0
+
+    def test_saturation_metrics_is_a_measured_point(self, search):
+        assert (search.saturation, search.saturation_metrics) in \
+            search.evaluated
+
+    def test_curve_sorted_and_complete(self, search):
+        curve = search.curve
+        loads = [load for load, _ in curve]
+        assert loads == sorted(loads)
+        assert len(curve) == search.points_used
+
+    def test_zero_saturation_has_no_metrics(self):
+        from repro.analysis.parallel import bisect_saturation_throughput
+        template = LoadPoint(load=0.05, network=TREE16, cycles=120)
+        search = bisect_saturation_throughput(
+            template, lo=0.6, hi=0.85, budget=4)
+        assert search.saturation == 0.0
+        assert search.saturation_metrics is None
+        assert search.latency_at_saturation == 0.0

@@ -85,3 +85,25 @@ class TestArea:
         report = noc16.area_report()
         assert report.total_mm2 > 0.0
         assert report.chip_fraction < 0.02
+
+
+class TestFabricBridge:
+    def test_fabric_config_builds_the_same_tree(self):
+        """The registry bridge must stay in sync with the facade's own
+        network_config: same structure, same floorplan inputs."""
+        from repro.core.config import ICNoCConfig
+        config = ICNoCConfig(ports=16, topology="quad",
+                             max_segment_mm=2.0)
+        spec = config.fabric_config()
+        assert spec.topology == "tree"
+        assert spec.clock_distribution == "integrated"
+        net = spec.build()
+        expected = config.network_config()
+        assert net.config.leaves == expected.leaves
+        assert net.config.arity == expected.arity
+        assert net.config.max_segment_mm == expected.max_segment_mm
+        assert net.config.chip_width_mm == expected.chip_width_mm
+
+    def test_tree_alias_accepted(self):
+        from repro.core.config import ICNoCConfig
+        assert ICNoCConfig(ports=16, topology="tree").arity == 2

@@ -1,0 +1,1 @@
+"""Tests of the shared fabric layer (repro.fabric)."""

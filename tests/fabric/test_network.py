@@ -1,0 +1,187 @@
+"""The new fabrics end to end: torus, ring, concentrated tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.fabric.ctree import ConcentratedTreeNetwork
+from repro.fabric.registry import FabricConfig, build_fabric
+from repro.noc.network import NetworkConfig
+from repro.noc.packet import Packet
+
+
+def all_pairs(net, ports, max_ticks=500_000):
+    count = 0
+    for src in range(ports):
+        for dest in range(ports):
+            if src != dest:
+                net.send(Packet(src=src, dest=dest))
+                count += 1
+    assert net.drain(max_ticks)
+    return count
+
+
+class TestTorus:
+    def test_all_pairs_deliver(self):
+        net = build_fabric("torus", ports=9)
+        count = all_pairs(net, 9)
+        assert net.stats.packets_delivered == count
+
+    def test_wrap_link_shortens_path(self):
+        torus = build_fabric("torus", ports=16)
+        mesh = build_fabric("mesh", ports=16)
+        torus.send(Packet(src=0, dest=3))
+        mesh.send(Packet(src=0, dest=3))
+        torus.drain(20_000)
+        mesh.drain(20_000)
+        assert torus.delivered[0].latency_cycles \
+            < mesh.delivered[0].latency_cycles
+
+    def test_multiflit_packets(self):
+        net = build_fabric("torus", ports=16)
+        net.send(Packet(src=0, dest=15, payload=[1, 2, 3]))
+        assert net.drain(20_000)
+        assert net.delivered[0].payload == [1, 2, 3]
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    def test_random_burst_exactly_once(self, seed):
+        rng = np.random.default_rng(seed)
+        net = build_fabric("torus", ports=9)
+        ids = set()
+        for _ in range(25):
+            src = int(rng.integers(0, 9))
+            dest = int(rng.integers(0, 8))
+            if dest >= src:
+                dest += 1
+            packet = Packet(src=src, dest=dest,
+                            payload=list(range(int(rng.integers(0, 3)))))
+            ids.add(packet.packet_id)
+            net.send(packet)
+        assert net.drain(300_000)
+        assert {p.packet_id for p in net.delivered} == ids
+
+
+class TestRing:
+    def test_all_pairs_deliver(self):
+        net = build_fabric("ring", ports=8)
+        count = all_pairs(net, 8)
+        assert net.stats.packets_delivered == count
+
+    def test_takes_shortest_side(self):
+        net = build_fabric("ring", ports=12)
+        near_wrap = Packet(src=0, dest=11)   # 1 hop counter-clockwise
+        far = Packet(src=0, dest=6)          # 6 hops either way
+        net.send(near_wrap)
+        net.send(far)
+        assert net.drain(50_000)
+        by_dest = {p.dest: p for p in net.delivered}
+        assert by_dest[11].latency_cycles < by_dest[6].latency_cycles
+
+    def test_heavy_contention_survives(self):
+        """Everyone floods one hotspot — the bubble rule must keep the
+        ring live instead of wedging a full cycle of FIFOs."""
+        net = build_fabric("ring", ports=6)
+        for wave in range(10):
+            for src in range(1, 6):
+                net.send(Packet(src=src, dest=0, payload=[wave]))
+        assert net.drain(500_000)
+        assert net.stats.packets_delivered == 50
+
+    def test_gates_when_idle(self):
+        net = build_fabric("ring", ports=6)
+        net.run_ticks(100)
+        assert net.gating_stats().edges_enabled == 0
+
+
+class TestConcentratedTree:
+    def test_cross_leaf_traffic_routes_through_tree(self):
+        net = build_fabric("ctree", ports=16, concentration=4)
+        net.send(Packet(src=0, dest=13))  # leaf 0 -> leaf 3
+        assert net.drain(20_000)
+        packet = net.delivered[0]
+        assert packet.dest == 13
+        assert net.stats.hop_counts == [net.topology.hop_count(0, 3)]
+
+    def test_same_leaf_endpoints_deliver_locally(self):
+        net = build_fabric("ctree", ports=16, concentration=4)
+        net.send(Packet(src=0, dest=3, payload=[9]))  # both under leaf 0
+        assert net.drain(1_000)
+        packet = net.delivered[0]
+        assert packet.payload == [9]
+        assert packet.latency_cycles == 1.0  # one-cycle concentrator mux
+        assert net.stats.hop_counts == [0]   # never entered the tree
+
+    def test_all_pairs_deliver(self):
+        net = build_fabric("ctree", ports=16, concentration=4)
+        count = all_pairs(net, 16)
+        assert net.stats.packets_delivered == count
+
+    def test_handlers_keyed_by_endpoint(self):
+        net = build_fabric("ctree", ports=16, concentration=4)
+        got = []
+        net.set_handler(13, lambda packet, tick: got.append(packet.dest))
+        net.set_handler(14, lambda packet, tick: got.append(packet.dest))
+        net.send(Packet(src=0, dest=13))
+        net.send(Packet(src=1, dest=14))  # same NI, distinct handler
+        assert net.drain(20_000)
+        assert sorted(got) == [13, 14]
+        with pytest.raises(TopologyError):
+            net.set_handler(16, lambda packet, tick: None)
+
+    def test_endpoint_bounds_checked(self):
+        net = build_fabric("ctree", ports=16, concentration=4)
+        with pytest.raises(TopologyError):
+            net.send(Packet(src=0, dest=16))
+        with pytest.raises(TopologyError):
+            net.send(Packet(src=3, dest=3))
+
+    def test_fewer_routers_than_flat_tree(self):
+        ctree = build_fabric("ctree", ports=16, concentration=4)
+        tree = build_fabric("tree", ports=16)
+        assert len(ctree.routers) < len(tree.routers)
+        assert ctree.endpoints == tree.config.leaves
+
+    def test_concentration_validated(self):
+        with pytest.raises(ConfigurationError):
+            ConcentratedTreeNetwork(NetworkConfig(leaves=4),
+                                    concentration=0)
+
+    def test_describe_mentions_concentration(self):
+        net = build_fabric("ctree", ports=16, concentration=4)
+        assert "concentration 4" in net.describe()
+
+
+class TestSharedBuffers:
+    def test_torus_pays_more_buffers_than_mesh(self):
+        torus = build_fabric("torus", ports=16)
+        mesh = build_fabric("mesh", ports=16)
+        # Wrap links put every router at the full 5 in-use ports.
+        assert torus.total_buffer_flits() > mesh.total_buffer_flits()
+
+    def test_describe(self):
+        assert "torus" in build_fabric("torus", ports=16).describe()
+        assert "ring" in build_fabric("ring", ports=6).describe()
+
+
+class TestBubbleBound:
+    """send() enforces the virtual cut-through condition the bubble
+    rule's deadlock-freedom argument needs: a packet must fit one FIFO
+    with a slot to spare."""
+
+    @pytest.mark.parametrize("name,ports", [("torus", 16), ("ring", 8)])
+    def test_oversized_packet_rejected_loudly(self, name, ports):
+        net = build_fabric(name, ports=ports, buffer_depth=4)
+        with pytest.raises(ConfigurationError):
+            net.send(Packet(src=0, dest=1, payload=[1, 2, 3, 4]))
+
+    def test_largest_legal_packet_delivers(self):
+        net = build_fabric("torus", ports=16, buffer_depth=4)
+        net.send(Packet(src=0, dest=5, payload=[1, 2]))  # 3 flits
+        assert net.drain(20_000)
+
+    def test_acyclic_fabrics_unbounded(self):
+        net = build_fabric("mesh", ports=16, buffer_depth=4)
+        net.send(Packet(src=0, dest=5, payload=list(range(10))))
+        assert net.drain(20_000)

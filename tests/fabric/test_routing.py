@@ -1,0 +1,192 @@
+"""Routing strategies: XY, torus wrap, ring direction, bubble rule."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.link import CreditLink
+from repro.fabric.router import FabricRouter
+from repro.fabric.routing import (
+    EAST,
+    LOCAL,
+    NORTH,
+    RING_CCW,
+    RING_CW,
+    SOUTH,
+    WEST,
+    RingRouting,
+    TorusXYRouting,
+    XYRouting,
+)
+from repro.fabric.topologies import RingTopology, TorusTopology
+from repro.noc.flit import Flit, FlitKind
+from repro.sim.kernel import SimKernel
+
+
+def flit_to(dest, kind=FlitKind.SINGLE, seq=0, packet_id=0, src=0):
+    return Flit(kind=kind, src=src, dest=dest, packet_id=packet_id, seq=seq)
+
+
+class TestTorusRouting:
+    def test_wraps_when_shorter(self):
+        # 4x4 torus, node 0 at (0,0): dest (3,0) is one hop west via wrap.
+        route = TorusXYRouting(4, 4).for_node(0)
+        assert route(flit_to(3)) == WEST
+
+    def test_goes_direct_when_shorter(self):
+        route = TorusXYRouting(4, 4).for_node(0)
+        assert route(flit_to(1)) == EAST
+
+    def test_tie_breaks_positive(self):
+        # dest (2,0) from (0,0): distance 2 both ways; EAST by convention.
+        route = TorusXYRouting(4, 4).for_node(0)
+        assert route(flit_to(2)) == EAST
+
+    def test_x_resolves_before_y(self):
+        route = TorusXYRouting(4, 4).for_node(0)
+        assert route(flit_to(15)) == WEST  # (3,3): wrap west first
+
+    def test_wraps_vertically(self):
+        route = TorusXYRouting(4, 4).for_node(0)
+        assert route(flit_to(12)) == NORTH  # (0,3) is one wrap hop north
+
+    def test_local_at_home(self):
+        route = TorusXYRouting(4, 4).for_node(5)
+        assert route(flit_to(5)) == LOCAL
+
+    def test_direction_monotone_no_uturn(self):
+        # Following the route from any src to any dest never reverses.
+        strategy = TorusXYRouting(4, 4)
+        topo = TorusTopology(4, 4)
+        for src in range(16):
+            for dest in range(16):
+                node, hops = src, 0
+                while node != dest:
+                    port = strategy.for_node(node)(flit_to(dest))
+                    assert port != LOCAL
+                    x, y = topo.coordinates(node)
+                    step = {EAST: (1, 0), WEST: (-1, 0),
+                            SOUTH: (0, 1), NORTH: (0, -1)}[port]
+                    node = topo.node_at(x + step[0], y + step[1])
+                    hops += 1
+                    assert hops <= 8, (src, dest)
+                assert hops + 1 == topo.hop_count(src, dest) or src == dest
+
+
+class TestRingRouting:
+    def test_shortest_direction(self):
+        route = RingRouting(8).for_node(0)
+        assert route(flit_to(1)) == RING_CW
+        assert route(flit_to(7)) == RING_CCW
+        assert route(flit_to(4)) == RING_CW  # tie breaks clockwise
+        assert route(flit_to(0)) == LOCAL
+
+    def test_hop_count_wraps(self):
+        topo = RingTopology(8)
+        assert topo.hop_count(0, 7) == 2
+        assert topo.hop_count(0, 4) == 5
+        assert topo.worst_case_hops() == 5
+
+
+class TestTorusTopology:
+    def test_hop_count_wraps(self):
+        topo = TorusTopology(4, 4)
+        assert topo.hop_count(0, 3) == 2       # wrap west
+        assert topo.hop_count(0, 15) == 3      # wrap both dimensions
+        assert topo.worst_case_hops() == 5
+        # A same-size mesh pays 2*sqrt(N); the torus halves it.
+        from repro.mesh.topology import MeshTopology
+        assert topo.worst_case_hops() < MeshTopology(4, 4).worst_case_hops()
+
+    def test_every_port_specified_once(self):
+        topo = TorusTopology(4, 4)
+        seen = set()
+        for a, a_port, b, b_port in topo.links():
+            for end in ((a, a_port), (b, b_port)):
+                assert end not in seen, end
+                seen.add(end)
+        # Every non-local port of every router is connected.
+        assert len(seen) == topo.nodes * 4
+
+    def test_rejects_tiny(self):
+        from repro.errors import TopologyError
+        with pytest.raises(TopologyError):
+            TorusTopology(1, 4)
+
+
+class TestBubbleRule:
+    """Ring entry needs >= 2 credits; same-ring transit needs only 1."""
+
+    @staticmethod
+    def _ring_router(credits_cw):
+        kernel = SimKernel()
+        router = FabricRouter(kernel, "r", n_ports=3,
+                              route=RingRouting(8).for_node(0),
+                              ring_transit=RingRouting(8))
+        links = {}
+        for port in (LOCAL, RING_CW, RING_CCW):
+            in_link = CreditLink(kernel, f"in{port}")
+            out_link = CreditLink(kernel, f"out{port}")
+            router.connect(port, in_link, out_link)
+            links[port] = (in_link, out_link)
+        router.credits[RING_CW] = credits_cw
+        return kernel, router, links
+
+    def test_injection_blocked_at_one_credit(self):
+        kernel, router, links = self._ring_router(credits_cw=1)
+        links[LOCAL][0].send_flit(flit_to(2), 0)  # head entering the ring
+        kernel.run_ticks(10)
+        assert router.flits_forwarded == 0
+        assert router.buffered_flits == 1  # parked, ring keeps its bubble
+
+    def test_injection_allowed_at_two_credits(self):
+        kernel, router, links = self._ring_router(credits_cw=2)
+        links[LOCAL][0].send_flit(flit_to(2), 0)
+        kernel.run_ticks(10)
+        assert router.flits_forwarded == 1
+
+    def test_transit_allowed_at_one_credit(self):
+        kernel, router, links = self._ring_router(credits_cw=1)
+        # Clockwise transit arrives on the CCW port: exempt from the rule.
+        links[RING_CCW][0].send_flit(flit_to(2), 0)
+        kernel.run_ticks(10)
+        assert router.flits_forwarded == 1
+
+    def test_locked_body_flits_exempt(self):
+        kernel, router, links = self._ring_router(credits_cw=3)
+        head = flit_to(2, FlitKind.HEAD, seq=0, packet_id=1)
+        links[LOCAL][0].send_flit(head, 0)
+        kernel.run_ticks(6)
+        assert router.locks[RING_CW] == LOCAL
+        router.credits[RING_CW] = 1  # below the bubble threshold...
+        tail = flit_to(2, FlitKind.TAIL, seq=1, packet_id=1)
+        links[LOCAL][0].send_flit(tail, kernel.tick)
+        kernel.run_ticks(6)
+        # ...but the locked wormhole must keep draining.
+        assert router.flits_forwarded == 2
+
+
+class TestMeshStrategyUnchanged:
+    def test_xy_matches_mesh_router(self):
+        from repro.mesh.router import MeshRouter
+        kernel = SimKernel()
+        router = MeshRouter(kernel, "r", x=1, y=1, cols=3, rows=3)
+        route = XYRouting(3, 3).for_node(4)
+        for dest in range(9):
+            assert router._route(flit_to(dest)) == route(flit_to(dest))
+
+    def test_mesh_has_no_bubble(self):
+        kernel = SimKernel()
+        from repro.mesh.router import MeshRouter
+        router = MeshRouter(kernel, "r", x=0, y=0, cols=2, rows=2)
+        assert router._ring_transit is None
+
+
+class TestFabricRouterConfig:
+    def test_too_few_ports_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FabricRouter(SimKernel(), "r", n_ports=1, route=lambda f: 0)
+
+    def test_shallow_buffer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FabricRouter(SimKernel(), "r", n_ports=3, route=lambda f: 0,
+                         buffer_depth=1)

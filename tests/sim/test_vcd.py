@@ -93,3 +93,108 @@ class TestWriter:
         kernel = SimKernel()
         with pytest.raises(ConfigurationError):
             VCDWriter(kernel, tmp_path / "x.vcd", [])
+
+
+class _PulseSource(ClockedComponent):
+    """Drives short bursts separated by long quiet gaps."""
+
+    def __init__(self, kernel, signal, burst_ticks):
+        super().__init__("pulse", 0)
+        self.signal = signal
+        self._bursts = list(burst_ticks)
+        kernel.add_component(self)
+
+    def on_edge(self, tick):
+        if self._bursts and tick >= self._bursts[0]:
+            self._bursts.pop(0)
+            self.signal.set((self.signal.value or 0) + 1, tick)
+        if self._bursts:
+            self._kernel.call_at(self._bursts[0] - 1,
+                                 lambda _t: self.wake())
+        self.sleep_until()
+
+
+def _pulse_run(tmp_path, activity_driven, name, **writer_kwargs):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    kernel = SimKernel(activity_driven=activity_driven)
+    sig = kernel.signal("pulse_count", initial=0)
+    _PulseSource(kernel, sig, burst_ticks=[2, 4, 52, 54, 102, 104])
+    writer = VCDWriter(kernel, tmp_path / name, [sig], **writer_kwargs)
+    kernel.run_ticks(160)
+    writer.close()
+    return writer
+
+
+class TestRotation:
+    def test_windows_are_standalone_files(self, tmp_path):
+        writer = _pulse_run(tmp_path, True, "t.vcd", rotate_ticks=50)
+        assert len(writer.paths) == 3
+        assert [p.name for p in writer.paths] == ["t.vcd", "t.w1.vcd",
+                                                  "t.w2.vcd"]
+        for path in writer.paths:
+            text = path.read_text()
+            # Each window opens in a viewer on its own: full header plus
+            # an opening snapshot of every traced signal.
+            assert "$enddefinitions $end" in text
+            assert "#" in text
+
+    def test_rotated_output_identical_across_modes(self, tmp_path):
+        fast = _pulse_run(tmp_path / "a", True, "t.vcd", rotate_ticks=50)
+        naive = _pulse_run(tmp_path / "b", False, "t.vcd", rotate_ticks=50)
+        assert [p.name for p in fast.paths] == [p.name for p in naive.paths]
+        for pf, pn in zip(fast.paths, naive.paths):
+            assert pf.read_bytes() == pn.read_bytes()
+
+    def test_no_rotation_single_file(self, tmp_path):
+        writer = _pulse_run(tmp_path, True, "t.vcd")
+        assert [p.name for p in writer.paths] == ["t.vcd"]
+
+    def test_change_history_preserved_across_windows(self, tmp_path):
+        plain = _pulse_run(tmp_path / "plain", True, "t.vcd")
+        rotated = _pulse_run(tmp_path / "rot", True, "t.vcd",
+                             rotate_ticks=50)
+        # The last window's final snapshot+changes end at the same value
+        # the single-file trace ends at.
+        final_plain = plain.paths[0].read_text().strip().splitlines()[-1]
+        final_rot = rotated.paths[-1].read_text().strip().splitlines()[-1]
+        assert final_plain == final_rot
+
+    def test_bad_rotate_ticks_rejected(self, tmp_path):
+        kernel = SimKernel()
+        sig = kernel.signal("s", initial=0)
+        with pytest.raises(ConfigurationError):
+            VCDWriter(kernel, tmp_path / "t.vcd", [sig], rotate_ticks=0)
+
+
+class TestCompression:
+    def test_gzip_output_readable(self, tmp_path):
+        import gzip
+        writer = _pulse_run(tmp_path, True, "t.vcd", compress=True)
+        assert [p.name for p in writer.paths] == ["t.vcd.gz"]
+        text = gzip.open(writer.paths[0], "rt").read()
+        assert "$enddefinitions $end" in text
+        assert "pulse_count" in text
+
+    def test_gzip_rotation_combined(self, tmp_path):
+        writer = _pulse_run(tmp_path, True, "t.vcd", rotate_ticks=50,
+                            compress=True)
+        assert [p.name for p in writer.paths] == \
+            ["t.vcd.gz", "t.w1.vcd.gz", "t.w2.vcd.gz"]
+
+    def test_compressed_bytes_identical_across_modes(self, tmp_path):
+        fast = _pulse_run(tmp_path / "a", True, "t.vcd", compress=True)
+        naive = _pulse_run(tmp_path / "b", False, "t.vcd", compress=True)
+        assert fast.paths[0].read_bytes() == naive.paths[0].read_bytes()
+
+
+class TestGzipHeader:
+    def test_no_filename_in_compressed_header(self, tmp_path):
+        """Identical traces must compress to identical bytes regardless
+        of file name — FNAME stays out of the gzip header."""
+        kernel = SimKernel()
+        sig = kernel.signal("s", initial=0)
+        writer = VCDWriter(kernel, tmp_path / "uniquestem.vcd", [sig],
+                           compress=True)
+        writer.close()
+        raw = writer.paths[0].read_bytes()
+        assert b"uniquestem" not in raw

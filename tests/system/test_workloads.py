@@ -71,3 +71,63 @@ class TestMappingComparison:
     def test_chain_longer_than_machine_rejected(self):
         with pytest.raises(ConfigurationError):
             mapping_comparison(tiles=2, stages=4)
+
+
+class TestBursty:
+    @staticmethod
+    def _run(activity_driven, **overrides):
+        from repro.system.workloads import BurstyConfig, BurstySystem
+        params = dict(tiles=4, storms=2, storm_cycles=6,
+                      compute_cycles=120, packets_per_storm=2,
+                      activity_driven=activity_driven)
+        params.update(overrides)
+        system = BurstySystem(BurstyConfig(**params))
+        stats = system.run()
+        gating = system.network.gating_stats()
+        return system, {
+            "delivered": stats.packets_delivered,
+            "latencies": sorted(stats.latencies_cycles),
+            "gating": (gating.edges_total, gating.edges_enabled),
+            "tick": system.kernel.tick,
+        }
+
+    def test_every_scheduled_packet_delivered(self):
+        system, result = self._run(True)
+        assert result["delivered"] == system.packets_scheduled
+
+    def test_modes_bit_identical(self):
+        _, fast = self._run(True)
+        _, naive = self._run(False)
+        assert fast == naive
+
+    def test_compute_phases_fast_forward(self):
+        fast_sys, _ = self._run(True)
+        naive_sys, _ = self._run(False)
+        # Long quiet compute phases dominate the run; the fast path must
+        # skip them wholesale.
+        assert fast_sys.kernel.steps_executed \
+            < naive_sys.kernel.steps_executed / 4
+
+    def test_dma_targets_are_remote_memories(self):
+        from repro.system.tile import is_memory_leaf, tile_of
+        system, _ = self._run(True)
+        for packet in system.network.delivered:
+            assert is_memory_leaf(packet.dest)
+            assert tile_of(packet.src) != tile_of(packet.dest)
+
+    def test_config_validation(self):
+        from repro.system.workloads import BurstyConfig
+        with pytest.raises(ConfigurationError):
+            BurstyConfig(tiles=3)
+        with pytest.raises(ConfigurationError):
+            BurstyConfig(storm_cycles=0)
+        with pytest.raises(ConfigurationError):
+            BurstyConfig(compute_cycles=0)
+
+    def test_evaluate_entry_point_deterministic(self):
+        from repro.system.workloads import BurstyConfig, evaluate_bursty
+        config = BurstyConfig(tiles=4, storms=1, compute_cycles=50)
+        a = evaluate_bursty(config)
+        b = evaluate_bursty(config)
+        assert a.packets_delivered == b.packets_delivered
+        assert a.latencies_cycles == b.latencies_cycles

@@ -121,3 +121,76 @@ class TestCorners:
         out = capsys.readouterr().out
         for corner in ("ff", "tt", "ss", "worst"):
             assert corner in out
+
+
+class TestTopologies:
+    def test_lists_registry_with_clocking(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tree", "ctree", "mesh", "torus", "ring"):
+            assert name in out
+        assert "integrated" in out
+        assert "mesochronous" in out
+
+
+class TestFabricSweep:
+    def test_torus_sweep(self, capsys):
+        code = main(["sweep", "--topology", "torus", "--ports", "16",
+                     "--loads", "0.05", "--cycles", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "torus" in out
+
+    def test_ring_sweep(self, capsys):
+        code = main(["sweep", "--topology", "ring", "--ports", "8",
+                     "--loads", "0.05", "--cycles", "60"])
+        assert code == 0
+
+    def test_ctree_sweep(self, capsys):
+        code = main(["sweep", "--topology", "ctree", "--ports", "16",
+                     "--loads", "0.05", "--cycles", "60"])
+        assert code == 0
+
+    def test_mesh_sweep_parallel_matches_serial(self, capsys):
+        args = ["sweep", "--topology", "mesh", "--ports", "16",
+                "--loads", "0.05,0.10", "--cycles", "60", "--seed", "3"]
+        assert main(args + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out.replace("workers=1", "") == \
+            parallel_out.replace("workers=2", "")
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--topology", "moebius", "--loads", "0.05"])
+
+    def test_bisect_reports_latency_at_saturation(self, capsys):
+        code = main(["sweep", "--ports", "16", "--loads", "0.05,0.85",
+                     "--search", "bisect", "--budget", "4",
+                     "--cycles", "120"])
+        assert code == 0
+        assert "latency at saturation:" in capsys.readouterr().out
+
+
+class TestSweepTopologyChoices:
+    def test_choices_track_the_registry(self):
+        """A freshly registered fabric is sweepable with no CLI edit."""
+        from repro.cli import sweep_topologies
+        from repro.fabric import registry
+
+        entry = registry.TopologyEntry(
+            name="_cli_test_fabric", description="test",
+            clock_distribution=(registry.CLOCK_MESOCHRONOUS,),
+            tree_legal=False, builder=lambda config: None,
+        )
+        registry.register_topology(entry)
+        try:
+            assert "_cli_test_fabric" in sweep_topologies()
+            parser = build_parser()
+            args = parser.parse_args(
+                ["sweep", "--topology", "_cli_test_fabric"])
+            assert args.topology == "_cli_test_fabric"
+        finally:
+            del registry._REGISTRY["_cli_test_fabric"]
+        assert "_cli_test_fabric" not in sweep_topologies()
