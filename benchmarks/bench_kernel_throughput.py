@@ -17,6 +17,17 @@ The microbench behind the kernel's performance contract, in three parts:
   DMA storms separated by long quiet compute phases, driven by clocked
   components with exact-tick wake timers — the realistic system trace
   the fast path exists for.
+* **vc** — a 4x4 torus under dateline virtual channels
+  (``flow_control="vc"``) absorbing a hotspot burst, exercising the
+  two-stage VC/switch allocator's sleep contract; the same burst/tail
+  shape and the same ≥ 2x gate. The scenario also runs the paper-style
+  flow-control comparison: the escape-VC stack (minimal-adaptive
+  routing over 4 VCs plus its per-VC buffering) vs the plain wormhole
+  deterministic-XY baseline on a corner-hotspot mesh, same per-FIFO
+  depth — the VC stack must reach a strictly higher saturation knee.
+  (The gain is the stack's, not adaptivity's alone: at a matched total
+  buffer budget the corner hotspot is ejection-bound and the two
+  routings tie, which is why the comparison pins both configs.)
 
 Each variant must be bit-identical between the two modes: same
 deliveries, same latencies, same clock-gating edge counts, same traces.
@@ -38,6 +49,11 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.analysis.sweeps import (
+    measure_offered_vs_accepted,
+    scan_saturation_curve,
+)
+from repro.fabric.registry import FabricConfig
 from repro.mesh.network import MeshConfig, MeshNetwork
 from repro.noc.debug import attach_monitors, attach_watchdog
 from repro.noc.network import ICNoCNetwork, NetworkConfig
@@ -45,13 +61,25 @@ from repro.noc.packet import Packet
 from repro.sim.probes import SignalTrace, ThroughputMeter
 from repro.sim.vcd import VCDWriter
 from repro.system.workloads import BurstyConfig, BurstySystem
+from repro.traffic.patterns import HotspotTraffic
 
 LEAVES = 64
 TICKS = 6_000
 BURST_PACKETS = 8
 MESH_TICKS = 6_000
+VC_TICKS = 6_000
 BURSTY_CONFIG = BurstyConfig(tiles=16, storms=3, storm_cycles=8,
                              compute_cycles=400, packets_per_storm=2)
+#: The corner-hotspot flow-control comparison: the fraction is low
+#: enough that the hotspot's ejection port stays under its cap, so the
+#: knee is set by the congested fabric around the corner — the regime
+#: where the VC stack (adaptive spreading + per-VC buffers) beats plain
+#: wormhole (higher fractions are ejection-bound and stack-invariant).
+VC_SAT_PORTS = 16
+VC_SAT_FRACTION = 0.15
+VC_SAT_LOADS = (0.30, 0.35)
+VC_SAT_CYCLES = 300
+VC_SAT_SEED = 11
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
 #: The measured speedup may not fall below this fraction of the latest
@@ -151,6 +179,72 @@ def run_bursty_workload(activity_driven: bool) -> dict:
     }
 
 
+def run_vc_workload(activity_driven: bool, ticks: int = VC_TICKS) -> dict:
+    """A hotspot burst on a 4x4 dateline-VC torus, then a long idle tail.
+
+    Multi-flit packets (longer than ``buffer_depth - 1``, which bubble
+    flow control would reject) converge on one node, exercising VC
+    allocation, per-VC locks, and per-VC credit wires before the fabric
+    goes quiet — the sleep contract the ≥ 2x gate protects.
+    """
+    net = FabricConfig(topology="torus", ports=16, flow_control="vc",
+                       activity_driven=activity_driven).build()
+    scheduled = 0
+    for src in range(1, BURST_PACKETS + 1):
+        net.send(Packet(src=src, dest=0, payload=list(range(6))))
+        net.send(Packet(src=src, dest=(src + 8) % 16,
+                        payload=list(range(4))))
+        scheduled += 2
+    start = time.perf_counter()
+    net.run_ticks(ticks)
+    elapsed = time.perf_counter() - start
+    gating = net.gating_stats()
+    return {
+        "elapsed_s": elapsed,
+        "ticks_per_s": ticks / elapsed if elapsed > 0 else float("inf"),
+        "delivered": net.stats.packets_delivered,
+        "scheduled": scheduled,
+        "latencies": list(net.stats.latencies_cycles),
+        "gating_edges_total": gating.edges_total,
+        "gating_edges_enabled": gating.edges_enabled,
+        "steps_executed": net.kernel.steps_executed,
+    }
+
+
+def _hotspot_knee(config: FabricConfig) -> float:
+    """Highest VC_SAT_LOADS entry that kept up (the shared floor rule)."""
+    pairs = (
+        (load, measure_offered_vs_accepted(
+            lambda: config.build(),
+            lambda l: HotspotTraffic(VC_SAT_PORTS, l, size_flits=2,
+                                     hotspots=(0,),
+                                     fraction=VC_SAT_FRACTION),
+            load, cycles=VC_SAT_CYCLES, seed=VC_SAT_SEED,
+        ))
+        for load in VC_SAT_LOADS
+    )
+    return scan_saturation_curve(pairs, efficiency_floor=0.9)
+
+
+def run_vc_adaptive_comparison() -> dict:
+    """The escape-VC stack vs wormhole deterministic XY, corner hotspot.
+
+    Both configs pin their full flow-control stack (the VC side brings
+    adaptive routing *and* 4 per-VC FIFOs per port; the wormhole side is
+    the registry default) — this is the paper-style flow-control
+    comparison, not a routing-only ablation.
+    """
+    deterministic = _hotspot_knee(FabricConfig(topology="mesh",
+                                               ports=VC_SAT_PORTS))
+    adaptive = _hotspot_knee(FabricConfig(topology="mesh",
+                                          ports=VC_SAT_PORTS,
+                                          flow_control="vc", n_vcs=4))
+    return {
+        "deterministic_xy_saturation": deterministic,
+        "escape_adaptive_saturation": adaptive,
+    }
+
+
 def _git_sha() -> str:
     """HEAD's short sha, with a ``-dirty`` marker when the measurement
     does not correspond to that commit's tree (the usual pre-commit
@@ -192,6 +286,9 @@ def measure() -> dict:
     mesh_naive = run_mesh_workload(activity_driven=False)
     bursty_fast = run_bursty_workload(activity_driven=True)
     bursty_naive = run_bursty_workload(activity_driven=False)
+    vc_fast = run_vc_workload(activity_driven=True)
+    vc_naive = run_vc_workload(activity_driven=False)
+    vc_routing = run_vc_adaptive_comparison()
     return {
         "leaves": LEAVES,
         "ticks": TICKS,
@@ -211,6 +308,14 @@ def measure() -> dict:
         "bursty_naive_ticks_per_s": round(bursty_naive["ticks_per_s"]),
         "bursty_speedup": round(
             bursty_fast["ticks_per_s"] / bursty_naive["ticks_per_s"], 1),
+        "vc_fast_ticks_per_s": round(vc_fast["ticks_per_s"]),
+        "vc_naive_ticks_per_s": round(vc_naive["ticks_per_s"]),
+        "vc_speedup": round(
+            vc_fast["ticks_per_s"] / vc_naive["ticks_per_s"], 1),
+        "vc_deterministic_xy_saturation":
+            vc_routing["deterministic_xy_saturation"],
+        "vc_escape_adaptive_saturation":
+            vc_routing["escape_adaptive_saturation"],
         "_fast": fast,
         "_naive": naive,
         "_inst_fast": inst_fast,
@@ -219,6 +324,8 @@ def measure() -> dict:
         "_mesh_naive": mesh_naive,
         "_bursty_fast": bursty_fast,
         "_bursty_naive": bursty_naive,
+        "_vc_fast": vc_fast,
+        "_vc_naive": vc_naive,
     }
 
 
@@ -234,7 +341,8 @@ def test_kernel_throughput(benchmark, log):
     for fast_key, naive_key in (("_fast", "_naive"),
                                 ("_inst_fast", "_inst_naive"),
                                 ("_mesh_fast", "_mesh_naive"),
-                                ("_bursty_fast", "_bursty_naive")):
+                                ("_bursty_fast", "_bursty_naive"),
+                                ("_vc_fast", "_vc_naive")):
         fast, naive = results[fast_key], results[naive_key]
         for key in EQUIVALENCE_KEYS:
             assert fast[key] == naive[key], (fast_key, key)
@@ -256,15 +364,23 @@ def test_kernel_throughput(benchmark, log):
     assert results["instrumented_speedup"] >= 2.0, results
     assert results["mesh_speedup"] >= 2.0, results
     assert results["bursty_speedup"] >= 2.0, results
+    assert results["vc_speedup"] >= 2.0, results
+
+    # The flow-control comparison of the VC scenario: the escape-VC
+    # stack (adaptive routing + per-VC buffering) must strictly beat
+    # the plain wormhole deterministic-XY baseline on the corner
+    # hotspot whose knee is fabric-, not ejection-, bound.
+    assert results["vc_escape_adaptive_saturation"] > \
+        results["vc_deterministic_xy_saturation"], results
 
     # Regression gate against the recorded history: stay within tolerance
     # of the latest entry's speedups (ratios, not raw ticks/s). Keys the
-    # latest entry predates (e.g. bursty) are skipped until recorded.
+    # latest entry predates (e.g. bursty, vc) are skipped until recorded.
     history = load_history()
     if history:
         latest = history[-1]
         for key in ("speedup", "instrumented_speedup", "mesh_speedup",
-                    "bursty_speedup"):
+                    "bursty_speedup", "vc_speedup"):
             baseline = latest.get(key)
             if baseline:
                 assert results[key] >= REGRESSION_FACTOR * baseline, (

@@ -45,6 +45,7 @@ from repro.traffic.base import TrafficGenerator
 from repro.traffic.patterns import (
     HotspotTraffic,
     NeighbourTraffic,
+    PermutationTraffic,
     UniformRandom,
 )
 
@@ -98,8 +99,11 @@ def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
 
 # -- load-point specs -----------------------------------------------------
 
-#: Registered traffic patterns, by CLI-friendly name.
-PATTERN_NAMES = ("uniform", "neighbour", "hotspot")
+#: Registered traffic patterns, by CLI-friendly name. ``transpose`` is
+#: the classic adversarial permutation adaptive routing is judged on;
+#: ``hotspot`` takes its placement/intensity from the spec's
+#: ``hotspots``/``hotspot_fraction`` knobs.
+PATTERN_NAMES = ("uniform", "neighbour", "hotspot", "transpose")
 
 
 @dataclass(frozen=True)
@@ -122,6 +126,8 @@ class LoadPoint:
     seed: int = 0
     size_flits: int = 1
     locality: float = 0.8
+    hotspots: tuple[int, ...] = (0,)
+    hotspot_fraction: float = 0.3
 
     def __post_init__(self) -> None:
         if self.pattern not in PATTERN_NAMES:
@@ -129,6 +135,13 @@ class LoadPoint:
                 f"unknown traffic pattern {self.pattern!r}; "
                 f"known: {', '.join(PATTERN_NAMES)}"
             )
+        # Validate the pattern knobs against the network here, not first
+        # in a worker process: a bad spec must fail where it is built
+        # (the CLI turns this into a clean error), not as a traceback
+        # mid-sweep. Building and discarding the generator single-sources
+        # the rules (hotspot range/fraction, transpose port shape, load
+        # bounds) from the traffic constructors.
+        self.build_generator()
 
     @property
     def ports(self) -> int:
@@ -153,7 +166,13 @@ class LoadPoint:
                                     locality=self.locality)
         if self.pattern == "hotspot":
             return HotspotTraffic(self.ports, load,
-                                  size_flits=self.size_flits)
+                                  size_flits=self.size_flits,
+                                  hotspots=self.hotspots,
+                                  fraction=self.hotspot_fraction)
+        if self.pattern == "transpose":
+            return PermutationTraffic(self.ports, load,
+                                      size_flits=self.size_flits,
+                                      permutation="transpose")
         return UniformRandom(self.ports, load, size_flits=self.size_flits)
 
 
@@ -260,6 +279,61 @@ def _keeps_up(load: float, metrics: dict[str, float],
     return metrics["accepted_in_window"] >= efficiency_floor * metrics["offered"]
 
 
+def _efficiency_ratio(metrics: dict[str, float]) -> float:
+    """Accepted over offered throughput (how well a load kept up)."""
+    offered = metrics["offered"]
+    return metrics["accepted_in_window"] / offered if offered > 0 else 1.0
+
+
+def _knee_candidates(good: float, bad: float,
+                     good_metrics: dict[str, float],
+                     bad_metrics: dict[str, float],
+                     k: int, efficiency_floor: float,
+                     resolution: float) -> list[float]:
+    """``k`` (or fewer) interior loads clustered around the knee estimate.
+
+    The knee estimate interpolates the *efficiency ratio*
+    (accepted/offered — above the floor at ``good``, below it at
+    ``bad``) linearly between the bracket endpoints: its floor crossing
+    is the knee whenever the ratio degrades roughly linearly with load,
+    which is what measured saturation curves do near the knee. Candidates
+    cluster around the estimate at ``resolution``-scale spacing, with the
+    bracket midpoint always included when ``k >= 2``: when the
+    interpolation is accurate the bracket collapses to candidate spacing
+    in one round, and when it is wildly off the midpoint still
+    guarantees classic halving. Single-point rounds (``k == 1``) cannot
+    afford both, so the lone candidate is clamped to the central half of
+    the bracket — a plausible estimate is still used, and a consistently
+    wrong one still shrinks the bracket by a quarter per round.
+    Candidates are clipped to the bracket interior and deduplicated, so a
+    tight bracket may spend fewer than ``k`` points — adaptivity never
+    wastes budget on loads that cannot move the bracket.
+    """
+    width = bad - good
+    ratio_good = _efficiency_ratio(good_metrics)
+    ratio_bad = _efficiency_ratio(bad_metrics)
+    denominator = ratio_good - ratio_bad
+    fraction = ((ratio_good - efficiency_floor) / denominator
+                if denominator > 0 else 0.5)
+    knee = good + width * min(max(fraction, 0.0), 1.0)
+    spread = max(resolution / 2.0, width / 16.0)
+    raw = [knee, good + width / 2.0]
+    step = 1
+    while len(raw) < k:
+        raw.append(knee + step * spread)
+        if len(raw) < k:
+            raw.append(knee - step * spread)
+        step += 1
+    if k == 1:
+        # No room for the midpoint guarantee: clamp the estimate into
+        # the central half so every round shrinks the bracket by >= 1/4.
+        edge = width / 4.0
+    else:
+        edge = min(spread / 2.0, width / (2.0 * (k + 1)))
+    clipped = (min(max(load, good + edge), bad - edge) for load in raw[:k])
+    return sorted(set(clipped))
+
+
 def bisect_saturation_throughput(template: LoadPoint,
                                  lo: float = DEFAULT_SATURATION_LOADS[0],
                                  hi: float = DEFAULT_SATURATION_LOADS[-1],
@@ -267,26 +341,40 @@ def bisect_saturation_throughput(template: LoadPoint,
                                  budget: int = len(DEFAULT_SATURATION_LOADS),
                                  resolution: float = 0.01,
                                  points_per_round: int = 3,
-                                 workers: int | None = None) -> SaturationSearch:
+                                 workers: int | None = None,
+                                 placement: str = "adaptive",
+                                 ) -> SaturationSearch:
     """Parallel bisection over the saturation knee.
 
     The fixed-grid search (:func:`parallel_saturation_throughput`) spends
     its whole budget on predetermined loads, so the returned knee is only
     as tight as the grid spacing. This search spends the *same* simulation
     budget adaptively: after bracketing with ``lo``/``hi``, each round
-    evaluates ``points_per_round`` evenly spaced interior loads
-    (concurrently, with ``workers`` > 1) and narrows the bracket to the
-    sub-interval containing the knee — shrinking it by a factor of
-    ``points_per_round + 1`` per round instead of the grid's linear walk.
+    evaluates up to ``points_per_round`` interior loads (concurrently,
+    with ``workers`` > 1) and narrows the bracket to the sub-interval
+    containing the knee. ``placement`` picks how each round spends its
+    points:
+
+    * ``"adaptive"`` (default) — cluster candidates around the current
+      knee estimate (:func:`_knee_candidates`): the measured efficiency
+      ratios at the bracket ends give an interpolated knee, most of the
+      round's budget lands within ``resolution`` of it, and the bracket
+      midpoint rides along (central clamp for single-point rounds) so a
+      bad estimate still shrinks the bracket geometrically. Reaches a
+      given knee tolerance in fewer points than the even spread whenever
+      the efficiency ratio is roughly monotone in load.
+    * ``"uniform"`` — ``points_per_round`` evenly spaced interior loads,
+      shrinking the bracket by a fixed factor per round.
+
     Stops when the bracket is narrower than ``resolution`` or the budget
     is spent; returns the highest measured load that kept up with
     ``efficiency_floor`` times the offered load.
 
-    Deterministic: the candidate loads depend only on the bracket and
-    ``points_per_round`` (never on ``workers``), and each measurement's
-    seed derives from the template seed and its global evaluation index
-    (:func:`point_seed`) — so serial and parallel searches measure
-    identical curves and return identical knees.
+    Deterministic: the candidate loads depend only on measured metrics,
+    the bracket, and ``points_per_round`` (never on ``workers``), and
+    each measurement's seed derives from the template seed and its global
+    evaluation index (:func:`point_seed`) — so serial and parallel
+    searches measure identical curves and return identical knees.
     """
     if not 0.0 < lo < hi <= 1.0:
         raise ConfigurationError("need 0 < lo < hi <= 1")
@@ -296,6 +384,10 @@ def bisect_saturation_throughput(template: LoadPoint,
         raise ConfigurationError("resolution must be positive")
     if points_per_round < 1:
         raise ConfigurationError("points_per_round must be >= 1")
+    if placement not in ("adaptive", "uniform"):
+        raise ConfigurationError(
+            f"unknown placement {placement!r}: adaptive or uniform"
+        )
     evaluated: list[tuple[float, dict[str, float]]] = []
     next_index = 0
 
@@ -321,18 +413,24 @@ def bisect_saturation_throughput(template: LoadPoint,
     if _keeps_up(hi, hi_metrics, efficiency_floor):
         return SaturationSearch(hi, evaluated, rounds)
     good, bad = lo, hi
+    good_metrics, bad_metrics = lo_metrics, hi_metrics
     while budget > 0 and (bad - good) > resolution:
         k = min(points_per_round, budget)
-        step = (bad - good) / (k + 1)
-        candidates = [good + step * (i + 1) for i in range(k)]
+        if placement == "adaptive":
+            candidates = _knee_candidates(good, bad, good_metrics,
+                                          bad_metrics, k, efficiency_floor,
+                                          resolution)
+        else:
+            step = (bad - good) / (k + 1)
+            candidates = [good + step * (i + 1) for i in range(k)]
         results = measure(candidates)
-        budget -= k
+        budget -= len(candidates)
         rounds += 1
         for load, metrics in zip(candidates, results):
             if _keeps_up(load, metrics, efficiency_floor):
-                good = load
+                good, good_metrics = load, metrics
             else:
-                bad = load
+                bad, bad_metrics = load, metrics
                 break
     return SaturationSearch(good, evaluated, rounds)
 

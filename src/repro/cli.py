@@ -32,6 +32,7 @@ from repro.analysis.parallel import (
 from repro.analysis.plots import ascii_plot
 from repro.analysis.tables import format_table
 from repro.core.config import ICNoCConfig
+from repro.errors import ConfigurationError
 from repro.core.icnoc import ICNoC
 from repro.fabric.registry import FabricConfig, topology_names, topology_table
 from repro.system.demonstrator import DemonstratorConfig, DemonstratorSystem
@@ -111,14 +112,33 @@ def _sweep_network(args: argparse.Namespace):
     from repro.noc.network import NetworkConfig
 
     if args.topology in ("binary", "quad"):
+        if args.flow_control != "wormhole":
+            raise ConfigurationError(
+                f"topology {args.topology!r} cannot run "
+                f"{args.flow_control!r} flow control (the handshake tree "
+                f"has no credit FIFOs to virtualise)"
+            )
+        if args.vc_policy is not None or args.vcs is not None:
+            # Same contract as the registry fabrics: never silently
+            # ignore a VC knob on a build that cannot honour it.
+            raise ConfigurationError(
+                "--vcs/--vc-policy only apply with --flow-control vc"
+            )
         return NetworkConfig(
             leaves=args.ports,
             arity=4 if args.topology == "quad" else 2,
             chip_width_mm=args.chip_mm, chip_height_mm=args.chip_mm,
             max_segment_mm=args.segment_mm,
         )
+    if args.vcs is not None and args.flow_control != "vc":
+        raise ConfigurationError(
+            "--vcs only applies with --flow-control vc"
+        )
     return FabricConfig(
         topology=args.topology, ports=args.ports,
+        flow_control=args.flow_control,
+        n_vcs=2 if args.vcs is None else args.vcs,
+        vc_policy=args.vc_policy,
         chip_width_mm=args.chip_mm, chip_height_mm=args.chip_mm,
         max_segment_mm=args.segment_mm,
     )
@@ -134,13 +154,39 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if not loads:
         print("error: --loads needs at least one value", file=sys.stderr)
         return 2
-    template = LoadPoint(
-        load=loads[0],
-        network=_sweep_network(args),
-        pattern=args.pattern, cycles=args.cycles,
-        size_flits=args.flits, locality=args.locality,
-        seed=args.seed,
-    )
+    if args.pattern != "hotspot" and (args.hotspots is not None
+                                      or args.hotspot_fraction is not None):
+        # Same contract as --vcs/--vc-policy: never silently ignore a
+        # knob the selected traffic pattern cannot honour.
+        print("error: --hotspots/--hotspot-fraction only apply with "
+              "--traffic hotspot", file=sys.stderr)
+        return 2
+    hotspots_arg = "0" if args.hotspots is None else args.hotspots
+    try:
+        hotspots = tuple(int(x) for x in hotspots_arg.split(",")
+                         if x.strip())
+    except ValueError:
+        print(f"error: --hotspots expects comma-separated port numbers, "
+              f"got {args.hotspots!r}", file=sys.stderr)
+        return 2
+    try:
+        template = LoadPoint(
+            load=loads[0],
+            network=_sweep_network(args),
+            pattern=args.pattern, cycles=args.cycles,
+            size_flits=args.flits, locality=args.locality,
+            seed=args.seed,
+            hotspots=hotspots,
+            hotspot_fraction=(0.3 if args.hotspot_fraction is None
+                              else args.hotspot_fraction),
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.search != "bisect" and args.placement is not None:
+        print("error: --placement only applies with --search bisect",
+              file=sys.stderr)
+        return 2
     if args.search == "bisect":
         if len(loads) < 2:
             print("error: --search bisect needs at least two --loads "
@@ -150,6 +196,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             template, lo=min(loads), hi=max(loads),
             budget=max(len(loads), args.budget),
             workers=args.workers,
+            placement=args.placement or "adaptive",
         )
         rows = [[round(load, 4),
                  round(m["offered"], 4),
@@ -198,10 +245,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_topologies(args: argparse.Namespace) -> int:
-    rows = [[r["name"], r["clocking"], r["tree_legal"], r["description"]]
+    rows = [[r["name"], r["clocking"], r["tree_legal"], r["flow_control"],
+             r["description"]]
             for r in topology_table()]
     print(format_table(
-        ["topology", "clock distribution", "tree-legal", "description"],
+        ["topology", "clock distribution", "tree-legal", "flow control",
+         "description"],
         rows,
         title="Fabric registry (sweep --topology <name>)",
     ))
@@ -255,7 +304,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sw = sub.add_parser("sweep", help="offered-load sweep (parallelisable)")
     _add_network_options(p_sw, topologies=sweep_topologies())
-    p_sw.add_argument("--pattern", choices=PATTERN_NAMES, default="uniform")
+    p_sw.add_argument("--traffic", "--pattern", dest="pattern",
+                      choices=PATTERN_NAMES, default="uniform",
+                      help="traffic pattern (--pattern is the historical "
+                           "spelling)")
+    p_sw.add_argument("--flow-control", choices=("wormhole", "vc"),
+                      default="wormhole",
+                      help="link-level flow control for registry fabrics "
+                           "(vc = virtual channels)")
+    p_sw.add_argument("--vcs", type=int, default=None,
+                      help="virtual channels per port, default 2 "
+                           "(--flow-control vc only)")
+    p_sw.add_argument("--vc-policy", default=None,
+                      help="VC-assignment policy (topology default when "
+                           "omitted): dateline | escape")
+    p_sw.add_argument("--hotspots", default=None,
+                      help="comma-separated hotspot ports, default 0 "
+                           "(--traffic hotspot only)")
+    p_sw.add_argument("--hotspot-fraction", type=float, default=None,
+                      help="fraction of traffic aimed at the hotspots, "
+                           "default 0.3 (--traffic hotspot only)")
     p_sw.add_argument("--loads", default="0.05,0.10,0.20,0.40",
                       help="comma-separated offered loads")
     p_sw.add_argument("--locality", type=float, default=0.8)
@@ -271,6 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "between min and max of --loads")
     p_sw.add_argument("--budget", type=int, default=9,
                       help="simulation budget for --search bisect")
+    p_sw.add_argument("--placement", choices=("adaptive", "uniform"),
+                      default=None,
+                      help="bisect point placement, default adaptive: "
+                           "cluster near the knee estimate, or spread "
+                           "evenly per round (--search bisect only)")
     p_sw.set_defaults(func=cmd_sweep)
 
     p_demo = sub.add_parser("demo", help="run the 32-tile demonstrator")

@@ -29,23 +29,38 @@ now stand on, and the place new fabrics plug into:
 
 from repro.fabric.link import CreditLink, HandshakeChannel
 from repro.fabric.routing import (
+    DatelineVc,
+    EscapeVcAdaptive,
+    RingDatelineVc,
     RingRouting,
     RoutingStrategy,
+    TorusDatelineVc,
     TorusXYRouting,
+    VcPolicy,
     XYRouting,
+    dateline_class,
     tree_updown_route,
 )
 from repro.fabric.router import FabricRouter
+from repro.fabric.vc import (
+    VcCreditLink,
+    VcFabricRouter,
+    VcFabricSink,
+    VcFabricSource,
+)
 from repro.fabric.endpoint import FabricSink, FabricSource
 from repro.fabric.topologies import RingTopology, TorusTopology
 from repro.fabric.network import (
     CreditFabricNetwork,
     RingNetwork,
     TorusNetwork,
+    make_vc_policy,
 )
 from repro.fabric.registry import (
     CLOCK_INTEGRATED,
     CLOCK_MESOCHRONOUS,
+    FLOW_VC,
+    FLOW_WORMHOLE,
     FabricConfig,
     TopologyEntry,
     build_fabric,
@@ -63,7 +78,20 @@ __all__ = [
     "TorusXYRouting",
     "RingRouting",
     "tree_updown_route",
+    "VcPolicy",
+    "DatelineVc",
+    "TorusDatelineVc",
+    "RingDatelineVc",
+    "EscapeVcAdaptive",
+    "dateline_class",
+    "make_vc_policy",
     "FabricRouter",
+    "VcCreditLink",
+    "VcFabricRouter",
+    "VcFabricSource",
+    "VcFabricSink",
+    "FLOW_WORMHOLE",
+    "FLOW_VC",
     "FabricSource",
     "FabricSink",
     "TorusTopology",

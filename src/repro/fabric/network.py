@@ -34,9 +34,19 @@ from repro.fabric.routing import (
     LOCAL,
     PORT_NAMES,
     RING_PORT_NAMES,
+    EscapeVcAdaptive,
+    RingDatelineVc,
     RingRouting,
     RoutingStrategy,
+    TorusDatelineVc,
     TorusXYRouting,
+    VcPolicy,
+)
+from repro.fabric.vc import (
+    VcCreditLink,
+    VcFabricRouter,
+    VcFabricSink,
+    VcFabricSource,
 )
 from repro.fabric.topologies import RingTopology, TorusTopology, square_side
 from repro.noc.packet import Packet
@@ -58,10 +68,18 @@ class CreditFabricNetwork:
 
     def __init__(self, config, topology, routing: RoutingStrategy,
                  kernel: SimKernel | None = None, node_prefix: str = "m",
-                 port_names: tuple[str, ...] | None = None):
+                 port_names: tuple[str, ...] | None = None,
+                 vc_policy: VcPolicy | None = None):
         self.config = config
         self.topology = topology
         self.routing = routing
+        self.vc_policy = vc_policy
+        self.vc_enabled = (getattr(config, "flow_control", "wormhole")
+                           == "vc")
+        if self.vc_enabled and vc_policy is None:
+            raise ConfigurationError(
+                "flow_control='vc' needs a VC-assignment policy"
+            )
         if kernel is not None and \
                 kernel.activity_driven != config.activity_driven:
             raise ConfigurationError(
@@ -71,9 +89,9 @@ class CreditFabricNetwork:
         self.kernel = kernel if kernel is not None \
             else SimKernel(activity_driven=config.activity_driven)
         self.stats = NetworkStats()
-        self.routers: list[FabricRouter] = []
-        self.sources: list[FabricSource] = []
-        self.sinks: list[FabricSink] = []
+        self.routers: list[FabricRouter | VcFabricRouter] = []
+        self.sources: list[FabricSource | VcFabricSource] = []
+        self.sinks: list[FabricSink | VcFabricSink] = []
         self.delivered: list[Packet] = []
         self._inflight: dict[int, Packet] = {}
         self._node_prefix = node_prefix
@@ -82,7 +100,20 @@ class CreditFabricNetwork:
 
     # -- construction ---------------------------------------------------
 
-    def _make_router(self, node: int) -> FabricRouter:
+    @property
+    def n_vcs(self) -> int:
+        return getattr(self.config, "n_vcs", 2) if self.vc_enabled else 1
+
+    def _make_router(self, node: int):
+        if self.vc_enabled:
+            return VcFabricRouter(
+                self.kernel, f"{self._node_prefix}{node}",
+                n_ports=self.topology.max_ports,
+                candidates=self.vc_policy.for_node(node),
+                n_vcs=self.n_vcs,
+                buffer_depth=self.config.buffer_depth,
+                port_names=self._port_names,
+            )
         return FabricRouter(
             self.kernel, f"{self._node_prefix}{node}",
             n_ports=self.topology.max_ports,
@@ -91,6 +122,11 @@ class CreditFabricNetwork:
             ring_transit=self.routing,
             port_names=self._port_names,
         )
+
+    def _make_link(self, name: str):
+        if self.vc_enabled:
+            return VcCreditLink(self.kernel, name, self.n_vcs)
+        return CreditLink(self.kernel, name)
 
     def _build(self) -> None:
         prefix = self._node_prefix
@@ -102,13 +138,23 @@ class CreditFabricNetwork:
         # Local ports.
         for node in range(self.topology.nodes):
             router = self.routers[node]
-            inject = CreditLink(self.kernel, f"{prefix}{node}.inj")
-            eject = CreditLink(self.kernel, f"{prefix}{node}.ej")
+            inject = self._make_link(f"{prefix}{node}.inj")
+            eject = self._make_link(f"{prefix}{node}.ej")
             router.connect(LOCAL, inject, eject)
-            source = FabricSource(self.kernel, f"{prefix}{node}.src", inject,
-                                  credits=self.config.buffer_depth)
-            sink = FabricSink(self.kernel, f"{prefix}{node}.sink", eject,
-                              on_packet=self._make_delivery_hook(node))
+            hook = self._make_delivery_hook(node)
+            if self.vc_enabled:
+                source = VcFabricSource(
+                    self.kernel, f"{prefix}{node}.src", inject,
+                    credits=self.config.buffer_depth,
+                    vc=self.vc_policy.injection_vc(node))
+                sink = VcFabricSink(self.kernel, f"{prefix}{node}.sink",
+                                    eject, on_packet=hook)
+            else:
+                source = FabricSource(self.kernel, f"{prefix}{node}.src",
+                                      inject,
+                                      credits=self.config.buffer_depth)
+                sink = FabricSink(self.kernel, f"{prefix}{node}.sink",
+                                  eject, on_packet=hook)
             # The sink grants the router initial credits via connect();
             # sink-side credits mirror the router's local output credits.
             self.sources.append(source)
@@ -116,8 +162,8 @@ class CreditFabricNetwork:
 
     def _connect(self, a: int, a_port: int, b: int, b_port: int) -> None:
         prefix = self._node_prefix
-        a_to_b = CreditLink(self.kernel, f"{prefix}{a}>{prefix}{b}")
-        b_to_a = CreditLink(self.kernel, f"{prefix}{b}>{prefix}{a}")
+        a_to_b = self._make_link(f"{prefix}{a}>{prefix}{b}")
+        b_to_a = self._make_link(f"{prefix}{b}>{prefix}{a}")
         router_a, router_b = self.routers[a], self.routers[b]
         router_a.connect(a_port, b_to_a, a_to_b)
         router_b.connect(b_port, a_to_b, b_to_a)
@@ -139,7 +185,7 @@ class CreditFabricNetwork:
             raise TopologyError(f"unknown destination {packet.dest}")
         if packet.src == packet.dest:
             raise TopologyError("src == dest: packets never enter the fabric")
-        if (self.routing.needs_bubble
+        if (not self.vc_enabled and self.routing.needs_bubble
                 and packet.flit_count >= self.config.buffer_depth):
             # The bubble rule's deadlock-freedom argument is virtual
             # cut-through: a packet must fit one FIFO with a slot to
@@ -179,24 +225,59 @@ class CreditFabricNetwork:
 
     def total_buffer_flits(self) -> int:
         """Total FIFO capacity — the stall-buffer cost the IC-NoC avoids."""
-        total = 0
-        for router in self.routers:
-            ports_in_use = sum(
-                1 for link in router.in_links if link is not None
-            )
-            total += ports_in_use * self.config.buffer_depth
-        return total
+        return sum(router.buffer_capacity for router in self.routers)
 
     def describe(self) -> str:
         describe = getattr(self.topology, "describe", None)
         structure = describe() if describe else f"{self.topology.nodes} nodes"
+        flow = (f", {self.n_vcs} VCs ({self.vc_policy.name})"
+                if self.vc_enabled else "")
         return (f"{type(self).__name__}: {structure}, "
                 f"{len(self.routers)} routers, "
-                f"buffer depth {self.config.buffer_depth}")
+                f"buffer depth {self.config.buffer_depth}{flow}")
+
+
+def make_vc_policy(config: "FabricConfig", cols: int | None = None,
+                   rows: int | None = None) -> VcPolicy | None:
+    """The VC-assignment policy a :class:`FabricConfig` resolves to.
+
+    None when the config runs plain wormhole. Grid policies need the
+    fabric's (cols, rows); the ring derives its shape from ``ports``.
+    Only the stock (topology, policy) pairings are dispatched here — a
+    new registered fabric supplies its own policy object straight to
+    :class:`CreditFabricNetwork` rather than extending this table, and
+    an unknown pairing fails loudly instead of building a policy whose
+    deadlock argument does not fit the structure.
+    """
+    if getattr(config, "flow_control", "wormhole") != "vc":
+        return None
+    name = config.resolved_vc_policy
+    if config.topology == "ring" and name == "dateline":
+        return RingDatelineVc(config.ports, config.n_vcs)
+    if config.topology in ("mesh", "torus"):
+        if cols is None or rows is None:
+            raise ConfigurationError(
+                f"{config.topology}: grid VC policies need the fabric's "
+                f"(cols, rows) — pass the _grid_shape result"
+            )
+        if name == "dateline" and config.topology == "torus":
+            return TorusDatelineVc(cols, rows, config.n_vcs)
+        if name == "escape":
+            return EscapeVcAdaptive(cols, rows, config.n_vcs,
+                                    wrap=(config.topology == "torus"))
+    raise ConfigurationError(
+        f"no stock VC policy builder for topology {config.topology!r} "
+        f"with policy {name!r}; pass a VcPolicy to CreditFabricNetwork"
+    )
 
 
 class TorusNetwork(CreditFabricNetwork):
-    """A 2-D torus under shortest-wrap XY routing with the bubble rule."""
+    """A 2-D torus under shortest-wrap XY routing.
+
+    Deadlock freedom comes from the bubble rule under wormhole flow
+    control, or from dateline/escape VCs under ``flow_control="vc"``
+    (which also lifts the packet-length bound).
+    """
 
     def __init__(self, config: "FabricConfig",
                  kernel: SimKernel | None = None):
@@ -204,7 +285,8 @@ class TorusNetwork(CreditFabricNetwork):
         topology = TorusTopology(cols, rows)
         super().__init__(config, topology, TorusXYRouting(cols, rows),
                          kernel=kernel, node_prefix="t",
-                         port_names=PORT_NAMES)
+                         port_names=PORT_NAMES,
+                         vc_policy=make_vc_policy(config, cols, rows))
 
 
 class RingNetwork(CreditFabricNetwork):
@@ -215,7 +297,8 @@ class RingNetwork(CreditFabricNetwork):
         topology = RingTopology(config.ports)
         super().__init__(config, topology, RingRouting(config.ports),
                          kernel=kernel, node_prefix="g",
-                         port_names=RING_PORT_NAMES)
+                         port_names=RING_PORT_NAMES,
+                         vc_policy=make_vc_policy(config))
 
 
 def _grid_shape(config: "FabricConfig", what: str) -> tuple[int, int]:

@@ -45,6 +45,11 @@ CLOCK_INTEGRATED = "integrated"
 CLOCK_MESOCHRONOUS = "mesochronous"
 
 
+#: Link-level flow-control capabilities.
+FLOW_WORMHOLE = "wormhole"
+FLOW_VC = "vc"
+
+
 @dataclass(frozen=True)
 class TopologyEntry:
     """One registered fabric.
@@ -56,6 +61,13 @@ class TopologyEntry:
             ``integrated`` may appear only when ``tree_legal``.
         tree_legal: the link structure has no converging paths, so the
             integrated clock distribution of the paper applies.
+        flow_control: supported link-level flow-control flavours, the
+            first is the default. ``"vc"`` (virtual channels,
+            :mod:`repro.fabric.vc`) requires at least one entry in
+            ``vc_policies``.
+        vc_policies: supported VC-assignment policies
+            (:mod:`repro.fabric.routing`), the first is the default —
+            e.g. ``dateline`` deadlock avoidance, ``escape`` adaptive.
         builder: ``FabricConfig -> network`` (lazy-imports its module).
         validate: optional extra config check (port-count shape etc.).
     """
@@ -66,6 +78,8 @@ class TopologyEntry:
     tree_legal: bool
     builder: Callable[["FabricConfig"], Any]
     validate: Callable[["FabricConfig"], None] | None = None
+    flow_control: tuple[str, ...] = (FLOW_WORMHOLE,)
+    vc_policies: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.clock_distribution:
@@ -75,10 +89,21 @@ class TopologyEntry:
                 f"{self.name}: integrated clocking requires a tree-legal "
                 f"structure (no converging paths)"
             )
+        if not self.flow_control:
+            raise ConfigurationError(f"{self.name}: no flow control")
+        if FLOW_VC in self.flow_control and not self.vc_policies:
+            raise ConfigurationError(
+                f"{self.name}: VC flow control needs at least one "
+                f"VC-assignment policy"
+            )
 
     @property
     def default_clocking(self) -> str:
         return self.clock_distribution[0]
+
+    @property
+    def default_flow_control(self) -> str:
+        return self.flow_control[0]
 
 
 _REGISTRY: dict[str, TopologyEntry] = {}
@@ -107,15 +132,19 @@ def topology_names() -> tuple[str, ...]:
 
 def topology_table() -> list[dict[str, str]]:
     """One row per registered fabric (CLI/docs material)."""
-    return [
-        {
+    rows = []
+    for entry in _REGISTRY.values():
+        flow = "+".join(entry.flow_control)
+        if entry.vc_policies:
+            flow += f" ({'/'.join(entry.vc_policies)})"
+        rows.append({
             "name": entry.name,
             "clocking": "+".join(entry.clock_distribution),
             "tree_legal": "yes" if entry.tree_legal else "no",
+            "flow_control": flow,
             "description": entry.description,
-        }
-        for entry in _REGISTRY.values()
-    ]
+        })
+    return rows
 
 
 @dataclass(frozen=True)
@@ -127,9 +156,14 @@ class FabricConfig:
     grid rows, credit buffer depth, floorplan dimensions).
 
     ``clocking`` selects the clock distribution scheme; None means the
-    topology's default. The capability check runs in ``__post_init__`` —
-    an illegal pairing (e.g. a torus with the integrated clock) never
-    constructs, which is what the build-time guarantee means.
+    topology's default. ``flow_control`` selects the link-level flow
+    control (``"wormhole"`` everywhere; ``"vc"`` enables virtual
+    channels on the fabrics that register the capability, with
+    ``n_vcs`` channels per port and the ``vc_policy`` VC-assignment
+    policy — None means the topology's default policy). All capability
+    checks run in ``__post_init__`` — an illegal pairing (e.g. a torus
+    with the integrated clock, a tree with VCs) never constructs, which
+    is what the build-time guarantee means.
     """
 
     topology: str = "tree"
@@ -139,6 +173,9 @@ class FabricConfig:
     concentration: int = 4      # ctree
     rows: int | None = None     # grid fabrics; None = square
     buffer_depth: int = 4       # credit fabrics
+    flow_control: str = FLOW_WORMHOLE
+    n_vcs: int = 2              # per-port virtual channels (vc only)
+    vc_policy: str | None = None
     chip_width_mm: float = 10.0
     chip_height_mm: float = 10.0
     max_segment_mm: float = 1.25
@@ -155,6 +192,36 @@ class FabricConfig:
                 f"{self.clocking!r} clock distribution (supported: "
                 f"{', '.join(entry.clock_distribution)})"
             )
+        if self.flow_control not in entry.flow_control:
+            raise ConfigurationError(
+                f"topology {self.topology!r} cannot run "
+                f"{self.flow_control!r} flow control (supported: "
+                f"{', '.join(entry.flow_control)})"
+            )
+        if self.flow_control == FLOW_VC:
+            if self.n_vcs < 2:
+                raise ConfigurationError(
+                    "VC flow control needs n_vcs >= 2"
+                )
+            if self.vc_policy is not None and \
+                    self.vc_policy not in entry.vc_policies:
+                raise ConfigurationError(
+                    f"topology {self.topology!r} has no VC policy "
+                    f"{self.vc_policy!r} (supported: "
+                    f"{', '.join(entry.vc_policies)})"
+                )
+        elif self.vc_policy is not None:
+            raise ConfigurationError(
+                "vc_policy only applies with flow_control='vc'"
+            )
+        elif self.n_vcs != 2:
+            # Symmetric with vc_policy: a VC knob is never silently
+            # ignored on a build that cannot honour it. (An explicit
+            # n_vcs=2 under wormhole is indistinguishable from the
+            # default and equally without effect.)
+            raise ConfigurationError(
+                "n_vcs only applies with flow_control='vc'"
+            )
         if entry.validate is not None:
             entry.validate(self)
 
@@ -162,6 +229,15 @@ class FabricConfig:
     def clock_distribution(self) -> str:
         """The resolved clocking scheme."""
         return self.clocking or get_topology(self.topology).default_clocking
+
+    @property
+    def resolved_vc_policy(self) -> str | None:
+        """The VC-assignment policy in force (None under wormhole)."""
+        if self.flow_control != FLOW_VC:
+            return None
+        if self.vc_policy is not None:
+            return self.vc_policy
+        return get_topology(self.topology).vc_policies[0]
 
     def build(self):
         """Instantiate the network (any registered fabric, same API)."""
@@ -199,6 +275,24 @@ def _validate_ctree(config: FabricConfig) -> None:
     _require_power(leaves, config.arity, "ctree leaves")
 
 
+def _validate_vc(config: FabricConfig) -> None:
+    """Config-time VC checks, single-sourced from the policies.
+
+    Constructing the resolved policy (and discarding it) runs exactly
+    the shape checks the build would — even dateline VC counts, the
+    torus escape's three-VC minimum — so config-time validation can
+    never drift from build-time behaviour.
+    """
+    if config.flow_control != FLOW_VC:
+        return
+    from repro.fabric.network import _grid_shape, make_vc_policy
+    if config.topology == "ring":
+        make_vc_policy(config)
+    else:
+        cols, rows = _grid_shape(config, config.topology)
+        make_vc_policy(config, cols, rows)
+
+
 def _validate_grid(config: FabricConfig) -> None:
     rows = config.rows
     if rows is not None:
@@ -213,6 +307,7 @@ def _validate_grid(config: FabricConfig) -> None:
                 f"square grid needs a square port count >= 4, "
                 f"got {config.ports}"
             )
+    _validate_vc(config)
 
 
 def _require_power(value: int, base: int, what: str) -> None:
@@ -250,6 +345,18 @@ def _build_ctree(config: FabricConfig):
 
 def _build_mesh(config: FabricConfig):
     from repro.fabric.network import _grid_shape
+    if config.flow_control == FLOW_VC:
+        # VC meshes assemble on the generic fabric machinery (the
+        # historical MeshNetwork stays byte-for-byte the wormhole build).
+        from repro.fabric.network import CreditFabricNetwork, make_vc_policy
+        from repro.fabric.routing import PORT_NAMES, XYRouting
+        from repro.mesh.topology import MeshTopology
+        cols, rows = _grid_shape(config, "mesh")
+        return CreditFabricNetwork(
+            config, MeshTopology(cols, rows), XYRouting(cols, rows),
+            node_prefix="m", port_names=PORT_NAMES,
+            vc_policy=make_vc_policy(config, cols, rows),
+        )
     from repro.mesh.network import MeshConfig, MeshNetwork
     cols, rows = _grid_shape(config, "mesh")
     return MeshNetwork(MeshConfig(
@@ -299,24 +406,30 @@ register_topology(TopologyEntry(
     tree_legal=False,
     builder=_build_mesh,
     validate=_validate_grid,
+    flow_control=(FLOW_WORMHOLE, FLOW_VC),
+    vc_policies=("escape",),
 ))
 
 register_topology(TopologyEntry(
     name="torus",
     description="2-D torus: shortest-wrap XY routing, bubble flow control "
-                "on the rings",
+                "or dateline/escape VCs on the rings",
     clock_distribution=(CLOCK_MESOCHRONOUS,),
     tree_legal=False,
     builder=_build_torus,
     validate=_validate_grid,
+    flow_control=(FLOW_WORMHOLE, FLOW_VC),
+    vc_policies=("dateline", "escape"),
 ))
 
 register_topology(TopologyEntry(
     name="ring",
     description="bidirectional ring of 3-port routers, shortest-direction "
-                "routing, bubble flow control",
+                "routing, bubble flow control or dateline VCs",
     clock_distribution=(CLOCK_MESOCHRONOUS,),
     tree_legal=False,
     builder=_build_ring,
-    validate=None,
+    validate=_validate_vc,
+    flow_control=(FLOW_WORMHOLE, FLOW_VC),
+    vc_policies=("dateline",),
 ))

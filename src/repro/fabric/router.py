@@ -39,6 +39,14 @@ no-ops otherwise, so the fast path never pays for unobserved visibility):
   dry. Edge-triggered on *entering* starvation (cleared when credits
   return), so both kernel modes emit the identical event sequence even
   though the naive loop re-fires starved routers every cycle.
+* ``"lock_acquire"`` / ``"lock_release"`` — a multi-flit packet's head
+  took an output's wormhole lock / its tail released it; data carries
+  ``router``, ``output``, ``input``, and the ``packet_id``. Single-flit
+  packets never hold the lock, so they emit neither. Acquisitions and
+  releases are discrete state transitions, hence edge-triggered and
+  mode-identical by construction — together with ``arbitration_grant``
+  they complete head-of-line-blocking diagnosis (how long an output sat
+  locked between grants).
 """
 
 from __future__ import annotations
@@ -179,8 +187,18 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
                 })
             if flit.is_tail:
                 self.locks[out_port] = None
+                if observed and not flit.is_head:
+                    self._kernel.emit("lock_release", {
+                        "router": self.name, "output": out_port,
+                        "input": winner, "packet_id": flit.packet_id,
+                    })
             elif flit.is_head:
                 self.locks[out_port] = winner
+                if observed:
+                    self._kernel.emit("lock_acquire", {
+                        "router": self.name, "output": out_port,
+                        "input": winner, "packet_id": flit.packet_id,
+                    })
         # 3. Accept arrivals (credit scheme guarantees FIFO space).
         for port, link in enumerate(self.in_links):
             if link is None:
@@ -244,3 +262,9 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
     @property
     def buffered_flits(self) -> int:
         return sum(len(fifo) for fifo in self.fifos)
+
+    @property
+    def buffer_capacity(self) -> int:
+        """Total FIFO capacity: ports in use x depth."""
+        ports_in_use = sum(1 for link in self.in_links if link is not None)
+        return ports_in_use * self.buffer_depth

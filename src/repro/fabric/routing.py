@@ -36,13 +36,34 @@ flow control assumes.
 Directions are monotone along a path (the shortest wrap direction cannot
 flip mid-route, ties break toward the positive direction), so no strategy
 ever produces a U-turn.
+
+**VC-assignment policies.** Fabrics built with ``flow_control="vc"``
+replace the bubble rule with virtual channels
+(:mod:`repro.fabric.vc`). Which output VC a head flit may be allocated is
+a pluggable policy, mirroring the routing strategies:
+
+* :class:`DatelineVc` (torus, ring) — dateline deadlock avoidance: every
+  ring's channels are split into class-0 and class-1 VCs, and a packet
+  switches to class 1 after crossing the ring's dateline (the wrap
+  link). The class is a purely local function of the current and
+  destination coordinates (see :func:`dateline_class`), each class's
+  channel-dependency subgraph is acyclic, so wormhole switching is
+  deadlock-free with **no packet-length bound** — the limitation bubble
+  flow control carries.
+* :class:`EscapeVcAdaptive` (mesh, torus) — Duato-style minimal-adaptive
+  routing: head flits may be allocated any *adaptive* VC on any
+  productive (distance-reducing) output, and fall back to a
+  deterministic-XY *escape* VC when every adaptive candidate is busy.
+  The escape subnetwork is deadlock-free on its own (XY on the mesh;
+  XY over a dateline VC pair on the torus), and once a packet enters it,
+  it stays there until delivery — the classic escape-channel guarantee.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
-from repro.errors import RoutingError
+from repro.errors import ConfigurationError, RoutingError
 from repro.noc.flit import Flit
 from repro.noc.topology import RouterNode, TreeTopology, PARENT_PORT
 
@@ -185,3 +206,231 @@ def tree_updown_route(topology: TreeTopology, node: RouterNode,
         return port
 
     return route
+
+
+# -- virtual-channel assignment policies ----------------------------------
+
+#: One VC-allocation candidate: (output port, output VC).
+VcCandidate = tuple[int, int]
+
+#: Per-node candidate function: ``(in_port, in_vc, head_flit) ->
+#: (preferred, fallback)``. The VC allocator requests the preferred pairs
+#: while any of them is free, and falls back (escape channels) only when
+#: every preferred output VC is held by another packet.
+VcCandidateFn = Callable[[int, int, Flit], tuple[Sequence[VcCandidate],
+                                                 Sequence[VcCandidate]]]
+
+
+def dateline_class(position: int, dest: int, increasing: bool) -> int:
+    """The dateline VC class of the *next* link along a ring.
+
+    The dateline sits on the ring's wrap link (index ``N-1 -> 0`` for the
+    increasing direction, ``0 -> N-1`` for the decreasing one). A packet
+    that still has to cross the wrap travels on class 0 — the wrap link
+    itself is its last class-0 hop — and switches to class 1 after
+    crossing; "still has to cross" is a purely local comparison: moving
+    in the increasing direction, the remaining path wraps iff
+    ``position > dest``. Class-0 channels therefore exclude the first
+    post-wrap link and class-1 channels exclude the wrap link itself,
+    so both subgraphs are acyclic chains:
+    deadlock-free wormhole routing with no packet-length bound, even when
+    (minimal-adaptive) routing interleaves ring traversals.
+    """
+    if increasing:
+        return 0 if position > dest else 1
+    return 0 if position < dest else 1
+
+
+class VcPolicy:
+    """Base class: per-node VC-assignment candidate functions.
+
+    ``min_vcs`` is the smallest VC count the policy is correct with;
+    constructors validate ``n_vcs`` against it. ``injection_vc`` is the
+    VC sources inject on (the local input port is not part of any ring,
+    so class restrictions never apply there).
+    """
+
+    name = "?"
+    min_vcs = 2
+
+    def __init__(self, n_vcs: int):
+        if n_vcs < self.min_vcs:
+            raise ConfigurationError(
+                f"{self.name} VC policy needs >= {self.min_vcs} virtual "
+                f"channels, got {n_vcs}"
+            )
+        self.n_vcs = n_vcs
+
+    def for_node(self, node: int) -> VcCandidateFn:
+        raise NotImplementedError
+
+    def injection_vc(self, node: int) -> int:
+        return 0
+
+    @staticmethod
+    def _ejection(n_vcs: int) -> tuple[list[VcCandidate], list[VcCandidate]]:
+        """At the destination, any VC on the local port delivers."""
+        return [(LOCAL, vc) for vc in range(n_vcs)], []
+
+
+class DatelineVc(VcPolicy):
+    """Dateline VC assignment over a deterministic ring-closing route.
+
+    The route function (torus shortest-wrap XY, ring shortest-direction)
+    stays deterministic; the policy only picks the VC class for each hop
+    via :func:`dateline_class`. ``n_vcs`` must be even: the lower half of
+    the VCs carries class 0, the upper half class 1 (with the default
+    ``n_vcs=2``, one VC per class).
+    """
+
+    name = "dateline"
+
+    def __init__(self, routing: RoutingStrategy, n_vcs: int):
+        super().__init__(n_vcs)
+        if n_vcs % 2:
+            raise ConfigurationError(
+                f"dateline VC classes need an even VC count, got {n_vcs}"
+            )
+        self.routing = routing
+        self._half = n_vcs // 2
+
+    def class_vcs(self, vc_class: int) -> list[int]:
+        base = vc_class * self._half
+        return list(range(base, base + self._half))
+
+    def _link_class(self, node: int, out_port: int, flit: Flit) -> int:
+        raise NotImplementedError
+
+    def for_node(self, node: int) -> VcCandidateFn:
+        route = self.routing.for_node(node)
+
+        def candidates(in_port: int, in_vc: int, flit: Flit):
+            out_port = route(flit)
+            if out_port == LOCAL:
+                return self._ejection(self.n_vcs)
+            vc_class = self._link_class(node, out_port, flit)
+            return [(out_port, vc) for vc in self.class_vcs(vc_class)], []
+
+        return candidates
+
+
+class TorusDatelineVc(DatelineVc):
+    """Dateline classes for the torus: one dateline per row and column."""
+
+    def __init__(self, cols: int, rows: int, n_vcs: int,
+                 routing: RoutingStrategy | None = None):
+        super().__init__(routing or TorusXYRouting(cols, rows), n_vcs)
+        self.cols = cols
+        self.rows = rows
+
+    def _link_class(self, node: int, out_port: int, flit: Flit) -> int:
+        x, y = node % self.cols, node // self.cols
+        dx, dy = flit.dest % self.cols, flit.dest // self.cols
+        if out_port == EAST:
+            return dateline_class(x, dx, increasing=True)
+        if out_port == WEST:
+            return dateline_class(x, dx, increasing=False)
+        if out_port == SOUTH:
+            return dateline_class(y, dy, increasing=True)
+        return dateline_class(y, dy, increasing=False)
+
+
+class RingDatelineVc(DatelineVc):
+    """Dateline classes for the bidirectional ring."""
+
+    def __init__(self, nodes: int, n_vcs: int):
+        super().__init__(RingRouting(nodes), n_vcs)
+        self.nodes = nodes
+
+    def _link_class(self, node: int, out_port: int, flit: Flit) -> int:
+        return dateline_class(node, flit.dest,
+                              increasing=(out_port == RING_CW))
+
+
+class EscapeVcAdaptive(VcPolicy):
+    """Minimal-adaptive routing over free VCs with a deterministic escape.
+
+    Head flits may be allocated any *adaptive* VC on any productive
+    output port (every port that reduces the remaining distance — the
+    source of the adaptivity). When every adaptive candidate VC is held,
+    the flit falls back to the *escape* VC on the deterministic XY
+    output. The escape subnetwork is deadlock-free on its own:
+
+    * mesh (``wrap=False``) — VC 0 under XY routing (acyclic turns);
+    * torus (``wrap=True``) — VCs 0 and 1 under shortest-wrap XY with
+      dateline classes (so ``n_vcs >= 3`` leaves at least one adaptive
+      VC).
+
+    A packet that enters the escape stays on it until delivery, so
+    escape channels never depend on adaptive ones — Duato's condition
+    for deadlock freedom of the adaptive whole.
+    """
+
+    name = "escape"
+
+    def __init__(self, cols: int, rows: int, n_vcs: int, wrap: bool):
+        self.wrap = wrap
+        self.min_vcs = 3 if wrap else 2
+        super().__init__(n_vcs)
+        self.cols = cols
+        self.rows = rows
+        self.escape_vcs = (0, 1) if wrap else (0,)
+        self.adaptive_vcs = tuple(range(len(self.escape_vcs), n_vcs))
+        self._xy = (TorusXYRouting(cols, rows) if wrap
+                    else XYRouting(cols, rows))
+        self._dateline = (TorusDatelineVc(cols, rows, 2) if wrap else None)
+
+    def _productive_ports(self, node: int, dest: int) -> list[int]:
+        """Output ports that reduce the remaining distance (minimal)."""
+        cols, rows = self.cols, self.rows
+        x, y = node % cols, node // cols
+        dx, dy = dest % cols, dest // cols
+        ports: list[int] = []
+        if self.wrap:
+            ex = (dx - x) % cols
+            if ex:
+                if ex <= cols - ex:
+                    ports.append(EAST)
+                if cols - ex <= ex:
+                    ports.append(WEST)
+            ey = (dy - y) % rows
+            if ey:
+                if ey <= rows - ey:
+                    ports.append(SOUTH)
+                if rows - ey <= ey:
+                    ports.append(NORTH)
+        else:
+            if dx > x:
+                ports.append(EAST)
+            elif dx < x:
+                ports.append(WEST)
+            if dy > y:
+                ports.append(SOUTH)
+            elif dy < y:
+                ports.append(NORTH)
+        return ports
+
+    def _escape_candidate(self, node: int, flit: Flit,
+                          out_port: int) -> VcCandidate:
+        if self._dateline is None:
+            return (out_port, 0)
+        return (out_port, self._dateline._link_class(node, out_port, flit))
+
+    def for_node(self, node: int) -> VcCandidateFn:
+        route = self._xy.for_node(node)
+
+        def candidates(in_port: int, in_vc: int, flit: Flit):
+            xy_port = route(flit)
+            if xy_port == LOCAL:
+                return self._ejection(self.n_vcs)
+            escape = [self._escape_candidate(node, flit, xy_port)]
+            if in_port != LOCAL and in_vc in self.escape_vcs:
+                # Committed to the escape subnetwork: deterministic XY
+                # until delivery (what makes escape self-sufficient).
+                return [], escape
+            adaptive = [(port, vc)
+                        for port in self._productive_ports(node, flit.dest)
+                        for vc in self.adaptive_vcs]
+            return adaptive, escape
+
+        return candidates

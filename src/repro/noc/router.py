@@ -105,7 +105,8 @@ class SwitchCore(GatedComponentMixin, ClockedComponent):
             accepted_inputs[winner] = True
             self.flits_switched += 1
             enabled = True
-            if self._kernel._event_subs:
+            observed = bool(self._kernel._event_subs)
+            if observed:
                 # Same congestion-diagnosis event the credit fabrics'
                 # FabricRouter emits (cheap no-op unobserved).
                 self._kernel.emit("arbitration_grant", {
@@ -114,8 +115,18 @@ class SwitchCore(GatedComponentMixin, ClockedComponent):
                 })
             if flit.is_tail:
                 self.locks[o] = None
+                if observed and not flit.is_head:
+                    self._kernel.emit("lock_release", {
+                        "router": self.name, "output": o,
+                        "input": winner, "packet_id": flit.packet_id,
+                    })
             elif flit.is_head:
                 self.locks[o] = winner
+                if observed:
+                    self._kernel.emit("lock_acquire", {
+                        "router": self.name, "output": o,
+                        "input": winner, "packet_id": flit.packet_id,
+                    })
         # 4. Drive channel signals.
         for i, channel in enumerate(self.inputs):
             channel.respond(accepted_inputs[i], tick)

@@ -242,3 +242,142 @@ class TestBisectionReuse:
         assert search.saturation == 0.0
         assert search.saturation_metrics is None
         assert search.latency_at_saturation == 0.0
+
+
+class TestAdaptivePlacement:
+    """Adaptive bisection budgeting: cluster each round's points near the
+    interpolated knee instead of spreading them evenly — fewer points for
+    the same knee tolerance on secant-friendly curves."""
+
+    KNEE = 0.6  # efficiency ratio 1.05 - 0.25*load crosses 0.9 here
+
+    @classmethod
+    def _fake_evaluate(cls, spec):
+        ratio = 1.05 - 0.25 * spec.load
+        return {
+            "offered": spec.load,
+            "accepted_in_window": spec.load * ratio,
+            "mean_latency_cycles": 10.0,
+            "drained": 1.0,
+        }
+
+    def _search(self, monkeypatch, placement, resolution=0.005):
+        import repro.analysis.parallel as parallel_module
+        from repro.analysis.parallel import bisect_saturation_throughput
+        monkeypatch.setattr(parallel_module, "evaluate_load_point",
+                            self._fake_evaluate)
+        template = LoadPoint(load=0.05, network=TREE16, cycles=10)
+        return bisect_saturation_throughput(
+            template, lo=0.05, hi=0.95, budget=40,
+            resolution=resolution, placement=placement)
+
+    def test_fewer_points_for_the_same_tolerance(self, monkeypatch):
+        adaptive = self._search(monkeypatch, "adaptive")
+        uniform = self._search(monkeypatch, "uniform")
+        tolerance = 0.005
+        assert abs(adaptive.saturation - self.KNEE) <= tolerance
+        assert abs(uniform.saturation - self.KNEE) <= tolerance
+        assert adaptive.points_used < uniform.points_used
+
+    def test_adaptive_is_deterministic_across_workers(self, monkeypatch):
+        runs = [self._search(monkeypatch, "adaptive") for _ in range(2)]
+        assert runs[0].evaluated == runs[1].evaluated
+        assert runs[0].saturation == runs[1].saturation
+
+    def test_unknown_placement_rejected(self):
+        from repro.analysis.parallel import bisect_saturation_throughput
+        template = LoadPoint(load=0.05, network=TREE16, cycles=10)
+        with pytest.raises(ConfigurationError):
+            bisect_saturation_throughput(template, placement="magic")
+
+    def test_single_point_rounds_still_converge(self, monkeypatch):
+        # With points_per_round=1 there is no room for the midpoint
+        # guarantee; the central clamp must still shrink the bracket
+        # geometrically even when the secant estimate is pinned wrong.
+        import repro.analysis.parallel as parallel_module
+        from repro.analysis.parallel import bisect_saturation_throughput
+
+        def cliff(spec):  # flat then a cliff: secant is far off early
+            ratio = 1.0 if spec.load <= 0.8 else 0.1
+            return {"offered": spec.load,
+                    "accepted_in_window": spec.load * ratio,
+                    "mean_latency_cycles": 10.0, "drained": 1.0}
+
+        monkeypatch.setattr(parallel_module, "evaluate_load_point", cliff)
+        template = LoadPoint(load=0.05, network=TREE16, cycles=10)
+        search = bisect_saturation_throughput(
+            template, lo=0.05, hi=0.95, budget=25, resolution=0.01,
+            points_per_round=1, placement="adaptive")
+        assert abs(search.saturation - 0.8) <= 0.02
+
+    def test_real_search_still_finds_the_knee(self):
+        # End-to-end sanity on a real network: adaptive placement must
+        # agree with uniform placement within the resolution.
+        from repro.analysis.parallel import bisect_saturation_throughput
+        template = LoadPoint(load=0.05, network=TREE16, cycles=120, seed=3)
+        adaptive = bisect_saturation_throughput(
+            template, lo=0.05, hi=0.85, budget=8, resolution=0.05,
+            placement="adaptive")
+        uniform = bisect_saturation_throughput(
+            template, lo=0.05, hi=0.85, budget=8, resolution=0.05,
+            placement="uniform")
+        assert abs(adaptive.saturation - uniform.saturation) <= 0.2
+        assert adaptive.saturation > 0.0
+
+
+class TestTrafficThreading:
+    """Hotspot knobs and the transpose permutation ride LoadPoint specs
+    (and therefore sweeps, workers, and the CLI)."""
+
+    def test_transpose_generator(self):
+        spec = LoadPoint(load=0.2, network=TREE16, pattern="transpose",
+                         size_flits=2)
+        generator = spec.build_generator()
+        assert type(generator).__name__ == "PermutationTraffic"
+        assert generator.permutation == "transpose"
+
+    def test_hotspot_knobs_reach_the_generator(self):
+        spec = LoadPoint(load=0.2, network=TREE16, pattern="hotspot",
+                         hotspots=(3, 5), hotspot_fraction=0.5)
+        generator = spec.build_generator()
+        assert generator.hotspots == (3, 5)
+        assert generator.fraction == 0.5
+
+    def test_transpose_spec_measures(self):
+        from repro.fabric.registry import FabricConfig
+        spec = LoadPoint(load=0.1, cycles=40, pattern="transpose",
+                         network=FabricConfig(topology="mesh", ports=16))
+        metrics = evaluate_load_point(spec)
+        assert metrics["drained"] == 1.0
+
+    def test_vc_fabric_spec_measures_in_workers(self):
+        from repro.fabric.registry import FabricConfig
+        template = LoadPoint(
+            load=0.05, cycles=40,
+            network=FabricConfig(topology="torus", ports=16,
+                                 flow_control="vc"))
+        specs = expand_loads(template, [0.05, 0.15], base_seed=4)
+        serial = measure_load_points(specs, workers=1)
+        parallel = measure_load_points(specs, workers=2)
+        assert serial == parallel
+
+    def test_unknown_pattern_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadPoint(load=0.1, network=TREE16, pattern="nope")
+
+    def test_bad_pattern_knobs_fail_at_spec_construction(self):
+        # A bad spec must fail where it is built (the CLI turns this
+        # into a clean error), not as a traceback inside a worker.
+        with pytest.raises(ConfigurationError, match="out of range"):
+            LoadPoint(load=0.1, network=TREE16, pattern="hotspot",
+                      hotspots=(99,))
+        with pytest.raises(ConfigurationError, match="hotspot"):
+            LoadPoint(load=0.1, network=TREE16, pattern="hotspot",
+                      hotspots=())
+        with pytest.raises(ConfigurationError, match="fraction"):
+            LoadPoint(load=0.1, network=TREE16, pattern="hotspot",
+                      hotspot_fraction=1.5)
+        from repro.fabric.registry import FabricConfig
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            LoadPoint(load=0.1, pattern="transpose",
+                      network=FabricConfig(topology="torus", ports=36))

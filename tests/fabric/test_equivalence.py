@@ -1,15 +1,17 @@
 """Registry-wide kernel-mode equivalence.
 
-Every registered topology must produce identical packet delivery and
-statistics whether the kernel runs its activity-driven fast path or the
-naive fire-everything reference loop — the acceptance bar every new
-fabric has to clear before the registry will carry it.
+Every registered topology — under every link-level flow control it
+registers (wormhole, and virtual channels with each of its VC policies)
+— must produce identical packet delivery and statistics whether the
+kernel runs its activity-driven fast path or the naive fire-everything
+reference loop: the acceptance bar every new fabric has to clear before
+the registry will carry it.
 """
 
 import numpy as np
 import pytest
 
-from repro.fabric.registry import FabricConfig, topology_names
+from repro.fabric.registry import FabricConfig, get_topology, topology_names
 from repro.traffic.patterns import UniformRandom
 
 #: Per-topology port counts satisfying each family's shape constraints.
@@ -21,11 +23,35 @@ def _ports_for(name):
     return PORTS.get(name, 16)
 
 
-def run_traffic(name, activity_driven, size_flits=2, cycles=60, load=0.25):
+def flow_control_matrix():
+    """(topology, flow_control, vc_policy) for every registered combo."""
+    combos = []
+    for name in topology_names():
+        entry = get_topology(name)
+        for flow in entry.flow_control:
+            if flow == "vc":
+                for policy in entry.vc_policies:
+                    combos.append((name, flow, policy))
+            else:
+                combos.append((name, flow, None))
+    return combos
+
+
+def _config(name, flow, policy, activity_driven):
+    kwargs = {}
+    if flow == "vc":
+        kwargs["flow_control"] = "vc"
+        kwargs["vc_policy"] = policy
+        # The torus escape policy needs a dateline pair plus adaptive VCs.
+        kwargs["n_vcs"] = 4 if policy == "escape" and name == "torus" else 2
+    return FabricConfig(topology=name, ports=_ports_for(name),
+                        activity_driven=activity_driven, **kwargs)
+
+
+def run_traffic(name, activity_driven, flow="wormhole", policy=None,
+                size_flits=2, cycles=60, load=0.25):
     ports = _ports_for(name)
-    config = FabricConfig(topology=name, ports=ports,
-                          activity_driven=activity_driven)
-    net = config.build()
+    net = _config(name, flow, policy, activity_driven).build()
     gen = UniformRandom(ports, load, size_flits=size_flits)
     schedule = gen.generate(cycles, np.random.default_rng(5))
     by_cycle = {}
@@ -35,7 +61,7 @@ def run_traffic(name, activity_driven, size_flits=2, cycles=60, load=0.25):
         for injection in by_cycle.get(cycle, []):
             net.send(injection.to_packet())
         net.run_ticks(2)
-    assert net.drain(300_000), f"{name} failed to drain"
+    assert net.drain(300_000), f"{name}/{flow} failed to drain"
     net.run_ticks(5_000)  # idle tail: the fast path's home turf
     gating = net.gating_stats()
     return {
@@ -50,28 +76,28 @@ def run_traffic(name, activity_driven, size_flits=2, cycles=60, load=0.25):
     }
 
 
-@pytest.mark.parametrize("name", topology_names())
-def test_modes_bit_identical(name):
-    fast = run_traffic(name, activity_driven=True)
-    naive = run_traffic(name, activity_driven=False)
+@pytest.mark.parametrize("name,flow,policy", flow_control_matrix())
+def test_modes_bit_identical(name, flow, policy):
+    fast = run_traffic(name, True, flow, policy)
+    naive = run_traffic(name, False, flow, policy)
     observable = lambda r: {k: v for k, v in r.items() if k != "steps"}
-    assert observable(fast) == observable(naive), name
+    assert observable(fast) == observable(naive), (name, flow, policy)
     # All injected traffic arrived exactly once.
     assert len(fast["delivered"]) == fast["injected"]
 
 
-@pytest.mark.parametrize("name", topology_names())
-def test_fast_path_actually_skips(name):
-    fast = run_traffic(name, activity_driven=True)
-    naive = run_traffic(name, activity_driven=False)
+@pytest.mark.parametrize("name,flow,policy", flow_control_matrix())
+def test_fast_path_actually_skips(name, flow, policy):
+    fast = run_traffic(name, True, flow, policy)
+    naive = run_traffic(name, False, flow, policy)
     # The idle tail alone is 5000 ticks; the fast path must skip most of
     # the run while the naive loop steps every tick.
-    assert fast["steps"] < naive["steps"] / 5, name
+    assert fast["steps"] < naive["steps"] / 5, (name, flow, policy)
 
 
-@pytest.mark.parametrize("name", topology_names())
-def test_single_flit_packets_equivalent(name):
-    fast = run_traffic(name, True, size_flits=1, cycles=40)
-    naive = run_traffic(name, False, size_flits=1, cycles=40)
+@pytest.mark.parametrize("name,flow,policy", flow_control_matrix())
+def test_single_flit_packets_equivalent(name, flow, policy):
+    fast = run_traffic(name, True, flow, policy, size_flits=1, cycles=40)
+    naive = run_traffic(name, False, flow, policy, size_flits=1, cycles=40)
     assert fast["delivered"] == naive["delivered"]
     assert fast["gating"] == naive["gating"]

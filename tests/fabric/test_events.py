@@ -74,6 +74,81 @@ class TestArbitrationGrant:
         assert net.drain(10_000)
 
 
+class TestLockEvents:
+    """Wormhole lock acquisition/release events (ROADMAP open item):
+    edge-triggered, mode-identical, emitted only for multi-flit packets
+    (single-flit packets never hold the lock)."""
+
+    @staticmethod
+    def _locked_run(activity_driven, size_flits=3):
+        net = build_fabric("mesh", ports=4,
+                          activity_driven=activity_driven)
+        acquires, releases = [], []
+        net.kernel.subscribe(
+            "lock_acquire",
+            lambda tick, data: acquires.append(
+                (tick, data["router"], data["output"], data["input"],
+                 data["packet_id"])))
+        net.kernel.subscribe(
+            "lock_release",
+            lambda tick, data: releases.append(
+                (tick, data["router"], data["output"], data["input"],
+                 data["packet_id"])))
+        base = None
+        for wave in range(4):
+            for src in (0, 1):
+                packet = Packet(src=src, dest=3,
+                                payload=list(range(size_flits)))
+                if base is None:
+                    base = packet.packet_id  # global counter: normalise
+                net.send(packet)
+        assert net.drain(50_000)
+        net.run_ticks(2_000)
+        normalise = lambda events: [
+            (tick, router, output, inp, packet_id - base)
+            for tick, router, output, inp, packet_id in events
+        ]
+        return normalise(acquires), normalise(releases)
+
+    def test_acquires_and_releases_pair_up(self):
+        acquires, releases = self._locked_run(True)
+        assert acquires and releases
+        assert len(acquires) == len(releases)
+        # Same (router, output, input, packet) on both ends of each hold.
+        assert sorted(a[1:] for a in acquires) == \
+            sorted(r[1:] for r in releases)
+        # A release never precedes its acquisition.
+        held = {}
+        for tick, router, output, _, packet_id in acquires:
+            held[(router, output, packet_id)] = tick
+        for tick, router, output, _, packet_id in releases:
+            assert held[(router, output, packet_id)] < tick
+
+    def test_identical_in_both_kernel_modes(self):
+        fast = self._locked_run(True)
+        naive = self._locked_run(False)
+        assert fast == naive
+
+    def test_single_flit_packets_hold_no_lock(self):
+        acquires, releases = self._locked_run(True, size_flits=1)
+        assert acquires == []
+        assert releases == []
+
+    def test_tree_switch_emits_lock_events(self):
+        net = build_fabric("tree", ports=4)
+        acquires, releases = [], []
+        net.kernel.subscribe(
+            "lock_acquire",
+            lambda tick, data: acquires.append(data["router"]))
+        net.kernel.subscribe(
+            "lock_release",
+            lambda tick, data: releases.append(data["router"]))
+        net.send(Packet(src=0, dest=3, payload=[1, 2, 3]))
+        assert net.drain(10_000)
+        assert any(".switch" in router for router in acquires)
+        assert len(acquires) == len(releases)
+
+
 class TestCreditExhausted:
     @staticmethod
     def _starved_router(activity_driven, waves=2):

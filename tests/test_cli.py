@@ -194,3 +194,115 @@ class TestSweepTopologyChoices:
         finally:
             del registry._REGISTRY["_cli_test_fabric"]
         assert "_cli_test_fabric" not in sweep_topologies()
+
+
+class TestSweepFlowControl:
+    def test_vc_sweep_runs(self, capsys):
+        code = main(["sweep", "--topology", "torus", "--ports", "16",
+                     "--flow-control", "vc", "--loads", "0.05",
+                     "--cycles", "60"])
+        assert code == 0
+        assert "Offered-load sweep" in capsys.readouterr().out
+
+    def test_vc_policy_and_vcs_flags(self, capsys):
+        code = main(["sweep", "--topology", "torus", "--ports", "16",
+                     "--flow-control", "vc", "--vc-policy", "escape",
+                     "--vcs", "4", "--loads", "0.05", "--cycles", "60"])
+        assert code == 0
+
+    def test_vc_on_tree_alias_is_a_clean_error(self, capsys):
+        code = main(["sweep", "--topology", "binary", "--ports", "16",
+                     "--flow-control", "vc", "--loads", "0.05"])
+        assert code == 2
+        assert "flow control" in capsys.readouterr().err
+
+    def test_vc_on_registered_tree_is_a_clean_error(self, capsys):
+        code = main(["sweep", "--topology", "tree", "--ports", "16",
+                     "--flow-control", "vc", "--loads", "0.05"])
+        assert code == 2
+        assert "flow control" in capsys.readouterr().err
+
+    def test_bad_vc_policy_is_a_clean_error(self, capsys):
+        code = main(["sweep", "--topology", "ring", "--ports", "8",
+                     "--flow-control", "vc", "--vc-policy", "escape",
+                     "--loads", "0.05"])
+        assert code == 2
+
+    def test_vcs_without_vc_flow_control_is_a_clean_error(self, capsys):
+        # Never silently ignore a VC knob on a build that cannot honour
+        # it — wormhole registry fabrics and the tree aliases alike.
+        for topology in ("mesh", "binary"):
+            code = main(["sweep", "--topology", topology, "--ports", "16",
+                         "--vcs", "8", "--loads", "0.05"])
+            assert code == 2
+            assert "--flow-control vc" in capsys.readouterr().err
+
+
+class TestSweepTraffic:
+    def test_traffic_flag_transpose(self, capsys):
+        code = main(["sweep", "--topology", "mesh", "--ports", "16",
+                     "--traffic", "transpose", "--loads", "0.05",
+                     "--cycles", "60"])
+        assert code == 0
+
+    def test_pattern_spelling_still_works(self, capsys):
+        code = main(["sweep", "--ports", "16", "--pattern", "neighbour",
+                     "--loads", "0.05", "--cycles", "60"])
+        assert code == 0
+
+    def test_hotspot_knobs(self, capsys):
+        code = main(["sweep", "--topology", "mesh", "--ports", "16",
+                     "--traffic", "hotspot", "--hotspots", "0,5",
+                     "--hotspot-fraction", "0.2", "--loads", "0.05",
+                     "--cycles", "60"])
+        assert code == 0
+
+    def test_bad_hotspots_rejected(self, capsys):
+        code = main(["sweep", "--ports", "16", "--traffic", "hotspot",
+                     "--hotspots", "a,b", "--loads", "0.05"])
+        assert code == 2
+
+    def test_hotspot_knobs_without_hotspot_traffic_rejected(self, capsys):
+        code = main(["sweep", "--ports", "16", "--traffic", "uniform",
+                     "--hotspots", "3,5", "--loads", "0.05"])
+        assert code == 2
+        assert "--traffic hotspot" in capsys.readouterr().err
+        code = main(["sweep", "--ports", "16",
+                     "--hotspot-fraction", "0.9", "--loads", "0.05"])
+        assert code == 2
+
+    def test_empty_hotspots_rejected(self, capsys):
+        code = main(["sweep", "--ports", "16", "--traffic", "hotspot",
+                     "--hotspots", "", "--loads", "0.05"])
+        assert code == 2
+        assert "hotspot" in capsys.readouterr().err
+
+    def test_out_of_range_hotspot_is_a_clean_error(self, capsys):
+        code = main(["sweep", "--ports", "16", "--traffic", "hotspot",
+                     "--hotspots", "99", "--loads", "0.05"])
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestSweepPlacement:
+    def test_uniform_placement_still_available(self, capsys):
+        code = main(["sweep", "--ports", "16", "--loads", "0.05,0.85",
+                     "--search", "bisect", "--budget", "4",
+                     "--placement", "uniform"])
+        assert code == 0
+        assert "Saturation bisection" in capsys.readouterr().out
+
+    def test_placement_without_bisect_rejected(self, capsys):
+        code = main(["sweep", "--ports", "16", "--loads", "0.05",
+                     "--placement", "uniform"])
+        assert code == 2
+        assert "--search bisect" in capsys.readouterr().err
+
+
+class TestTopologiesFlowControl:
+    def test_table_has_flow_control_column(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "flow control" in out
+        assert "wormhole+vc" in out
+        assert "dateline" in out
