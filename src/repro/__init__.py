@@ -25,6 +25,13 @@ builds through the topology registry::
     net.send(Packet(src=0, dest=42))
     net.drain()
 
+and every registered fabric publishes a physical cost descriptor::
+
+    from repro import RunEnergyReport, physical_comparison_rows
+
+    print(RunEnergyReport.from_run(net).describe())
+    rows = physical_comparison_rows(nodes=64)   # the Section 6 table
+
 Sub-packages: ``tech`` (process models), ``timing`` (eqs. 1-7 and
 validators), ``clocking`` (clock trees, variation, mesochronous
 baselines), ``sim`` (half-cycle kernel), ``fabric`` (the shared router/
@@ -39,6 +46,9 @@ from repro.core.icnoc import ICNoC
 from repro.fabric.registry import FabricConfig, build_fabric
 from repro.noc.packet import Packet
 from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.physical.comparison import physical_comparison_rows
+from repro.physical.descriptor import physical_model
+from repro.physical.report import RunEnergyReport
 from repro.tech.technology import Technology, TECH_90NM
 from repro.system.demonstrator import DemonstratorConfig, DemonstratorSystem
 
@@ -52,6 +62,9 @@ __all__ = [
     "Packet",
     "ICNoCNetwork",
     "NetworkConfig",
+    "RunEnergyReport",
+    "physical_comparison_rows",
+    "physical_model",
     "Technology",
     "TECH_90NM",
     "DemonstratorConfig",

@@ -100,11 +100,37 @@ def measure_offered_vs_accepted(network_factory: Callable[[], Any],
     offered = sum(i.size_flits for i in schedule) / cycles / ports
     drained = net.drain(max_ticks=500_000)
     latency = net.stats.latency.mean if net.stats.latencies_cycles else 0.0
-    return {
+    metrics = {
         "offered": offered,
         "accepted_in_window": accepted,
         "mean_latency_cycles": latency,
         "drained": float(drained),
+    }
+    metrics.update(_run_energy_metrics(net))
+    return metrics
+
+
+def _run_energy_metrics(net: Any) -> dict[str, float]:
+    """Per-run energy of a drained measurement, when the network has a
+    registered physical descriptor (every registry fabric does; custom
+    networks without one simply omit the energy keys).
+
+    Only the descriptor *lookup* may decline (``physical_model`` raises
+    ``ConfigurationError`` for unregistered networks, ``TopologyError``
+    covers custom structures without a floorplan rule) — a genuine bug
+    inside a registered descriptor propagates instead of silently
+    blanking the energy column."""
+    from repro.errors import TopologyError
+    from repro.physical.descriptor import physical_model
+    from repro.physical.report import RunEnergyReport
+    try:
+        model = physical_model(net)
+    except (ConfigurationError, TopologyError):
+        return {}
+    report = RunEnergyReport.from_run(net, model=model)
+    return {
+        "energy_pj_per_flit": report.energy_per_flit_pj,
+        "mean_power_mw": report.mean_power_mw,
     }
 
 

@@ -8,10 +8,20 @@ Commands:
 * ``traffic``   — run a synthetic workload and print the statistics;
 * ``sweep``     — offered-load sweep (optionally process-parallel), as a
   fixed grid or a parallel bisection of the saturation knee, over any
-  registered fabric (``--topology tree|mesh|torus|ring|ctree``);
+  registered fabric (``--topology tree|mesh|torus|ring|ctree``), with
+  per-run energy (pJ/flit, mean mW) alongside throughput and latency;
+* ``compare``   — the paper-style physical comparison (hops, buffer
+  flits, area, energy per flit, clock power) across every registered
+  topology under every flow control it declares;
 * ``topologies``— list the fabric registry (structure, clocking);
 * ``demo``      — run the 32-tile demonstrator system;
 * ``corners``   — operating frequency per process corner.
+
+``info`` and ``validate`` accept every registered topology: the tree
+family routes through the :class:`~repro.core.icnoc.ICNoC` facade, the
+credit fabrics through :class:`~repro.fabric.registry.FabricConfig` (the
+eq. (1)-(7) timing checks model the handshake tree only, so ``validate``
+refuses credit fabrics with a clean error naming the supported set).
 """
 
 from __future__ import annotations
@@ -61,6 +71,10 @@ def _add_network_options(parser: argparse.ArgumentParser,
                         help="maximum pipeline segment length")
 
 
+#: Topologies the tree-only ICNoC facade (and its timing validator) covers.
+TREE_FAMILY = ("binary", "quad", "tree")
+
+
 def _config_from(args: argparse.Namespace) -> ICNoCConfig:
     return ICNoCConfig(
         ports=args.ports, topology=args.topology,
@@ -69,13 +83,47 @@ def _config_from(args: argparse.Namespace) -> ICNoCConfig:
     )
 
 
+def _fabric_config_from(args: argparse.Namespace) -> FabricConfig:
+    return FabricConfig(
+        topology=args.topology, ports=args.ports,
+        chip_width_mm=args.chip_mm, chip_height_mm=args.chip_mm,
+        max_segment_mm=args.segment_mm,
+    )
+
+
 def cmd_info(args: argparse.Namespace) -> int:
-    noc = ICNoC(_config_from(args))
-    print(noc.describe())
+    if args.topology in TREE_FAMILY:
+        noc = ICNoC(_config_from(args))
+        print(noc.describe())
+        return 0
+    # Any registered fabric: structure plus its physical descriptor view.
+    from repro.physical.descriptor import physical_model
+    try:
+        network = _fabric_config_from(args).build()
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    model = physical_model(network)
+    frequency = model.frequency_ghz()
+    clock = model.clock_power(frequency, sink_activity=1.0)
+    print(network.describe())
+    print(f"clock distribution: {model.clock_distribution}, "
+          f"f_max {frequency:.3f} GHz")
+    print(f"area: {model.area_report().describe()}")
+    print(f"clock power (un-gated): {clock.describe()}")
     return 0
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
+    if args.topology not in TREE_FAMILY:
+        print(
+            f"error: the eq. (1)-(7) timing checks model the handshake "
+            f"tree only (supported: {', '.join(TREE_FAMILY)}); "
+            f"{args.topology!r} is a credit fabric — see 'repro compare' "
+            f"for its physical report",
+            file=sys.stderr,
+        )
+        return 2
     noc = ICNoC(_config_from(args))
     frequency = args.frequency or noc.operating_frequency_ghz()
     report = noc.validate_timing(frequency=frequency)
@@ -202,10 +250,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                  round(m["offered"], 4),
                  round(m["accepted_in_window"], 4),
                  round(m["mean_latency_cycles"], 2),
+                 _energy_cell(m),
                  "yes" if m["drained"] else "NO"]
                 for load, m in search.evaluated]
         print(format_table(
-            ["load", "offered", "accepted", "latency (cy)", "drained"],
+            ["load", "offered", "accepted", "latency (cy)", "pJ/flit",
+             "drained"],
             rows,
             title=(f"Saturation bisection: {args.topology}, "
                    f"{args.ports} ports, {args.pattern}, "
@@ -225,15 +275,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
              round(m["offered"], 4),
              round(m["accepted_in_window"], 4),
              round(m["mean_latency_cycles"], 2),
+             _energy_cell(m),
              "yes" if m["drained"] else "NO"]
             for spec, m in zip(specs, results)]
     print(format_table(
-        ["load", "offered", "accepted", "latency (cy)", "drained"],
+        ["load", "offered", "accepted", "latency (cy)", "pJ/flit",
+         "drained"],
         rows,
         title=(f"Offered-load sweep: {args.topology}, {args.ports} ports, "
                f"{args.pattern}, workers={args.workers}"),
     ))
     return 0 if all(m["drained"] for m in results) else 1
+
+
+def _energy_cell(metrics: dict) -> str:
+    """Per-run flit energy, when the network published a physical model."""
+    energy = metrics.get("energy_pj_per_flit")
+    return "-" if energy is None else f"{energy:.2f}"
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.physical.comparison import physical_comparison_rows
+    try:
+        rows = physical_comparison_rows(
+            nodes=args.nodes, n_vcs=args.vcs,
+            buffer_depth=args.buffer_depth,
+            concentration=args.concentration, chip_mm=args.chip_mm,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_table(
+        ["topology", "flow", "clock", "hops avg/worst", "buffer flits",
+         "area mm^2", "pJ/flit", "clock mW", "f GHz"],
+        [[r.topology, r.flow_control, r.clock_distribution,
+          f"{r.mean_hops:.2f} / {r.worst_hops}",
+          r.buffer_flits,
+          round(r.area_mm2, 3),
+          round(r.energy_pj_per_flit, 2),
+          round(r.clock_mw, 2),
+          round(r.frequency_ghz, 3)] for r in rows],
+        title=(f"Physical comparison, {args.nodes} endpoints, buffer "
+               f"depth {args.buffer_depth}, {args.vcs} VCs "
+               f"(clock power un-gated; VC rows pay n_vcs x the "
+               f"wormhole buffers)"),
+    ))
+    return 0
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -277,11 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", help="describe a network instance")
-    _add_network_options(p_info)
+    _add_network_options(p_info, topologies=sweep_topologies())
     p_info.set_defaults(func=cmd_info)
 
     p_val = sub.add_parser("validate", help="run the timing checks")
-    _add_network_options(p_val)
+    _add_network_options(p_val, topologies=sweep_topologies())
     p_val.add_argument("--frequency", type=float, default=None,
                        help="GHz (default: the operating point)")
     p_val.set_defaults(func=cmd_validate)
@@ -351,6 +438,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--cycles", type=int, default=1000)
     p_demo.add_argument("--seed", type=int, default=2007)
     p_demo.set_defaults(func=cmd_demo)
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="paper-style physical comparison across every registered "
+             "fabric (hops, buffers, area, energy, clock power)",
+    )
+    p_cmp.add_argument("--nodes", type=int, default=16,
+                       help="network endpoints per fabric; must fit every "
+                            "registered shape (square, power of two, "
+                            "multiple of the concentration) — 16 and 64 do")
+    p_cmp.add_argument("--buffer-depth", type=int, default=4,
+                       help="credit FIFO depth per (port, VC)")
+    p_cmp.add_argument("--vcs", type=int, default=2,
+                       help="virtual channels per port on the VC rows")
+    p_cmp.add_argument("--concentration", type=int, default=4,
+                       help="endpoints per ctree leaf NI")
+    p_cmp.add_argument("--chip-mm", type=float, default=10.0,
+                       help="square chip edge length in mm")
+    p_cmp.set_defaults(func=cmd_compare)
 
     p_top = sub.add_parser("topologies", help="list the fabric registry")
     p_top.set_defaults(func=cmd_topologies)

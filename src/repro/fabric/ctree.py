@@ -17,6 +17,15 @@ mux delivers them locally in one clock cycle (a tree router would see the
 packet leave and re-enter the same port, a structural U-turn). Local
 deliveries use an exact-tick kernel timer, so both kernel modes observe
 identical delivery ticks.
+
+**Hop convention**: a hop is one switching element on the datapath —
+every fabric records the routers a packet traverses, and the same-leaf
+mux turnaround records **1** hop for its one-cycle local mux (it is the
+sole switch on that path). Recording 0 would silently deflate mean-hop
+and energy-per-flit statistics the physical comparisons divide by.
+Cross-leaf deliveries count tree routers exactly as the flat tree does;
+the muxes they also pass through are folded into the shared NI (the
+energy model in :mod:`repro.physical.descriptor` still prices them).
 """
 
 from __future__ import annotations
@@ -104,7 +113,9 @@ class ConcentratedTreeNetwork(ICNoCNetwork):
 
         def deliver(tick: int, packet: Packet = packet) -> None:
             packet.eject_tick = tick
-            self.stats.record_delivery(packet, hops=0)
+            # One switching element traversed (the mux) — see the module
+            # docstring's hop convention.
+            self.stats.record_delivery(packet, hops=1)
             self._local_delivered.append(packet)
             handler = self._handlers.get(packet.dest)
             if handler is not None:

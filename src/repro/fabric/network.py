@@ -49,9 +49,19 @@ from repro.fabric.vc import (
     VcFabricSource,
 )
 from repro.fabric.topologies import RingTopology, TorusTopology, square_side
+from repro.noc.floorplan import (
+    Floorplan,
+    grid_fabric_floorplan,
+    ring_fabric_floorplan,
+)
 from repro.noc.packet import Packet
 from repro.noc.stats import NetworkStats
 from repro.sim.kernel import SimKernel
+from repro.tech.technology import TECH_90NM
+from repro.timing.frequency import (
+    pipeline_max_frequency,
+    router_max_frequency,
+)
 
 if TYPE_CHECKING:
     from repro.fabric.registry import FabricConfig
@@ -96,6 +106,7 @@ class CreditFabricNetwork:
         self._inflight: dict[int, Packet] = {}
         self._node_prefix = node_prefix
         self._port_names = port_names
+        self._floorplan: Floorplan | None = None
         self._build()
 
     # -- construction ---------------------------------------------------
@@ -226,6 +237,46 @@ class CreditFabricNetwork:
     def total_buffer_flits(self) -> int:
         """Total FIFO capacity — the stall-buffer cost the IC-NoC avoids."""
         return sum(router.buffer_capacity for router in self.routers)
+
+    # -- physical view ----------------------------------------------------
+
+    @property
+    def tech(self):
+        """Process constants (configs without a tech field get 90 nm)."""
+        return getattr(self.config, "tech", TECH_90NM)
+
+    @property
+    def floorplan(self) -> Floorplan:
+        """Geometric embedding of this fabric on the die (lazy).
+
+        Grid fabrics tile the chip (torus wrap links at the folded
+        length); rings loop along the die perimeter — see
+        :mod:`repro.noc.floorplan`. The physical models
+        (:mod:`repro.physical`) read link lengths from here.
+        """
+        if self._floorplan is None:
+            topo = self.topology
+            width = getattr(self.config, "chip_width_mm", 10.0)
+            height = getattr(self.config, "chip_height_mm", 10.0)
+            if hasattr(topo, "cols"):
+                self._floorplan = grid_fabric_floorplan(
+                    topo.cols, topo.rows, topo.links(), width, height
+                )
+            else:
+                self._floorplan = ring_fabric_floorplan(
+                    topo.nodes, topo.links(), width, height
+                )
+        return self._floorplan
+
+    def operating_frequency_ghz(self) -> float:
+        """Max clock rate: min of the router critical path and the
+        Fig. 7 pipeline model at the longest physical link — the same
+        rule :class:`~repro.noc.network.ICNoCNetwork` applies, so the
+        physical reports cost every fabric at a comparable frequency."""
+        f_router = router_max_frequency(self.topology.max_ports, self.tech)
+        f_links = pipeline_max_frequency(self.floorplan.longest_link_mm(),
+                                         self.tech)
+        return min(f_router, f_links)
 
     def describe(self) -> str:
         describe = getattr(self.topology, "describe", None)

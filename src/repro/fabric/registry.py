@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
+from repro.tech.technology import Technology, TECH_90NM
 
 #: Clock distribution capabilities.
 CLOCK_INTEGRATED = "integrated"
@@ -70,6 +71,12 @@ class TopologyEntry:
             e.g. ``dateline`` deadlock avoidance, ``escape`` adaptive.
         builder: ``FabricConfig -> network`` (lazy-imports its module).
         validate: optional extra config check (port-count shape etc.).
+        physical: ``(network, name, clock_distribution) ->``
+            :class:`~repro.physical.descriptor.PhysicalModel` — the
+            fabric's physical cost descriptor (area, flit energy, clock
+            power), consumed by :mod:`repro.physical`. Lazy-imports like
+            ``builder``; None means the fabric publishes no physical
+            model and the generic reports refuse it loudly.
     """
 
     name: str
@@ -80,6 +87,7 @@ class TopologyEntry:
     validate: Callable[["FabricConfig"], None] | None = None
     flow_control: tuple[str, ...] = (FLOW_WORMHOLE,)
     vc_policies: tuple[str, ...] = ()
+    physical: Callable[[Any, str, str], Any] | None = None
 
     def __post_init__(self) -> None:
         if not self.clock_distribution:
@@ -179,6 +187,7 @@ class FabricConfig:
     chip_width_mm: float = 10.0
     chip_height_mm: float = 10.0
     max_segment_mm: float = 1.25
+    tech: Technology = TECH_90NM
     activity_driven: bool = True
 
     def __post_init__(self) -> None:
@@ -327,6 +336,7 @@ def _tree_network_config(config: FabricConfig, leaves: int):
         chip_width_mm=config.chip_width_mm,
         chip_height_mm=config.chip_height_mm,
         max_segment_mm=config.max_segment_mm,
+        tech=config.tech,
         activity_driven=config.activity_driven,
     )
 
@@ -364,6 +374,7 @@ def _build_mesh(config: FabricConfig):
         chip_width_mm=config.chip_width_mm,
         chip_height_mm=config.chip_height_mm,
         buffer_depth=config.buffer_depth,
+        tech=config.tech,
         activity_driven=config.activity_driven,
     ))
 
@@ -378,6 +389,28 @@ def _build_ring(config: FabricConfig):
     return RingNetwork(config)
 
 
+# Physical descriptors (lazy-import like the builders, so the registry
+# stays importable from anywhere without pulling in repro.physical).
+
+
+def _physical_tree(network, name: str, clocking: str):
+    from repro.physical.descriptor import TreePhysical
+    return TreePhysical(network, name, clocking)
+
+
+def _physical_ctree(network, name: str, clocking: str):
+    from repro.physical.descriptor import CtreePhysical
+    return CtreePhysical(network, name, clocking)
+
+
+def _physical_credit(network, name: str, clocking: str):
+    # One descriptor serves every credit fabric: it walks the network's
+    # own routing strategy over its own link table, so mesh, torus and
+    # ring (wormhole or VC) need no per-topology physical code.
+    from repro.physical.descriptor import CreditFabricPhysical
+    return CreditFabricPhysical(network, name, clocking)
+
+
 register_topology(TopologyEntry(
     name="tree",
     description="the paper's IC-NoC: 3x3/5x5 routers, handshake links, "
@@ -386,6 +419,7 @@ register_topology(TopologyEntry(
     tree_legal=True,
     builder=_build_tree,
     validate=_validate_tree,
+    physical=_physical_tree,
 ))
 
 register_topology(TopologyEntry(
@@ -396,6 +430,7 @@ register_topology(TopologyEntry(
     tree_legal=True,
     builder=_build_ctree,
     validate=_validate_ctree,
+    physical=_physical_ctree,
 ))
 
 register_topology(TopologyEntry(
@@ -406,6 +441,7 @@ register_topology(TopologyEntry(
     tree_legal=False,
     builder=_build_mesh,
     validate=_validate_grid,
+    physical=_physical_credit,
     flow_control=(FLOW_WORMHOLE, FLOW_VC),
     vc_policies=("escape",),
 ))
@@ -418,6 +454,7 @@ register_topology(TopologyEntry(
     tree_legal=False,
     builder=_build_torus,
     validate=_validate_grid,
+    physical=_physical_credit,
     flow_control=(FLOW_WORMHOLE, FLOW_VC),
     vc_policies=("dateline", "escape"),
 ))
@@ -430,6 +467,7 @@ register_topology(TopologyEntry(
     tree_legal=False,
     builder=_build_ring,
     validate=_validate_vc,
+    physical=_physical_credit,
     flow_control=(FLOW_WORMHOLE, FLOW_VC),
     vc_policies=("dateline",),
 ))

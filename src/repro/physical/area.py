@@ -72,14 +72,24 @@ def tree_noc_area(topology: TreeTopology, pipeline_stages: int,
                       buffer_mm2=0.0, chip_mm2=chip_mm2)
 
 
+def area_report(network) -> AreaReport:
+    """Area of any built registry fabric, via its physical descriptor.
+
+    Routers are priced per in-use port count, buffers per FIFO flit
+    (``router.buffer_capacity`` — a VC build pays ``n_vcs x`` the
+    wormhole budget), pipeline stages and concentrator muxes where the
+    fabric has them. For the plain tree this reproduces
+    :func:`tree_noc_area` exactly.
+    """
+    from repro.physical.descriptor import physical_model
+    return physical_model(network).area_report()
+
+
 def icnoc_area_report(network) -> AreaReport:
-    """Area of a built :class:`~repro.noc.network.ICNoCNetwork`."""
-    return tree_noc_area(
-        network.topology,
-        network.pipeline_stage_count,
-        chip_mm2=network.floorplan.chip_area_mm2,
-        tech=network.config.tech,
-    )
+    """Area of a built :class:`~repro.noc.network.ICNoCNetwork` — the
+    historical tree entry point, now a thin wrapper over the generic
+    :func:`area_report`."""
+    return area_report(network)
 
 
 def mesh_noc_area(topology: "MeshTopology", buffer_depth: int = 4,

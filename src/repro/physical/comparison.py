@@ -1,0 +1,116 @@
+"""The paper-style physical comparison across every registered fabric.
+
+Section 6 of the paper compares the IC-NoC against its baseline on hops,
+buffers, area, energy and clock power. The registry makes five fabrics
+runnable under two flow controls; this module builds the full table from
+each fabric's physical descriptor — one row per (topology, flow control)
+pairing, all structural (no traffic is simulated, so clock power is the
+un-gated worst case with every sink at activity 1).
+
+``python -m repro.cli compare --nodes 16`` prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fabric.registry import (
+    FLOW_VC,
+    FabricConfig,
+    get_topology,
+    topology_names,
+)
+from repro.physical.descriptor import physical_model
+
+
+@dataclass(frozen=True)
+class PhysicalComparison:
+    """One (topology, flow control) row of the comparison table."""
+
+    topology: str
+    flow_control: str
+    clock_distribution: str
+    endpoints: int
+    mean_hops: float
+    worst_hops: int
+    buffer_flits: int
+    area_mm2: float
+    energy_pj_per_flit: float
+    clock_mw: float
+    frequency_ghz: float
+
+
+def comparison_config(topology: str, flow_control: str, nodes: int = 16,
+                      n_vcs: int = 2, buffer_depth: int = 4,
+                      concentration: int = 4, chip_mm: float = 10.0,
+                      activity_driven: bool = True) -> FabricConfig:
+    """The :class:`FabricConfig` one comparison row builds.
+
+    ``nodes`` counts network endpoints for every fabric (the ctree keeps
+    ``nodes`` endpoints on ``nodes / concentration`` leaves), so the rows
+    compare like against like.
+    """
+    kwargs: dict = {
+        "topology": topology, "ports": nodes,
+        "chip_width_mm": chip_mm, "chip_height_mm": chip_mm,
+        "buffer_depth": buffer_depth,
+        "activity_driven": activity_driven,
+    }
+    if topology == "ctree":
+        kwargs["concentration"] = concentration
+    if flow_control == FLOW_VC:
+        kwargs["flow_control"] = FLOW_VC
+        kwargs["n_vcs"] = n_vcs
+    return FabricConfig(**kwargs)
+
+
+def physical_comparison_rows(nodes: int = 16, n_vcs: int = 2,
+                             buffer_depth: int = 4, concentration: int = 4,
+                             chip_mm: float = 10.0,
+                             topologies: tuple[str, ...] | None = None,
+                             activity_driven: bool = True,
+                             ) -> list[PhysicalComparison]:
+    """One row per registered (topology, flow control) pairing.
+
+    Every registered topology appears under every flow control it
+    declares — the VC rows pay ``n_vcs x`` the wormhole buffer budget at
+    equal ``buffer_depth``, which is exactly the cost the VC router's
+    ``buffer_capacity`` reports.
+    """
+    if nodes < 4:
+        raise ConfigurationError("the comparison needs >= 4 endpoints")
+    names = topology_names() if topologies is None else topologies
+    rows = []
+    for name in names:
+        entry = get_topology(name)
+        for flow_control in entry.flow_control:
+            try:
+                config = comparison_config(
+                    name, flow_control, nodes=nodes, n_vcs=n_vcs,
+                    buffer_depth=buffer_depth, concentration=concentration,
+                    chip_mm=chip_mm, activity_driven=activity_driven,
+                )
+            except ConfigurationError as error:
+                raise ConfigurationError(
+                    f"cannot build the {name!r} comparison row at "
+                    f"{nodes} endpoints: {error}"
+                ) from error
+            network = config.build()
+            model = physical_model(network)
+            frequency = model.frequency_ghz()
+            rows.append(PhysicalComparison(
+                topology=name,
+                flow_control=flow_control,
+                clock_distribution=model.clock_distribution,
+                endpoints=nodes,
+                mean_hops=model.mean_hops(),
+                worst_hops=model.worst_case_hops(),
+                buffer_flits=model.buffer_flits(),
+                area_mm2=model.area_report().total_mm2,
+                energy_pj_per_flit=model.average_flit_energy_pj(),
+                clock_mw=model.clock_power(frequency,
+                                           sink_activity=1.0).total_mw,
+                frequency_ghz=frequency,
+            ))
+    return rows

@@ -1,0 +1,417 @@
+"""Per-topology physical descriptors — the registry-driven cost layer.
+
+Every :class:`~repro.fabric.registry.TopologyEntry` registers a
+``physical`` hook that maps a *built* network to a :class:`PhysicalModel`:
+the one object the generic area / energy / clock-power reports consume.
+The contract a model fulfils (docs/physical.md has the worked example):
+
+* ``router_port_counts()`` — in-use ports of every switching element;
+* ``floorplan`` — physical link lengths (``repro.noc.floorplan``);
+* ``path(src, dest)`` — the :class:`PathProfile` a flit traverses:
+  switch port counts, link lengths, and how many of those switches
+  charge input-FIFO energy (credit fabrics do, the bufferless tree
+  does not);
+* ``buffer_flits()`` / ``pipeline_stage_count()`` — storage the area
+  model prices (a VC router pays ``n_vcs x`` the wormhole budget via
+  ``router.buffer_capacity``);
+* ``clock_sink_count()`` / ``clock_wire_mm()`` / ``clock_power()`` — the
+  clock network, costed per the entry's *declared* clock-distribution
+  capability: ``integrated`` fabrics pay the forwarded-clock model with
+  the measured gating activity, ``mesochronous`` fabrics pay the
+  balanced-tree model (free-running, no gating).
+
+**Hop convention** (the ctree bugfix): a hop is one switching element on
+the datapath between source NI and destination NI — a router, or the
+concentrated tree's local mux when it is the only switch (same-leaf
+pairs record 1 hop, not 0). Cross-leaf ctree paths count tree routers,
+matching the delivered-packet statistics; their energy additionally pays
+the two concentrator-mux traversals bracketing the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.clocking.power import (
+    ClockPowerBreakdown,
+    balanced_tree_clock_power_mw,
+    forwarded_clock_power_mw,
+)
+from repro.errors import ConfigurationError
+from repro.noc.floorplan import LOCAL_PORT
+from repro.physical.area import AreaReport, BUFFER_SLOT_AREA_MM2
+from repro.physical.power import (
+    BUFFER_ENERGY_PJ_PER_FLIT,
+    _tree_path_links,
+    link_energy_pj_per_flit,
+    router_energy_pj_per_flit,
+)
+from repro.tech.technology import TECH_90NM
+
+if TYPE_CHECKING:
+    from repro.noc.floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """What one flit traverses between two endpoints.
+
+    ``hops`` follows the hop convention above and matches the hop count
+    the network's statistics record for the same pair. ``switch_ports``
+    may be longer than ``hops`` (ctree cross-leaf paths include the two
+    concentrator muxes the statistics fold into the NIs).
+    """
+
+    hops: int
+    switch_ports: tuple[int, ...]
+    link_lengths_mm: tuple[float, ...]
+    buffered_hops: int = 0
+
+    @property
+    def length_mm(self) -> float:
+        return sum(self.link_lengths_mm)
+
+
+class PhysicalModel:
+    """Physical accounting of one built network (see module docstring)."""
+
+    def __init__(self, network, name: str, clock_distribution: str):
+        self.network = network
+        self.name = name
+        self.clock_distribution = clock_distribution
+        self._paths: dict[tuple[int, int], PathProfile] = {}
+
+    def path(self, src: int, dest: int) -> PathProfile:
+        """The (memoised) path profile — paths depend only on the pair,
+        so all-pairs sweeps and per-packet run reports share one walk."""
+        pair = (src, dest)
+        profile = self._paths.get(pair)
+        if profile is None:
+            profile = self._paths[pair] = self._path(src, dest)
+        return profile
+
+    # -- contract (overridden per fabric family) ------------------------
+
+    @property
+    def tech(self):
+        return getattr(self.network.config, "tech", TECH_90NM)
+
+    @property
+    def floorplan(self) -> "Floorplan":
+        return self.network.floorplan
+
+    @property
+    def endpoints(self) -> int:
+        return self.network.topology.nodes
+
+    def router_port_counts(self) -> list[int]:
+        raise NotImplementedError
+
+    def _path(self, src: int, dest: int) -> PathProfile:
+        raise NotImplementedError
+
+    def buffer_flits(self) -> int:
+        return 0
+
+    def pipeline_stage_count(self) -> int:
+        return 0
+
+    def mux_area_mm2(self) -> float:
+        return 0.0
+
+    def clock_sink_count(self) -> int:
+        raise NotImplementedError
+
+    def clock_wire_mm(self) -> float:
+        return self.floorplan.total_link_length_mm()
+
+    def frequency_ghz(self) -> float:
+        return self.network.operating_frequency_ghz()
+
+    def measured_sink_activity(self) -> float:
+        return self.network.gating_stats().activity
+
+    # -- generic reports -------------------------------------------------
+
+    def area_report(self) -> AreaReport:
+        tech = self.tech
+        router_mm2 = sum(tech.router_area_mm2(ports)
+                         for ports in self.router_port_counts())
+        return AreaReport(
+            router_mm2=router_mm2 + self.mux_area_mm2(),
+            pipeline_mm2=self.pipeline_stage_count() * tech.stage_area_mm2(),
+            buffer_mm2=self.buffer_flits() * BUFFER_SLOT_AREA_MM2,
+            chip_mm2=self.floorplan.chip_area_mm2,
+        )
+
+    def flit_energy_pj(self, src: int, dest: int) -> float:
+        profile = self.path(src, dest)
+        tech = self.tech
+        energy = sum(router_energy_pj_per_flit(ports, tech)
+                     for ports in profile.switch_ports)
+        energy += link_energy_pj_per_flit(1.0, tech) * profile.length_mm
+        energy += BUFFER_ENERGY_PJ_PER_FLIT * profile.buffered_hops
+        return energy
+
+    def average_flit_energy_pj(self) -> float:
+        total = 0.0
+        pairs = 0
+        for src in range(self.endpoints):
+            for dest in range(self.endpoints):
+                if src != dest:
+                    total += self.flit_energy_pj(src, dest)
+                    pairs += 1
+        return total / pairs
+
+    def mean_hops(self) -> float:
+        total = 0
+        pairs = 0
+        for src in range(self.endpoints):
+            for dest in range(self.endpoints):
+                if src != dest:
+                    total += self.path(src, dest).hops
+                    pairs += 1
+        return total / pairs
+
+    def worst_case_hops(self) -> int:
+        return self.network.topology.worst_case_hops()
+
+    def clock_power(self, frequency_ghz: float | None = None,
+                    sink_activity: float | None = None,
+                    ) -> ClockPowerBreakdown:
+        """Clock distribution power per the declared capability.
+
+        ``integrated`` rides the data links: forwarded-clock model, sink
+        pins gated at ``sink_activity`` (the run's measured gating when
+        None). ``mesochronous`` pays the balanced-tree model over the
+        same routed wire — free-running, so activity does not apply.
+        """
+        if frequency_ghz is None:
+            frequency_ghz = self.frequency_ghz()
+        if self.clock_distribution == "integrated":
+            if sink_activity is None:
+                sink_activity = self.measured_sink_activity()
+            return forwarded_clock_power_mw(
+                self.clock_wire_mm(), sinks=self.clock_sink_count(),
+                frequency=frequency_ghz, sink_activity=sink_activity,
+                tech=self.tech,
+            )
+        return balanced_tree_clock_power_mw(
+            self.clock_wire_mm(), sinks=self.clock_sink_count(),
+            frequency=frequency_ghz, tech=self.tech,
+        )
+
+
+class TreePhysical(PhysicalModel):
+    """The hand-written tree model, now one descriptor among equals."""
+
+    @property
+    def endpoints(self) -> int:
+        return self.network.config.leaves
+
+    def router_port_counts(self) -> list[int]:
+        topo = self.network.topology
+        return [topo.router_ports] * topo.router_count
+
+    def pipeline_stage_count(self) -> int:
+        return self.network.pipeline_stage_count
+
+    def clock_sink_count(self) -> int:
+        return len(self.network.clock_tree)
+
+    def _path(self, src: int, dest: int) -> PathProfile:
+        topo = self.network.topology
+        hops = topo.hop_count(src, dest)
+        links = _tree_path_links(topo, self.network.floorplan, src, dest)
+        return PathProfile(hops=hops,
+                           switch_ports=(topo.router_ports,) * hops,
+                           link_lengths_mm=tuple(links))
+
+
+class CtreePhysical(TreePhysical):
+    """Concentrated tree: the tree plus one local mux per leaf NI.
+
+    The mux is priced as a ``concentration + 1``-port crossbar; endpoint
+    stubs assume endpoints tile the die (half an endpoint-tile pitch of
+    wire each, the same convention as the grid fabrics' local stubs).
+    """
+
+    @property
+    def endpoints(self) -> int:
+        return self.network.endpoints
+
+    @property
+    def _mux_ports(self) -> int:
+        return self.network.concentration + 1
+
+    def _stub_mm(self) -> float:
+        plan = self.floorplan
+        side = max(1, round(self.endpoints ** 0.5))
+        return (plan.chip_width_mm / side + plan.chip_height_mm / side) / 4.0
+
+    def mux_area_mm2(self) -> float:
+        if self.network.concentration < 2:
+            return 0.0  # a 1:1 "mux" is a wire
+        return (self.network.config.leaves
+                * self.tech.router_area_mm2(self._mux_ports))
+
+    def clock_sink_count(self) -> int:
+        # The tree's sinks plus one endpoint-side register bank each.
+        return len(self.network.clock_tree) + self.endpoints
+
+    def clock_wire_mm(self) -> float:
+        return (self.floorplan.total_link_length_mm()
+                + self.endpoints * self._stub_mm())
+
+    def _path(self, src: int, dest: int) -> PathProfile:
+        leaf_of = self.network.leaf_of
+        stub = self._stub_mm()
+        src_leaf, dest_leaf = leaf_of(src), leaf_of(dest)
+        if src_leaf == dest_leaf:
+            # Same-leaf pairs traverse the one-cycle concentrator mux
+            # alone — one hop, matching the delivered statistics.
+            return PathProfile(hops=1, switch_ports=(self._mux_ports,),
+                               link_lengths_mm=(stub, stub))
+        # The uncached inner walk: the shared cache is keyed by
+        # *endpoint* pairs, and leaf pairs would collide with them.
+        tree = super()._path(src_leaf, dest_leaf)
+        return PathProfile(
+            hops=tree.hops,
+            switch_ports=(self._mux_ports,) + tree.switch_ports
+            + (self._mux_ports,),
+            link_lengths_mm=(stub,) + tree.link_lengths_mm + (stub,),
+        )
+
+
+class _DestProbe:
+    """The one flit attribute every route function reads."""
+
+    __slots__ = ("dest",)
+
+    def __init__(self, dest: int):
+        self.dest = dest
+
+
+class CreditFabricPhysical(PhysicalModel):
+    """Any :class:`~repro.fabric.network.CreditFabricNetwork` fabric.
+
+    Port counts and buffer capacity come from the built routers (so a VC
+    build pays ``n_vcs x`` the wormhole FIFO budget automatically), link
+    lengths from the fabric floorplan, and paths from a walk driven by
+    the network's **own** routing strategy (``routing.for_node``) over
+    the topology's link table — the descriptor cannot drift from what
+    the simulation routes. (VC builds keep the deterministic strategy as
+    the path model: the adaptive policies are minimal, so hop counts and
+    minimal-path lengths are unchanged.)
+    """
+
+    def __init__(self, network, name: str, clock_distribution: str):
+        super().__init__(network, name, clock_distribution)
+        self._hop_cache: dict[tuple[int, int], tuple] | None = None
+        self._ports_cache: list[int] | None = None
+
+    def router_port_counts(self) -> list[int]:
+        if self._ports_cache is None:
+            self._ports_cache = [
+                sum(1 for link in router.in_links if link is not None)
+                for router in self.network.routers
+            ]
+        return self._ports_cache
+
+    def buffer_flits(self) -> int:
+        return self.network.total_buffer_flits()
+
+    def clock_sink_count(self) -> int:
+        # Router + source + sink register banks at every node.
+        return 3 * self.network.topology.nodes
+
+    def _hop_table(self) -> dict[tuple[int, int], tuple]:
+        """(node, out_port) -> (neighbour, wire length), every direction."""
+        if self._hop_cache is None:
+            hops = {}
+            plan = self.floorplan
+            for a, a_port, b, b_port in self.network.topology.links():
+                length = plan.link_length(a, a_port)
+                hops[(a, a_port)] = (b, length)
+                hops[(b, b_port)] = (a, length)
+            self._hop_cache = hops
+        return self._hop_cache
+
+    def _route_steps(self, src: int, dest: int) -> list[tuple[int, int]]:
+        """(node, out_port) hops from src to dest, by asking the
+        network's routing strategy at every node along the way."""
+        hops = self._hop_table()
+        probe = _DestProbe(dest)
+        route_for = self.network.routing.for_node
+        node = src
+        steps: list[tuple[int, int]] = []
+        while node != dest:
+            port = route_for(node)(probe)
+            steps.append((node, port))
+            node = hops[(node, port)][0]
+            if len(steps) > len(hops):
+                raise ConfigurationError(
+                    f"routing never reaches {dest} from {src}: the "
+                    f"strategy and the link table disagree"
+                )
+        return steps
+
+    def _path(self, src: int, dest: int) -> PathProfile:
+        hops = self._hop_table()
+        plan = self.floorplan
+        ports = self.router_port_counts()
+        steps = self._route_steps(src, dest)
+        nodes = [node for node, _port in steps] + [dest]
+        lengths = [plan.link_length(src, LOCAL_PORT)]
+        lengths += [hops[step][1] for step in steps]
+        lengths.append(plan.link_length(dest, LOCAL_PORT))
+        return PathProfile(
+            hops=len(nodes),
+            switch_ports=tuple(ports[node] for node in nodes),
+            link_lengths_mm=tuple(lengths),
+            buffered_hops=len(nodes),
+        )
+
+
+def _topology_name_of(network) -> str:
+    """The registry name of a built network.
+
+    Registry-built fabrics carry it on their config; the historical
+    constructors (:class:`~repro.noc.network.ICNoCNetwork`,
+    :class:`~repro.mesh.network.MeshNetwork`) are recognised by type.
+    """
+    name = getattr(getattr(network, "config", None), "topology", None)
+    if isinstance(name, str):
+        return name
+    from repro.fabric.ctree import ConcentratedTreeNetwork
+    from repro.mesh.network import MeshNetwork
+    from repro.noc.network import ICNoCNetwork
+    if isinstance(network, ConcentratedTreeNetwork):
+        return "ctree"
+    if isinstance(network, ICNoCNetwork):
+        return "tree"
+    if isinstance(network, MeshNetwork):
+        return "mesh"
+    raise ConfigurationError(
+        f"no physical descriptor for {type(network).__name__}: not built "
+        f"from the topology registry"
+    )
+
+
+def _clock_distribution_of(network, entry) -> str:
+    scheme = getattr(network.config, "clock_distribution", None)
+    return scheme if isinstance(scheme, str) else entry.default_clocking
+
+
+def physical_model(network) -> PhysicalModel:
+    """The registered physical descriptor of a built network."""
+    from repro.fabric.registry import get_topology
+    name = _topology_name_of(network)
+    entry = get_topology(name)
+    if entry.physical is None:
+        raise ConfigurationError(
+            f"topology {name!r} registers no physical descriptor"
+        )
+    return entry.physical(network, name,
+                          _clock_distribution_of(network, entry))

@@ -71,6 +71,24 @@ def path_energy_pj(router_ports: list[int], link_lengths_mm: list[float],
     return total
 
 
+def flit_energy_pj(network, src: int, dest: int) -> float:
+    """Energy for one flit between two endpoints of *any* built registry
+    fabric: switch traversals + wire switching + (on credit fabrics) the
+    per-hop input-FIFO write/read, all from the fabric's physical
+    descriptor. The tree/mesh-specific functions below remain as the
+    structural (topology-level) models the Section 3 comparisons use."""
+    from repro.physical.descriptor import physical_model
+    return physical_model(network).flit_energy_pj(src, dest)
+
+
+def average_flit_energy_pj(network) -> float:
+    """Mean flit energy over all ordered endpoint pairs of a built
+    fabric (uniform traffic) — the generic counterpart of
+    :func:`average_flit_energy_tree_pj` / :func:`average_flit_energy_mesh_pj`."""
+    from repro.physical.descriptor import physical_model
+    return physical_model(network).average_flit_energy_pj()
+
+
 def _tree_path_links(topology: TreeTopology, floorplan: Floorplan,
                      src: int, dest: int) -> list[float]:
     """Physical lengths of every link on the tree route src -> dest,

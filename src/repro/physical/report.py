@@ -1,21 +1,27 @@
 """Dynamic energy report for a completed simulation run.
 
-Combines the measured traffic (flit-router traversals and flit-millimetres
+Combines the measured traffic (flit-switch traversals and flit-millimetres
 from the delivered packets) with the energy models, and the measured
 clock-gating activity with the clock power model, into one breakdown —
 the "what did this run cost" view an SoC power architect asks for.
+
+:meth:`RunEnergyReport.from_run` works on **any** fabric built through the
+topology registry (tree, ctree, mesh, torus, ring; wormhole or VC): each
+packet's path comes from the fabric's physical descriptor
+(:mod:`repro.physical.descriptor`), so switch port counts, link lengths
+(folded wrap links included), per-hop FIFO energy on the credit fabrics,
+and the clock-distribution scheme all match the fabric that actually ran.
+
+Units: energies in pJ, time in ns. Mean power divides total pJ by elapsed
+ns — and pJ/ns *is* mW (1e-12 J / 1e-9 s = 1e-3 W), so no further
+conversion factor applies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.clocking.power import forwarded_clock_power_mw
 from repro.errors import ConfigurationError
-from repro.physical.power import (
-    link_energy_pj_per_flit,
-    router_energy_pj_per_flit,
-)
 
 
 @dataclass(frozen=True)
@@ -23,7 +29,8 @@ class RunEnergyReport:
     """Energy accounting of one network run.
 
     All energies in pJ; mean power in mW assumes the configured clock
-    frequency.
+    frequency. ``buffer_pj`` is the input-FIFO write/read energy of the
+    credit fabrics (zero on the bufferless tree).
     """
 
     router_pj: float
@@ -33,92 +40,121 @@ class RunEnergyReport:
     frequency_ghz: float
     flit_router_traversals: int
     flit_mm: float
+    buffer_pj: float = 0.0
+    flits_delivered: int = 0
+
+    @property
+    def traffic_pj(self) -> float:
+        """Data-movement energy (everything but the clock)."""
+        return self.router_pj + self.link_pj + self.buffer_pj
 
     @property
     def total_pj(self) -> float:
-        return self.router_pj + self.link_pj + self.clock_pj
+        return self.traffic_pj + self.clock_pj
 
     @property
     def mean_power_mw(self) -> float:
         if self.elapsed_cycles <= 0.0:
             return 0.0
         elapsed_ns = self.elapsed_cycles / self.frequency_ghz
-        return self.total_pj / elapsed_ns / 1000.0 * 1000.0  # pJ/ns == mW
+        return self.total_pj / elapsed_ns  # pJ/ns is mW, exactly
 
     @property
     def energy_per_flit_hop_pj(self) -> float:
         if self.flit_router_traversals == 0:
             return 0.0
-        return (self.router_pj + self.link_pj) / self.flit_router_traversals
+        return self.traffic_pj / self.flit_router_traversals
+
+    @property
+    def energy_per_flit_pj(self) -> float:
+        """Mean traffic energy per delivered flit (source to sink)."""
+        if self.flits_delivered == 0:
+            return 0.0
+        return self.traffic_pj / self.flits_delivered
 
     def describe(self) -> str:
+        buffers = (f" + buffers {self.buffer_pj:.0f} pJ"
+                   if self.buffer_pj else "")
         return (
             f"routers {self.router_pj:.0f} pJ + links {self.link_pj:.0f} pJ"
-            f" + clock {self.clock_pj:.0f} pJ = {self.total_pj:.0f} pJ over"
+            f"{buffers} + clock {self.clock_pj:.0f} pJ"
+            f" = {self.total_pj:.0f} pJ over"
             f" {self.elapsed_cycles:.0f} cycles"
             f" ({self.mean_power_mw:.2f} mW mean)"
         )
 
+    @classmethod
+    def from_run(cls, network, frequency_ghz: float | None = None,
+                 model=None) -> "RunEnergyReport":
+        """Energy of everything ``network`` delivered so far.
 
-def _tree_path_length_mm(network, src: int, dest: int) -> float:
-    """Wire millimetres a flit travels between two leaves."""
-    topo = network.topology
-    plan = network.floorplan
-    total = 0.0
-    src_router = topo.leaf_router(src)
-    total += plan.link_length(src_router.index,
-                              topo.child_port_for_leaf(src_router, src))
-    path = topo.route_path(src, dest)
-    for a, b in zip(path, path[1:]):
-        upper, lower = (a, b) if topo.router(b).parent == a else (b, a)
-        node = topo.router(upper)
-        total += plan.link_length(upper, node.children.index(lower) + 1)
-    dest_router = topo.leaf_router(dest)
-    total += plan.link_length(dest_router.index,
-                              topo.child_port_for_leaf(dest_router, dest))
-    return total
+        ``network`` is any fabric built through the topology registry;
+        its physical descriptor supplies per-packet paths and the
+        clock-power scheme (integrated clocks are gated at the measured
+        activity, mesochronous clocks free-run). Pass ``model`` to reuse
+        an already-resolved descriptor (and its path cache).
+        """
+        from repro.physical.descriptor import physical_model
+        from repro.physical.power import (
+            BUFFER_ENERGY_PJ_PER_FLIT,
+            link_energy_pj_per_flit,
+            router_energy_pj_per_flit,
+        )
+        if model is None:
+            model = physical_model(network)
+        if frequency_ghz is None:
+            frequency_ghz = model.frequency_ghz()
+        if frequency_ghz <= 0.0:
+            raise ConfigurationError("frequency must be positive")
+        tech = model.tech
+
+        traversals = 0
+        flits = 0
+        flit_mm = 0.0
+        router_pj = 0.0
+        buffered = 0
+        # Paths depend only on (src, dest): memoise so a long run costs
+        # O(distinct pairs), not O(packets), in path walks.
+        paths: dict[tuple[int, int], tuple] = {}
+        for packet in network.delivered:
+            pair = (packet.src, packet.dest)
+            cached = paths.get(pair)
+            if cached is None:
+                profile = model.path(packet.src, packet.dest)
+                switch_pj = sum(router_energy_pj_per_flit(ports, tech)
+                                for ports in profile.switch_ports)
+                cached = paths[pair] = (profile, switch_pj)
+            profile, switch_pj = cached
+            traversals += profile.hops * packet.flit_count
+            flits += packet.flit_count
+            flit_mm += profile.length_mm * packet.flit_count
+            router_pj += packet.flit_count * switch_pj
+            buffered += profile.buffered_hops * packet.flit_count
+
+        link_pj = flit_mm * link_energy_pj_per_flit(1.0, tech)
+        buffer_pj = buffered * BUFFER_ENERGY_PJ_PER_FLIT
+
+        elapsed_cycles = network.stats.elapsed_cycles
+        clock = model.clock_power(frequency_ghz)
+        # mW * ns = pJ; elapsed ns = cycles / GHz.
+        clock_pj = clock.total_mw * (elapsed_cycles / frequency_ghz)
+
+        return cls(
+            router_pj=router_pj,
+            link_pj=link_pj,
+            clock_pj=clock_pj,
+            elapsed_cycles=elapsed_cycles,
+            frequency_ghz=frequency_ghz,
+            flit_router_traversals=traversals,
+            flit_mm=flit_mm,
+            buffer_pj=buffer_pj,
+            flits_delivered=flits,
+        )
 
 
 def run_energy_report(network, frequency_ghz: float | None = None
                       ) -> RunEnergyReport:
-    """Energy of everything the network delivered so far."""
-    if frequency_ghz is None:
-        frequency_ghz = network.operating_frequency_ghz()
-    if frequency_ghz <= 0.0:
-        raise ConfigurationError("frequency must be positive")
-    tech = network.config.tech
-    ports = network.topology.router_ports
-    per_router = router_energy_pj_per_flit(ports, tech)
-
-    traversals = 0
-    flit_mm = 0.0
-    for packet in network.delivered:
-        hops = network.topology.hop_count(packet.src, packet.dest)
-        traversals += hops * packet.flit_count
-        flit_mm += _tree_path_length_mm(network, packet.src, packet.dest) \
-            * packet.flit_count
-
-    router_pj = traversals * per_router
-    link_pj = flit_mm * link_energy_pj_per_flit(1.0, tech)
-
-    elapsed_cycles = network.stats.elapsed_cycles
-    gating = network.gating_stats()
-    clock = forwarded_clock_power_mw(
-        network.floorplan.total_link_length_mm(),
-        sinks=len(network.clock_tree),
-        frequency=frequency_ghz,
-        sink_activity=gating.activity,
-        tech=tech,
-    )
-    # mW * ns = pJ; elapsed ns = cycles / GHz.
-    clock_pj = clock.total_mw * (elapsed_cycles / frequency_ghz)
-
-    return RunEnergyReport(
-        router_pj=router_pj,
-        link_pj=link_pj,
-        clock_pj=clock_pj,
-        elapsed_cycles=elapsed_cycles,
-        frequency_ghz=frequency_ghz,
-        flit_router_traversals=traversals,
-        flit_mm=flit_mm,
-    )
+    """Historical entry point — a thin wrapper over
+    :meth:`RunEnergyReport.from_run`, which now accepts any registered
+    fabric rather than the tree alone."""
+    return RunEnergyReport.from_run(network, frequency_ghz)

@@ -111,7 +111,9 @@ class TestConcentratedTree:
         packet = net.delivered[0]
         assert packet.payload == [9]
         assert packet.latency_cycles == 1.0  # one-cycle concentrator mux
-        assert net.stats.hop_counts == [0]   # never entered the tree
+        # Hop convention: the mux is one switching element, so the local
+        # turnaround records 1 hop (0 would deflate mean-hop stats).
+        assert net.stats.hop_counts == [1]
 
     def test_all_pairs_deliver(self):
         net = build_fabric("ctree", ports=16, concentration=4)

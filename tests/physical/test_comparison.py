@@ -1,0 +1,210 @@
+"""The registry-driven physical comparison (descriptor layer)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.registry import build_fabric, get_topology, topology_names
+from repro.noc.packet import Packet
+from repro.physical.comparison import physical_comparison_rows
+from repro.physical.descriptor import physical_model
+from repro.physical.power import BUFFER_ENERGY_PJ_PER_FLIT
+from repro.physical.report import RunEnergyReport
+
+
+def rows_by_key(rows):
+    return {(r.topology, r.flow_control): r for r in rows}
+
+
+@pytest.fixture(scope="module")
+def rows16():
+    return physical_comparison_rows(nodes=16)
+
+
+class TestComparisonTable:
+    def test_every_registered_pairing_appears(self, rows16):
+        keys = set(rows_by_key(rows16))
+        expected = {(name, flow)
+                    for name in topology_names()
+                    for flow in get_topology(name).flow_control}
+        assert keys == expected
+        assert len(rows16) == len(expected)
+
+    def test_identical_across_kernel_modes(self):
+        fast = physical_comparison_rows(nodes=16, activity_driven=True)
+        naive = physical_comparison_rows(nodes=16, activity_driven=False)
+        assert [
+            (r.topology, r.flow_control, r.mean_hops, r.buffer_flits,
+             r.area_mm2, r.energy_pj_per_flit, r.clock_mw,
+             r.frequency_ghz)
+            for r in fast
+        ] == [
+            (r.topology, r.flow_control, r.mean_hops, r.buffer_flits,
+             r.area_mm2, r.energy_pj_per_flit, r.clock_mw,
+             r.frequency_ghz)
+            for r in naive
+        ]
+
+    def test_vc_buffers_scale_with_n_vcs(self, rows16):
+        by_key = rows_by_key(rows16)
+        for name in ("mesh", "torus", "ring"):
+            wormhole = by_key[(name, "wormhole")]
+            vc = by_key[(name, "vc")]
+            assert wormhole.buffer_flits > 0
+            assert vc.buffer_flits == 2 * wormhole.buffer_flits
+        four = rows_by_key(physical_comparison_rows(
+            nodes=16, n_vcs=4, topologies=("torus",)))
+        assert four[("torus", "vc")].buffer_flits == \
+            4 * by_key[("torus", "wormhole")].buffer_flits
+
+    def test_bufferless_tree_family(self, rows16):
+        by_key = rows_by_key(rows16)
+        assert by_key[("tree", "wormhole")].buffer_flits == 0
+        assert by_key[("ctree", "wormhole")].buffer_flits == 0
+
+    def test_clock_capability_respected(self, rows16):
+        for row in rows16:
+            entry = get_topology(row.topology)
+            assert row.clock_distribution == entry.default_clocking
+
+    def test_all_costs_positive(self, rows16):
+        for row in rows16:
+            assert row.mean_hops >= 1.0
+            assert row.area_mm2 > 0.0
+            assert row.energy_pj_per_flit > 0.0
+            assert row.clock_mw > 0.0
+            assert row.frequency_ghz > 0.0
+
+    def test_bad_node_count_rejected_cleanly(self):
+        with pytest.raises(ConfigurationError):
+            physical_comparison_rows(nodes=3)
+        with pytest.raises(ConfigurationError, match="comparison row"):
+            physical_comparison_rows(nodes=24)  # not square: mesh breaks
+
+
+class TestFoldedFloorplan:
+    def test_torus_wrap_links_longer_than_interior(self):
+        net = build_fabric("torus", ports=16)
+        plan = net.floorplan
+        cols = net.topology.cols
+        interior, wraps = [], []
+        for a, a_port, b, _b_port in net.topology.links():
+            ax, ay = a % cols, a // cols
+            bx, by = b % cols, b // cols
+            length = plan.link_length(a, a_port)
+            if abs(ax - bx) > 1 or abs(ay - by) > 1:
+                wraps.append(length)
+            else:
+                interior.append(length)
+        assert wraps and interior
+        assert min(wraps) > max(interior)
+        # Folded accounting: wraps cost two tile pitches, not the die.
+        assert max(wraps) == pytest.approx(2 * max(interior))
+
+    def test_mesh_has_no_wrap_links(self):
+        net = build_fabric("mesh", ports=16)
+        lengths = [net.floorplan.link_length(a, p)
+                   for a, p, _b, _q in net.topology.links()]
+        pitch = 10.0 / net.topology.cols
+        assert all(length == pytest.approx(pitch) for length in lengths)
+
+    def test_ring_links_span_the_perimeter_evenly(self):
+        net = build_fabric("ring", ports=8)
+        lengths = [net.floorplan.link_length(a, p)
+                   for a, p, _b, _q in net.topology.links()]
+        assert len(lengths) == 8
+        # 40 mm perimeter / 8 nodes = 5 mm per link, closing link included.
+        assert all(length == pytest.approx(5.0) for length in lengths)
+
+
+def run_traffic(name, pairs, **kwargs):
+    net = build_fabric(name, ports=16, **kwargs)
+    for src, dest in pairs:
+        net.send(Packet(src=src, dest=dest))
+    assert net.drain(200_000)
+    return net
+
+
+class TestRunEnergyOnEveryFabric:
+    PAIRS = [(0, 5), (3, 9), (12, 2)]
+
+    @pytest.mark.parametrize("name,kwargs", [
+        ("tree", {}),
+        ("ctree", {"concentration": 4}),
+        ("mesh", {}),
+        ("torus", {}),
+        ("ring", {}),
+        ("torus", {"flow_control": "vc", "n_vcs": 2}),
+    ])
+    def test_report_complete_and_positive(self, name, kwargs):
+        net = run_traffic(name, self.PAIRS, **kwargs)
+        report = RunEnergyReport.from_run(net)
+        assert report.flits_delivered == len(self.PAIRS)
+        assert report.router_pj > 0.0
+        assert report.link_pj > 0.0
+        assert report.clock_pj > 0.0
+        assert report.energy_per_flit_pj > 0.0
+        assert report.mean_power_mw > 0.0
+
+    def test_credit_fabrics_pay_buffer_energy_tree_does_not(self):
+        tree = RunEnergyReport.from_run(run_traffic("tree", self.PAIRS))
+        torus = RunEnergyReport.from_run(run_traffic("torus", self.PAIRS))
+        assert tree.buffer_pj == 0.0
+        assert torus.buffer_pj == pytest.approx(
+            torus.flit_router_traversals * BUFFER_ENERGY_PJ_PER_FLIT
+        )
+
+    def test_identical_across_kernel_modes(self):
+        reports = [
+            RunEnergyReport.from_run(
+                run_traffic("ring", self.PAIRS, activity_driven=mode)
+            )
+            for mode in (True, False)
+        ]
+        assert reports[0] == reports[1]
+
+    def test_ctree_same_leaf_run_costs_the_mux(self):
+        net = run_traffic("ctree", [(0, 3)], concentration=4)
+        report = RunEnergyReport.from_run(net)
+        assert net.stats.hop_counts == [1]
+        assert report.flit_router_traversals == 1
+        assert report.router_pj > 0.0
+
+
+class TestDescriptorContract:
+    def test_paths_match_recorded_hops(self):
+        """The descriptor's path profile agrees with what the delivered
+        statistics record — the hop convention, single-sourced."""
+        for name, kwargs in [("tree", {}), ("ctree", {"concentration": 4}),
+                             ("mesh", {}), ("torus", {}), ("ring", {})]:
+            net = run_traffic(name, self.pairs_for(name), **kwargs)
+            model = physical_model(net)
+            recorded = net.stats.hop_counts
+            expected = [model.path(src, dest).hops
+                        for src, dest in self.pairs_for(name)]
+            assert sorted(recorded) == sorted(expected), name
+
+    @staticmethod
+    def pairs_for(name):
+        pairs = [(0, 5), (3, 9), (12, 2)]
+        if name == "ctree":
+            pairs.append((0, 3))  # same-leaf: the 1-hop mux
+        return pairs
+
+    def test_unregistered_network_refused_loudly(self):
+        class Unknown:
+            config = object()
+
+        with pytest.raises(ConfigurationError, match="physical"):
+            physical_model(Unknown())
+
+    def test_torus_path_lengths_use_folded_wraps(self):
+        net = build_fabric("torus", ports=16)
+        model = physical_model(net)
+        pitch = 10.0 / 4
+        # 0 -> 3 wraps west once (one folded wrap link + local stubs).
+        wrapped = model.path(0, 3)
+        assert wrapped.hops == 2
+        assert wrapped.length_mm == pytest.approx(2 * pitch + 2 * (pitch / 2))
+        # 0 -> 1 is one interior link.
+        interior = model.path(0, 1)
+        assert interior.length_mm == pytest.approx(pitch + 2 * (pitch / 2))

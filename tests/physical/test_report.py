@@ -9,7 +9,7 @@ from repro.physical.power import (
     link_energy_pj_per_flit,
     router_energy_pj_per_flit,
 )
-from repro.physical.report import run_energy_report
+from repro.physical.report import RunEnergyReport, run_energy_report
 
 
 def run_one_packet(src=0, dest=1, flits=1, leaves=8):
@@ -76,3 +76,42 @@ class TestEnergyArithmetic:
         net = run_one_packet()
         with pytest.raises(ConfigurationError):
             run_energy_report(net, frequency_ghz=0.0)
+
+
+class TestUnitConversion:
+    """Pin the pJ/ns == mW identity (the old code ended in a no-op
+    ``/ 1000.0 * 1000.0`` that invited a real conversion bug)."""
+
+    @staticmethod
+    def report(**overrides):
+        values = dict(router_pj=60.0, link_pj=30.0, clock_pj=10.0,
+                      elapsed_cycles=100.0, frequency_ghz=2.0,
+                      flit_router_traversals=10, flit_mm=1.0)
+        values.update(overrides)
+        return RunEnergyReport(**values)
+
+    def test_pj_per_ns_is_mw_exactly(self):
+        # 100 pJ over 100 cycles at 2 GHz = 100 pJ / 50 ns = 2 mW.
+        assert self.report().mean_power_mw == pytest.approx(2.0)
+
+    def test_scales_linearly_with_frequency(self):
+        # Same energy in half the wall time -> twice the power.
+        slow = self.report(frequency_ghz=1.0)
+        fast = self.report(frequency_ghz=2.0)
+        assert fast.mean_power_mw == pytest.approx(2.0 * slow.mean_power_mw)
+
+    def test_zero_elapsed_is_zero_power(self):
+        assert self.report(elapsed_cycles=0.0).mean_power_mw == 0.0
+
+    def test_buffer_energy_in_totals(self):
+        plain = self.report()
+        buffered = self.report(buffer_pj=5.0)
+        assert buffered.total_pj == pytest.approx(plain.total_pj + 5.0)
+        assert buffered.traffic_pj == pytest.approx(95.0)
+        assert "buffers" in buffered.describe()
+        assert "buffers" not in plain.describe()
+
+    def test_energy_per_flit(self):
+        report = self.report(flits_delivered=5)
+        assert report.energy_per_flit_pj == pytest.approx(90.0 / 5)
+        assert self.report().energy_per_flit_pj == 0.0

@@ -306,3 +306,93 @@ class TestTopologiesFlowControl:
         assert "flow control" in out
         assert "wormhole+vc" in out
         assert "dateline" in out
+
+
+class TestCompare:
+    def test_every_registered_topology_has_rows(self, capsys):
+        from repro.fabric.registry import topology_names
+
+        assert main(["compare", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Physical comparison" in out
+        # Row-leading tokens, not substrings — "tree" inside a "ctree"
+        # row must not mask a missing tree row (same rule as the CI gate).
+        rows = {line.split("|")[0].strip()
+                for line in out.splitlines() if "|" in line}
+        for name in topology_names():
+            assert name in rows
+        # Both flow controls appear.
+        assert "wormhole" in out
+        assert "vc" in out
+        assert "integrated" in out
+        assert "mesochronous" in out
+
+    def test_vc_rows_pay_n_vcs_times_the_buffers(self, capsys):
+        assert main(["compare", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        mesh_rows = [line for line in out.splitlines()
+                     if line.startswith("mesh")]
+        buffers = [int(line.split("|")[4]) for line in mesh_rows]
+        assert len(buffers) == 2
+        assert buffers[1] == 2 * buffers[0]
+
+    def test_unbuildable_node_count_is_a_clean_error(self, capsys):
+        assert main(["compare", "--nodes", "24"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInfoRegistryFabrics:
+    def test_torus_info_prints_physical_view(self, capsys):
+        assert main(["info", "--topology", "torus", "--ports", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "torus" in out
+        assert "mesochronous" in out
+        assert "area:" in out
+        assert "clock power" in out
+
+    def test_ctree_info(self, capsys):
+        assert main(["info", "--topology", "ctree", "--ports", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "concentration" in out
+        assert "integrated" in out
+
+    def test_tree_alias_keeps_facade_path(self, capsys):
+        assert main(["info", "--topology", "tree", "--ports", "16"]) == 0
+        assert "IC-NoC" in capsys.readouterr().out
+
+    def test_bad_port_count_is_a_clean_error(self, capsys):
+        # 24 is not square: the registry refuses, the CLI reports.
+        assert main(["info", "--topology", "mesh", "--ports", "24"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidateRegistryFabrics:
+    def test_credit_fabric_is_a_clean_error(self, capsys):
+        assert main(["validate", "--topology", "ring",
+                     "--ports", "16"]) == 2
+        err = capsys.readouterr().err
+        assert "handshake tree only" in err
+        assert "binary, quad, tree" in err
+
+    def test_tree_alias_still_validates(self, capsys):
+        assert main(["validate", "--topology", "tree",
+                     "--ports", "16"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+
+class TestSweepEnergyColumn:
+    def test_grid_sweep_reports_energy(self, capsys):
+        code = main(["sweep", "--topology", "torus", "--ports", "16",
+                     "--loads", "0.05", "--cycles", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pJ/flit" in out
+        # A real per-run number, not the no-descriptor placeholder.
+        assert "| -" not in out
+
+    def test_bisect_reports_energy(self, capsys):
+        code = main(["sweep", "--ports", "16", "--loads", "0.05,0.85",
+                     "--search", "bisect", "--budget", "4",
+                     "--cycles", "100"])
+        assert code == 0
+        assert "pJ/flit" in capsys.readouterr().out
