@@ -17,6 +17,11 @@ The microbench behind the kernel's performance contract, in three parts:
   DMA storms separated by long quiet compute phases, driven by clocked
   components with exact-tick wake timers — the realistic system trace
   the fast path exists for.
+* **pipelined** — the burst/tail shape on a 4x4 wormhole torus with
+  2-stage routers and segmented wrap links (20 mm die, 1.25 mm
+  segments), exercising the router stage queue's never-sleep-with-
+  in-flight-flits rule and the link stages' sleep hooks; the same
+  ≥ 2x activity-driven gate.
 * **vc** — a 4x4 torus under dateline virtual channels
   (``flow_control="vc"``) absorbing a hotspot burst, exercising the
   two-stage VC/switch allocator's sleep contract; the same burst/tail
@@ -179,6 +184,40 @@ def run_bursty_workload(activity_driven: bool) -> dict:
     }
 
 
+def run_pipelined_workload(activity_driven: bool,
+                           ticks: int = VC_TICKS) -> dict:
+    """The burst/tail shape on a pipelined, segmented 4x4 torus.
+
+    Two-stage routers keep flits parked in the stage queue between the
+    grant edge and the traversal edge; the 20 mm die makes the torus
+    wrap links long enough to pick up several 1.25 mm link stages. Both
+    add clocked state the sleep contract must not lose — the gate
+    checks the fast path stays bit-identical *and* ≥ 2x."""
+    net = FabricConfig(topology="torus", ports=16,
+                       chip_width_mm=20.0, chip_height_mm=20.0,
+                       pipeline_depth=2, segment_links=True,
+                       activity_driven=activity_driven).build()
+    scheduled = 0
+    for src in range(1, BURST_PACKETS + 1):
+        net.send(Packet(src=src, dest=0, payload=list(range(3))))
+        net.send(Packet(src=src, dest=(src + 8) % 16))
+        scheduled += 2
+    start = time.perf_counter()
+    net.run_ticks(ticks)
+    elapsed = time.perf_counter() - start
+    gating = net.gating_stats()
+    return {
+        "elapsed_s": elapsed,
+        "ticks_per_s": ticks / elapsed if elapsed > 0 else float("inf"),
+        "delivered": net.stats.packets_delivered,
+        "scheduled": scheduled,
+        "latencies": list(net.stats.latencies_cycles),
+        "gating_edges_total": gating.edges_total,
+        "gating_edges_enabled": gating.edges_enabled,
+        "steps_executed": net.kernel.steps_executed,
+    }
+
+
 def run_vc_workload(activity_driven: bool, ticks: int = VC_TICKS) -> dict:
     """A hotspot burst on a 4x4 dateline-VC torus, then a long idle tail.
 
@@ -286,6 +325,8 @@ def measure() -> dict:
     mesh_naive = run_mesh_workload(activity_driven=False)
     bursty_fast = run_bursty_workload(activity_driven=True)
     bursty_naive = run_bursty_workload(activity_driven=False)
+    pipelined_fast = run_pipelined_workload(activity_driven=True)
+    pipelined_naive = run_pipelined_workload(activity_driven=False)
     vc_fast = run_vc_workload(activity_driven=True)
     vc_naive = run_vc_workload(activity_driven=False)
     vc_routing = run_vc_adaptive_comparison()
@@ -308,6 +349,11 @@ def measure() -> dict:
         "bursty_naive_ticks_per_s": round(bursty_naive["ticks_per_s"]),
         "bursty_speedup": round(
             bursty_fast["ticks_per_s"] / bursty_naive["ticks_per_s"], 1),
+        "pipelined_fast_ticks_per_s": round(pipelined_fast["ticks_per_s"]),
+        "pipelined_naive_ticks_per_s": round(pipelined_naive["ticks_per_s"]),
+        "pipelined_speedup": round(
+            pipelined_fast["ticks_per_s"] / pipelined_naive["ticks_per_s"],
+            1),
         "vc_fast_ticks_per_s": round(vc_fast["ticks_per_s"]),
         "vc_naive_ticks_per_s": round(vc_naive["ticks_per_s"]),
         "vc_speedup": round(
@@ -324,6 +370,8 @@ def measure() -> dict:
         "_mesh_naive": mesh_naive,
         "_bursty_fast": bursty_fast,
         "_bursty_naive": bursty_naive,
+        "_pipelined_fast": pipelined_fast,
+        "_pipelined_naive": pipelined_naive,
         "_vc_fast": vc_fast,
         "_vc_naive": vc_naive,
     }
@@ -342,6 +390,7 @@ def test_kernel_throughput(benchmark, log):
                                 ("_inst_fast", "_inst_naive"),
                                 ("_mesh_fast", "_mesh_naive"),
                                 ("_bursty_fast", "_bursty_naive"),
+                                ("_pipelined_fast", "_pipelined_naive"),
                                 ("_vc_fast", "_vc_naive")):
         fast, naive = results[fast_key], results[naive_key]
         for key in EQUIVALENCE_KEYS:
@@ -364,6 +413,7 @@ def test_kernel_throughput(benchmark, log):
     assert results["instrumented_speedup"] >= 2.0, results
     assert results["mesh_speedup"] >= 2.0, results
     assert results["bursty_speedup"] >= 2.0, results
+    assert results["pipelined_speedup"] >= 2.0, results
     assert results["vc_speedup"] >= 2.0, results
 
     # The flow-control comparison of the VC scenario: the escape-VC
@@ -380,7 +430,7 @@ def test_kernel_throughput(benchmark, log):
     if history:
         latest = history[-1]
         for key in ("speedup", "instrumented_speedup", "mesh_speedup",
-                    "bursty_speedup", "vc_speedup"):
+                    "bursty_speedup", "pipelined_speedup", "vc_speedup"):
             baseline = latest.get(key)
             if baseline:
                 assert results[key] >= REGRESSION_FACTOR * baseline, (

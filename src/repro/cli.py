@@ -68,7 +68,18 @@ def _add_network_options(parser: argparse.ArgumentParser,
     parser.add_argument("--chip-mm", type=float, default=10.0,
                         help="square chip edge length in mm")
     parser.add_argument("--segment-mm", type=float, default=1.25,
-                        help="maximum pipeline segment length")
+                        help="maximum pipeline segment length in mm "
+                             "(default: 1.25)")
+
+
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    """The credit fabrics' pipelining knobs (tree family: build error)."""
+    parser.add_argument("--pipeline-depth", type=int, default=1,
+                        help="router pipeline stages on credit fabrics "
+                             "(default: 1 = single-cycle routers)")
+    parser.add_argument("--segment-links", action="store_true",
+                        help="pipeline credit-fabric links so no segment "
+                             "exceeds --segment-mm (the tree always does)")
 
 
 #: Topologies the tree-only ICNoC facade (and its timing validator) covers.
@@ -88,11 +99,21 @@ def _fabric_config_from(args: argparse.Namespace) -> FabricConfig:
         topology=args.topology, ports=args.ports,
         chip_width_mm=args.chip_mm, chip_height_mm=args.chip_mm,
         max_segment_mm=args.segment_mm,
+        pipeline_depth=getattr(args, "pipeline_depth", 1),
+        segment_links=getattr(args, "segment_links", False),
     )
 
 
 def cmd_info(args: argparse.Namespace) -> int:
     if args.topology in TREE_FAMILY:
+        if args.pipeline_depth != 1 or args.segment_links:
+            # The facade would silently drop the knobs; refuse like the
+            # registry does.
+            print("error: --pipeline-depth/--segment-links only apply to "
+                  "credit fabrics; the tree's routers are a fixed "
+                  "handshake pipeline and its links are always segmented "
+                  "at --segment-mm", file=sys.stderr)
+            return 2
         noc = ICNoC(_config_from(args))
         print(noc.describe())
         return 0
@@ -109,6 +130,13 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(network.describe())
     print(f"clock distribution: {model.clock_distribution}, "
           f"f_max {frequency:.3f} GHz")
+    if hasattr(network, "pipeline_depth"):
+        # Credit fabrics only: the ctree's handshake tree has a fixed
+        # pipeline and reports its stages in describe() already.
+        print(f"pipeline: router depth {network.pipeline_depth}, "
+              f"{network.link_stage_count} link stage registers, "
+              f"longest segment {network.longest_segment_mm():.3f} mm "
+              f"-> critical path {frequency:.3f} GHz")
     print(f"area: {model.area_report().describe()}")
     print(f"clock power (un-gated): {clock.describe()}")
     return 0
@@ -172,6 +200,13 @@ def _sweep_network(args: argparse.Namespace):
             raise ConfigurationError(
                 "--vcs/--vc-policy only apply with --flow-control vc"
             )
+        if args.pipeline_depth != 1 or args.segment_links:
+            raise ConfigurationError(
+                "--pipeline-depth/--segment-links only apply to credit "
+                "fabrics; the tree's routers are a fixed handshake "
+                "pipeline and its links are always segmented at "
+                "--segment-mm"
+            )
         return NetworkConfig(
             leaves=args.ports,
             arity=4 if args.topology == "quad" else 2,
@@ -189,6 +224,8 @@ def _sweep_network(args: argparse.Namespace):
         vc_policy=args.vc_policy,
         chip_width_mm=args.chip_mm, chip_height_mm=args.chip_mm,
         max_segment_mm=args.segment_mm,
+        pipeline_depth=args.pipeline_depth,
+        segment_links=args.segment_links,
     )
 
 
@@ -301,10 +338,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
             nodes=args.nodes, n_vcs=args.vcs,
             buffer_depth=args.buffer_depth,
             concentration=args.concentration, chip_mm=args.chip_mm,
+            pipeline_depth=args.pipeline_depth,
+            segment_mm=args.segment_mm,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    pipeline_note = ""
+    if args.pipeline_depth != 1:
+        pipeline_note += f", {args.pipeline_depth}-stage routers"
+    if args.segment_mm is not None:
+        pipeline_note += f", <= {args.segment_mm:g} mm segments"
     print(format_table(
         ["topology", "flow", "clock", "hops avg/worst", "buffer flits",
          "area mm^2", "pJ/flit", "clock mW", "f GHz"],
@@ -316,7 +360,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
           round(r.clock_mw, 2),
           round(r.frequency_ghz, 3)] for r in rows],
         title=(f"Physical comparison, {args.nodes} endpoints, buffer "
-               f"depth {args.buffer_depth}, {args.vcs} VCs "
+               f"depth {args.buffer_depth}, {args.vcs} VCs"
+               f"{pipeline_note} "
                f"(clock power un-gated; VC rows pay n_vcs x the "
                f"wormhole buffers)"),
     ))
@@ -365,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="describe a network instance")
     _add_network_options(p_info, topologies=sweep_topologies())
+    _add_pipeline_options(p_info)
     p_info.set_defaults(func=cmd_info)
 
     p_val = sub.add_parser("validate", help="run the timing checks")
@@ -391,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sw = sub.add_parser("sweep", help="offered-load sweep (parallelisable)")
     _add_network_options(p_sw, topologies=sweep_topologies())
+    _add_pipeline_options(p_sw)
     p_sw.add_argument("--traffic", "--pattern", dest="pattern",
                       choices=PATTERN_NAMES, default="uniform",
                       help="traffic pattern (--pattern is the historical "
@@ -456,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="endpoints per ctree leaf NI")
     p_cmp.add_argument("--chip-mm", type=float, default=10.0,
                        help="square chip edge length in mm")
+    p_cmp.add_argument("--pipeline-depth", type=int, default=1,
+                       help="router pipeline stages on the credit-fabric "
+                            "rows (default: 1 = single-cycle routers)")
+    p_cmp.add_argument("--segment-mm", type=float, default=None,
+                       help="pipeline every link at this maximum segment "
+                            "length in mm (default: credit-fabric links "
+                            "unsegmented; the tree rows always segment, "
+                            "at 1.25 mm unless set)")
     p_cmp.set_defaults(func=cmd_compare)
 
     p_top = sub.add_parser("topologies", help="list the fabric registry")

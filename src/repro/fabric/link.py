@@ -19,56 +19,177 @@ commits at the end of *t* and is consumed exactly once, at the receiver's
 edge two ticks (one full clock cycle) later. Anything older is a stale
 wire value and is ignored by the tag check.
 
+**Segmented links.** A link built with ``segments=K > 1`` models the
+paper's pipelined wires on the credit fabrics: the flit path becomes K
+wire segments joined by ``K - 1`` clocked :class:`LinkStage` registers
+(the same role the tree's :class:`~repro.noc.pipeline.PipelineStage`
+plays on the handshake links), and the credit path runs back through the
+same stages. End-to-end flit latency grows from 1 to K cycles, the
+longest wire any clock period must cover shrinks to ``length / K``, and
+the credit round trip grows to ``2 K`` cycles — which is why the consumer
+FIFO behind a segmented link must hold ``pipeline_depth + 2 * segments``
+flits to stream at full rate (the ``capacity`` the assembling network
+attaches here; see docs/fabric.md). ``segments=1`` builds exactly the
+historical two-signal link, bit-identically.
+
 Both flavours follow the write-on-change discipline of the idle-component
-contract (docs/kernel.md): an idle endpoint drives nothing, so a quiet
-link is a fixed point the activity-driven kernel can sleep through.
+contract (docs/kernel.md): an idle endpoint drives nothing, a stage with
+nothing in flight sleeps watching its upstream wires, so a quiet link is
+a fixed point the activity-driven kernel can sleep through.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
+from repro.clocking.gating import GatingStats
+from repro.errors import ConfigurationError
 from repro.noc.handshake import HandshakeChannel
+from repro.sim.component import ClockedComponent, GatedComponentMixin
 from repro.sim.kernel import SimKernel
 from repro.sim.signal import Signal
 
-__all__ = ["CreditLink", "HandshakeChannel", "LINK_LATENCY_TICKS"]
+__all__ = ["CreditLink", "HandshakeChannel", "LinkStage",
+           "LINK_LATENCY_TICKS"]
 
 #: Ticks between driving a tick-tagged payload and its consumption at the
-#: far end: one full clock cycle of wire flight per hop.
+#: far end: one full clock cycle of wire flight per hop (or per segment).
 LINK_LATENCY_TICKS = 2
+
+
+class LinkStage(GatedComponentMixin, ClockedComponent):
+    """One register stage inside a segmented credit link.
+
+    Re-launches tick-tagged payloads one segment further each cycle:
+    ``forward`` pairs carry flits downstream, ``backward`` pairs carry
+    credit counts upstream (zeroed write-on-change, exactly like the
+    routers' credit returns). One stage serves both
+    :class:`CreditLink` (one flit wire, one credit wire) and
+    :class:`~repro.fabric.vc.VcCreditLink` (one flit wire, a credit wire
+    per VC) — the pair lists are the only difference.
+
+    Honours the idle contract: an edge that registers nothing and has no
+    stale credit wire to settle is a fixed point, and the stage sleeps
+    watching its upstream wires. Registered flits count as enabled edges
+    in the gating statistics (the stage is a clocked register bank).
+    """
+
+    def __init__(self, kernel: SimKernel, name: str,
+                 forward: Sequence[tuple[Signal, Signal]],
+                 backward: Sequence[tuple[Signal, Signal]]):
+        super().__init__(name, parity=0)
+        self._forward = tuple(forward)
+        self._backward = tuple(backward)
+        self._watch = tuple(src for src, _dst in self._forward) + \
+            tuple(src for src, _dst in self._backward)
+        self._gating = GatingStats()
+        kernel.add_component(self)
+
+    def on_edge(self, tick: int) -> None:
+        enabled = False   # a flit crossed the register bank
+        active = False    # anything at all happened (sleep decision)
+        for src, dst in self._forward:
+            payload = src.value
+            if payload is None:
+                continue
+            value, sent_tick = payload
+            if sent_tick == tick - LINK_LATENCY_TICKS:
+                dst.set((value, tick), tick)
+                enabled = True
+        for src, dst in self._backward:
+            count = 0
+            payload = src.value
+            if payload is not None and payload != 0:
+                value, sent_tick = payload
+                if sent_tick == tick - LINK_LATENCY_TICKS:
+                    count = value
+            if count:
+                dst.set((count, tick), tick)
+                active = True
+            elif dst.value != 0:
+                dst.set(0, tick)  # settle a stale credit wire, once
+                active = True
+        self.gating.record(enabled)
+        if not enabled and not active:
+            self.sleep_until(*self._watch)
 
 
 class CreditLink:
     """One directed router-to-router (or router-to-NI) connection.
 
-    Two signals: ``flit`` (downstream data) and ``credit`` (upstream
-    returns). The helpers below encode the tick-tag protocol once, so
-    routers, sources, and sinks cannot disagree on it.
+    Two signals per segment: ``flit`` (downstream data) and ``credit``
+    (upstream returns). The helpers below encode the tick-tag protocol
+    once, so routers, sources, and sinks cannot disagree on it — and they
+    hide the segmentation entirely: producers drive the first segment,
+    consumers see the last, whatever K is.
+
+    Attributes:
+        segments: pipeline segments (1 = the historical direct wire).
+        capacity: consumer FIFO depth this link was sized for, or None
+            for the consumer's default — the assembling network sets it
+            so producer credits and consumer FIFO depth cannot disagree.
+        stages: the ``segments - 1`` :class:`LinkStage` registers.
+        flit: the consumer-side flit wire (what receivers watch).
+        credit: the producer-side credit wire (what senders watch).
     """
 
-    def __init__(self, kernel: SimKernel, name: str):
+    def __init__(self, kernel: SimKernel, name: str, segments: int = 1,
+                 capacity: int | None = None):
+        if segments < 1:
+            raise ConfigurationError(
+                f"a link needs >= 1 segment, got {segments}"
+            )
+        if capacity is not None and capacity < 2:
+            raise ConfigurationError(
+                f"credit flow control needs link capacity >= 2, "
+                f"got {capacity}"
+            )
         self.name = name
-        self.flit: Signal = kernel.signal(f"{name}.flit", initial=None)
-        self.credit: Signal = kernel.signal(f"{name}.credit", initial=0)
+        self.segments = segments
+        self.capacity = capacity
+        self.stages: list[LinkStage] = []
+        if segments == 1:
+            self.flit: Signal = kernel.signal(f"{name}.flit", initial=None)
+            self.credit: Signal = kernel.signal(f"{name}.credit", initial=0)
+            self._flit_in = self.flit
+            self._credit_out = self.credit
+            return
+        flit_wires = [kernel.signal(f"{name}.flit.s{j}", initial=None)
+                      for j in range(segments - 1)]
+        flit_wires.append(kernel.signal(f"{name}.flit", initial=None))
+        credit_wires = [kernel.signal(f"{name}.credit", initial=0)]
+        credit_wires += [kernel.signal(f"{name}.credit.s{j}", initial=0)
+                         for j in range(1, segments)]
+        self.flit = flit_wires[-1]        # consumer side
+        self.credit = credit_wires[0]     # producer side
+        self._flit_in = flit_wires[0]     # driven by the producer
+        self._credit_out = credit_wires[-1]  # driven by the consumer
+        self.stages = [
+            LinkStage(kernel, f"{name}.st{j}",
+                      forward=[(flit_wires[j], flit_wires[j + 1])],
+                      backward=[(credit_wires[j + 1], credit_wires[j])])
+            for j in range(segments - 1)
+        ]
 
     # -- producer side ---------------------------------------------------
 
     def send_flit(self, flit: Any, tick: int) -> None:
-        """Launch a flit; the consumer takes it at ``tick + 2``."""
-        self.flit.set((flit, tick), tick)
+        """Launch a flit; the consumer takes it ``segments`` cycles on."""
+        self._flit_in.set((flit, tick), tick)
 
     def send_credits(self, count: int, tick: int) -> None:
-        """Return ``count`` credits; the producer collects at ``tick + 2``."""
-        self.credit.set((count, tick), tick)
+        """Return ``count`` credits (consumer side); the producer
+        collects them ``segments`` cycles later."""
+        self._credit_out.set((count, tick), tick)
 
     # -- consumer side ---------------------------------------------------
 
     def take_flit(self, tick: int) -> Any | None:
         """The flit arriving exactly this edge, or None.
 
-        Tick-tagged: a payload launched at ``tick - 2`` is consumed here,
-        once; older wire values are stale and ignored.
+        Tick-tagged: a payload launched (or re-launched by the last
+        stage) at ``tick - 2`` is consumed here, once; older wire values
+        are stale and ignored.
         """
         payload = self.flit.value
         if payload is None:
@@ -89,12 +210,16 @@ class CreditLink:
 
         A credit wire carrying an already-consumed ``(count, tick)``
         payload is zeroed once, then left alone, so an idle endpoint
-        drives nothing and the link is a sleepable fixed point.
+        drives nothing and the link is a sleepable fixed point. On a
+        segmented link this settles the consumer-side wire; the stages
+        settle their own.
         """
-        if self.credit.value != 0:
-            self.credit.set(0, tick)
+        if self._credit_out.value != 0:
+            self._credit_out.set(0, tick)
             return True
         return False
 
     def __repr__(self) -> str:
-        return f"CreditLink({self.name!r})"
+        if self.segments == 1:
+            return f"CreditLink({self.name!r})"
+        return f"CreditLink({self.name!r}, segments={self.segments})"

@@ -16,6 +16,17 @@ kernel's component and signal registration order and therefore makes the
 activity-driven fast path bit-identical to the naive reference loop for
 every fabric assembled here.
 
+**Pipelining knobs.** The config may carry ``pipeline_depth`` (staged
+routers, default 1), ``segment_links`` (floorplan-driven link
+segmentation at ``max_segment_mm``, default off), and ``credit_sizing``
+(``"auto"`` grows FIFOs/credit loops to the ``pipeline_depth +
+2 * segments`` round trip; ``"strict"`` demands ``buffer_depth`` already
+covers it and raises :class:`~repro.errors.ConfigurationError` at build
+time otherwise — a too-small credit loop throttles or wedges silently,
+so it is a build error, never a run-time surprise). With the defaults
+every link keeps the historical single-segment, default-capacity shape
+and the build is bit-identical to pre-knob versions.
+
 The concrete wrap fabrics (:class:`TorusNetwork`, :class:`RingNetwork`)
 are registry entries; :class:`~repro.mesh.network.MeshNetwork` is the
 same machinery under its historical name and module.
@@ -50,9 +61,11 @@ from repro.fabric.vc import (
 )
 from repro.fabric.topologies import RingTopology, TorusTopology, square_side
 from repro.noc.floorplan import (
+    LOCAL_PORT,
     Floorplan,
     grid_fabric_floorplan,
     ring_fabric_floorplan,
+    segment_count,
 )
 from repro.noc.packet import Packet
 from repro.noc.stats import NetworkStats
@@ -98,10 +111,21 @@ class CreditFabricNetwork:
             )
         self.kernel = kernel if kernel is not None \
             else SimKernel(activity_driven=config.activity_driven)
+        self.pipeline_depth = getattr(config, "pipeline_depth", 1)
+        self.segment_links = getattr(config, "segment_links", False)
+        self.credit_sizing = getattr(config, "credit_sizing", "auto")
+        if self.pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be >= 1")
+        if self.credit_sizing not in ("auto", "strict"):
+            raise ConfigurationError(
+                f"credit_sizing must be 'auto' or 'strict', "
+                f"got {self.credit_sizing!r}"
+            )
         self.stats = NetworkStats()
         self.routers: list[FabricRouter | VcFabricRouter] = []
         self.sources: list[FabricSource | VcFabricSource] = []
         self.sinks: list[FabricSink | VcFabricSink] = []
+        self.links: list[CreditLink | VcCreditLink] = []
         self.delivered: list[Packet] = []
         self._inflight: dict[int, Packet] = {}
         self._node_prefix = node_prefix
@@ -124,6 +148,7 @@ class CreditFabricNetwork:
                 n_vcs=self.n_vcs,
                 buffer_depth=self.config.buffer_depth,
                 port_names=self._port_names,
+                pipeline_depth=self.pipeline_depth,
             )
         return FabricRouter(
             self.kernel, f"{self._node_prefix}{node}",
@@ -132,12 +157,52 @@ class CreditFabricNetwork:
             buffer_depth=self.config.buffer_depth,
             ring_transit=self.routing,
             port_names=self._port_names,
+            pipeline_depth=self.pipeline_depth,
         )
 
-    def _make_link(self, name: str):
+    def _link_segments(self, node: int, port: int) -> int:
+        """Pipeline segments for the link driven at (node, port): 1 when
+        segmentation is off, the floorplan-derived count otherwise."""
+        if not self.segment_links:
+            return 1
+        length = self.floorplan.link_length(node, port)
+        return segment_count(length,
+                             getattr(self.config, "max_segment_mm", 1.25))
+
+    def _link_capacity(self, segments: int) -> int | None:
+        """Consumer FIFO depth behind a link, or None for the default.
+
+        A credit loop spans ``pipeline_depth + 2 * segments`` cycles
+        (router stages + wire out + credit back), so streaming at one
+        flit per cycle needs that many credits. The historical shape
+        (depth 1, one segment) is left untouched so default builds stay
+        bit-identical; otherwise ``auto`` sizing grows the FIFO and
+        ``strict`` demands buffer_depth already covers the loop.
+        """
+        if self.pipeline_depth == 1 and segments == 1:
+            return None
+        required = self.pipeline_depth + 2 * segments
+        if self.credit_sizing == "strict" and \
+                self.config.buffer_depth < required:
+            raise ConfigurationError(
+                f"credit loop under-buffered: pipeline_depth "
+                f"({self.pipeline_depth}) + 2 x segments ({segments}) "
+                f"= {required} flits in flight per round trip, but "
+                f"buffer_depth is {self.config.buffer_depth}; raise "
+                f"buffer_depth or use credit_sizing='auto'"
+            )
+        return max(self.config.buffer_depth, required)
+
+    def _make_link(self, name: str, segments: int = 1):
+        capacity = self._link_capacity(segments)
         if self.vc_enabled:
-            return VcCreditLink(self.kernel, name, self.n_vcs)
-        return CreditLink(self.kernel, name)
+            link = VcCreditLink(self.kernel, name, self.n_vcs,
+                                segments=segments, capacity=capacity)
+        else:
+            link = CreditLink(self.kernel, name,
+                              segments=segments, capacity=capacity)
+        self.links.append(link)
+        return link
 
     def _build(self) -> None:
         prefix = self._node_prefix
@@ -149,21 +214,24 @@ class CreditFabricNetwork:
         # Local ports.
         for node in range(self.topology.nodes):
             router = self.routers[node]
-            inject = self._make_link(f"{prefix}{node}.inj")
-            eject = self._make_link(f"{prefix}{node}.ej")
+            stub = self._link_segments(node, LOCAL_PORT)
+            inject = self._make_link(f"{prefix}{node}.inj", segments=stub)
+            eject = self._make_link(f"{prefix}{node}.ej", segments=stub)
             router.connect(LOCAL, inject, eject)
             hook = self._make_delivery_hook(node)
+            src_credits = (inject.capacity if inject.capacity is not None
+                           else self.config.buffer_depth)
             if self.vc_enabled:
                 source = VcFabricSource(
                     self.kernel, f"{prefix}{node}.src", inject,
-                    credits=self.config.buffer_depth,
+                    credits=src_credits,
                     vc=self.vc_policy.injection_vc(node))
                 sink = VcFabricSink(self.kernel, f"{prefix}{node}.sink",
                                     eject, on_packet=hook)
             else:
                 source = FabricSource(self.kernel, f"{prefix}{node}.src",
                                       inject,
-                                      credits=self.config.buffer_depth)
+                                      credits=src_credits)
                 sink = FabricSink(self.kernel, f"{prefix}{node}.sink",
                                   eject, on_packet=hook)
             # The sink grants the router initial credits via connect();
@@ -173,8 +241,13 @@ class CreditFabricNetwork:
 
     def _connect(self, a: int, a_port: int, b: int, b_port: int) -> None:
         prefix = self._node_prefix
-        a_to_b = self._make_link(f"{prefix}{a}>{prefix}{b}")
-        b_to_a = self._make_link(f"{prefix}{b}>{prefix}{a}")
+        # Both directions share the canonical floorplan length, keyed by
+        # the driving (a, a_port) of the topology's links() order.
+        segments = self._link_segments(a, a_port)
+        a_to_b = self._make_link(f"{prefix}{a}>{prefix}{b}",
+                                 segments=segments)
+        b_to_a = self._make_link(f"{prefix}{b}>{prefix}{a}",
+                                 segments=segments)
         router_a, router_b = self.routers[a], self.routers[b]
         router_a.connect(a_port, b_to_a, a_to_b)
         router_b.connect(b_port, a_to_b, b_to_a)
@@ -232,11 +305,29 @@ class CreditFabricNetwork:
         total = GatingStats()
         for router in self.routers:
             total.merge(router.gating)
+        for link in self.links:
+            for stage in link.stages:
+                total.merge(stage.gating)
         return total
 
     def total_buffer_flits(self) -> int:
         """Total FIFO capacity — the stall-buffer cost the IC-NoC avoids."""
         return sum(router.buffer_capacity for router in self.routers)
+
+    @property
+    def link_stage_count(self) -> int:
+        """Register stages inside segmented links (all directions)."""
+        return sum(len(link.stages) for link in self.links)
+
+    @property
+    def router_stage_registers(self) -> int:
+        """Stage register banks inside the routers: one per in-use output
+        port per extra pipeline stage."""
+        if self.pipeline_depth == 1:
+            return 0
+        out_ports = sum(1 for router in self.routers
+                        for link in router.out_links if link is not None)
+        return (self.pipeline_depth - 1) * out_ports
 
     # -- physical view ----------------------------------------------------
 
@@ -268,13 +359,28 @@ class CreditFabricNetwork:
                 )
         return self._floorplan
 
+    def longest_segment_mm(self) -> float:
+        """Longest wire any clock period must cover: the longest link
+        when segmentation is off, else the longest per-segment span."""
+        max_seg = getattr(self.config, "max_segment_mm", 1.25)
+        longest = 0.0
+        for length in self.floorplan.link_lengths.values():
+            segments = (segment_count(length, max_seg)
+                        if self.segment_links else 1)
+            longest = max(longest, length / segments)
+        return longest
+
     def operating_frequency_ghz(self) -> float:
-        """Max clock rate: min of the router critical path and the
-        Fig. 7 pipeline model at the longest physical link — the same
-        rule :class:`~repro.noc.network.ICNoCNetwork` applies, so the
-        physical reports cost every fabric at a comparable frequency."""
-        f_router = router_max_frequency(self.topology.max_ports, self.tech)
-        f_links = pipeline_max_frequency(self.floorplan.longest_link_mm(),
+        """Max clock rate: min of the router critical path (amortised
+        over the pipeline depth) and the Fig. 7 pipeline model at the
+        longest wire segment — the same rule
+        :class:`~repro.noc.network.ICNoCNetwork` applies, so the physical
+        reports cost every fabric at a comparable frequency. Segmenting
+        the links and deepening the routers both push this up, which is
+        the whole point of the knobs."""
+        f_router = router_max_frequency(self.topology.max_ports, self.tech,
+                                        self.pipeline_depth)
+        f_links = pipeline_max_frequency(self.longest_segment_mm(),
                                          self.tech)
         return min(f_router, f_links)
 
@@ -283,9 +389,16 @@ class CreditFabricNetwork:
         structure = describe() if describe else f"{self.topology.nodes} nodes"
         flow = (f", {self.n_vcs} VCs ({self.vc_policy.name})"
                 if self.vc_enabled else "")
+        pipe = ""
+        if self.pipeline_depth > 1:
+            pipe += f", {self.pipeline_depth}-stage routers"
+        if self.segment_links:
+            pipe += (f", {self.link_stage_count} link stages "
+                     f"(<= {getattr(self.config, 'max_segment_mm', 1.25)} "
+                     f"mm segments)")
         return (f"{type(self).__name__}: {structure}, "
                 f"{len(self.routers)} routers, "
-                f"buffer depth {self.config.buffer_depth}{flow}")
+                f"buffer depth {self.config.buffer_depth}{flow}{pipe}")
 
 
 def make_vc_policy(config: "FabricConfig", cols: int | None = None,

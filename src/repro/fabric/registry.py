@@ -77,6 +77,13 @@ class TopologyEntry:
             power), consumed by :mod:`repro.physical`. Lazy-imports like
             ``builder``; None means the fabric publishes no physical
             model and the generic reports refuse it loudly.
+        supports_pipeline: the fabric honours the ``pipeline_depth`` /
+            ``segment_links`` / ``credit_sizing`` knobs (the credit
+            fabrics). The tree family does not: its handshake routers
+            are a fixed forward pipeline and its links are *always*
+            segmented at ``max_segment_mm`` by construction, so the
+            knobs would be silently meaningless there — requesting them
+            raises instead.
     """
 
     name: str
@@ -88,6 +95,7 @@ class TopologyEntry:
     flow_control: tuple[str, ...] = (FLOW_WORMHOLE,)
     vc_policies: tuple[str, ...] = ()
     physical: Callable[[Any, str, str], Any] | None = None
+    supports_pipeline: bool = False
 
     def __post_init__(self) -> None:
         if not self.clock_distribution:
@@ -187,6 +195,9 @@ class FabricConfig:
     chip_width_mm: float = 10.0
     chip_height_mm: float = 10.0
     max_segment_mm: float = 1.25
+    pipeline_depth: int = 1     # credit fabrics: staged routers
+    segment_links: bool = False  # credit fabrics: pipeline long links
+    credit_sizing: str = "auto"  # "auto" grows FIFOs, "strict" raises
     tech: Technology = TECH_90NM
     activity_driven: bool = True
 
@@ -194,6 +205,37 @@ class FabricConfig:
         entry = get_topology(self.topology)
         if self.ports < 2:
             raise ConfigurationError("a fabric needs at least 2 ports")
+        if self.pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be >= 1")
+        if self.max_segment_mm <= 0.0:
+            raise ConfigurationError("max_segment_mm must be positive")
+        if self.credit_sizing not in ("auto", "strict"):
+            raise ConfigurationError(
+                f"credit_sizing must be 'auto' or 'strict', "
+                f"got {self.credit_sizing!r}"
+            )
+        if not entry.supports_pipeline:
+            # Never silently ignore a knob (same contract as vc_policy
+            # under wormhole): the tree family's routers are a fixed
+            # handshake pipeline and its links are always segmented.
+            if self.pipeline_depth != 1:
+                raise ConfigurationError(
+                    f"pipeline_depth only applies to credit fabrics; "
+                    f"topology {self.topology!r} has a fixed router "
+                    f"pipeline"
+                )
+            if self.segment_links:
+                raise ConfigurationError(
+                    f"segment_links only applies to credit fabrics; "
+                    f"topology {self.topology!r} always segments its "
+                    f"links at max_segment_mm"
+                )
+            if self.credit_sizing != "auto":
+                raise ConfigurationError(
+                    f"credit_sizing only applies to credit fabrics; "
+                    f"topology {self.topology!r} uses handshake flow "
+                    f"control"
+                )
         if self.clocking is not None and \
                 self.clocking not in entry.clock_distribution:
             raise ConfigurationError(
@@ -374,6 +416,10 @@ def _build_mesh(config: FabricConfig):
         chip_width_mm=config.chip_width_mm,
         chip_height_mm=config.chip_height_mm,
         buffer_depth=config.buffer_depth,
+        max_segment_mm=config.max_segment_mm,
+        pipeline_depth=config.pipeline_depth,
+        segment_links=config.segment_links,
+        credit_sizing=config.credit_sizing,
         tech=config.tech,
         activity_driven=config.activity_driven,
     ))
@@ -444,6 +490,7 @@ register_topology(TopologyEntry(
     physical=_physical_credit,
     flow_control=(FLOW_WORMHOLE, FLOW_VC),
     vc_policies=("escape",),
+    supports_pipeline=True,
 ))
 
 register_topology(TopologyEntry(
@@ -457,6 +504,7 @@ register_topology(TopologyEntry(
     physical=_physical_credit,
     flow_control=(FLOW_WORMHOLE, FLOW_VC),
     vc_policies=("dateline", "escape"),
+    supports_pipeline=True,
 ))
 
 register_topology(TopologyEntry(
@@ -470,4 +518,5 @@ register_topology(TopologyEntry(
     physical=_physical_credit,
     flow_control=(FLOW_WORMHOLE, FLOW_VC),
     vc_policies=("dateline",),
+    supports_pipeline=True,
 ))

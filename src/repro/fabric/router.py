@@ -13,6 +13,22 @@ per clock cycle). Each input port has a FIFO of ``buffer_depth`` flits —
 the stall buffers the IC-NoC architecture avoids. A router may only
 forward a flit toward a neighbour when it holds a credit for that
 neighbour's input FIFO; the neighbour returns a credit when it dequeues.
+Per-port FIFO depths follow the attached link's ``capacity`` when the
+assembling network sized one (segmented links and pipelined routers need
+``pipeline_depth + 2 * segments`` credits to stream — see docs/fabric.md).
+
+**Pipelined router.** ``pipeline_depth=1`` (the default) is the
+historical single-cycle router: route, arbitrate, and traverse all happen
+on the grant edge, bit-identically to every build before the knob
+existed. ``pipeline_depth=N`` models an RC/VA/SA/ST-style staged
+microarchitecture at cycle accuracy: arbitration, credit accounting, and
+wormhole-lock updates still happen on the grant edge (stage one — the
+decision), but the flit spends ``N - 1`` further cycles in stage
+registers before the link sees it. In-flight stage state keeps the
+router awake (the idle/sleep contract extends to the stage registers:
+a router never sleeps with a flit between grant and link). The payoff is
+clock frequency, priced in :mod:`repro.timing.frequency` — each of the N
+stages covers ``1/N`` of the router logic plus one register overhead.
 
 Routers honour the idle-component contract (docs/kernel.md): signals are
 driven write-on-change (a credit wire is zeroed once after a return, then
@@ -71,14 +87,22 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
     def __init__(self, kernel: SimKernel, name: str, n_ports: int,
                  route: RouteFn, buffer_depth: int = 4,
                  ring_transit: RoutingStrategy | None = None,
-                 port_names: Sequence[str] | None = None):
+                 port_names: Sequence[str] | None = None,
+                 pipeline_depth: int = 1):
         super().__init__(name, parity=0)
         if n_ports < 2:
             raise ConfigurationError("a router needs at least 2 ports")
         if buffer_depth < 2:
             raise ConfigurationError("credit flow control needs depth >= 2")
+        if pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be >= 1")
         self.n_ports = n_ports
         self.buffer_depth = buffer_depth
+        self.pipeline_depth = pipeline_depth
+        # Flits between grant and link traversal, as (ready_tick, out_port,
+        # flit). Grants are issued in tick order with a constant stage
+        # delay, so ready ticks are monotone and one queue suffices.
+        self._stage_queue: deque[tuple[int, int, Flit]] = deque()
         self._route_fn = route
         # Bubble flow control: the strategy deciding which in->out pairs
         # are same-ring transit; None disables the rule (acyclic fabrics).
@@ -90,6 +114,9 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
         self.in_links: list[CreditLink | None] = [None] * n_ports
         self.out_links: list[CreditLink | None] = [None] * n_ports
         self.fifos: list[deque[Flit]] = [deque() for _ in range(n_ports)]
+        # Per-port FIFO depth: buffer_depth unless the attached link was
+        # sized for a longer credit loop (see connect()).
+        self.fifo_depths = [buffer_depth] * n_ports
         self.credits = [0] * n_ports  # credits toward each output's consumer
         self.locks: list[int | None] = [None] * n_ports
         self.arbiters = [RoundRobinArbiter(n_ports) for _ in range(n_ports)]
@@ -111,8 +138,14 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
                 out_link: CreditLink | None) -> None:
         self.in_links[port] = in_link
         self.out_links[port] = out_link
+        if in_link is not None and in_link.capacity is not None:
+            self.fifo_depths[port] = in_link.capacity
         if out_link is not None:
-            self.credits[port] = self.buffer_depth
+            # Initial credits mirror the consumer's FIFO depth — the link
+            # carries the agreed capacity so the two cannot disagree.
+            self.credits[port] = (out_link.capacity
+                                  if out_link.capacity is not None
+                                  else self.buffer_depth)
         self._watch = [link.flit for link in self.in_links
                        if link is not None]
         self._watch += [link.credit for link in self.out_links
@@ -131,6 +164,15 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
         enabled = False   # register-bank activity (gating statistics)
         active = False    # anything at all happened (sleep decision)
         observed = bool(self._kernel._event_subs)
+        # 0. Drain the router pipeline: flits granted pipeline_depth - 1
+        # cycles ago finish stage traversal and hit the link this edge.
+        if self._stage_queue:
+            while self._stage_queue and self._stage_queue[0][0] <= tick:
+                _ready, stage_port, stage_flit = self._stage_queue.popleft()
+                self.out_links[stage_port].send_flit(stage_flit, tick)
+                enabled = True
+            if self._stage_queue:
+                active = True  # in-flight stage state: never sleep on it
         # 1. Collect credit returns (tick-tagged: consumed exactly once).
         for port, link in enumerate(self.out_links):
             if link is None:
@@ -176,7 +218,14 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
             winner = self.arbiters[out_port].grant(requests)
             flit = self.fifos[winner].popleft()
             credits_returned[winner] += 1
-            out_link.send_flit(flit, tick)
+            if self.pipeline_depth == 1:
+                out_link.send_flit(flit, tick)
+            else:
+                # Grant now (credits, locks, arbiter state — the decision
+                # stage), traverse after the remaining stage registers.
+                self._stage_queue.append(
+                    (tick + 2 * (self.pipeline_depth - 1), out_port, flit)
+                )
             self.credits[out_port] -= 1
             self.flits_forwarded += 1
             enabled = True
@@ -206,7 +255,7 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
             flit = link.take_flit(tick)
             if flit is None:
                 continue
-            if len(self.fifos[port]) >= self.buffer_depth:
+            if len(self.fifos[port]) >= self.fifo_depths[port]:
                 raise RoutingError(f"{self.name}: FIFO overflow on "
                                    f"{self.port_name(port)} "
                                    f"(credit violation)")
@@ -265,6 +314,7 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
 
     @property
     def buffer_capacity(self) -> int:
-        """Total FIFO capacity: ports in use x depth."""
-        ports_in_use = sum(1 for link in self.in_links if link is not None)
-        return ports_in_use * self.buffer_depth
+        """Total FIFO capacity: per-port depths over ports in use."""
+        return sum(self.fifo_depths[port]
+                   for port, link in enumerate(self.in_links)
+                   if link is not None)

@@ -47,7 +47,7 @@ from typing import Any, Callable, Sequence
 
 from repro.clocking.gating import GatingStats
 from repro.errors import ConfigurationError, RoutingError
-from repro.fabric.link import LINK_LATENCY_TICKS
+from repro.fabric.link import LINK_LATENCY_TICKS, LinkStage
 from repro.fabric.routing import VcCandidateFn
 from repro.noc.arbiter import RoundRobinArbiter
 from repro.noc.flit import Flit
@@ -68,28 +68,76 @@ class VcCreditLink:
     longer blocks the link). Flit payloads are ``((flit, vc), tick)``
     tick-tagged exactly like :class:`~repro.fabric.link.CreditLink`;
     credits return on the wire of the VC that freed a FIFO slot.
+
+    ``segments=K > 1`` pipelines the link exactly like the wormhole
+    flavour: the shared flit wire becomes K segments joined by ``K - 1``
+    :class:`~repro.fabric.link.LinkStage` registers (each relaying the
+    flit downstream and every VC's credits upstream), the per-VC credit
+    loops grow to the full ``pipeline_depth + 2 * segments`` round trip
+    (the ``capacity`` the assembling network attaches), and ``segments=1``
+    stays bit-identical to the historical direct wire.
     """
 
-    def __init__(self, kernel: SimKernel, name: str, n_vcs: int):
+    def __init__(self, kernel: SimKernel, name: str, n_vcs: int,
+                 segments: int = 1, capacity: int | None = None):
         if n_vcs < 1:
             raise ConfigurationError("a VC link needs at least 1 VC")
+        if segments < 1:
+            raise ConfigurationError(
+                f"a link needs >= 1 segment, got {segments}"
+            )
+        if capacity is not None and capacity < 2:
+            raise ConfigurationError(
+                f"credit flow control needs link capacity >= 2, "
+                f"got {capacity}"
+            )
         self.name = name
         self.n_vcs = n_vcs
-        self.flit: Signal = kernel.signal(f"{name}.flit", initial=None)
-        self.credits: list[Signal] = [
-            kernel.signal(f"{name}.credit{vc}", initial=0)
+        self.segments = segments
+        self.capacity = capacity
+        self.stages: list[LinkStage] = []
+        if segments == 1:
+            self.flit: Signal = kernel.signal(f"{name}.flit", initial=None)
+            self.credits: list[Signal] = [
+                kernel.signal(f"{name}.credit{vc}", initial=0)
+                for vc in range(n_vcs)
+            ]
+            self._flit_in = self.flit
+            self._credits_out = self.credits
+            return
+        flit_wires = [kernel.signal(f"{name}.flit.s{j}", initial=None)
+                      for j in range(segments - 1)]
+        flit_wires.append(kernel.signal(f"{name}.flit", initial=None))
+        # credit_wires[vc][j]: wire j of VC vc's upstream chain; wire 0
+        # (producer side) keeps the historical name the senders watch.
+        credit_wires = [
+            [kernel.signal(f"{name}.credit{vc}", initial=0)]
+            + [kernel.signal(f"{name}.credit{vc}.s{j}", initial=0)
+               for j in range(1, segments)]
             for vc in range(n_vcs)
+        ]
+        self.flit = flit_wires[-1]                       # consumer side
+        self.credits = [chain[0] for chain in credit_wires]  # producer side
+        self._flit_in = flit_wires[0]
+        self._credits_out = [chain[-1] for chain in credit_wires]
+        self.stages = [
+            LinkStage(kernel, f"{name}.st{j}",
+                      forward=[(flit_wires[j], flit_wires[j + 1])],
+                      backward=[(chain[j + 1], chain[j])
+                                for chain in credit_wires])
+            for j in range(segments - 1)
         ]
 
     # -- producer side ---------------------------------------------------
 
     def send_flit(self, flit: Any, vc: int, tick: int) -> None:
-        """Launch a VC-tagged flit; consumed at ``tick + 2``."""
-        self.flit.set(((flit, vc), tick), tick)
+        """Launch a VC-tagged flit; consumed ``segments`` cycles later."""
+        self._flit_in.set(((flit, vc), tick), tick)
 
     def send_credits(self, vc: int, count: int, tick: int) -> None:
-        """Return ``count`` credits for ``vc``; collected at ``tick + 2``."""
-        self.credits[vc].set((count, tick), tick)
+        """Return ``count`` credits for ``vc`` (consumer side); collected
+        ``segments`` cycles later."""
+        self._credits_out[vc].set((count, tick), tick)
 
     # -- consumer side ---------------------------------------------------
 
@@ -110,14 +158,21 @@ class VcCreditLink:
         return count if sent_tick == tick - LINK_LATENCY_TICKS else 0
 
     def settle_credit(self, vc: int, tick: int) -> bool:
-        """Zero a stale credit wire (write-on-change); True if it drove."""
-        if self.credits[vc].value != 0:
-            self.credits[vc].set(0, tick)
+        """Zero a stale credit wire (write-on-change); True if it drove.
+
+        On a segmented link this settles the consumer-side wire; the
+        intermediate stages settle their own.
+        """
+        if self._credits_out[vc].value != 0:
+            self._credits_out[vc].set(0, tick)
             return True
         return False
 
     def __repr__(self) -> str:
-        return f"VcCreditLink({self.name!r}, n_vcs={self.n_vcs})"
+        if self.segments == 1:
+            return f"VcCreditLink({self.name!r}, n_vcs={self.n_vcs})"
+        return (f"VcCreditLink({self.name!r}, n_vcs={self.n_vcs}, "
+                f"segments={self.segments})")
 
 
 class VcFabricRouter(GatedComponentMixin, ClockedComponent):
@@ -142,7 +197,8 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
     def __init__(self, kernel: SimKernel, name: str, n_ports: int,
                  candidates: VcCandidateFn, n_vcs: int,
                  buffer_depth: int = 4,
-                 port_names: Sequence[str] | None = None):
+                 port_names: Sequence[str] | None = None,
+                 pipeline_depth: int = 1):
         super().__init__(name, parity=0)
         if n_ports < 2:
             raise ConfigurationError("a router needs at least 2 ports")
@@ -150,9 +206,16 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
             raise ConfigurationError("a VC router needs >= 2 VCs")
         if buffer_depth < 2:
             raise ConfigurationError("credit flow control needs depth >= 2")
+        if pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be >= 1")
         self.n_ports = n_ports
         self.n_vcs = n_vcs
         self.buffer_depth = buffer_depth
+        self.pipeline_depth = pipeline_depth
+        # Flits between switch grant and link traversal, as (ready_tick,
+        # out_port, out_vc, flit); ready ticks are monotone (constant
+        # stage delay), so one queue suffices.
+        self._stage_queue: deque[tuple[int, int, int, Flit]] = deque()
         self._candidates = candidates
         self._port_names = port_names
         self.in_links: list[VcCreditLink | None] = [None] * n_ports
@@ -161,6 +224,9 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
         self.fifos: list[list[deque[Flit]]] = [
             [deque() for _ in range(n_vcs)] for _ in range(n_ports)
         ]
+        # Per-port FIFO depth (shared by the port's VCs): buffer_depth
+        # unless the attached link was sized for a longer credit loop.
+        self.fifo_depths = [buffer_depth] * n_ports
         self.credits: list[list[int]] = [[0] * n_vcs
                                          for _ in range(n_ports)]
         #: Which input VC owns each output VC (the per-VC wormhole lock).
@@ -190,8 +256,12 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
                 out_link: VcCreditLink | None) -> None:
         self.in_links[port] = in_link
         self.out_links[port] = out_link
+        if in_link is not None and in_link.capacity is not None:
+            self.fifo_depths[port] = in_link.capacity
         if out_link is not None:
-            self.credits[port] = [self.buffer_depth] * self.n_vcs
+            per_vc = (out_link.capacity if out_link.capacity is not None
+                      else self.buffer_depth)
+            self.credits[port] = [per_vc] * self.n_vcs
         self._watch = [link.flit for link in self.in_links
                        if link is not None]
         for link in self.out_links:
@@ -204,6 +274,15 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
         enabled = False   # register-bank activity (gating statistics)
         active = False    # anything at all happened (sleep decision)
         observed = bool(self._kernel._event_subs)
+        # 0. Drain the router pipeline: flits granted pipeline_depth - 1
+        # cycles ago finish stage traversal and hit the link this edge.
+        if self._stage_queue:
+            while self._stage_queue and self._stage_queue[0][0] <= tick:
+                _ready, st_port, st_vc, st_flit = self._stage_queue.popleft()
+                self.out_links[st_port].send_flit(st_flit, st_vc, tick)
+                enabled = True
+            if self._stage_queue:
+                active = True  # in-flight stage state: never sleep on it
         # 1. Collect per-VC credit returns.
         for port, link in enumerate(self.out_links):
             if link is None:
@@ -252,7 +331,15 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
             out_vc = self.allocation[in_port][in_vc][1]
             flit = self.fifos[in_port][in_vc].popleft()
             credits_returned[in_port][in_vc] += 1
-            out_link.send_flit(flit, out_vc, tick)
+            if self.pipeline_depth == 1:
+                out_link.send_flit(flit, out_vc, tick)
+            else:
+                # Grant now (credits, VC locks, arbiter state — the
+                # decision stage), traverse after the stage registers.
+                self._stage_queue.append(
+                    (tick + 2 * (self.pipeline_depth - 1),
+                     out_port, out_vc, flit)
+                )
             self.credits[out_port][out_vc] -= 1
             self.flits_forwarded += 1
             port_used[in_port] = True
@@ -280,7 +367,7 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
             if tagged is None:
                 continue
             flit, vc = tagged
-            if len(self.fifos[port][vc]) >= self.buffer_depth:
+            if len(self.fifos[port][vc]) >= self.fifo_depths[port]:
                 raise RoutingError(
                     f"{self.name}: FIFO overflow on "
                     f"{self.port_name(port)} vc{vc} (credit violation)"
@@ -404,9 +491,10 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
 
     @property
     def buffer_capacity(self) -> int:
-        """Total FIFO capacity: ports in use x VCs x depth."""
-        ports_in_use = sum(1 for link in self.in_links if link is not None)
-        return ports_in_use * self.n_vcs * self.buffer_depth
+        """Total FIFO capacity: per-port depth x VCs over ports in use."""
+        return sum(self.fifo_depths[port] * self.n_vcs
+                   for port, link in enumerate(self.in_links)
+                   if link is not None)
 
 
 class VcFabricSource(ClockedComponent):

@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass
 
 from repro.mesh.topology import MeshTopology
-from repro.noc.floorplan import floorplan_for
+from repro.noc.floorplan import floorplan_for, segment_count
 from repro.noc.topology import TreeTopology
 from repro.physical.area import mesh_noc_area, tree_noc_area
 from repro.physical.power import (
@@ -74,8 +74,7 @@ def _tree_pipeline_stage_estimate(topology: TreeTopology,
     plan = floorplan_for(topology, chip_mm, chip_mm)
     stages = topology.leaves
     for (___, _port), length in plan.link_lengths.items():
-        segments = max(1, math.ceil(length / max_segment_mm - 1e-9))
-        stages += 2 * (segments - 1)  # both directions
+        stages += 2 * (segment_count(length, max_segment_mm) - 1)  # both dirs
     return stages
 
 

@@ -44,12 +44,25 @@ class MeshConfig:
     chip_width_mm: float = 10.0
     chip_height_mm: float = 10.0
     buffer_depth: int = 4
+    max_segment_mm: float = 1.25
+    pipeline_depth: int = 1
+    segment_links: bool = False
+    credit_sizing: str = "auto"
     tech: Technology = TECH_90NM
     activity_driven: bool = True
 
     def __post_init__(self) -> None:
         if self.buffer_depth < 2:
             raise ConfigurationError("buffer_depth must be >= 2")
+        if self.pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be >= 1")
+        if self.max_segment_mm <= 0.0:
+            raise ConfigurationError("max_segment_mm must be positive")
+        if self.credit_sizing not in ("auto", "strict"):
+            raise ConfigurationError(
+                f"credit_sizing must be 'auto' or 'strict', "
+                f"got {self.credit_sizing!r}"
+            )
 
     @property
     def nodes(self) -> int:
@@ -72,4 +85,5 @@ class MeshNetwork(CreditFabricNetwork):
             self.config.cols, self.config.rows,
             buffer_depth=self.config.buffer_depth,
             route=self.routing.for_node(node),
+            pipeline_depth=self.pipeline_depth,
         )

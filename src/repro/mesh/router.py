@@ -45,7 +45,7 @@ class MeshRouter(FabricRouter):
 
     def __init__(self, kernel: SimKernel, name: str, x: int, y: int,
                  cols: int, rows: int, buffer_depth: int = 4,
-                 route=None):
+                 route=None, pipeline_depth: int = 1):
         self.x = x
         self.y = y
         self.cols = cols
@@ -54,4 +54,5 @@ class MeshRouter(FabricRouter):
             route = XYRouting(cols, rows).for_node(y * cols + x)
         super().__init__(kernel, name, n_ports=5, route=route,
                          buffer_depth=buffer_depth,
-                         port_names=PORT_NAMES)
+                         port_names=PORT_NAMES,
+                         pipeline_depth=pipeline_depth)

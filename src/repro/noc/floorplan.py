@@ -31,15 +31,35 @@ the one-way clock-trunk length exactly as for the tree.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.errors import TopologyError
+from repro.errors import ConfigurationError, TopologyError
 from repro.noc.topology import TreeTopology
 
 #: Folded-torus wrap-link length, in tile pitches (Dally & Towles' folding
 #: argument: interleaving each row/column bounds wrap wires at two tiles).
 FOLDED_WRAP_FACTOR = 2.0
+
+
+def segment_count(length_mm: float, max_segment_mm: float) -> int:
+    """Pipeline segments a link of ``length_mm`` needs so no segment
+    exceeds ``max_segment_mm`` — ``ceil(length / max_segment)``, with an
+    epsilon so an exact multiple does not round up, and never below 1
+    (a zero-length link is still one wire).
+
+    The single segmentation rule of the repository: the tree's link
+    wiring, its zero-load latency model, the structural tree-vs-mesh
+    estimator, and the credit fabrics' segmented links all call this.
+    A link with ``segment_count`` segments carries ``segment_count - 1``
+    intermediate register stages per direction.
+    """
+    if max_segment_mm <= 0.0:
+        raise ConfigurationError("max_segment_mm must be positive")
+    if length_mm < 0.0:
+        raise ConfigurationError(f"link length must be >= 0, got {length_mm}")
+    return max(1, math.ceil(length_mm / max_segment_mm - 1e-9))
 
 
 @dataclass

@@ -16,14 +16,9 @@ and the fast path for large design-space sweeps (no simulation needed).
 
 from __future__ import annotations
 
-import math
-
 from repro.errors import TopologyError
+from repro.noc.floorplan import segment_count
 from repro.noc.topology import TreeTopology
-
-
-def _segments(length_mm: float, max_segment_mm: float) -> int:
-    return max(1, math.ceil(length_mm / max_segment_mm - 1e-9))
 
 
 def path_link_stage_count(network, src: int, dest: int) -> int:
@@ -35,7 +30,7 @@ def path_link_stage_count(network, src: int, dest: int) -> int:
 
     def link_stages(router_index: int, port: int) -> int:
         length = network.floorplan.link_length(router_index, port)
-        return _segments(length, network.config.max_segment_mm) - 1
+        return segment_count(length, network.config.max_segment_mm) - 1
 
     # Source leaf link (upward).
     src_router = topo.leaf_router(src)

@@ -16,7 +16,6 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -24,7 +23,7 @@ from repro.clocking.clock_tree import ClockTree
 from repro.clocking.gating import GatingStats
 from repro.errors import ConfigurationError, TopologyError
 from repro.noc.arbiter import FixedPriorityArbiter, RoundRobinArbiter
-from repro.noc.floorplan import Floorplan, floorplan_for
+from repro.noc.floorplan import Floorplan, floorplan_for, segment_count
 from repro.noc.handshake import HandshakeChannel
 from repro.noc.ni import NetworkInterface
 from repro.noc.packet import Packet
@@ -130,7 +129,7 @@ class ICNoCNetwork:
         return round_robin_factory
 
     def _segments(self, length_mm: float) -> int:
-        return max(1, math.ceil(length_mm / self.config.max_segment_mm - 1e-9))
+        return segment_count(length_mm, self.config.max_segment_mm)
 
     def _route_for(self, node):
         """Routing-function hook for subclasses (None = the default

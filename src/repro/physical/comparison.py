@@ -44,12 +44,22 @@ class PhysicalComparison:
 def comparison_config(topology: str, flow_control: str, nodes: int = 16,
                       n_vcs: int = 2, buffer_depth: int = 4,
                       concentration: int = 4, chip_mm: float = 10.0,
+                      pipeline_depth: int = 1,
+                      segment_mm: float | None = None,
                       activity_driven: bool = True) -> FabricConfig:
     """The :class:`FabricConfig` one comparison row builds.
 
     ``nodes`` counts network endpoints for every fabric (the ctree keeps
     ``nodes`` endpoints on ``nodes / concentration`` leaves), so the rows
     compare like against like.
+
+    ``pipeline_depth`` and ``segment_mm`` apply to the credit fabrics
+    (``supports_pipeline`` entries): depth stages the routers,
+    ``segment_mm`` turns on link segmentation at that pitch. The tree
+    family rows are untouched by ``pipeline_depth`` (their routers are a
+    fixed handshake pipeline) but do honour ``segment_mm`` as their
+    ``max_segment_mm`` — the tree always segments, so the knob stays
+    comparable across rows.
     """
     kwargs: dict = {
         "topology": topology, "ports": nodes,
@@ -62,12 +72,21 @@ def comparison_config(topology: str, flow_control: str, nodes: int = 16,
     if flow_control == FLOW_VC:
         kwargs["flow_control"] = FLOW_VC
         kwargs["n_vcs"] = n_vcs
+    if get_topology(topology).supports_pipeline:
+        kwargs["pipeline_depth"] = pipeline_depth
+        if segment_mm is not None:
+            kwargs["segment_links"] = True
+            kwargs["max_segment_mm"] = segment_mm
+    elif segment_mm is not None:
+        kwargs["max_segment_mm"] = segment_mm
     return FabricConfig(**kwargs)
 
 
 def physical_comparison_rows(nodes: int = 16, n_vcs: int = 2,
                              buffer_depth: int = 4, concentration: int = 4,
                              chip_mm: float = 10.0,
+                             pipeline_depth: int = 1,
+                             segment_mm: float | None = None,
                              topologies: tuple[str, ...] | None = None,
                              activity_driven: bool = True,
                              ) -> list[PhysicalComparison]:
@@ -89,7 +108,9 @@ def physical_comparison_rows(nodes: int = 16, n_vcs: int = 2,
                 config = comparison_config(
                     name, flow_control, nodes=nodes, n_vcs=n_vcs,
                     buffer_depth=buffer_depth, concentration=concentration,
-                    chip_mm=chip_mm, activity_driven=activity_driven,
+                    chip_mm=chip_mm, pipeline_depth=pipeline_depth,
+                    segment_mm=segment_mm,
+                    activity_driven=activity_driven,
                 )
             except ConfigurationError as error:
                 raise ConfigurationError(

@@ -43,6 +43,7 @@ from repro.noc.floorplan import LOCAL_PORT
 from repro.physical.area import AreaReport, BUFFER_SLOT_AREA_MM2
 from repro.physical.power import (
     BUFFER_ENERGY_PJ_PER_FLIT,
+    ROUTER_ENERGY_DENSITY_PJ_PER_MM2,
     _tree_path_links,
     link_energy_pj_per_flit,
     router_energy_pj_per_flit,
@@ -67,6 +68,11 @@ class PathProfile:
     switch_ports: tuple[int, ...]
     link_lengths_mm: tuple[float, ...]
     buffered_hops: int = 0
+    #: Pipeline register banks crossed on the way: link-segment stages
+    #: plus (pipeline_depth - 1) per staged router. Each charges one
+    #: register-bank write of flit energy. The tree keeps 0 here — its
+    #: stage traversals are part of the calibrated per-hop energy.
+    stage_registers: int = 0
 
     @property
     def length_mm(self) -> float:
@@ -152,6 +158,11 @@ class PhysicalModel:
                      for ports in profile.switch_ports)
         energy += link_energy_pj_per_flit(1.0, tech) * profile.length_mm
         energy += BUFFER_ENERGY_PJ_PER_FLIT * profile.buffered_hops
+        if profile.stage_registers:
+            # One register-bank write per stage crossed, priced at the
+            # same switching-energy density as the router datapath.
+            energy += (profile.stage_registers * tech.stage_area_mm2()
+                       * ROUTER_ENERGY_DENSITY_PJ_PER_MM2)
         return energy
 
     def average_flit_energy_pj(self) -> float:
@@ -322,9 +333,27 @@ class CreditFabricPhysical(PhysicalModel):
     def buffer_flits(self) -> int:
         return self.network.total_buffer_flits()
 
+    def pipeline_stage_count(self) -> int:
+        """Stage registers the area model prices: the segmented links'
+        register banks (all directions, straight from the built links)
+        plus the routers' internal stage registers (one bank per in-use
+        output port per extra pipeline stage)."""
+        return (self.network.link_stage_count
+                + self.network.router_stage_registers)
+
+    def _link_stages_on(self, length_mm: float) -> int:
+        """Register stages one direction of a link of this length has."""
+        if not getattr(self.network, "segment_links", False):
+            return 0
+        from repro.noc.floorplan import segment_count
+        max_seg = getattr(self.network.config, "max_segment_mm", 1.25)
+        return segment_count(length_mm, max_seg) - 1
+
     def clock_sink_count(self) -> int:
-        # Router + source + sink register banks at every node.
-        return 3 * self.network.topology.nodes
+        # Router + source + sink register banks at every node, plus one
+        # sink per link and router stage register bank.
+        return (3 * self.network.topology.nodes
+                + self.pipeline_stage_count())
 
     def _hop_table(self) -> dict[tuple[int, int], tuple]:
         """(node, out_port) -> (neighbour, wire length), every direction."""
@@ -366,11 +395,16 @@ class CreditFabricPhysical(PhysicalModel):
         lengths = [plan.link_length(src, LOCAL_PORT)]
         lengths += [hops[step][1] for step in steps]
         lengths.append(plan.link_length(dest, LOCAL_PORT))
+        stage_registers = sum(self._link_stages_on(length)
+                              for length in lengths)
+        depth = getattr(self.network, "pipeline_depth", 1)
+        stage_registers += (depth - 1) * len(nodes)
         return PathProfile(
             hops=len(nodes),
             switch_ports=tuple(ports[node] for node in nodes),
             link_lengths_mm=tuple(lengths),
             buffered_hops=len(nodes),
+            stage_registers=stage_registers,
         )
 
 

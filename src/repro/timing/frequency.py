@@ -55,9 +55,26 @@ def max_segment_length(frequency: float,
     return tech.buffered_wire.length_for_delay(budget / 2.0)
 
 
-def router_max_frequency(ports: int, tech: Technology = TECH_90NM) -> float:
-    """Maximum clock frequency (GHz) of a k-port tree router."""
-    return frequency_from_half_period(tech.router_half_period_ps(ports))
+def router_max_frequency(ports: int, tech: Technology = TECH_90NM,
+                         pipeline_depth: int = 1) -> float:
+    """Maximum clock frequency (GHz) of a k-port router.
+
+    ``pipeline_depth=1`` is the single-cycle router: the whole
+    route+arbitrate+traverse path fits one half period. A depth-N router
+    splits that logic across N stages, so each stage covers ``1/N`` of
+    the critical path **plus one stage-register overhead** (the same
+    ``pipeline_overhead_ps`` the link-pipeline model charges: register
+    setup/clk-to-q and control buffering). Speedup therefore saturates —
+    the achievable half period floors at the register overhead, exactly
+    as in the link curve's zero-length limit.
+    """
+    if pipeline_depth < 1:
+        raise ConfigurationError("pipeline_depth must be >= 1")
+    half = tech.router_half_period_ps(ports)
+    if pipeline_depth > 1:
+        half = (half / pipeline_depth
+                + (1.0 - 1.0 / pipeline_depth) * tech.pipeline_overhead_ps)
+    return frequency_from_half_period(half)
 
 
 def network_max_frequency(channel_specs: list[ChannelSpec],

@@ -37,21 +37,41 @@ def flow_control_matrix():
     return combos
 
 
-def _config(name, flow, policy, activity_driven):
+def pipeline_matrix():
+    """The flow-control matrix x router pipeline depth {1, 2, 4}.
+
+    Only the credit fabrics stage their routers (``supports_pipeline``);
+    the tree family's rejection of the knob is a separate regression in
+    ``test_pipeline.py``."""
+    return [(name, flow, policy, depth)
+            for (name, flow, policy) in flow_control_matrix()
+            if get_topology(name).supports_pipeline
+            for depth in (1, 2, 4)]
+
+
+def _config(name, flow, policy, activity_driven, pipeline_depth=1,
+            segment_links=False):
     kwargs = {}
     if flow == "vc":
         kwargs["flow_control"] = "vc"
         kwargs["vc_policy"] = policy
         # The torus escape policy needs a dateline pair plus adaptive VCs.
         kwargs["n_vcs"] = 4 if policy == "escape" and name == "torus" else 2
+    if pipeline_depth != 1:
+        kwargs["pipeline_depth"] = pipeline_depth
+    if segment_links:
+        kwargs["segment_links"] = True
     return FabricConfig(topology=name, ports=_ports_for(name),
                         activity_driven=activity_driven, **kwargs)
 
 
 def run_traffic(name, activity_driven, flow="wormhole", policy=None,
-                size_flits=2, cycles=60, load=0.25):
+                size_flits=2, cycles=60, load=0.25, pipeline_depth=1,
+                segment_links=False):
     ports = _ports_for(name)
-    net = _config(name, flow, policy, activity_driven).build()
+    net = _config(name, flow, policy, activity_driven,
+                  pipeline_depth=pipeline_depth,
+                  segment_links=segment_links).build()
     gen = UniformRandom(ports, load, size_flits=size_flits)
     schedule = gen.generate(cycles, np.random.default_rng(5))
     by_cycle = {}
@@ -101,3 +121,17 @@ def test_single_flit_packets_equivalent(name, flow, policy):
     naive = run_traffic(name, False, flow, policy, size_flits=1, cycles=40)
     assert fast["delivered"] == naive["delivered"]
     assert fast["gating"] == naive["gating"]
+
+
+@pytest.mark.parametrize("name,flow,policy,depth", pipeline_matrix())
+def test_pipelined_modes_bit_identical(name, flow, policy, depth):
+    """Staged routers keep the kernel-mode equivalence bar: every credit
+    fabric x flow control x pipeline depth {1, 2, 4} delivers identical
+    traffic, latencies, and gating counts in both kernel modes."""
+    fast = run_traffic(name, True, flow, policy, pipeline_depth=depth,
+                       cycles=40)
+    naive = run_traffic(name, False, flow, policy, pipeline_depth=depth,
+                        cycles=40)
+    observable = lambda r: {k: v for k, v in r.items() if k != "steps"}
+    assert observable(fast) == observable(naive), (name, flow, policy, depth)
+    assert len(fast["delivered"]) == fast["injected"]

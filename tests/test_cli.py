@@ -340,6 +340,35 @@ class TestCompare:
         assert main(["compare", "--nodes", "24"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_frequency_column_present(self, capsys):
+        assert main(["compare", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        header = next(line for line in out.splitlines()
+                      if line.lstrip().startswith("topology"))
+        assert "f GHz" in header
+
+    def test_segmentation_payoff_visible_in_frequency_column(self, capsys):
+        """The PR acceptance bar, through the CLI: segmenting the
+        64-endpoint torus on a 20 mm die lifts its f GHz cell >= 4x."""
+        def torus_ghz(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            row = next(line for line in out.splitlines()
+                       if line.startswith("torus") and "wormhole" in line)
+            return float(row.split("|")[-1])
+
+        base = torus_ghz(["compare", "--nodes", "64", "--chip-mm", "20"])
+        segmented = torus_ghz(["compare", "--nodes", "64", "--chip-mm",
+                               "20", "--segment-mm", "1.25"])
+        assert segmented >= 4.0 * base, (base, segmented)
+
+    def test_pipeline_knobs_reach_the_table_title(self, capsys):
+        assert main(["compare", "--nodes", "16", "--pipeline-depth", "2",
+                     "--segment-mm", "1.25"]) == 0
+        out = capsys.readouterr().out
+        assert "2-stage routers" in out
+        assert "1.25 mm segments" in out
+
 
 class TestInfoRegistryFabrics:
     def test_torus_info_prints_physical_view(self, capsys):
@@ -349,6 +378,25 @@ class TestInfoRegistryFabrics:
         assert "mesochronous" in out
         assert "area:" in out
         assert "clock power" in out
+
+    def test_info_prints_pipeline_line(self, capsys):
+        assert main(["info", "--topology", "torus", "--ports", "16",
+                     "--chip-mm", "20", "--pipeline-depth", "2",
+                     "--segment-links"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline: router depth 2" in out
+        assert "link stage registers" in out
+        assert "critical path" in out
+
+    def test_info_tree_rejects_pipeline_knobs(self, capsys):
+        assert main(["info", "--topology", "binary",
+                     "--pipeline-depth", "2"]) == 2
+        assert "credit fabrics" in capsys.readouterr().err
+
+    def test_sweep_tree_rejects_pipeline_knobs(self, capsys):
+        assert main(["sweep", "--topology", "binary", "--ports", "16",
+                     "--loads", "0.05", "--segment-links"]) == 2
+        assert "credit fabrics" in capsys.readouterr().err
 
     def test_ctree_info(self, capsys):
         assert main(["info", "--topology", "ctree", "--ports", "16"]) == 0
