@@ -33,6 +33,13 @@ The microbench behind the kernel's performance contract, in three parts:
   (The gain is the stack's, not adaptivity's alone: at a matched total
   buffer budget the corner hotspot is ejection-bound and the two
   routings tie, which is why the comparison pins both configs.)
+* **traced** — the VC hotspot burst with the full telemetry stack
+  attached (``repro.telemetry``: metrics registry on every link and
+  router plus a 1-in-16 flit tracer). Both ride probes and events
+  only, so the gate is threefold: the ≥ 2x instrumented speedup
+  survives, the serialized metrics/trace JSON is byte-identical
+  between kernel modes, and the observed workload itself is
+  unperturbed (identical to the bare ``vc`` scenario).
 
 Each variant must be bit-identical between the two modes: same
 deliveries, same latencies, same clock-gating edge counts, same traces.
@@ -250,6 +257,45 @@ def run_vc_workload(activity_driven: bool, ticks: int = VC_TICKS) -> dict:
     }
 
 
+def run_traced_workload(activity_driven: bool, ticks: int = VC_TICKS) -> dict:
+    """The VC hotspot burst with the telemetry stack attached.
+
+    Metrics registry on every link/router plus a 1-in-16 flit tracer —
+    both populated from probes and events only, so the instrumented
+    fast path must keep the ≥ 2x gate and the serialized summary and
+    traces must be byte-identical between kernel modes.
+    """
+    from repro.telemetry import attach_metrics, attach_tracer
+    net = FabricConfig(topology="torus", ports=16, flow_control="vc",
+                       activity_driven=activity_driven).build()
+    registry = attach_metrics(net)
+    tracer = attach_tracer(net, sample_period=16)
+    scheduled = 0
+    for src in range(1, BURST_PACKETS + 1):
+        net.send(Packet(src=src, dest=0, payload=list(range(6))))
+        net.send(Packet(src=src, dest=(src + 8) % 16,
+                        payload=list(range(4))))
+        scheduled += 2
+    start = time.perf_counter()
+    net.run_ticks(ticks)
+    elapsed = time.perf_counter() - start
+    gating = net.gating_stats()
+    return {
+        "elapsed_s": elapsed,
+        "ticks_per_s": ticks / elapsed if elapsed > 0 else float("inf"),
+        "delivered": net.stats.packets_delivered,
+        "scheduled": scheduled,
+        "latencies": list(net.stats.latencies_cycles),
+        "gating_edges_total": gating.edges_total,
+        "gating_edges_enabled": gating.edges_enabled,
+        "steps_executed": net.kernel.steps_executed,
+        "metrics_json": json.dumps(registry.summary().to_dict(),
+                                   sort_keys=True),
+        "traces_json": json.dumps([t.to_dict() for t in tracer.traces],
+                                  sort_keys=True),
+    }
+
+
 def _hotspot_knee(config: FabricConfig) -> float:
     """Highest VC_SAT_LOADS entry that kept up (the shared floor rule)."""
     pairs = (
@@ -329,6 +375,8 @@ def measure() -> dict:
     pipelined_naive = run_pipelined_workload(activity_driven=False)
     vc_fast = run_vc_workload(activity_driven=True)
     vc_naive = run_vc_workload(activity_driven=False)
+    traced_fast = run_traced_workload(activity_driven=True)
+    traced_naive = run_traced_workload(activity_driven=False)
     vc_routing = run_vc_adaptive_comparison()
     return {
         "leaves": LEAVES,
@@ -358,6 +406,10 @@ def measure() -> dict:
         "vc_naive_ticks_per_s": round(vc_naive["ticks_per_s"]),
         "vc_speedup": round(
             vc_fast["ticks_per_s"] / vc_naive["ticks_per_s"], 1),
+        "traced_fast_ticks_per_s": round(traced_fast["ticks_per_s"]),
+        "traced_naive_ticks_per_s": round(traced_naive["ticks_per_s"]),
+        "traced_speedup": round(
+            traced_fast["ticks_per_s"] / traced_naive["ticks_per_s"], 1),
         "vc_deterministic_xy_saturation":
             vc_routing["deterministic_xy_saturation"],
         "vc_escape_adaptive_saturation":
@@ -374,6 +426,8 @@ def measure() -> dict:
         "_pipelined_naive": pipelined_naive,
         "_vc_fast": vc_fast,
         "_vc_naive": vc_naive,
+        "_traced_fast": traced_fast,
+        "_traced_naive": traced_naive,
     }
 
 
@@ -391,7 +445,8 @@ def test_kernel_throughput(benchmark, log):
                                 ("_mesh_fast", "_mesh_naive"),
                                 ("_bursty_fast", "_bursty_naive"),
                                 ("_pipelined_fast", "_pipelined_naive"),
-                                ("_vc_fast", "_vc_naive")):
+                                ("_vc_fast", "_vc_naive"),
+                                ("_traced_fast", "_traced_naive")):
         fast, naive = results[fast_key], results[naive_key]
         for key in EQUIVALENCE_KEYS:
             assert fast[key] == naive[key], (fast_key, key)
@@ -405,6 +460,14 @@ def test_kernel_throughput(benchmark, log):
     # Instrumentation itself must not perturb the simulation.
     for key in EQUIVALENCE_KEYS:
         assert inst_fast[key] == results["_fast"][key], key
+    # The telemetry stack: byte-identical serialized output between
+    # modes, and no perturbation of the workload it observes.
+    traced_fast, traced_naive = results["_traced_fast"], \
+        results["_traced_naive"]
+    assert traced_fast["metrics_json"] == traced_naive["metrics_json"]
+    assert traced_fast["traces_json"] == traced_naive["traces_json"]
+    for key in EQUIVALENCE_KEYS:
+        assert traced_fast[key] == results["_vc_fast"][key], key
 
     # The performance contract: >= 2x on the idle-heavy workload — even
     # instrumented, on the mesh, and on the phased system trace
@@ -415,6 +478,7 @@ def test_kernel_throughput(benchmark, log):
     assert results["bursty_speedup"] >= 2.0, results
     assert results["pipelined_speedup"] >= 2.0, results
     assert results["vc_speedup"] >= 2.0, results
+    assert results["traced_speedup"] >= 2.0, results
 
     # The flow-control comparison of the VC scenario: the escape-VC
     # stack (adaptive routing + per-VC buffering) must strictly beat
@@ -430,7 +494,8 @@ def test_kernel_throughput(benchmark, log):
     if history:
         latest = history[-1]
         for key in ("speedup", "instrumented_speedup", "mesh_speedup",
-                    "bursty_speedup", "pipelined_speedup", "vc_speedup"):
+                    "bursty_speedup", "pipelined_speedup", "vc_speedup",
+                    "traced_speedup"):
             baseline = latest.get(key)
             if baseline:
                 assert results[key] >= REGRESSION_FACTOR * baseline, (

@@ -128,6 +128,11 @@ class LoadPoint:
     locality: float = 0.8
     hotspots: tuple[int, ...] = (0,)
     hotspot_fraction: float = 0.3
+    #: Attach a metrics registry; the point's result dict gains a
+    #: picklable ``MetricsSummary`` under ``"telemetry"``.
+    telemetry: bool = False
+    #: Trace every Nth packet; the result gains ``"traces"``.
+    trace_sample_period: int | None = None
 
     def __post_init__(self) -> None:
         if self.pattern not in PATTERN_NAMES:
@@ -176,11 +181,13 @@ class LoadPoint:
         return UniformRandom(self.ports, load, size_flits=self.size_flits)
 
 
-def evaluate_load_point(spec: LoadPoint) -> dict[str, float]:
+def evaluate_load_point(spec: LoadPoint) -> dict[str, Any]:
     """Worker entry point: one offered/accepted/latency measurement."""
     return measure_offered_vs_accepted(
         spec.build_network, spec.build_generator, spec.load,
         cycles=spec.cycles, seed=spec.seed,
+        telemetry=spec.telemetry,
+        trace_sample_period=spec.trace_sample_period,
     )
 
 

@@ -75,16 +75,35 @@ def sweep(name: str, values: list[Any],
 def measure_offered_vs_accepted(network_factory: Callable[[], Any],
                                 generator_factory: Callable[[float], TrafficGenerator],
                                 load: float, cycles: int = 300,
-                                seed: int = 0) -> dict[str, float]:
+                                seed: int = 0,
+                                telemetry: bool = False,
+                                trace_sample_period: int | None = None
+                                ) -> dict[str, Any]:
     """Run one load point; report offered/accepted throughput and latency.
 
     Accepted throughput is measured over the injection window only (not
     the drain), which is what saturates; delivery of the backlog is still
     verified via the drain.
+
+    ``telemetry=True`` attaches a metrics registry
+    (:mod:`repro.telemetry`) to the freshly built network and adds its
+    picklable :class:`~repro.telemetry.metrics.MetricsSummary` under the
+    ``"telemetry"`` key; ``trace_sample_period=N`` additionally traces
+    every Nth packet and adds the
+    :class:`~repro.telemetry.trace.PacketTrace` list under ``"traces"``.
+    Both ride the event/probe fast path, so untraced points are
+    unaffected and traced points stay bit-identical across kernel modes.
     """
     if not 0.0 < load <= 1.0:
         raise ConfigurationError("load must be in (0, 1]")
     net = network_factory()
+    registry = tracer = None
+    if telemetry:
+        from repro.telemetry import attach_metrics
+        registry = attach_metrics(net)
+    if trace_sample_period is not None:
+        from repro.telemetry import attach_tracer
+        tracer = attach_tracer(net, trace_sample_period)
     gen = generator_factory(load)
     schedule = gen.generate(cycles, np.random.default_rng(seed))
     ports = gen.ports
@@ -100,13 +119,17 @@ def measure_offered_vs_accepted(network_factory: Callable[[], Any],
     offered = sum(i.size_flits for i in schedule) / cycles / ports
     drained = net.drain(max_ticks=500_000)
     latency = net.stats.latency.mean if net.stats.latencies_cycles else 0.0
-    metrics = {
+    metrics: dict[str, Any] = {
         "offered": offered,
         "accepted_in_window": accepted,
         "mean_latency_cycles": latency,
         "drained": float(drained),
     }
     metrics.update(_run_energy_metrics(net))
+    if registry is not None:
+        metrics["telemetry"] = registry.summary()
+    if tracer is not None:
+        metrics["traces"] = tracer.traces
     return metrics
 
 

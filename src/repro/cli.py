@@ -9,7 +9,13 @@ Commands:
 * ``sweep``     — offered-load sweep (optionally process-parallel), as a
   fixed grid or a parallel bisection of the saturation knee, over any
   registered fabric (``--topology tree|mesh|torus|ring|ctree``), with
-  per-run energy (pJ/flit, mean mW) alongside throughput and latency;
+  per-run energy (pJ/flit, mean mW) alongside throughput and latency,
+  and per-point telemetry as JSONL via ``--metrics out.jsonl``;
+* ``metrics``   — run one load point with the metrics registry attached
+  and print the congestion attribution (top-k links/routers, latency
+  percentiles); ``--metrics out.jsonl`` exports the summary;
+* ``trace``     — follow sampled packets hop by hop (deterministic
+  1-in-N sampling), decomposing queueing vs transit per hop;
 * ``compare``   — the paper-style physical comparison (hops, buffer
   flits, area, energy per flit, clock power) across every registered
   topology under every flow control it declares;
@@ -27,6 +33,7 @@ refuses credit fabrics with a clean error naming the supported set).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -36,6 +43,7 @@ from repro.analysis.parallel import (
     LoadPoint,
     PATTERN_NAMES,
     bisect_saturation_throughput,
+    evaluate_load_point,
     expand_loads,
     measure_load_points,
 )
@@ -80,6 +88,34 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--segment-links", action="store_true",
                         help="pipeline credit-fabric links so no segment "
                              "exceeds --segment-mm (the tree always does)")
+
+
+def _add_traffic_options(parser: argparse.ArgumentParser) -> None:
+    """The workload knobs shared by sweep/metrics/trace."""
+    parser.add_argument("--traffic", "--pattern", dest="pattern",
+                        choices=PATTERN_NAMES, default="uniform",
+                        help="traffic pattern (--pattern is the historical "
+                             "spelling)")
+    parser.add_argument("--flow-control", choices=("wormhole", "vc"),
+                        default="wormhole",
+                        help="link-level flow control for registry fabrics "
+                             "(vc = virtual channels)")
+    parser.add_argument("--vcs", type=int, default=None,
+                        help="virtual channels per port, default 2 "
+                             "(--flow-control vc only)")
+    parser.add_argument("--vc-policy", default=None,
+                        help="VC-assignment policy (topology default when "
+                             "omitted): dateline | escape")
+    parser.add_argument("--hotspots", default=None,
+                        help="comma-separated hotspot ports, default 0 "
+                             "(--traffic hotspot only)")
+    parser.add_argument("--hotspot-fraction", type=float, default=None,
+                        help="fraction of traffic aimed at the hotspots, "
+                             "default 0.3 (--traffic hotspot only)")
+    parser.add_argument("--locality", type=float, default=0.8)
+    parser.add_argument("--flits", type=int, default=1)
+    parser.add_argument("--cycles", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
 
 
 #: Topologies the tree-only ICNoC facade (and its timing validator) covers.
@@ -229,6 +265,73 @@ def _sweep_network(args: argparse.Namespace):
     )
 
 
+def _traffic_template(args: argparse.Namespace, load: float,
+                      telemetry: bool = False,
+                      trace_sample_period: int | None = None) -> LoadPoint:
+    """A :class:`LoadPoint` from the shared traffic options.
+
+    Raises :class:`ConfigurationError` on bad knob combinations (never
+    silently ignore a knob the selected pattern cannot honour).
+    """
+    if args.pattern != "hotspot" and (args.hotspots is not None
+                                      or args.hotspot_fraction is not None):
+        raise ConfigurationError(
+            "--hotspots/--hotspot-fraction only apply with "
+            "--traffic hotspot"
+        )
+    hotspots_arg = "0" if args.hotspots is None else args.hotspots
+    try:
+        hotspots = tuple(int(x) for x in hotspots_arg.split(",")
+                         if x.strip())
+    except ValueError:
+        raise ConfigurationError(
+            f"--hotspots expects comma-separated port numbers, "
+            f"got {args.hotspots!r}"
+        )
+    return LoadPoint(
+        load=load,
+        network=_sweep_network(args),
+        pattern=args.pattern, cycles=args.cycles,
+        size_flits=args.flits, locality=args.locality,
+        seed=args.seed,
+        hotspots=hotspots,
+        hotspot_fraction=(0.3 if args.hotspot_fraction is None
+                          else args.hotspot_fraction),
+        telemetry=telemetry,
+        trace_sample_period=trace_sample_period,
+    )
+
+
+def _point_record(load: float, metrics: dict) -> dict:
+    """One JSONL-safe record of a measured point (telemetry flattened)."""
+    record = {key: value for key, value in metrics.items()
+              if key not in ("telemetry", "traces")}
+    record["load"] = load
+    summary = metrics.get("telemetry")
+    if summary is not None:
+        record["telemetry"] = summary.to_dict()
+    traces = metrics.get("traces")
+    if traces is not None:
+        record["traces"] = [trace.to_dict() for trace in traces]
+    return record
+
+
+def _export_metrics(path: str, pairs: list[tuple[float, dict]]) -> None:
+    """Write per-point records as JSONL and print the merged hot links."""
+    from repro.telemetry import MetricsSummary
+    with open(path, "w") as handle:
+        for load, metrics in pairs:
+            handle.write(json.dumps(_point_record(load, metrics),
+                                    sort_keys=True) + "\n")
+    merged = MetricsSummary.merge(
+        metrics["telemetry"] for _, metrics in pairs)
+    print(f"metrics written to {path} ({len(pairs)} points)")
+    hot = ", ".join(f"{name} ({util:.0%})"
+                    for name, _, util in merged.top_links(3))
+    if hot:
+        print(f"hottest links across the run: {hot}")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         loads = [float(x) for x in args.loads.split(",") if x.strip()]
@@ -239,32 +342,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if not loads:
         print("error: --loads needs at least one value", file=sys.stderr)
         return 2
-    if args.pattern != "hotspot" and (args.hotspots is not None
-                                      or args.hotspot_fraction is not None):
-        # Same contract as --vcs/--vc-policy: never silently ignore a
-        # knob the selected traffic pattern cannot honour.
-        print("error: --hotspots/--hotspot-fraction only apply with "
-              "--traffic hotspot", file=sys.stderr)
-        return 2
-    hotspots_arg = "0" if args.hotspots is None else args.hotspots
     try:
-        hotspots = tuple(int(x) for x in hotspots_arg.split(",")
-                         if x.strip())
-    except ValueError:
-        print(f"error: --hotspots expects comma-separated port numbers, "
-              f"got {args.hotspots!r}", file=sys.stderr)
-        return 2
-    try:
-        template = LoadPoint(
-            load=loads[0],
-            network=_sweep_network(args),
-            pattern=args.pattern, cycles=args.cycles,
-            size_flits=args.flits, locality=args.locality,
-            seed=args.seed,
-            hotspots=hotspots,
-            hotspot_fraction=(0.3 if args.hotspot_fraction is None
-                              else args.hotspot_fraction),
-        )
+        template = _traffic_template(args, loads[0],
+                                     telemetry=args.metrics is not None)
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -305,6 +385,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # latency instead of discarding it.
         print(f"latency at saturation: {search.latency_at_saturation:.2f} "
               f"cycles (reused from the measured curve)")
+        if args.metrics is not None:
+            _export_metrics(args.metrics, list(search.evaluated))
         return 0 if all(m["drained"] for _, m in search.evaluated) else 1
     specs = expand_loads(template, loads, base_seed=args.seed)
     results = measure_load_points(specs, workers=args.workers)
@@ -322,6 +404,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         title=(f"Offered-load sweep: {args.topology}, {args.ports} ports, "
                f"{args.pattern}, workers={args.workers}"),
     ))
+    if args.metrics is not None:
+        _export_metrics(args.metrics,
+                        [(spec.load, m) for spec, m in zip(specs, results)])
     return 0 if all(m["drained"] for m in results) else 1
 
 
@@ -329,6 +414,45 @@ def _energy_cell(metrics: dict) -> str:
     """Per-run flit energy, when the network published a physical model."""
     energy = metrics.get("energy_pj_per_flit")
     return "-" if energy is None else f"{energy:.2f}"
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.telemetry import render_metrics_report
+    try:
+        template = _traffic_template(args, args.load, telemetry=True)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    metrics = evaluate_load_point(template)
+    print(f"Metrics: {args.topology}, {args.ports} ports, {args.pattern} "
+          f"at load {args.load:g}, {args.cycles} cycles")
+    print(render_metrics_report(metrics["telemetry"], top=args.top))
+    print(f"offered {metrics['offered']:.4f}, accepted "
+          f"{metrics['accepted_in_window']:.4f} flits/cycle/port, "
+          f"drained: {'yes' if metrics['drained'] else 'NO'}")
+    if args.metrics is not None:
+        _export_metrics(args.metrics, [(args.load, metrics)])
+    return 0 if metrics["drained"] else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        template = _traffic_template(
+            args, args.load, trace_sample_period=args.sample_period)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    metrics = evaluate_load_point(template)
+    traces = metrics["traces"]
+    print(f"Trace: {args.topology}, {args.ports} ports, {args.pattern} at "
+          f"load {args.load:g} — 1 in {args.sample_period} packets sampled "
+          f"({len(traces)} traces)")
+    for trace in traces[:args.max_packets]:
+        print(trace.describe())
+    if len(traces) > args.max_packets:
+        print(f"... and {len(traces) - args.max_packets} more sampled "
+              f"packets (raise --max-packets)")
+    return 0 if metrics["drained"] else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -438,34 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw = sub.add_parser("sweep", help="offered-load sweep (parallelisable)")
     _add_network_options(p_sw, topologies=sweep_topologies())
     _add_pipeline_options(p_sw)
-    p_sw.add_argument("--traffic", "--pattern", dest="pattern",
-                      choices=PATTERN_NAMES, default="uniform",
-                      help="traffic pattern (--pattern is the historical "
-                           "spelling)")
-    p_sw.add_argument("--flow-control", choices=("wormhole", "vc"),
-                      default="wormhole",
-                      help="link-level flow control for registry fabrics "
-                           "(vc = virtual channels)")
-    p_sw.add_argument("--vcs", type=int, default=None,
-                      help="virtual channels per port, default 2 "
-                           "(--flow-control vc only)")
-    p_sw.add_argument("--vc-policy", default=None,
-                      help="VC-assignment policy (topology default when "
-                           "omitted): dateline | escape")
-    p_sw.add_argument("--hotspots", default=None,
-                      help="comma-separated hotspot ports, default 0 "
-                           "(--traffic hotspot only)")
-    p_sw.add_argument("--hotspot-fraction", type=float, default=None,
-                      help="fraction of traffic aimed at the hotspots, "
-                           "default 0.3 (--traffic hotspot only)")
+    _add_traffic_options(p_sw)
     p_sw.add_argument("--loads", default="0.05,0.10,0.20,0.40",
                       help="comma-separated offered loads")
-    p_sw.add_argument("--locality", type=float, default=0.8)
-    p_sw.add_argument("--flits", type=int, default=1)
-    p_sw.add_argument("--cycles", type=int, default=300)
-    p_sw.add_argument("--seed", type=int, default=0)
     p_sw.add_argument("--workers", type=int, default=1,
                       help="worker processes (1 = serial)")
+    p_sw.add_argument("--metrics", default=None, metavar="PATH",
+                      help="attach the telemetry registry to every point "
+                           "and export per-point MetricsSummary records "
+                           "as JSONL to PATH")
     p_sw.add_argument("--search", choices=("grid", "bisect"),
                       default="grid",
                       help="grid: measure every --loads value; bisect: "
@@ -479,6 +584,39 @@ def build_parser() -> argparse.ArgumentParser:
                            "cluster near the knee estimate, or spread "
                            "evenly per round (--search bisect only)")
     p_sw.set_defaults(func=cmd_sweep)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="one load point with the metrics registry attached: "
+             "congestion attribution, latency percentiles, JSONL export",
+    )
+    _add_network_options(p_met, topologies=sweep_topologies())
+    _add_pipeline_options(p_met)
+    _add_traffic_options(p_met)
+    p_met.add_argument("--load", type=float, default=0.2,
+                       help="offered load in flits/cycle/port")
+    p_met.add_argument("--top", type=int, default=5,
+                       help="links/routers named in the attribution report")
+    p_met.add_argument("--metrics", default=None, metavar="PATH",
+                       help="also export the MetricsSummary as JSONL "
+                            "to PATH")
+    p_met.set_defaults(func=cmd_metrics)
+
+    p_trc = sub.add_parser(
+        "trace",
+        help="follow sampled packets hop by hop (queueing vs transit)",
+    )
+    _add_network_options(p_trc, topologies=sweep_topologies())
+    _add_pipeline_options(p_trc)
+    _add_traffic_options(p_trc)
+    p_trc.add_argument("--load", type=float, default=0.2,
+                       help="offered load in flits/cycle/port")
+    p_trc.add_argument("--sample-period", type=int, default=16,
+                       help="trace every Nth packet (deterministic "
+                            "id-based sampling)")
+    p_trc.add_argument("--max-packets", type=int, default=8,
+                       help="traces printed before summarising the rest")
+    p_trc.set_defaults(func=cmd_trace)
 
     p_demo = sub.add_parser("demo", help="run the 32-tile demonstrator")
     p_demo.add_argument("--tiles", type=int, default=32)

@@ -32,6 +32,7 @@ from repro.sim.component import ClockedComponent
 from repro.sim.kernel import SimKernel
 from repro.sim.signal import Signal
 from repro.tech.technology import Technology, TECH_90NM
+from repro.telemetry.metrics import TimeWeightedGauge
 
 
 class SkidChannel:
@@ -60,7 +61,7 @@ class SkidBufferStage(ClockedComponent):
         self.downstream = downstream
         self.buffer: deque[Flit] = deque()
         self.flits_passed = 0
-        self.peak_occupancy = 0
+        self.occupancy = TimeWeightedGauge(kernel.tick)
         kernel.add_component(self)
 
     def on_edge(self, tick: int) -> None:
@@ -77,7 +78,10 @@ class SkidBufferStage(ClockedComponent):
                     )
                 self.buffer.append(flit)
                 active = True
-        self.peak_occupancy = max(self.peak_occupancy, len(self.buffer))
+        # Sampled at the same point the old ad-hoc peak counter was, so
+        # the gauge's peak reproduces its numbers exactly — and adds the
+        # time-weighted mean for free.
+        self.occupancy.update(tick, len(self.buffer))
         # 2. Forward if downstream did not signal stop (sampled 1 cycle
         #    old). Receiving first models the combinational ready path of
         #    a real skid buffer: a flit can enter and claim the output
@@ -98,6 +102,11 @@ class SkidBufferStage(ClockedComponent):
             # Fixed point: nothing arrived, nothing moved (empty, or
             # blocked by a stop that only a signal change can lift).
             self.sleep_until(self.upstream.flit, self.downstream.stop)
+
+    @property
+    def peak_occupancy(self) -> int:
+        """Deepest the skid buffer ever got (gauge-backed)."""
+        return self.occupancy.peak
 
 
 class SkidSource(ClockedComponent):

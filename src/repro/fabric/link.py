@@ -54,6 +54,12 @@ __all__ = ["CreditLink", "HandshakeChannel", "LinkStage",
 
 #: Ticks between driving a tick-tagged payload and its consumption at the
 #: far end: one full clock cycle of wire flight per hop (or per segment).
+#: Observability leans on this constant: a probe on a link's consumer-
+#: side ``flit`` wire sees every launched flit as one change (payloads
+#: are tick-tagged, never reset to None), and arrival at the consuming
+#: router is the change tick plus this latency — the rule the
+#: :mod:`repro.telemetry` registry and tracer use for occupancy and
+#: hop-arrival timing.
 LINK_LATENCY_TICKS = 2
 
 

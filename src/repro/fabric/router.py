@@ -63,6 +63,13 @@ no-ops otherwise, so the fast path never pays for unobserved visibility):
   mode-identical by construction — together with ``arbitration_grant``
   they complete head-of-line-blocking diagnosis (how long an output sat
   locked between grants).
+
+The ``output``/``input`` fields are port *indices*; consumers label
+them via :meth:`FabricRouter.port_name`. These payloads are a stable
+contract: the :mod:`repro.telemetry` metrics registry and flit tracer
+key grant counts, stall episodes, and hop records off them, and the
+telemetry equivalence suite pins the emitted sequences across both
+kernel modes on every registered topology.
 """
 
 from __future__ import annotations

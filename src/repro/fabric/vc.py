@@ -38,6 +38,11 @@ carrying a ``vc`` field here) plus one of its own:
   ``input_vc``, and the ``flit``. Allocation is edge-triggered by
   construction (a packet acquires each output VC exactly once), so both
   kernel modes emit the identical sequence.
+
+The ``vc`` field on the shared events is what lets the
+:mod:`repro.telemetry` registry attribute credit stalls and grants per
+``router:port:vcN`` key instead of per port — the per-VC breakdown the
+dateline/escape policies need for congestion diagnosis.
 """
 
 from __future__ import annotations

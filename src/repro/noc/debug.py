@@ -129,12 +129,14 @@ class DeadlockWatchdog:
     def __init__(self, kernel: SimKernel,
                  progress: Callable[[], int],
                  pending: Callable[[], bool],
-                 patience_ticks: int = 10_000):
+                 patience_ticks: int = 10_000,
+                 snapshot: Callable[[], str] | None = None):
         if patience_ticks < 1:
             raise SimulationError("patience must be >= 1 tick")
         self._kernel = kernel
         self._progress = progress
         self._pending = pending
+        self._snapshot = snapshot
         self.patience_ticks = patience_ticks
         self._last_value = progress()
         self._last_change_tick = kernel.tick
@@ -177,10 +179,13 @@ class DeadlockWatchdog:
             self._armed = False
             return
         self.fired = True
-        raise SimulationError(
-            f"no progress for {self.patience_ticks} ticks with "
-            f"traffic pending (tick {tick})"
-        )
+        message = (f"no progress for {self.patience_ticks} ticks with "
+                   f"traffic pending (tick {tick})")
+        if self._snapshot is not None:
+            # Dump who is blocked on whom at the moment progress stopped
+            # — the deadlock cycle is usually readable straight off it.
+            message = f"{message}\n{self._snapshot()}"
+        raise SimulationError(message)
 
 
 def attach_monitors(network) -> list[ProtocolMonitor]:
@@ -205,13 +210,20 @@ def attach_watchdog(network, patience_ticks: int = 10_000) -> DeadlockWatchdog:
     every tick. An injection kicks only when it ends an idle period
     (nothing was outstanding before it): that starts the patience window
     — and re-arms a dormant watchdog — without letting a steady stream
-    of injections into a deadlocked network postpone the verdict."""
+    of injections into a deadlocked network postpone the verdict.
+
+    A firing watchdog appends a congestion snapshot
+    (:func:`repro.telemetry.attribution.congestion_snapshot`) to its
+    error: the top blocked routers with their held wormhole/VC locks
+    and exhausted credits."""
+    from repro.telemetry.attribution import congestion_snapshot
     watchdog = DeadlockWatchdog(
         network.kernel,
         progress=lambda: network.stats.packets_delivered,
         pending=lambda: (network.stats.packets_delivered
                          < network.stats.packets_injected),
         patience_ticks=patience_ticks,
+        snapshot=lambda: congestion_snapshot(network),
     )
 
     def on_packet(tick: int, data: Any) -> None:

@@ -16,6 +16,13 @@ Routing is deterministic up*/down*: if the destination leaf is inside this
 router's range, descend through the matching child, else go to the parent.
 Up*/down* routing in a tree has an acyclic channel-dependency graph, so
 wormhole switching is deadlock-free.
+
+The :class:`SwitchCore` emits the same ``arbitration_grant`` /
+``lock_acquire`` / ``lock_release`` events as the credit-fabric routers
+(cheap no-ops unobserved), under its own component name
+(``<router>.switch``) — consumers like the :mod:`repro.telemetry`
+registry and tracer map that back to the router, which keeps the tree
+family on the same congestion-attribution path as the credit fabrics.
 """
 
 from __future__ import annotations

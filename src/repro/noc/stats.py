@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -18,26 +19,37 @@ class LatencySummary:
     mean: float
     p50: float
     p95: float
+    p99: float
     maximum: float
     minimum: float
 
     @staticmethod
     def from_cycles(latencies: list[float]) -> "LatencySummary":
         if not latencies:
-            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         arr = np.asarray(latencies, dtype=float)
         return LatencySummary(
             count=len(latencies),
             mean=float(arr.mean()),
             p50=float(np.percentile(arr, 50)),
             p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
             maximum=float(arr.max()),
             minimum=float(arr.min()),
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping; round-trips through :meth:`from_dict`."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "LatencySummary":
+        return LatencySummary(**data)
+
     def describe(self) -> str:
         return (f"n={self.count} mean={self.mean:.2f} p50={self.p50:.2f} "
-                f"p95={self.p95:.2f} max={self.maximum:.2f} cycles")
+                f"p95={self.p95:.2f} p99={self.p99:.2f} "
+                f"max={self.maximum:.2f} cycles")
 
 
 @dataclass

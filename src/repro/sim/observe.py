@@ -28,6 +28,13 @@ registration index, an instrumented activity-driven run produces
 bit-identical traces and metrics to ``activity_driven=False``.
 ``wake``/``sleep`` events are the one exception — they describe the
 fast-path scheduler itself and never fire in naive mode.
+
+Scope of the guarantee: *per-signal* probe streams and *per-router*
+event sequences are mode-identical, but cross-signal dispatch order
+within one tick is not. Aggregating consumers — the VCD writer, and
+the :mod:`repro.telemetry` metrics registry and flit tracer built
+entirely on these primitives — must therefore be order-independent
+within a tick or sort by a mode-stable key before emitting.
 """
 
 from __future__ import annotations

@@ -63,6 +63,30 @@ class TestSkidPipeline:
         kernel.run_ticks(200)
         assert max(len(stage.buffer) for stage in stages) == 2
 
+    def test_peak_occupancy_pins_gauge(self):
+        """``peak_occupancy`` survived the move onto the telemetry gauge:
+        the property reports the gauge's peak, and a stalled pipeline
+        still shows the historical per-stage depth of 2."""
+        kernel = SimKernel()
+        src, stages, sink = build_skid_pipeline(
+            kernel, "q", stages=3, ready=lambda t: t >= 10_000
+        )
+        src.send(flits(20))
+        kernel.run_ticks(200)
+        for stage in stages:
+            assert stage.peak_occupancy == stage.occupancy.peak
+        assert max(stage.peak_occupancy for stage in stages) == 2
+        # The gauge adds the time-weighted mean the ad-hoc counter
+        # never had; a stalled stage sits near its capacity.
+        blocked = stages[-1]
+        assert 0.0 < blocked.occupancy.mean(kernel.tick) <= 2.0
+
+    def test_empty_run_peak_zero(self):
+        kernel = SimKernel()
+        _, stages, _ = build_skid_pipeline(kernel, "q", stages=2)
+        kernel.run_ticks(50)
+        assert all(stage.peak_occupancy == 0 for stage in stages)
+
     def test_negative_stage_count_rejected(self):
         with pytest.raises(ConfigurationError):
             build_skid_pipeline(SimKernel(), "q", stages=-1)

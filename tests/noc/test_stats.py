@@ -29,11 +29,24 @@ class TestLatencySummary:
 
     def test_percentiles_ordered(self):
         summary = LatencySummary.from_cycles([float(i) for i in range(100)])
-        assert summary.minimum <= summary.p50 <= summary.p95 <= summary.maximum
+        assert summary.minimum <= summary.p50 <= summary.p95 \
+            <= summary.p99 <= summary.maximum
+
+    def test_p99_between_p95_and_max(self):
+        summary = LatencySummary.from_cycles([float(i + 1)
+                                              for i in range(1000)])
+        assert summary.p99 == pytest.approx(990.01)
+
+    def test_dict_round_trip(self):
+        summary = LatencySummary.from_cycles([1.0, 5.0, 9.0])
+        clone = LatencySummary.from_dict(summary.to_dict())
+        assert clone == summary
+        assert summary.to_dict()["p99"] == summary.p99
 
     def test_describe(self):
         text = LatencySummary.from_cycles([1.0, 2.0]).describe()
         assert "mean=1.50" in text
+        assert "p99=" in text
 
 
 class TestNetworkStats:

@@ -1,0 +1,68 @@
+"""Telemetry through the process-parallel sweep engine.
+
+``MetricsSummary`` (and the trace records) must survive pickling to and
+from worker processes, and a parallel sweep with telemetry attached must
+report exactly what the serial sweep does.
+"""
+
+import pickle
+
+from repro.analysis.parallel import (
+    LoadPoint,
+    evaluate_load_point,
+    expand_loads,
+    measure_load_points,
+)
+from repro.fabric.registry import FabricConfig
+from repro.telemetry import MetricsSummary
+
+
+MESH16 = FabricConfig(topology="mesh", ports=16)
+
+
+def telemetry_point(load=0.15, **overrides):
+    kwargs = dict(load=load, network=MESH16, cycles=60, seed=3,
+                  telemetry=True, trace_sample_period=8)
+    kwargs.update(overrides)
+    return LoadPoint(**kwargs)
+
+
+class TestEvaluateLoadPoint:
+    def test_telemetry_keys_present(self):
+        metrics = evaluate_load_point(telemetry_point())
+        summary = metrics["telemetry"]
+        assert isinstance(summary, MetricsSummary)
+        assert summary.packets_delivered > 0
+        assert metrics["traces"], "no packets sampled"
+
+    def test_untelemetered_point_unchanged(self):
+        metrics = evaluate_load_point(telemetry_point(telemetry=False,
+                                                      trace_sample_period=None))
+        assert "telemetry" not in metrics
+        assert "traces" not in metrics
+
+    def test_point_result_pickles(self):
+        metrics = evaluate_load_point(telemetry_point())
+        clone = pickle.loads(pickle.dumps(metrics))
+        assert clone["telemetry"] == metrics["telemetry"]
+        assert [t.to_dict() for t in clone["traces"]] == \
+            [t.to_dict() for t in metrics["traces"]]
+
+
+class TestParallelEquality:
+    def test_workers_match_serial(self):
+        specs = expand_loads(telemetry_point(), [0.1, 0.2], base_seed=3)
+        serial = measure_load_points(specs, workers=1)
+        parallel = measure_load_points(specs, workers=2)
+        for s, p in zip(serial, parallel):
+            assert s["telemetry"].to_dict() == p["telemetry"].to_dict()
+            assert [t.to_dict() for t in s["traces"]] == \
+                [t.to_dict() for t in p["traces"]]
+
+    def test_merge_across_points(self):
+        specs = expand_loads(telemetry_point(), [0.1, 0.2], base_seed=3)
+        results = measure_load_points(specs, workers=1)
+        merged = MetricsSummary.merge(r["telemetry"] for r in results)
+        assert merged.runs == 2
+        assert merged.packets_delivered == sum(
+            r["telemetry"].packets_delivered for r in results)

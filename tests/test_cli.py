@@ -444,3 +444,113 @@ class TestSweepEnergyColumn:
                      "--cycles", "100"])
         assert code == 0
         assert "pJ/flit" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_hotspot_attribution_names_adjacent_links(self, capsys):
+        """The acceptance bar: a corner-hotspot run's top-k links are
+        the hotspot-adjacent ones."""
+        code = main(["metrics", "--topology", "mesh", "--ports", "16",
+                     "--traffic", "hotspot", "--hotspots", "15",
+                     "--load", "0.3", "--cycles", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top 5 links by utilization" in out
+        top_block = out.split("links by utilization:")[1] \
+                       .split("routers by congestion")[0]
+        assert "m15.ej" in top_block
+        assert "m11>m15" in top_block or "m14>m15" in top_block
+
+    def test_report_has_latency_percentiles(self, capsys):
+        code = main(["metrics", "--topology", "ring", "--ports", "10",
+                     "--load", "0.1", "--cycles", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50=" in out
+        assert "p99=" in out
+        assert "offered" in out
+
+    def test_jsonl_export(self, capsys, tmp_path):
+        import json as _json
+        path = tmp_path / "metrics.jsonl"
+        code = main(["metrics", "--topology", "mesh", "--ports", "16",
+                     "--load", "0.1", "--cycles", "60",
+                     "--metrics", str(path)])
+        assert code == 0
+        records = [_json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["load"] == 0.1
+        assert records[0]["telemetry"]["packets_delivered"] > 0
+        assert "metrics written to" in capsys.readouterr().out
+
+    def test_tree_topology_supported(self, capsys):
+        code = main(["metrics", "--topology", "tree", "--ports", "16",
+                     "--load", "0.1", "--cycles", "60"])
+        assert code == 0
+        assert "links by utilization" in capsys.readouterr().out
+
+    def test_bad_knob_is_a_clean_error(self, capsys):
+        code = main(["metrics", "--ports", "16", "--hotspots", "3"])
+        assert code == 2
+        assert "--traffic hotspot" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_prints_hop_decomposition(self, capsys):
+        code = main(["trace", "--topology", "torus", "--ports", "16",
+                     "--load", "0.2", "--cycles", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 in 16 packets sampled" in out
+        assert "grant t=" in out
+        assert "queued" in out
+        assert "transit" in out
+
+    def test_max_packets_caps_output(self, capsys):
+        code = main(["trace", "--topology", "mesh", "--ports", "16",
+                     "--load", "0.3", "--cycles", "200",
+                     "--sample-period", "4", "--max-packets", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("packet ") == 2
+        assert "more sampled packets" in out
+
+    def test_vc_flow_control(self, capsys):
+        code = main(["trace", "--topology", "torus", "--ports", "16",
+                     "--flow-control", "vc", "--load", "0.1",
+                     "--cycles", "60", "--max-packets", "1"])
+        assert code == 0
+        assert "vc" in capsys.readouterr().out
+
+
+class TestSweepMetricsExport:
+    def test_grid_export_one_record_per_load(self, capsys, tmp_path):
+        import json as _json
+        path = tmp_path / "sweep.jsonl"
+        code = main(["sweep", "--topology", "mesh", "--ports", "16",
+                     "--loads", "0.05,0.1", "--cycles", "60",
+                     "--metrics", str(path)])
+        assert code == 0
+        records = [_json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["load"] for r in records] == [0.05, 0.1]
+        for record in records:
+            assert "telemetry" in record
+            assert record["offered"] > 0
+        assert "hottest links across the run" in capsys.readouterr().out
+
+    def test_bisect_export(self, capsys, tmp_path):
+        path = tmp_path / "bisect.jsonl"
+        code = main(["sweep", "--ports", "16", "--loads", "0.05,0.85",
+                     "--search", "bisect", "--budget", "4",
+                     "--cycles", "80", "--metrics", str(path)])
+        assert code == 0
+        assert path.read_text().count("\n") >= 2
+        assert "metrics written to" in capsys.readouterr().out
+
+    def test_sweep_without_flag_writes_nothing(self, capsys, tmp_path):
+        code = main(["sweep", "--topology", "mesh", "--ports", "16",
+                     "--loads", "0.05", "--cycles", "60"])
+        assert code == 0
+        assert "metrics written" not in capsys.readouterr().out
