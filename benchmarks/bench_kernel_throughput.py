@@ -40,6 +40,18 @@ The microbench behind the kernel's performance contract, in three parts:
   survives, the serialized metrics/trace JSON is byte-identical
   between kernel modes, and the observed workload itself is
   unperturbed (identical to the bare ``vc`` scenario).
+* **array_bursty** — the vectorized execution backend
+  (``backend="array"``, ``repro.fabric.array_backend``) against
+  per-component dispatch on the workload dispatch is *worst* at: a
+  32x32 wormhole torus replaying saturating DMA storms (every node
+  injects multi-flit packets) separated by quiet drain phases. The
+  busy fabric is where Python dispatch and per-signal commits are the
+  wall; the array backend must be bit-identical and ≥ 5x faster.
+* **array_vc** — the same backend comparison on a 32x32 dateline-VC
+  torus under sustained hotspot traffic (a fraction of every storm
+  converges on two hot nodes, the rest is uniform random), exercising
+  the vectorized two-stage VC/switch allocator; same bit-identity,
+  ≥ 3x gate.
 
 Each variant must be bit-identical between the two modes: same
 deliveries, same latencies, same clock-gating edge counts, same traces.
@@ -51,8 +63,12 @@ regression fails even while it still clears the 2x floor. Run as a
 script to append the current measurement:
 
     PYTHONPATH=src python benchmarks/bench_kernel_throughput.py
+
+or with ``--profile SCENARIO`` to print the cProfile top-20 (cumulative)
+for one scenario instead — the starting point for hot-loop work.
 """
 
+import argparse
 import dataclasses
 import json
 import os
@@ -60,6 +76,8 @@ import subprocess
 import tempfile
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.analysis.sweeps import (
     measure_offered_vs_accepted,
@@ -92,6 +110,18 @@ VC_SAT_FRACTION = 0.15
 VC_SAT_LOADS = (0.30, 0.35)
 VC_SAT_CYCLES = 300
 VC_SAT_SEED = 11
+#: The array-backend scenarios: a 32x32 torus large enough that the
+#: busy-fabric inner loops, not the scaffolding, dominate both sides.
+ARRAY_PORTS = 1024
+ARRAY_STORMS = 2
+ARRAY_BURSTY_REPS = 3
+ARRAY_BURSTY_SEED = 3
+ARRAY_VC_REPS = 4
+ARRAY_VC_SEED = 9
+#: Every ``ARRAY_HOTSPOT_STRIDE``-th source sends its storm packet to
+#: one of the hot nodes instead of its uniform-random destination.
+ARRAY_HOTSPOTS = (0, 527)
+ARRAY_HOTSPOT_STRIDE = 8
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
 #: The measured speedup may not fall below this fraction of the latest
@@ -296,6 +326,93 @@ def run_traced_workload(activity_driven: bool, ticks: int = VC_TICKS) -> dict:
     }
 
 
+def _array_storm_run(net, schedule_storm) -> dict:
+    """Replay saturating storms separated by drained quiet phases.
+
+    ``schedule_storm(net, storm)`` submits one storm's packets; the
+    run then drains the fabric and idles 2000 ticks before the next
+    storm. Wall time covers the whole replay, so the ticks/s figure
+    reflects the busy fabric the array backend exists for."""
+    scheduled = 0
+    start = time.perf_counter()
+    for storm in range(ARRAY_STORMS):
+        scheduled += schedule_storm(net, storm)
+        if not net.drain(2_000_000):
+            raise RuntimeError("array scenario failed to drain")
+        net.run_ticks(2_000)
+    elapsed = time.perf_counter() - start
+    ticks = net.kernel.tick
+    gating = net.gating_stats()
+    return {
+        "elapsed_s": elapsed,
+        "ticks_per_s": ticks / elapsed if elapsed > 0 else float("inf"),
+        "delivered": net.stats.packets_delivered,
+        "scheduled": scheduled,
+        "latencies": list(net.stats.latencies_cycles),
+        "gating_edges_total": gating.edges_total,
+        "gating_edges_enabled": gating.edges_enabled,
+        "steps_executed": net.kernel.steps_executed,
+    }
+
+
+def run_array_bursty_workload(backend: str) -> dict:
+    """Saturating wormhole DMA storms on a 32x32 torus.
+
+    Every node injects ``ARRAY_BURSTY_REPS`` multi-flit packets to
+    uniform-random destinations per storm — the genuinely busy fabric
+    where per-component dispatch is the wall. ``backend`` selects the
+    execution engine; everything else is identical, and the results
+    must be too."""
+    net = FabricConfig(topology="torus", ports=ARRAY_PORTS,
+                       backend=backend).build()
+    rng = np.random.default_rng(ARRAY_BURSTY_SEED)
+
+    def schedule_storm(net, storm):
+        scheduled = 0
+        for _ in range(ARRAY_BURSTY_REPS):
+            offs = rng.integers(1, ARRAY_PORTS, size=ARRAY_PORTS)
+            for src in range(ARRAY_PORTS):
+                net.send(Packet(src=src,
+                                dest=int((src + offs[src]) % ARRAY_PORTS),
+                                payload=list(range(3))))
+                scheduled += 1
+        return scheduled
+
+    return _array_storm_run(net, schedule_storm)
+
+
+def run_array_vc_workload(backend: str) -> dict:
+    """Sustained hotspot storms on a 32x32 dateline-VC torus.
+
+    Each storm mixes uniform-random traffic with a hotspot fraction
+    (every ``ARRAY_HOTSPOT_STRIDE``-th source targets one of the
+    ``ARRAY_HOTSPOTS``), keeping the congestion trees live through the
+    drain — the two-stage VC/switch allocator under pressure."""
+    net = FabricConfig(topology="torus", ports=ARRAY_PORTS,
+                       flow_control="vc", n_vcs=2,
+                       backend=backend).build()
+    rng = np.random.default_rng(ARRAY_VC_SEED)
+
+    def schedule_storm(net, storm):
+        scheduled = 0
+        for _ in range(ARRAY_VC_REPS):
+            offs = rng.integers(1, ARRAY_PORTS, size=ARRAY_PORTS)
+            for src in range(ARRAY_PORTS):
+                if src % ARRAY_HOTSPOT_STRIDE == 1:
+                    dest = ARRAY_HOTSPOTS[
+                        (src // ARRAY_HOTSPOT_STRIDE) % len(ARRAY_HOTSPOTS)]
+                    if dest == src:
+                        continue
+                else:
+                    dest = int((src + offs[src]) % ARRAY_PORTS)
+                net.send(Packet(src=src, dest=dest,
+                                payload=list(range(4))))
+                scheduled += 1
+        return scheduled
+
+    return _array_storm_run(net, schedule_storm)
+
+
 def _hotspot_knee(config: FabricConfig) -> float:
     """Highest VC_SAT_LOADS entry that kept up (the shared floor rule)."""
     pairs = (
@@ -377,6 +494,10 @@ def measure() -> dict:
     vc_naive = run_vc_workload(activity_driven=False)
     traced_fast = run_traced_workload(activity_driven=True)
     traced_naive = run_traced_workload(activity_driven=False)
+    array_bursty_arr = run_array_bursty_workload("array")
+    array_bursty_disp = run_array_bursty_workload("dispatch")
+    array_vc_arr = run_array_vc_workload("array")
+    array_vc_disp = run_array_vc_workload("dispatch")
     vc_routing = run_vc_adaptive_comparison()
     return {
         "leaves": LEAVES,
@@ -410,6 +531,20 @@ def measure() -> dict:
         "traced_naive_ticks_per_s": round(traced_naive["ticks_per_s"]),
         "traced_speedup": round(
             traced_fast["ticks_per_s"] / traced_naive["ticks_per_s"], 1),
+        "array_bursty_array_ticks_per_s": round(
+            array_bursty_arr["ticks_per_s"]),
+        "array_bursty_dispatch_ticks_per_s": round(
+            array_bursty_disp["ticks_per_s"]),
+        "array_bursty_speedup": round(
+            array_bursty_arr["ticks_per_s"]
+            / array_bursty_disp["ticks_per_s"], 1),
+        "array_vc_array_ticks_per_s": round(
+            array_vc_arr["ticks_per_s"]),
+        "array_vc_dispatch_ticks_per_s": round(
+            array_vc_disp["ticks_per_s"]),
+        "array_vc_speedup": round(
+            array_vc_arr["ticks_per_s"]
+            / array_vc_disp["ticks_per_s"], 1),
         "vc_deterministic_xy_saturation":
             vc_routing["deterministic_xy_saturation"],
         "vc_escape_adaptive_saturation":
@@ -428,6 +563,10 @@ def measure() -> dict:
         "_vc_naive": vc_naive,
         "_traced_fast": traced_fast,
         "_traced_naive": traced_naive,
+        "_array_bursty_array": array_bursty_arr,
+        "_array_bursty_dispatch": array_bursty_disp,
+        "_array_vc_array": array_vc_arr,
+        "_array_vc_dispatch": array_vc_disp,
     }
 
 
@@ -446,7 +585,10 @@ def test_kernel_throughput(benchmark, log):
                                 ("_bursty_fast", "_bursty_naive"),
                                 ("_pipelined_fast", "_pipelined_naive"),
                                 ("_vc_fast", "_vc_naive"),
-                                ("_traced_fast", "_traced_naive")):
+                                ("_traced_fast", "_traced_naive"),
+                                ("_array_bursty_array",
+                                 "_array_bursty_dispatch"),
+                                ("_array_vc_array", "_array_vc_dispatch")):
         fast, naive = results[fast_key], results[naive_key]
         for key in EQUIVALENCE_KEYS:
             assert fast[key] == naive[key], (fast_key, key)
@@ -480,6 +622,12 @@ def test_kernel_throughput(benchmark, log):
     assert results["vc_speedup"] >= 2.0, results
     assert results["traced_speedup"] >= 2.0, results
 
+    # The array backend's contract: same results, much faster where the
+    # fabric is genuinely busy — ≥ 5x on the wormhole storm scenario
+    # and ≥ 3x on the VC hotspot scenario, vs activity-driven dispatch.
+    assert results["array_bursty_speedup"] >= 5.0, results
+    assert results["array_vc_speedup"] >= 3.0, results
+
     # The flow-control comparison of the VC scenario: the escape-VC
     # stack (adaptive routing + per-VC buffering) must strictly beat
     # the plain wormhole deterministic-XY baseline on the corner
@@ -495,7 +643,8 @@ def test_kernel_throughput(benchmark, log):
         latest = history[-1]
         for key in ("speedup", "instrumented_speedup", "mesh_speedup",
                     "bursty_speedup", "pipelined_speedup", "vc_speedup",
-                    "traced_speedup"):
+                    "traced_speedup", "array_bursty_speedup",
+                    "array_vc_speedup"):
             baseline = latest.get(key)
             if baseline:
                 assert results[key] >= REGRESSION_FACTOR * baseline, (
@@ -508,7 +657,47 @@ def test_kernel_throughput(benchmark, log):
                       if not k.startswith("_")}, indent=2))
 
 
+#: Scenario callables for ``--profile`` (each runs its fast variant).
+PROFILE_SCENARIOS = {
+    "bare": lambda: run_workload(activity_driven=True),
+    "instrumented": lambda: run_workload(activity_driven=True,
+                                         instrumented=True),
+    "mesh": lambda: run_mesh_workload(activity_driven=True),
+    "bursty": lambda: run_bursty_workload(activity_driven=True),
+    "pipelined": lambda: run_pipelined_workload(activity_driven=True),
+    "vc": lambda: run_vc_workload(activity_driven=True),
+    "traced": lambda: run_traced_workload(activity_driven=True),
+    "array_bursty": lambda: run_array_bursty_workload("array"),
+    "array_vc": lambda: run_array_vc_workload("array"),
+}
+
+
+def profile_scenario(name: str) -> None:
+    """Run one scenario under cProfile; print the top 20 by cumulative
+    time — the data future hot-loop work should start from."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    PROFILE_SCENARIOS[name]()
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="kernel throughput bench: append a history entry, "
+                    "or profile one scenario")
+    parser.add_argument("--profile", metavar="SCENARIO",
+                        choices=sorted(PROFILE_SCENARIOS),
+                        help="print cProfile top-20 cumulative for one "
+                             "scenario instead of benchmarking "
+                             f"(one of: {', '.join(sorted(PROFILE_SCENARIOS))})")
+    opts = parser.parse_args()
+    if opts.profile:
+        profile_scenario(opts.profile)
+        return
     results = measure()
     entry = {k: v for k, v in results.items() if not k.startswith("_")}
     entry["sha"] = _git_sha()

@@ -5,17 +5,29 @@ many independent simulation points; this module fans them out over worker
 processes. The building blocks:
 
 * :func:`parallel_map` — ordered map over picklable items with a
-  ``ProcessPoolExecutor``, falling back to the serial loop whenever the
-  work cannot be shipped to workers (closures, broken pools, ``workers``
-  <= 1), so callers never need two code paths;
+  ``ProcessPoolExecutor``, submitting in chunks (``chunksize``) so large
+  campaigns don't pay one IPC round-trip per point, and falling back to
+  the serial loop whenever the work cannot be shipped to workers
+  (closures, broken pools, ``workers`` <= 1), so callers never need two
+  code paths;
 * :class:`LoadPoint` — a picklable spec of one offered-load measurement
-  (network config + traffic pattern by name + load/cycles/seed), evaluated
-  by the module-level :func:`evaluate_load_point`;
+  (network config + traffic pattern by name + load/cycles/seed + the
+  execution ``backend``), evaluated by the module-level
+  :func:`evaluate_load_point`;
 * :func:`point_seed` — deterministic per-point seeds, identical no matter
   how points are distributed over processes;
 * :func:`bisect_saturation_throughput` — a parallel bisection over the
   saturation knee: the fixed grid's simulation budget, spent adaptively
-  for a tighter saturation estimate.
+  for a tighter saturation estimate;
+* :func:`spec_hash` / checkpointing — ``measure_load_points(...,
+  checkpoint=path)`` appends every finished point to a JSONL file keyed
+  by its spec hash; a restarted sweep skips the recorded points and
+  returns results identical to the uninterrupted run.
+
+Workers ship back *compact* result records (a value tuple in fixed field
+order plus an extras dict only when non-empty) instead of one pickled
+dict per point; the parent expands them, so callers always see plain
+metric dicts.
 
 Parallel and serial runs of the same specs return identical results: every
 point builds its own network and derives its RNG from the spec alone.
@@ -23,11 +35,14 @@ point builds its own network and derives its RNG from the spec alone.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -41,6 +56,7 @@ from repro.errors import ConfigurationError
 from repro.fabric.registry import FabricConfig
 from repro.mesh.network import MeshConfig, MeshNetwork
 from repro.noc.network import ICNoCNetwork, NetworkConfig
+from repro.telemetry.metrics import MetricsSummary
 from repro.traffic.base import TrafficGenerator
 from repro.traffic.patterns import (
     HotspotTraffic,
@@ -72,7 +88,8 @@ def _picklable(*objects: Any) -> bool:
 
 
 def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
-                 workers: int | None = None) -> list[Any]:
+                 workers: int | None = None,
+                 chunksize: int | None = None) -> list[Any]:
     """``[fn(item) for item in items]``, fanned out over processes.
 
     Results keep item order. Runs serially when ``workers`` is None or
@@ -82,13 +99,24 @@ def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
     probe pickles only ``fn`` and the first item (sweep items are
     homogeneous specs); a later unpicklable item is caught by the
     fallback instead.
+
+    ``chunksize`` controls how many items each worker task carries
+    (``pool.map``'s submission granularity): large campaigns pay one IPC
+    round-trip per chunk, not per point. Defaults to
+    ``max(1, len(items) // (4 * workers))`` — about four chunks per
+    worker, small enough that a slow chunk cannot straggle the pool.
     """
+    if chunksize is not None and chunksize < 1:
+        raise ConfigurationError("chunksize must be >= 1")
     n_workers = 1 if workers is None else workers
     if n_workers <= 1 or len(items) <= 1 or not _picklable(fn, items[0]):
         return [fn(item) for item in items]
+    n_workers = min(n_workers, len(items))
+    if chunksize is None:
+        chunksize = max(1, len(items) // (4 * n_workers))
     try:
-        with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
-            return list(pool.map(fn, items))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
     except (BrokenProcessPool, OSError, pickle.PicklingError,
             TypeError, AttributeError):
         # Pickling failures surface as PicklingError, TypeError, or
@@ -133,6 +161,9 @@ class LoadPoint:
     telemetry: bool = False
     #: Trace every Nth packet; the result gains ``"traces"``.
     trace_sample_period: int | None = None
+    #: Execution backend override for credit fabrics ("dispatch",
+    #: "array", "auto"). None keeps whatever the network config says.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.pattern not in PATTERN_NAMES:
@@ -145,8 +176,35 @@ class LoadPoint:
         # (the CLI turns this into a clean error), not as a traceback
         # mid-sweep. Building and discarding the generator single-sources
         # the rules (hotspot range/fraction, transpose port shape, load
-        # bounds) from the traffic constructors.
+        # bounds) from the traffic constructors. The backend resolution
+        # fails fast for the same reason (unknown backend name, array
+        # lowering on a config that has none, tree facades).
         self.build_generator()
+        self._network_with_backend()
+
+    def _network_with_backend(self, backend: str | None = None):
+        """The network config with the backend override applied.
+
+        ``backend`` (call-site override) wins over ``self.backend``; when
+        both are None the config is returned untouched. Tree facades
+        (:class:`NetworkConfig`) accept only an explicit ``"dispatch"``
+        — the handshake tree has no array lowering, and unlike
+        ``backend="auto"`` on a registry fabric there is no credit-fabric
+        config here to fall back to, so anything else is a loud error.
+        """
+        backend = self.backend if backend is None else backend
+        if backend is None:
+            return self.network
+        if isinstance(self.network, (FabricConfig, MeshConfig)):
+            # replace() re-runs the config's own validation, which names
+            # the unsupported-lowering limitation for backend="array".
+            return replace(self.network, backend=backend)
+        if backend == "dispatch":
+            return self.network
+        raise ConfigurationError(
+            f"backend={backend!r} needs a credit fabric (FabricConfig or "
+            f"MeshConfig); the handshake tree facade has no array lowering"
+        )
 
     @property
     def ports(self) -> int:
@@ -156,12 +214,13 @@ class LoadPoint:
             return self.network.cols * self.network.rows
         return self.network.leaves
 
-    def build_network(self):
-        if isinstance(self.network, FabricConfig):
-            return self.network.build()
-        if isinstance(self.network, MeshConfig):
-            return MeshNetwork(self.network)
-        return ICNoCNetwork(self.network)
+    def build_network(self, backend: str | None = None):
+        network = self._network_with_backend(backend)
+        if isinstance(network, FabricConfig):
+            return network.build()
+        if isinstance(network, MeshConfig):
+            return MeshNetwork(network)
+        return ICNoCNetwork(network)
 
     def build_generator(self, load: float | None = None) -> TrafficGenerator:
         load = self.load if load is None else load
@@ -188,7 +247,46 @@ def evaluate_load_point(spec: LoadPoint) -> dict[str, Any]:
         cycles=spec.cycles, seed=spec.seed,
         telemetry=spec.telemetry,
         trace_sample_period=spec.trace_sample_period,
+        backend=spec.backend,
     )
+
+
+# -- compact worker records -----------------------------------------------
+
+#: Fixed field order for compact per-point records. The scalar metrics
+#: every point produces come back as a bare value tuple; only optional
+#: payloads (energy on physically-modelled fabrics, telemetry, traces)
+#: ride in the extras dict, and only when present.
+COMPACT_FIELDS = ("offered", "accepted_in_window", "mean_latency_cycles",
+                  "drained")
+
+
+def evaluate_load_point_compact(
+        spec: LoadPoint) -> tuple[tuple[float, ...], dict[str, Any] | None]:
+    """:func:`evaluate_load_point`, shipped back as a compact record.
+
+    Workers return ``(values, extras)`` — the :data:`COMPACT_FIELDS`
+    scalars as a tuple plus an extras dict only when the point carried
+    optional payloads — instead of one pickled dict per point, so a
+    10k-point campaign does not serialise 10k copies of the same keys.
+    The parent expands with :func:`expand_compact_record`.
+    """
+    metrics = evaluate_load_point(spec)
+    values = tuple(metrics[key] for key in COMPACT_FIELDS)
+    extras = {key: value for key, value in metrics.items()
+              if key not in COMPACT_FIELDS}
+    return values, extras or None
+
+
+def expand_compact_record(
+        record: tuple[tuple[float, ...], dict[str, Any] | None],
+) -> dict[str, Any]:
+    """Rebuild the plain metrics dict from a compact worker record."""
+    values, extras = record
+    metrics = dict(zip(COMPACT_FIELDS, values))
+    if extras:
+        metrics.update(extras)
+    return metrics
 
 
 def expand_loads(template: LoadPoint, loads: Sequence[float],
@@ -205,15 +303,120 @@ def expand_loads(template: LoadPoint, loads: Sequence[float],
 
 
 def measure_load_points(specs: Sequence[LoadPoint],
-                        workers: int | None = None) -> list[dict[str, float]]:
-    """Evaluate many load points, optionally in parallel, in spec order."""
-    return parallel_map(evaluate_load_point, specs, workers)
+                        workers: int | None = None,
+                        chunksize: int | None = None,
+                        checkpoint: str | Path | None = None,
+                        ) -> list[dict[str, float]]:
+    """Evaluate many load points, optionally in parallel, in spec order.
+
+    With ``checkpoint``, every finished point is appended to that JSONL
+    file keyed by :func:`spec_hash`; rerunning the same sweep against the
+    same file skips the recorded points and returns the merged results —
+    identical to an uninterrupted run, because equal specs measure
+    identically in any process.
+    """
+    if checkpoint is not None:
+        return checkpointed_load_points(specs, checkpoint, workers, chunksize)
+    records = parallel_map(evaluate_load_point_compact, specs, workers,
+                           chunksize)
+    return [expand_compact_record(record) for record in records]
+
+
+# -- checkpoint/resume ----------------------------------------------------
+
+
+def spec_hash(spec: LoadPoint) -> str:
+    """Stable content hash identifying a sweep point across runs.
+
+    SHA-1 of the spec's canonical JSON (sorted keys, nested configs
+    flattened by ``dataclasses.asdict``, the network class name included
+    so equal-fielded config types cannot collide). Equal specs hash
+    equally in every process and session; any field change rehashes.
+    """
+    payload = asdict(spec)
+    payload["network_type"] = type(spec.network).__name__
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()
+
+
+def _result_to_json(metrics: dict[str, Any]) -> dict[str, Any]:
+    record = dict(metrics)
+    if "telemetry" in record:
+        record["telemetry"] = record["telemetry"].to_dict()
+    return record
+
+
+def _result_from_json(record: dict[str, Any]) -> dict[str, Any]:
+    metrics = dict(record)
+    if "telemetry" in metrics:
+        metrics["telemetry"] = MetricsSummary.from_dict(metrics["telemetry"])
+    return metrics
+
+
+def checkpointed_load_points(specs: Sequence[LoadPoint],
+                             checkpoint: str | Path,
+                             workers: int | None = None,
+                             chunksize: int | None = None,
+                             ) -> list[dict[str, float]]:
+    """:func:`measure_load_points` with crash-resumable progress.
+
+    Finished points are appended to ``checkpoint`` (JSONL, one
+    ``{"spec": hash, "load": ..., "result": ...}`` line each) batch by
+    batch as they complete; a restarted sweep reads the file, skips every
+    recorded hash, measures only the remainder, and returns results in
+    spec order — byte-identical to the uninterrupted run. Duplicate specs
+    are fine: they hash equally and deterministically measure equally, so
+    one recorded result serves all copies. Packet traces cannot ride
+    along (:class:`PacketTrace` records do not round-trip through JSON),
+    so tracing specs are rejected loudly up front.
+    """
+    for spec in specs:
+        if spec.trace_sample_period is not None:
+            raise ConfigurationError(
+                "checkpointed sweeps cannot carry packet traces "
+                "(trace records do not round-trip through the JSONL "
+                "checkpoint); drop the checkpoint or the trace sampling"
+            )
+    path = Path(checkpoint)
+    done: dict[str, dict[str, Any]] = {}
+    if path.exists():
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                done[record["spec"]] = _result_from_json(record["result"])
+    hashes = [spec_hash(spec) for spec in specs]
+    pending = [(digest, spec) for digest, spec in zip(hashes, specs)
+               if digest not in done]
+    # Checkpoint granularity: one batch per worker round, so a killed
+    # sweep loses at most the in-flight round. Serial runs flush every
+    # point.
+    batch = max(1, workers or 1) * (chunksize or 1)
+    with open(path, "a", encoding="utf-8") as handle:
+        for start in range(0, len(pending), batch):
+            round_items = pending[start:start + batch]
+            records = parallel_map(evaluate_load_point_compact,
+                                   [spec for _, spec in round_items],
+                                   workers, chunksize)
+            for (digest, spec), record in zip(round_items, records):
+                metrics = expand_compact_record(record)
+                if digest not in done:
+                    handle.write(json.dumps(
+                        {"spec": digest, "load": spec.load,
+                         "result": _result_to_json(metrics)},
+                        sort_keys=True) + "\n")
+                    handle.flush()
+                done[digest] = metrics
+    return [done[digest] for digest in hashes]
 
 
 def parallel_saturation_throughput(template: LoadPoint,
                                    loads: Sequence[float] | None = None,
                                    efficiency_floor: float = 0.9,
-                                   workers: int | None = None) -> float:
+                                   workers: int | None = None,
+                                   chunksize: int | None = None) -> float:
     """The saturation search over picklable specs.
 
     Evaluates every candidate load (concurrently with ``workers`` > 1) and
@@ -228,7 +431,7 @@ def parallel_saturation_throughput(template: LoadPoint,
         # Lazy pairs: the serial walk stops measuring at saturation.
         pairs = ((spec.load, evaluate_load_point(spec)) for spec in specs)
     else:
-        pairs = zip(loads, measure_load_points(specs, workers))
+        pairs = zip(loads, measure_load_points(specs, workers, chunksize))
     return scan_saturation_curve(pairs, efficiency_floor)
 
 
@@ -350,6 +553,7 @@ def bisect_saturation_throughput(template: LoadPoint,
                                  points_per_round: int = 3,
                                  workers: int | None = None,
                                  placement: str = "adaptive",
+                                 chunksize: int | None = None,
                                  ) -> SaturationSearch:
     """Parallel bisection over the saturation knee.
 
@@ -406,7 +610,7 @@ def bisect_saturation_throughput(template: LoadPoint,
                                  seed=point_seed(template.seed,
                                                  next_index + offset)))
         next_index += len(loads)
-        results = measure_load_points(specs, workers)
+        results = measure_load_points(specs, workers, chunksize)
         evaluated.extend(zip(loads, results))
         return results
 

@@ -10,7 +10,11 @@ Commands:
   fixed grid or a parallel bisection of the saturation knee, over any
   registered fabric (``--topology tree|mesh|torus|ring|ctree``), with
   per-run energy (pJ/flit, mean mW) alongside throughput and latency,
-  and per-point telemetry as JSONL via ``--metrics out.jsonl``;
+  per-point telemetry as JSONL via ``--metrics out.jsonl``, the
+  vectorized execution backend via ``--backend array``, chunked worker
+  submission via ``--chunksize``, and crash-resumable campaigns via
+  ``--checkpoint out.jsonl`` (finished points are appended and skipped
+  on rerun, keyed by spec hash);
 * ``metrics``   — run one load point with the metrics registry attached
   and print the congestion attribution (top-k links/routers, latency
   percentiles); ``--metrics out.jsonl`` exports the summary;
@@ -90,6 +94,17 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                              "exceeds --segment-mm (the tree always does)")
 
 
+def _add_backend_option(parser: argparse.ArgumentParser,
+                        default: str | None = "dispatch") -> None:
+    parser.add_argument("--backend", choices=("dispatch", "array", "auto"),
+                        default=default,
+                        help="execution backend for credit fabrics: "
+                             "dispatch (per-router events), array "
+                             "(vectorized whole-fabric kernel, loud error "
+                             "when the config has no lowering), auto "
+                             "(array when supported, else dispatch)")
+
+
 def _add_traffic_options(parser: argparse.ArgumentParser) -> None:
     """The workload knobs shared by sweep/metrics/trace."""
     parser.add_argument("--traffic", "--pattern", dest="pattern",
@@ -137,6 +152,7 @@ def _fabric_config_from(args: argparse.Namespace) -> FabricConfig:
         max_segment_mm=args.segment_mm,
         pipeline_depth=getattr(args, "pipeline_depth", 1),
         segment_links=getattr(args, "segment_links", False),
+        backend=getattr(args, "backend", "dispatch"),
     )
 
 
@@ -149,6 +165,10 @@ def cmd_info(args: argparse.Namespace) -> int:
                   "credit fabrics; the tree's routers are a fixed "
                   "handshake pipeline and its links are always segmented "
                   "at --segment-mm", file=sys.stderr)
+            return 2
+        if args.backend != "dispatch":
+            print("error: --backend only applies to credit fabrics; the "
+                  "handshake tree has no array lowering", file=sys.stderr)
             return 2
         noc = ICNoC(_config_from(args))
         print(noc.describe())
@@ -299,6 +319,7 @@ def _traffic_template(args: argparse.Namespace, load: float,
                           else args.hotspot_fraction),
         telemetry=telemetry,
         trace_sample_period=trace_sample_period,
+        backend=getattr(args, "backend", None),
     )
 
 
@@ -357,11 +378,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print("error: --search bisect needs at least two --loads "
                   "values (the bracket)", file=sys.stderr)
             return 2
+        if args.checkpoint is not None:
+            # Bisection picks each round's loads from the previous
+            # round's measurements; skip-by-hash resume only makes sense
+            # for a predetermined grid.
+            print("error: --checkpoint only applies with --search grid",
+                  file=sys.stderr)
+            return 2
         search = bisect_saturation_throughput(
             template, lo=min(loads), hi=max(loads),
             budget=max(len(loads), args.budget),
             workers=args.workers,
             placement=args.placement or "adaptive",
+            chunksize=args.chunksize,
         )
         rows = [[round(load, 4),
                  round(m["offered"], 4),
@@ -389,7 +418,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             _export_metrics(args.metrics, list(search.evaluated))
         return 0 if all(m["drained"] for _, m in search.evaluated) else 1
     specs = expand_loads(template, loads, base_seed=args.seed)
-    results = measure_load_points(specs, workers=args.workers)
+    try:
+        results = measure_load_points(specs, workers=args.workers,
+                                      chunksize=args.chunksize,
+                                      checkpoint=args.checkpoint)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     rows = [[spec.load,
              round(m["offered"], 4),
              round(m["accepted_in_window"], 4),
@@ -464,6 +499,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             concentration=args.concentration, chip_mm=args.chip_mm,
             pipeline_depth=args.pipeline_depth,
             segment_mm=args.segment_mm,
+            backend=args.backend,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -535,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="describe a network instance")
     _add_network_options(p_info, topologies=sweep_topologies())
     _add_pipeline_options(p_info)
+    _add_backend_option(p_info)
     p_info.set_defaults(func=cmd_info)
 
     p_val = sub.add_parser("validate", help="run the timing checks")
@@ -563,10 +600,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_options(p_sw, topologies=sweep_topologies())
     _add_pipeline_options(p_sw)
     _add_traffic_options(p_sw)
+    # None = keep the network config's own backend (dispatch unless the
+    # spec says otherwise); tree aliases accept only an explicit dispatch.
+    _add_backend_option(p_sw, default=None)
     p_sw.add_argument("--loads", default="0.05,0.10,0.20,0.40",
                       help="comma-separated offered loads")
     p_sw.add_argument("--workers", type=int, default=1,
                       help="worker processes (1 = serial)")
+    p_sw.add_argument("--chunksize", type=int, default=None,
+                      help="sweep points per worker task (default: about "
+                           "four chunks per worker)")
+    p_sw.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="append finished points to PATH (JSONL, keyed "
+                           "by spec hash); a rerun skips the recorded "
+                           "points and merges identical results "
+                           "(--search grid only)")
     p_sw.add_argument("--metrics", default=None, metavar="PATH",
                       help="attach the telemetry registry to every point "
                            "and export per-point MetricsSummary records "
@@ -649,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "length in mm (default: credit-fabric links "
                             "unsegmented; the tree rows always segment, "
                             "at 1.25 mm unless set)")
+    _add_backend_option(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_top = sub.add_parser("topologies", help="list the fabric registry")

@@ -1,0 +1,1080 @@
+"""Vectorized array execution backend for the credit fabrics.
+
+``backend="array"`` lowers a built :class:`~repro.fabric.network
+.CreditFabricNetwork` into struct-of-arrays numpy state — per-(router,
+port[, vc]) FIFO occupancy rings of interned flit ids, head caches,
+credit counters, wormhole locks / VC allocations, round-robin pointers —
+and executes the whole fabric's commit + arbitrate + credit-return inner
+loop as whole-network array operations, one step per clock edge. The
+routers and endpoints are still built with their full state and wiring
+(``register=False`` keeps them off the kernel schedule); one engine
+component replaces them all.
+
+**Equivalence is the contract.** Every observable the dispatch backend
+produces is reproduced exactly:
+
+* delivered packets, delivery order, latencies, hop counts, and
+  per-router statistics (``flits_forwarded``, arbiter grant counts,
+  FIFO/credit/lock state — written back by :meth:`sync_back`);
+* ``kernel.tick`` — the engine is an ordinary registered component, so
+  runs advance the clock identically and drains stop on the same tick;
+* gating statistics — ``enabled`` edges are accumulated per router with
+  the same definition (grant | arrival | VC allocation), totals use the
+  same closed-form idle backfill as
+  :class:`~repro.sim.component.GatedComponentMixin`;
+* kernel events — with a subscriber attached, ``arbitration_grant``,
+  ``credit_exhausted``, ``vc_allocated``, ``lock_acquire``,
+  ``lock_release``, ``flit`` and ``packet`` fire edge-triggered in the
+  dispatch backend's exact global order (routers node-ascending, then
+  sinks node-ascending, each in its internal phase order);
+* signal probes — when any flit wire carries a probe, the engine enters
+  *write-through* mode and drives the real link wires alongside its
+  arrays, so :mod:`repro.telemetry` sees identical commits. Probed
+  credit wires have no cheap write-through and raise
+  :class:`~repro.errors.ConfigurationError` — loud, never silently
+  wrong.
+
+Links between routers are modelled as double-buffered id arrays: a value
+produced at step ``t`` is consumed at step ``t + 2`` — exactly
+:data:`~repro.fabric.link.LINK_LATENCY_TICKS` — so flit timing is
+bit-identical to the tick-tagged wires.
+
+When nothing is observed the engine implements
+:class:`~repro.sim.batch.BatchComponent` and consumes whole tick windows
+from :meth:`SimKernel.run_ticks` without per-tick kernel dispatch; with
+subscribers or probes attached it declines the batch and steps tick by
+tick so event and probe timing stay exact.
+
+Not lowerable (the network validates and :func:`make_engine` re-checks):
+pipelined routers (``pipeline_depth > 1``), segmented links, and the
+tree fabrics' handshake pipeline. ``backend="auto"`` falls back to
+dispatch for those; ``backend="array"`` raises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.clocking.gating import GatingStats
+from repro.errors import ConfigurationError, RoutingError
+from repro.fabric.routing import LOCAL
+from repro.noc.flit import Flit
+from repro.noc.packet import Packet
+from repro.sim.batch import BatchComponent
+from repro.sim.component import latest_parity_tick
+from repro.sim.signal import Signal
+
+if TYPE_CHECKING:
+    from repro.fabric.network import CreditFabricNetwork
+
+__all__ = ["make_engine", "WormholeArrayEngine", "VcArrayEngine"]
+
+
+def make_engine(net: "CreditFabricNetwork"):
+    """Lower a built fabric into its vectorized engine component."""
+    if net.pipeline_depth != 1 or any(link.segments != 1
+                                      for link in net.links):
+        raise ConfigurationError(
+            "backend='array' does not support pipelined routers or "
+            "segmented links; use backend='dispatch' (or 'auto' to "
+            "fall back)"
+        )
+    if net.vc_enabled:
+        return VcArrayEngine(net)
+    return WormholeArrayEngine(net)
+
+
+class _FlitStore:
+    """Interning table: flit object <-> small integer id, with the hot
+    per-flit fields (dest, head/tail) mirrored into numpy arrays."""
+
+    def __init__(self) -> None:
+        cap = 1024
+        self.objs: list[Flit] = []
+        self.dest = np.zeros(cap, dtype=np.int64)
+        self.is_head = np.zeros(cap, dtype=bool)
+        self.is_tail = np.zeros(cap, dtype=bool)
+
+    def intern(self, flit: Flit) -> int:
+        fid = len(self.objs)
+        if fid == len(self.dest):
+            grow = len(self.dest)
+            self.dest = np.concatenate(
+                [self.dest, np.zeros(grow, dtype=np.int64)])
+            self.is_head = np.concatenate(
+                [self.is_head, np.zeros(grow, dtype=bool)])
+            self.is_tail = np.concatenate(
+                [self.is_tail, np.zeros(grow, dtype=bool)])
+        self.objs.append(flit)
+        self.dest[fid] = flit.dest
+        self.is_head[fid] = flit.is_head
+        self.is_tail[fid] = flit.is_tail
+        return fid
+
+
+class _RouteProbe:
+    """Duck-typed stand-in for a flit: route functions read only .dest."""
+
+    __slots__ = ("dest",)
+
+    def __init__(self, dest: int) -> None:
+        self.dest = dest
+
+
+class _ArrayEngineBase(BatchComponent):
+    """State and plumbing shared by the wormhole and VC engines."""
+
+    def __init__(self, net: "CreditFabricNetwork") -> None:
+        super().__init__(f"{net._node_prefix}.engine", parity=0)
+        self.net = net
+        self.kernel = net.kernel
+        self._store = _FlitStore()
+        self._quiet = False
+        # Arrivals land after the grant/allocation phase of their step,
+        # so a head they expose has not seen an arbitration pass yet.
+        # This flag keeps the engine awake one more step for that pass;
+        # without it a lone in-flight flit (single-flit packets between
+        # bursts) would be declared quiet mid-route and never granted.
+        self._fresh_heads = False
+        self._write_through = False
+        self._probe_epoch_seen = -1
+
+        topo = net.topology
+        self._R = R = topo.nodes
+        self._P = P = topo.max_ports
+        self._iota = np.arange(P, dtype=np.int64)
+        self._names = [router.name for router in net.routers]
+
+        # Connectivity: for every (router, out port) the consuming
+        # (router, in port); LOCAL out ports feed the node's sink. The
+        # upstream map inverts it for credit returns.
+        in_map: dict[int, tuple[int, int]] = {}
+        out_map: dict[int, tuple[int, int]] = {}
+        for r, router in enumerate(net.routers):
+            for p, link in enumerate(router.in_links):
+                if link is not None:
+                    in_map[id(link)] = (r, p)
+            for p, link in enumerate(router.out_links):
+                if link is not None:
+                    out_map[id(link)] = (r, p)
+        self._conn_out = np.zeros((R, P), dtype=bool)
+        self._conn_in = np.zeros((R, P), dtype=bool)
+        self._dst_r = np.zeros((R, P), dtype=np.int64)
+        self._dst_p = np.zeros((R, P), dtype=np.int64)
+        self._up_r = np.zeros((R, P), dtype=np.int64)
+        self._up_p = np.zeros((R, P), dtype=np.int64)
+        for r, router in enumerate(net.routers):
+            for p, link in enumerate(router.out_links):
+                if link is None:
+                    continue
+                self._conn_out[r, p] = True
+                consumer = in_map.get(id(link))
+                if consumer is not None:
+                    self._dst_r[r, p], self._dst_p[r, p] = consumer
+                elif p != LOCAL or id(link) != id(net.sinks[r].link):
+                    raise ConfigurationError(
+                        "backend='array' cannot lower this fabric wiring: "
+                        f"{router.name} output {router.port_name(p)} "
+                        f"drives neither a router nor the node's sink"
+                    )
+            for p, link in enumerate(router.in_links):
+                if link is None:
+                    continue
+                self._conn_in[r, p] = True
+                producer = out_map.get(id(link))
+                if producer is not None:
+                    self._up_r[r, p], self._up_p[r, p] = producer
+                elif p != LOCAL or id(link) != id(net.sources[r].link):
+                    raise ConfigurationError(
+                        "backend='array' cannot lower this fabric wiring: "
+                        f"{router.name} input {router.port_name(p)} is "
+                        f"driven by neither a router nor the node's source"
+                    )
+
+        # Per-router FIFO depths (per port; VCs of a port share one) and
+        # the ring-buffer capacity.
+        self._fifo_depth = np.zeros((R, P), dtype=np.int64)
+        for r, router in enumerate(net.routers):
+            self._fifo_depth[r] = router.fifo_depths
+        self._C = max(2, int(self._fifo_depth.max()))
+
+        # Source state: contiguous interned-id window of the unpacked
+        # packet, credit counter, host-submitted backlog flag.
+        self._src_next = np.zeros(R, dtype=np.int64)
+        self._src_end = np.zeros(R, dtype=np.int64)
+        self._src_credits = np.asarray(
+            [src.credits for src in net.sources], dtype=np.int64)
+        self._has_pkts = np.asarray(
+            [bool(src.packets) for src in net.sources], dtype=bool)
+
+        # Gating: enabled edges accumulate here; totals are closed-form.
+        self._edges_enabled = np.zeros(R, dtype=np.int64)
+        self._flits_fwd = np.zeros(R, dtype=np.int64)
+
+        # Buffered event replay (observed mode): per-router lists plus
+        # one list for the sinks, flushed node-ascending each step.
+        self._events: dict[int, list[tuple[str, dict]]] = {}
+        self._sink_events: list[tuple[str, Any]] = []
+
+        self.kernel.add_component(self)
+
+    # -- scheduling -----------------------------------------------------
+
+    def on_submit(self, node: int) -> None:
+        """A packet was submitted to ``node``'s source (host-side)."""
+        self._has_pkts[node] = True
+        self._quiet = False
+        self.wake()
+
+    def on_edge(self, tick: int) -> None:
+        if self._quiet:
+            if self.kernel.activity_driven:
+                self.sleep_until()
+            return
+        self._step(tick)
+        if self._is_quiet():
+            self._quiet = True
+            if self.kernel.activity_driven:
+                self.sleep_until()
+
+    def batch_ticks(self, window: int) -> int:
+        if self._write_through or self.kernel._event_subs:
+            return 0  # observed: per-tick dispatch keeps timing exact
+        kernel = self.kernel
+        consumed = 0
+        while consumed < window:
+            if kernel.tick % 2 == 0:
+                if self._quiet:
+                    break
+                kernel.steps_executed += 1
+                self._step(kernel.tick)
+                if self._is_quiet():
+                    self._quiet = True
+                    kernel.tick += 1
+                    consumed += 1
+                    self.sleep_until()
+                    break
+            kernel.tick += 1
+            consumed += 1
+        return consumed
+
+    def refresh_observers(self) -> None:
+        """Re-scan link wires for probes (cached by the probe epoch).
+
+        Probed flit wires switch the engine to write-through (it drives
+        the real wires so probes fire identically to dispatch); probed
+        credit wires are refused loudly — the engine never drives them.
+        """
+        epoch = Signal.probe_epoch
+        if epoch == self._probe_epoch_seen:
+            return
+        self._probe_epoch_seen = epoch
+        probed = False
+        for link in self.net.links:
+            if link.flit._probes:
+                probed = True
+            for wire in self._credit_wires(link):
+                if wire._probes:
+                    raise ConfigurationError(
+                        f"backend='array' cannot drive the probed credit "
+                        f"wire {wire.name!r}; use backend='dispatch' for "
+                        f"credit-wire probes"
+                    )
+        self._write_through = probed
+
+    def _credit_wires(self, link) -> list[Signal]:
+        credits = getattr(link, "credits", None)
+        return credits if credits is not None else [link.credit]
+
+    # -- observables ----------------------------------------------------
+
+    def gating_stats(self) -> GatingStats:
+        total = GatingStats()
+        total.edges_total = self._R * self._edges_per_router()
+        total.edges_enabled = int(self._edges_enabled.sum())
+        return total
+
+    def _edges_per_router(self) -> int:
+        latest = latest_parity_tick(self.kernel.tick, 0)
+        return latest // 2 + 1 if latest >= 0 else 0
+
+    def _sync_back_sources(self) -> None:
+        store = self._store
+        for n, src in enumerate(self.net.sources):
+            src.credits = int(self._src_credits[n])
+            src.flits.clear()
+            src.flits.extend(store.objs[i]
+                             for i in range(self._src_next[n],
+                                            self._src_end[n]))
+
+    def _replay_events(self) -> None:
+        emit = self.kernel.emit
+        for r in sorted(self._events):
+            for name, payload in self._events[r]:
+                emit(name, payload)
+        self._events.clear()
+        for name, payload in self._sink_events:
+            emit(name, payload)
+        self._sink_events.clear()
+
+    def _event(self, r: int, name: str, payload: dict) -> None:
+        self._events.setdefault(r, []).append((name, payload))
+
+    # -- subclass protocol ----------------------------------------------
+
+    def _step(self, tick: int) -> None:
+        raise NotImplementedError
+
+    def _is_quiet(self) -> bool:
+        raise NotImplementedError
+
+    def sync_back(self) -> None:
+        raise NotImplementedError
+
+
+class WormholeArrayEngine(_ArrayEngineBase):
+    """Whole-fabric vectorized execution of the wormhole routers."""
+
+    def __init__(self, net: "CreditFabricNetwork") -> None:
+        super().__init__(net)
+        R, P, C = self._R, self._P, self._C
+
+        # Routing lowers to one table: route functions are pure in
+        # flit.dest (the strategies guarantee it), so probing each
+        # node's function once per destination captures them exactly.
+        self._route_tab = np.zeros((R, R), dtype=np.int64)
+        for r, router in enumerate(net.routers):
+            fn = router._route_fn
+            row = self._route_tab[r]
+            for d in range(R):
+                row[d] = LOCAL if d == r else fn(_RouteProbe(d))
+
+        # Bubble rule (ring-closing topologies, wormhole only).
+        self._needs_bubble = net.routing.needs_bubble
+        self._transit = np.zeros((P, P), dtype=bool)
+        if self._needs_bubble:
+            for in_p in range(P):
+                for out_p in range(P):
+                    self._transit[in_p, out_p] = \
+                        net.routing.ring_transit(in_p, out_p)
+
+        # Per-(router, port) state mirrors FabricRouter exactly.
+        self._fifo_buf = np.full((R, P, C), -1, dtype=np.int64)
+        self._fifo_start = np.zeros((R, P), dtype=np.int64)
+        self._fifo_len = np.zeros((R, P), dtype=np.int64)
+        self._head_fid = np.full((R, P), -1, dtype=np.int64)
+        self._head_out = np.full((R, P), -1, dtype=np.int64)
+        self._head_is_head = np.zeros((R, P), dtype=bool)
+        self._credits = np.zeros((R, P), dtype=np.int64)
+        self._locks = np.full((R, P), -1, dtype=np.int64)
+        self._rr_last = np.full((R, P), P - 1, dtype=np.int64)
+        self._grants = np.zeros((R, P), dtype=np.int64)
+        self._grant_counts = np.zeros((R, P, P), dtype=np.int64)
+        self._starved = np.zeros((R, P), dtype=bool)
+        for r, router in enumerate(net.routers):
+            self._credits[r] = router.credits
+
+        # Double-buffered links: produced at step t, consumed at t + 2.
+        self._arrive = [np.full((R, P), -1, dtype=np.int64)
+                        for _ in range(2)]
+        self._credit_in = [np.zeros((R, P), dtype=np.int64)
+                           for _ in range(2)]
+        self._sink_in = [np.full(R, -1, dtype=np.int64) for _ in range(2)]
+        self._src_credit_in = [np.zeros(R, dtype=np.int64)
+                               for _ in range(2)]
+        self._flip = 0
+
+    # -- one clock edge --------------------------------------------------
+
+    def _step(self, tick: int) -> None:
+        R, P, C = self._R, self._P, self._C
+        self._fresh_heads = False
+        k = self._flip
+        arrive_cur, arrive_nxt = self._arrive[k], self._arrive[1 - k]
+        credit_cur, credit_nxt = self._credit_in[k], self._credit_in[1 - k]
+        sink_cur, sink_nxt = self._sink_in[k], self._sink_in[1 - k]
+        srccr_cur, srccr_nxt = (self._src_credit_in[k],
+                                self._src_credit_in[1 - k])
+        observed = bool(self.kernel._event_subs)
+        wt = self._write_through
+        store = self._store
+        head_fid = self._head_fid
+        enabled = np.zeros(R, dtype=bool)
+
+        # 1. Credit returns end starvation episodes.
+        np.add(self._credits, credit_cur, out=self._credits)
+        self._starved &= credit_cur == 0
+
+        # 2. Forward: per output port (sequential, like the dispatch
+        # router's out-port loop — a pop at port A exposes a new head to
+        # port B the same edge), vectorized across every router.
+        for out_p in range(P):
+            conn = self._conn_out[:, out_p]
+            credits_col = self._credits[:, out_p]
+            base = (head_fid >= 0) & (self._head_out == out_p)
+            lock = self._locks[:, out_p]
+            locked = lock >= 0
+            if self._needs_bubble:
+                free_req = self._head_is_head & (
+                    self._transit[:, out_p][None, :]
+                    | (credits_col >= 2)[:, None])
+            else:
+                free_req = self._head_is_head
+            in_is_lock = self._iota[None, :] == lock[:, None]
+            req = base & np.where(locked[:, None], in_is_lock, free_req)
+
+            if observed:
+                # Starvation scan before the grant, exactly as dispatch
+                # handles the credits<=0 continue: candidate = first
+                # buffered head wanting this output (lock honoured, no
+                # head/bubble filter).
+                starv = conn & (credits_col <= 0) & ~self._starved[:, out_p]
+                if starv.any():
+                    s_req = base & np.where(locked[:, None], in_is_lock,
+                                            True)
+                    cand = starv & s_req.any(axis=1)
+                    for r in np.nonzero(cand)[0]:
+                        self._starved[r, out_p] = True
+                        self._event(int(r), "credit_exhausted", {
+                            "router": self._names[r], "output": out_p,
+                            "input": int(np.argmax(s_req[r])),
+                        })
+
+            grantable = conn & (credits_col > 0) & req.any(axis=1)
+            rows = np.nonzero(grantable)[0]
+            if rows.size == 0:
+                continue
+            key = (self._iota[None, :]
+                   - self._rr_last[rows, out_p][:, None] - 1) % P
+            key = np.where(req[rows], key, P)
+            win = np.argmin(key, axis=1)
+            self._rr_last[rows, out_p] = win
+            self._grants[rows, out_p] += 1
+            self._grant_counts[rows, out_p, win] += 1
+            fid = head_fid[rows, win]
+            # Pop + head refresh.
+            start = (self._fifo_start[rows, win] + 1) % C
+            length = self._fifo_len[rows, win] - 1
+            self._fifo_start[rows, win] = start
+            self._fifo_len[rows, win] = length
+            refill = length > 0
+            new_fid = np.where(refill, self._fifo_buf[rows, win, start], -1)
+            head_fid[rows, win] = new_fid
+            safe = new_fid.clip(min=0)
+            self._head_out[rows, win] = np.where(
+                refill, self._route_tab[rows, store.dest[safe]], -1)
+            self._head_is_head[rows, win] = np.where(
+                refill, store.is_head[safe], False)
+            # Credit return upstream (LOCAL inputs credit the source).
+            local_in = win == LOCAL
+            other = ~local_in
+            credit_nxt[self._up_r[rows[other], win[other]],
+                       self._up_p[rows[other], win[other]]] += 1
+            srccr_nxt[rows[local_in]] += 1
+            # Launch toward the consumer (LOCAL outputs feed the sink).
+            if out_p == LOCAL:
+                sink_nxt[rows] = fid
+            else:
+                arrive_nxt[self._dst_r[rows, out_p],
+                           self._dst_p[rows, out_p]] = fid
+            credits_col[rows] -= 1
+            self._flits_fwd[rows] += 1
+            enabled[rows] = True
+            # Wormhole lock transitions.
+            f_tail = store.is_tail[fid]
+            f_head = store.is_head[fid]
+            self._locks[rows, out_p] = np.where(
+                f_tail, -1, np.where(f_head, win, self._locks[rows, out_p]))
+            if observed or wt:
+                for i, r in enumerate(rows):
+                    r = int(r)
+                    flit = store.objs[int(fid[i])]
+                    if wt:
+                        self.net.routers[r].out_links[out_p].send_flit(
+                            flit, tick)
+                    if observed:
+                        self._event(r, "arbitration_grant", {
+                            "router": self._names[r], "output": out_p,
+                            "input": int(win[i]), "flit": flit,
+                        })
+                        if flit.is_tail:
+                            if not flit.is_head:
+                                self._event(r, "lock_release", {
+                                    "router": self._names[r],
+                                    "output": out_p,
+                                    "input": int(win[i]),
+                                    "packet_id": flit.packet_id,
+                                })
+                        elif flit.is_head:
+                            self._event(r, "lock_acquire", {
+                                "router": self._names[r], "output": out_p,
+                                "input": int(win[i]),
+                                "packet_id": flit.packet_id,
+                            })
+
+        # 3. Arrivals (credit scheme guarantees space; violations raise
+        # in the dispatch router's scan order).
+        amask = arrive_cur >= 0
+        if amask.any():
+            if ((self._fifo_len >= self._fifo_depth) & amask).any():
+                over = amask & (self._fifo_len >= self._fifo_depth)
+                r, p = (int(x[0]) for x in np.nonzero(over))
+                router = self.net.routers[r]
+                raise RoutingError(f"{router.name}: FIFO overflow on "
+                                   f"{router.port_name(p)} "
+                                   f"(credit violation)")
+            rr, pp = np.nonzero(amask)
+            fids = arrive_cur[rr, pp]
+            slot = (self._fifo_start[rr, pp] + self._fifo_len[rr, pp]) % C
+            self._fifo_buf[rr, pp, slot] = fids
+            was_empty = self._fifo_len[rr, pp] == 0
+            self._fifo_len[rr, pp] += 1
+            enabled[rr] = True
+            er, ep = rr[was_empty], pp[was_empty]
+            ef = fids[was_empty]
+            head_fid[er, ep] = ef
+            self._head_out[er, ep] = self._route_tab[er, store.dest[ef]]
+            self._head_is_head[er, ep] = store.is_head[ef]
+            self._fresh_heads = bool(er.size)
+
+        # 4. Sources: collect credits, unpack at most one packet per
+        # edge, send at most one flit per edge under credits.
+        np.add(self._src_credits, srccr_cur, out=self._src_credits)
+        if self._has_pkts.any():
+            for n in np.nonzero((self._src_next >= self._src_end)
+                                & self._has_pkts)[0]:
+                n = int(n)
+                src = self.net.sources[n]
+                packet = src.packets.popleft()
+                if not src.packets:
+                    self._has_pkts[n] = False
+                packet.inject_tick = tick
+                start = len(store.objs)
+                for flit in packet.to_flits():
+                    store.intern(flit)
+                self._src_next[n] = start
+                self._src_end[n] = len(store.objs)
+        send = (self._src_next < self._src_end) & (self._src_credits > 0)
+        sn = np.nonzero(send)[0]
+        if sn.size:
+            arrive_nxt[sn, LOCAL] = self._src_next[sn]
+            if wt:
+                for n in sn:
+                    n = int(n)
+                    self.net.sources[n].link.send_flit(
+                        store.objs[int(self._src_next[n])], tick)
+            self._src_next[sn] += 1
+            self._src_credits[sn] -= 1
+
+        # 5. Sinks: drain, reassemble, deliver, return one credit.
+        for n in np.nonzero(sink_cur >= 0)[0]:
+            n = int(n)
+            flit = store.objs[int(sink_cur[n])]
+            sink = self.net.sinks[n]
+            sink.flits_received += 1
+            if observed:
+                self._sink_events.append(("flit", flit))
+            buffer = sink._assembly.setdefault(flit.packet_id, [])
+            buffer.append(flit)
+            if flit.is_tail:
+                del sink._assembly[flit.packet_id]
+                packet = Packet.from_flits(buffer)
+                packet.eject_tick = tick
+                sink.on_packet(packet, tick)
+                if observed:
+                    self._sink_events.append(("packet", packet))
+            credit_nxt[n, LOCAL] += 1
+
+        if observed:
+            self._replay_events()
+        np.add(self._edges_enabled, enabled, out=self._edges_enabled)
+
+        # Recycle the consumed buffers as the next production targets.
+        arrive_cur.fill(-1)
+        credit_cur.fill(0)
+        sink_cur.fill(-1)
+        srccr_cur.fill(0)
+        self._flip = 1 - k
+
+    def _is_quiet(self) -> bool:
+        # With every link buffer empty, no source backlog, and no head
+        # still owed its first arbitration pass (_fresh_heads), the next
+        # edge is a fixed point: grants need credits or heads that only
+        # in-flight traffic can change. (Buffered-but-blocked flits are
+        # exactly the dispatch routers' sleep-with-buffered-flits case.)
+        k = self._flip
+        return not (self._fresh_heads
+                    or (self._arrive[k] >= 0).any()
+                    or self._credit_in[k].any()
+                    or (self._sink_in[k] >= 0).any()
+                    or self._src_credit_in[k].any()
+                    or (self._src_next < self._src_end).any()
+                    or self._has_pkts.any())
+
+    def sync_back(self) -> None:
+        """Write the array state back into the (unscheduled) routers and
+        endpoints so post-run inspection sees dispatch-identical state."""
+        store, C = self._store, self._C
+        per_router = self._edges_per_router()
+        for r, router in enumerate(self.net.routers):
+            for p in range(self._P):
+                fifo = router.fifos[p]
+                fifo.clear()
+                start = int(self._fifo_start[r, p])
+                for i in range(int(self._fifo_len[r, p])):
+                    fifo.append(
+                        store.objs[int(self._fifo_buf[r, p,
+                                                      (start + i) % C])])
+                router.credits[p] = int(self._credits[r, p])
+                lock = int(self._locks[r, p])
+                router.locks[p] = None if lock < 0 else lock
+                router._starved[p] = bool(self._starved[r, p])
+                arbiter = router.arbiters[p]
+                arbiter._last = int(self._rr_last[r, p])
+                arbiter.grants = int(self._grants[r, p])
+                arbiter.grant_counts = [int(c)
+                                        for c in self._grant_counts[r, p]]
+            router.flits_forwarded = int(self._flits_fwd[r])
+            router._gating.edges_total = per_router
+            router._gating.edges_enabled = int(self._edges_enabled[r])
+        self._sync_back_sources()
+
+
+class VcArrayEngine(_ArrayEngineBase):
+    """Whole-fabric vectorized execution of the VC routers.
+
+    Switch allocation and credit/arrival handling are fully array-level;
+    VC allocation runs scalar-sparse (only routers holding unallocated
+    head flits, typically a handful per edge) and replicates
+    :meth:`VcFabricRouter._allocate_vcs` exactly — including the
+    port-ascending, VC-descending grant walk and the policy candidate
+    calls, which are memoised per (in_port, in_vc, dest)."""
+
+    def __init__(self, net: "CreditFabricNetwork") -> None:
+        super().__init__(net)
+        R, P, C = self._R, self._P, self._C
+        self._V = V = net.n_vcs
+        self._iota_pv = np.arange(P * V, dtype=np.int64)
+
+        self._fifo_buf = np.full((R, P, V, C), -1, dtype=np.int64)
+        self._fifo_start = np.zeros((R, P, V), dtype=np.int64)
+        self._fifo_len = np.zeros((R, P, V), dtype=np.int64)
+        self._head_fid = np.full((R, P, V), -1, dtype=np.int64)
+        self._head_is_head = np.zeros((R, P, V), dtype=bool)
+        # The (out_port, out_vc) each input VC's packet holds (-1: none),
+        # and the owning input VC per output VC (the per-VC lock).
+        self._alloc_out = np.full((R, P, V), -1, dtype=np.int64)
+        self._alloc_vc = np.full((R, P, V), -1, dtype=np.int64)
+        self._owner_in = np.full((R, P, V), -1, dtype=np.int64)
+        self._owner_vc = np.full((R, P, V), -1, dtype=np.int64)
+        self._credits = np.zeros((R, P, V), dtype=np.int64)
+        self._starved = np.zeros((R, P, V), dtype=bool)
+        self._sa_last = np.full((R, P), P * V - 1, dtype=np.int64)
+        self._sa_grants = np.zeros((R, P), dtype=np.int64)
+        self._sa_grant_counts = np.zeros((R, P, P * V), dtype=np.int64)
+        self._va_last = np.full((R, P * V), P * V - 1, dtype=np.int64)
+        self._va_grants = np.zeros((R, P * V), dtype=np.int64)
+        self._va_grant_counts = np.zeros((R, P * V, P * V), dtype=np.int64)
+        self._vcs_allocated = np.zeros(R, dtype=np.int64)
+        # Routers whose VA inputs changed since their last walk (a new
+        # head flit or a released output VC). A failed walk is pure — no
+        # arbiter/event side effects in dispatch either — so a router
+        # with unchanged inputs can skip re-walking entirely.
+        self._va_dirty = np.ones(R, dtype=bool)
+        for r, router in enumerate(net.routers):
+            self._credits[r] = router.credits
+        #: Memoised policy candidates per router: (in_p, in_vc, dest) ->
+        #: (preferred, fallback) pair tuples.
+        self._cand_cache: list[dict] = [{} for _ in range(R)]
+        self._inj_vc = np.asarray([src.vc for src in net.sources],
+                                  dtype=np.int64)
+
+        self._arrive = [np.full((R, P), -1, dtype=np.int64)
+                        for _ in range(2)]
+        self._arrive_vc = [np.zeros((R, P), dtype=np.int64)
+                           for _ in range(2)]
+        self._credit_in = [np.zeros((R, P, V), dtype=np.int64)
+                           for _ in range(2)]
+        self._sink_in = [np.full(R, -1, dtype=np.int64) for _ in range(2)]
+        self._sink_vc = [np.zeros(R, dtype=np.int64) for _ in range(2)]
+        self._src_credit_in = [np.zeros(R, dtype=np.int64)
+                               for _ in range(2)]
+        self._flip = 0
+
+    # -- VC allocation (scalar-sparse) -----------------------------------
+
+    def _allocate_vcs(self, rs: np.ndarray, ps: np.ndarray, vs: np.ndarray,
+                      observed: bool, enabled: np.ndarray) -> None:
+        store = self._store
+        V = self._V
+        size = self._P * V
+        fids = self._head_fid[rs, ps, vs]
+        heads = store.is_head[fids]
+        if not heads.all():
+            j = int(np.nonzero(~heads)[0][0])
+            router = self.net.routers[int(rs[j])]
+            raise RoutingError(
+                f"{router.name}: body flit {store.objs[int(fids[j])]} "
+                f"without an allocation on "
+                f"{router.port_name(int(ps[j]))} vc{int(vs[j])}"
+            )
+        dests = store.dest[fids]
+        # ``rs`` comes from a row-major nonzero scan, so equal routers are
+        # contiguous — walk the runs instead of re-scanning per router.
+        bounds = np.flatnonzero(rs[1:] != rs[:-1]) + 1
+        starts = [0, *bounds.tolist()]
+        ends = [*bounds.tolist(), rs.size]
+        for s, e in zip(starts, ends):
+            r = int(rs[s])
+            cache = self._cand_cache[r]
+            owner_free = (self._owner_in[r] < 0).tolist()
+            want: dict[tuple[int, int], list[int]] = {}
+            for i in range(s, e):
+                in_p, in_vc = int(ps[i]), int(vs[i])
+                key = (in_p, in_vc, int(dests[i]))
+                cand = cache.get(key)
+                if cand is None:
+                    router = self.net.routers[r]
+                    preferred, fallback = router._candidates(
+                        in_p, in_vc, store.objs[int(fids[i])])
+                    # The connectivity filter is static — bake it in.
+                    cand = (
+                        tuple(p for p in preferred
+                              if self._conn_out[r, p[0]]),
+                        tuple(p for p in fallback
+                              if self._conn_out[r, p[0]]),
+                    )
+                    cache[key] = cand
+                requested = [pair for pair in cand[0]
+                             if owner_free[pair[0]][pair[1]]]
+                if not requested:
+                    requested = [pair for pair in cand[1]
+                                 if owner_free[pair[0]][pair[1]]]
+                flat = in_p * V + in_vc
+                for pair in requested:
+                    want.setdefault(pair, []).append(flat)
+            if not want:
+                continue
+            allocated: set[int] = set()
+            # Same walk order as dispatch: out port ascending, VC
+            # descending — restricted to pairs actually requested.
+            for out_p, out_vc in sorted(want,
+                                        key=lambda t: (t[0], -t[1])):
+                live = [f for f in want[out_p, out_vc]
+                        if f not in allocated]
+                if not live:
+                    continue
+                arb = out_p * V + out_vc
+                last = int(self._va_last[r, arb])
+                winner = min(live, key=lambda f: (f - last - 1) % size)
+                self._va_last[r, arb] = winner
+                self._va_grants[r, arb] += 1
+                self._va_grant_counts[r, arb, winner] += 1
+                in_p, in_vc = divmod(winner, V)
+                self._owner_in[r, out_p, out_vc] = in_p
+                self._owner_vc[r, out_p, out_vc] = in_vc
+                self._alloc_out[r, in_p, in_vc] = out_p
+                self._alloc_vc[r, in_p, in_vc] = out_vc
+                allocated.add(winner)
+                self._vcs_allocated[r] += 1
+                enabled[r] = True
+                # A grant takes an output VC, which can reroute another
+                # pending head (preferred -> fallback) next edge.
+                self._va_dirty[r] = True
+                if observed:
+                    head = store.objs[int(self._head_fid[r, in_p,
+                                                         in_vc])]
+                    self._event(r, "vc_allocated", {
+                        "router": self._names[r], "output": out_p,
+                        "vc": out_vc, "input": in_p,
+                        "input_vc": in_vc, "flit": head,
+                    })
+                    if not head.is_tail:
+                        self._event(r, "lock_acquire", {
+                            "router": self._names[r], "output": out_p,
+                            "vc": out_vc, "input": in_p,
+                            "input_vc": in_vc,
+                            "packet_id": head.packet_id,
+                        })
+
+    # -- one clock edge --------------------------------------------------
+
+    def _step(self, tick: int) -> None:
+        R, P, C, V = self._R, self._P, self._C, self._V
+        self._fresh_heads = False
+        k = self._flip
+        arrive_cur, arrive_nxt = self._arrive[k], self._arrive[1 - k]
+        arrvc_cur, arrvc_nxt = self._arrive_vc[k], self._arrive_vc[1 - k]
+        credit_cur, credit_nxt = self._credit_in[k], self._credit_in[1 - k]
+        sink_cur, sink_nxt = self._sink_in[k], self._sink_in[1 - k]
+        sinkvc_cur, sinkvc_nxt = self._sink_vc[k], self._sink_vc[1 - k]
+        srccr_cur, srccr_nxt = (self._src_credit_in[k],
+                                self._src_credit_in[1 - k])
+        observed = bool(self.kernel._event_subs)
+        wt = self._write_through
+        store = self._store
+        head_fid = self._head_fid
+        enabled = np.zeros(R, dtype=bool)
+        r_ix = np.arange(R)[:, None, None]
+
+        # 1. Per-VC credit returns end starvation episodes.
+        np.add(self._credits, credit_cur, out=self._credits)
+        self._starved &= credit_cur == 0
+
+        # 2. VC allocation, only where head flits wait unallocated —
+        # and only in routers whose VA inputs changed since last walk.
+        pending = ((head_fid >= 0) & (self._alloc_out < 0)
+                   & self._va_dirty[:, None, None])
+        if pending.any():
+            rs, ps, vs = np.nonzero(pending)
+            self._va_dirty[rs] = False
+            self._allocate_vcs(rs, ps, vs, observed, enabled)
+
+        # 3. Switch allocation: per output port (sequential rounds),
+        # vectorized across routers; one flit per output and per input
+        # port per edge (the crossbar constraint).
+        port_used = np.zeros((R, P), dtype=bool)
+        # Stale entries (tail releases during earlier rounds) are masked
+        # out by ``port_used``/``alloc_out``, so hoist the gather index.
+        av = self._alloc_vc.clip(min=0)
+        head_valid = head_fid >= 0
+        for out_p in range(P):
+            conn = self._conn_out[:, out_p]
+            mask = ((self._alloc_out == out_p) & head_valid
+                    & ~port_used[:, :, None] & conn[:, None, None])
+            if not mask.any():
+                continue
+            # Credits of each input VC's allocated output VC.
+            cred = self._credits[:, out_p, :][r_ix, av]
+            ok = mask & (cred > 0)
+            if observed:
+                blocked = mask & (cred <= 0)
+                for r, in_p, in_vc in zip(*np.nonzero(blocked)):
+                    r = int(r)
+                    b_vc = int(self._alloc_vc[r, in_p, in_vc])
+                    if self._starved[r, out_p, b_vc]:
+                        continue
+                    self._starved[r, out_p, b_vc] = True
+                    self._event(r, "credit_exhausted", {
+                        "router": self._names[r], "output": out_p,
+                        "vc": b_vc,
+                        "input": int(self._owner_in[r, out_p, b_vc]),
+                        "input_vc": int(self._owner_vc[r, out_p, b_vc]),
+                    })
+            req = ok.reshape(R, P * V)
+            rows = np.nonzero(req.any(axis=1))[0]
+            if rows.size == 0:
+                continue
+            key = (self._iota_pv[None, :]
+                   - self._sa_last[rows, out_p][:, None] - 1) % (P * V)
+            key = np.where(req[rows], key, P * V)
+            win = np.argmin(key, axis=1)
+            self._sa_last[rows, out_p] = win
+            self._sa_grants[rows, out_p] += 1
+            self._sa_grant_counts[rows, out_p, win] += 1
+            in_p, in_vc = np.divmod(win, V)
+            out_vc = self._alloc_vc[rows, in_p, in_vc]
+            fid = head_fid[rows, in_p, in_vc]
+            # Pop + head refresh.
+            start = (self._fifo_start[rows, in_p, in_vc] + 1) % C
+            length = self._fifo_len[rows, in_p, in_vc] - 1
+            self._fifo_start[rows, in_p, in_vc] = start
+            self._fifo_len[rows, in_p, in_vc] = length
+            refill = length > 0
+            new_fid = np.where(refill,
+                               self._fifo_buf[rows, in_p, in_vc, start], -1)
+            head_fid[rows, in_p, in_vc] = new_fid
+            self._head_is_head[rows, in_p, in_vc] = np.where(
+                refill, store.is_head[new_fid.clip(min=0)], False)
+            # Credit return upstream on the input VC.
+            local_in = in_p == LOCAL
+            other = ~local_in
+            credit_nxt[self._up_r[rows[other], in_p[other]],
+                       self._up_p[rows[other], in_p[other]],
+                       in_vc[other]] += 1
+            srccr_nxt[rows[local_in & (in_vc == self._inj_vc[rows])]] += 1
+            # Launch toward the consumer, VC-tagged.
+            if out_p == LOCAL:
+                sink_nxt[rows] = fid
+                sinkvc_nxt[rows] = out_vc
+            else:
+                dst_r = self._dst_r[rows, out_p]
+                dst_p = self._dst_p[rows, out_p]
+                arrive_nxt[dst_r, dst_p] = fid
+                arrvc_nxt[dst_r, dst_p] = out_vc
+            self._credits[rows, out_p, out_vc] -= 1
+            self._flits_fwd[rows] += 1
+            port_used[rows, in_p] = True
+            enabled[rows] = True
+            # Tail releases the per-VC lock and the allocation.
+            f_tail = store.is_tail[fid]
+            tr = rows[f_tail]
+            self._owner_in[tr, out_p, out_vc[f_tail]] = -1
+            self._owner_vc[tr, out_p, out_vc[f_tail]] = -1
+            self._alloc_out[tr, in_p[f_tail], in_vc[f_tail]] = -1
+            self._alloc_vc[tr, in_p[f_tail], in_vc[f_tail]] = -1
+            self._va_dirty[tr] = True
+            if observed or wt:
+                for i, r in enumerate(rows):
+                    r = int(r)
+                    flit = store.objs[int(fid[i])]
+                    if wt:
+                        self.net.routers[r].out_links[out_p].send_flit(
+                            flit, int(out_vc[i]), tick)
+                    if observed:
+                        self._event(r, "arbitration_grant", {
+                            "router": self._names[r], "output": out_p,
+                            "vc": int(out_vc[i]), "input": int(in_p[i]),
+                            "input_vc": int(in_vc[i]), "flit": flit,
+                        })
+                        if flit.is_tail and not flit.is_head:
+                            self._event(r, "lock_release", {
+                                "router": self._names[r], "output": out_p,
+                                "vc": int(out_vc[i]), "input": int(in_p[i]),
+                                "input_vc": int(in_vc[i]),
+                                "packet_id": flit.packet_id,
+                            })
+
+        # 4. Arrivals into the per-VC FIFOs.
+        amask = arrive_cur >= 0
+        if amask.any():
+            rr, pp = np.nonzero(amask)
+            vv = arrvc_cur[rr, pp]
+            if (self._fifo_len[rr, pp, vv]
+                    >= self._fifo_depth[rr, pp]).any():
+                full = self._fifo_len[rr, pp, vv] >= self._fifo_depth[rr, pp]
+                j = int(np.nonzero(full)[0][0])
+                router = self.net.routers[int(rr[j])]
+                raise RoutingError(
+                    f"{router.name}: FIFO overflow on "
+                    f"{router.port_name(int(pp[j]))} vc{int(vv[j])} "
+                    f"(credit violation)"
+                )
+            fids = arrive_cur[rr, pp]
+            slot = (self._fifo_start[rr, pp, vv]
+                    + self._fifo_len[rr, pp, vv]) % C
+            self._fifo_buf[rr, pp, vv, slot] = fids
+            was_empty = self._fifo_len[rr, pp, vv] == 0
+            self._fifo_len[rr, pp, vv] += 1
+            enabled[rr] = True
+            er, ep, ev = rr[was_empty], pp[was_empty], vv[was_empty]
+            ef = fids[was_empty]
+            head_fid[er, ep, ev] = ef
+            self._head_is_head[er, ep, ev] = store.is_head[ef]
+            self._va_dirty[er] = True
+            self._fresh_heads = bool(er.size)
+
+        # 5. Sources (inject on the policy's injection VC).
+        np.add(self._src_credits, srccr_cur, out=self._src_credits)
+        if self._has_pkts.any():
+            for n in np.nonzero((self._src_next >= self._src_end)
+                                & self._has_pkts)[0]:
+                n = int(n)
+                src = self.net.sources[n]
+                packet = src.packets.popleft()
+                if not src.packets:
+                    self._has_pkts[n] = False
+                packet.inject_tick = tick
+                start = len(store.objs)
+                for flit in packet.to_flits():
+                    store.intern(flit)
+                self._src_next[n] = start
+                self._src_end[n] = len(store.objs)
+        send = (self._src_next < self._src_end) & (self._src_credits > 0)
+        sn = np.nonzero(send)[0]
+        if sn.size:
+            arrive_nxt[sn, LOCAL] = self._src_next[sn]
+            arrvc_nxt[sn, LOCAL] = self._inj_vc[sn]
+            if wt:
+                for n in sn:
+                    n = int(n)
+                    self.net.sources[n].link.send_flit(
+                        store.objs[int(self._src_next[n])],
+                        int(self._inj_vc[n]), tick)
+            self._src_next[sn] += 1
+            self._src_credits[sn] -= 1
+
+        # 6. Sinks: drain, reassemble, deliver; credit the arriving VC.
+        for n in np.nonzero(sink_cur >= 0)[0]:
+            n = int(n)
+            flit = store.objs[int(sink_cur[n])]
+            sink = self.net.sinks[n]
+            sink.flits_received += 1
+            if observed:
+                self._sink_events.append(("flit", flit))
+            buffer = sink._assembly.setdefault(flit.packet_id, [])
+            buffer.append(flit)
+            if flit.is_tail:
+                del sink._assembly[flit.packet_id]
+                packet = Packet.from_flits(buffer)
+                packet.eject_tick = tick
+                sink.on_packet(packet, tick)
+                if observed:
+                    self._sink_events.append(("packet", packet))
+            credit_nxt[n, LOCAL, int(sinkvc_cur[n])] += 1
+
+        if observed:
+            self._replay_events()
+        np.add(self._edges_enabled, enabled, out=self._edges_enabled)
+
+        arrive_cur.fill(-1)
+        arrvc_cur.fill(0)
+        credit_cur.fill(0)
+        sink_cur.fill(-1)
+        sinkvc_cur.fill(0)
+        srccr_cur.fill(0)
+        self._flip = 1 - k
+
+    def _is_quiet(self) -> bool:
+        # Same fixed-point argument as the wormhole engine; _fresh_heads
+        # covers heads exposed by this step's arrivals, which still need
+        # their first VA/SA pass.
+        k = self._flip
+        return not (self._fresh_heads
+                    or (self._arrive[k] >= 0).any()
+                    or self._credit_in[k].any()
+                    or (self._sink_in[k] >= 0).any()
+                    or self._src_credit_in[k].any()
+                    or (self._src_next < self._src_end).any()
+                    or self._has_pkts.any())
+
+    def sync_back(self) -> None:
+        store, C, V = self._store, self._C, self._V
+        per_router = self._edges_per_router()
+        for r, router in enumerate(self.net.routers):
+            for p in range(self._P):
+                for vc in range(V):
+                    fifo = router.fifos[p][vc]
+                    fifo.clear()
+                    start = int(self._fifo_start[r, p, vc])
+                    for i in range(int(self._fifo_len[r, p, vc])):
+                        fifo.append(store.objs[int(
+                            self._fifo_buf[r, p, vc, (start + i) % C])])
+                    router.credits[p][vc] = int(self._credits[r, p, vc])
+                    owner = int(self._owner_in[r, p, vc])
+                    router.vc_owner[p][vc] = (
+                        None if owner < 0
+                        else (owner, int(self._owner_vc[r, p, vc])))
+                    alloc = int(self._alloc_out[r, p, vc])
+                    router.allocation[p][vc] = (
+                        None if alloc < 0
+                        else (alloc, int(self._alloc_vc[r, p, vc])))
+                    router._starved[p][vc] = bool(self._starved[r, p, vc])
+                sa = router.sa_arbiters[p]
+                sa._last = int(self._sa_last[r, p])
+                sa.grants = int(self._sa_grants[r, p])
+                sa.grant_counts = [int(c)
+                                   for c in self._sa_grant_counts[r, p]]
+            for a in range(self._P * V):
+                va = router.va_arbiters[a]
+                va._last = int(self._va_last[r, a])
+                va.grants = int(self._va_grants[r, a])
+                va.grant_counts = [int(c)
+                                   for c in self._va_grant_counts[r, a]]
+            router.flits_forwarded = int(self._flits_fwd[r])
+            router.vcs_allocated = int(self._vcs_allocated[r])
+            router._gating.edges_total = per_router
+            router._gating.edges_enabled = int(self._edges_enabled[r])
+        self._sync_back_sources()

@@ -26,13 +26,16 @@ class FabricSource(ClockedComponent):
     """Injects flits into a router's local input port under credits."""
 
     def __init__(self, kernel: SimKernel, name: str, link: CreditLink,
-                 credits: int):
+                 credits: int, register: bool = True):
         super().__init__(name, parity=0)
         self.link = link
         self.credits = credits
         self.flits: deque[Flit] = deque()
         self.packets: deque[Packet] = deque()
-        kernel.add_component(self)
+        # register=False leaves the endpoint unscheduled (the array
+        # backend executes its semantics instead); state is identical.
+        if register:
+            kernel.add_component(self)
 
     def submit(self, packet: Packet) -> None:
         self.packets.append(packet)
@@ -64,13 +67,15 @@ class FabricSink(ClockedComponent):
     """Drains a router's local output port, returning credits."""
 
     def __init__(self, kernel: SimKernel, name: str, link: CreditLink,
-                 on_packet: Callable[[Packet, int], None]):
+                 on_packet: Callable[[Packet, int], None],
+                 register: bool = True):
         super().__init__(name, parity=0)
         self.link = link
         self.on_packet = on_packet
         self._assembly: dict[int, list[Flit]] = {}
         self.flits_received = 0
-        kernel.add_component(self)
+        if register:
+            kernel.add_component(self)
 
     def on_edge(self, tick: int) -> None:
         flit = self.link.take_flit(tick)

@@ -121,6 +121,28 @@ class CreditFabricNetwork:
                 f"credit_sizing must be 'auto' or 'strict', "
                 f"got {self.credit_sizing!r}"
             )
+        # Execution backend: "dispatch" fires each router/endpoint as its
+        # own kernel component; "array" lowers the whole fabric into one
+        # vectorized engine (repro.fabric.array_backend); "auto" picks
+        # "array" whenever the build is lowerable. Requesting "array" for
+        # an un-lowerable build is a loud error, never a silent fallback.
+        backend = getattr(config, "backend", "dispatch")
+        if backend not in ("dispatch", "array", "auto"):
+            raise ConfigurationError(
+                f"backend must be 'dispatch', 'array' or 'auto', "
+                f"got {backend!r}"
+            )
+        lowerable = self.pipeline_depth == 1 and not self.segment_links
+        if backend == "auto":
+            backend = "array" if lowerable else "dispatch"
+        elif backend == "array" and not lowerable:
+            raise ConfigurationError(
+                "backend='array' does not support pipelined routers "
+                "(pipeline_depth > 1) or segmented links; use "
+                "backend='dispatch' (or 'auto' to fall back)"
+            )
+        self.backend = backend
+        self.engine = None
         self.stats = NetworkStats()
         self.routers: list[FabricRouter | VcFabricRouter] = []
         self.sources: list[FabricSource | VcFabricSource] = []
@@ -131,7 +153,14 @@ class CreditFabricNetwork:
         self._node_prefix = node_prefix
         self._port_names = port_names
         self._floorplan: Floorplan | None = None
+        # Under the array backend, routers and endpoints are built with
+        # their full state but left unregistered: the engine executes
+        # their semantics vectorized and is the only scheduled component.
+        self._register_components = backend != "array"
         self._build()
+        if backend == "array":
+            from repro.fabric.array_backend import make_engine
+            self.engine = make_engine(self)
 
     # -- construction ---------------------------------------------------
 
@@ -149,6 +178,7 @@ class CreditFabricNetwork:
                 buffer_depth=self.config.buffer_depth,
                 port_names=self._port_names,
                 pipeline_depth=self.pipeline_depth,
+                register=self._register_components,
             )
         return FabricRouter(
             self.kernel, f"{self._node_prefix}{node}",
@@ -158,6 +188,7 @@ class CreditFabricNetwork:
             ring_transit=self.routing,
             port_names=self._port_names,
             pipeline_depth=self.pipeline_depth,
+            register=self._register_components,
         )
 
     def _link_segments(self, node: int, port: int) -> int:
@@ -221,19 +252,24 @@ class CreditFabricNetwork:
             hook = self._make_delivery_hook(node)
             src_credits = (inject.capacity if inject.capacity is not None
                            else self.config.buffer_depth)
+            register = self._register_components
             if self.vc_enabled:
                 source = VcFabricSource(
                     self.kernel, f"{prefix}{node}.src", inject,
                     credits=src_credits,
-                    vc=self.vc_policy.injection_vc(node))
+                    vc=self.vc_policy.injection_vc(node),
+                    register=register)
                 sink = VcFabricSink(self.kernel, f"{prefix}{node}.sink",
-                                    eject, on_packet=hook)
+                                    eject, on_packet=hook,
+                                    register=register)
             else:
                 source = FabricSource(self.kernel, f"{prefix}{node}.src",
                                       inject,
-                                      credits=src_credits)
+                                      credits=src_credits,
+                                      register=register)
                 sink = FabricSink(self.kernel, f"{prefix}{node}.sink",
-                                  eject, on_packet=hook)
+                                  eject, on_packet=hook,
+                                  register=register)
             # The sink grants the router initial credits via connect();
             # sink-side credits mirror the router's local output credits.
             self.sources.append(source)
@@ -282,26 +318,40 @@ class CreditFabricNetwork:
             )
         self._inflight[packet.packet_id] = packet
         self.sources[packet.src].submit(packet)
+        if self.engine is not None:
+            self.engine.on_submit(packet.src)
         self.stats.packets_injected += 1
         self.kernel.emit("inject", packet)
 
     def run_ticks(self, ticks: int) -> None:
+        if self.engine is not None:
+            self.engine.refresh_observers()
         self.kernel.run_ticks(ticks)
         self.stats.elapsed_ticks = self.kernel.tick
 
     def run_cycles(self, cycles: float) -> None:
+        if self.engine is not None:
+            self.engine.refresh_observers()
         self.kernel.run_cycles(cycles)
         self.stats.elapsed_ticks = self.kernel.tick
 
     def drain(self, max_ticks: int = 1_000_000) -> bool:
+        if self.engine is not None:
+            self.engine.refresh_observers()
         done = self.kernel.run_until(
             lambda: self.stats.packets_delivered >= self.stats.packets_injected,
             max_ticks,
         )
         self.stats.elapsed_ticks = self.kernel.tick
+        if self.engine is not None:
+            # Make the per-router python state (FIFOs, credits, locks,
+            # counters) inspectable again after a drained run.
+            self.engine.sync_back()
         return done
 
     def gating_stats(self) -> GatingStats:
+        if self.engine is not None:
+            return self.engine.gating_stats()
         total = GatingStats()
         for router in self.routers:
             total.merge(router.gating)

@@ -200,11 +200,39 @@ class FabricConfig:
     credit_sizing: str = "auto"  # "auto" grows FIFOs, "strict" raises
     tech: Technology = TECH_90NM
     activity_driven: bool = True
+    backend: str = "dispatch"   # "dispatch" | "array" | "auto"
 
     def __post_init__(self) -> None:
         entry = get_topology(self.topology)
         if self.ports < 2:
             raise ConfigurationError("a fabric needs at least 2 ports")
+        if self.backend not in ("dispatch", "array", "auto"):
+            raise ConfigurationError(
+                f"backend must be 'dispatch', 'array' or 'auto', "
+                f"got {self.backend!r}"
+            )
+        if self.backend == "array":
+            # Never silently fall back: the array backend lowers only the
+            # credit fabrics at pipeline depth 1 on unsegmented links.
+            # "auto" picks the fastest supported backend instead.
+            if not entry.supports_pipeline:
+                raise ConfigurationError(
+                    f"backend='array' cannot lower topology "
+                    f"{self.topology!r}: the tree family's handshake "
+                    f"pipeline has no array lowering; use "
+                    f"backend='dispatch' (or 'auto' to fall back)"
+                )
+            if self.pipeline_depth != 1:
+                raise ConfigurationError(
+                    f"backend='array' does not support pipeline_depth > 1 "
+                    f"(got {self.pipeline_depth}); use backend='dispatch' "
+                    f"(or 'auto' to fall back)"
+                )
+            if self.segment_links:
+                raise ConfigurationError(
+                    "backend='array' does not support segmented links; "
+                    "use backend='dispatch' (or 'auto' to fall back)"
+                )
         if self.pipeline_depth < 1:
             raise ConfigurationError("pipeline_depth must be >= 1")
         if self.max_segment_mm <= 0.0:
@@ -422,6 +450,7 @@ def _build_mesh(config: FabricConfig):
         credit_sizing=config.credit_sizing,
         tech=config.tech,
         activity_driven=config.activity_driven,
+        backend=config.backend,
     ))
 
 

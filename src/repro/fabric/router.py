@@ -95,7 +95,7 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
                  route: RouteFn, buffer_depth: int = 4,
                  ring_transit: RoutingStrategy | None = None,
                  port_names: Sequence[str] | None = None,
-                 pipeline_depth: int = 1):
+                 pipeline_depth: int = 1, register: bool = True):
         super().__init__(name, parity=0)
         if n_ports < 2:
             raise ConfigurationError("a router needs at least 2 ports")
@@ -134,7 +134,10 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
         # Signals to watch while asleep: anything arriving (flits in,
         # credits back) makes the next edge act again.
         self._watch: list[Signal] = []
-        kernel.add_component(self)
+        # register=False leaves the router unscheduled (an array backend
+        # executes its semantics instead); state and wiring are identical.
+        if register:
+            kernel.add_component(self)
 
     def port_name(self, port: int) -> str:
         if self._port_names is not None and port < len(self._port_names):

@@ -203,7 +203,7 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
                  candidates: VcCandidateFn, n_vcs: int,
                  buffer_depth: int = 4,
                  port_names: Sequence[str] | None = None,
-                 pipeline_depth: int = 1):
+                 pipeline_depth: int = 1, register: bool = True):
         super().__init__(name, parity=0)
         if n_ports < 2:
             raise ConfigurationError("a router needs at least 2 ports")
@@ -250,7 +250,10 @@ class VcFabricRouter(GatedComponentMixin, ClockedComponent):
         self.vcs_allocated = 0
         self._starved = [[False] * n_vcs for _ in range(n_ports)]
         self._watch: list[Signal] = []
-        kernel.add_component(self)
+        # register=False leaves the router unscheduled (an array backend
+        # executes its semantics instead); state and wiring are identical.
+        if register:
+            kernel.add_component(self)
 
     def port_name(self, port: int) -> str:
         if self._port_names is not None and port < len(self._port_names):
@@ -506,14 +509,15 @@ class VcFabricSource(ClockedComponent):
     """Injects flits into a router's local port on the injection VC."""
 
     def __init__(self, kernel: SimKernel, name: str, link: VcCreditLink,
-                 credits: int, vc: int = 0):
+                 credits: int, vc: int = 0, register: bool = True):
         super().__init__(name, parity=0)
         self.link = link
         self.vc = vc
         self.credits = credits
         self.flits: deque[Flit] = deque()
         self.packets: deque[Packet] = deque()
-        kernel.add_component(self)
+        if register:
+            kernel.add_component(self)
 
     def submit(self, packet: Packet) -> None:
         self.packets.append(packet)
@@ -543,13 +547,15 @@ class VcFabricSink(ClockedComponent):
     """Drains a router's local port, returning credits on the flit's VC."""
 
     def __init__(self, kernel: SimKernel, name: str, link: VcCreditLink,
-                 on_packet: Callable[[Packet, int], None]):
+                 on_packet: Callable[[Packet, int], None],
+                 register: bool = True):
         super().__init__(name, parity=0)
         self.link = link
         self.on_packet = on_packet
         self._assembly: dict[int, list[Flit]] = {}
         self.flits_received = 0
-        kernel.add_component(self)
+        if register:
+            kernel.add_component(self)
 
     def on_edge(self, tick: int) -> None:
         tagged = self.link.take_flit(tick)

@@ -50,12 +50,30 @@ class MeshConfig:
     credit_sizing: str = "auto"
     tech: Technology = TECH_90NM
     activity_driven: bool = True
+    backend: str = "dispatch"
 
     def __post_init__(self) -> None:
         if self.buffer_depth < 2:
             raise ConfigurationError("buffer_depth must be >= 2")
         if self.pipeline_depth < 1:
             raise ConfigurationError("pipeline_depth must be >= 1")
+        if self.backend not in ("dispatch", "array", "auto"):
+            raise ConfigurationError(
+                f"backend must be 'dispatch', 'array' or 'auto', "
+                f"got {self.backend!r}"
+            )
+        if self.backend == "array":
+            if self.pipeline_depth != 1:
+                raise ConfigurationError(
+                    f"backend='array' does not support pipeline_depth > 1 "
+                    f"(got {self.pipeline_depth}); use backend='dispatch' "
+                    f"(or 'auto' to fall back)"
+                )
+            if self.segment_links:
+                raise ConfigurationError(
+                    "backend='array' does not support segmented links; "
+                    "use backend='dispatch' (or 'auto' to fall back)"
+                )
         if self.max_segment_mm <= 0.0:
             raise ConfigurationError("max_segment_mm must be positive")
         if self.credit_sizing not in ("auto", "strict"):
@@ -86,4 +104,5 @@ class MeshNetwork(CreditFabricNetwork):
             buffer_depth=self.config.buffer_depth,
             route=self.routing.for_node(node),
             pipeline_depth=self.pipeline_depth,
+            register=self._register_components,
         )

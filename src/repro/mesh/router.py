@@ -45,7 +45,8 @@ class MeshRouter(FabricRouter):
 
     def __init__(self, kernel: SimKernel, name: str, x: int, y: int,
                  cols: int, rows: int, buffer_depth: int = 4,
-                 route=None, pipeline_depth: int = 1):
+                 route=None, pipeline_depth: int = 1,
+                 register: bool = True):
         self.x = x
         self.y = y
         self.cols = cols
@@ -55,4 +56,5 @@ class MeshRouter(FabricRouter):
         super().__init__(kernel, name, n_ports=5, route=route,
                          buffer_depth=buffer_depth,
                          port_names=PORT_NAMES,
-                         pipeline_depth=pipeline_depth)
+                         pipeline_depth=pipeline_depth,
+                         register=register)

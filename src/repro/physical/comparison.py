@@ -46,7 +46,8 @@ def comparison_config(topology: str, flow_control: str, nodes: int = 16,
                       concentration: int = 4, chip_mm: float = 10.0,
                       pipeline_depth: int = 1,
                       segment_mm: float | None = None,
-                      activity_driven: bool = True) -> FabricConfig:
+                      activity_driven: bool = True,
+                      backend: str = "dispatch") -> FabricConfig:
     """The :class:`FabricConfig` one comparison row builds.
 
     ``nodes`` counts network endpoints for every fabric (the ctree keeps
@@ -59,7 +60,10 @@ def comparison_config(topology: str, flow_control: str, nodes: int = 16,
     family rows are untouched by ``pipeline_depth`` (their routers are a
     fixed handshake pipeline) but do honour ``segment_mm`` as their
     ``max_segment_mm`` — the tree always segments, so the knob stays
-    comparable across rows.
+    comparable across rows. ``backend`` likewise reaches only the credit
+    fabrics — the physical numbers are backend-invariant (both backends
+    build the same structure), so the knob exists to exercise the array
+    lowering from the comparison path, not to change any row.
     """
     kwargs: dict = {
         "topology": topology, "ports": nodes,
@@ -74,6 +78,7 @@ def comparison_config(topology: str, flow_control: str, nodes: int = 16,
         kwargs["n_vcs"] = n_vcs
     if get_topology(topology).supports_pipeline:
         kwargs["pipeline_depth"] = pipeline_depth
+        kwargs["backend"] = backend
         if segment_mm is not None:
             kwargs["segment_links"] = True
             kwargs["max_segment_mm"] = segment_mm
@@ -89,6 +94,7 @@ def physical_comparison_rows(nodes: int = 16, n_vcs: int = 2,
                              segment_mm: float | None = None,
                              topologies: tuple[str, ...] | None = None,
                              activity_driven: bool = True,
+                             backend: str = "dispatch",
                              ) -> list[PhysicalComparison]:
     """One row per registered (topology, flow control) pairing.
 
@@ -111,6 +117,7 @@ def physical_comparison_rows(nodes: int = 16, n_vcs: int = 2,
                     chip_mm=chip_mm, pipeline_depth=pipeline_depth,
                     segment_mm=segment_mm,
                     activity_driven=activity_driven,
+                    backend=backend,
                 )
             except ConfigurationError as error:
                 raise ConfigurationError(

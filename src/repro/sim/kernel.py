@@ -242,20 +242,26 @@ class SimKernel:
 
     # -- execution ----------------------------------------------------
 
+    def _compact(self, parity: int) -> None:
+        """Drop asleep components from a parity's active list."""
+        if not self._need_compact[parity]:
+            return
+        active = self._active[parity]
+        kept = []
+        for component in active:
+            if component._asleep:
+                component._queued = False
+            else:
+                kept.append(component)
+        active[:] = kept
+        self._need_compact[parity] = False
+
     def step(self) -> None:
         """Advance one half-cycle: fire matching-parity components, commit."""
         self.steps_executed += 1
         parity = self.tick % 2
         active = self._active[parity]
-        if self._need_compact[parity]:
-            kept = []
-            for component in active:
-                if component._asleep:
-                    component._queued = False
-                else:
-                    kept.append(component)
-            active[:] = kept
-            self._need_compact[parity] = False
+        self._compact(parity)
         self._step_parity = parity
         self._cursor = 0
         while self._cursor < len(active):
@@ -322,24 +328,41 @@ class SimKernel:
             raise ConfigurationError(f"ticks must be >= 0, got {ticks}")
         remaining = ticks
         while remaining > 0:
-            # Fully quiescent kernel: nothing can fire, write, or observe
-            # a tick — jump to the next scheduled deadline, or straight to
-            # the end of the window.
             if (self.activity_driven and not self._tick_callbacks
-                    and not self._dirty
-                    and not self._active[0] and not self._active[1]):
-                due = self._next_timer_tick()
-                if due is None:
-                    self.tick += remaining
-                    return
-                gap = due - self.tick
-                if gap > 0:
-                    jump = min(gap, remaining)
-                    self.tick += jump
-                    remaining -= jump
-                    if remaining == 0:
+                    and not self._dirty):
+                self._compact(0)
+                self._compact(1)
+                active0, active1 = self._active
+                if not active0 and not active1:
+                    # Fully quiescent kernel: nothing can fire, write, or
+                    # observe a tick — jump to the next scheduled
+                    # deadline, or straight to the end of the window.
+                    due = self._next_timer_tick()
+                    if due is None:
+                        self.tick += remaining
                         return
-                # A timer is due this very tick: fall through and step it.
+                    gap = due - self.tick
+                    if gap > 0:
+                        jump = min(gap, remaining)
+                        self.tick += jump
+                        remaining -= jump
+                        if remaining == 0:
+                            return
+                    # A timer is due this very tick: fall through, step it.
+                elif not active1 and len(active0) == 1:
+                    # A single awake component that can execute whole
+                    # windows itself (a vectorized fabric engine) runs
+                    # batched, bounded by the next timer deadline.
+                    batch = getattr(active0[0], "batch_ticks", None)
+                    if batch is not None:
+                        due = self._next_timer_tick()
+                        window = remaining if due is None \
+                            else min(remaining, due - self.tick)
+                        if window > 0:
+                            consumed = batch(window)
+                            if consumed:
+                                remaining -= consumed
+                                continue
             self.step()
             remaining -= 1
 

@@ -36,6 +36,11 @@ class Signal:
     __slots__ = ("name", "_value", "_next", "_dirty", "_writer_tick",
                  "_queue", "_watchers", "_probes", "_index")
 
+    #: Class-wide generation counter, bumped on every probe attach/detach.
+    #: Cached observer scans (the array backend's write-through detection)
+    #: compare it instead of re-walking every wire per run call.
+    probe_epoch: int = 0
+
     def __init__(self, name: str, initial: Any = None):
         self.name = name
         self._value = initial
@@ -128,6 +133,7 @@ class Signal:
         if self._probes is None:
             self._probes = []
         self._probes.append(callback)
+        Signal.probe_epoch += 1
 
     def detach_probe(self, callback: Any) -> None:
         """Remove a previously attached probe callback (no-op if absent)."""
@@ -135,6 +141,7 @@ class Signal:
             self._probes.remove(callback)
             if not self._probes:
                 self._probes = None
+            Signal.probe_epoch += 1
 
     def __repr__(self) -> str:
         return f"Signal({self.name!r}, value={self._value!r})"

@@ -1,0 +1,162 @@
+"""Array-backend equivalence and lowering contract.
+
+``backend="array"`` replaces per-router event dispatch with one
+whole-fabric vectorized kernel; its acceptance bar is byte-identical
+observables against dispatch — delivered packets, latencies, hop counts,
+gating counts, and the kernel tick — across every credit fabric, flow
+control, and kernel mode. Configs the engine cannot lower must refuse
+loudly at :class:`FabricConfig` construction (``backend="auto"`` is the
+one sanctioned silent fallback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.registry import FabricConfig, get_topology, topology_names
+from repro.noc.packet import Packet
+from repro.traffic.patterns import UniformRandom
+
+#: Per-topology port counts satisfying each family's shape constraints.
+PORTS = {"mesh": 16, "torus": 16, "ring": 10}
+
+
+def array_matrix():
+    """(topology, flow, policy, activity_driven) for every combo the
+    array lowering supports (the ``supports_pipeline`` credit fabrics)."""
+    combos = []
+    for name in topology_names():
+        entry = get_topology(name)
+        if not entry.supports_pipeline:
+            continue
+        for flow in entry.flow_control:
+            policies = entry.vc_policies if flow == "vc" else (None,)
+            for policy in policies:
+                for activity_driven in (True, False):
+                    combos.append((name, flow, policy, activity_driven))
+    return combos
+
+
+def _config(name, flow, policy, activity_driven, backend):
+    kwargs = {}
+    if flow == "vc":
+        kwargs["flow_control"] = "vc"
+        kwargs["vc_policy"] = policy
+        kwargs["n_vcs"] = 4 if policy == "escape" and name == "torus" else 2
+    return FabricConfig(topology=name, ports=PORTS.get(name, 16),
+                        activity_driven=activity_driven, backend=backend,
+                        **kwargs)
+
+
+def run_traffic(name, flow, policy, activity_driven, backend,
+                size_flits=2, cycles=50, load=0.25, telemetry=False):
+    ports = PORTS.get(name, 16)
+    net = _config(name, flow, policy, activity_driven, backend).build()
+    registry = None
+    if telemetry:
+        from repro.telemetry import attach_metrics
+        registry = attach_metrics(net)
+    gen = UniformRandom(ports, load, size_flits=size_flits)
+    schedule = gen.generate(cycles, np.random.default_rng(5))
+    by_cycle = {}
+    for injection in schedule:
+        by_cycle.setdefault(injection.cycle, []).append(injection)
+    for cycle in range(cycles):
+        for injection in by_cycle.get(cycle, []):
+            net.send(injection.to_packet())
+        net.run_ticks(2)
+    assert net.drain(300_000), f"{name}/{flow}/{backend} failed to drain"
+    net.run_ticks(5_000)
+    gating = net.gating_stats()
+    result = {
+        "injected": net.stats.packets_injected,
+        "delivered": sorted((p.src, p.dest, tuple(p.payload))
+                            for p in net.delivered),
+        "latencies": sorted(net.stats.latencies_cycles),
+        "hops": sorted(net.stats.hop_counts),
+        "gating": (gating.edges_total, gating.edges_enabled),
+        "tick": net.kernel.tick,
+    }
+    if registry is not None:
+        result["telemetry"] = registry.summary().to_dict()
+    return result
+
+
+@pytest.mark.parametrize("name,flow,policy,activity_driven", array_matrix())
+def test_array_matches_dispatch(name, flow, policy, activity_driven):
+    dispatch = run_traffic(name, flow, policy, activity_driven, "dispatch")
+    array = run_traffic(name, flow, policy, activity_driven, "array")
+    assert array == dispatch, (name, flow, policy, activity_driven)
+    assert len(array["delivered"]) == array["injected"]
+
+
+@pytest.mark.parametrize("name,flow,policy,activity_driven",
+                         [c for c in array_matrix() if c[3]])
+def test_array_single_flit_matches_dispatch(name, flow, policy,
+                                            activity_driven):
+    dispatch = run_traffic(name, flow, policy, activity_driven, "dispatch",
+                           size_flits=1, cycles=40)
+    array = run_traffic(name, flow, policy, activity_driven, "array",
+                        size_flits=1, cycles=40)
+    assert array == dispatch, (name, flow, policy)
+
+
+@pytest.mark.parametrize("flow", ("wormhole", "vc"))
+def test_lone_single_flit_packet_delivers(flow):
+    """Regression: a lone in-flight flit must not be declared quiet
+    mid-route. Arrivals land after the grant phase of their step, so a
+    freshly exposed head still needs one more arbitration pass before
+    the engine may sleep."""
+    kwargs = {"flow_control": "vc", "n_vcs": 2} if flow == "vc" else {}
+    net = FabricConfig(topology="mesh", ports=16, backend="array",
+                       **kwargs).build()
+    net.send(Packet(src=0, dest=15, payload=[]))
+    assert net.drain(max_ticks=50_000)
+    assert net.stats.packets_delivered == 1
+
+
+def test_telemetry_byte_identical():
+    dispatch = run_traffic("torus", "wormhole", None, True, "dispatch",
+                           telemetry=True)
+    array = run_traffic("torus", "wormhole", None, True, "array",
+                        telemetry=True)
+    assert array == dispatch
+
+
+class TestUnsupportedConfigs:
+    """Everything the engine cannot lower refuses at config time, naming
+    the limitation; ``backend="auto"`` falls back to dispatch silently."""
+
+    @pytest.mark.parametrize("name", ("tree", "ctree"))
+    def test_tree_family_refused(self, name):
+        with pytest.raises(ConfigurationError, match="lowering"):
+            FabricConfig(topology=name, ports=16, backend="array")
+
+    def test_pipeline_depth_refused(self):
+        with pytest.raises(ConfigurationError, match="pipeline_depth"):
+            FabricConfig(topology="mesh", ports=16, backend="array",
+                         pipeline_depth=2)
+
+    def test_segmented_links_refused(self):
+        with pytest.raises(ConfigurationError, match="segment"):
+            FabricConfig(topology="torus", ports=16, backend="array",
+                         segment_links=True)
+
+    def test_unknown_backend_refused(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            FabricConfig(topology="mesh", ports=16, backend="simd")
+
+    @pytest.mark.parametrize("kwargs", (
+        {"topology": "tree"},
+        {"topology": "mesh", "pipeline_depth": 2},
+        {"topology": "torus", "segment_links": True},
+    ))
+    def test_auto_falls_back_silently(self, kwargs):
+        net = FabricConfig(ports=16, backend="auto", **kwargs).build()
+        net.send(Packet(src=0, dest=3, payload=[1]))
+        assert net.drain(max_ticks=50_000)
+        assert net.stats.packets_delivered == 1
+
+    def test_auto_uses_the_array_engine_when_supported(self):
+        net = FabricConfig(topology="mesh", ports=16, backend="auto").build()
+        assert getattr(net, "engine", None) is not None
