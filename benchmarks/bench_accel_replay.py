@@ -1,0 +1,145 @@
+"""BENCH-ACCEL — trace replay throughput: activity-driven vs naive.
+
+The accelerator replay layer (``repro.accel``) is the idle-heavy
+workload shape the activity-driven kernel exists for: during a long
+GEMM compute phase every endpoint is asleep on a scheduled wake and
+the fabric is completely drained, so the fast path should skip nearly
+every tick while the naive loop fires every component on all of them.
+
+Two scenarios, both on the 16-node dateline-VC torus:
+
+* **gemm** — a drain-heavy tiled GEMM with a deep reduction dimension
+  (``k`` large), so tile compute dominates the makespan and the NoC
+  idles between short DMA bursts. The activity-driven replay must be
+  >= 2x faster than the naive loop, with byte-identical results.
+* **llm** — the canned LLM decode trace: denser communication (weight
+  and KV reads every layer, a write barrier between layers), so the
+  fabric is busier and the speedup smaller. Not gated on speed, but
+  the byte-identity contract still holds.
+
+Entries are appended to the shared ``BENCH_kernel.json`` history under
+``accel_``-prefixed keys; the regression gate compares against the
+newest entry that recorded them (the history interleaves kernel-bench
+and accel-bench entries).
+"""
+
+import argparse
+import json
+import time
+
+from bench_kernel_throughput import (
+    BASELINE_PATH,
+    REGRESSION_FACTOR,
+    _git_sha,
+    load_history,
+)
+
+from repro.accel.generators import llm_decode_trace, tiled_gemm_trace
+from repro.accel.replay import ReplaySystem
+from repro.fabric.registry import FabricConfig
+
+PORTS = 16
+#: Drain-heavy GEMM: 4 tiles of 32x32x4096 — ~16k compute cycles per
+#: tile against a handful of DMA flits, one tile per PE.
+GEMM_KWARGS = dict(pes=4, mems=2, seed=0, m=64, n=64, k=4096, tile=32)
+LLM_KWARGS = dict(pes=4, mems=2, seed=0, layers=2, d_model=64)
+
+
+def run_replay(trace, activity_driven: bool) -> dict:
+    """Replay ``trace`` on the VC torus and time the whole run."""
+    config = FabricConfig(topology="torus", ports=PORTS,
+                          flow_control="vc", n_vcs=2,
+                          activity_driven=activity_driven)
+    system = ReplaySystem(trace, config)
+    start = time.perf_counter()
+    system.run()
+    elapsed = time.perf_counter() - start
+    results = system.results()
+    if not results.completed:
+        raise RuntimeError("replay did not complete")
+    return {
+        "elapsed_s": elapsed,
+        "cycles_per_s": (results.makespan_cycles / elapsed
+                         if elapsed > 0 else float("inf")),
+        "makespan_cycles": results.makespan_cycles,
+        "results_json": results.to_json(),
+    }
+
+
+def measure() -> dict:
+    gemm = tiled_gemm_trace(**GEMM_KWARGS)
+    llm = llm_decode_trace(**LLM_KWARGS)
+    gemm_fast = run_replay(gemm, activity_driven=True)
+    gemm_naive = run_replay(gemm, activity_driven=False)
+    llm_fast = run_replay(llm, activity_driven=True)
+    llm_naive = run_replay(llm, activity_driven=False)
+    return {
+        "accel_ports": PORTS,
+        "accel_gemm_makespan_cycles": gemm_fast["makespan_cycles"],
+        "accel_gemm_fast_cycles_per_s": round(gemm_fast["cycles_per_s"]),
+        "accel_gemm_naive_cycles_per_s": round(gemm_naive["cycles_per_s"]),
+        "accel_gemm_speedup": round(
+            gemm_fast["cycles_per_s"] / gemm_naive["cycles_per_s"], 1),
+        "accel_llm_makespan_cycles": llm_fast["makespan_cycles"],
+        "accel_llm_fast_cycles_per_s": round(llm_fast["cycles_per_s"]),
+        "accel_llm_naive_cycles_per_s": round(llm_naive["cycles_per_s"]),
+        "accel_llm_speedup": round(
+            llm_fast["cycles_per_s"] / llm_naive["cycles_per_s"], 1),
+        "_gemm_fast": gemm_fast,
+        "_gemm_naive": gemm_naive,
+        "_llm_fast": llm_fast,
+        "_llm_naive": llm_naive,
+    }
+
+
+def test_accel_replay(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Equivalence first: the kernel mode must change nothing observable
+    # about the replay — makespan, stalls, utilisation, all of it.
+    assert results["_gemm_fast"]["results_json"] == \
+        results["_gemm_naive"]["results_json"]
+    assert results["_llm_fast"]["results_json"] == \
+        results["_llm_naive"]["results_json"]
+
+    # The performance contract: the drain-heavy replay must be >= 2x
+    # faster activity-driven (measured: far above).
+    assert results["accel_gemm_speedup"] >= 2.0, results
+
+    # Regression gate against the newest history entry carrying the key.
+    history = load_history()
+    baseline = next((entry["accel_gemm_speedup"]
+                     for entry in reversed(history)
+                     if "accel_gemm_speedup" in entry), None)
+    if baseline:
+        assert results["accel_gemm_speedup"] >= \
+            REGRESSION_FACTOR * baseline, (
+                f"accel_gemm_speedup regressed: "
+                f"{results['accel_gemm_speedup']} vs recorded {baseline} "
+                f"(floor {REGRESSION_FACTOR * baseline})"
+            )
+
+    print()
+    print(json.dumps({k: v for k, v in results.items()
+                      if not k.startswith("_")}, indent=2))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="accel replay bench: append a history entry to "
+                    f"{BASELINE_PATH.name}")
+    parser.parse_args()
+    results = measure()
+    entry = {k: v for k, v in results.items() if not k.startswith("_")}
+    entry["sha"] = _git_sha()
+    entry["date"] = time.strftime("%Y-%m-%d")
+    history = load_history()
+    history.append(entry)
+    BASELINE_PATH.write_text(
+        json.dumps({"history": history}, indent=2) + "\n")
+    print(json.dumps(entry, indent=2))
+    print(f"history entry {len(history)} appended to {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

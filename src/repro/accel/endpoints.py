@@ -1,0 +1,322 @@
+"""Clocked endpoint models of the accelerator system.
+
+Three component kinds replay a trace over any registered fabric:
+
+- :class:`ControlProcessor` holds the dependency graph and fans commands
+  out to the PEs — an event is dispatched once every dependency has
+  reported completion, in trace order per PE;
+- :class:`ProcessingElement` executes its command stream in order:
+  compute events occupy it for the event's cycle cost, DMA events turn
+  into request + payload bursts toward a memory channel and stall the PE
+  until the transfer completes;
+- :class:`MemoryChannel` services read/write requests one at a time at a
+  fixed word rate, streaming read data back and acknowledging writes.
+
+All three honour the idle-component sleep contract: a PE mid-compute
+sleeps on a ``call_at`` timer, the CP sleeps between completion reports,
+a drained memory channel sleeps on its inbox — so compute-heavy phases
+with a silent fabric fast-forward under the activity-driven kernel, and
+(because every transition is condition-checked on the edge) replays stay
+bit-identical under the naive kernel.
+
+Endpoints attach *after* the network is built, so delivery handlers wake
+them on the very tick a packet arrives — the same tick the naive kernel
+would have them observe it.
+
+Message protocol (payload words, 32-bit each)::
+
+    CMD        [1, event_id]              CP  -> PE
+    DONE       [2, event_id]              PE  -> CP
+    READ_REQ   [3, event_id, data_flits]  PE  -> mem
+    WRITE_REQ  [4, event_id, data_flits]  PE  -> mem
+    DATA       [5, event_id, *words]      mem -> PE   (read payload burst)
+    WDATA      [6, event_id, *words]      PE  -> mem  (write payload burst)
+    ACK        [7, event_id]              mem -> PE
+
+Bursts are chunked to the fabric's packet bound (the bubble rule caps
+wormhole packets on ring-closing fabrics); request/payload pairing is
+counted per event id, so packet reordering between distinct packets can
+never corrupt a transfer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.accel.placement import Placement
+from repro.accel.trace import AccelEvent, AccelTrace, KIND_COMPUTE
+from repro.noc.packet import Packet
+from repro.sim.component import ClockedComponent
+from repro.sim.kernel import SimKernel
+
+MSG_CMD = 1
+MSG_DONE = 2
+MSG_READ_REQ = 3
+MSG_WRITE_REQ = 4
+MSG_DATA = 5
+MSG_WDATA = 6
+MSG_ACK = 7
+
+#: Header words every protocol packet spends (kind + event id).
+HEADER_WORDS = 2
+
+#: Burst packets never exceed this many flits even on unbounded fabrics
+#: (tree handshake links) — keeps store-and-forward latency comparable.
+MAX_PACKET_FLITS_CAP = 8
+
+#: Words a memory channel moves per cycle while servicing a transfer.
+DEFAULT_MEM_WORDS_PER_CYCLE = 4
+
+
+def burst_packets(src: int, dest: int, kind: int, event_id: int,
+                  data_flits: int, max_packet_flits: int) -> list[Packet]:
+    """Chunk a payload of ``data_flits`` words into protocol packets."""
+    per_packet = max_packet_flits - HEADER_WORDS
+    if per_packet < 1:
+        raise ConfigurationError(
+            f"burst packets need >= {HEADER_WORDS + 1} flits, "
+            f"got a {max_packet_flits}-flit bound")
+    packets = []
+    remaining = data_flits
+    while remaining > 0:
+        words = min(per_packet, remaining)
+        packets.append(Packet(src=src, dest=dest,
+                              payload=[kind, event_id] + [0] * words))
+        remaining -= words
+    return packets
+
+
+class _AccelEndpoint(ClockedComponent):
+    """Shared inbox + delivery plumbing of the three endpoint models."""
+
+    def __init__(self, kernel: SimKernel, name: str, network,
+                 node: int):
+        super().__init__(name, parity=0)
+        self.network = network
+        self.node = node
+        self.inbox: deque[Packet] = deque()
+        network.set_handler(node, self.deliver)
+        kernel.add_component(self)
+
+    def deliver(self, packet: Packet, tick: int) -> None:
+        """Sink-side delivery hook: enqueue and wake for this edge."""
+        self.inbox.append(packet)
+        self.wake()
+
+    def _send(self, dest: int, payload: list[int]) -> None:
+        self.network.send(Packet(src=self.node, dest=dest,
+                                 payload=payload))
+
+
+class ControlProcessor(_AccelEndpoint):
+    """Dispatches the trace's events to the PEs as deps resolve."""
+
+    def __init__(self, kernel: SimKernel, network, trace: AccelTrace,
+                 placement: Placement):
+        super().__init__(kernel, "accel.cp", network, placement.cp)
+        self.trace = trace
+        self.placement = placement
+        self.queues: dict[int, deque[AccelEvent]] = {
+            pe: deque() for pe in range(trace.pes)}
+        for event in trace.events:
+            self.queues[event.pe].append(event)
+        self.completed: set[int] = set()
+        self.commands_sent = 0
+        self.last_done_tick = 0
+
+    @property
+    def done(self) -> bool:
+        return len(self.completed) == len(self.trace.events)
+
+    def on_edge(self, tick: int) -> None:
+        while self.inbox:
+            packet = self.inbox.popleft()
+            kind, event_id = packet.payload[0], packet.payload[1]
+            if kind != MSG_DONE:
+                raise ProtocolError(
+                    f"control processor got message kind {kind}")
+            self.completed.add(event_id)
+            self.last_done_tick = tick
+        # Dispatch every event whose dependencies are met, in trace
+        # order per PE. Anything still blocked waits on a DONE that is
+        # guaranteed to arrive (the earliest incomplete event always has
+        # complete deps), so sleeping below can never deadlock.
+        for pe_index, queue in self.queues.items():
+            while queue and all(dep in self.completed
+                                for dep in queue[0].deps):
+                event = queue.popleft()
+                self._send(self.placement.pes[pe_index],
+                           [MSG_CMD, event.event_id])
+                self.commands_sent += 1
+        self.sleep_until()  # deliver() wakes on the next completion
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Cycles from replay start to the last completion report."""
+        return self.last_done_tick // 2
+
+
+class ProcessingElement(_AccelEndpoint):
+    """Executes its command stream in order: compute, then DMA stalls."""
+
+    def __init__(self, kernel: SimKernel, network, index: int,
+                 events: dict[int, AccelEvent], placement: Placement,
+                 max_packet_flits: int):
+        super().__init__(kernel, f"accel.pe{index}", network,
+                         placement.pes[index])
+        self.index = index
+        self.events = events
+        self.placement = placement
+        self.max_packet_flits = max_packet_flits
+        self.commands: deque[int] = deque()
+        self.current: AccelEvent | None = None
+        self.busy_until = 0
+        self.wait_from = 0
+        self.data_needed = 0
+        self.data_received = 0
+        self.ack_received = False
+        self.compute_cycles = 0
+        self.stall_cycles = 0
+        #: Compute event ids in completion order — the per-PE ordering
+        #: the cross-fabric determinism tests compare.
+        self.compute_log: list[int] = []
+
+    def on_edge(self, tick: int) -> None:
+        while self.inbox:
+            packet = self.inbox.popleft()
+            kind, event_id = packet.payload[0], packet.payload[1]
+            if kind == MSG_CMD:
+                self.commands.append(event_id)
+            elif kind == MSG_DATA:
+                self._expect_current(event_id, kind)
+                self.data_received += len(packet.payload) - HEADER_WORDS
+            elif kind == MSG_ACK:
+                self._expect_current(event_id, kind)
+                self.ack_received = True
+            else:
+                raise ProtocolError(f"PE{self.index} got kind {kind}")
+        if self.current is not None and self._current_finished(tick):
+            self._finish(tick)
+        if self.current is None and self.commands:
+            self._start(self.events[self.commands.popleft()], tick)
+        # Asleep, the next edge changes nothing: a busy compute waits on
+        # its call_at timer, a DMA waits on delivery, idle waits on CMD.
+        self.sleep_until()
+
+    def _expect_current(self, event_id: int, kind: int) -> None:
+        if self.current is None or event_id != self.current.event_id:
+            raise ProtocolError(
+                f"PE{self.index}: kind-{kind} message for event "
+                f"{event_id} does not match the current transfer")
+
+    def _current_finished(self, tick: int) -> bool:
+        event = self.current
+        if event.kind == KIND_COMPUTE:
+            return tick >= self.busy_until
+        if event.direction == "read":
+            return self.data_received >= self.data_needed
+        return self.ack_received
+
+    def _start(self, event: AccelEvent, tick: int) -> None:
+        self.current = event
+        if event.kind == KIND_COMPUTE:
+            self.busy_until = tick + 2 * event.cycles
+            # Parity-0 deadline: wake on the preceding odd tick so the
+            # completing edge fires exactly at busy_until in both modes.
+            self._kernel.call_at(self.busy_until - 1,
+                                 lambda _tick: self.wake())
+            return
+        mem_node = self.placement.mems[event.mem]
+        flits = event.flits
+        self.wait_from = tick
+        if event.direction == "read":
+            self.data_needed = flits
+            self.data_received = 0
+            self._send(mem_node, [MSG_READ_REQ, event.event_id, flits])
+        else:
+            self.ack_received = False
+            self._send(mem_node, [MSG_WRITE_REQ, event.event_id, flits])
+            for packet in burst_packets(self.node, mem_node, MSG_WDATA,
+                                        event.event_id, flits,
+                                        self.max_packet_flits):
+                self.network.send(packet)
+
+    def _finish(self, tick: int) -> None:
+        event = self.current
+        if event.kind == KIND_COMPUTE:
+            self.compute_cycles += event.cycles
+            self.compute_log.append(event.event_id)
+        else:
+            self.stall_cycles += (tick - self.wait_from) // 2
+        self.current = None
+        self._send(self.placement.cp, [MSG_DONE, event.event_id])
+
+
+class MemoryChannel(_AccelEndpoint):
+    """A single-ported memory controller: in-order, fixed word rate."""
+
+    def __init__(self, kernel: SimKernel, network, index: int,
+                 placement: Placement, max_packet_flits: int,
+                 words_per_cycle: int = DEFAULT_MEM_WORDS_PER_CYCLE):
+        super().__init__(kernel, f"accel.mem{index}", network,
+                         placement.mems[index])
+        if words_per_cycle < 1:
+            raise ConfigurationError("words_per_cycle must be >= 1")
+        self.index = index
+        self.words_per_cycle = words_per_cycle
+        self.max_packet_flits = max_packet_flits
+        #: (event_id, requester node, direction, payload flits) in
+        #: request-arrival order — the service queue.
+        self.jobs: deque[tuple[int, int, str, int]] = deque()
+        self.received: dict[int, int] = {}
+        self.busy: tuple[int, int, str, int] | None = None
+        self.ready_at = 0
+        self.reads_served = 0
+        self.writes_served = 0
+
+    def on_edge(self, tick: int) -> None:
+        while self.inbox:
+            packet = self.inbox.popleft()
+            kind, event_id = packet.payload[0], packet.payload[1]
+            if kind == MSG_READ_REQ:
+                self.jobs.append((event_id, packet.src, "read",
+                                  packet.payload[2]))
+            elif kind == MSG_WRITE_REQ:
+                self.jobs.append((event_id, packet.src, "write",
+                                  packet.payload[2]))
+            elif kind == MSG_WDATA:
+                self.received[event_id] = (
+                    self.received.get(event_id, 0)
+                    + len(packet.payload) - HEADER_WORDS)
+            else:
+                raise ProtocolError(f"mem{self.index} got kind {kind}")
+        if self.busy is not None and tick >= self.ready_at:
+            self._complete(self.busy)
+            self.busy = None
+        if self.busy is None and self.jobs:
+            event_id, _src, direction, flits = self.jobs[0]
+            # A write is serviceable once its payload has fully landed;
+            # an incomplete head blocks the queue (in-order controller)
+            # until the remaining WDATA packets wake us.
+            if direction == "read" or \
+                    self.received.get(event_id, 0) >= flits:
+                self.busy = self.jobs.popleft()
+                cycles = max(1, -(-flits // self.words_per_cycle))
+                self.ready_at = tick + 2 * cycles
+                self._kernel.call_at(self.ready_at - 1,
+                                     lambda _tick: self.wake())
+        self.sleep_until()
+
+    def _complete(self, job: tuple[int, int, str, int]) -> None:
+        event_id, requester, direction, flits = job
+        if direction == "read":
+            self.reads_served += 1
+            for packet in burst_packets(self.node, requester, MSG_DATA,
+                                        event_id, flits,
+                                        self.max_packet_flits):
+                self.network.send(packet)
+        else:
+            self.writes_served += 1
+            self.received.pop(event_id, None)
+            self._send(requester, [MSG_ACK, event_id])

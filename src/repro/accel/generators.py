@@ -1,0 +1,167 @@
+"""Offline, torch-free trace generators for three canned models.
+
+Each generator lowers a model's dataflow to the trace schema with
+seeded determinism (``random.Random(seed)`` only — the same arguments
+always produce byte-identical trace files). Sizes are deliberately
+modest: the traces model the *shape* of the traffic — phases of compute
+silence punctuated by DMA bursts, cross-PE barriers — at a scale every
+registered fabric replays in seconds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.accel.trace import (
+    AccelEvent,
+    AccelTrace,
+    KIND_COMPUTE,
+    KIND_DMA,
+    gemm_cycles,
+)
+
+
+class _TraceBuilder:
+    """Monotonic ids + round-robin memory striping for the generators."""
+
+    def __init__(self, mems: int):
+        self.mems = mems
+        self.events: list[AccelEvent] = []
+        self._next_mem = 0
+
+    def _new_id(self) -> int:
+        return len(self.events)
+
+    def stripe(self) -> int:
+        mem = self._next_mem
+        self._next_mem = (self._next_mem + 1) % self.mems
+        return mem
+
+    def compute(self, pe: int, cycles: int, deps: tuple[int, ...] = (),
+                gemm: tuple[int, int, int] | None = None) -> int:
+        event = AccelEvent(event_id=self._new_id(), kind=KIND_COMPUTE,
+                           pe=pe, cycles=cycles, deps=deps, gemm=gemm)
+        self.events.append(event)
+        return event.event_id
+
+    def dma(self, pe: int, mem: int, direction: str, n_bytes: int,
+            deps: tuple[int, ...] = ()) -> int:
+        event = AccelEvent(event_id=self._new_id(), kind=KIND_DMA,
+                           pe=pe, mem=mem, direction=direction,
+                           n_bytes=n_bytes, deps=deps)
+        self.events.append(event)
+        return event.event_id
+
+
+def llm_decode_trace(pes: int = 4, mems: int = 2, seed: int = 0,
+                     layers: int = 2, d_model: int = 64) -> AccelTrace:
+    """One autoregressive decode step of a tensor-parallel LLM.
+
+    Per layer, every PE reads its weight tile and a KV-cache slice
+    (the slice length jitters with the seed, standing in for the growing
+    sequence), runs the sharded GEMV, and writes its activation shard;
+    the next layer's reads wait on *all* shards (the all-gather barrier),
+    so the trace alternates busy bursts with fabric-wide sync points.
+    """
+    if d_model % pes:
+        raise ConfigurationError(
+            f"d_model={d_model} must divide over {pes} PEs")
+    rng = random.Random(seed)
+    build = _TraceBuilder(mems)
+    barrier: tuple[int, ...] = ()
+    for _ in range(layers):
+        writes = []
+        for pe in range(pes):
+            weights = build.dma(pe, build.stripe(), "read", 2 * d_model,
+                                deps=barrier)
+            kv_rows = rng.randint(8, 24)
+            kv = build.dma(pe, build.stripe(), "read",
+                           2 * kv_rows * (d_model // pes), deps=barrier)
+            shape = (1, d_model // pes, d_model)
+            matvec = build.compute(pe, gemm_cycles(*shape),
+                                   deps=(weights, kv), gemm=shape)
+            writes.append(build.dma(pe, build.stripe(), "write",
+                                    2 * d_model // pes, deps=(matvec,)))
+        barrier = tuple(writes)
+    return AccelTrace(model="llm-decode", pes=pes, mems=mems, seed=seed,
+                      events=tuple(build.events))
+
+
+def tiled_gemm_trace(pes: int = 4, mems: int = 2, seed: int = 0,
+                     m: int = 128, n: int = 128, k: int = 128,
+                     tile: int = 32) -> AccelTrace:
+    """An ``m x k @ k x n`` GEMM tiled over the PEs.
+
+    Output tiles are dealt round-robin in a seed-shuffled order; each
+    tile reads an A row-panel and a B column-panel, computes, and writes
+    the C tile — independent chains with no cross-PE barrier, the
+    embarrassingly parallel end of the workload spectrum.
+    """
+    if m % tile or n % tile:
+        raise ConfigurationError(
+            f"tile={tile} must divide m={m} and n={n}")
+    rng = random.Random(seed)
+    build = _TraceBuilder(mems)
+    tiles = [(i, j) for i in range(m // tile) for j in range(n // tile)]
+    rng.shuffle(tiles)
+    for index, (_i, _j) in enumerate(tiles):
+        pe = index % pes
+        a_panel = build.dma(pe, build.stripe(), "read", 2 * tile)
+        b_panel = build.dma(pe, build.stripe(), "read", 2 * tile)
+        shape = (tile, tile, k)
+        matmul = build.compute(pe, gemm_cycles(*shape),
+                               deps=(a_panel, b_panel), gemm=shape)
+        build.dma(pe, build.stripe(), "write", 4 * tile, deps=(matmul,))
+    return AccelTrace(model="gemm", pes=pes, mems=mems, seed=seed,
+                      events=tuple(build.events))
+
+
+def param_server_trace(pes: int = 4, mems: int = 2, seed: int = 0,
+                       steps: int = 3, param_bytes: int = 1024
+                       ) -> AccelTrace:
+    """Synchronous data-parallel training against a parameter server.
+
+    Per step, each worker PE computes its gradients (cost jittered by
+    the seed — stragglers included), pushes its shard to the server
+    channels, then pulls fresh parameters once *every* worker has pushed
+    — the classic all-to-one incast followed by a one-to-all fan-out.
+    """
+    rng = random.Random(seed)
+    build = _TraceBuilder(mems)
+    shard = max(1, param_bytes // pes)
+    pulls: tuple[int, ...] = ()
+    for _ in range(steps):
+        pushes = []
+        grads = []
+        for pe in range(pes):
+            cost = rng.randint(200, 400)
+            grads.append(build.compute(pe, cost, deps=pulls))
+        for pe in range(pes):
+            pushes.append(build.dma(pe, build.stripe(), "write", shard,
+                                    deps=(grads[pe],)))
+        barrier = tuple(pushes)
+        pulls = tuple(
+            build.dma(pe, build.stripe(), "read", shard, deps=barrier)
+            for pe in range(pes)
+        )
+    return AccelTrace(model="param-server", pes=pes, mems=mems, seed=seed,
+                      events=tuple(build.events))
+
+
+#: Registered canned models, by CLI name.
+MODELS = {
+    "llm-decode": llm_decode_trace,
+    "gemm": tiled_gemm_trace,
+    "param-server": param_server_trace,
+}
+MODEL_NAMES = tuple(MODELS)
+
+
+def generate_trace(model: str, pes: int = 4, mems: int = 2, seed: int = 0,
+                   **kwargs) -> AccelTrace:
+    """Build a canned model's trace by registered name."""
+    if model not in MODELS:
+        raise ConfigurationError(
+            f"unknown model {model!r}; registered: {', '.join(MODELS)}")
+    return MODELS[model](pes=pes, mems=mems, seed=seed, **kwargs)

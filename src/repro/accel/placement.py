@@ -1,0 +1,83 @@
+"""Picklable placement specs: which fabric node hosts which endpoint.
+
+A :class:`Placement` maps the accelerator roles — one control processor,
+``P`` processing elements, ``M`` memory channels — onto distinct node
+indices of a built fabric. It is plain frozen data, so mapping sweeps
+ship placements to worker processes unchanged and checkpoints hash them
+stably (:func:`repro.analysis.parallel.spec_hash`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Node indices of the control processor, the PEs and the memories."""
+
+    cp: int
+    pes: tuple[int, ...]
+    mems: tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.pes or not self.mems:
+            raise ConfigurationError(
+                "a placement needs >= 1 PE and >= 1 memory node")
+        nodes = (self.cp, *self.pes, *self.mems)
+        if len(set(nodes)) != len(nodes):
+            raise ConfigurationError(
+                f"placement nodes must be distinct, got {nodes}")
+        if min(nodes) < 0:
+            raise ConfigurationError("placement nodes must be >= 0")
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        return (self.cp, *self.pes, *self.mems)
+
+    def check_fits(self, ports: int) -> None:
+        """Reject a placement naming nodes the fabric does not have."""
+        if max(self.nodes) >= ports:
+            raise ConfigurationError(
+                f"placement uses node {max(self.nodes)} but the fabric "
+                f"has only {ports} endpoints"
+            )
+
+    def rotated(self, offset: int, ports: int) -> "Placement":
+        """The placement shifted by ``offset`` nodes (mod ``ports``).
+
+        Rotation preserves distinctness, so it is the cheap way to sweep
+        mappings: the same workload lands on every alignment of the
+        fabric without re-deriving a placement from scratch.
+        """
+        if ports < len(self.nodes):
+            raise ConfigurationError(
+                f"cannot rotate a {len(self.nodes)}-endpoint placement "
+                f"on a {ports}-port fabric"
+            )
+        return Placement(
+            cp=(self.cp + offset) % ports,
+            pes=tuple((pe + offset) % ports for pe in self.pes),
+            mems=tuple((mem + offset) % ports for mem in self.mems),
+        )
+
+
+def default_placement(ports: int, pes: int, mems: int) -> Placement:
+    """CP at node 0, PEs next, memory channels at the far end.
+
+    Putting the memories at the highest indices spreads the DMA paths
+    across the fabric diameter — the honest default for a workload
+    column, neither adversarial nor hand-tuned.
+    """
+    if ports < 1 + pes + mems:
+        raise ConfigurationError(
+            f"{pes} PEs + {mems} memory channels + the control processor "
+            f"need >= {1 + pes + mems} endpoints, fabric has {ports}"
+        )
+    return Placement(
+        cp=0,
+        pes=tuple(range(1, 1 + pes)),
+        mems=tuple(range(ports - mems, ports)),
+    )

@@ -325,13 +325,17 @@ def measure_load_points(specs: Sequence[LoadPoint],
 # -- checkpoint/resume ----------------------------------------------------
 
 
-def spec_hash(spec: LoadPoint) -> str:
+def spec_hash(spec: Any) -> str:
     """Stable content hash identifying a sweep point across runs.
 
     SHA-1 of the spec's canonical JSON (sorted keys, nested configs
     flattened by ``dataclasses.asdict``, the network class name included
     so equal-fielded config types cannot collide). Equal specs hash
     equally in every process and session; any field change rehashes.
+
+    Accepts any dataclass spec with a ``network`` config field — the
+    :class:`LoadPoint` here and the accel replay's mapping-sweep
+    :class:`~repro.accel.replay.ReplayPoint` share the checkpoint format.
     """
     payload = asdict(spec)
     payload["network_type"] = type(spec.network).__name__

@@ -5,7 +5,14 @@ Commands:
 * ``info``      — describe an IC-NoC instance (structure, f_max, area);
 * ``validate``  — run the eq. (1)-(7) timing checks at a frequency;
 * ``fig7``      — print the Fig. 7 frequency/wire-length curve;
-* ``traffic``   — run a synthetic workload and print the statistics;
+* ``traffic``   — run a synthetic workload and print the statistics, or
+  replay a recorded injection trace (``--trace file.jsonl``);
+* ``replay``    — replay an accelerator workload trace (canned model or
+  ``--trace file.jsonl``) over any registered fabric: a control
+  processor fans commands out to processing elements whose DMAs hit
+  memory channels, and the run reports makespan, per-PE utilisation and
+  NoC stall cycles; ``--sweep-placements N`` measures N rotated
+  placements (optionally ``--workers``-parallel);
 * ``sweep``     — offered-load sweep (optionally process-parallel), as a
   fixed grid or a parallel bisection of the saturation knee, over any
   registered fabric (``--topology tree|mesh|torus|ring|ctree``), with
@@ -22,7 +29,9 @@ Commands:
   1-in-N sampling), decomposing queueing vs transit per hop;
 * ``compare``   — the paper-style physical comparison (hops, buffer
   flits, area, energy per flit, clock power) across every registered
-  topology under every flow control it declares;
+  topology under every flow control it declares, plus a real-workload
+  makespan column replaying the same accelerator trace on every row
+  (``--workload none`` keeps it purely structural);
 * ``topologies``— list the fabric registry (structure, clocking);
 * ``demo``      — run the 32-tile demonstrator system;
 * ``corners``   — operating frequency per process corner.
@@ -226,14 +235,40 @@ def cmd_fig7(args: argparse.Namespace) -> int:
 
 def cmd_traffic(args: argparse.Namespace) -> int:
     noc = ICNoC(_config_from(args))
-    if args.pattern == "uniform":
-        generator = UniformRandom(args.ports, args.load,
-                                  size_flits=args.flits)
+    if args.trace is not None:
+        # Replay a recorded schedule instead of generating one — the
+        # loader (shared with the accel formats) validates the trace's
+        # schema version and reports corrupt lines by number.
+        from repro.traffic.base import apply_traffic
+        from repro.traffic.trace import replay_trace
+
+        try:
+            injections = replay_trace(args.trace)
+            for injection in injections:
+                if not 0 <= injection.src < args.ports \
+                        or not 0 <= injection.dest < args.ports:
+                    raise ConfigurationError(
+                        f"{args.trace}: injection {injection.src} -> "
+                        f"{injection.dest} does not fit a "
+                        f"{args.ports}-port network"
+                    )
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        apply_traffic(noc.network, injections)
+        noc.network.stats.gating.merge(noc.network.gating_stats())
+        stats = noc.network.stats
+        print(f"replayed {len(injections)} injections from {args.trace}")
     else:
-        generator = NeighbourTraffic(args.ports, args.load,
-                                     size_flits=args.flits,
-                                     locality=args.locality)
-    stats = noc.run_traffic(generator, cycles=args.cycles, seed=args.seed)
+        if args.pattern == "uniform":
+            generator = UniformRandom(args.ports, args.load,
+                                      size_flits=args.flits)
+        else:
+            generator = NeighbourTraffic(args.ports, args.load,
+                                         size_flits=args.flits,
+                                         locality=args.locality)
+        stats = noc.run_traffic(generator, cycles=args.cycles,
+                                seed=args.seed)
     print(stats.describe())
     return 0 if stats.packets_delivered == stats.packets_injected else 1
 
@@ -490,8 +525,101 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if metrics["drained"] else 1
 
 
+def _replay_fabric_config(args: argparse.Namespace) -> FabricConfig:
+    """The registry fabric a ``replay`` invocation builds."""
+    kwargs: dict = {
+        "topology": args.topology, "ports": args.ports,
+        "chip_width_mm": args.chip_mm, "chip_height_mm": args.chip_mm,
+        "buffer_depth": args.buffer_depth,
+        "activity_driven": not args.naive,
+    }
+    if args.flow_control == "vc":
+        kwargs["flow_control"] = "vc"
+        kwargs["n_vcs"] = 2 if args.vcs is None else args.vcs
+        if args.vc_policy is not None:
+            kwargs["vc_policy"] = args.vc_policy
+    elif args.vcs is not None or args.vc_policy is not None:
+        raise ConfigurationError(
+            "--vcs/--vc-policy only apply with --flow-control vc"
+        )
+    return FabricConfig(**kwargs)
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.accel import (
+        ReplaySystem,
+        generate_trace,
+        load_accel_trace,
+        save_accel_trace,
+        sweep_placements,
+    )
+    try:
+        if args.trace is not None:
+            trace = load_accel_trace(args.trace)
+        else:
+            trace = generate_trace(args.model, pes=args.pes,
+                                   mems=args.mems, seed=args.seed)
+        if args.save_trace is not None:
+            save_accel_trace(trace, args.save_trace)
+            print(f"trace written to {args.save_trace} "
+                  f"({len(trace.events)} events)")
+        config = _replay_fabric_config(args)
+        if args.sweep_placements:
+            records = sweep_placements(
+                config, model=args.model, trace_path=args.trace,
+                pes=trace.pes, mems=trace.mems, seed=args.seed,
+                offsets=tuple(range(args.sweep_placements)),
+                workers=args.workers, max_cycles=args.max_cycles)
+            print(format_table(
+                ["offset", "makespan cy", "noc stall cy", "delivered"],
+                [[r["offset"], r["makespan_cycles"],
+                  r["noc_stall_cycles"], r["packets_delivered"]]
+                 for r in records],
+                title=(f"Placement sweep: {trace.model} on "
+                       f"{config.topology} ({config.flow_control}), "
+                       f"{config.ports} endpoints"),
+            ))
+            best = min(records, key=lambda r: r["makespan_cycles"])
+            print(f"best offset: {best['offset']} "
+                  f"({best['makespan_cycles']} cycles)")
+            return 0
+        system = ReplaySystem(trace, config)
+        registry = None
+        if args.metrics is not None:
+            from repro.telemetry import attach_metrics
+            registry = attach_metrics(system.network)
+        results = system.run(max_cycles=args.max_cycles)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"replay: {trace.model} on {config.topology} "
+          f"({config.flow_control}), {config.ports} endpoints, "
+          f"{len(trace.events)} events")
+    print(f"makespan: {results.makespan_cycles} cycles")
+    print(f"noc stall cycles: {results.noc_stall_cycles} "
+          f"({results.packets_delivered} packets, "
+          f"{results.flits_delivered} flits delivered)")
+    for pe in results.per_pe:
+        print(f"  pe{pe.pe}: {pe.compute_cycles} compute cy, "
+              f"{pe.stall_cycles} stall cy, "
+              f"utilisation {pe.utilization:.1%}")
+    if registry is not None:
+        with open(args.metrics, "w") as handle:
+            handle.write(json.dumps(registry.summary().to_dict(),
+                                    sort_keys=True) + "\n")
+        print(f"metrics written to {args.metrics}")
+    if args.json:
+        print(results.to_json())
+    if not results.completed:
+        print(f"error: replay incomplete after {args.max_cycles} cycles",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.physical.comparison import physical_comparison_rows
+    workload = None if args.workload == "none" else args.workload
     try:
         rows = physical_comparison_rows(
             nodes=args.nodes, n_vcs=args.vcs,
@@ -500,6 +628,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             pipeline_depth=args.pipeline_depth,
             segment_mm=args.segment_mm,
             backend=args.backend,
+            workload=workload,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -509,16 +638,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
         pipeline_note += f", {args.pipeline_depth}-stage routers"
     if args.segment_mm is not None:
         pipeline_note += f", <= {args.segment_mm:g} mm segments"
+    if workload is not None:
+        pipeline_note += f", workload {workload}"
+    headers = ["topology", "flow", "clock", "hops avg/worst",
+               "buffer flits", "area mm^2", "pJ/flit", "clock mW",
+               "f GHz"]
+    cells = [[r.topology, r.flow_control, r.clock_distribution,
+              f"{r.mean_hops:.2f} / {r.worst_hops}",
+              r.buffer_flits,
+              round(r.area_mm2, 3),
+              round(r.energy_pj_per_flit, 2),
+              round(r.clock_mw, 2),
+              round(r.frequency_ghz, 3)] for r in rows]
+    if workload is not None:
+        headers.append("makespan cy")
+        for row, r in zip(cells, rows):
+            row.append(r.makespan_cycles)
     print(format_table(
-        ["topology", "flow", "clock", "hops avg/worst", "buffer flits",
-         "area mm^2", "pJ/flit", "clock mW", "f GHz"],
-        [[r.topology, r.flow_control, r.clock_distribution,
-          f"{r.mean_hops:.2f} / {r.worst_hops}",
-          r.buffer_flits,
-          round(r.area_mm2, 3),
-          round(r.energy_pj_per_flit, 2),
-          round(r.clock_mw, 2),
-          round(r.frequency_ghz, 3)] for r in rows],
+        headers, cells,
         title=(f"Physical comparison, {args.nodes} endpoints, buffer "
                f"depth {args.buffer_depth}, {args.vcs} VCs"
                f"{pipeline_note} "
@@ -594,6 +731,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--flits", type=int, default=1)
     p_tr.add_argument("--cycles", type=int, default=300)
     p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--trace", default=None,
+                      help="replay this recorded injection trace "
+                           "(JSONL, see repro.traffic.trace) instead of "
+                           "generating synthetic traffic")
     p_tr.set_defaults(func=cmd_traffic)
 
     p_sw = sub.add_parser("sweep", help="offered-load sweep (parallelisable)")
@@ -698,7 +839,68 @@ def build_parser() -> argparse.ArgumentParser:
                             "unsegmented; the tree rows always segment, "
                             "at 1.25 mm unless set)")
     _add_backend_option(p_cmp)
+    from repro.accel.generators import MODEL_NAMES
+    p_cmp.add_argument("--workload", choices=MODEL_NAMES + ("none",),
+                       default="llm-decode",
+                       help="canned accelerator trace replayed on every "
+                            "row for the makespan column ('none' keeps "
+                            "the table purely structural)")
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_rp = sub.add_parser(
+        "replay",
+        help="replay an accelerator workload trace (CP/PE/memory "
+             "endpoint models) over any registered fabric",
+    )
+    p_rp.add_argument("--topology", choices=topology_names(),
+                      default="torus")
+    p_rp.add_argument("--ports", type=int, default=16,
+                      help="fabric endpoints (CP + PEs + memory channels "
+                           "must fit)")
+    p_rp.add_argument("--flow-control", choices=("wormhole", "vc"),
+                      default="wormhole")
+    p_rp.add_argument("--vcs", type=int, default=None,
+                      help="virtual channels per port, default 2 "
+                           "(--flow-control vc only)")
+    p_rp.add_argument("--vc-policy", default=None,
+                      help="VC-assignment policy (topology default when "
+                           "omitted): dateline | escape")
+    p_rp.add_argument("--buffer-depth", type=int, default=4,
+                      help="credit FIFO depth per (port, VC)")
+    p_rp.add_argument("--chip-mm", type=float, default=10.0,
+                      help="square chip edge length in mm")
+    p_rp.add_argument("--model", choices=MODEL_NAMES,
+                      default="llm-decode",
+                      help="canned workload to generate (ignored with "
+                           "--trace)")
+    p_rp.add_argument("--trace", default=None,
+                      help="replay this accel trace file instead of "
+                           "generating --model")
+    p_rp.add_argument("--save-trace", default=None,
+                      help="also write the replayed trace to this file")
+    p_rp.add_argument("--pes", type=int, default=4,
+                      help="processing elements of the generated trace")
+    p_rp.add_argument("--mems", type=int, default=2,
+                      help="memory channels of the generated trace")
+    p_rp.add_argument("--seed", type=int, default=0,
+                      help="trace-generator seed")
+    p_rp.add_argument("--max-cycles", type=int, default=500_000,
+                      help="abort an unfinished replay past this budget")
+    p_rp.add_argument("--naive", action="store_true",
+                      help="run the naive (non-activity-driven) kernel; "
+                           "results are bit-identical, only slower")
+    p_rp.add_argument("--metrics", default=None,
+                      help="attach the telemetry registry and write its "
+                           "summary JSON here")
+    p_rp.add_argument("--json", action="store_true",
+                      help="also print the full results as JSON")
+    p_rp.add_argument("--sweep-placements", type=int, default=0,
+                      metavar="N",
+                      help="replay under N rotated placements and rank "
+                           "them by makespan")
+    p_rp.add_argument("--workers", type=int, default=1,
+                      help="worker processes for --sweep-placements")
+    p_rp.set_defaults(func=cmd_replay)
 
     p_top = sub.add_parser("topologies", help="list the fabric registry")
     p_top.set_defaults(func=cmd_topologies)

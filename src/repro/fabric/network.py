@@ -150,6 +150,7 @@ class CreditFabricNetwork:
         self.links: list[CreditLink | VcCreditLink] = []
         self.delivered: list[Packet] = []
         self._inflight: dict[int, Packet] = {}
+        self._handlers: dict[int, Callable[[Packet, int], None]] = {}
         self._node_prefix = node_prefix
         self._port_names = port_names
         self._floorplan: Floorplan | None = None
@@ -296,9 +297,23 @@ class CreditFabricNetwork:
             self.delivered.append(packet)
             hops = self.topology.hop_count(packet.src, packet.dest)
             self.stats.record_delivery(packet, hops)
+            handler = self._handlers.get(node)
+            if handler is not None:
+                handler(packet, tick)
         return hook
 
     # -- shared run-time API ----------------------------------------------
+
+    def set_handler(self, node: int,
+                    handler: Callable[[Packet, int], None]) -> None:
+        """Install a delivery callback at a node (used by system models).
+
+        Mirrors :meth:`repro.noc.network.ICNoCNetwork.set_handler`, so
+        endpoint models attach to any registry fabric the same way.
+        """
+        if not 0 <= node < self.topology.nodes:
+            raise TopologyError(f"unknown node {node}")
+        self._handlers[node] = handler
 
     def send(self, packet: Packet) -> None:
         if not 0 <= packet.dest < self.topology.nodes:

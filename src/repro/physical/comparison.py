@@ -7,6 +7,10 @@ each fabric's physical descriptor — one row per (topology, flow control)
 pairing, all structural (no traffic is simulated, so clock power is the
 un-gated worst case with every sink at activity 1).
 
+A ``workload`` adds the one simulated column: the same canned
+accelerator trace (:mod:`repro.accel`) replays on every row's fabric and
+reports its makespan — real traffic on otherwise like-for-like rows.
+
 ``python -m repro.cli compare --nodes 16`` prints it.
 """
 
@@ -39,6 +43,8 @@ class PhysicalComparison:
     energy_pj_per_flit: float
     clock_mw: float
     frequency_ghz: float
+    #: Replay makespan of the shared workload trace (None = not run).
+    makespan_cycles: int | None = None
 
 
 def comparison_config(topology: str, flow_control: str, nodes: int = 16,
@@ -95,6 +101,8 @@ def physical_comparison_rows(nodes: int = 16, n_vcs: int = 2,
                              topologies: tuple[str, ...] | None = None,
                              activity_driven: bool = True,
                              backend: str = "dispatch",
+                             workload: str | None = None,
+                             workload_seed: int = 0,
                              ) -> list[PhysicalComparison]:
     """One row per registered (topology, flow control) pairing.
 
@@ -102,10 +110,26 @@ def physical_comparison_rows(nodes: int = 16, n_vcs: int = 2,
     declares — the VC rows pay ``n_vcs x`` the wormhole buffer budget at
     equal ``buffer_depth``, which is exactly the cost the VC router's
     ``buffer_capacity`` reports.
+
+    ``workload`` names a canned accelerator model (see
+    :data:`repro.accel.MODEL_NAMES`); one trace is generated for it —
+    sized to fit ``nodes`` endpoints, shared verbatim by every row — and
+    replayed on each row's fabric, filling ``makespan_cycles``. The
+    replay always runs the dispatch backend (its endpoints are dispatch
+    components); ``backend`` keeps steering only the structural build.
     """
     if nodes < 4:
         raise ConfigurationError("the comparison needs >= 4 endpoints")
     names = topology_names() if topologies is None else topologies
+    trace = None
+    if workload is not None:
+        from repro.accel import generate_trace
+        # The CP takes one node; memories and PEs split the rest, capped
+        # at the canonical 4 PE + 2 mem system of the canned models.
+        workload_mems = 2 if nodes >= 8 else 1
+        workload_pes = max(1, min(4, nodes - 1 - workload_mems))
+        trace = generate_trace(workload, pes=workload_pes,
+                               mems=workload_mems, seed=workload_seed)
     rows = []
     for name in names:
         entry = get_topology(name)
@@ -127,6 +151,19 @@ def physical_comparison_rows(nodes: int = 16, n_vcs: int = 2,
             network = config.build()
             model = physical_model(network)
             frequency = model.frequency_ghz()
+            makespan = None
+            if trace is not None:
+                from repro.accel import replay_trace_on_fabric
+                replay_config = config if config.backend == "dispatch" \
+                    else comparison_config(
+                        name, flow_control, nodes=nodes, n_vcs=n_vcs,
+                        buffer_depth=buffer_depth,
+                        concentration=concentration, chip_mm=chip_mm,
+                        pipeline_depth=pipeline_depth,
+                        segment_mm=segment_mm,
+                        activity_driven=activity_driven)
+                makespan = replay_trace_on_fabric(
+                    trace, replay_config).makespan_cycles
             rows.append(PhysicalComparison(
                 topology=name,
                 flow_control=flow_control,
@@ -140,5 +177,6 @@ def physical_comparison_rows(nodes: int = 16, n_vcs: int = 2,
                 clock_mw=model.clock_power(frequency,
                                            sink_activity=1.0).total_mw,
                 frequency_ghz=frequency,
+                makespan_cycles=makespan,
             ))
     return rows

@@ -1,0 +1,1 @@
+"""Tests of the accelerator workload layer (repro.accel)."""

@@ -1,0 +1,111 @@
+"""Placement specs, packet bounds and endpoint wiring."""
+
+import pickle
+
+import pytest
+
+from repro.accel.endpoints import burst_packets
+from repro.accel.placement import Placement, default_placement
+from repro.accel.replay import ReplaySystem, max_packet_flits
+from repro.accel.trace import AccelEvent, AccelTrace
+from repro.errors import ConfigurationError
+from repro.fabric.registry import FabricConfig
+
+
+def one_event_trace(pes=1, mems=1):
+    return AccelTrace(model="t", pes=pes, mems=mems, seed=0, events=(
+        AccelEvent(event_id=0, kind="compute", pe=0, cycles=2),
+    ))
+
+
+class TestPlacement:
+    def test_default_layout(self):
+        placement = default_placement(16, pes=4, mems=2)
+        assert placement.cp == 0
+        assert placement.pes == (1, 2, 3, 4)
+        assert placement.mems == (14, 15)
+
+    def test_overlapping_nodes_rejected(self):
+        with pytest.raises(ConfigurationError, match="distinct"):
+            Placement(cp=0, pes=(0, 1), mems=(2,))
+
+    def test_too_small_fabric_rejected(self):
+        with pytest.raises(ConfigurationError, match="endpoints"):
+            default_placement(4, pes=4, mems=2)
+
+    def test_rotation_preserves_distinctness_and_wraps(self):
+        base = default_placement(8, pes=3, mems=2)
+        rotated = base.rotated(3, ports=8)
+        assert rotated.cp == 3
+        assert len(set(rotated.nodes)) == len(rotated.nodes)
+        assert max(rotated.nodes) < 8
+
+    def test_check_fits_rejects_outside_nodes(self):
+        placement = Placement(cp=0, pes=(1,), mems=(9,))
+        with pytest.raises(ConfigurationError, match="endpoints"):
+            placement.check_fits(8)
+
+    def test_picklable(self):
+        placement = default_placement(16, pes=4, mems=2)
+        assert pickle.loads(pickle.dumps(placement)) == placement
+
+
+class TestPacketBounds:
+    def test_burst_chunks_to_the_bound(self):
+        packets = burst_packets(0, 5, kind=6, event_id=9, data_flits=7,
+                                max_packet_flits=4)
+        assert [len(p.payload) for p in packets] == [4, 4, 4, 3]
+        assert all(p.payload[:2] == [6, 9] for p in packets)
+        total = sum(len(p.payload) - 2 for p in packets)
+        assert total == 7
+
+    def test_burst_needs_room_for_data(self):
+        with pytest.raises(ConfigurationError, match="flits"):
+            burst_packets(0, 1, kind=6, event_id=0, data_flits=4,
+                          max_packet_flits=2)
+
+    def test_bubble_fabrics_bound_packets(self):
+        wormhole_torus = FabricConfig(topology="torus", ports=16,
+                                      buffer_depth=5).build()
+        assert max_packet_flits(wormhole_torus) == 4
+        vc_torus = FabricConfig(topology="torus", ports=16,
+                                flow_control="vc", n_vcs=2).build()
+        assert max_packet_flits(vc_torus) == 8
+        mesh = FabricConfig(topology="mesh", ports=16).build()
+        assert max_packet_flits(mesh) == 8
+        tree = FabricConfig(topology="tree", ports=16).build()
+        assert max_packet_flits(tree) == 8
+
+    def test_shallow_buffers_on_a_ring_are_a_clean_error(self):
+        network = FabricConfig(topology="ring", ports=8,
+                               buffer_depth=3).build()
+        with pytest.raises(ConfigurationError, match="buffer_depth"):
+            max_packet_flits(network)
+
+
+class TestReplaySystemWiring:
+    def test_array_backend_rejected(self):
+        config = FabricConfig(topology="torus", ports=16, backend="array")
+        with pytest.raises(ConfigurationError, match="dispatch"):
+            ReplaySystem(one_event_trace(), config)
+
+    def test_placement_shape_must_match_trace(self):
+        config = FabricConfig(topology="mesh", ports=16)
+        wrong = default_placement(16, pes=3, mems=2)
+        with pytest.raises(ConfigurationError, match="does not match"):
+            ReplaySystem(one_event_trace(), config, placement=wrong)
+
+    def test_endpoints_registered_and_handlers_attached(self):
+        config = FabricConfig(topology="mesh", ports=16)
+        system = ReplaySystem(one_event_trace(pes=2, mems=1), config)
+        assert system.cp.node == 0
+        assert len(system.pes) == 2
+        assert len(system.mems) == 1
+        # Every placed node has a delivery handler on the fabric.
+        for node in system.placement.nodes:
+            assert node in system.network._handlers
+
+    def test_credit_fabric_set_handler_validates_node(self):
+        network = FabricConfig(topology="mesh", ports=16).build()
+        with pytest.raises(ConfigurationError):
+            network.set_handler(99, lambda packet, tick: None)

@@ -357,9 +357,11 @@ class TestCompare:
                        if line.startswith("torus") and "wormhole" in line)
             return float(row.split("|")[-1])
 
-        base = torus_ghz(["compare", "--nodes", "64", "--chip-mm", "20"])
+        base = torus_ghz(["compare", "--nodes", "64", "--chip-mm", "20",
+                          "--workload", "none"])
         segmented = torus_ghz(["compare", "--nodes", "64", "--chip-mm",
-                               "20", "--segment-mm", "1.25"])
+                               "20", "--segment-mm", "1.25",
+                               "--workload", "none"])
         assert segmented >= 4.0 * base, (base, segmented)
 
     def test_pipeline_knobs_reach_the_table_title(self, capsys):
@@ -368,6 +370,121 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "2-stage routers" in out
         assert "1.25 mm segments" in out
+
+    def test_workload_makespan_column_on_every_row(self, capsys):
+        assert main(["compare", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        header = next(line for line in out.splitlines()
+                      if line.lstrip().startswith("topology"))
+        assert "makespan cy" in header
+        assert "workload llm-decode" in out
+        rows = [line for line in out.splitlines()
+                if "|" in line and not line.lstrip().startswith("topology")
+                and not set(line.strip()) <= {"-", "+", " "}]
+        assert len(rows) >= 8  # every registered topology x flow control
+        for row in rows:
+            assert int(row.split("|")[-1]) > 0, row
+
+    def test_workload_none_keeps_the_table_structural(self, capsys):
+        assert main(["compare", "--nodes", "16", "--workload",
+                     "none"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" not in out
+
+
+class TestReplay:
+    def test_canned_model_prints_makespan_and_utilisation(self, capsys):
+        assert main(["replay", "--topology", "torus", "--flow-control",
+                     "vc", "--model", "llm-decode"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan: " in out
+        assert "noc stall cycles" in out
+        assert "utilisation" in out
+
+    def test_saved_trace_replays_identically(self, capsys, tmp_path):
+        path = tmp_path / "llm.jsonl"
+        assert main(["replay", "--topology", "mesh", "--model",
+                     "llm-decode", "--save-trace", str(path)]) == 0
+        generated = capsys.readouterr().out
+        assert main(["replay", "--topology", "mesh", "--trace",
+                     str(path)]) == 0
+        replayed = capsys.readouterr().out
+        pick = lambda text: [line for line in text.splitlines()
+                             if line.startswith(("makespan", "noc", "  pe"))]
+        assert pick(generated) == pick(replayed)
+
+    def test_naive_kernel_bit_identical(self, capsys):
+        argv = ["replay", "--topology", "torus", "--model",
+                "param-server", "--json"]
+        assert main(argv) == 0
+        fast = capsys.readouterr().out
+        assert main(argv + ["--naive"]) == 0
+        naive = capsys.readouterr().out
+        assert fast.splitlines()[-1] == naive.splitlines()[-1]
+
+    def test_placement_sweep_ranks_offsets(self, capsys):
+        assert main(["replay", "--topology", "mesh",
+                     "--sweep-placements", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Placement sweep" in out
+        assert "best offset" in out
+
+    def test_vc_knobs_without_vc_flow_rejected(self, capsys):
+        assert main(["replay", "--topology", "mesh", "--vcs", "4"]) == 2
+        assert "--flow-control vc" in capsys.readouterr().err
+
+    def test_too_small_fabric_is_a_clean_error(self, capsys):
+        assert main(["replay", "--topology", "mesh", "--ports", "4",
+                     "--pes", "4", "--mems", "2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_version_mismatch_is_a_clean_error(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"schema": "repro.accel.trace",
+                                    "version": 99}) + "\n")
+        assert main(["replay", "--trace", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "99" in err
+
+
+class TestTrafficTraceReplay:
+    def make_trace(self, path, ports=8):
+        import numpy as np
+        from repro.traffic.patterns import UniformRandom
+        from repro.traffic.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        recorder.extend(UniformRandom(ports=ports, load=0.2).generate(
+            20, np.random.default_rng(0)))
+        recorder.save(path)
+        return recorder.injections
+
+    def test_recorded_trace_replays(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        injections = self.make_trace(path)
+        assert main(["traffic", "--ports", "8", "--trace",
+                     str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"replayed {len(injections)} injections" in out
+        assert f"{len(injections)}/{len(injections)} packets" in out
+
+    def test_trace_wider_than_network_rejected(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.make_trace(path, ports=64)
+        assert main(["traffic", "--ports", "8", "--trace",
+                     str(path)]) == 2
+        assert "8-port" in capsys.readouterr().err
+
+    def test_version_mismatch_is_a_clean_error(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"schema": "repro.traffic.trace",
+                                    "version": 7}) + "\n")
+        assert main(["traffic", "--ports", "8", "--trace",
+                     str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "7" in err and "future.jsonl" in err
 
 
 class TestInfoRegistryFabrics:

@@ -1,12 +1,19 @@
 """Trace record/replay round-trips."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.traffic.base import Injection
 from repro.traffic.patterns import UniformRandom
-from repro.traffic.trace import TraceRecorder, replay_trace
+from repro.traffic.trace import (
+    TRACE_SCHEMA,
+    TRACE_VERSION,
+    TraceRecorder,
+    replay_trace,
+)
 
 
 class TestTrace:
@@ -56,3 +63,40 @@ class TestTrace:
         path.write_text('{"cycle": 0, "src": 1}\n')
         with pytest.raises(ConfigurationError):
             replay_trace(path)
+
+
+class TestSchemaVersion:
+    def test_saved_traces_carry_the_header(self, tmp_path):
+        path = tmp_path / "versioned.jsonl"
+        recorder = TraceRecorder()
+        recorder.record(Injection(cycle=0, src=0, dest=1, size_flits=1))
+        recorder.save(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"schema": TRACE_SCHEMA,
+                          "version": TRACE_VERSION}
+
+    def test_version_mismatch_names_file_and_versions(self, tmp_path):
+        path = tmp_path / "from_the_future.jsonl"
+        path.write_text(json.dumps({"schema": TRACE_SCHEMA,
+                                    "version": 42}) + "\n")
+        with pytest.raises(ConfigurationError) as err:
+            replay_trace(path)
+        message = str(err.value)
+        assert "from_the_future.jsonl" in message
+        assert "42" in message
+        assert str(TRACE_VERSION) in message
+
+    def test_wrong_schema_name_rejected(self, tmp_path):
+        path = tmp_path / "accel.jsonl"
+        path.write_text(json.dumps({"schema": "repro.accel.trace",
+                                    "version": 1}) + "\n")
+        with pytest.raises(ConfigurationError, match="schema"):
+            replay_trace(path)
+
+    def test_legacy_headerless_files_still_load(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            '{"cycle": 0, "src": 1, "dest": 2, "size_flits": 1}\n')
+        assert replay_trace(path) == [
+            Injection(cycle=0, src=1, dest=2, size_flits=1)
+        ]
