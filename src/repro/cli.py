@@ -65,6 +65,7 @@ from repro.analysis.tables import format_table
 from repro.core.config import ICNoCConfig
 from repro.errors import ConfigurationError
 from repro.core.icnoc import ICNoC
+from repro.fabric.allocator import ALLOCATOR_NAMES
 from repro.fabric.registry import FabricConfig, topology_names, topology_table
 from repro.system.demonstrator import DemonstratorConfig, DemonstratorSystem
 from repro.tech.corners import corner_frequency_table
@@ -114,12 +115,8 @@ def _add_backend_option(parser: argparse.ArgumentParser,
                              "(array when supported, else dispatch)")
 
 
-def _add_traffic_options(parser: argparse.ArgumentParser) -> None:
-    """The workload knobs shared by sweep/metrics/trace."""
-    parser.add_argument("--traffic", "--pattern", dest="pattern",
-                        choices=PATTERN_NAMES, default="uniform",
-                        help="traffic pattern (--pattern is the historical "
-                             "spelling)")
+def _add_flow_options(parser: argparse.ArgumentParser) -> None:
+    """Flow-control and allocation knobs for registry fabrics."""
     parser.add_argument("--flow-control", choices=("wormhole", "vc"),
                         default="wormhole",
                         help="link-level flow control for registry fabrics "
@@ -130,6 +127,32 @@ def _add_traffic_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--vc-policy", default=None,
                         help="VC-assignment policy (topology default when "
                              "omitted): dateline | escape")
+    parser.add_argument("--allocator", choices=ALLOCATOR_NAMES,
+                        default="rr",
+                        help="router allocation policy (--flow-control vc "
+                             "for anything beyond rr): rr round-robin, "
+                             "weighted per-VC bandwidth reservations, "
+                             "escape-reentry Duato-legal escape-to-"
+                             "adaptive re-entry")
+    parser.add_argument("--reserve", action="append", default=None,
+                        metavar="VC:FRACTION",
+                        help="reserve FRACTION of each output port's "
+                             "bandwidth for VC (repeatable; --allocator "
+                             "weighted only)")
+    parser.add_argument("--priority-flow", dest="priority_flow",
+                        action="append", default=None, metavar="SRC:DEST",
+                        help="route the SRC->DEST flow on the dedicated "
+                             "priority lane (repeatable; escape VC policy "
+                             "only)")
+
+
+def _add_traffic_options(parser: argparse.ArgumentParser) -> None:
+    """The workload knobs shared by sweep/metrics/trace."""
+    parser.add_argument("--traffic", "--pattern", dest="pattern",
+                        choices=PATTERN_NAMES, default="uniform",
+                        help="traffic pattern (--pattern is the historical "
+                             "spelling)")
+    _add_flow_options(parser)
     parser.add_argument("--hotspots", default=None,
                         help="comma-separated hotspot ports, default 0 "
                              "(--traffic hotspot only)")
@@ -154,14 +177,59 @@ def _config_from(args: argparse.Namespace) -> ICNoCConfig:
     )
 
 
+def _allocation_kwargs(args: argparse.Namespace) -> dict:
+    """FabricConfig kwargs for the allocation knobs.
+
+    Parses ``--allocator``/``--reserve``/``--priority-flow`` into the
+    registry's vocabulary; the registry itself validates legality
+    (allocator vs flow control, reservation bounds, flow endpoints).
+    """
+    kwargs: dict = {}
+    allocator = getattr(args, "allocator", "rr")
+    if allocator != "rr":
+        kwargs["allocator"] = allocator
+    for spec in getattr(args, "reserve", None) or ():
+        try:
+            vc_text, fraction_text = spec.split(":", 1)
+            pair = (int(vc_text), float(fraction_text))
+        except ValueError:
+            raise ConfigurationError(
+                f"--reserve expects VC:FRACTION, got {spec!r}"
+            )
+        kwargs.setdefault("reservations", []).append(pair)
+    for spec in getattr(args, "priority_flow", None) or ():
+        try:
+            src_text, dest_text = spec.split(":", 1)
+            flow = (int(src_text), int(dest_text))
+        except ValueError:
+            raise ConfigurationError(
+                f"--priority-flow expects SRC:DEST, got {spec!r}"
+            )
+        kwargs.setdefault("priority_flows", []).append(flow)
+    for knob in ("reservations", "priority_flows"):
+        if knob in kwargs:
+            kwargs[knob] = tuple(kwargs[knob])
+    return kwargs
+
+
 def _fabric_config_from(args: argparse.Namespace) -> FabricConfig:
+    flow_control = getattr(args, "flow_control", "wormhole")
+    vcs = getattr(args, "vcs", None)
+    if vcs is not None and flow_control != "vc":
+        raise ConfigurationError(
+            "--vcs only applies with --flow-control vc"
+        )
     return FabricConfig(
         topology=args.topology, ports=args.ports,
+        flow_control=flow_control,
+        n_vcs=2 if vcs is None else vcs,
+        vc_policy=getattr(args, "vc_policy", None),
         chip_width_mm=args.chip_mm, chip_height_mm=args.chip_mm,
         max_segment_mm=args.segment_mm,
         pipeline_depth=getattr(args, "pipeline_depth", 1),
         segment_links=getattr(args, "segment_links", False),
         backend=getattr(args, "backend", "dispatch"),
+        **_allocation_kwargs(args),
     )
 
 
@@ -178,6 +246,14 @@ def cmd_info(args: argparse.Namespace) -> int:
         if args.backend != "dispatch":
             print("error: --backend only applies to credit fabrics; the "
                   "handshake tree has no array lowering", file=sys.stderr)
+            return 2
+        if (args.flow_control != "wormhole" or args.vcs is not None
+                or args.vc_policy is not None or args.allocator != "rr"
+                or args.reserve or args.priority_flow):
+            print("error: --flow-control/--vcs/--vc-policy/--allocator/"
+                  "--reserve/--priority-flow only apply to credit fabrics; "
+                  "the handshake tree has no credit FIFOs to virtualise",
+                  file=sys.stderr)
             return 2
         noc = ICNoC(_config_from(args))
         print(noc.describe())
@@ -202,6 +278,18 @@ def cmd_info(args: argparse.Namespace) -> int:
               f"{network.link_stage_count} link stage registers, "
               f"longest segment {network.longest_segment_mm():.3f} mm "
               f"-> critical path {frequency:.3f} GHz")
+    if hasattr(network, "pipeline_depth"):
+        config = _fabric_config_from(args)
+        line = f"allocation: {config.resolved_allocator}"
+        if config.reservations:
+            shares = ", ".join(f"vc{vc}={fraction:g}" for vc, fraction
+                               in sorted(config.reservations))
+            line += f" (reservations {shares})"
+        if config.priority_flows:
+            flows = ", ".join(f"{src}->{dest}" for src, dest
+                              in config.priority_flows)
+            line += f" (priority flows {flows})"
+        print(line)
     print(f"area: {model.area_report().describe()}")
     print(f"clock power (un-gated): {clock.describe()}")
     return 0
@@ -291,6 +379,12 @@ def _sweep_network(args: argparse.Namespace):
             raise ConfigurationError(
                 "--vcs/--vc-policy only apply with --flow-control vc"
             )
+        if args.allocator != "rr" or args.reserve or args.priority_flow:
+            raise ConfigurationError(
+                "--allocator/--reserve/--priority-flow only apply to "
+                "credit fabrics; the handshake tree has no VC stage to "
+                "meter"
+            )
         if args.pipeline_depth != 1 or args.segment_links:
             raise ConfigurationError(
                 "--pipeline-depth/--segment-links only apply to credit "
@@ -317,6 +411,7 @@ def _sweep_network(args: argparse.Namespace):
         max_segment_mm=args.segment_mm,
         pipeline_depth=args.pipeline_depth,
         segment_links=args.segment_links,
+        **_allocation_kwargs(args),
     )
 
 
@@ -542,6 +637,7 @@ def _replay_fabric_config(args: argparse.Namespace) -> FabricConfig:
         raise ConfigurationError(
             "--vcs/--vc-policy only apply with --flow-control vc"
         )
+    kwargs.update(_allocation_kwargs(args))
     return FabricConfig(**kwargs)
 
 
@@ -675,11 +771,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_topologies(args: argparse.Namespace) -> int:
     rows = [[r["name"], r["clocking"], r["tree_legal"], r["flow_control"],
-             r["description"]]
+             r["allocators"], r["description"]]
             for r in topology_table()]
     print(format_table(
         ["topology", "clock distribution", "tree-legal", "flow control",
-         "description"],
+         "allocators", "description"],
         rows,
         title="Fabric registry (sweep --topology <name>)",
     ))
@@ -709,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_options(p_info, topologies=sweep_topologies())
     _add_pipeline_options(p_info)
     _add_backend_option(p_info)
+    _add_flow_options(p_info)
     p_info.set_defaults(func=cmd_info)
 
     p_val = sub.add_parser("validate", help="run the timing checks")
@@ -857,14 +954,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rp.add_argument("--ports", type=int, default=16,
                       help="fabric endpoints (CP + PEs + memory channels "
                            "must fit)")
-    p_rp.add_argument("--flow-control", choices=("wormhole", "vc"),
-                      default="wormhole")
-    p_rp.add_argument("--vcs", type=int, default=None,
-                      help="virtual channels per port, default 2 "
-                           "(--flow-control vc only)")
-    p_rp.add_argument("--vc-policy", default=None,
-                      help="VC-assignment policy (topology default when "
-                           "omitted): dateline | escape")
+    _add_flow_options(p_rp)
     p_rp.add_argument("--buffer-depth", type=int, default=4,
                       help="credit FIFO depth per (port, VC)")
     p_rp.add_argument("--chip-mm", type=float, default=10.0,

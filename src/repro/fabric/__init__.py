@@ -27,6 +27,14 @@ now stand on, and the place new fabrics plug into:
 (and stable import paths) over this package.
 """
 
+from repro.fabric.allocator import (
+    ALLOCATOR_NAMES,
+    Allocator,
+    EscapeReentryAllocator,
+    RoundRobinAllocator,
+    WeightedAllocator,
+    make_allocator,
+)
 from repro.fabric.link import CreditLink, HandshakeChannel
 from repro.fabric.routing import (
     DatelineVc,
@@ -71,6 +79,12 @@ from repro.fabric.registry import (
 )
 
 __all__ = [
+    "ALLOCATOR_NAMES",
+    "Allocator",
+    "RoundRobinAllocator",
+    "WeightedAllocator",
+    "EscapeReentryAllocator",
+    "make_allocator",
     "CreditLink",
     "HandshakeChannel",
     "RoutingStrategy",

@@ -2,7 +2,7 @@
 
 ``backend="array"`` lowers a built :class:`~repro.fabric.network
 .CreditFabricNetwork` into struct-of-arrays numpy state — per-(router,
-port[, vc]) FIFO occupancy rings of interned flit ids, head caches,
+port, vc) FIFO occupancy rings of interned flit ids, head caches,
 credit counters, wormhole locks / VC allocations, round-robin pointers —
 and executes the whole fabric's commit + arbitrate + credit-return inner
 loop as whole-network array operations, one step per clock edge. The
@@ -10,12 +10,22 @@ routers and endpoints are still built with their full state and wiring
 (``register=False`` keeps them off the kernel schedule); one engine
 component replaces them all.
 
+**One lowering path.** :class:`ArrayEngine` mirrors the unified
+:class:`~repro.fabric.router.FabricRouter`: every state array carries a
+VC axis, and ``n_vcs=1`` is the wormhole degenerate case — the routing
+table, the bubble rule, and the per-output wormhole locks replace the
+VC-allocation stage, exactly as the dispatch router's single-VC edge
+does. The two grant phases (:meth:`ArrayEngine._grants_single` /
+:meth:`ArrayEngine._grants_vc`) are the array transcription of
+``FabricRouter._edge_single`` / ``_edge_vc``; arrivals, sources, sinks,
+and the scheduling plumbing are shared.
+
 **Equivalence is the contract.** Every observable the dispatch backend
 produces is reproduced exactly:
 
 * delivered packets, delivery order, latencies, hop counts, and
-  per-router statistics (``flits_forwarded``, arbiter grant counts,
-  FIFO/credit/lock state — written back by :meth:`sync_back`);
+  per-router statistics (``flits_forwarded``, allocator arbiter grant
+  counts, FIFO/credit/lock state — written back by :meth:`sync_back`);
 * ``kernel.tick`` — the engine is an ordinary registered component, so
   runs advance the clock identically and drains stop on the same tick;
 * gating statistics — ``enabled`` edges are accumulated per router with
@@ -26,7 +36,9 @@ produces is reproduced exactly:
   ``credit_exhausted``, ``vc_allocated``, ``lock_acquire``,
   ``lock_release``, ``flit`` and ``packet`` fire edge-triggered in the
   dispatch backend's exact global order (routers node-ascending, then
-  sinks node-ascending, each in its internal phase order);
+  sinks node-ascending, each in its internal phase order), carrying the
+  same always-suffixed ``vc``/``input_vc`` fields (0 on single-VC
+  fabrics);
 * signal probes — when any flit wire carries a probe, the engine enters
   *write-through* mode and drives the real link wires alongside its
   arrays, so :mod:`repro.telemetry` sees identical commits. Probed
@@ -46,9 +58,11 @@ subscribers or probes attached it declines the batch and steps tick by
 tick so event and probe timing stay exact.
 
 Not lowerable (the network validates and :func:`make_engine` re-checks):
-pipelined routers (``pipeline_depth > 1``), segmented links, and the
-tree fabrics' handshake pipeline. ``backend="auto"`` falls back to
-dispatch for those; ``backend="array"`` raises.
+pipelined routers (``pipeline_depth > 1``), segmented links, the
+``weighted`` allocator (its windowed reservation counters have no array
+transcription yet), and the tree fabrics' handshake pipeline.
+``backend="auto"`` falls back to dispatch for those; ``backend="array"``
+raises.
 """
 
 from __future__ import annotations
@@ -69,7 +83,7 @@ from repro.sim.signal import Signal
 if TYPE_CHECKING:
     from repro.fabric.network import CreditFabricNetwork
 
-__all__ = ["make_engine", "WormholeArrayEngine", "VcArrayEngine"]
+__all__ = ["make_engine", "ArrayEngine"]
 
 
 def make_engine(net: "CreditFabricNetwork"):
@@ -81,9 +95,12 @@ def make_engine(net: "CreditFabricNetwork"):
             "segmented links; use backend='dispatch' (or 'auto' to "
             "fall back)"
         )
-    if net.vc_enabled:
-        return VcArrayEngine(net)
-    return WormholeArrayEngine(net)
+    if getattr(net, "allocator_name", "rr") == "weighted":
+        raise ConfigurationError(
+            "backend='array' has no lowering for the weighted "
+            "allocator; use backend='dispatch' (or 'auto' to fall back)"
+        )
+    return ArrayEngine(net)
 
 
 class _FlitStore:
@@ -123,8 +140,18 @@ class _RouteProbe:
         self.dest = dest
 
 
-class _ArrayEngineBase(BatchComponent):
-    """State and plumbing shared by the wormhole and VC engines."""
+class ArrayEngine(BatchComponent):
+    """Whole-fabric vectorized execution of the unified credit routers.
+
+    Credit/arrival handling, sources, and sinks are fully array-level in
+    both regimes. ``n_vcs=1`` runs the wormhole grant phase (routing
+    table, bubble rule, per-output locks); ``n_vcs >= 2`` runs two-stage
+    allocation — switch allocation array-level, VC allocation
+    scalar-sparse (only routers holding unallocated head flits, typically
+    a handful per edge), replicating
+    :meth:`FabricRouter._allocate_vcs` exactly, including the
+    port-ascending, VC-descending grant walk and the policy candidate
+    calls, which are memoised per (in_port, in_vc, dest[, src])."""
 
     def __init__(self, net: "CreditFabricNetwork") -> None:
         super().__init__(f"{net._node_prefix}.engine", parity=0)
@@ -144,7 +171,9 @@ class _ArrayEngineBase(BatchComponent):
         topo = net.topology
         self._R = R = topo.nodes
         self._P = P = topo.max_ports
+        self._V = V = net.n_vcs
         self._iota = np.arange(P, dtype=np.int64)
+        self._iota_pv = np.arange(P * V, dtype=np.int64)
         self._names = [router.name for router in net.routers]
 
         # Connectivity: for every (router, out port) the consuming
@@ -198,7 +227,76 @@ class _ArrayEngineBase(BatchComponent):
         self._fifo_depth = np.zeros((R, P), dtype=np.int64)
         for r, router in enumerate(net.routers):
             self._fifo_depth[r] = router.fifo_depths
-        self._C = max(2, int(self._fifo_depth.max()))
+        self._C = C = max(2, int(self._fifo_depth.max()))
+
+        # Per-(router, port, vc) state mirrors FabricRouter exactly —
+        # the single-VC regime simply never indexes past vc 0.
+        self._fifo_buf = np.full((R, P, V, C), -1, dtype=np.int64)
+        self._fifo_start = np.zeros((R, P, V), dtype=np.int64)
+        self._fifo_len = np.zeros((R, P, V), dtype=np.int64)
+        self._head_fid = np.full((R, P, V), -1, dtype=np.int64)
+        self._head_is_head = np.zeros((R, P, V), dtype=bool)
+        self._credits = np.zeros((R, P, V), dtype=np.int64)
+        self._starved = np.zeros((R, P, V), dtype=bool)
+        # Switch-allocation arbiter state (the allocator's sa_arbiters):
+        # flat input index in_port * V + in_vc, exactly the dispatch
+        # round-robin at every VC count.
+        self._sa_last = np.full((R, P), P * V - 1, dtype=np.int64)
+        self._sa_grants = np.zeros((R, P), dtype=np.int64)
+        self._sa_grant_counts = np.zeros((R, P, P * V), dtype=np.int64)
+
+        if V == 1:
+            # Wormhole regime: routing lowers to one table (route
+            # functions are pure in flit.dest — the strategies guarantee
+            # it), heads cache their output port, and per-output locks
+            # replace the VC-allocation stage.
+            self._route_tab = np.zeros((R, R), dtype=np.int64)
+            for r, router in enumerate(net.routers):
+                fn = router._route_fn
+                row = self._route_tab[r]
+                for d in range(R):
+                    row[d] = LOCAL if d == r else fn(_RouteProbe(d))
+            self._head_out = np.full((R, P), -1, dtype=np.int64)
+            self._locks = np.full((R, P), -1, dtype=np.int64)
+            # Bubble rule (ring-closing topologies, wormhole only).
+            self._needs_bubble = net.routing.needs_bubble
+            self._transit = np.zeros((P, P), dtype=bool)
+            if self._needs_bubble:
+                for in_p in range(P):
+                    for out_p in range(P):
+                        self._transit[in_p, out_p] = \
+                            net.routing.ring_transit(in_p, out_p)
+            for r, router in enumerate(net.routers):
+                self._credits[r, :, 0] = router.credits
+        else:
+            # VC regime: the (out_port, out_vc) each input VC's packet
+            # holds (-1: none), and the owning input VC per output VC
+            # (the per-VC lock), plus the VC-allocation arbiters.
+            self._alloc_out = np.full((R, P, V), -1, dtype=np.int64)
+            self._alloc_vc = np.full((R, P, V), -1, dtype=np.int64)
+            self._owner_in = np.full((R, P, V), -1, dtype=np.int64)
+            self._owner_vc = np.full((R, P, V), -1, dtype=np.int64)
+            self._va_last = np.full((R, P * V), P * V - 1, dtype=np.int64)
+            self._va_grants = np.zeros((R, P * V), dtype=np.int64)
+            self._va_grant_counts = np.zeros((R, P * V, P * V),
+                                             dtype=np.int64)
+            self._vcs_allocated = np.zeros(R, dtype=np.int64)
+            # Routers whose VA inputs changed since their last walk (a
+            # new head flit or a released output VC). A failed walk is
+            # pure — no arbiter/event side effects in dispatch either —
+            # so a router with unchanged inputs can skip re-walking.
+            self._va_dirty = np.ones(R, dtype=bool)
+            for r, router in enumerate(net.routers):
+                self._credits[r] = router.credits
+            #: Memoised policy candidates per router. Candidate functions
+            #: are pure in (in_p, in_vc, dest) — plus flit.src when the
+            #: policy routes priority flows, which key on (src, dest).
+            self._cand_cache: list[dict] = [{} for _ in range(R)]
+            self._key_src = bool(getattr(net.vc_policy,
+                                         "priority_flows", None))
+
+        self._inj_vc = np.asarray([src.vc for src in net.sources],
+                                  dtype=np.int64)
 
         # Source state: contiguous interned-id window of the unpacked
         # packet, credit counter, host-submitted backlog flag.
@@ -217,6 +315,19 @@ class _ArrayEngineBase(BatchComponent):
         # one list for the sinks, flushed node-ascending each step.
         self._events: dict[int, list[tuple[str, dict]]] = {}
         self._sink_events: list[tuple[str, Any]] = []
+
+        # Double-buffered links: produced at step t, consumed at t + 2.
+        self._arrive = [np.full((R, P), -1, dtype=np.int64)
+                        for _ in range(2)]
+        self._arrive_vc = [np.zeros((R, P), dtype=np.int64)
+                           for _ in range(2)]
+        self._credit_in = [np.zeros((R, P, V), dtype=np.int64)
+                           for _ in range(2)]
+        self._sink_in = [np.full(R, -1, dtype=np.int64) for _ in range(2)]
+        self._sink_vc = [np.zeros(R, dtype=np.int64) for _ in range(2)]
+        self._src_credit_in = [np.zeros(R, dtype=np.int64)
+                               for _ in range(2)]
+        self._flip = 0
 
         self.kernel.add_component(self)
 
@@ -275,7 +386,7 @@ class _ArrayEngineBase(BatchComponent):
         for link in self.net.links:
             if link.flit._probes:
                 probed = True
-            for wire in self._credit_wires(link):
+            for wire in link.credits:
                 if wire._probes:
                     raise ConfigurationError(
                         f"backend='array' cannot drive the probed credit "
@@ -283,10 +394,6 @@ class _ArrayEngineBase(BatchComponent):
                         f"credit-wire probes"
                     )
         self._write_through = probed
-
-    def _credit_wires(self, link) -> list[Signal]:
-        credits = getattr(link, "credits", None)
-        return credits if credits is not None else [link.credit]
 
     # -- observables ----------------------------------------------------
 
@@ -322,388 +429,7 @@ class _ArrayEngineBase(BatchComponent):
     def _event(self, r: int, name: str, payload: dict) -> None:
         self._events.setdefault(r, []).append((name, payload))
 
-    # -- subclass protocol ----------------------------------------------
-
-    def _step(self, tick: int) -> None:
-        raise NotImplementedError
-
-    def _is_quiet(self) -> bool:
-        raise NotImplementedError
-
-    def sync_back(self) -> None:
-        raise NotImplementedError
-
-
-class WormholeArrayEngine(_ArrayEngineBase):
-    """Whole-fabric vectorized execution of the wormhole routers."""
-
-    def __init__(self, net: "CreditFabricNetwork") -> None:
-        super().__init__(net)
-        R, P, C = self._R, self._P, self._C
-
-        # Routing lowers to one table: route functions are pure in
-        # flit.dest (the strategies guarantee it), so probing each
-        # node's function once per destination captures them exactly.
-        self._route_tab = np.zeros((R, R), dtype=np.int64)
-        for r, router in enumerate(net.routers):
-            fn = router._route_fn
-            row = self._route_tab[r]
-            for d in range(R):
-                row[d] = LOCAL if d == r else fn(_RouteProbe(d))
-
-        # Bubble rule (ring-closing topologies, wormhole only).
-        self._needs_bubble = net.routing.needs_bubble
-        self._transit = np.zeros((P, P), dtype=bool)
-        if self._needs_bubble:
-            for in_p in range(P):
-                for out_p in range(P):
-                    self._transit[in_p, out_p] = \
-                        net.routing.ring_transit(in_p, out_p)
-
-        # Per-(router, port) state mirrors FabricRouter exactly.
-        self._fifo_buf = np.full((R, P, C), -1, dtype=np.int64)
-        self._fifo_start = np.zeros((R, P), dtype=np.int64)
-        self._fifo_len = np.zeros((R, P), dtype=np.int64)
-        self._head_fid = np.full((R, P), -1, dtype=np.int64)
-        self._head_out = np.full((R, P), -1, dtype=np.int64)
-        self._head_is_head = np.zeros((R, P), dtype=bool)
-        self._credits = np.zeros((R, P), dtype=np.int64)
-        self._locks = np.full((R, P), -1, dtype=np.int64)
-        self._rr_last = np.full((R, P), P - 1, dtype=np.int64)
-        self._grants = np.zeros((R, P), dtype=np.int64)
-        self._grant_counts = np.zeros((R, P, P), dtype=np.int64)
-        self._starved = np.zeros((R, P), dtype=bool)
-        for r, router in enumerate(net.routers):
-            self._credits[r] = router.credits
-
-        # Double-buffered links: produced at step t, consumed at t + 2.
-        self._arrive = [np.full((R, P), -1, dtype=np.int64)
-                        for _ in range(2)]
-        self._credit_in = [np.zeros((R, P), dtype=np.int64)
-                           for _ in range(2)]
-        self._sink_in = [np.full(R, -1, dtype=np.int64) for _ in range(2)]
-        self._src_credit_in = [np.zeros(R, dtype=np.int64)
-                               for _ in range(2)]
-        self._flip = 0
-
-    # -- one clock edge --------------------------------------------------
-
-    def _step(self, tick: int) -> None:
-        R, P, C = self._R, self._P, self._C
-        self._fresh_heads = False
-        k = self._flip
-        arrive_cur, arrive_nxt = self._arrive[k], self._arrive[1 - k]
-        credit_cur, credit_nxt = self._credit_in[k], self._credit_in[1 - k]
-        sink_cur, sink_nxt = self._sink_in[k], self._sink_in[1 - k]
-        srccr_cur, srccr_nxt = (self._src_credit_in[k],
-                                self._src_credit_in[1 - k])
-        observed = bool(self.kernel._event_subs)
-        wt = self._write_through
-        store = self._store
-        head_fid = self._head_fid
-        enabled = np.zeros(R, dtype=bool)
-
-        # 1. Credit returns end starvation episodes.
-        np.add(self._credits, credit_cur, out=self._credits)
-        self._starved &= credit_cur == 0
-
-        # 2. Forward: per output port (sequential, like the dispatch
-        # router's out-port loop — a pop at port A exposes a new head to
-        # port B the same edge), vectorized across every router.
-        for out_p in range(P):
-            conn = self._conn_out[:, out_p]
-            credits_col = self._credits[:, out_p]
-            base = (head_fid >= 0) & (self._head_out == out_p)
-            lock = self._locks[:, out_p]
-            locked = lock >= 0
-            if self._needs_bubble:
-                free_req = self._head_is_head & (
-                    self._transit[:, out_p][None, :]
-                    | (credits_col >= 2)[:, None])
-            else:
-                free_req = self._head_is_head
-            in_is_lock = self._iota[None, :] == lock[:, None]
-            req = base & np.where(locked[:, None], in_is_lock, free_req)
-
-            if observed:
-                # Starvation scan before the grant, exactly as dispatch
-                # handles the credits<=0 continue: candidate = first
-                # buffered head wanting this output (lock honoured, no
-                # head/bubble filter).
-                starv = conn & (credits_col <= 0) & ~self._starved[:, out_p]
-                if starv.any():
-                    s_req = base & np.where(locked[:, None], in_is_lock,
-                                            True)
-                    cand = starv & s_req.any(axis=1)
-                    for r in np.nonzero(cand)[0]:
-                        self._starved[r, out_p] = True
-                        self._event(int(r), "credit_exhausted", {
-                            "router": self._names[r], "output": out_p,
-                            "input": int(np.argmax(s_req[r])),
-                        })
-
-            grantable = conn & (credits_col > 0) & req.any(axis=1)
-            rows = np.nonzero(grantable)[0]
-            if rows.size == 0:
-                continue
-            key = (self._iota[None, :]
-                   - self._rr_last[rows, out_p][:, None] - 1) % P
-            key = np.where(req[rows], key, P)
-            win = np.argmin(key, axis=1)
-            self._rr_last[rows, out_p] = win
-            self._grants[rows, out_p] += 1
-            self._grant_counts[rows, out_p, win] += 1
-            fid = head_fid[rows, win]
-            # Pop + head refresh.
-            start = (self._fifo_start[rows, win] + 1) % C
-            length = self._fifo_len[rows, win] - 1
-            self._fifo_start[rows, win] = start
-            self._fifo_len[rows, win] = length
-            refill = length > 0
-            new_fid = np.where(refill, self._fifo_buf[rows, win, start], -1)
-            head_fid[rows, win] = new_fid
-            safe = new_fid.clip(min=0)
-            self._head_out[rows, win] = np.where(
-                refill, self._route_tab[rows, store.dest[safe]], -1)
-            self._head_is_head[rows, win] = np.where(
-                refill, store.is_head[safe], False)
-            # Credit return upstream (LOCAL inputs credit the source).
-            local_in = win == LOCAL
-            other = ~local_in
-            credit_nxt[self._up_r[rows[other], win[other]],
-                       self._up_p[rows[other], win[other]]] += 1
-            srccr_nxt[rows[local_in]] += 1
-            # Launch toward the consumer (LOCAL outputs feed the sink).
-            if out_p == LOCAL:
-                sink_nxt[rows] = fid
-            else:
-                arrive_nxt[self._dst_r[rows, out_p],
-                           self._dst_p[rows, out_p]] = fid
-            credits_col[rows] -= 1
-            self._flits_fwd[rows] += 1
-            enabled[rows] = True
-            # Wormhole lock transitions.
-            f_tail = store.is_tail[fid]
-            f_head = store.is_head[fid]
-            self._locks[rows, out_p] = np.where(
-                f_tail, -1, np.where(f_head, win, self._locks[rows, out_p]))
-            if observed or wt:
-                for i, r in enumerate(rows):
-                    r = int(r)
-                    flit = store.objs[int(fid[i])]
-                    if wt:
-                        self.net.routers[r].out_links[out_p].send_flit(
-                            flit, tick)
-                    if observed:
-                        self._event(r, "arbitration_grant", {
-                            "router": self._names[r], "output": out_p,
-                            "input": int(win[i]), "flit": flit,
-                        })
-                        if flit.is_tail:
-                            if not flit.is_head:
-                                self._event(r, "lock_release", {
-                                    "router": self._names[r],
-                                    "output": out_p,
-                                    "input": int(win[i]),
-                                    "packet_id": flit.packet_id,
-                                })
-                        elif flit.is_head:
-                            self._event(r, "lock_acquire", {
-                                "router": self._names[r], "output": out_p,
-                                "input": int(win[i]),
-                                "packet_id": flit.packet_id,
-                            })
-
-        # 3. Arrivals (credit scheme guarantees space; violations raise
-        # in the dispatch router's scan order).
-        amask = arrive_cur >= 0
-        if amask.any():
-            if ((self._fifo_len >= self._fifo_depth) & amask).any():
-                over = amask & (self._fifo_len >= self._fifo_depth)
-                r, p = (int(x[0]) for x in np.nonzero(over))
-                router = self.net.routers[r]
-                raise RoutingError(f"{router.name}: FIFO overflow on "
-                                   f"{router.port_name(p)} "
-                                   f"(credit violation)")
-            rr, pp = np.nonzero(amask)
-            fids = arrive_cur[rr, pp]
-            slot = (self._fifo_start[rr, pp] + self._fifo_len[rr, pp]) % C
-            self._fifo_buf[rr, pp, slot] = fids
-            was_empty = self._fifo_len[rr, pp] == 0
-            self._fifo_len[rr, pp] += 1
-            enabled[rr] = True
-            er, ep = rr[was_empty], pp[was_empty]
-            ef = fids[was_empty]
-            head_fid[er, ep] = ef
-            self._head_out[er, ep] = self._route_tab[er, store.dest[ef]]
-            self._head_is_head[er, ep] = store.is_head[ef]
-            self._fresh_heads = bool(er.size)
-
-        # 4. Sources: collect credits, unpack at most one packet per
-        # edge, send at most one flit per edge under credits.
-        np.add(self._src_credits, srccr_cur, out=self._src_credits)
-        if self._has_pkts.any():
-            for n in np.nonzero((self._src_next >= self._src_end)
-                                & self._has_pkts)[0]:
-                n = int(n)
-                src = self.net.sources[n]
-                packet = src.packets.popleft()
-                if not src.packets:
-                    self._has_pkts[n] = False
-                packet.inject_tick = tick
-                start = len(store.objs)
-                for flit in packet.to_flits():
-                    store.intern(flit)
-                self._src_next[n] = start
-                self._src_end[n] = len(store.objs)
-        send = (self._src_next < self._src_end) & (self._src_credits > 0)
-        sn = np.nonzero(send)[0]
-        if sn.size:
-            arrive_nxt[sn, LOCAL] = self._src_next[sn]
-            if wt:
-                for n in sn:
-                    n = int(n)
-                    self.net.sources[n].link.send_flit(
-                        store.objs[int(self._src_next[n])], tick)
-            self._src_next[sn] += 1
-            self._src_credits[sn] -= 1
-
-        # 5. Sinks: drain, reassemble, deliver, return one credit.
-        for n in np.nonzero(sink_cur >= 0)[0]:
-            n = int(n)
-            flit = store.objs[int(sink_cur[n])]
-            sink = self.net.sinks[n]
-            sink.flits_received += 1
-            if observed:
-                self._sink_events.append(("flit", flit))
-            buffer = sink._assembly.setdefault(flit.packet_id, [])
-            buffer.append(flit)
-            if flit.is_tail:
-                del sink._assembly[flit.packet_id]
-                packet = Packet.from_flits(buffer)
-                packet.eject_tick = tick
-                sink.on_packet(packet, tick)
-                if observed:
-                    self._sink_events.append(("packet", packet))
-            credit_nxt[n, LOCAL] += 1
-
-        if observed:
-            self._replay_events()
-        np.add(self._edges_enabled, enabled, out=self._edges_enabled)
-
-        # Recycle the consumed buffers as the next production targets.
-        arrive_cur.fill(-1)
-        credit_cur.fill(0)
-        sink_cur.fill(-1)
-        srccr_cur.fill(0)
-        self._flip = 1 - k
-
-    def _is_quiet(self) -> bool:
-        # With every link buffer empty, no source backlog, and no head
-        # still owed its first arbitration pass (_fresh_heads), the next
-        # edge is a fixed point: grants need credits or heads that only
-        # in-flight traffic can change. (Buffered-but-blocked flits are
-        # exactly the dispatch routers' sleep-with-buffered-flits case.)
-        k = self._flip
-        return not (self._fresh_heads
-                    or (self._arrive[k] >= 0).any()
-                    or self._credit_in[k].any()
-                    or (self._sink_in[k] >= 0).any()
-                    or self._src_credit_in[k].any()
-                    or (self._src_next < self._src_end).any()
-                    or self._has_pkts.any())
-
-    def sync_back(self) -> None:
-        """Write the array state back into the (unscheduled) routers and
-        endpoints so post-run inspection sees dispatch-identical state."""
-        store, C = self._store, self._C
-        per_router = self._edges_per_router()
-        for r, router in enumerate(self.net.routers):
-            for p in range(self._P):
-                fifo = router.fifos[p]
-                fifo.clear()
-                start = int(self._fifo_start[r, p])
-                for i in range(int(self._fifo_len[r, p])):
-                    fifo.append(
-                        store.objs[int(self._fifo_buf[r, p,
-                                                      (start + i) % C])])
-                router.credits[p] = int(self._credits[r, p])
-                lock = int(self._locks[r, p])
-                router.locks[p] = None if lock < 0 else lock
-                router._starved[p] = bool(self._starved[r, p])
-                arbiter = router.arbiters[p]
-                arbiter._last = int(self._rr_last[r, p])
-                arbiter.grants = int(self._grants[r, p])
-                arbiter.grant_counts = [int(c)
-                                        for c in self._grant_counts[r, p]]
-            router.flits_forwarded = int(self._flits_fwd[r])
-            router._gating.edges_total = per_router
-            router._gating.edges_enabled = int(self._edges_enabled[r])
-        self._sync_back_sources()
-
-
-class VcArrayEngine(_ArrayEngineBase):
-    """Whole-fabric vectorized execution of the VC routers.
-
-    Switch allocation and credit/arrival handling are fully array-level;
-    VC allocation runs scalar-sparse (only routers holding unallocated
-    head flits, typically a handful per edge) and replicates
-    :meth:`VcFabricRouter._allocate_vcs` exactly — including the
-    port-ascending, VC-descending grant walk and the policy candidate
-    calls, which are memoised per (in_port, in_vc, dest)."""
-
-    def __init__(self, net: "CreditFabricNetwork") -> None:
-        super().__init__(net)
-        R, P, C = self._R, self._P, self._C
-        self._V = V = net.n_vcs
-        self._iota_pv = np.arange(P * V, dtype=np.int64)
-
-        self._fifo_buf = np.full((R, P, V, C), -1, dtype=np.int64)
-        self._fifo_start = np.zeros((R, P, V), dtype=np.int64)
-        self._fifo_len = np.zeros((R, P, V), dtype=np.int64)
-        self._head_fid = np.full((R, P, V), -1, dtype=np.int64)
-        self._head_is_head = np.zeros((R, P, V), dtype=bool)
-        # The (out_port, out_vc) each input VC's packet holds (-1: none),
-        # and the owning input VC per output VC (the per-VC lock).
-        self._alloc_out = np.full((R, P, V), -1, dtype=np.int64)
-        self._alloc_vc = np.full((R, P, V), -1, dtype=np.int64)
-        self._owner_in = np.full((R, P, V), -1, dtype=np.int64)
-        self._owner_vc = np.full((R, P, V), -1, dtype=np.int64)
-        self._credits = np.zeros((R, P, V), dtype=np.int64)
-        self._starved = np.zeros((R, P, V), dtype=bool)
-        self._sa_last = np.full((R, P), P * V - 1, dtype=np.int64)
-        self._sa_grants = np.zeros((R, P), dtype=np.int64)
-        self._sa_grant_counts = np.zeros((R, P, P * V), dtype=np.int64)
-        self._va_last = np.full((R, P * V), P * V - 1, dtype=np.int64)
-        self._va_grants = np.zeros((R, P * V), dtype=np.int64)
-        self._va_grant_counts = np.zeros((R, P * V, P * V), dtype=np.int64)
-        self._vcs_allocated = np.zeros(R, dtype=np.int64)
-        # Routers whose VA inputs changed since their last walk (a new
-        # head flit or a released output VC). A failed walk is pure — no
-        # arbiter/event side effects in dispatch either — so a router
-        # with unchanged inputs can skip re-walking entirely.
-        self._va_dirty = np.ones(R, dtype=bool)
-        for r, router in enumerate(net.routers):
-            self._credits[r] = router.credits
-        #: Memoised policy candidates per router: (in_p, in_vc, dest) ->
-        #: (preferred, fallback) pair tuples.
-        self._cand_cache: list[dict] = [{} for _ in range(R)]
-        self._inj_vc = np.asarray([src.vc for src in net.sources],
-                                  dtype=np.int64)
-
-        self._arrive = [np.full((R, P), -1, dtype=np.int64)
-                        for _ in range(2)]
-        self._arrive_vc = [np.zeros((R, P), dtype=np.int64)
-                           for _ in range(2)]
-        self._credit_in = [np.zeros((R, P, V), dtype=np.int64)
-                           for _ in range(2)]
-        self._sink_in = [np.full(R, -1, dtype=np.int64) for _ in range(2)]
-        self._sink_vc = [np.zeros(R, dtype=np.int64) for _ in range(2)]
-        self._src_credit_in = [np.zeros(R, dtype=np.int64)
-                               for _ in range(2)]
-        self._flip = 0
-
-    # -- VC allocation (scalar-sparse) -----------------------------------
+    # -- VC allocation (scalar-sparse, VC regime only) -------------------
 
     def _allocate_vcs(self, rs: np.ndarray, ps: np.ndarray, vs: np.ndarray,
                       observed: bool, enabled: np.ndarray) -> None:
@@ -734,6 +460,8 @@ class VcArrayEngine(_ArrayEngineBase):
             for i in range(s, e):
                 in_p, in_vc = int(ps[i]), int(vs[i])
                 key = (in_p, in_vc, int(dests[i]))
+                if self._key_src:
+                    key = key + (store.objs[int(fids[i])].src,)
                 cand = cache.get(key)
                 if cand is None:
                     router = self.net.routers[r]
@@ -799,42 +527,145 @@ class VcArrayEngine(_ArrayEngineBase):
                             "packet_id": head.packet_id,
                         })
 
-    # -- one clock edge --------------------------------------------------
+    # -- the switch-allocation phase, single-VC (wormhole) regime --------
 
-    def _step(self, tick: int) -> None:
+    def _grants_single(self, tick: int, observed: bool, wt: bool,
+                       enabled: np.ndarray, arrive_nxt: np.ndarray,
+                       credit_nxt: np.ndarray, sink_nxt: np.ndarray,
+                       srccr_nxt: np.ndarray) -> None:
+        P, C = self._P, self._C
+        store = self._store
+        # Views into the vc-0 plane: the single-VC regime's whole state.
+        head_fid = self._head_fid[:, :, 0]
+        head_is_head = self._head_is_head[:, :, 0]
+        fifo_buf = self._fifo_buf[:, :, 0, :]
+        fifo_start = self._fifo_start[:, :, 0]
+        fifo_len = self._fifo_len[:, :, 0]
+        starved = self._starved[:, :, 0]
+        # Per output port (sequential, like the dispatch router's
+        # out-port loop — a pop at port A exposes a new head to port B
+        # the same edge), vectorized across every router.
+        for out_p in range(P):
+            conn = self._conn_out[:, out_p]
+            credits_col = self._credits[:, out_p, 0]
+            base = (head_fid >= 0) & (self._head_out == out_p)
+            lock = self._locks[:, out_p]
+            locked = lock >= 0
+            if self._needs_bubble:
+                free_req = head_is_head & (
+                    self._transit[:, out_p][None, :]
+                    | (credits_col >= 2)[:, None])
+            else:
+                free_req = head_is_head
+            in_is_lock = self._iota[None, :] == lock[:, None]
+            req = base & np.where(locked[:, None], in_is_lock, free_req)
+
+            if observed:
+                # Starvation scan before the grant, exactly as dispatch
+                # handles the credits<=0 continue: candidate = first
+                # buffered head wanting this output (lock honoured, no
+                # head/bubble filter).
+                starv = conn & (credits_col <= 0) & ~starved[:, out_p]
+                if starv.any():
+                    s_req = base & np.where(locked[:, None], in_is_lock,
+                                            True)
+                    cand = starv & s_req.any(axis=1)
+                    for r in np.nonzero(cand)[0]:
+                        starved[r, out_p] = True
+                        self._event(int(r), "credit_exhausted", {
+                            "router": self._names[r], "output": out_p,
+                            "vc": 0, "input": int(np.argmax(s_req[r])),
+                            "input_vc": 0,
+                        })
+
+            grantable = conn & (credits_col > 0) & req.any(axis=1)
+            rows = np.nonzero(grantable)[0]
+            if rows.size == 0:
+                continue
+            key = (self._iota[None, :]
+                   - self._sa_last[rows, out_p][:, None] - 1) % P
+            key = np.where(req[rows], key, P)
+            win = np.argmin(key, axis=1)
+            self._sa_last[rows, out_p] = win
+            self._sa_grants[rows, out_p] += 1
+            self._sa_grant_counts[rows, out_p, win] += 1
+            fid = head_fid[rows, win]
+            # Pop + head refresh.
+            start = (fifo_start[rows, win] + 1) % C
+            length = fifo_len[rows, win] - 1
+            fifo_start[rows, win] = start
+            fifo_len[rows, win] = length
+            refill = length > 0
+            new_fid = np.where(refill, fifo_buf[rows, win, start], -1)
+            head_fid[rows, win] = new_fid
+            safe = new_fid.clip(min=0)
+            self._head_out[rows, win] = np.where(
+                refill, self._route_tab[rows, store.dest[safe]], -1)
+            head_is_head[rows, win] = np.where(
+                refill, store.is_head[safe], False)
+            # Credit return upstream (LOCAL inputs credit the source).
+            local_in = win == LOCAL
+            other = ~local_in
+            credit_nxt[self._up_r[rows[other], win[other]],
+                       self._up_p[rows[other], win[other]], 0] += 1
+            srccr_nxt[rows[local_in]] += 1
+            # Launch toward the consumer (LOCAL outputs feed the sink).
+            if out_p == LOCAL:
+                sink_nxt[rows] = fid
+            else:
+                arrive_nxt[self._dst_r[rows, out_p],
+                           self._dst_p[rows, out_p]] = fid
+            credits_col[rows] -= 1
+            self._flits_fwd[rows] += 1
+            enabled[rows] = True
+            # Wormhole lock transitions.
+            f_tail = store.is_tail[fid]
+            f_head = store.is_head[fid]
+            self._locks[rows, out_p] = np.where(
+                f_tail, -1, np.where(f_head, win, self._locks[rows, out_p]))
+            if observed or wt:
+                for i, r in enumerate(rows):
+                    r = int(r)
+                    flit = store.objs[int(fid[i])]
+                    if wt:
+                        self.net.routers[r].out_links[out_p].send_flit(
+                            flit, 0, tick)
+                    if observed:
+                        self._event(r, "arbitration_grant", {
+                            "router": self._names[r], "output": out_p,
+                            "vc": 0, "input": int(win[i]), "input_vc": 0,
+                            "flit": flit,
+                        })
+                        if flit.is_tail:
+                            if not flit.is_head:
+                                self._event(r, "lock_release", {
+                                    "router": self._names[r],
+                                    "output": out_p, "vc": 0,
+                                    "input": int(win[i]), "input_vc": 0,
+                                    "packet_id": flit.packet_id,
+                                })
+                        elif flit.is_head:
+                            self._event(r, "lock_acquire", {
+                                "router": self._names[r], "output": out_p,
+                                "vc": 0, "input": int(win[i]),
+                                "input_vc": 0,
+                                "packet_id": flit.packet_id,
+                            })
+
+    # -- the switch-allocation phase, VC regime --------------------------
+
+    def _grants_vc(self, tick: int, observed: bool, wt: bool,
+                   enabled: np.ndarray, arrive_nxt: np.ndarray,
+                   arrvc_nxt: np.ndarray, credit_nxt: np.ndarray,
+                   sink_nxt: np.ndarray, sinkvc_nxt: np.ndarray,
+                   srccr_nxt: np.ndarray) -> None:
         R, P, C, V = self._R, self._P, self._C, self._V
-        self._fresh_heads = False
-        k = self._flip
-        arrive_cur, arrive_nxt = self._arrive[k], self._arrive[1 - k]
-        arrvc_cur, arrvc_nxt = self._arrive_vc[k], self._arrive_vc[1 - k]
-        credit_cur, credit_nxt = self._credit_in[k], self._credit_in[1 - k]
-        sink_cur, sink_nxt = self._sink_in[k], self._sink_in[1 - k]
-        sinkvc_cur, sinkvc_nxt = self._sink_vc[k], self._sink_vc[1 - k]
-        srccr_cur, srccr_nxt = (self._src_credit_in[k],
-                                self._src_credit_in[1 - k])
-        observed = bool(self.kernel._event_subs)
-        wt = self._write_through
         store = self._store
         head_fid = self._head_fid
-        enabled = np.zeros(R, dtype=bool)
         r_ix = np.arange(R)[:, None, None]
-
-        # 1. Per-VC credit returns end starvation episodes.
-        np.add(self._credits, credit_cur, out=self._credits)
-        self._starved &= credit_cur == 0
-
-        # 2. VC allocation, only where head flits wait unallocated —
-        # and only in routers whose VA inputs changed since last walk.
-        pending = ((head_fid >= 0) & (self._alloc_out < 0)
-                   & self._va_dirty[:, None, None])
-        if pending.any():
-            rs, ps, vs = np.nonzero(pending)
-            self._va_dirty[rs] = False
-            self._allocate_vcs(rs, ps, vs, observed, enabled)
-
-        # 3. Switch allocation: per output port (sequential rounds),
-        # vectorized across routers; one flit per output and per input
-        # port per edge (the crossbar constraint).
+        # Per output port (sequential rounds), vectorized across
+        # routers; one flit per output and per input port per edge (the
+        # crossbar constraint).
         port_used = np.zeros((R, P), dtype=bool)
         # Stale entries (tail releases during earlier rounds) are masked
         # out by ``port_used``/``alloc_out``, so hoist the gather index.
@@ -937,21 +768,63 @@ class VcArrayEngine(_ArrayEngineBase):
                                 "packet_id": flit.packet_id,
                             })
 
-        # 4. Arrivals into the per-VC FIFOs.
+    # -- one clock edge --------------------------------------------------
+
+    def _step(self, tick: int) -> None:
+        R, P, C, V = self._R, self._P, self._C, self._V
+        self._fresh_heads = False
+        k = self._flip
+        arrive_cur, arrive_nxt = self._arrive[k], self._arrive[1 - k]
+        arrvc_cur, arrvc_nxt = self._arrive_vc[k], self._arrive_vc[1 - k]
+        credit_cur, credit_nxt = self._credit_in[k], self._credit_in[1 - k]
+        sink_cur, sink_nxt = self._sink_in[k], self._sink_in[1 - k]
+        sinkvc_cur, sinkvc_nxt = self._sink_vc[k], self._sink_vc[1 - k]
+        srccr_cur, srccr_nxt = (self._src_credit_in[k],
+                                self._src_credit_in[1 - k])
+        observed = bool(self.kernel._event_subs)
+        wt = self._write_through
+        store = self._store
+        head_fid = self._head_fid
+        enabled = np.zeros(R, dtype=bool)
+
+        # 1. Credit returns end starvation episodes.
+        np.add(self._credits, credit_cur, out=self._credits)
+        self._starved &= credit_cur == 0
+
+        # 2. VC allocation (VC regime), only where head flits wait
+        # unallocated — and only in routers whose VA inputs changed.
+        if V > 1:
+            pending = ((head_fid >= 0) & (self._alloc_out < 0)
+                       & self._va_dirty[:, None, None])
+            if pending.any():
+                rs, ps, vs = np.nonzero(pending)
+                self._va_dirty[rs] = False
+                self._allocate_vcs(rs, ps, vs, observed, enabled)
+
+        # 3. Switch allocation + traversal, per regime.
+        if V == 1:
+            self._grants_single(tick, observed, wt, enabled, arrive_nxt,
+                                credit_nxt, sink_nxt, srccr_nxt)
+        else:
+            self._grants_vc(tick, observed, wt, enabled, arrive_nxt,
+                            arrvc_nxt, credit_nxt, sink_nxt, sinkvc_nxt,
+                            srccr_nxt)
+
+        # 4. Arrivals into the per-VC FIFOs (credit scheme guarantees
+        # space; violations raise in the dispatch router's scan order).
         amask = arrive_cur >= 0
         if amask.any():
             rr, pp = np.nonzero(amask)
             vv = arrvc_cur[rr, pp]
-            if (self._fifo_len[rr, pp, vv]
-                    >= self._fifo_depth[rr, pp]).any():
-                full = self._fifo_len[rr, pp, vv] >= self._fifo_depth[rr, pp]
+            full = self._fifo_len[rr, pp, vv] >= self._fifo_depth[rr, pp]
+            if full.any():
                 j = int(np.nonzero(full)[0][0])
                 router = self.net.routers[int(rr[j])]
-                raise RoutingError(
-                    f"{router.name}: FIFO overflow on "
-                    f"{router.port_name(int(pp[j]))} vc{int(vv[j])} "
-                    f"(credit violation)"
-                )
+                where = router.port_name(int(pp[j]))
+                if V > 1:
+                    where += f" vc{int(vv[j])}"
+                raise RoutingError(f"{router.name}: FIFO overflow on "
+                                   f"{where} (credit violation)")
             fids = arrive_cur[rr, pp]
             slot = (self._fifo_start[rr, pp, vv]
                     + self._fifo_len[rr, pp, vv]) % C
@@ -963,10 +836,15 @@ class VcArrayEngine(_ArrayEngineBase):
             ef = fids[was_empty]
             head_fid[er, ep, ev] = ef
             self._head_is_head[er, ep, ev] = store.is_head[ef]
-            self._va_dirty[er] = True
+            if V == 1:
+                self._head_out[er, ep] = self._route_tab[er, store.dest[ef]]
+            else:
+                self._va_dirty[er] = True
             self._fresh_heads = bool(er.size)
 
-        # 5. Sources (inject on the policy's injection VC).
+        # 5. Sources: collect credits, unpack at most one packet per
+        # edge, inject at most one flit per edge under credits (on the
+        # policy's injection VC — 0 on single-VC fabrics).
         np.add(self._src_credits, srccr_cur, out=self._src_credits)
         if self._has_pkts.any():
             for n in np.nonzero((self._src_next >= self._src_end)
@@ -1019,6 +897,7 @@ class VcArrayEngine(_ArrayEngineBase):
             self._replay_events()
         np.add(self._edges_enabled, enabled, out=self._edges_enabled)
 
+        # Recycle the consumed buffers as the next production targets.
         arrive_cur.fill(-1)
         arrvc_cur.fill(0)
         credit_cur.fill(0)
@@ -1028,9 +907,11 @@ class VcArrayEngine(_ArrayEngineBase):
         self._flip = 1 - k
 
     def _is_quiet(self) -> bool:
-        # Same fixed-point argument as the wormhole engine; _fresh_heads
-        # covers heads exposed by this step's arrivals, which still need
-        # their first VA/SA pass.
+        # With every link buffer empty, no source backlog, and no head
+        # still owed its first arbitration pass (_fresh_heads), the next
+        # edge is a fixed point: grants need credits or heads that only
+        # in-flight traffic can change. (Buffered-but-blocked flits are
+        # exactly the dispatch routers' sleep-with-buffered-flits case.)
         k = self._flip
         return not (self._fresh_heads
                     or (self._arrive[k] >= 0).any()
@@ -1041,40 +922,61 @@ class VcArrayEngine(_ArrayEngineBase):
                     or self._has_pkts.any())
 
     def sync_back(self) -> None:
+        """Write the array state back into the (unscheduled) routers and
+        endpoints so post-run inspection sees dispatch-identical state."""
         store, C, V = self._store, self._C, self._V
         per_router = self._edges_per_router()
         for r, router in enumerate(self.net.routers):
             for p in range(self._P):
-                for vc in range(V):
-                    fifo = router.fifos[p][vc]
+                if V == 1:
+                    fifo = router.fifos[p]
                     fifo.clear()
-                    start = int(self._fifo_start[r, p, vc])
-                    for i in range(int(self._fifo_len[r, p, vc])):
+                    start = int(self._fifo_start[r, p, 0])
+                    for i in range(int(self._fifo_len[r, p, 0])):
                         fifo.append(store.objs[int(
-                            self._fifo_buf[r, p, vc, (start + i) % C])])
-                    router.credits[p][vc] = int(self._credits[r, p, vc])
-                    owner = int(self._owner_in[r, p, vc])
-                    router.vc_owner[p][vc] = (
-                        None if owner < 0
-                        else (owner, int(self._owner_vc[r, p, vc])))
-                    alloc = int(self._alloc_out[r, p, vc])
-                    router.allocation[p][vc] = (
-                        None if alloc < 0
-                        else (alloc, int(self._alloc_vc[r, p, vc])))
-                    router._starved[p][vc] = bool(self._starved[r, p, vc])
+                            self._fifo_buf[r, p, 0, (start + i) % C])])
+                    router.credits[p] = int(self._credits[r, p, 0])
+                    lock = int(self._locks[r, p])
+                    router.locks[p] = None if lock < 0 else lock
+                    router._starved[p] = bool(self._starved[r, p, 0])
+                else:
+                    for vc in range(V):
+                        fifo = router.fifos[p][vc]
+                        fifo.clear()
+                        start = int(self._fifo_start[r, p, vc])
+                        for i in range(int(self._fifo_len[r, p, vc])):
+                            fifo.append(store.objs[int(
+                                self._fifo_buf[r, p, vc, (start + i) % C])])
+                        router.credits[p][vc] = int(self._credits[r, p, vc])
+                        owner = int(self._owner_in[r, p, vc])
+                        router.vc_owner[p][vc] = (
+                            None if owner < 0
+                            else (owner, int(self._owner_vc[r, p, vc])))
+                        alloc = int(self._alloc_out[r, p, vc])
+                        router.allocation[p][vc] = (
+                            None if alloc < 0
+                            else (alloc, int(self._alloc_vc[r, p, vc])))
+                        router._starved[p][vc] = bool(
+                            self._starved[r, p, vc])
                 sa = router.sa_arbiters[p]
                 sa._last = int(self._sa_last[r, p])
                 sa.grants = int(self._sa_grants[r, p])
                 sa.grant_counts = [int(c)
                                    for c in self._sa_grant_counts[r, p]]
-            for a in range(self._P * V):
-                va = router.va_arbiters[a]
-                va._last = int(self._va_last[r, a])
-                va.grants = int(self._va_grants[r, a])
-                va.grant_counts = [int(c)
-                                   for c in self._va_grant_counts[r, a]]
+            if V > 1:
+                for a in range(self._P * V):
+                    va = router.va_arbiters[divmod(a, V)]
+                    va._last = int(self._va_last[r, a])
+                    va.grants = int(self._va_grants[r, a])
+                    va.grant_counts = [int(c)
+                                       for c in self._va_grant_counts[r, a]]
+                router.vcs_allocated = int(self._vcs_allocated[r])
             router.flits_forwarded = int(self._flits_fwd[r])
-            router.vcs_allocated = int(self._vcs_allocated[r])
             router._gating.edges_total = per_router
             router._gating.edges_enabled = int(self._edges_enabled[r])
         self._sync_back_sources()
+
+
+#: Back-compat aliases for the pre-unification engine names.
+WormholeArrayEngine = ArrayEngine
+VcArrayEngine = ArrayEngine

@@ -3,11 +3,14 @@
 Every synchronous fabric attaches hosts the same way: a
 :class:`FabricSource` injecting packets (as flits, under credits) into a
 router's local input port, and a :class:`FabricSink` draining the local
-output port, returning credits, and reassembling packets. Both implement
-the idle-component sleep contract once, for every topology in the
-registry — a quiet endpoint is a fixed point the activity-driven kernel
-skips, and the sink emits the standard ``"flit"`` / ``"packet"`` kernel
-events congestion diagnosis subscribes to.
+output port, returning credits, and reassembling packets. Both adapters
+serve every VC count — a source injects on its policy-assigned
+``vc`` (0 on single-VC fabrics), a sink returns credits on whatever VC
+each flit arrives on — and both implement the idle-component sleep
+contract once, for every topology in the registry: a quiet endpoint is a
+fixed point the activity-driven kernel skips, and the sink emits the
+standard ``"flit"`` / ``"packet"`` kernel events congestion diagnosis
+subscribes to.
 """
 
 from __future__ import annotations
@@ -26,9 +29,10 @@ class FabricSource(ClockedComponent):
     """Injects flits into a router's local input port under credits."""
 
     def __init__(self, kernel: SimKernel, name: str, link: CreditLink,
-                 credits: int, register: bool = True):
+                 credits: int, vc: int = 0, register: bool = True):
         super().__init__(name, parity=0)
         self.link = link
+        self.vc = vc
         self.credits = credits
         self.flits: deque[Flit] = deque()
         self.packets: deque[Packet] = deque()
@@ -47,7 +51,7 @@ class FabricSource(ClockedComponent):
 
     def on_edge(self, tick: int) -> None:
         active = False
-        if returned := self.link.take_credits(tick):
+        if returned := self.link.take_credits(self.vc, tick):
             self.credits += returned
             active = True
         if not self.flits and self.packets:
@@ -55,16 +59,16 @@ class FabricSource(ClockedComponent):
             packet.inject_tick = tick
             self.flits.extend(packet.to_flits())
         if self.flits and self.credits > 0:
-            self.link.send_flit(self.flits.popleft(), tick)
+            self.link.send_flit(self.flits.popleft(), self.vc, tick)
             self.credits -= 1
         elif not active:
             # Nothing sendable (empty, or out of credits) and no credit
             # arrived: wait for a credit return or the next submit().
-            self.sleep_until(self.link.credit)
+            self.sleep_until(self.link.credits[self.vc])
 
 
 class FabricSink(ClockedComponent):
-    """Drains a router's local output port, returning credits."""
+    """Drains a router's local output port, returning credits per VC."""
 
     def __init__(self, kernel: SimKernel, name: str, link: CreditLink,
                  on_packet: Callable[[Packet, int], None],
@@ -78,11 +82,12 @@ class FabricSink(ClockedComponent):
             kernel.add_component(self)
 
     def on_edge(self, tick: int) -> None:
-        flit = self.link.take_flit(tick)
-        credit = 0
-        if flit is not None:
+        tagged = self.link.take_flit(tick)
+        credit_vc = -1
+        if tagged is not None:
+            flit, vc = tagged
+            credit_vc = vc
             self.flits_received += 1
-            credit = 1
             self._kernel.emit("flit", flit)
             buffer = self._assembly.setdefault(flit.packet_id, [])
             buffer.append(flit)
@@ -92,10 +97,14 @@ class FabricSink(ClockedComponent):
                 packet.eject_tick = tick
                 self.on_packet(packet, tick)
                 self._kernel.emit("packet", packet)
-        # Write-on-change credit return (cf. FabricRouter): zero the wire
-        # once after a return, then stop driving it.
-        if credit:
-            self.link.send_credits(credit, tick)
-        elif not self.link.settle_credit(tick):
+        # Write-on-change credit returns (cf. FabricRouter): one credit
+        # on the arriving flit's VC, settle the rest once.
+        settled = False
+        for vc in range(self.link.n_vcs):
+            if vc == credit_vc:
+                self.link.send_credits(vc, 1, tick)
+            elif self.link.settle_credit(vc, tick):
+                settled = True
+        if credit_vc < 0 and not settled:
             # No arrival and no wire to settle: wait for the next flit.
             self.sleep_until(self.link.flit)

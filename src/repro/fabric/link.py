@@ -7,11 +7,15 @@ regime of the paper's comparison:
   IC-NoC's 2-phase valid/accept handshake between stages clocked at
   alternating edges of the *integrated* forwarded clock. No buffers, no
   credits: the producer holds data until the consumer's accept.
-* :class:`CreditLink` — one directed wire pair between synchronously
-  (mesochronously) clocked routers: a ``flit`` wire carrying tick-tagged
-  payloads downstream and a ``credit`` wire carrying tick-tagged credit
-  returns upstream. Credits guarantee the consumer's input FIFO has
-  space — the stall buffers the IC-NoC architecture avoids.
+* :class:`CreditLink` — one directed wire pair (or wire bundle) between
+  synchronously (mesochronously) clocked routers: a ``flit`` wire
+  carrying tick-tagged payloads downstream and one credit wire **per
+  virtual channel** carrying tick-tagged credit returns upstream.
+  Credits guarantee the consumer's input FIFO has space — the stall
+  buffers the IC-NoC architecture avoids. At ``n_vcs=1`` (the wormhole
+  degenerate case) the bundle collapses to the historical two-signal
+  layout bit-identically: one ``credit`` wire under the historical name,
+  flit payloads untagged by VC.
 
 Tick-tagged payloads make the synchronous links race-free without a
 delta-cycle scheduler: a value ``(x, sent_tick)`` driven at tick *t*
@@ -19,12 +23,19 @@ commits at the end of *t* and is consumed exactly once, at the receiver's
 edge two ticks (one full clock cycle) later. Anything older is a stale
 wire value and is ignored by the tag check.
 
+**Virtual channels.** A link built with ``n_vcs=V > 1`` carries at most
+one flit per cycle on the shared ``flit`` wire — VCs share the physical
+channel, which is the whole point (a blocked packet on one VC no longer
+blocks the link). Flit payloads become ``((flit, vc), tick)`` and each
+VC's credits return on its own wire (``credit0`` … ``credit{V-1}``), so
+the consumer's per-VC input FIFOs are flow-controlled independently.
+
 **Segmented links.** A link built with ``segments=K > 1`` models the
 paper's pipelined wires on the credit fabrics: the flit path becomes K
 wire segments joined by ``K - 1`` clocked :class:`LinkStage` registers
 (the same role the tree's :class:`~repro.noc.pipeline.PipelineStage`
-plays on the handshake links), and the credit path runs back through the
-same stages. End-to-end flit latency grows from 1 to K cycles, the
+plays on the handshake links), and every credit path runs back through
+the same stages. End-to-end flit latency grows from 1 to K cycles, the
 longest wire any clock period must cover shrinks to ``length / K``, and
 the credit round trip grows to ``2 K`` cycles — which is why the consumer
 FIFO behind a segmented link must hold ``pipeline_depth + 2 * segments``
@@ -69,10 +80,9 @@ class LinkStage(GatedComponentMixin, ClockedComponent):
     Re-launches tick-tagged payloads one segment further each cycle:
     ``forward`` pairs carry flits downstream, ``backward`` pairs carry
     credit counts upstream (zeroed write-on-change, exactly like the
-    routers' credit returns). One stage serves both
-    :class:`CreditLink` (one flit wire, one credit wire) and
-    :class:`~repro.fabric.vc.VcCreditLink` (one flit wire, a credit wire
-    per VC) — the pair lists are the only difference.
+    routers' credit returns). One stage serves every :class:`CreditLink`
+    shape — one flit wire plus one credit wire per VC; the pair lists
+    are the only difference.
 
     Honours the idle contract: an edge that registers nothing and has no
     stale credit wire to settle is a fixed point, and the stage sleeps
@@ -123,24 +133,33 @@ class LinkStage(GatedComponentMixin, ClockedComponent):
 class CreditLink:
     """One directed router-to-router (or router-to-NI) connection.
 
-    Two signals per segment: ``flit`` (downstream data) and ``credit``
-    (upstream returns). The helpers below encode the tick-tag protocol
-    once, so routers, sources, and sinks cannot disagree on it — and they
-    hide the segmentation entirely: producers drive the first segment,
-    consumers see the last, whatever K is.
+    Per segment: one shared ``flit`` wire (downstream data) and one
+    credit wire per VC (upstream returns). The helpers below encode the
+    tick-tag protocol once, so routers, sources, and sinks cannot
+    disagree on it — and they hide both the segmentation and the VC
+    count entirely: producers drive the first segment, consumers see the
+    last, and the single-VC wire layout stays the historical one.
 
     Attributes:
+        n_vcs: virtual channels multiplexed on the flit wire (1 = the
+            historical wormhole link, bit-identical wire layout and
+            payload shape).
         segments: pipeline segments (1 = the historical direct wire).
-        capacity: consumer FIFO depth this link was sized for, or None
-            for the consumer's default — the assembling network sets it
-            so producer credits and consumer FIFO depth cannot disagree.
+        capacity: consumer FIFO depth (per VC) this link was sized for,
+            or None for the consumer's default — the assembling network
+            sets it so producer credits and consumer FIFO depth cannot
+            disagree.
         stages: the ``segments - 1`` :class:`LinkStage` registers.
         flit: the consumer-side flit wire (what receivers watch).
-        credit: the producer-side credit wire (what senders watch).
+        credits: the producer-side credit wires, one per VC (what
+            senders watch). At ``n_vcs=1`` the single wire is also
+            exposed as ``credit`` under its historical name.
     """
 
-    def __init__(self, kernel: SimKernel, name: str, segments: int = 1,
-                 capacity: int | None = None):
+    def __init__(self, kernel: SimKernel, name: str, n_vcs: int = 1,
+                 segments: int = 1, capacity: int | None = None):
+        if n_vcs < 1:
+            raise ConfigurationError("a VC link needs at least 1 VC")
         if segments < 1:
             raise ConfigurationError(
                 f"a link needs >= 1 segment, got {segments}"
@@ -151,47 +170,69 @@ class CreditLink:
                 f"got {capacity}"
             )
         self.name = name
+        self.n_vcs = n_vcs
         self.segments = segments
         self.capacity = capacity
         self.stages: list[LinkStage] = []
+        # Single-VC flit payloads stay the historical untagged
+        # ``(flit, tick)`` shape; multi-VC payloads are
+        # ``((flit, vc), tick)``. Probes, VCD dumps, and hand-driven
+        # wires in tests see exactly the wire traffic they always did.
+        self._tag_vc = n_vcs > 1
+
+        def credit_name(vc: int) -> str:
+            return f"{name}.credit" if n_vcs == 1 else f"{name}.credit{vc}"
+
         if segments == 1:
             self.flit: Signal = kernel.signal(f"{name}.flit", initial=None)
-            self.credit: Signal = kernel.signal(f"{name}.credit", initial=0)
+            self.credits: list[Signal] = [
+                kernel.signal(credit_name(vc), initial=0)
+                for vc in range(n_vcs)
+            ]
             self._flit_in = self.flit
-            self._credit_out = self.credit
-            return
-        flit_wires = [kernel.signal(f"{name}.flit.s{j}", initial=None)
-                      for j in range(segments - 1)]
-        flit_wires.append(kernel.signal(f"{name}.flit", initial=None))
-        credit_wires = [kernel.signal(f"{name}.credit", initial=0)]
-        credit_wires += [kernel.signal(f"{name}.credit.s{j}", initial=0)
-                         for j in range(1, segments)]
-        self.flit = flit_wires[-1]        # consumer side
-        self.credit = credit_wires[0]     # producer side
-        self._flit_in = flit_wires[0]     # driven by the producer
-        self._credit_out = credit_wires[-1]  # driven by the consumer
-        self.stages = [
-            LinkStage(kernel, f"{name}.st{j}",
-                      forward=[(flit_wires[j], flit_wires[j + 1])],
-                      backward=[(credit_wires[j + 1], credit_wires[j])])
-            for j in range(segments - 1)
-        ]
+            self._credits_out = self.credits
+        else:
+            flit_wires = [kernel.signal(f"{name}.flit.s{j}", initial=None)
+                          for j in range(segments - 1)]
+            flit_wires.append(kernel.signal(f"{name}.flit", initial=None))
+            # credit_wires[vc][j]: wire j of VC vc's upstream chain; wire
+            # 0 (producer side) keeps the historical name senders watch.
+            credit_wires = [
+                [kernel.signal(credit_name(vc), initial=0)]
+                + [kernel.signal(f"{credit_name(vc)}.s{j}", initial=0)
+                   for j in range(1, segments)]
+                for vc in range(n_vcs)
+            ]
+            self.flit = flit_wires[-1]                       # consumer side
+            self.credits = [chain[0] for chain in credit_wires]
+            self._flit_in = flit_wires[0]
+            self._credits_out = [chain[-1] for chain in credit_wires]
+            self.stages = [
+                LinkStage(kernel, f"{name}.st{j}",
+                          forward=[(flit_wires[j], flit_wires[j + 1])],
+                          backward=[(chain[j + 1], chain[j])
+                                    for chain in credit_wires])
+                for j in range(segments - 1)
+            ]
+        if n_vcs == 1:
+            self.credit: Signal = self.credits[0]
 
     # -- producer side ---------------------------------------------------
 
-    def send_flit(self, flit: Any, tick: int) -> None:
-        """Launch a flit; the consumer takes it ``segments`` cycles on."""
-        self._flit_in.set((flit, tick), tick)
+    def send_flit(self, flit: Any, vc: int, tick: int) -> None:
+        """Launch a flit on ``vc``; consumed ``segments`` cycles later."""
+        payload = (flit, vc) if self._tag_vc else flit
+        self._flit_in.set((payload, tick), tick)
 
-    def send_credits(self, count: int, tick: int) -> None:
-        """Return ``count`` credits (consumer side); the producer
-        collects them ``segments`` cycles later."""
-        self._credit_out.set((count, tick), tick)
+    def send_credits(self, vc: int, count: int, tick: int) -> None:
+        """Return ``count`` credits for ``vc`` (consumer side); the
+        producer collects them ``segments`` cycles later."""
+        self._credits_out[vc].set((count, tick), tick)
 
     # -- consumer side ---------------------------------------------------
 
-    def take_flit(self, tick: int) -> Any | None:
-        """The flit arriving exactly this edge, or None.
+    def take_flit(self, tick: int) -> tuple[Any, int] | None:
+        """The ``(flit, vc)`` arriving exactly this edge, or None.
 
         Tick-tagged: a payload launched (or re-launched by the last
         stage) at ``tick - 2`` is consumed here, once; older wire values
@@ -200,18 +241,20 @@ class CreditLink:
         payload = self.flit.value
         if payload is None:
             return None
-        flit, sent_tick = payload
-        return flit if sent_tick == tick - LINK_LATENCY_TICKS else None
+        tagged, sent_tick = payload
+        if sent_tick != tick - LINK_LATENCY_TICKS:
+            return None
+        return tagged if self._tag_vc else (tagged, 0)
 
-    def take_credits(self, tick: int) -> int:
-        """Credits arriving exactly this edge (0 if none)."""
-        payload = self.credit.value
+    def take_credits(self, vc: int, tick: int) -> int:
+        """Credits for ``vc`` arriving exactly this edge (0 if none)."""
+        payload = self.credits[vc].value
         if payload is None or payload == 0:
             return 0
         count, sent_tick = payload
         return count if sent_tick == tick - LINK_LATENCY_TICKS else 0
 
-    def settle_credit(self, tick: int) -> bool:
+    def settle_credit(self, vc: int, tick: int) -> bool:
         """Zero a stale credit wire (write-on-change); True if it drove.
 
         A credit wire carrying an already-consumed ``(count, tick)``
@@ -220,12 +263,15 @@ class CreditLink:
         segmented link this settles the consumer-side wire; the stages
         settle their own.
         """
-        if self._credit_out.value != 0:
-            self._credit_out.set(0, tick)
+        if self._credits_out[vc].value != 0:
+            self._credits_out[vc].set(0, tick)
             return True
         return False
 
     def __repr__(self) -> str:
-        if self.segments == 1:
-            return f"CreditLink({self.name!r})"
-        return f"CreditLink({self.name!r}, segments={self.segments})"
+        parts = [repr(self.name)]
+        if self.n_vcs > 1:
+            parts.append(f"n_vcs={self.n_vcs}")
+        if self.segments > 1:
+            parts.append(f"segments={self.segments}")
+        return f"CreditLink({', '.join(parts)})"

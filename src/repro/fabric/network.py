@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.clocking.gating import GatingStats
 from repro.errors import ConfigurationError, TopologyError
+from repro.fabric.allocator import make_allocator
 from repro.fabric.endpoint import FabricSink, FabricSource
 from repro.fabric.link import CreditLink
 from repro.fabric.router import FabricRouter
@@ -52,12 +53,6 @@ from repro.fabric.routing import (
     TorusDatelineVc,
     TorusXYRouting,
     VcPolicy,
-)
-from repro.fabric.vc import (
-    VcCreditLink,
-    VcFabricRouter,
-    VcFabricSink,
-    VcFabricSource,
 )
 from repro.fabric.topologies import RingTopology, TorusTopology, square_side
 from repro.noc.floorplan import (
@@ -111,6 +106,10 @@ class CreditFabricNetwork:
             )
         self.kernel = kernel if kernel is not None \
             else SimKernel(activity_driven=config.activity_driven)
+        # Allocation policy: every router gets a fresh allocator instance
+        # of this flavour (arbitration state is per router).
+        self.allocator_name = getattr(config, "allocator", "rr")
+        self.reservations = tuple(getattr(config, "reservations", ()))
         self.pipeline_depth = getattr(config, "pipeline_depth", 1)
         self.segment_links = getattr(config, "segment_links", False)
         self.credit_sizing = getattr(config, "credit_sizing", "auto")
@@ -132,22 +131,24 @@ class CreditFabricNetwork:
                 f"backend must be 'dispatch', 'array' or 'auto', "
                 f"got {backend!r}"
             )
-        lowerable = self.pipeline_depth == 1 and not self.segment_links
+        lowerable = (self.pipeline_depth == 1 and not self.segment_links
+                     and self.allocator_name != "weighted")
         if backend == "auto":
             backend = "array" if lowerable else "dispatch"
         elif backend == "array" and not lowerable:
             raise ConfigurationError(
                 "backend='array' does not support pipelined routers "
-                "(pipeline_depth > 1) or segmented links; use "
-                "backend='dispatch' (or 'auto' to fall back)"
+                "(pipeline_depth > 1), segmented links, or the weighted "
+                "allocator; use backend='dispatch' (or 'auto' to fall "
+                "back)"
             )
         self.backend = backend
         self.engine = None
         self.stats = NetworkStats()
-        self.routers: list[FabricRouter | VcFabricRouter] = []
-        self.sources: list[FabricSource | VcFabricSource] = []
-        self.sinks: list[FabricSink | VcFabricSink] = []
-        self.links: list[CreditLink | VcCreditLink] = []
+        self.routers: list[FabricRouter] = []
+        self.sources: list[FabricSource] = []
+        self.sinks: list[FabricSink] = []
+        self.links: list[CreditLink] = []
         self.delivered: list[Packet] = []
         self._inflight: dict[int, Packet] = {}
         self._handlers: dict[int, Callable[[Packet, int], None]] = {}
@@ -170,26 +171,23 @@ class CreditFabricNetwork:
         return getattr(self.config, "n_vcs", 2) if self.vc_enabled else 1
 
     def _make_router(self, node: int):
-        if self.vc_enabled:
-            return VcFabricRouter(
-                self.kernel, f"{self._node_prefix}{node}",
-                n_ports=self.topology.max_ports,
-                candidates=self.vc_policy.for_node(node),
-                n_vcs=self.n_vcs,
-                buffer_depth=self.config.buffer_depth,
-                port_names=self._port_names,
-                pipeline_depth=self.pipeline_depth,
-                register=self._register_components,
-            )
+        # One construction path for both regimes: n_vcs picks the
+        # degenerate (wormhole) or VC shape inside the unified router,
+        # and every router gets its own allocator instance.
+        vc = self.vc_enabled
         return FabricRouter(
             self.kernel, f"{self._node_prefix}{node}",
             n_ports=self.topology.max_ports,
-            route=self.routing.for_node(node),
+            route=None if vc else self.routing.for_node(node),
+            candidates=self.vc_policy.for_node(node) if vc else None,
+            n_vcs=self.n_vcs,
             buffer_depth=self.config.buffer_depth,
             ring_transit=self.routing,
             port_names=self._port_names,
             pipeline_depth=self.pipeline_depth,
             register=self._register_components,
+            allocator=make_allocator(self.allocator_name,
+                                     self.reservations),
         )
 
     def _link_segments(self, node: int, port: int) -> int:
@@ -227,12 +225,8 @@ class CreditFabricNetwork:
 
     def _make_link(self, name: str, segments: int = 1):
         capacity = self._link_capacity(segments)
-        if self.vc_enabled:
-            link = VcCreditLink(self.kernel, name, self.n_vcs,
-                                segments=segments, capacity=capacity)
-        else:
-            link = CreditLink(self.kernel, name,
-                              segments=segments, capacity=capacity)
+        link = CreditLink(self.kernel, name, self.n_vcs,
+                          segments=segments, capacity=capacity)
         self.links.append(link)
         return link
 
@@ -254,23 +248,15 @@ class CreditFabricNetwork:
             src_credits = (inject.capacity if inject.capacity is not None
                            else self.config.buffer_depth)
             register = self._register_components
-            if self.vc_enabled:
-                source = VcFabricSource(
-                    self.kernel, f"{prefix}{node}.src", inject,
-                    credits=src_credits,
-                    vc=self.vc_policy.injection_vc(node),
-                    register=register)
-                sink = VcFabricSink(self.kernel, f"{prefix}{node}.sink",
-                                    eject, on_packet=hook,
-                                    register=register)
-            else:
-                source = FabricSource(self.kernel, f"{prefix}{node}.src",
-                                      inject,
-                                      credits=src_credits,
-                                      register=register)
-                sink = FabricSink(self.kernel, f"{prefix}{node}.sink",
-                                  eject, on_packet=hook,
-                                  register=register)
+            source = FabricSource(
+                self.kernel, f"{prefix}{node}.src", inject,
+                credits=src_credits,
+                vc=(self.vc_policy.injection_vc(node)
+                    if self.vc_enabled else 0),
+                register=register)
+            sink = FabricSink(self.kernel, f"{prefix}{node}.sink",
+                              eject, on_packet=hook,
+                              register=register)
             # The sink grants the router initial credits via connect();
             # sink-side credits mirror the router's local output credits.
             self.sources.append(source)
@@ -454,6 +440,8 @@ class CreditFabricNetwork:
         structure = describe() if describe else f"{self.topology.nodes} nodes"
         flow = (f", {self.n_vcs} VCs ({self.vc_policy.name})"
                 if self.vc_enabled else "")
+        if self.allocator_name != "rr":
+            flow += f", {self.allocator_name} allocation"
         pipe = ""
         if self.pipeline_depth > 1:
             pipe += f", {self.pipeline_depth}-stage routers"
@@ -492,8 +480,13 @@ def make_vc_policy(config: "FabricConfig", cols: int | None = None,
         if name == "dateline" and config.topology == "torus":
             return TorusDatelineVc(cols, rows, config.n_vcs)
         if name == "escape":
-            return EscapeVcAdaptive(cols, rows, config.n_vcs,
-                                    wrap=(config.topology == "torus"))
+            return EscapeVcAdaptive(
+                cols, rows, config.n_vcs,
+                wrap=(config.topology == "torus"),
+                reentry=(getattr(config, "allocator", "rr")
+                         == "escape-reentry"),
+                priority_flows=getattr(config, "priority_flows", ()),
+            )
     raise ConfigurationError(
         f"no stock VC policy builder for topology {config.topology!r} "
         f"with policy {name!r}; pass a VcPolicy to CreditFabricNetwork"

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
+from repro.fabric.allocator import ALLOCATOR_NAMES, make_allocator
 from repro.tech.technology import Technology, TECH_90NM
 
 #: Clock distribution capabilities.
@@ -69,6 +70,13 @@ class TopologyEntry:
         vc_policies: supported VC-assignment policies
             (:mod:`repro.fabric.routing`), the first is the default —
             e.g. ``dateline`` deadlock avoidance, ``escape`` adaptive.
+        allocators: supported router allocation policies
+            (:mod:`repro.fabric.allocator`). Empty means the fabric has
+            no allocator knob at all (the handshake tree family);
+            ``"rr"`` round-robin is always accepted where any policy
+            is. ``"weighted"``/``"escape-reentry"`` require VC flow
+            control, and ``"escape-reentry"`` additionally requires the
+            ``escape`` VC policy.
         builder: ``FabricConfig -> network`` (lazy-imports its module).
         validate: optional extra config check (port-count shape etc.).
         physical: ``(network, name, clock_distribution) ->``
@@ -94,6 +102,7 @@ class TopologyEntry:
     validate: Callable[["FabricConfig"], None] | None = None
     flow_control: tuple[str, ...] = (FLOW_WORMHOLE,)
     vc_policies: tuple[str, ...] = ()
+    allocators: tuple[str, ...] = ()
     physical: Callable[[Any, str, str], Any] | None = None
     supports_pipeline: bool = False
 
@@ -111,6 +120,23 @@ class TopologyEntry:
             raise ConfigurationError(
                 f"{self.name}: VC flow control needs at least one "
                 f"VC-assignment policy"
+            )
+        for allocator in self.allocators:
+            if allocator not in ALLOCATOR_NAMES:
+                raise ConfigurationError(
+                    f"{self.name}: unknown allocator {allocator!r} "
+                    f"(known: {', '.join(ALLOCATOR_NAMES)})"
+                )
+            if allocator != "rr" and FLOW_VC not in self.flow_control:
+                raise ConfigurationError(
+                    f"{self.name}: allocator {allocator!r} needs VC flow "
+                    f"control"
+                )
+        if ("escape-reentry" in self.allocators
+                and "escape" not in self.vc_policies):
+            raise ConfigurationError(
+                f"{self.name}: escape-reentry allocation needs the "
+                f"'escape' VC policy"
             )
 
     @property
@@ -158,6 +184,7 @@ def topology_table() -> list[dict[str, str]]:
             "clocking": "+".join(entry.clock_distribution),
             "tree_legal": "yes" if entry.tree_legal else "no",
             "flow_control": flow,
+            "allocators": "/".join(entry.allocators) or "-",
             "description": entry.description,
         })
     return rows
@@ -176,10 +203,19 @@ class FabricConfig:
     control (``"wormhole"`` everywhere; ``"vc"`` enables virtual
     channels on the fabrics that register the capability, with
     ``n_vcs`` channels per port and the ``vc_policy`` VC-assignment
-    policy — None means the topology's default policy). All capability
-    checks run in ``__post_init__`` — an illegal pairing (e.g. a torus
-    with the integrated clock, a tree with VCs) never constructs, which
-    is what the build-time guarantee means.
+    policy — None means the topology's default policy). ``allocator``
+    selects the routers' allocation policy
+    (:mod:`repro.fabric.allocator`): ``"rr"`` round-robin (the
+    default, every fabric), ``"weighted"`` per-VC bandwidth
+    reservations (``reservations`` as ``((vc, fraction), ...)``), or
+    ``"escape-reentry"`` (round-robin plus Duato-legal escape-to-
+    adaptive re-entry under the escape policy). ``priority_flows``
+    (``((src, dest), ...)``, escape policy only) reserves the top VC
+    as a priority lane for the named flows — the QoS target a weighted
+    reservation meters. All capability checks run in ``__post_init__``
+    — an illegal pairing (e.g. a torus with the integrated clock, a
+    tree with VCs, reservations without the weighted allocator) never
+    constructs, which is what the build-time guarantee means.
     """
 
     topology: str = "tree"
@@ -192,6 +228,9 @@ class FabricConfig:
     flow_control: str = FLOW_WORMHOLE
     n_vcs: int = 2              # per-port virtual channels (vc only)
     vc_policy: str | None = None
+    allocator: str = "rr"       # router allocation policy
+    reservations: tuple = ()    # ((vc, fraction), ...) — weighted only
+    priority_flows: tuple = ()  # ((src, dest), ...) — escape policy only
     chip_width_mm: float = 10.0
     chip_height_mm: float = 10.0
     max_segment_mm: float = 1.25
@@ -206,6 +245,15 @@ class FabricConfig:
         entry = get_topology(self.topology)
         if self.ports < 2:
             raise ConfigurationError("a fabric needs at least 2 ports")
+        # Normalize sequence knobs to nested tuples so the (frozen)
+        # config stays hashable and picklable whatever the caller built
+        # them from (CLI argument lists, JSON, ...).
+        object.__setattr__(self, "reservations",
+                           tuple((int(vc), float(fraction))
+                                 for vc, fraction in self.reservations))
+        object.__setattr__(self, "priority_flows",
+                           tuple((int(src), int(dest))
+                                 for src, dest in self.priority_flows))
         if self.backend not in ("dispatch", "array", "auto"):
             raise ConfigurationError(
                 f"backend must be 'dispatch', 'array' or 'auto', "
@@ -232,6 +280,12 @@ class FabricConfig:
                 raise ConfigurationError(
                     "backend='array' does not support segmented links; "
                     "use backend='dispatch' (or 'auto' to fall back)"
+                )
+            if self.allocator == "weighted":
+                raise ConfigurationError(
+                    "backend='array' has no lowering for the weighted "
+                    "allocator; use backend='dispatch' (or 'auto' to "
+                    "fall back)"
                 )
         if self.pipeline_depth < 1:
             raise ConfigurationError("pipeline_depth must be >= 1")
@@ -301,6 +355,58 @@ class FabricConfig:
             raise ConfigurationError(
                 "n_vcs only applies with flow_control='vc'"
             )
+        if self.allocator not in ALLOCATOR_NAMES:
+            raise ConfigurationError(
+                f"unknown allocator {self.allocator!r}; known: "
+                f"{', '.join(ALLOCATOR_NAMES)}"
+            )
+        if self.allocator != "rr":
+            if self.flow_control != FLOW_VC:
+                raise ConfigurationError(
+                    f"allocator {self.allocator!r} only applies with "
+                    f"flow_control='vc' (single-VC routers have no "
+                    f"VC stage to meter)"
+                )
+            if self.allocator not in entry.allocators:
+                raise ConfigurationError(
+                    f"topology {self.topology!r} has no allocator "
+                    f"{self.allocator!r} (supported: "
+                    f"{', '.join(entry.allocators) or 'none'})"
+                )
+            if (self.allocator == "escape-reentry"
+                    and self.resolved_vc_policy != "escape"):
+                raise ConfigurationError(
+                    "escape-reentry allocation needs the 'escape' VC "
+                    "policy (there is no escape subnetwork to re-enter "
+                    "from otherwise)"
+                )
+        # Single-source reservation checks (duplicates, fraction range,
+        # sum <= 1, weighted-only) from the allocator constructor; VC
+        # indices need the config's n_vcs on top.
+        make_allocator(self.allocator, self.reservations)
+        for vc, _fraction in self.reservations:
+            if not 0 <= vc < self.n_vcs:
+                raise ConfigurationError(
+                    f"reservation names vc{vc} but the fabric has "
+                    f"{self.n_vcs} VCs"
+                )
+        if self.priority_flows:
+            if self.resolved_vc_policy != "escape":
+                raise ConfigurationError(
+                    "priority_flows need the 'escape' VC policy (it "
+                    "reserves the priority lane)"
+                )
+            for src, dest in self.priority_flows:
+                if not (0 <= src < self.ports and 0 <= dest < self.ports):
+                    raise ConfigurationError(
+                        f"priority flow ({src}, {dest}) outside the "
+                        f"fabric's {self.ports} ports"
+                    )
+                if src == dest:
+                    raise ConfigurationError(
+                        f"priority flow ({src}, {dest}): src == dest "
+                        f"never enters the fabric"
+                    )
         if entry.validate is not None:
             entry.validate(self)
 
@@ -317,6 +423,11 @@ class FabricConfig:
         if self.vc_policy is not None:
             return self.vc_policy
         return get_topology(self.topology).vc_policies[0]
+
+    @property
+    def resolved_allocator(self) -> str:
+        """The router allocation policy in force (validated already)."""
+        return self.allocator
 
     def build(self):
         """Instantiate the network (any registered fabric, same API)."""
@@ -519,6 +630,7 @@ register_topology(TopologyEntry(
     physical=_physical_credit,
     flow_control=(FLOW_WORMHOLE, FLOW_VC),
     vc_policies=("escape",),
+    allocators=("rr", "weighted", "escape-reentry"),
     supports_pipeline=True,
 ))
 
@@ -533,6 +645,7 @@ register_topology(TopologyEntry(
     physical=_physical_credit,
     flow_control=(FLOW_WORMHOLE, FLOW_VC),
     vc_policies=("dateline", "escape"),
+    allocators=("rr", "weighted", "escape-reentry"),
     supports_pipeline=True,
 ))
 
@@ -547,5 +660,6 @@ register_topology(TopologyEntry(
     physical=_physical_credit,
     flow_control=(FLOW_WORMHOLE, FLOW_VC),
     vc_policies=("dateline",),
+    allocators=("rr", "weighted"),
     supports_pipeline=True,
 ))

@@ -1,20 +1,28 @@
 """The shared credit-based fabric router.
 
 One router implementation serves every synchronously clocked fabric (mesh,
-torus, ring, and whatever the registry grows next): an N-port wormhole
-router with input FIFOs, credit-based flow control, per-output round-robin
-arbitration and wormhole locks. What differs between fabrics — where the
-ports lead and which output a flit wants — lives in the
-:mod:`~repro.fabric.routing` strategy supplied at construction, typically
-~30 lines per topology.
+torus, ring, and whatever the registry grows next), across both
+flow-control regimes: an N-port credit router with input FIFOs, wormhole
+locks, and a pluggable two-stage :class:`~repro.fabric.allocator.Allocator`
+(VC allocation + switch allocation). ``n_vcs=1`` is the wormhole
+degenerate case — bit-identical to every build before virtual channels
+existed: one FIFO per port, no VC-allocation stage, the allocator's
+per-output switch arbiters are exactly the historical round-robin
+arbiters, and state keeps the historical flat layout (``fifos[port]``,
+``credits[port]``, ``locks[port]``). ``n_vcs=V >= 2`` runs the
+virtual-channel regime: per-(port, VC) FIFOs, per-VC credit counters and
+wormhole locks, and policy-driven VC allocation ahead of switch
+allocation. What differs between fabrics — where the ports lead and which
+output (and VCs) a flit wants — lives in the
+:mod:`~repro.fabric.routing` strategy supplied at construction.
 
 Single-edge clocking (all routers share parity 0 in the kernel: one firing
-per clock cycle). Each input port has a FIFO of ``buffer_depth`` flits —
-the stall buffers the IC-NoC architecture avoids. A router may only
-forward a flit toward a neighbour when it holds a credit for that
-neighbour's input FIFO; the neighbour returns a credit when it dequeues.
-Per-port FIFO depths follow the attached link's ``capacity`` when the
-assembling network sized one (segmented links and pipelined routers need
+per clock cycle). Each input FIFO holds ``buffer_depth`` flits — the
+stall buffers the IC-NoC architecture avoids. A router may only forward a
+flit toward a neighbour when it holds a credit for that neighbour's input
+FIFO; the neighbour returns a credit when it dequeues. Per-port FIFO
+depths follow the attached link's ``capacity`` when the assembling
+network sized one (segmented links and pipelined routers need
 ``pipeline_depth + 2 * segments`` credits to stream — see docs/fabric.md).
 
 **Pipelined router.** ``pipeline_depth=1`` (the default) is the
@@ -40,36 +48,41 @@ the gating statistics via the shared
 :class:`~repro.sim.component.GatedComponentMixin`.
 
 **Bubble rule.** When the routing strategy flags ``needs_bubble`` (ring-
-closing topologies: torus, ring), a head flit may only *enter* a ring —
-from the local port or by turning out of another dimension — while the
-target FIFO keeps a free slot afterwards (``credits >= 2``); same-ring
-transit is exempt. See :mod:`repro.fabric.routing` for the argument.
+closing topologies: torus, ring) and the router runs single-VC, a head
+flit may only *enter* a ring — from the local port or by turning out of
+another dimension — while the target FIFO keeps a free slot afterwards
+(``credits >= 2``); same-ring transit is exempt. See
+:mod:`repro.fabric.routing` for the argument. The VC regime replaces the
+bubble rule (and its packet-length bound) with dateline/escape policies.
 
 **Kernel events.** With any :meth:`~repro.sim.kernel.SimKernel.subscribe`
-listener attached, the router emits two congestion-diagnosis events (cheap
+listener attached, the router emits congestion-diagnosis events (cheap
 no-ops otherwise, so the fast path never pays for unobserved visibility):
 
 * ``"arbitration_grant"`` — an output port granted an input; data is a
-  dict with ``router``, ``output``, ``input``, and the ``flit``.
-* ``"credit_exhausted"`` — a flit wants an output whose credits just ran
-  dry. Edge-triggered on *entering* starvation (cleared when credits
+  dict with ``router``, ``output``, ``vc``, ``input``, ``input_vc``, and
+  the ``flit``. Single-VC routers emit ``vc=0``/``input_vc=0``.
+* ``"credit_exhausted"`` — a flit wants an output (VC) whose credits just
+  ran dry. Edge-triggered on *entering* starvation (cleared when credits
   return), so both kernel modes emit the identical event sequence even
   though the naive loop re-fires starved routers every cycle.
 * ``"lock_acquire"`` / ``"lock_release"`` — a multi-flit packet's head
-  took an output's wormhole lock / its tail released it; data carries
-  ``router``, ``output``, ``input``, and the ``packet_id``. Single-flit
-  packets never hold the lock, so they emit neither. Acquisitions and
-  releases are discrete state transitions, hence edge-triggered and
-  mode-identical by construction — together with ``arbitration_grant``
-  they complete head-of-line-blocking diagnosis (how long an output sat
-  locked between grants).
+  took an output('s VC) wormhole lock / its tail released it; data
+  carries ``router``, ``output``, ``vc``, ``input``, ``input_vc``, and
+  the ``packet_id``. Single-flit packets never hold the lock, so they
+  emit neither. Acquisitions and releases are discrete state
+  transitions, hence edge-triggered and mode-identical by construction.
+* ``"vc_allocated"`` (VC regime only) — the allocator granted an output
+  VC to a head flit; data carries ``router``, ``output``, ``vc``,
+  ``input``, ``input_vc``, and the ``flit``.
 
 The ``output``/``input`` fields are port *indices*; consumers label
 them via :meth:`FabricRouter.port_name`. These payloads are a stable
 contract: the :mod:`repro.telemetry` metrics registry and flit tracer
-key grant counts, stall episodes, and hop records off them, and the
-telemetry equivalence suite pins the emitted sequences across both
-kernel modes on every registered topology.
+key grant counts, stall episodes, and hop records off them (always
+VC-suffixed, ``:vc0`` for single-VC), and the telemetry equivalence
+suite pins the emitted sequences across both kernel modes on every
+registered topology.
 """
 
 from __future__ import annotations
@@ -79,9 +92,9 @@ from typing import Sequence
 
 from repro.clocking.gating import GatingStats
 from repro.errors import ConfigurationError, RoutingError
+from repro.fabric.allocator import Allocator, RoundRobinAllocator
 from repro.fabric.link import CreditLink
-from repro.fabric.routing import RouteFn, RoutingStrategy
-from repro.noc.arbiter import RoundRobinArbiter
+from repro.fabric.routing import RouteFn, RoutingStrategy, VcCandidateFn
 from repro.noc.flit import Flit
 from repro.sim.component import ClockedComponent, GatedComponentMixin
 from repro.sim.kernel import SimKernel
@@ -89,48 +102,97 @@ from repro.sim.signal import Signal
 
 
 class FabricRouter(GatedComponentMixin, ClockedComponent):
-    """N-port credit/wormhole router with a pluggable routing function."""
+    """N-port credit router, wormhole at ``n_vcs=1``, VCs above.
+
+    Single-VC routers take a ``route`` function (flit -> output port);
+    multi-VC routers take a ``candidates`` function (the
+    :class:`~repro.fabric.routing.VcPolicy` product: input port, input
+    VC, head flit -> preferred/(escape) ``(out_port, out_vc)`` lists).
+    Who wins contended outputs is the ``allocator``'s business
+    (:mod:`repro.fabric.allocator`); the default round-robin reproduces
+    the historical arbitration bit-identically in both regimes.
+    """
 
     def __init__(self, kernel: SimKernel, name: str, n_ports: int,
-                 route: RouteFn, buffer_depth: int = 4,
+                 route: RouteFn | None = None, buffer_depth: int = 4,
                  ring_transit: RoutingStrategy | None = None,
                  port_names: Sequence[str] | None = None,
-                 pipeline_depth: int = 1, register: bool = True):
+                 pipeline_depth: int = 1, register: bool = True,
+                 n_vcs: int = 1,
+                 candidates: VcCandidateFn | None = None,
+                 allocator: Allocator | None = None):
         super().__init__(name, parity=0)
         if n_ports < 2:
             raise ConfigurationError("a router needs at least 2 ports")
+        if n_vcs < 1:
+            raise ConfigurationError("a router needs >= 1 VC")
         if buffer_depth < 2:
             raise ConfigurationError("credit flow control needs depth >= 2")
         if pipeline_depth < 1:
             raise ConfigurationError("pipeline_depth must be >= 1")
+        if n_vcs == 1 and route is None:
+            raise ConfigurationError(
+                "a single-VC router needs a route function"
+            )
+        if n_vcs >= 2 and candidates is None:
+            raise ConfigurationError(
+                "a VC router needs a candidates function (VC policy)"
+            )
         self.n_ports = n_ports
+        self.n_vcs = n_vcs
         self.buffer_depth = buffer_depth
         self.pipeline_depth = pipeline_depth
-        # Flits between grant and link traversal, as (ready_tick, out_port,
-        # flit). Grants are issued in tick order with a constant stage
-        # delay, so ready ticks are monotone and one queue suffices.
-        self._stage_queue: deque[tuple[int, int, Flit]] = deque()
+        # Flits between grant and link traversal, as (ready_tick,
+        # out_port, out_vc, flit). Grants are issued in tick order with a
+        # constant stage delay, so ready ticks are monotone and one queue
+        # suffices.
+        self._stage_queue: deque[tuple[int, int, int, Flit]] = deque()
         self._route_fn = route
-        # Bubble flow control: the strategy deciding which in->out pairs
-        # are same-ring transit; None disables the rule (acyclic fabrics).
+        self._candidates = candidates
+        # Bubble flow control (single-VC only): the strategy deciding
+        # which in->out pairs are same-ring transit; None disables the
+        # rule (acyclic fabrics, and every VC regime — dateline/escape
+        # policies replace it).
         self._ring_transit = (ring_transit
-                              if ring_transit is not None
+                              if n_vcs == 1 and ring_transit is not None
                               and ring_transit.needs_bubble else None)
         self._port_names = port_names
         # in_links[p]: flits arriving on port p; out_links[p]: flits leaving.
         self.in_links: list[CreditLink | None] = [None] * n_ports
         self.out_links: list[CreditLink | None] = [None] * n_ports
-        self.fifos: list[deque[Flit]] = [deque() for _ in range(n_ports)]
-        # Per-port FIFO depth: buffer_depth unless the attached link was
-        # sized for a longer credit loop (see connect()).
+        # Per-port FIFO depth (shared by a port's VCs): buffer_depth
+        # unless the attached link was sized for a longer credit loop
+        # (see connect()).
         self.fifo_depths = [buffer_depth] * n_ports
-        self.credits = [0] * n_ports  # credits toward each output's consumer
-        self.locks: list[int | None] = [None] * n_ports
-        self.arbiters = [RoundRobinArbiter(n_ports) for _ in range(n_ports)]
+        self.allocator = (allocator if allocator is not None
+                          else RoundRobinAllocator())
+        self.allocator.bind(n_ports, n_vcs)
+        if n_vcs == 1:
+            # The historical wormhole state layout, flat per port.
+            self.fifos: list[deque[Flit]] = [deque()
+                                             for _ in range(n_ports)]
+            self.credits: list[int] = [0] * n_ports
+            self.locks: list[int | None] = [None] * n_ports
+            self._starved: list[bool] = [False] * n_ports
+            # Switch requests all target "VC 0" of the output.
+            self._zero_vc_of = [0] * n_ports
+        else:
+            # Indexed [port][vc]; flattened index = port * n_vcs + vc.
+            self.fifos = [[deque() for _ in range(n_vcs)]
+                          for _ in range(n_ports)]
+            self.credits = [[0] * n_vcs for _ in range(n_ports)]
+            #: Which input VC owns each output VC (per-VC wormhole lock).
+            self.vc_owner: list[list[tuple[int, int] | None]] = [
+                [None] * n_vcs for _ in range(n_ports)
+            ]
+            #: The (out_port, out_vc) each input VC's packet was allocated.
+            self.allocation: list[list[tuple[int, int] | None]] = [
+                [None] * n_vcs for _ in range(n_ports)
+            ]
+            self._starved = [[False] * n_vcs for _ in range(n_ports)]
         self._gating = GatingStats()
         self.flits_forwarded = 0
-        # Starvation edge-detector per output (credit_exhausted events).
-        self._starved = [False] * n_ports
+        self.vcs_allocated = 0
         # Signals to watch while asleep: anything arriving (flits in,
         # credits back) makes the next edge act again.
         self._watch: list[Signal] = []
@@ -138,6 +200,24 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
         # executes its semantics instead); state and wiring are identical.
         if register:
             kernel.add_component(self)
+
+    # The allocator owns arbitration state; these views keep the
+    # historical introspection spellings working in both regimes.
+
+    @property
+    def arbiters(self):
+        """Per-output switch arbiters (historical wormhole name)."""
+        return self.allocator.sa_arbiters
+
+    @property
+    def sa_arbiters(self):
+        """Per-output switch arbiters (VC-regime name)."""
+        return self.allocator.sa_arbiters
+
+    @property
+    def va_arbiters(self):
+        """VC-allocation arbiters, keyed by ``(out_port, out_vc)``."""
+        return self.allocator.va_arbiters
 
     def port_name(self, port: int) -> str:
         if self._port_names is not None and port < len(self._port_names):
@@ -153,13 +233,17 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
         if out_link is not None:
             # Initial credits mirror the consumer's FIFO depth — the link
             # carries the agreed capacity so the two cannot disagree.
-            self.credits[port] = (out_link.capacity
-                                  if out_link.capacity is not None
-                                  else self.buffer_depth)
+            per_vc = (out_link.capacity if out_link.capacity is not None
+                      else self.buffer_depth)
+            if self.n_vcs == 1:
+                self.credits[port] = per_vc
+            else:
+                self.credits[port] = [per_vc] * self.n_vcs
         self._watch = [link.flit for link in self.in_links
                        if link is not None]
-        self._watch += [link.credit for link in self.out_links
-                        if link is not None]
+        for link in self.out_links:
+            if link is not None:
+                self._watch += link.credits
 
     def _route(self, flit: Flit) -> int:
         return self._route_fn(flit)
@@ -171,6 +255,14 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
                 and self.credits[out_port] < 2)
 
     def on_edge(self, tick: int) -> None:
+        if self.n_vcs == 1:
+            self._edge_single(tick)
+        else:
+            self._edge_vc(tick)
+
+    # -- the single-VC (wormhole) edge -----------------------------------
+
+    def _edge_single(self, tick: int) -> None:
         enabled = False   # register-bank activity (gating statistics)
         active = False    # anything at all happened (sleep decision)
         observed = bool(self._kernel._event_subs)
@@ -178,8 +270,9 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
         # cycles ago finish stage traversal and hit the link this edge.
         if self._stage_queue:
             while self._stage_queue and self._stage_queue[0][0] <= tick:
-                _ready, stage_port, stage_flit = self._stage_queue.popleft()
-                self.out_links[stage_port].send_flit(stage_flit, tick)
+                _ready, st_port, _st_vc, st_flit = \
+                    self._stage_queue.popleft()
+                self.out_links[st_port].send_flit(st_flit, 0, tick)
                 enabled = True
             if self._stage_queue:
                 active = True  # in-flight stage state: never sleep on it
@@ -187,7 +280,7 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
         for port, link in enumerate(self.out_links):
             if link is None:
                 continue
-            if returned := link.take_credits(tick):
+            if returned := link.take_credits(0, tick):
                 self.credits[port] += returned
                 active = True
                 if self._starved[port]:
@@ -205,7 +298,7 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
                 continue
             if self.credits[out_port] <= 0:
                 if observed:
-                    self._note_starvation(out_port, tick)
+                    self._note_starvation_single(out_port, tick)
                 continue
             lock = self.locks[out_port]
             requests = []
@@ -225,46 +318,51 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
                         in_port, out_port))
             if not any(requests):
                 continue
-            winner = self.arbiters[out_port].grant(requests)
+            winner = self.allocator.switch_winner(out_port, requests,
+                                                  self._zero_vc_of)
             flit = self.fifos[winner].popleft()
             credits_returned[winner] += 1
             if self.pipeline_depth == 1:
-                out_link.send_flit(flit, tick)
+                out_link.send_flit(flit, 0, tick)
             else:
                 # Grant now (credits, locks, arbiter state — the decision
                 # stage), traverse after the remaining stage registers.
                 self._stage_queue.append(
-                    (tick + 2 * (self.pipeline_depth - 1), out_port, flit)
+                    (tick + 2 * (self.pipeline_depth - 1), out_port, 0,
+                     flit)
                 )
             self.credits[out_port] -= 1
             self.flits_forwarded += 1
             enabled = True
             if observed:
                 self._kernel.emit("arbitration_grant", {
-                    "router": self.name, "output": out_port,
-                    "input": winner, "flit": flit,
+                    "router": self.name, "output": out_port, "vc": 0,
+                    "input": winner, "input_vc": 0, "flit": flit,
                 })
             if flit.is_tail:
                 self.locks[out_port] = None
                 if observed and not flit.is_head:
                     self._kernel.emit("lock_release", {
-                        "router": self.name, "output": out_port,
-                        "input": winner, "packet_id": flit.packet_id,
+                        "router": self.name, "output": out_port, "vc": 0,
+                        "input": winner, "input_vc": 0,
+                        "packet_id": flit.packet_id,
                     })
             elif flit.is_head:
                 self.locks[out_port] = winner
                 if observed:
                     self._kernel.emit("lock_acquire", {
-                        "router": self.name, "output": out_port,
-                        "input": winner, "packet_id": flit.packet_id,
+                        "router": self.name, "output": out_port, "vc": 0,
+                        "input": winner, "input_vc": 0,
+                        "packet_id": flit.packet_id,
                     })
         # 3. Accept arrivals (credit scheme guarantees FIFO space).
         for port, link in enumerate(self.in_links):
             if link is None:
                 continue
-            flit = link.take_flit(tick)
-            if flit is None:
+            tagged = link.take_flit(tick)
+            if tagged is None:
                 continue
+            flit, _vc = tagged
             if len(self.fifos[port]) >= self.fifo_depths[port]:
                 raise RoutingError(f"{self.name}: FIFO overflow on "
                                    f"{self.port_name(port)} "
@@ -278,9 +376,9 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
             if link is None:
                 continue
             if credits_returned[in_port]:
-                link.send_credits(credits_returned[in_port], tick)
+                link.send_credits(0, credits_returned[in_port], tick)
                 active = True
-            elif link.settle_credit(tick):
+            elif link.settle_credit(0, tick):
                 active = True
         self.gating.record(enabled)
         if not enabled and not active:
@@ -290,7 +388,7 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
             # or a new arrival — both are watched signal changes.
             self.sleep_until(*self._watch)
 
-    def _note_starvation(self, out_port: int, tick: int) -> None:
+    def _note_starvation_single(self, out_port: int, tick: int) -> None:
         """Emit ``credit_exhausted`` on the edge starvation begins.
 
         The transition (a buffered flit wants the output, no credits) is
@@ -314,17 +412,241 @@ class FabricRouter(GatedComponentMixin, ClockedComponent):
                 continue
             self._starved[out_port] = True
             self._kernel.emit("credit_exhausted", {
-                "router": self.name, "output": out_port, "input": in_port,
+                "router": self.name, "output": out_port, "vc": 0,
+                "input": in_port, "input_vc": 0,
             })
             return
 
+    # -- the virtual-channel edge ----------------------------------------
+
+    def _edge_vc(self, tick: int) -> None:
+        enabled = False   # register-bank activity (gating statistics)
+        active = False    # anything at all happened (sleep decision)
+        observed = bool(self._kernel._event_subs)
+        # 0. Drain the router pipeline: flits granted pipeline_depth - 1
+        # cycles ago finish stage traversal and hit the link this edge.
+        if self._stage_queue:
+            while self._stage_queue and self._stage_queue[0][0] <= tick:
+                _ready, st_port, st_vc, st_flit = self._stage_queue.popleft()
+                self.out_links[st_port].send_flit(st_flit, st_vc, tick)
+                enabled = True
+            if self._stage_queue:
+                active = True  # in-flight stage state: never sleep on it
+        # 1. Collect per-VC credit returns.
+        for port, link in enumerate(self.out_links):
+            if link is None:
+                continue
+            for vc in range(self.n_vcs):
+                if returned := link.take_credits(vc, tick):
+                    self.credits[port][vc] += returned
+                    active = True
+                    if self._starved[port][vc]:
+                        self._starved[port][vc] = False
+        # 2. VC allocation: head flits without an output VC acquire one.
+        if self._allocate_vcs(observed):
+            enabled = True
+        # 3. Switch allocation + traversal.
+        credits_returned = [[0] * self.n_vcs for _ in range(self.n_ports)]
+        port_used = [False] * self.n_ports  # one crossbar pass per input
+        for out_port in range(self.n_ports):
+            out_link = self.out_links[out_port]
+            if out_link is None:
+                continue
+            requests = [False] * (self.n_ports * self.n_vcs)
+            out_vc_of = [0] * (self.n_ports * self.n_vcs)
+            blocked_vcs = []  # owners starved of credits (diagnosis)
+            for in_port in range(self.n_ports):
+                if port_used[in_port]:
+                    continue
+                for in_vc in range(self.n_vcs):
+                    allocation = self.allocation[in_port][in_vc]
+                    if allocation is None or allocation[0] != out_port:
+                        continue
+                    if not self.fifos[in_port][in_vc]:
+                        continue
+                    if self.credits[out_port][allocation[1]] <= 0:
+                        blocked_vcs.append(allocation[1])
+                        continue
+                    flat = in_port * self.n_vcs + in_vc
+                    requests[flat] = True
+                    out_vc_of[flat] = allocation[1]
+            if observed:
+                # Every starved VC reports, even while sibling VCs keep
+                # the physical port busy — per-VC starvation is exactly
+                # what the event exists to expose.
+                for vc in blocked_vcs:
+                    self._note_starvation_vc(out_port, vc)
+            if not any(requests):
+                continue
+            winner = self.allocator.switch_winner(out_port, requests,
+                                                  out_vc_of)
+            in_port, in_vc = divmod(winner, self.n_vcs)
+            out_vc = self.allocation[in_port][in_vc][1]
+            flit = self.fifos[in_port][in_vc].popleft()
+            credits_returned[in_port][in_vc] += 1
+            if self.pipeline_depth == 1:
+                out_link.send_flit(flit, out_vc, tick)
+            else:
+                # Grant now (credits, VC locks, arbiter state — the
+                # decision stage), traverse after the stage registers.
+                self._stage_queue.append(
+                    (tick + 2 * (self.pipeline_depth - 1),
+                     out_port, out_vc, flit)
+                )
+            self.credits[out_port][out_vc] -= 1
+            self.flits_forwarded += 1
+            port_used[in_port] = True
+            enabled = True
+            if observed:
+                self._kernel.emit("arbitration_grant", {
+                    "router": self.name, "output": out_port, "vc": out_vc,
+                    "input": in_port, "input_vc": in_vc, "flit": flit,
+                })
+            if flit.is_tail:
+                # Tail releases the per-VC lock and the allocation.
+                self.vc_owner[out_port][out_vc] = None
+                self.allocation[in_port][in_vc] = None
+                if observed and not flit.is_head:
+                    self._kernel.emit("lock_release", {
+                        "router": self.name, "output": out_port,
+                        "vc": out_vc, "input": in_port, "input_vc": in_vc,
+                        "packet_id": flit.packet_id,
+                    })
+        # 4. Accept arrivals into the per-VC FIFOs.
+        for port, link in enumerate(self.in_links):
+            if link is None:
+                continue
+            tagged = link.take_flit(tick)
+            if tagged is None:
+                continue
+            flit, vc = tagged
+            if len(self.fifos[port][vc]) >= self.fifo_depths[port]:
+                raise RoutingError(
+                    f"{self.name}: FIFO overflow on "
+                    f"{self.port_name(port)} vc{vc} (credit violation)"
+                )
+            self.fifos[port][vc].append(flit)
+            enabled = True
+        # 5. Return credits upstream, write-on-change per VC wire.
+        for in_port, link in enumerate(self.in_links):
+            if link is None:
+                continue
+            for vc in range(self.n_vcs):
+                if credits_returned[in_port][vc]:
+                    link.send_credits(vc, credits_returned[in_port][vc],
+                                      tick)
+                    active = True
+                elif link.settle_credit(vc, tick):
+                    active = True
+        self.gating.record(enabled)
+        if not enabled and not active:
+            # Fixed point: ownership only changes when a tail is
+            # forwarded (this edge would have been enabled), so progress
+            # can only resume with an arrival or a credit return — both
+            # watched signal changes.
+            self.sleep_until(*self._watch)
+
+    # -- VC allocation ---------------------------------------------------
+
+    def _allocate_vcs(self, observed: bool) -> bool:
+        """Stage one: grant free output VCs to waiting head flits.
+
+        Requests are collected per pending input VC from its policy
+        candidates — preferred pairs while any is free, escape fallback
+        otherwise — then free output VCs are walked in a fixed order
+        (port ascending, VC descending) granting via the allocator's
+        VC stage among the requesting input VCs. Single pass,
+        deterministic, at most one allocation per input VC per edge.
+        """
+        want: dict[tuple[int, int], list[int]] = {}
+        for in_port in range(self.n_ports):
+            for in_vc in range(self.n_vcs):
+                fifo = self.fifos[in_port][in_vc]
+                if not fifo or self.allocation[in_port][in_vc] is not None:
+                    continue
+                head = fifo[0]
+                if not head.is_head:
+                    raise RoutingError(
+                        f"{self.name}: body flit {head} without an "
+                        f"allocation on {self.port_name(in_port)} "
+                        f"vc{in_vc}"
+                    )
+                preferred, fallback = self._candidates(in_port, in_vc, head)
+                requested = [
+                    pair for pair in preferred
+                    if self.vc_owner[pair[0]][pair[1]] is None
+                    and self.out_links[pair[0]] is not None
+                ]
+                if not requested:
+                    requested = [
+                        pair for pair in fallback
+                        if self.vc_owner[pair[0]][pair[1]] is None
+                        and self.out_links[pair[0]] is not None
+                    ]
+                flat = in_port * self.n_vcs + in_vc
+                for pair in requested:
+                    want.setdefault(pair, []).append(flat)
+        if not want:
+            return False
+        allocated_inputs: set[int] = set()
+        did_allocate = False
+        for out_port in range(self.n_ports):
+            for out_vc in range(self.n_vcs - 1, -1, -1):
+                requesters = want.get((out_port, out_vc))
+                if not requesters:
+                    continue
+                requests = [False] * (self.n_ports * self.n_vcs)
+                any_request = False
+                for flat in requesters:
+                    if flat not in allocated_inputs:
+                        requests[flat] = True
+                        any_request = True
+                if not any_request:
+                    continue
+                winner = self.allocator.vc_winner(out_port, out_vc,
+                                                  requests)
+                in_port, in_vc = divmod(winner, self.n_vcs)
+                self.vc_owner[out_port][out_vc] = (in_port, in_vc)
+                self.allocation[in_port][in_vc] = (out_port, out_vc)
+                allocated_inputs.add(winner)
+                self.vcs_allocated += 1
+                did_allocate = True
+                if observed:
+                    head = self.fifos[in_port][in_vc][0]
+                    self._kernel.emit("vc_allocated", {
+                        "router": self.name, "output": out_port,
+                        "vc": out_vc, "input": in_port, "input_vc": in_vc,
+                        "flit": head,
+                    })
+                    if not head.is_tail:
+                        self._kernel.emit("lock_acquire", {
+                            "router": self.name, "output": out_port,
+                            "vc": out_vc, "input": in_port,
+                            "input_vc": in_vc,
+                            "packet_id": head.packet_id,
+                        })
+        return did_allocate
+
+    def _note_starvation_vc(self, out_port: int, out_vc: int) -> None:
+        """Emit ``credit_exhausted`` on the edge starvation begins."""
+        if self._starved[out_port][out_vc]:
+            return
+        self._starved[out_port][out_vc] = True
+        in_port, in_vc = self.vc_owner[out_port][out_vc]
+        self._kernel.emit("credit_exhausted", {
+            "router": self.name, "output": out_port, "vc": out_vc,
+            "input": in_port, "input_vc": in_vc,
+        })
+
     @property
     def buffered_flits(self) -> int:
-        return sum(len(fifo) for fifo in self.fifos)
+        if self.n_vcs == 1:
+            return sum(len(fifo) for fifo in self.fifos)
+        return sum(len(fifo) for port in self.fifos for fifo in port)
 
     @property
     def buffer_capacity(self) -> int:
-        """Total FIFO capacity: per-port depths over ports in use."""
-        return sum(self.fifo_depths[port]
+        """Total FIFO capacity: per-port depth x VCs over ports in use."""
+        return sum(self.fifo_depths[port] * self.n_vcs
                    for port, link in enumerate(self.in_links)
                    if link is not None)

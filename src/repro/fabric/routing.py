@@ -361,21 +361,58 @@ class EscapeVcAdaptive(VcPolicy):
       dateline classes (so ``n_vcs >= 3`` leaves at least one adaptive
       VC).
 
-    A packet that enters the escape stays on it until delivery, so
-    escape channels never depend on adaptive ones — Duato's condition
-    for deadlock freedom of the adaptive whole.
+    By default a packet that enters the escape stays on it until
+    delivery, so escape channels never depend on adaptive ones —
+    Duato's (basic) condition for deadlock freedom of the adaptive
+    whole. ``reentry=True`` relaxes this to Duato's *extended*
+    condition: a packet on an escape VC may request adaptive VCs again
+    at later hops, because legality only needs the escape subfunction
+    to stay a connected, deadlock-free routing subfunction that every
+    packet can fall back to at every hop — which it does regardless of
+    how often packets leave and re-enter it. The knob rides on the
+    allocator (:class:`~repro.fabric.allocator.EscapeReentryAllocator`
+    sets ``wants_reentry``); the assembling network threads it here.
+
+    ``priority_flows`` reserves the top VC as a priority lane for the
+    named ``(src, dest)`` flows: their heads prefer the top VC along
+    the deterministic XY output (falling back to escape like everyone
+    else — including *re-entering* the lane from escape at later hops,
+    legal by the same extended-Duato argument), and no other traffic
+    ever requests that VC, so a
+    :class:`~repro.fabric.allocator.WeightedAllocator` reservation on
+    it meters exactly the priority flows' bandwidth. The lane itself is
+    deadlock-free standalone (one VC class over acyclic XY turns),
+    which is why it is mesh-only: on the wrapped torus a single VC
+    along a ring is cyclic, so ``wrap=True`` with priority flows is a
+    configuration error.
     """
 
     name = "escape"
 
-    def __init__(self, cols: int, rows: int, n_vcs: int, wrap: bool):
+    def __init__(self, cols: int, rows: int, n_vcs: int, wrap: bool,
+                 reentry: bool = False,
+                 priority_flows: Sequence[tuple[int, int]] = ()):
         self.wrap = wrap
-        self.min_vcs = 3 if wrap else 2
+        self.reentry = reentry
+        self.priority_flows = frozenset(
+            (int(src), int(dest)) for src, dest in priority_flows
+        )
+        if self.priority_flows and wrap:
+            raise ConfigurationError(
+                "priority flows need an acyclic priority lane: the "
+                "escape policy only reserves one on the mesh (wrap-free "
+                "XY); use the mesh topology or drop priority_flows"
+            )
+        # Escape class(es), at least one adaptive VC, plus the reserved
+        # priority lane when flows are named.
+        self.min_vcs = (3 if wrap else 2) + (1 if self.priority_flows else 0)
         super().__init__(n_vcs)
         self.cols = cols
         self.rows = rows
         self.escape_vcs = (0, 1) if wrap else (0,)
-        self.adaptive_vcs = tuple(range(len(self.escape_vcs), n_vcs))
+        self.priority_vc = n_vcs - 1 if self.priority_flows else None
+        top = n_vcs - (1 if self.priority_flows else 0)
+        self.adaptive_vcs = tuple(range(len(self.escape_vcs), top))
         self._xy = (TorusXYRouting(cols, rows) if wrap
                     else XYRouting(cols, rows))
         self._dateline = (TorusDatelineVc(cols, rows, 2) if wrap else None)
@@ -422,11 +459,29 @@ class EscapeVcAdaptive(VcPolicy):
         def candidates(in_port: int, in_vc: int, flit: Flit):
             xy_port = route(flit)
             if xy_port == LOCAL:
-                return self._ejection(self.n_vcs)
+                if self.priority_vc is None:
+                    return self._ejection(self.n_vcs)
+                # The lane stays exclusive end-to-end — ejection
+                # included — so a weighted reservation on it meters
+                # only the priority flows. Background ejects on the
+                # other VCs; priority flows prefer the lane and fall
+                # back to the shared VCs.
+                shared = [(LOCAL, vc) for vc in range(self.priority_vc)]
+                if (flit.src, flit.dest) in self.priority_flows:
+                    return [(LOCAL, self.priority_vc)], shared
+                return shared, []
             escape = [self._escape_candidate(node, flit, xy_port)]
-            if in_port != LOCAL and in_vc in self.escape_vcs:
+            if (self.priority_vc is not None
+                    and (flit.src, flit.dest) in self.priority_flows):
+                # Priority flows prefer their reserved lane at every
+                # hop — including hops reached on an escape VC (lane
+                # re-entry is extended-Duato legal; see class docs).
+                return [(xy_port, self.priority_vc)], escape
+            if (in_port != LOCAL and in_vc in self.escape_vcs
+                    and not self.reentry):
                 # Committed to the escape subnetwork: deterministic XY
-                # until delivery (what makes escape self-sufficient).
+                # until delivery (what makes escape self-sufficient
+                # under the basic Duato condition).
                 return [], escape
             adaptive = [(port, vc)
                         for port in self._productive_ports(node, flit.dest)

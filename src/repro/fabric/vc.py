@@ -1,585 +1,55 @@
-"""Virtual-channel flow control for the credit fabrics.
+"""Back-compat aliases for the pre-unification virtual-channel stack.
 
-Fabrics built with ``flow_control="vc"`` replace the wormhole stack's
-single per-port FIFO (and, on ring-closing topologies, the bubble rule
-with its ``flits <= buffer_depth - 1`` packet-length bound) with virtual
-channels:
-
-* :class:`VcCreditLink` — one physical ``flit`` wire (one flit per cycle
-  per link, VC-tagged) plus one credit wire **per VC**, so the consumer's
-  per-VC input FIFOs are flow-controlled independently;
-* :class:`VcFabricRouter` — per-(port, VC) input FIFOs, per-VC wormhole
-  locks (an output VC is owned by exactly one packet at a time), and a
-  two-stage allocator: **VC allocation** (head flits acquire an output
-  VC, chosen by the pluggable :class:`~repro.fabric.routing.VcPolicy`)
-  followed by **switch allocation** (one flit per output port and per
-  input port per cycle, round-robin among input VCs holding credits);
-* :class:`VcFabricSource` / :class:`VcFabricSink` — the local-port
-  adapters, VC-tagged.
-
-Which output VCs a head flit may request is the policy's business:
-dateline classes make torus/ring deadlock-free with no packet-length
-bound, escape VCs add minimal-adaptive routing over a deterministic XY
-escape (see :mod:`repro.fabric.routing`).
-
-Everything honours the idle-component contract (docs/kernel.md): wires
-are driven write-on-change, a quiet router sleeps watching its input
-flit wires and per-VC output credit wires, and both kernel modes commit
-identical state — the registry-wide equivalence suite covers every
-topology × flow-control combination.
-
-**Kernel events.** With a subscriber attached (guarded no-ops
-otherwise), the router emits the shared ``arbitration_grant`` /
-``credit_exhausted`` / ``lock_acquire`` / ``lock_release`` events (all
-carrying a ``vc`` field here) plus one of its own:
-
-* ``"vc_allocated"`` — the VC allocator granted an output VC to a head
-  flit; data carries ``router``, ``output``, ``vc``, ``input``,
-  ``input_vc``, and the ``flit``. Allocation is edge-triggered by
-  construction (a packet acquires each output VC exactly once), so both
-  kernel modes emit the identical sequence.
-
-The ``vc`` field on the shared events is what lets the
-:mod:`repro.telemetry` registry attribute credit stalls and grants per
-``router:port:vcN`` key instead of per port — the per-VC breakdown the
-dateline/escape policies need for congestion diagnosis.
+Virtual-channel flow control used to live here as a parallel
+implementation (``VcCreditLink``/``VcFabricRouter``/``VcFabricSource``/
+``VcFabricSink``). The stacks are unified now: one
+:class:`~repro.fabric.link.CreditLink` grows per-VC credit wires above
+``n_vcs=1``, one :class:`~repro.fabric.router.FabricRouter` runs the
+two-stage allocation pipeline (VC allocation + switch allocation, the
+pluggable :mod:`repro.fabric.allocator` interface) when built with
+``n_vcs >= 2``, and the shared endpoints in
+:mod:`repro.fabric.endpoint` serve every VC count. This module keeps the
+historical names importable as thin aliases; new code should use the
+unified classes directly.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Callable, Sequence
+from typing import Sequence
 
-from repro.clocking.gating import GatingStats
-from repro.errors import ConfigurationError, RoutingError
-from repro.fabric.link import LINK_LATENCY_TICKS, LinkStage
+from repro.errors import ConfigurationError
+from repro.fabric.allocator import Allocator
+from repro.fabric.endpoint import FabricSink, FabricSource
+from repro.fabric.link import CreditLink
+from repro.fabric.router import FabricRouter
 from repro.fabric.routing import VcCandidateFn
-from repro.noc.arbiter import RoundRobinArbiter
-from repro.noc.flit import Flit
-from repro.noc.packet import Packet
-from repro.sim.component import ClockedComponent, GatedComponentMixin
 from repro.sim.kernel import SimKernel
-from repro.sim.signal import Signal
 
 __all__ = ["VcCreditLink", "VcFabricRouter", "VcFabricSource",
            "VcFabricSink"]
 
+#: The unified link already speaks the historical VC signature
+#: ``(kernel, name, n_vcs, segments=1, capacity=None)``.
+VcCreditLink = CreditLink
 
-class VcCreditLink:
-    """One directed link: a shared flit wire, per-VC credit wires.
-
-    The physical channel carries at most one flit per cycle — VCs share
-    the wire, which is the whole point (a blocked packet on one VC no
-    longer blocks the link). Flit payloads are ``((flit, vc), tick)``
-    tick-tagged exactly like :class:`~repro.fabric.link.CreditLink`;
-    credits return on the wire of the VC that freed a FIFO slot.
-
-    ``segments=K > 1`` pipelines the link exactly like the wormhole
-    flavour: the shared flit wire becomes K segments joined by ``K - 1``
-    :class:`~repro.fabric.link.LinkStage` registers (each relaying the
-    flit downstream and every VC's credits upstream), the per-VC credit
-    loops grow to the full ``pipeline_depth + 2 * segments`` round trip
-    (the ``capacity`` the assembling network attaches), and ``segments=1``
-    stays bit-identical to the historical direct wire.
-    """
-
-    def __init__(self, kernel: SimKernel, name: str, n_vcs: int,
-                 segments: int = 1, capacity: int | None = None):
-        if n_vcs < 1:
-            raise ConfigurationError("a VC link needs at least 1 VC")
-        if segments < 1:
-            raise ConfigurationError(
-                f"a link needs >= 1 segment, got {segments}"
-            )
-        if capacity is not None and capacity < 2:
-            raise ConfigurationError(
-                f"credit flow control needs link capacity >= 2, "
-                f"got {capacity}"
-            )
-        self.name = name
-        self.n_vcs = n_vcs
-        self.segments = segments
-        self.capacity = capacity
-        self.stages: list[LinkStage] = []
-        if segments == 1:
-            self.flit: Signal = kernel.signal(f"{name}.flit", initial=None)
-            self.credits: list[Signal] = [
-                kernel.signal(f"{name}.credit{vc}", initial=0)
-                for vc in range(n_vcs)
-            ]
-            self._flit_in = self.flit
-            self._credits_out = self.credits
-            return
-        flit_wires = [kernel.signal(f"{name}.flit.s{j}", initial=None)
-                      for j in range(segments - 1)]
-        flit_wires.append(kernel.signal(f"{name}.flit", initial=None))
-        # credit_wires[vc][j]: wire j of VC vc's upstream chain; wire 0
-        # (producer side) keeps the historical name the senders watch.
-        credit_wires = [
-            [kernel.signal(f"{name}.credit{vc}", initial=0)]
-            + [kernel.signal(f"{name}.credit{vc}.s{j}", initial=0)
-               for j in range(1, segments)]
-            for vc in range(n_vcs)
-        ]
-        self.flit = flit_wires[-1]                       # consumer side
-        self.credits = [chain[0] for chain in credit_wires]  # producer side
-        self._flit_in = flit_wires[0]
-        self._credits_out = [chain[-1] for chain in credit_wires]
-        self.stages = [
-            LinkStage(kernel, f"{name}.st{j}",
-                      forward=[(flit_wires[j], flit_wires[j + 1])],
-                      backward=[(chain[j + 1], chain[j])
-                                for chain in credit_wires])
-            for j in range(segments - 1)
-        ]
-
-    # -- producer side ---------------------------------------------------
-
-    def send_flit(self, flit: Any, vc: int, tick: int) -> None:
-        """Launch a VC-tagged flit; consumed ``segments`` cycles later."""
-        self._flit_in.set(((flit, vc), tick), tick)
-
-    def send_credits(self, vc: int, count: int, tick: int) -> None:
-        """Return ``count`` credits for ``vc`` (consumer side); collected
-        ``segments`` cycles later."""
-        self._credits_out[vc].set((count, tick), tick)
-
-    # -- consumer side ---------------------------------------------------
-
-    def take_flit(self, tick: int) -> tuple[Any, int] | None:
-        """The ``(flit, vc)`` arriving exactly this edge, or None."""
-        payload = self.flit.value
-        if payload is None:
-            return None
-        tagged, sent_tick = payload
-        return tagged if sent_tick == tick - LINK_LATENCY_TICKS else None
-
-    def take_credits(self, vc: int, tick: int) -> int:
-        """Credits for ``vc`` arriving exactly this edge (0 if none)."""
-        payload = self.credits[vc].value
-        if payload is None or payload == 0:
-            return 0
-        count, sent_tick = payload
-        return count if sent_tick == tick - LINK_LATENCY_TICKS else 0
-
-    def settle_credit(self, vc: int, tick: int) -> bool:
-        """Zero a stale credit wire (write-on-change); True if it drove.
-
-        On a segmented link this settles the consumer-side wire; the
-        intermediate stages settle their own.
-        """
-        if self._credits_out[vc].value != 0:
-            self._credits_out[vc].set(0, tick)
-            return True
-        return False
-
-    def __repr__(self) -> str:
-        if self.segments == 1:
-            return f"VcCreditLink({self.name!r}, n_vcs={self.n_vcs})"
-        return (f"VcCreditLink({self.name!r}, n_vcs={self.n_vcs}, "
-                f"segments={self.segments})")
+#: The unified endpoints already speak the historical VC signatures.
+VcFabricSource = FabricSource
+VcFabricSink = FabricSink
 
 
-class VcFabricRouter(GatedComponentMixin, ClockedComponent):
-    """N-port virtual-channel router with a two-stage allocator.
-
-    Per (input port, VC): one FIFO of ``buffer_depth`` flits and the
-    packet's current allocation — the ``(out_port, out_vc)`` its head
-    acquired, held until the tail passes (the per-VC wormhole lock).
-    Per (output port, VC): a credit counter toward the consumer's FIFO
-    and the owning input VC.
-
-    Each edge runs, in order: credit collection, **VC allocation**
-    (round-robin arbiter per output VC over the input VCs whose policy
-    candidates name it; outputs walked port-ascending, VC-descending so
-    adaptive VCs — by convention the high indices — win over escape VCs
-    when both are free), **switch allocation** (round-robin per output
-    port among allocated input VCs with buffered flits and credits; at
-    most one flit per output *and* per input port per cycle — the
-    crossbar constraint), arrivals, and write-on-change credit returns.
-    """
+class VcFabricRouter(FabricRouter):
+    """The unified router under its historical VC name and signature."""
 
     def __init__(self, kernel: SimKernel, name: str, n_ports: int,
                  candidates: VcCandidateFn, n_vcs: int,
                  buffer_depth: int = 4,
                  port_names: Sequence[str] | None = None,
-                 pipeline_depth: int = 1, register: bool = True):
-        super().__init__(name, parity=0)
-        if n_ports < 2:
-            raise ConfigurationError("a router needs at least 2 ports")
+                 pipeline_depth: int = 1, register: bool = True,
+                 allocator: Allocator | None = None):
         if n_vcs < 2:
             raise ConfigurationError("a VC router needs >= 2 VCs")
-        if buffer_depth < 2:
-            raise ConfigurationError("credit flow control needs depth >= 2")
-        if pipeline_depth < 1:
-            raise ConfigurationError("pipeline_depth must be >= 1")
-        self.n_ports = n_ports
-        self.n_vcs = n_vcs
-        self.buffer_depth = buffer_depth
-        self.pipeline_depth = pipeline_depth
-        # Flits between switch grant and link traversal, as (ready_tick,
-        # out_port, out_vc, flit); ready ticks are monotone (constant
-        # stage delay), so one queue suffices.
-        self._stage_queue: deque[tuple[int, int, int, Flit]] = deque()
-        self._candidates = candidates
-        self._port_names = port_names
-        self.in_links: list[VcCreditLink | None] = [None] * n_ports
-        self.out_links: list[VcCreditLink | None] = [None] * n_ports
-        # Indexed [port][vc] throughout; flattened index = port*n_vcs+vc.
-        self.fifos: list[list[deque[Flit]]] = [
-            [deque() for _ in range(n_vcs)] for _ in range(n_ports)
-        ]
-        # Per-port FIFO depth (shared by the port's VCs): buffer_depth
-        # unless the attached link was sized for a longer credit loop.
-        self.fifo_depths = [buffer_depth] * n_ports
-        self.credits: list[list[int]] = [[0] * n_vcs
-                                         for _ in range(n_ports)]
-        #: Which input VC owns each output VC (the per-VC wormhole lock).
-        self.vc_owner: list[list[tuple[int, int] | None]] = [
-            [None] * n_vcs for _ in range(n_ports)
-        ]
-        #: The (out_port, out_vc) each input VC's packet was allocated.
-        self.allocation: list[list[tuple[int, int] | None]] = [
-            [None] * n_vcs for _ in range(n_ports)
-        ]
-        flat = n_ports * n_vcs
-        self.va_arbiters = [RoundRobinArbiter(flat) for _ in range(flat)]
-        self.sa_arbiters = [RoundRobinArbiter(flat) for _ in range(n_ports)]
-        self._gating = GatingStats()
-        self.flits_forwarded = 0
-        self.vcs_allocated = 0
-        self._starved = [[False] * n_vcs for _ in range(n_ports)]
-        self._watch: list[Signal] = []
-        # register=False leaves the router unscheduled (an array backend
-        # executes its semantics instead); state and wiring are identical.
-        if register:
-            kernel.add_component(self)
-
-    def port_name(self, port: int) -> str:
-        if self._port_names is not None and port < len(self._port_names):
-            return self._port_names[port]
-        return f"port{port}"
-
-    def connect(self, port: int, in_link: VcCreditLink | None,
-                out_link: VcCreditLink | None) -> None:
-        self.in_links[port] = in_link
-        self.out_links[port] = out_link
-        if in_link is not None and in_link.capacity is not None:
-            self.fifo_depths[port] = in_link.capacity
-        if out_link is not None:
-            per_vc = (out_link.capacity if out_link.capacity is not None
-                      else self.buffer_depth)
-            self.credits[port] = [per_vc] * self.n_vcs
-        self._watch = [link.flit for link in self.in_links
-                       if link is not None]
-        for link in self.out_links:
-            if link is not None:
-                self._watch += link.credits
-
-    # -- the edge --------------------------------------------------------
-
-    def on_edge(self, tick: int) -> None:
-        enabled = False   # register-bank activity (gating statistics)
-        active = False    # anything at all happened (sleep decision)
-        observed = bool(self._kernel._event_subs)
-        # 0. Drain the router pipeline: flits granted pipeline_depth - 1
-        # cycles ago finish stage traversal and hit the link this edge.
-        if self._stage_queue:
-            while self._stage_queue and self._stage_queue[0][0] <= tick:
-                _ready, st_port, st_vc, st_flit = self._stage_queue.popleft()
-                self.out_links[st_port].send_flit(st_flit, st_vc, tick)
-                enabled = True
-            if self._stage_queue:
-                active = True  # in-flight stage state: never sleep on it
-        # 1. Collect per-VC credit returns.
-        for port, link in enumerate(self.out_links):
-            if link is None:
-                continue
-            for vc in range(self.n_vcs):
-                if returned := link.take_credits(vc, tick):
-                    self.credits[port][vc] += returned
-                    active = True
-                    if self._starved[port][vc]:
-                        self._starved[port][vc] = False
-        # 2. VC allocation: head flits without an output VC acquire one.
-        if self._allocate_vcs(observed):
-            enabled = True
-        # 3. Switch allocation + traversal.
-        credits_returned = [[0] * self.n_vcs for _ in range(self.n_ports)]
-        port_used = [False] * self.n_ports  # one crossbar pass per input
-        for out_port in range(self.n_ports):
-            out_link = self.out_links[out_port]
-            if out_link is None:
-                continue
-            requests = [False] * (self.n_ports * self.n_vcs)
-            blocked_vcs = []  # owners starved of credits (diagnosis)
-            for in_port in range(self.n_ports):
-                if port_used[in_port]:
-                    continue
-                for in_vc in range(self.n_vcs):
-                    allocation = self.allocation[in_port][in_vc]
-                    if allocation is None or allocation[0] != out_port:
-                        continue
-                    if not self.fifos[in_port][in_vc]:
-                        continue
-                    if self.credits[out_port][allocation[1]] <= 0:
-                        blocked_vcs.append(allocation[1])
-                        continue
-                    requests[in_port * self.n_vcs + in_vc] = True
-            if observed:
-                # Every starved VC reports, even while sibling VCs keep
-                # the physical port busy — per-VC starvation is exactly
-                # what the event exists to expose.
-                for vc in blocked_vcs:
-                    self._note_starvation(out_port, vc)
-            if not any(requests):
-                continue
-            winner = self.sa_arbiters[out_port].grant(requests)
-            in_port, in_vc = divmod(winner, self.n_vcs)
-            out_vc = self.allocation[in_port][in_vc][1]
-            flit = self.fifos[in_port][in_vc].popleft()
-            credits_returned[in_port][in_vc] += 1
-            if self.pipeline_depth == 1:
-                out_link.send_flit(flit, out_vc, tick)
-            else:
-                # Grant now (credits, VC locks, arbiter state — the
-                # decision stage), traverse after the stage registers.
-                self._stage_queue.append(
-                    (tick + 2 * (self.pipeline_depth - 1),
-                     out_port, out_vc, flit)
-                )
-            self.credits[out_port][out_vc] -= 1
-            self.flits_forwarded += 1
-            port_used[in_port] = True
-            enabled = True
-            if observed:
-                self._kernel.emit("arbitration_grant", {
-                    "router": self.name, "output": out_port, "vc": out_vc,
-                    "input": in_port, "input_vc": in_vc, "flit": flit,
-                })
-            if flit.is_tail:
-                # Tail releases the per-VC lock and the allocation.
-                self.vc_owner[out_port][out_vc] = None
-                self.allocation[in_port][in_vc] = None
-                if observed and not flit.is_head:
-                    self._kernel.emit("lock_release", {
-                        "router": self.name, "output": out_port,
-                        "vc": out_vc, "input": in_port, "input_vc": in_vc,
-                        "packet_id": flit.packet_id,
-                    })
-        # 4. Accept arrivals into the per-VC FIFOs.
-        for port, link in enumerate(self.in_links):
-            if link is None:
-                continue
-            tagged = link.take_flit(tick)
-            if tagged is None:
-                continue
-            flit, vc = tagged
-            if len(self.fifos[port][vc]) >= self.fifo_depths[port]:
-                raise RoutingError(
-                    f"{self.name}: FIFO overflow on "
-                    f"{self.port_name(port)} vc{vc} (credit violation)"
-                )
-            self.fifos[port][vc].append(flit)
-            enabled = True
-        # 5. Return credits upstream, write-on-change per VC wire.
-        for in_port, link in enumerate(self.in_links):
-            if link is None:
-                continue
-            for vc in range(self.n_vcs):
-                if credits_returned[in_port][vc]:
-                    link.send_credits(vc, credits_returned[in_port][vc],
-                                      tick)
-                    active = True
-                elif link.settle_credit(vc, tick):
-                    active = True
-        self.gating.record(enabled)
-        if not enabled and not active:
-            # Fixed point: ownership only changes when a tail is
-            # forwarded (this edge would have been enabled), so progress
-            # can only resume with an arrival or a credit return — both
-            # watched signal changes.
-            self.sleep_until(*self._watch)
-
-    # -- VC allocation ---------------------------------------------------
-
-    def _allocate_vcs(self, observed: bool) -> bool:
-        """Stage one: grant free output VCs to waiting head flits.
-
-        Requests are collected per pending input VC from its policy
-        candidates — preferred pairs while any is free, escape fallback
-        otherwise — then free output VCs are walked in a fixed order
-        (port ascending, VC descending) granting round-robin among the
-        requesting input VCs. Single pass, deterministic, at most one
-        allocation per input VC per edge.
-        """
-        want: dict[tuple[int, int], list[int]] = {}
-        for in_port in range(self.n_ports):
-            for in_vc in range(self.n_vcs):
-                fifo = self.fifos[in_port][in_vc]
-                if not fifo or self.allocation[in_port][in_vc] is not None:
-                    continue
-                head = fifo[0]
-                if not head.is_head:
-                    raise RoutingError(
-                        f"{self.name}: body flit {head} without an "
-                        f"allocation on {self.port_name(in_port)} "
-                        f"vc{in_vc}"
-                    )
-                preferred, fallback = self._candidates(in_port, in_vc, head)
-                requested = [
-                    pair for pair in preferred
-                    if self.vc_owner[pair[0]][pair[1]] is None
-                    and self.out_links[pair[0]] is not None
-                ]
-                if not requested:
-                    requested = [
-                        pair for pair in fallback
-                        if self.vc_owner[pair[0]][pair[1]] is None
-                        and self.out_links[pair[0]] is not None
-                    ]
-                flat = in_port * self.n_vcs + in_vc
-                for pair in requested:
-                    want.setdefault(pair, []).append(flat)
-        if not want:
-            return False
-        allocated_inputs: set[int] = set()
-        did_allocate = False
-        for out_port in range(self.n_ports):
-            for out_vc in range(self.n_vcs - 1, -1, -1):
-                requesters = want.get((out_port, out_vc))
-                if not requesters:
-                    continue
-                requests = [False] * (self.n_ports * self.n_vcs)
-                any_request = False
-                for flat in requesters:
-                    if flat not in allocated_inputs:
-                        requests[flat] = True
-                        any_request = True
-                if not any_request:
-                    continue
-                winner = self.va_arbiters[out_port * self.n_vcs
-                                         + out_vc].grant(requests)
-                in_port, in_vc = divmod(winner, self.n_vcs)
-                self.vc_owner[out_port][out_vc] = (in_port, in_vc)
-                self.allocation[in_port][in_vc] = (out_port, out_vc)
-                allocated_inputs.add(winner)
-                self.vcs_allocated += 1
-                did_allocate = True
-                if observed:
-                    head = self.fifos[in_port][in_vc][0]
-                    self._kernel.emit("vc_allocated", {
-                        "router": self.name, "output": out_port,
-                        "vc": out_vc, "input": in_port, "input_vc": in_vc,
-                        "flit": head,
-                    })
-                    if not head.is_tail:
-                        self._kernel.emit("lock_acquire", {
-                            "router": self.name, "output": out_port,
-                            "vc": out_vc, "input": in_port,
-                            "input_vc": in_vc,
-                            "packet_id": head.packet_id,
-                        })
-        return did_allocate
-
-    def _note_starvation(self, out_port: int, out_vc: int) -> None:
-        """Emit ``credit_exhausted`` on the edge starvation begins."""
-        if self._starved[out_port][out_vc]:
-            return
-        self._starved[out_port][out_vc] = True
-        in_port, in_vc = self.vc_owner[out_port][out_vc]
-        self._kernel.emit("credit_exhausted", {
-            "router": self.name, "output": out_port, "vc": out_vc,
-            "input": in_port, "input_vc": in_vc,
-        })
-
-    @property
-    def buffered_flits(self) -> int:
-        return sum(len(fifo) for port in self.fifos for fifo in port)
-
-    @property
-    def buffer_capacity(self) -> int:
-        """Total FIFO capacity: per-port depth x VCs over ports in use."""
-        return sum(self.fifo_depths[port] * self.n_vcs
-                   for port, link in enumerate(self.in_links)
-                   if link is not None)
-
-
-class VcFabricSource(ClockedComponent):
-    """Injects flits into a router's local port on the injection VC."""
-
-    def __init__(self, kernel: SimKernel, name: str, link: VcCreditLink,
-                 credits: int, vc: int = 0, register: bool = True):
-        super().__init__(name, parity=0)
-        self.link = link
-        self.vc = vc
-        self.credits = credits
-        self.flits: deque[Flit] = deque()
-        self.packets: deque[Packet] = deque()
-        if register:
-            kernel.add_component(self)
-
-    def submit(self, packet: Packet) -> None:
-        self.packets.append(packet)
-        self.wake()
-
-    @property
-    def idle(self) -> bool:
-        return not self.flits and not self.packets
-
-    def on_edge(self, tick: int) -> None:
-        active = False
-        if returned := self.link.take_credits(self.vc, tick):
-            self.credits += returned
-            active = True
-        if not self.flits and self.packets:
-            packet = self.packets.popleft()
-            packet.inject_tick = tick
-            self.flits.extend(packet.to_flits())
-        if self.flits and self.credits > 0:
-            self.link.send_flit(self.flits.popleft(), self.vc, tick)
-            self.credits -= 1
-        elif not active:
-            self.sleep_until(self.link.credits[self.vc])
-
-
-class VcFabricSink(ClockedComponent):
-    """Drains a router's local port, returning credits on the flit's VC."""
-
-    def __init__(self, kernel: SimKernel, name: str, link: VcCreditLink,
-                 on_packet: Callable[[Packet, int], None],
-                 register: bool = True):
-        super().__init__(name, parity=0)
-        self.link = link
-        self.on_packet = on_packet
-        self._assembly: dict[int, list[Flit]] = {}
-        self.flits_received = 0
-        if register:
-            kernel.add_component(self)
-
-    def on_edge(self, tick: int) -> None:
-        tagged = self.link.take_flit(tick)
-        credit_vc = -1
-        if tagged is not None:
-            flit, vc = tagged
-            credit_vc = vc
-            self.flits_received += 1
-            self._kernel.emit("flit", flit)
-            buffer = self._assembly.setdefault(flit.packet_id, [])
-            buffer.append(flit)
-            if flit.is_tail:
-                del self._assembly[flit.packet_id]
-                packet = Packet.from_flits(buffer)
-                packet.eject_tick = tick
-                self.on_packet(packet, tick)
-                self._kernel.emit("packet", packet)
-        # Write-on-change credit returns: one credit on the arriving
-        # flit's VC, settle the rest once.
-        settled = False
-        for vc in range(self.link.n_vcs):
-            if vc == credit_vc:
-                self.link.send_credits(vc, 1, tick)
-            elif self.link.settle_credit(vc, tick):
-                settled = True
-        if credit_vc < 0 and not settled:
-            self.sleep_until(self.link.flit)
+        super().__init__(kernel, name, n_ports, buffer_depth=buffer_depth,
+                         port_names=port_names,
+                         pipeline_depth=pipeline_depth, register=register,
+                         n_vcs=n_vcs, candidates=candidates,
+                         allocator=allocator)

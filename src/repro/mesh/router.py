@@ -46,7 +46,7 @@ class MeshRouter(FabricRouter):
     def __init__(self, kernel: SimKernel, name: str, x: int, y: int,
                  cols: int, rows: int, buffer_depth: int = 4,
                  route=None, pipeline_depth: int = 1,
-                 register: bool = True):
+                 register: bool = True, allocator=None):
         self.x = x
         self.y = y
         self.cols = cols
@@ -57,4 +57,4 @@ class MeshRouter(FabricRouter):
                          buffer_depth=buffer_depth,
                          port_names=PORT_NAMES,
                          pipeline_depth=pipeline_depth,
-                         register=register)
+                         register=register, allocator=allocator)

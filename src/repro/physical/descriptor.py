@@ -12,8 +12,15 @@ The contract a model fulfils (docs/physical.md has the worked example):
   charge input-FIFO energy (credit fabrics do, the bufferless tree
   does not);
 * ``buffer_flits()`` / ``pipeline_stage_count()`` — storage the area
-  model prices (a VC router pays ``n_vcs x`` the wormhole budget via
-  ``router.buffer_capacity``);
+  model prices. Since the flow-control unification there is one
+  :class:`~repro.fabric.router.FabricRouter` whose
+  ``buffer_capacity`` is ``ports x n_vcs x buffer_depth``; a wormhole
+  build is the ``n_vcs=1`` point of the same formula, so a VC build
+  pays exactly ``n_vcs x`` the wormhole budget with no per-flavour
+  pricing branch. Allocation policy (``rr`` / ``weighted`` /
+  ``escape-reentry``) steers *which* VC wins a cycle, not how much
+  silicon exists — it is free in area and priced only through the
+  activity it produces;
 * ``clock_sink_count()`` / ``clock_wire_mm()`` / ``clock_power()`` — the
   clock network, costed per the entry's *declared* clock-distribution
   capability: ``integrated`` fabrics pay the forwarded-clock model with
@@ -307,8 +314,11 @@ class _DestProbe:
 class CreditFabricPhysical(PhysicalModel):
     """Any :class:`~repro.fabric.network.CreditFabricNetwork` fabric.
 
-    Port counts and buffer capacity come from the built routers (so a VC
-    build pays ``n_vcs x`` the wormhole FIFO budget automatically), link
+    Port counts and buffer capacity come from the built routers — every
+    build is the same unified :class:`~repro.fabric.router.FabricRouter`
+    whose ``buffer_capacity`` scales as ``ports x n_vcs x buffer_depth``,
+    so a VC build pays ``n_vcs x`` the single-VC FIFO budget
+    automatically and the allocator choice costs nothing here — link
     lengths from the fabric floorplan, and paths from a walk driven by
     the network's **own** routing strategy (``routing.for_node``) over
     the topology's link table — the descriptor cannot drift from what

@@ -139,10 +139,16 @@ def percentile_from_buckets(buckets: dict[str, int], q: float) -> float:
 class MetricsSummary:
     """Picklable, JSON-round-trippable snapshot of one run's metrics.
 
-    Key format: links are keyed by link (or channel) name; ports by
-    ``router:port`` and VCs by ``router:port:vcN``. ``latency`` is a
-    :meth:`LatencySummary.to_dict` mapping; ``latency_buckets`` the
-    log2 histogram that survives merging.
+    Key format: links are keyed by link (or channel) name; port tables
+    (``port_grants``, ``stall_cycles``, ``stall_events``,
+    ``vc_allocations``) by ``router:port:vcN`` — always VC-suffixed,
+    ``:vc0`` on single-VC fabrics, matching the unified router's event
+    payloads. Summaries recorded before the suffix normalization may
+    carry bare ``router:port`` keys; :meth:`merge` folds those into
+    their ``:vc0`` form and :meth:`by_port` aggregates across the
+    suffix either way. ``latency`` is a :meth:`LatencySummary.to_dict`
+    mapping; ``latency_buckets`` the log2 histogram that survives
+    merging.
     """
 
     elapsed_cycles: float = 0.0
@@ -185,6 +191,36 @@ class MetricsSummary:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "MetricsSummary":
         return cls(**data)
+
+    #: Tables keyed ``router:port:vcN`` (the VC-suffixed port scheme).
+    PORT_TABLES = ("port_grants", "stall_cycles", "stall_events",
+                   "vc_allocations")
+
+    @staticmethod
+    def port_of(key: str) -> str:
+        """Strip a trailing ``:vcN`` suffix (bare legacy keys pass
+        through unchanged)."""
+        base, sep, last = key.rpartition(":")
+        if sep and last.startswith("vc") and last[2:].isdigit():
+            return base
+        return key
+
+    def by_port(self, table: str) -> dict[str, Any]:
+        """A port-keyed table aggregated across VC suffixes.
+
+        ``by_port("stall_cycles")`` sums ``m15:ej:vc0`` + ``m15:ej:vc1``
+        under ``m15:ej`` — and accepts pre-normalization summaries whose
+        keys never carried a suffix, so mixed-era comparisons keep one
+        key scheme.
+        """
+        if table not in self.PORT_TABLES:
+            raise KeyError(f"{table!r} is not a port-keyed table "
+                           f"(one of {', '.join(self.PORT_TABLES)})")
+        out: dict[str, Any] = {}
+        for key, value in getattr(self, table).items():
+            port = self.port_of(key)
+            out[port] = out.get(port, 0) + value
+        return out
 
     def top_links(self, k: int = 5) -> list[tuple[str, int, float]]:
         """Hottest links: ``(name, flits, utilization)``, busiest first."""
@@ -258,6 +294,15 @@ class MetricsSummary:
                 mine, theirs = getattr(merged, table), getattr(s, table)
                 for key, value in theirs.items():
                     mine[key] = mine.get(key, 0.0) + value * weight
+        # Back-compat fold: summaries recorded before the suffix
+        # normalization keyed single-VC ports bare (``m15:ej``); the
+        # unified scheme always suffixes (``m15:ej:vc0``). When a merge
+        # mixes both eras, fold the bare key into its vc0 form so the
+        # totals aggregate instead of splitting across two spellings.
+        for table in cls.PORT_TABLES:
+            tab = getattr(merged, table)
+            for key in [k for k in tab if f"{k}:vc0" in tab]:
+                tab[f"{key}:vc0"] += tab.pop(key)
         count = sum(s.latency.get("count", 0) for s in summaries)
         if count:
             mean = sum(s.latency.get("mean", 0.0) * s.latency.get("count", 0)

@@ -1,0 +1,130 @@
+"""Record the wormhole golden-stats fixture for the unification matrix.
+
+Run from the repo root to (re)generate ``tests/fabric/golden_wormhole.json``:
+
+    PYTHONPATH=src python tests/fabric/record_golden.py
+
+The fixture pins the *pre-refactor* wormhole stack's observable behaviour
+— delivery, latencies, hops, gating edges, kernel tick/step counts, and
+the router event order — for every credit topology x kernel mode x
+pipeline depth {1, 2, 4}. ``test_equivalence.py``'s golden matrix then
+holds the unified router's ``n_vcs=1`` path to these numbers
+byte-for-byte, so the refactor cannot silently change wormhole
+semantics. Event payloads are projected to the fields both stacks share
+(``vc`` tags the unified router adds are deliberately excluded), and
+packet ids are renumbered in first-seen order — the raw ids come from a
+process-global counter, so the absolute values depend on how many
+packets earlier tests built, which would make the sha harness-dependent.
+"""
+
+import hashlib
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+FIXTURE = pathlib.Path(__file__).with_name("golden_wormhole.json")
+
+#: The credit topologies (the fabrics the unified router replaces).
+TOPOLOGIES = {"mesh": 16, "torus": 16, "ring": 10}
+
+#: Router events whose order the fixture pins.
+EVENTS = ("arbitration_grant", "credit_exhausted", "lock_acquire",
+          "lock_release")
+
+
+def _sha(obj) -> str:
+    return hashlib.sha256(repr(obj).encode()).hexdigest()
+
+
+def _event_record(name, tick, data):
+    flit = data.get("flit")
+    return (tick, name, data.get("router"), data.get("output"),
+            data.get("input"),
+            data.get("packet_id",
+                     getattr(flit, "packet_id", None)),
+            getattr(flit, "seq", None))
+
+
+def _normalize_packet_ids(events):
+    """Renumber the packet-id field in first-seen order (see module
+    docstring: absolute ids are process-global, hence harness-dependent)."""
+    relative = {}
+    out = []
+    for record in events:
+        packet_id = record[5]
+        if packet_id is not None:
+            packet_id = relative.setdefault(packet_id, len(relative))
+        out.append(record[:5] + (packet_id,) + record[6:])
+    return out
+
+
+def run_case(topology, ports, activity_driven, pipeline_depth,
+             observe, cycles=60, load=0.25, size_flits=2):
+    from repro.fabric.registry import FabricConfig
+    from repro.traffic.patterns import UniformRandom
+
+    kwargs = {}
+    if pipeline_depth != 1:
+        kwargs["pipeline_depth"] = pipeline_depth
+    net = FabricConfig(topology=topology, ports=ports,
+                       activity_driven=activity_driven, **kwargs).build()
+    events = []
+    if observe:
+        for name in EVENTS:
+            net.kernel.subscribe(
+                name,
+                lambda tick, data, name=name: events.append(
+                    _event_record(name, tick, data)))
+    gen = UniformRandom(ports, load, size_flits=size_flits)
+    schedule = gen.generate(cycles, np.random.default_rng(5))
+    by_cycle = {}
+    for injection in schedule:
+        by_cycle.setdefault(injection.cycle, []).append(injection)
+    for cycle in range(cycles):
+        for injection in by_cycle.get(cycle, []):
+            net.send(injection.to_packet())
+        net.run_ticks(2)
+    assert net.drain(300_000), f"{topology} failed to drain"
+    net.run_ticks(5_000)
+    gating = net.gating_stats()
+    delivered = sorted((p.src, p.dest, tuple(p.payload))
+                       for p in net.delivered)
+    record = {
+        "injected": net.stats.packets_injected,
+        "delivered_n": len(delivered),
+        "delivered_sha": _sha(delivered),
+        "latency_sum": int(sum(net.stats.latencies_cycles)),
+        "latencies_sha": _sha(sorted(net.stats.latencies_cycles)),
+        "hops_sha": _sha(sorted(net.stats.hop_counts)),
+        "gating": [gating.edges_total, gating.edges_enabled],
+        "tick": net.kernel.tick,
+        "steps": net.kernel.steps_executed,
+    }
+    if observe:
+        events = _normalize_packet_ids(events)
+        record["events_n"] = len(events)
+        record["events_sha"] = _sha(events)
+    return record
+
+
+def record():
+    fixture = {}
+    for topology, ports in TOPOLOGIES.items():
+        for activity_driven in (True, False):
+            for depth in (1, 2, 4):
+                for observe in (False, True):
+                    key = "/".join([topology,
+                                    "fast" if activity_driven else "naive",
+                                    f"d{depth}",
+                                    "observed" if observe else "plain"])
+                    fixture[key] = run_case(topology, ports,
+                                            activity_driven, depth, observe)
+                    print(key, "ok", file=sys.stderr)
+    return fixture
+
+
+if __name__ == "__main__":
+    FIXTURE.write_text(json.dumps(record(), indent=1, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE}", file=sys.stderr)

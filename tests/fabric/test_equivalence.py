@@ -1,4 +1,4 @@
-"""Registry-wide kernel-mode equivalence.
+"""Registry-wide kernel-mode equivalence, plus the unification golden bar.
 
 Every registered topology — under every link-level flow control it
 registers (wormhole, and virtual channels with each of its VC policies)
@@ -6,13 +6,28 @@ registers (wormhole, and virtual channels with each of its VC policies)
 kernel runs its activity-driven fast path or the naive fire-everything
 reference loop: the acceptance bar every new fabric has to clear before
 the registry will carry it.
+
+The golden matrix at the bottom holds the unified router's ``n_vcs=1``
+path to ``golden_wormhole.json`` — delivery, latencies, hops, gating,
+tick/step counts, and router event order recorded from the pre-refactor
+dedicated wormhole stack, for every credit topology x kernel mode x
+pipeline depth {1, 2, 4} x (observed | plain). Byte-for-byte: the
+unification is only legal because the single-VC degenerate case is
+indistinguishable from the stack it replaced.
 """
+
+import json
+import pathlib
 
 import numpy as np
 import pytest
 
 from repro.fabric.registry import FabricConfig, get_topology, topology_names
 from repro.traffic.patterns import UniformRandom
+
+from tests.fabric import record_golden
+
+GOLDEN = pathlib.Path(__file__).with_name("golden_wormhole.json")
 
 #: Per-topology port counts satisfying each family's shape constraints.
 PORTS = {"tree": 16, "ctree": 16, "mesh": 16, "torus": 16, "ring": 10}
@@ -135,3 +150,30 @@ def test_pipelined_modes_bit_identical(name, flow, policy, depth):
     observable = lambda r: {k: v for k, v in r.items() if k != "steps"}
     assert observable(fast) == observable(naive), (name, flow, policy, depth)
     assert len(fast["delivered"]) == fast["injected"]
+
+
+def golden_keys():
+    return sorted(json.loads(GOLDEN.read_text()))
+
+
+@pytest.fixture(scope="module")
+def golden_fixture():
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.mark.parametrize("key", golden_keys())
+def test_unified_single_vc_matches_recorded_wormhole(key, golden_fixture):
+    """The unified router at n_vcs=1 replays the pre-refactor wormhole
+    stack byte-for-byte: same delivery set, latency/hop multisets,
+    gating edges, kernel tick/step counts, and — for the observed cases
+    — the exact router event order (projected to the fields both stacks
+    share; the ``vc`` tags the unified events add are excluded by the
+    recorder)."""
+    topology, mode, depth_key, observe_key = key.split("/")
+    got = record_golden.run_case(
+        topology, record_golden.TOPOLOGIES[topology],
+        activity_driven=(mode == "fast"),
+        pipeline_depth=int(depth_key[1:]),
+        observe=(observe_key == "observed"),
+    )
+    assert got == golden_fixture[key], key

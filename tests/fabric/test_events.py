@@ -169,12 +169,12 @@ class TestCreditExhausted:
                 (tick, data["router"], data["output"])))
         router.credits[EAST] = 1
         # First flit eats the only credit; the second starves.
-        links[LOCAL][0].send_flit(flit_to(1, packet_id=0), 0)
+        links[LOCAL][0].send_flit(flit_to(1, packet_id=0), 0, 0)
         kernel.run_ticks(8)
-        links[LOCAL][0].send_flit(flit_to(1, packet_id=1), kernel.tick)
+        links[LOCAL][0].send_flit(flit_to(1, packet_id=1), 0, kernel.tick)
         kernel.run_ticks(40)
         # Returning a credit clears starvation; the flit moves on.
-        links[EAST][1].send_credits(1, kernel.tick)
+        links[EAST][1].send_credits(0, 1, kernel.tick)
         kernel.run_ticks(8)
         return events, router, kernel, links
 
@@ -192,7 +192,7 @@ class TestCreditExhausted:
         events, router, kernel, links = self._starved_router(True)
         # Credits are dry again after the resume; a third flit re-enters
         # starvation and must produce a second event.
-        links[LOCAL][0].send_flit(flit_to(1, packet_id=2), kernel.tick)
+        links[LOCAL][0].send_flit(flit_to(1, packet_id=2), 0, kernel.tick)
         kernel.run_ticks(40)
         assert len(events) == 2
 

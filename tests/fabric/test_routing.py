@@ -133,33 +133,33 @@ class TestBubbleRule:
 
     def test_injection_blocked_at_one_credit(self):
         kernel, router, links = self._ring_router(credits_cw=1)
-        links[LOCAL][0].send_flit(flit_to(2), 0)  # head entering the ring
+        links[LOCAL][0].send_flit(flit_to(2), 0, 0)  # head entering the ring
         kernel.run_ticks(10)
         assert router.flits_forwarded == 0
         assert router.buffered_flits == 1  # parked, ring keeps its bubble
 
     def test_injection_allowed_at_two_credits(self):
         kernel, router, links = self._ring_router(credits_cw=2)
-        links[LOCAL][0].send_flit(flit_to(2), 0)
+        links[LOCAL][0].send_flit(flit_to(2), 0, 0)
         kernel.run_ticks(10)
         assert router.flits_forwarded == 1
 
     def test_transit_allowed_at_one_credit(self):
         kernel, router, links = self._ring_router(credits_cw=1)
         # Clockwise transit arrives on the CCW port: exempt from the rule.
-        links[RING_CCW][0].send_flit(flit_to(2), 0)
+        links[RING_CCW][0].send_flit(flit_to(2), 0, 0)
         kernel.run_ticks(10)
         assert router.flits_forwarded == 1
 
     def test_locked_body_flits_exempt(self):
         kernel, router, links = self._ring_router(credits_cw=3)
         head = flit_to(2, FlitKind.HEAD, seq=0, packet_id=1)
-        links[LOCAL][0].send_flit(head, 0)
+        links[LOCAL][0].send_flit(head, 0, 0)
         kernel.run_ticks(6)
         assert router.locks[RING_CW] == LOCAL
         router.credits[RING_CW] = 1  # below the bubble threshold...
         tail = flit_to(2, FlitKind.TAIL, seq=1, packet_id=1)
-        links[LOCAL][0].send_flit(tail, kernel.tick)
+        links[LOCAL][0].send_flit(tail, 0, kernel.tick)
         kernel.run_ticks(6)
         # ...but the locked wormhole must keep draining.
         assert router.flits_forwarded == 2
